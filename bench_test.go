@@ -1,0 +1,402 @@
+package ofmtl_test
+
+import (
+	"strconv"
+	"testing"
+
+	"ofmtl/internal/baseline"
+	"ofmtl/internal/core"
+	"ofmtl/internal/experiments"
+	"ofmtl/internal/filterset"
+	"ofmtl/internal/label"
+	"ofmtl/internal/lut"
+	"ofmtl/internal/mbt"
+	"ofmtl/internal/openflow"
+	"ofmtl/internal/rangelookup"
+	"ofmtl/internal/traffic"
+	"ofmtl/internal/update"
+	"ofmtl/internal/xrand"
+)
+
+// ---------------------------------------------------------------------
+// Macro benchmarks: one per table and figure of the paper. Each runs the
+// corresponding experiment harness end to end (generation, structure
+// build, measurement) and surfaces its headline quantity as a custom
+// metric, so `go test -bench .` regenerates the full evaluation.
+// ---------------------------------------------------------------------
+
+func benchExperiment(b *testing.B, id string, metric func(*experiments.Report) (float64, string)) {
+	b.Helper()
+	cfg := experiments.Config{ACLRules: 400}
+	var rep *experiments.Report
+	var err error
+	for i := 0; i < b.N; i++ {
+		rep, err = experiments.Run(id, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if metric != nil {
+		v, unit := metric(rep)
+		b.ReportMetric(v, unit)
+	}
+}
+
+// BenchmarkTable1Baselines regenerates Table I (algorithm categories).
+func BenchmarkTable1Baselines(b *testing.B) {
+	benchExperiment(b, "table1", func(r *experiments.Report) (float64, string) {
+		return float64(len(r.Rows)), "algorithms"
+	})
+}
+
+// BenchmarkTable2MatchFields regenerates Table II (match field registry).
+func BenchmarkTable2MatchFields(b *testing.B) {
+	benchExperiment(b, "table2", func(r *experiments.Report) (float64, string) {
+		return float64(len(r.Rows)), "fields"
+	})
+}
+
+// BenchmarkTable3MACUnique regenerates Table III (MAC unique values).
+func BenchmarkTable3MACUnique(b *testing.B) {
+	benchExperiment(b, "table3", nil)
+}
+
+// BenchmarkTable4RoutingUnique regenerates Table IV (routing unique values).
+func BenchmarkTable4RoutingUnique(b *testing.B) {
+	benchExperiment(b, "table4", nil)
+}
+
+// BenchmarkFig2aEthernetNodes regenerates Fig. 2(a) (Ethernet trie nodes).
+func BenchmarkFig2aEthernetNodes(b *testing.B) {
+	benchExperiment(b, "fig2a", func(r *experiments.Report) (float64, string) {
+		gozb := r.FindRow("gozb")
+		return float64(r.CellInt(gozb, 3)), "gozb-lower-nodes"
+	})
+}
+
+// BenchmarkFig2bIPv4Nodes regenerates Fig. 2(b) (IPv4 trie nodes).
+func BenchmarkFig2bIPv4Nodes(b *testing.B) {
+	benchExperiment(b, "fig2b", func(r *experiments.Report) (float64, string) {
+		coza := r.FindRow("coza")
+		return float64(r.CellInt(coza, 1)), "coza-higher-nodes"
+	})
+}
+
+// BenchmarkFig3EthernetLowerTrie regenerates Fig. 3 (Kbit per level).
+func BenchmarkFig3EthernetLowerTrie(b *testing.B) {
+	benchExperiment(b, "fig3", func(r *experiments.Report) (float64, string) {
+		gozb := r.FindRow("gozb")
+		return r.CellFloat(gozb, 4), "gozb-kbit"
+	})
+}
+
+// BenchmarkFig4aIPv4LowerTrie regenerates Fig. 4(a).
+func BenchmarkFig4aIPv4LowerTrie(b *testing.B) {
+	benchExperiment(b, "fig4a", nil)
+}
+
+// BenchmarkFig4bOutlierTries regenerates Fig. 4(b).
+func BenchmarkFig4bOutlierTries(b *testing.B) {
+	benchExperiment(b, "fig4b", nil)
+}
+
+// BenchmarkFig5UpdateCycles regenerates Fig. 5 (update cost comparison).
+func BenchmarkFig5UpdateCycles(b *testing.B) {
+	benchExperiment(b, "fig5", nil)
+}
+
+// BenchmarkHeadlinePrototype regenerates the Section V.A 5-Mbit prototype.
+func BenchmarkHeadlinePrototype(b *testing.B) {
+	benchExperiment(b, "headline", func(r *experiments.Report) (float64, string) {
+		row := r.FindRow("TOTAL (paper accounting: tries+LUTs+action rows)")
+		return r.CellFloat(row, 2), "mbit"
+	})
+}
+
+// BenchmarkAblationStrides sweeps trie stride configurations (DESIGN.md).
+func BenchmarkAblationStrides(b *testing.B) {
+	benchExperiment(b, "ablation-strides", nil)
+}
+
+// BenchmarkAblationLabelMethod compares labelled vs naive storage.
+func BenchmarkAblationLabelMethod(b *testing.B) {
+	benchExperiment(b, "ablation-label", nil)
+}
+
+// BenchmarkAblationLUTWays sweeps exact-match LUT associativity.
+func BenchmarkAblationLUTWays(b *testing.B) {
+	benchExperiment(b, "ablation-lutways", nil)
+}
+
+// BenchmarkExtScaling sweeps routing-table size against a TCAM baseline.
+func BenchmarkExtScaling(b *testing.B) {
+	benchExperiment(b, "ext-scaling", func(r *experiments.Report) (float64, string) {
+		return r.CellFloat(len(r.Rows)-1, 6), "tcam-over-arch"
+	})
+}
+
+// BenchmarkExtBaselineSweep extends Table I across rule-set sizes.
+func BenchmarkExtBaselineSweep(b *testing.B) {
+	benchExperiment(b, "ext-baseline-sweep", nil)
+}
+
+// BenchmarkFlowCacheExecute measures the cached fast path against the
+// repetitive traffic flow caching targets (paper related work, ref [7]).
+func BenchmarkFlowCacheExecute(b *testing.B) {
+	f, err := filterset.GenerateMAC("gozb", filterset.DefaultSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := core.BuildMAC(f, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cache := core.NewFlowCache(p, 4096)
+	trace := traffic.MACTrace(f, 512, 0.9, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h := trace[i%len(trace)]
+		cache.Execute(&h)
+	}
+}
+
+// BenchmarkUpdateFileReplay measures the concrete update-file replay path
+// (Section V.B) for a mid-sized MAC filter.
+func BenchmarkUpdateFileReplay(b *testing.B) {
+	f, err := filterset.GenerateMAC("bbra", filterset.DefaultSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt, _ := update.MACUpdateFiles(f)
+	e := update.Engine{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		img := update.NewMemoryImage()
+		e.Replay(opt, img)
+	}
+}
+
+// ---------------------------------------------------------------------
+// Micro benchmarks: the hot paths of the architecture.
+// ---------------------------------------------------------------------
+
+func buildBenchTrie(b *testing.B, values int) *mbt.Trie {
+	b.Helper()
+	tr := mbt.MustNew(mbt.Config16())
+	rng := xrand.New(1)
+	seen := map[uint16]bool{}
+	for i := 0; i < values; {
+		v := uint16(rng.Intn(65536))
+		if seen[v] {
+			continue
+		}
+		seen[v] = true
+		if err := tr.Insert(uint64(v), 16, label.Label(i)); err != nil {
+			b.Fatal(err)
+		}
+		i++
+	}
+	return tr
+}
+
+// BenchmarkMBTLookup measures one 3-stage trie walk (the paper's pipeline
+// lookup unit).
+func BenchmarkMBTLookup(b *testing.B) {
+	tr := buildBenchTrie(b, 6177) // gozb lower-partition population
+	rng := xrand.New(2)
+	keys := make([]uint64, 1024)
+	for i := range keys {
+		keys[i] = uint64(rng.Intn(65536))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Lookup(keys[i%len(keys)])
+	}
+}
+
+// BenchmarkMBTLookupAll measures the full match-set walk the crossproduct
+// stage requires.
+func BenchmarkMBTLookupAll(b *testing.B) {
+	tr := buildBenchTrie(b, 6177)
+	var scratch []mbt.MatchedEntry
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		scratch = tr.LookupAll(uint64(i)&0xFFFF, scratch[:0])
+	}
+}
+
+// BenchmarkMBTInsertDelete measures one incremental update pair.
+func BenchmarkMBTInsertDelete(b *testing.B) {
+	tr := buildBenchTrie(b, 4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v := uint64(i) & 0xFFFF
+		lab := label.Label(100000 + i)
+		if err := tr.Insert(v, 16, lab); err != nil {
+			b.Fatal(err)
+		}
+		if err := tr.Delete(v, 16, lab); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLUTLookup measures the exact-match hash LUT.
+func BenchmarkLUTLookup(b *testing.B) {
+	l, err := lut.New(13, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := uint64(0); i < 209; i++ { // the paper's worst-case VLAN count
+		if _, _, err := l.Insert(i * 19 % 4096); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Lookup(uint64(i) & 0xFFF)
+	}
+}
+
+// BenchmarkRangeLookup measures the elementary-interval port search.
+func BenchmarkRangeLookup(b *testing.B) {
+	var tbl rangelookup.Table
+	rng := xrand.New(3)
+	for i := 0; i < 200; i++ {
+		lo := uint64(rng.Intn(60000))
+		if err := tbl.Insert(lo, lo+uint64(rng.Intn(1024)), label.Label(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	tbl.Segments() // force the rebuild outside the timed region
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tbl.Lookup(uint64(i) & 0xFFFF)
+	}
+}
+
+func benchPipeline(b *testing.B, p *core.Pipeline, trace []openflow.Header) {
+	b.Helper()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h := trace[i%len(trace)]
+		p.Execute(&h)
+	}
+}
+
+// BenchmarkPipelineExecuteMAC measures end-to-end two-table MAC lookups at
+// the paper's worst-case scale (gozb, 7 370 rules).
+func BenchmarkPipelineExecuteMAC(b *testing.B) {
+	f, err := filterset.GenerateMAC("gozb", filterset.DefaultSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := core.BuildMAC(f, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchPipeline(b, p, traffic.MACTrace(f, 4096, 0.9, 1))
+}
+
+// BenchmarkPipelineExecuteRoute measures two-table routing lookups on the
+// mid-sized yoza filter (4 746 rules).
+func BenchmarkPipelineExecuteRoute(b *testing.B) {
+	f, err := filterset.GenerateRoute("yoza", filterset.DefaultSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := core.BuildRoute(f, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchPipeline(b, p, traffic.RouteTrace(f, 4096, 0.9, 1))
+}
+
+// BenchmarkPipelineExecuteACL measures the 5-field single-table
+// decomposition (all three matching methods at once).
+func BenchmarkPipelineExecuteACL(b *testing.B) {
+	f := filterset.GenerateACL("bench", 1000, filterset.DefaultSeed)
+	p, err := core.BuildACL(f)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchPipeline(b, p, traffic.ACLTrace(f, 4096, 0.8, 1))
+}
+
+// BenchmarkUpdatePlans measures update-file construction for the largest
+// routing filter (what the controller does per Section V.B).
+func BenchmarkUpdatePlans(b *testing.B) {
+	f, err := filterset.GenerateRoute("coza", filterset.DefaultSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = update.PlanRouteOptimized(f)
+		_ = update.PlanRouteOriginal(f)
+	}
+}
+
+// BenchmarkCodecFlowEntry measures the wire codec round trip.
+func BenchmarkCodecFlowEntry(b *testing.B) {
+	e := &openflow.FlowEntry{
+		Priority: 17,
+		Matches: []openflow.Match{
+			openflow.Exact(openflow.FieldMetadata, 9),
+			openflow.Prefix(openflow.FieldIPv4Dst, 0x0A000000, 8),
+		},
+		Instructions: []openflow.Instruction{
+			openflow.GotoTable(1),
+			openflow.WriteActions(openflow.Output(3)),
+		},
+	}
+	var buf []byte
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = openflow.AppendFlowEntry(buf[:0], e)
+		if _, _, err := openflow.DecodeFlowEntry(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBaselineClassify measures every Table I algorithm's per-packet
+// classification on a shared 400-rule workload.
+func BenchmarkBaselineClassify(b *testing.B) {
+	f := filterset.GenerateACL("bench", 400, filterset.DefaultSeed)
+	trace := traffic.ACLTrace(f, 2048, 0.8, 1)
+	for _, c := range baseline.All() {
+		c := c
+		b.Run(c.Name(), func(b *testing.B) {
+			if err := c.Build(f.Rules); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				h := trace[i%len(trace)]
+				c.Classify(&h)
+			}
+		})
+	}
+}
+
+// BenchmarkFilterGeneration measures synthetic filter-set construction
+// (the substitution for the Stanford data; see DESIGN.md §2).
+func BenchmarkFilterGeneration(b *testing.B) {
+	for _, name := range []string{"bbrb", "gozb"} {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := filterset.GenerateMAC(name, uint64(i)+1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	b.Run("route-"+strconv.Itoa(1835), func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := filterset.GenerateRoute("bbra", uint64(i)+1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

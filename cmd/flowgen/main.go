@@ -1,0 +1,92 @@
+// Command flowgen synthesises filter sets calibrated to the paper's
+// Tables III and IV (MAC learning, routing) or ClassBench-style 5-tuple
+// sets (ACL), writing them in the repository's text formats.
+//
+// Usage:
+//
+//	flowgen -app mac -name gozb > gozb_mac.txt
+//	flowgen -app route -name coza -o coza_route.txt
+//	flowgen -app acl -name acl1 -n 1000 -o acl1.txt
+//	flowgen -app mac -all -o filters/        # all 16 filters
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"ofmtl/internal/filterset"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "flowgen: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		app  = flag.String("app", "mac", "application: mac | route | acl | arp")
+		name = flag.String("name", "bbra", "filter name (Tables III/IV names for mac/route)")
+		n    = flag.Int("n", 1000, "rule count (acl/arp only)")
+		seed = flag.Uint64("seed", filterset.DefaultSeed, "generation seed")
+		out  = flag.String("o", "", "output file (default stdout); with -all, output directory")
+		all  = flag.Bool("all", false, "generate all 16 filters (mac/route only)")
+	)
+	flag.Parse()
+
+	if *all {
+		if *out == "" {
+			return fmt.Errorf("-all requires -o <dir>")
+		}
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			return fmt.Errorf("creating %s: %w", *out, err)
+		}
+		for _, fn := range filterset.FilterNames {
+			path := filepath.Join(*out, fmt.Sprintf("%s_%s.txt", fn, *app))
+			if err := writeTo(path, *app, fn, *n, *seed); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if *out == "" {
+		return generate(os.Stdout, *app, *name, *n, *seed)
+	}
+	return writeTo(*out, *app, *name, *n, *seed)
+}
+
+func writeTo(path, app, name string, n int, seed uint64) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("creating %s: %w", path, err)
+	}
+	defer func() { _ = f.Close() }()
+	return generate(f, app, name, n, seed)
+}
+
+func generate(w io.Writer, app, name string, n int, seed uint64) error {
+	switch app {
+	case "mac":
+		f, err := filterset.GenerateMAC(name, seed)
+		if err != nil {
+			return err
+		}
+		return filterset.WriteMAC(w, f)
+	case "route":
+		f, err := filterset.GenerateRoute(name, seed)
+		if err != nil {
+			return err
+		}
+		return filterset.WriteRoute(w, f)
+	case "acl":
+		return filterset.WriteACL(w, filterset.GenerateACL(name, n, seed))
+	case "arp":
+		return filterset.WriteARP(w, filterset.GenerateARP(name, n, seed))
+	default:
+		return fmt.Errorf("unknown application %q (want mac | route | acl | arp)", app)
+	}
+}

@@ -1,0 +1,43 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"ofmtl/internal/filterset"
+)
+
+func TestGenerateAllApps(t *testing.T) {
+	for _, app := range []string{"mac", "route", "acl", "arp"} {
+		var buf bytes.Buffer
+		if err := generate(&buf, app, "bbrb", 50, filterset.DefaultSeed); err != nil {
+			t.Fatalf("%s: %v", app, err)
+		}
+		if buf.Len() == 0 {
+			t.Errorf("%s: empty output", app)
+		}
+	}
+	var buf bytes.Buffer
+	if err := generate(&buf, "bogus", "bbrb", 10, 1); err == nil {
+		t.Error("unknown app should error")
+	}
+	if err := generate(&buf, "mac", "unknown-filter", 10, 1); err == nil {
+		t.Error("unknown filter name should error")
+	}
+}
+
+func TestGeneratedMACOutputParses(t *testing.T) {
+	var buf bytes.Buffer
+	if err := generate(&buf, "mac", "bbrb", 0, filterset.DefaultSeed); err != nil {
+		t.Fatal(err)
+	}
+	f, err := filterset.ParseMAC(strings.NewReader(buf.String()), "bbrb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	target, _ := filterset.MACTargetFor("bbrb")
+	if len(f.Rules) != target.Rules {
+		t.Errorf("parsed %d rules, want %d", len(f.Rules), target.Rules)
+	}
+}

@@ -1,0 +1,316 @@
+// Command ofctl is the controller-side CLI for switchd: it installs flow
+// entries (individually or whole filter files), injects packets and reads
+// switch statistics over the control protocol.
+//
+// Usage:
+//
+//	ofctl -addr 127.0.0.1:6653 stats
+//	ofctl add-mac -vlan 10 -mac 00:11:22:33:44:55 -port 3
+//	ofctl add-route -inport 2 -prefix 10.0.0.0/8 -nexthop 7
+//	ofctl load -app mac -file gozb_mac.txt
+//	ofctl packet -vlan 10 -mac 00:11:22:33:44:55
+//	ofctl packet -inport 2 -dst 10.1.2.3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"ofmtl/internal/filterset"
+	"ofmtl/internal/ofproto"
+	"ofmtl/internal/openflow"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintf(os.Stderr, "ofctl: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	global := flag.NewFlagSet("ofctl", flag.ContinueOnError)
+	addr := global.String("addr", "127.0.0.1:6653", "switchd control address")
+	if err := global.Parse(args); err != nil {
+		return err
+	}
+	rest := global.Args()
+	if len(rest) == 0 {
+		return fmt.Errorf("usage: ofctl [-addr host:port] <stats|add-mac|add-route|load|packet> [flags]")
+	}
+
+	client, err := ofproto.Dial(*addr)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = client.Close() }()
+
+	switch rest[0] {
+	case "stats":
+		return doStats(client)
+	case "add-mac":
+		return doAddMAC(client, rest[1:])
+	case "add-route":
+		return doAddRoute(client, rest[1:])
+	case "load":
+		return doLoad(client, rest[1:])
+	case "packet":
+		return doPacket(client, rest[1:])
+	default:
+		return fmt.Errorf("unknown subcommand %q", rest[0])
+	}
+}
+
+func doStats(c *ofproto.Client) error {
+	st, err := c.Stats()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("tables: %d, total rules: %d\n", len(st.Tables), st.TotalRules)
+	for _, t := range st.Tables {
+		fmt.Printf("  table %d: %6d rules  [%s]\n", t.ID, t.Rules, t.Field)
+	}
+	fmt.Printf("memory: %.2f Mbit (%d bits) in %d M20K blocks\n",
+		float64(st.MemoryBits)/1e6, st.MemoryBits, st.M20KBlocks)
+	return nil
+}
+
+func parseMAC(s string) (uint64, error) {
+	parts := strings.Split(s, ":")
+	if len(parts) != 6 {
+		return 0, fmt.Errorf("malformed MAC %q", s)
+	}
+	var v uint64
+	for _, p := range parts {
+		if len(p) != 2 {
+			return 0, fmt.Errorf("malformed MAC octet %q", p)
+		}
+		b, err := strconv.ParseUint(p, 16, 8)
+		if err != nil {
+			return 0, fmt.Errorf("malformed MAC octet %q", p)
+		}
+		v = v<<8 | b
+	}
+	return v, nil
+}
+
+func parseCIDR(s string) (uint32, int, error) {
+	slash := strings.IndexByte(s, '/')
+	if slash < 0 {
+		return 0, 0, fmt.Errorf("missing /len in %q", s)
+	}
+	plen, err := strconv.Atoi(s[slash+1:])
+	if err != nil || plen < 0 || plen > 32 {
+		return 0, 0, fmt.Errorf("bad prefix length in %q", s)
+	}
+	quads := strings.Split(s[:slash], ".")
+	if len(quads) != 4 {
+		return 0, 0, fmt.Errorf("bad IPv4 in %q", s)
+	}
+	var v uint32
+	for _, q := range quads {
+		b, err := strconv.ParseUint(q, 10, 8)
+		if err != nil {
+			return 0, 0, fmt.Errorf("bad IPv4 octet %q", q)
+		}
+		v = v<<8 | uint32(b)
+	}
+	return v, plen, nil
+}
+
+func parseIPv4(s string) (uint32, error) {
+	v, plen, err := parseCIDR(s + "/32")
+	if err != nil || plen != 32 {
+		return 0, fmt.Errorf("malformed IPv4 %q", s)
+	}
+	return v, nil
+}
+
+// macFlowEntries renders the two per-rule entries of the MAC application.
+func macFlowEntries(vlan uint16, mac uint64, port uint32) (t0, t1 *openflow.FlowEntry) {
+	t0 = &openflow.FlowEntry{
+		Priority: 1,
+		Matches:  []openflow.Match{openflow.Exact(openflow.FieldVLANID, uint64(vlan))},
+		Instructions: []openflow.Instruction{
+			openflow.WriteMetadata(uint64(vlan), ^uint64(0)),
+			openflow.GotoTable(1),
+		},
+	}
+	t1 = &openflow.FlowEntry{
+		Priority: 1,
+		Matches: []openflow.Match{
+			openflow.Exact(openflow.FieldMetadata, uint64(vlan)),
+			openflow.Exact(openflow.FieldEthDst, mac),
+		},
+		Instructions: []openflow.Instruction{
+			openflow.WriteActions(openflow.Output(port)),
+		},
+	}
+	return t0, t1
+}
+
+// routeFlowEntries renders the two per-rule entries of the routing
+// application (tables 2 and 3 of the prototype).
+func routeFlowEntries(inport uint32, prefix uint32, plen int, nexthop uint32) (t2, t3 *openflow.FlowEntry) {
+	t2 = &openflow.FlowEntry{
+		Priority: 1,
+		Matches:  []openflow.Match{openflow.Exact(openflow.FieldInPort, uint64(inport))},
+		Instructions: []openflow.Instruction{
+			openflow.WriteMetadata(uint64(inport), ^uint64(0)),
+			openflow.GotoTable(3),
+		},
+	}
+	t3 = &openflow.FlowEntry{
+		Priority: 1 + plen,
+		Matches: []openflow.Match{
+			openflow.Exact(openflow.FieldMetadata, uint64(inport)),
+			openflow.Prefix(openflow.FieldIPv4Dst, uint64(prefix), plen),
+		},
+		Instructions: []openflow.Instruction{
+			openflow.WriteActions(openflow.Output(nexthop)),
+		},
+	}
+	return t2, t3
+}
+
+func doAddMAC(c *ofproto.Client, args []string) error {
+	fs := flag.NewFlagSet("add-mac", flag.ContinueOnError)
+	vlan := fs.Uint("vlan", 1, "VLAN ID")
+	mac := fs.String("mac", "", "destination Ethernet (aa:bb:cc:dd:ee:ff)")
+	port := fs.Uint("port", 1, "output port")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	m, err := parseMAC(*mac)
+	if err != nil {
+		return err
+	}
+	e0, e1 := macFlowEntries(uint16(*vlan), m, uint32(*port))
+	if err := c.AddFlow(0, e0); err != nil {
+		return err
+	}
+	if err := c.AddFlow(1, e1); err != nil {
+		return err
+	}
+	fmt.Printf("installed vlan=%d mac=%s -> port %d\n", *vlan, *mac, *port)
+	return nil
+}
+
+func doAddRoute(c *ofproto.Client, args []string) error {
+	fs := flag.NewFlagSet("add-route", flag.ContinueOnError)
+	inport := fs.Uint("inport", 1, "ingress port")
+	prefix := fs.String("prefix", "0.0.0.0/0", "IPv4 destination prefix")
+	nexthop := fs.Uint("nexthop", 1, "next hop port")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	p, plen, err := parseCIDR(*prefix)
+	if err != nil {
+		return err
+	}
+	e2, e3 := routeFlowEntries(uint32(*inport), p, plen, uint32(*nexthop))
+	if err := c.AddFlow(2, e2); err != nil {
+		return err
+	}
+	if err := c.AddFlow(3, e3); err != nil {
+		return err
+	}
+	fmt.Printf("installed inport=%d %s -> nexthop %d\n", *inport, *prefix, *nexthop)
+	return nil
+}
+
+func doLoad(c *ofproto.Client, args []string) error {
+	fs := flag.NewFlagSet("load", flag.ContinueOnError)
+	app := fs.String("app", "mac", "application: mac | route")
+	file := fs.String("file", "", "filter file (flowgen format)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	f, err := os.Open(*file)
+	if err != nil {
+		return fmt.Errorf("opening filter file: %w", err)
+	}
+	defer func() { _ = f.Close() }()
+
+	installed := 0
+	switch *app {
+	case "mac":
+		mf, err := filterset.ParseMAC(f, *file)
+		if err != nil {
+			return err
+		}
+		for _, r := range mf.Rules {
+			e0, e1 := macFlowEntries(r.VLAN, r.EthDst, r.OutPort)
+			if err := c.AddFlow(0, e0); err != nil {
+				return fmt.Errorf("after %d rules: %w", installed, err)
+			}
+			if err := c.AddFlow(1, e1); err != nil {
+				return fmt.Errorf("after %d rules: %w", installed, err)
+			}
+			installed++
+		}
+	case "route":
+		rf, err := filterset.ParseRoute(f, *file)
+		if err != nil {
+			return err
+		}
+		for _, r := range rf.Rules {
+			e2, e3 := routeFlowEntries(r.InPort, r.Prefix, r.PrefixLen, r.NextHop)
+			if err := c.AddFlow(2, e2); err != nil {
+				return fmt.Errorf("after %d rules: %w", installed, err)
+			}
+			if err := c.AddFlow(3, e3); err != nil {
+				return fmt.Errorf("after %d rules: %w", installed, err)
+			}
+			installed++
+		}
+	default:
+		return fmt.Errorf("unknown application %q", *app)
+	}
+	fmt.Printf("installed %d rules from %s\n", installed, *file)
+	return nil
+}
+
+func doPacket(c *ofproto.Client, args []string) error {
+	fs := flag.NewFlagSet("packet", flag.ContinueOnError)
+	vlan := fs.Uint("vlan", 0, "VLAN ID")
+	mac := fs.String("mac", "", "destination Ethernet")
+	inport := fs.Uint("inport", 0, "ingress port")
+	dst := fs.String("dst", "", "destination IPv4")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	h := &openflow.Header{VLANID: uint16(*vlan), InPort: uint32(*inport)}
+	if *mac != "" {
+		m, err := parseMAC(*mac)
+		if err != nil {
+			return err
+		}
+		h.EthDst = m
+	}
+	if *dst != "" {
+		ip, err := parseIPv4(*dst)
+		if err != nil {
+			return err
+		}
+		h.IPv4Dst = ip
+	}
+	reply, err := c.SendPacket(h)
+	if err != nil {
+		return err
+	}
+	switch {
+	case reply.Flags&ofproto.ReplyDropped != 0:
+		fmt.Println("dropped")
+	case reply.Flags&ofproto.ReplyToController != 0:
+		fmt.Println("sent to controller (table miss)")
+	case len(reply.Outputs) > 0:
+		fmt.Printf("forwarded to port(s) %v\n", reply.Outputs)
+	default:
+		fmt.Println("no output")
+	}
+	return nil
+}

@@ -1,0 +1,103 @@
+package main
+
+import (
+	"net"
+	"testing"
+
+	"ofmtl/internal/core"
+	"ofmtl/internal/filterset"
+	"ofmtl/internal/ofproto"
+)
+
+func TestParseMAC(t *testing.T) {
+	v, err := parseMAC("00:11:22:33:44:55")
+	if err != nil || v != 0x001122334455 {
+		t.Errorf("parseMAC = %x, %v", v, err)
+	}
+	for _, bad := range []string{"", "00:11:22:33:44", "zz:11:22:33:44:55", "0011:22:33:44:55:66"} {
+		if _, err := parseMAC(bad); err == nil {
+			t.Errorf("parseMAC(%q) should fail", bad)
+		}
+	}
+}
+
+func TestParseCIDRAndIPv4(t *testing.T) {
+	v, plen, err := parseCIDR("10.1.2.0/24")
+	if err != nil || v != 0x0A010200 || plen != 24 {
+		t.Errorf("parseCIDR = %x/%d, %v", v, plen, err)
+	}
+	if _, _, err := parseCIDR("10.1.2.0"); err == nil {
+		t.Error("missing /len should fail")
+	}
+	ip, err := parseIPv4("192.168.0.1")
+	if err != nil || ip != 0xC0A80001 {
+		t.Errorf("parseIPv4 = %x, %v", ip, err)
+	}
+	if _, err := parseIPv4("192.168.0"); err == nil {
+		t.Error("short IPv4 should fail")
+	}
+}
+
+func TestFlowEntryBuilders(t *testing.T) {
+	e0, e1 := macFlowEntries(10, 0xABCDEF, 3)
+	if e0.Priority != 1 || len(e0.Matches) != 1 || len(e1.Matches) != 2 {
+		t.Errorf("mac entries malformed: %v %v", e0, e1)
+	}
+	if tid, ok := e0.GotoTable(); !ok || tid != 1 {
+		t.Error("mac table-0 entry must goto table 1")
+	}
+	e2, e3 := routeFlowEntries(2, 0x0A000000, 8, 7)
+	if e3.Priority != 9 {
+		t.Errorf("route priority = %d, want 1+plen", e3.Priority)
+	}
+	if tid, ok := e2.GotoTable(); !ok || tid != 3 {
+		t.Error("route table-2 entry must goto table 3")
+	}
+}
+
+// TestSubcommandsEndToEnd drives the ofctl command surface against an
+// in-process switch.
+func TestSubcommandsEndToEnd(t *testing.T) {
+	p, err := core.BuildPrototype(
+		&filterset.MACFilter{Name: "empty"},
+		&filterset.RouteFilter{Name: "empty"},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := ofproto.NewServer(p, nil)
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(l) }()
+	defer func() {
+		_ = srv.Close()
+		<-done
+	}()
+	addr := l.Addr().String()
+
+	cmds := [][]string{
+		{"-addr", addr, "add-mac", "-vlan", "10", "-mac", "00:11:22:33:44:55", "-port", "3"},
+		{"-addr", addr, "add-route", "-inport", "2", "-prefix", "10.0.0.0/8", "-nexthop", "7"},
+		{"-addr", addr, "packet", "-vlan", "10", "-mac", "00:11:22:33:44:55"},
+		{"-addr", addr, "packet", "-inport", "2", "-dst", "10.9.9.9"},
+		{"-addr", addr, "stats"},
+	}
+	for _, args := range cmds {
+		if err := run(args); err != nil {
+			t.Fatalf("ofctl %v: %v", args, err)
+		}
+	}
+	// Error paths surface as errors, not panics.
+	if err := run([]string{"-addr", addr, "nope"}); err == nil {
+		t.Error("unknown subcommand should error")
+	}
+	if err := run([]string{"-addr", addr}); err == nil {
+		t.Error("missing subcommand should error")
+	}
+	if err := run([]string{"-addr", addr, "add-mac", "-mac", "garbage"}); err == nil {
+		t.Error("bad MAC should error")
+	}
+}

@@ -1,0 +1,97 @@
+// Command ofmem regenerates the paper's evaluation artifacts: every table
+// and figure of "Memory Cost Analysis for OpenFlow Multiple Table Lookup"
+// (Guerra Perez et al., SOCC 2015), plus the ablations described in
+// DESIGN.md.
+//
+// Usage:
+//
+//	ofmem -run all                 # run everything, print text reports
+//	ofmem -run fig3                # one experiment
+//	ofmem -run all -out results/   # also write text + CSV files
+//	ofmem -list                    # list experiment identifiers
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"ofmtl/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "ofmem: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		runID    = flag.String("run", "all", "experiment id to run, or 'all'")
+		outDir   = flag.String("out", "", "directory to write per-experiment .txt and .csv files")
+		seed     = flag.Uint64("seed", 0, "generation seed (0 = default)")
+		aclRules = flag.Int("acl-rules", 0, "rule count for the Table I baseline workload (0 = default)")
+		list     = flag.Bool("list", false, "list experiment identifiers and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return nil
+	}
+
+	cfg := experiments.Config{Seed: *seed, ACLRules: *aclRules}
+	var reports []*experiments.Report
+	if *runID == "all" {
+		all, err := experiments.RunAll(cfg)
+		if err != nil {
+			return err
+		}
+		reports = all
+	} else {
+		for _, id := range strings.Split(*runID, ",") {
+			rep, err := experiments.Run(strings.TrimSpace(id), cfg)
+			if err != nil {
+				return err
+			}
+			reports = append(reports, rep)
+		}
+	}
+
+	for _, rep := range reports {
+		if err := rep.WriteText(os.Stdout); err != nil {
+			return err
+		}
+		if *outDir != "" {
+			if err := writeFiles(*outDir, rep); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeFiles(dir string, rep *experiments.Report) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("creating %s: %w", dir, err)
+	}
+	txt, err := os.Create(filepath.Join(dir, rep.ID+".txt"))
+	if err != nil {
+		return fmt.Errorf("creating report file: %w", err)
+	}
+	defer func() { _ = txt.Close() }()
+	if err := rep.WriteText(txt); err != nil {
+		return err
+	}
+	csvf, err := os.Create(filepath.Join(dir, rep.ID+".csv"))
+	if err != nil {
+		return fmt.Errorf("creating CSV file: %w", err)
+	}
+	defer func() { _ = csvf.Close() }()
+	return rep.WriteCSV(csvf)
+}

@@ -1,0 +1,34 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ofmtl/internal/experiments"
+)
+
+func TestWriteFiles(t *testing.T) {
+	dir := t.TempDir()
+	rep, err := experiments.Run("table2", experiments.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := writeFiles(dir, rep); err != nil {
+		t.Fatal(err)
+	}
+	for _, ext := range []string{".txt", ".csv"} {
+		path := filepath.Join(dir, "table2"+ext)
+		info, err := os.Stat(path)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		if info.Size() == 0 {
+			t.Errorf("%s is empty", path)
+		}
+	}
+	// Nested directories are created on demand.
+	if err := writeFiles(filepath.Join(dir, "a", "b"), rep); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,119 @@
+// Command switchd runs a software switch hosting the multiple-table
+// lookup pipeline behind the repository's control protocol. A controller
+// (cmd/ofctl) connects over TCP to install flow entries, inject packets
+// and read memory statistics.
+//
+// Usage:
+//
+//	switchd -listen 127.0.0.1:6653                 # empty MAC+routing prototype
+//	switchd -listen :6653 -mac gozb -route coza    # preloaded worst-case prototype
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"ofmtl/internal/core"
+	"ofmtl/internal/filterset"
+	"ofmtl/internal/ofproto"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "switchd: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		listen   = flag.String("listen", "127.0.0.1:6653", "control channel listen address")
+		macName  = flag.String("mac", "", "preload a Table III MAC filter (e.g. gozb)")
+		rtName   = flag.String("route", "", "preload a Table IV routing filter (e.g. coza)")
+		seed     = flag.Uint64("seed", filterset.DefaultSeed, "generation seed for preloads")
+		pipeFile = flag.String("pipeline", "", "JSON pipeline layout (TTP-style); overrides the built-in prototype")
+	)
+	flag.Parse()
+
+	var pipeline *core.Pipeline
+	var err error
+	if *pipeFile != "" {
+		if *macName != "" || *rtName != "" {
+			return fmt.Errorf("-pipeline is mutually exclusive with -mac/-route preloads")
+		}
+		pipeline, err = loadPipeline(*pipeFile)
+	} else {
+		pipeline, err = buildPipeline(*macName, *rtName, *seed)
+	}
+	if err != nil {
+		return err
+	}
+	log.Printf("switchd: pipeline ready: %d tables, %d rules", len(pipeline.Tables()), pipeline.Rules())
+	mem := pipeline.MemoryReport()
+	log.Printf("switchd: modelled memory: %.2f Mbit in %d M20K blocks", mem.TotalMbits(), mem.Blocks)
+
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return fmt.Errorf("listening on %s: %w", *listen, err)
+	}
+	log.Printf("switchd: control channel on %s", l.Addr())
+
+	srv := ofproto.NewServer(pipeline, log.Printf)
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(l) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		return err
+	case s := <-sig:
+		log.Printf("switchd: received %v, shutting down", s)
+		if err := srv.Close(); err != nil {
+			return err
+		}
+		return <-errCh
+	}
+}
+
+// loadPipeline builds a pipeline from a TTP-style JSON layout file.
+func loadPipeline(path string) (*core.Pipeline, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("opening pipeline layout: %w", err)
+	}
+	defer func() { _ = f.Close() }()
+	cfg, err := core.ParsePipelineConfig(f)
+	if err != nil {
+		return nil, err
+	}
+	log.Printf("switchd: pipeline layout %q from %s", cfg.Name, path)
+	return cfg.Build()
+}
+
+// buildPipeline assembles the 4-table prototype, preloading the named
+// filters when given (empty names preload nothing).
+func buildPipeline(macName, rtName string, seed uint64) (*core.Pipeline, error) {
+	mac := &filterset.MACFilter{Name: "empty"}
+	route := &filterset.RouteFilter{Name: "empty"}
+	if macName != "" {
+		m, err := filterset.GenerateMAC(macName, seed)
+		if err != nil {
+			return nil, err
+		}
+		mac = m
+	}
+	if rtName != "" {
+		r, err := filterset.GenerateRoute(rtName, seed)
+		if err != nil {
+			return nil, err
+		}
+		route = r
+	}
+	return core.BuildPrototype(mac, route)
+}

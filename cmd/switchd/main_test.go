@@ -1,0 +1,79 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ofmtl/internal/filterset"
+	"ofmtl/internal/openflow"
+)
+
+func TestBuildPipelineEmpty(t *testing.T) {
+	p, err := buildPipeline("", "", filterset.DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(p.Tables()); got != 4 {
+		t.Errorf("tables = %d, want 4", got)
+	}
+	if p.Rules() != 0 {
+		t.Errorf("empty prototype has %d rules", p.Rules())
+	}
+}
+
+func TestBuildPipelinePreloaded(t *testing.T) {
+	p, err := buildPipeline("bbrb", "bbra", filterset.DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Rules() == 0 {
+		t.Error("preloaded prototype should have rules")
+	}
+	// A known flow from the preloaded MAC filter forwards.
+	f, err := filterset.GenerateMAC("bbrb", filterset.DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := f.Rules[0]
+	h := &openflow.Header{VLANID: r.VLAN, EthDst: r.EthDst}
+	res := p.Execute(h)
+	if !res.Matched || len(res.Outputs) != 1 || res.Outputs[0] != r.OutPort {
+		t.Errorf("preloaded flow: %+v", res)
+	}
+}
+
+func TestBuildPipelineUnknownFilter(t *testing.T) {
+	if _, err := buildPipeline("bogus", "", 1); err == nil {
+		t.Error("unknown MAC filter should error")
+	}
+	if _, err := buildPipeline("", "bogus", 1); err == nil {
+		t.Error("unknown routing filter should error")
+	}
+}
+
+func TestLoadPipelineFromFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "layout.json")
+	doc := `{"name":"acl-only","tables":[{"id":0,"fields":["ipv4-src","ipv4-dst","dst-port"],"miss":"drop"}]}`
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p, err := loadPipeline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(p.Tables()); got != 1 {
+		t.Errorf("tables = %d", got)
+	}
+	if _, err := loadPipeline(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing layout file should error")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadPipeline(bad); err == nil {
+		t.Error("malformed layout should error")
+	}
+}

@@ -1,0 +1,16 @@
+// Package ofmtl reproduces "Memory Cost Analysis for OpenFlow Multiple
+// Table Lookup" (K. Guerra Perez, S. Scott-Hayward, X. Yang, S. Sezer,
+// IEEE SOCC 2015): a multiple-table OpenFlow lookup architecture built
+// from parallel single-field searches — hash LUTs for exact matching,
+// partitioned multi-bit tries for longest-prefix matching, elementary
+// interval tables for ranges — combined through labelled crossproducting,
+// together with the hardware memory cost model and update-process
+// simulation behind the paper's evaluation.
+//
+// The implementation lives under internal/; the binaries under cmd/
+// (ofmem, flowgen, switchd, ofctl) and the runnable examples under
+// examples/ are the public surface. bench_test.go in this directory
+// regenerates every table and figure of the paper as Go benchmarks; see
+// DESIGN.md for the system inventory and EXPERIMENTS.md for the measured
+// paper-vs-reproduction comparison.
+package ofmtl

@@ -1,0 +1,85 @@
+// Routing at backbone scale: build the two-table routing pipeline from the
+// synthetic coza filter (184 909 rules — the paper's largest), demonstrate
+// longest-prefix-match semantics through the decomposed tries, and
+// reproduce the outlier analysis of Fig. 4(b).
+//
+//	go run ./examples/routing
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ofmtl/internal/core"
+	"ofmtl/internal/filterset"
+	"ofmtl/internal/memmodel"
+	"ofmtl/internal/openflow"
+	"ofmtl/internal/traffic"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	filter, err := filterset.GenerateRoute("coza", filterset.DefaultSeed)
+	if err != nil {
+		log.Fatalf("routing: %v", err)
+	}
+	stats := filterset.AnalyzeRoute(filter)
+	fmt.Printf("filter %s: %d rules, %d ingress ports, IP partitions hi/lo = %d/%d unique values\n",
+		stats.Name, stats.Rules, stats.Ports, stats.IPHi, stats.IPLo)
+	fmt.Printf("(coza is one of the paper's outlier filters: more unique higher-partition values than lower)\n\n")
+
+	pipeline, err := core.BuildRoute(filter, 0)
+	if err != nil {
+		log.Fatalf("routing: %v", err)
+	}
+	fmt.Printf("pipeline built: %d flow entries across tables %v\n", pipeline.Rules(), pipeline.Tables())
+
+	// LPM demonstration: overlapping prefixes resolve to the longest.
+	demoPort := filter.Rules[0].InPort
+	demo := []filterset.RouteRule{
+		{InPort: demoPort, Prefix: 0xC6336400, PrefixLen: 24, NextHop: 101}, // 198.51.100.0/24
+		{InPort: demoPort, Prefix: 0xC6336480, PrefixLen: 25, NextHop: 102}, // 198.51.100.128/25
+		{InPort: demoPort, Prefix: 0xC63364FE, PrefixLen: 32, NextHop: 103}, // 198.51.100.254/32
+	}
+	t1, _ := pipeline.Table(1)
+	for _, r := range demo {
+		e := &openflow.FlowEntry{
+			Priority: 1 + r.PrefixLen,
+			Matches: []openflow.Match{
+				openflow.Exact(openflow.FieldMetadata, uint64(r.InPort)),
+				openflow.Prefix(openflow.FieldIPv4Dst, uint64(r.Prefix), r.PrefixLen),
+			},
+			Instructions: []openflow.Instruction{openflow.WriteActions(openflow.Output(r.NextHop))},
+		}
+		if err := t1.Insert(e); err != nil {
+			log.Fatalf("routing: demo insert: %v", err)
+		}
+	}
+	for _, probe := range []uint32{0xC6336410, 0xC6336490, 0xC63364FE} {
+		h := openflow.Header{InPort: demoPort, IPv4Dst: probe}
+		res := pipeline.Execute(&h)
+		fmt.Printf("lookup %-15s -> next hop %v\n", openflow.FormatIPv4(probe), res.Outputs)
+	}
+
+	// Throughput-flavoured walk over a trace.
+	trace := traffic.RouteTrace(filter, 20000, 0.9, filterset.DefaultSeed)
+	matched := 0
+	for i := range trace {
+		h := trace[i]
+		if res := pipeline.Execute(&h); res.Matched && len(res.Outputs) > 0 {
+			matched++
+		}
+	}
+	fmt.Printf("\ntrace: %d packets, %d matched\n\n", len(trace), matched)
+
+	// Fig. 4(b) view: the outlier's higher trie dominates its lower trie.
+	searcher, _ := t1.Searcher(openflow.FieldIPv4Dst)
+	ps := searcher.(*core.PrefixFieldSearcher)
+	for i, name := range []string{"higher", "lower"} {
+		trie := ps.PartitionTrie(i)
+		cost := memmodel.DefaultTrieCostModel.Cost(trie.Stats(), ps.PartitionLabelPeak(i), nil)
+		fmt.Printf("%-6s trie: %6d stored nodes, %8.1f Kbit\n", name, trie.StoredNodes(), cost.Kbits)
+	}
+	fmt.Println("(paper: 706.06 Kbit higher vs 572.57 Kbit lower for coza/soza — higher dominates)")
+}

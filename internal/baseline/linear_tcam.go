@@ -1,0 +1,156 @@
+package baseline
+
+import (
+	"fmt"
+
+	"ofmtl/internal/filterset"
+	"ofmtl/internal/openflow"
+)
+
+// Linear is the naive baseline: scan every rule in priority order.
+type Linear struct {
+	rules      []filterset.ACLRule
+	lastLookup int
+}
+
+// NewLinear returns an empty linear classifier.
+func NewLinear() *Linear { return &Linear{} }
+
+// Name implements Classifier.
+func (l *Linear) Name() string { return "linear" }
+
+// Category implements Classifier.
+func (l *Linear) Category() Category { return CategoryNaive }
+
+// Build implements Classifier.
+func (l *Linear) Build(rules []filterset.ACLRule) error {
+	l.rules = append([]filterset.ACLRule(nil), rules...)
+	return nil
+}
+
+// Classify implements Classifier.
+func (l *Linear) Classify(h *openflow.Header) (int, bool) {
+	for i := range l.rules {
+		l.lastLookup = i + 1
+		if ruleMatches(&l.rules[i], h) {
+			return i, true
+		}
+	}
+	l.lastLookup = len(l.rules)
+	return 0, false
+}
+
+// MemoryBits implements Classifier.
+func (l *Linear) MemoryBits() int { return len(l.rules) * ruleTupleBits }
+
+// LookupCost implements Classifier.
+func (l *Linear) LookupCost() int { return l.lastLookup }
+
+// UpdateCost implements Classifier: one row write.
+func (l *Linear) UpdateCost() int { return 1 }
+
+// TCAM models a ternary CAM: every rule is expanded into ternary entries
+// (ranges become prefix sets — the rule ternary-conversion problem the
+// paper cites), the search examines all entries in parallel (one access),
+// and an update must keep the array priority-ordered, shifting on average
+// half the entries below the insertion point.
+type TCAM struct {
+	entries []tcamEntry
+	rules   int
+}
+
+type tcamEntry struct {
+	rule  int // original rule index (priority order)
+	value [5]uint64
+	mask  [5]uint64
+}
+
+// NewTCAM returns an empty TCAM model.
+func NewTCAM() *TCAM { return &TCAM{} }
+
+// Name implements Classifier.
+func (t *TCAM) Name() string { return "tcam" }
+
+// Category implements Classifier.
+func (t *TCAM) Category() Category { return CategoryHardware }
+
+// Build implements Classifier.
+func (t *TCAM) Build(rules []filterset.ACLRule) error {
+	t.rules = len(rules)
+	t.entries = t.entries[:0]
+	for i := range rules {
+		r := &rules[i]
+		srcPrefixes := rangeToPrefixes(r.SrcPortLo, r.SrcPortHi)
+		dstPrefixes := rangeToPrefixes(r.DstPortLo, r.DstPortHi)
+		if len(srcPrefixes) == 0 || len(dstPrefixes) == 0 {
+			return fmt.Errorf("baseline: rule %d produced empty range expansion", i)
+		}
+		for _, sp := range srcPrefixes {
+			for _, dp := range dstPrefixes {
+				e := tcamEntry{rule: i}
+				e.value[0] = uint64(r.SrcIP)
+				e.mask[0] = maskBits(r.SrcLen, 32)
+				e.value[1] = uint64(r.DstIP)
+				e.mask[1] = maskBits(r.DstLen, 32)
+				e.value[2] = uint64(sp[0])
+				e.mask[2] = maskBits(int(sp[1]), 16)
+				e.value[3] = uint64(dp[0])
+				e.mask[3] = maskBits(int(dp[1]), 16)
+				if !r.ProtoAny {
+					e.value[4] = uint64(r.Proto)
+					e.mask[4] = maskBits(8, 8)
+				}
+				t.entries = append(t.entries, e)
+			}
+		}
+	}
+	return nil
+}
+
+func maskBits(n, width int) uint64 {
+	if n <= 0 {
+		return 0
+	}
+	if n >= width {
+		n = width
+	}
+	all := ^uint64(0) >> (64 - uint(width))
+	return all &^ (all >> uint(n))
+}
+
+// Classify implements Classifier: all entries compare in parallel; the
+// first (highest-priority) match wins, as TCAM priority encoders do.
+func (t *TCAM) Classify(h *openflow.Header) (int, bool) {
+	key := [5]uint64{
+		uint64(h.IPv4Src), uint64(h.IPv4Dst),
+		uint64(h.SrcPort), uint64(h.DstPort), uint64(h.IPProto),
+	}
+	for _, e := range t.entries {
+		hit := true
+		for d := 0; d < 5; d++ {
+			if key[d]&e.mask[d] != e.value[d]&e.mask[d] {
+				hit = false
+				break
+			}
+		}
+		if hit {
+			return e.rule, true
+		}
+	}
+	return 0, false
+}
+
+// Entries returns the expanded ternary entry count (the range-expansion
+// blow-up factor over the rule count).
+func (t *TCAM) Entries() int { return len(t.entries) }
+
+// MemoryBits implements Classifier: each ternary cell stores a value and a
+// mask bit, so an entry costs 2× its tuple width.
+func (t *TCAM) MemoryBits() int { return len(t.entries) * ruleTupleBits * 2 }
+
+// LookupCost implements Classifier: one parallel access.
+func (t *TCAM) LookupCost() int { return 1 }
+
+// UpdateCost implements Classifier: a priority-ordered TCAM insert shifts
+// on average half the entries.
+func (t *TCAM) UpdateCost() int { return len(t.entries)/2 + 1 }

@@ -1,0 +1,304 @@
+package baseline
+
+import (
+	"sort"
+
+	"ofmtl/internal/filterset"
+	"ofmtl/internal/openflow"
+)
+
+// RFC implements Recursive Flow Classification (Gupta & McKeown,
+// reference [10] of the paper), the canonical decomposition algorithm:
+// phase 0 maps each 16-bit header chunk to an equivalence-class id via a
+// direct-indexed table, and later phases combine pairs of class ids
+// through cross-product tables until a single class identifies the
+// matching rule set. Lookups are a fixed pipeline of table reads (fast);
+// the cross-product tables grow multiplicatively with class counts
+// (Table I: "memory explosion") and any rule change rebuilds them
+// ("complex update").
+//
+// Chunk layout (7 chunks): srcIP high/low 16, dstIP high/low 16, source
+// port, destination port, protocol (8 bits). Reduction tree:
+//
+//	P1: (srcHi, srcLo) -> A   (dstHi, dstLo) -> B   (sport, dport) -> C
+//	P2: (A, B) -> D           (C, proto) -> E
+//	P3: (D, E) -> final class -> best rule
+type RFC struct {
+	rules int
+
+	chunks [7]chunkTable
+	phases []*phaseTable // 5 combine tables in tree order
+
+	lastLookup int
+}
+
+// chunkTable is a phase-0 table: elementary intervals over one chunk's
+// value space, each mapped to an equivalence class id.
+type chunkTable struct {
+	bounds  []uint32 // sorted interval starts
+	classes []int    // class id per interval
+	nClass  int
+	space   int // value-space size (65536 or 256)
+}
+
+func (c *chunkTable) classOf(v uint32) int {
+	idx := sort.Search(len(c.bounds), func(i int) bool { return c.bounds[i] > v }) - 1
+	if idx < 0 {
+		return 0
+	}
+	return c.classes[idx]
+}
+
+// phaseTable combines two class-id streams.
+type phaseTable struct {
+	left, right int // operand class counts
+	m           map[[2]int]int
+	nClass      int
+	// final phase: class id -> best rule index (-1 for none)
+	bestRule []int
+}
+
+// bitset is a little-endian rule membership set.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) set(i int) { b[i/64] |= 1 << uint(i%64) }
+
+func (b bitset) and(o bitset) bitset {
+	out := make(bitset, len(b))
+	for i := range b {
+		out[i] = b[i] & o[i]
+	}
+	return out
+}
+
+func (b bitset) first() int {
+	for i, w := range b {
+		if w != 0 {
+			for j := 0; j < 64; j++ {
+				if w&(1<<uint(j)) != 0 {
+					return i*64 + j
+				}
+			}
+		}
+	}
+	return -1
+}
+
+func (b bitset) key() string {
+	buf := make([]byte, len(b)*8)
+	for i, w := range b {
+		for j := 0; j < 8; j++ {
+			buf[i*8+j] = byte(w >> uint(8*j))
+		}
+	}
+	return string(buf)
+}
+
+// NewRFC returns an empty RFC classifier.
+func NewRFC() *RFC { return &RFC{} }
+
+// Name implements Classifier.
+func (r *RFC) Name() string { return "rfc" }
+
+// Category implements Classifier.
+func (r *RFC) Category() Category { return CategoryDecomposition }
+
+// chunkInterval returns rule ri's admissible interval [lo, hi] on chunk c.
+func chunkInterval(rule *filterset.ACLRule, c int) (uint32, uint32) {
+	switch c {
+	case 0: // src high 16
+		return prefixChunk(rule.SrcIP, rule.SrcLen, true)
+	case 1: // src low 16
+		return prefixChunk(rule.SrcIP, rule.SrcLen, false)
+	case 2:
+		return prefixChunk(rule.DstIP, rule.DstLen, true)
+	case 3:
+		return prefixChunk(rule.DstIP, rule.DstLen, false)
+	case 4:
+		return uint32(rule.SrcPortLo), uint32(rule.SrcPortHi)
+	case 5:
+		return uint32(rule.DstPortLo), uint32(rule.DstPortHi)
+	default: // protocol
+		if rule.ProtoAny {
+			return 0, 255
+		}
+		return uint32(rule.Proto), uint32(rule.Proto)
+	}
+}
+
+// prefixChunk projects an IPv4 prefix onto its high or low 16-bit chunk.
+func prefixChunk(ip uint32, plen int, high bool) (uint32, uint32) {
+	if high {
+		v := ip >> 16
+		if plen >= 16 {
+			return v, v
+		}
+		span := uint32(1)<<(16-plen) - 1
+		base := v &^ span
+		return base, base + span
+	}
+	v := ip & 0xFFFF
+	if plen <= 16 {
+		return 0, 0xFFFF
+	}
+	span := uint32(1)<<(32-plen) - 1
+	base := v &^ span
+	return base, base + span
+}
+
+// Build implements Classifier.
+func (r *RFC) Build(rules []filterset.ACLRule) error {
+	r.rules = len(rules)
+	n := len(rules)
+
+	// Phase 0: per-chunk equivalence classes via elementary intervals.
+	classSets := [7][]bitset{} // class id -> rule bitmap
+	for c := 0; c < 7; c++ {
+		space := 65536
+		if c == 6 {
+			space = 256
+		}
+		boundsSet := map[uint32]struct{}{0: {}}
+		for i := range rules {
+			lo, hi := chunkInterval(&rules[i], c)
+			boundsSet[lo] = struct{}{}
+			if hi+1 < uint32(space) {
+				boundsSet[hi+1] = struct{}{}
+			}
+		}
+		bounds := make([]uint32, 0, len(boundsSet))
+		for b := range boundsSet {
+			bounds = append(bounds, b)
+		}
+		sort.Slice(bounds, func(i, j int) bool { return bounds[i] < bounds[j] })
+
+		ct := chunkTable{bounds: bounds, space: space}
+		byKey := map[string]int{}
+		for _, start := range bounds {
+			bm := newBitset(n)
+			for i := range rules {
+				lo, hi := chunkInterval(&rules[i], c)
+				if start >= lo && start <= hi {
+					bm.set(i)
+				}
+			}
+			k := bm.key()
+			id, ok := byKey[k]
+			if !ok {
+				id = len(classSets[c])
+				byKey[k] = id
+				classSets[c] = append(classSets[c], bm)
+			}
+			ct.classes = append(ct.classes, id)
+		}
+		ct.nClass = len(classSets[c])
+		r.chunks[c] = ct
+	}
+
+	// Combine phases.
+	combine := func(a, b []bitset) (*phaseTable, []bitset) {
+		pt := &phaseTable{left: len(a), right: len(b), m: make(map[[2]int]int)}
+		var out []bitset
+		byKey := map[string]int{}
+		for i := range a {
+			for j := range b {
+				bm := a[i].and(b[j])
+				k := bm.key()
+				id, ok := byKey[k]
+				if !ok {
+					id = len(out)
+					byKey[k] = id
+					out = append(out, bm)
+				}
+				pt.m[[2]int{i, j}] = id
+			}
+		}
+		pt.nClass = len(out)
+		return pt, out
+	}
+
+	pA, setA := combine(classSets[0], classSets[1])
+	pB, setB := combine(classSets[2], classSets[3])
+	pC, setC := combine(classSets[4], classSets[5])
+	pD, setD := combine(setA, setB)
+	pE, setE := combine(setC, classSets[6])
+	pF, setF := combine(setD, setE)
+	pF.bestRule = make([]int, len(setF))
+	for i, bm := range setF {
+		pF.bestRule[i] = bm.first()
+	}
+	r.phases = []*phaseTable{pA, pB, pC, pD, pE, pF}
+	return nil
+}
+
+// Classify implements Classifier.
+func (r *RFC) Classify(h *openflow.Header) (int, bool) {
+	if len(r.phases) != 6 {
+		return 0, false
+	}
+	c0 := r.chunks[0].classOf(h.IPv4Src >> 16)
+	c1 := r.chunks[1].classOf(h.IPv4Src & 0xFFFF)
+	c2 := r.chunks[2].classOf(h.IPv4Dst >> 16)
+	c3 := r.chunks[3].classOf(h.IPv4Dst & 0xFFFF)
+	c4 := r.chunks[4].classOf(uint32(h.SrcPort))
+	c5 := r.chunks[5].classOf(uint32(h.DstPort))
+	c6 := r.chunks[6].classOf(uint32(h.IPProto))
+	a := r.phases[0].m[[2]int{c0, c1}]
+	b := r.phases[1].m[[2]int{c2, c3}]
+	c := r.phases[2].m[[2]int{c4, c5}]
+	d := r.phases[3].m[[2]int{a, b}]
+	e := r.phases[4].m[[2]int{c, c6}]
+	f := r.phases[5].m[[2]int{d, e}]
+	r.lastLookup = 13 // 7 chunk reads + 6 phase reads (final read included)
+	best := r.phases[5].bestRule[f]
+	if best < 0 {
+		return 0, false
+	}
+	return best, true
+}
+
+// MemoryBits implements Classifier: phase-0 tables are direct-indexed over
+// the full chunk space (that is what makes RFC fast in hardware); phase
+// tables hold left×right class-id entries.
+func (r *RFC) MemoryBits() int {
+	bits := 0
+	for c := 0; c < 7; c++ {
+		ct := &r.chunks[c]
+		bits += ct.space * idBits(ct.nClass)
+	}
+	for _, p := range r.phases {
+		w := idBits(p.nClass)
+		if p.bestRule != nil {
+			w = idBits(r.rules)
+		}
+		bits += p.left * p.right * w
+	}
+	return bits
+}
+
+func idBits(n int) int {
+	b := 1
+	for (1 << uint(b)) < n {
+		b++
+	}
+	return b
+}
+
+// LookupCost implements Classifier: a fixed pipeline of table reads.
+func (r *RFC) LookupCost() int { return r.lastLookup }
+
+// UpdateCost implements Classifier: inserting a rule changes equivalence
+// classes, forcing a rebuild of every cross-product table downstream — the
+// modelled cost is the total entry count.
+func (r *RFC) UpdateCost() int {
+	entries := 0
+	for _, p := range r.phases {
+		entries += p.left * p.right
+	}
+	for c := 0; c < 7; c++ {
+		entries += len(r.chunks[c].classes)
+	}
+	return entries
+}

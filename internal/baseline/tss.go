@@ -1,0 +1,176 @@
+package baseline
+
+import (
+	"ofmtl/internal/filterset"
+	"ofmtl/internal/openflow"
+)
+
+// TupleSpace implements tuple space search (Srinivasan et al., reference
+// [12] of the paper): rules are grouped by their tuple of prefix lengths
+// and port-range kinds, each tuple holds an exact-match hash table over
+// the masked key, and a lookup probes every tuple. Hashing gives fast
+// per-tuple lookup but the probe count grows with tuple diversity, and
+// arbitrary ranges do not hash — rules with non-trivial port ranges fall
+// into a spill list that is scanned linearly (the "collision issue" axis
+// of Table I).
+type TupleSpace struct {
+	tuples     map[tupleKey]*tuple
+	tupleOrder []tupleKey
+	spill      []spillRule
+	rules      int
+	lastLookup int
+}
+
+// portKind classifies a port constraint: wildcard, exact value, or an
+// arbitrary range (not hashable).
+type portKind uint8
+
+const (
+	portAny portKind = iota + 1
+	portExact
+	portRange
+)
+
+func kindOf(lo, hi uint16) portKind {
+	switch {
+	case lo == 0 && hi == 0xFFFF:
+		return portAny
+	case lo == hi:
+		return portExact
+	default:
+		return portRange
+	}
+}
+
+type tupleKey struct {
+	srcLen, dstLen   int
+	srcKind, dstKind portKind
+	protoExact       bool
+}
+
+type hashKey struct {
+	src, dst     uint32
+	sport, dport uint16
+	proto        uint8
+}
+
+type tuple struct {
+	key     tupleKey
+	entries map[hashKey]int // masked key -> best (lowest) rule index
+}
+
+type spillRule struct {
+	rule int
+	r    filterset.ACLRule
+}
+
+// NewTupleSpace returns an empty tuple space classifier.
+func NewTupleSpace() *TupleSpace { return &TupleSpace{} }
+
+// Name implements Classifier.
+func (t *TupleSpace) Name() string { return "tss" }
+
+// Category implements Classifier.
+func (t *TupleSpace) Category() Category { return CategoryHashing }
+
+// Build implements Classifier.
+func (t *TupleSpace) Build(rules []filterset.ACLRule) error {
+	t.tuples = make(map[tupleKey]*tuple)
+	t.tupleOrder = nil
+	t.spill = nil
+	t.rules = len(rules)
+	for i := range rules {
+		r := &rules[i]
+		sk, dk := kindOf(r.SrcPortLo, r.SrcPortHi), kindOf(r.DstPortLo, r.DstPortHi)
+		if sk == portRange || dk == portRange {
+			t.spill = append(t.spill, spillRule{rule: i, r: *r})
+			continue
+		}
+		key := tupleKey{
+			srcLen: r.SrcLen, dstLen: r.DstLen,
+			srcKind: sk, dstKind: dk,
+			protoExact: !r.ProtoAny,
+		}
+		tp, ok := t.tuples[key]
+		if !ok {
+			tp = &tuple{key: key, entries: make(map[hashKey]int)}
+			t.tuples[key] = tp
+			t.tupleOrder = append(t.tupleOrder, key)
+		}
+		hk := t.maskedKey(key, r.SrcIP, r.DstIP, r.SrcPortLo, r.DstPortLo, r.Proto)
+		if old, exists := tp.entries[hk]; !exists || i < old {
+			tp.entries[hk] = i
+		}
+	}
+	return nil
+}
+
+func (t *TupleSpace) maskedKey(key tupleKey, src, dst uint32, sport, dport uint16, proto uint8) hashKey {
+	hk := hashKey{}
+	if key.srcLen > 0 {
+		hk.src = src & (^uint32(0) << (32 - key.srcLen))
+	}
+	if key.dstLen > 0 {
+		hk.dst = dst & (^uint32(0) << (32 - key.dstLen))
+	}
+	if key.srcKind == portExact {
+		hk.sport = sport
+	}
+	if key.dstKind == portExact {
+		hk.dport = dport
+	}
+	if key.protoExact {
+		hk.proto = proto
+	}
+	return hk
+}
+
+// Classify implements Classifier: probe every tuple's hash table, then
+// scan the spill list, keeping the best rule index.
+func (t *TupleSpace) Classify(h *openflow.Header) (int, bool) {
+	best := -1
+	cost := 0
+	for _, key := range t.tupleOrder {
+		cost++
+		tp := t.tuples[key]
+		hk := t.maskedKey(key, h.IPv4Src, h.IPv4Dst, h.SrcPort, h.DstPort, h.IPProto)
+		if idx, ok := tp.entries[hk]; ok {
+			if best < 0 || idx < best {
+				best = idx
+			}
+		}
+	}
+	for i := range t.spill {
+		cost++
+		s := &t.spill[i]
+		if ruleMatches(&s.r, h) && (best < 0 || s.rule < best) {
+			best = s.rule
+		}
+	}
+	t.lastLookup = cost
+	if best < 0 {
+		return 0, false
+	}
+	return best, true
+}
+
+// MemoryBits implements Classifier: hashed entries store the masked tuple
+// plus a rule pointer; spill rules store full ternary tuples.
+func (t *TupleSpace) MemoryBits() int {
+	bits := 0
+	for _, tp := range t.tuples {
+		bits += len(tp.entries) * (ruleTupleBits + 16)
+	}
+	bits += len(t.spill) * ruleTupleBits
+	return bits
+}
+
+// LookupCost implements Classifier.
+func (t *TupleSpace) LookupCost() int { return t.lastLookup }
+
+// UpdateCost implements Classifier: one hash insert (the strength of the
+// hashing category).
+func (t *TupleSpace) UpdateCost() int { return 1 }
+
+// Tuples returns the live tuple count (the probe fan-out).
+func (t *TupleSpace) Tuples() int { return len(t.tuples) }

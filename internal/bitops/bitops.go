@@ -1,0 +1,362 @@
+// Package bitops provides the bit- and prefix-level arithmetic shared by the
+// lookup structures in this repository: mask construction, extraction of
+// fixed-width partitions from wide header fields, and 128-bit unsigned
+// values for fields (such as IPv6 addresses) that do not fit in a uint64.
+//
+// All functions are pure and allocation-free; they are used on the hot
+// lookup path of every algorithm in the repository.
+package bitops
+
+import (
+	"fmt"
+	"math/bits"
+	"strconv"
+)
+
+// Mask64 returns a mask with the n most significant bits of a width-bit
+// value set. It reports the mask in the low `width` bits of the result.
+// n must be in [0, width] and width in [1, 64]; out-of-range inputs are
+// clamped rather than panicking so that the lookup structures can be fed
+// untrusted rule files without crashing.
+func Mask64(n, width int) uint64 {
+	if width <= 0 {
+		return 0
+	}
+	if width > 64 {
+		width = 64
+	}
+	if n < 0 {
+		n = 0
+	}
+	if n > width {
+		n = width
+	}
+	if n == 0 {
+		return 0
+	}
+	// All ones in the top n bits of a width-bit field.
+	all := ^uint64(0) >> (64 - uint(width))
+	return all &^ (all >> uint(n))
+}
+
+// LowMask64 returns a mask with the n least significant bits set.
+func LowMask64(n int) uint64 {
+	if n <= 0 {
+		return 0
+	}
+	if n >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << uint(n)) - 1
+}
+
+// Extract returns bits [hi, lo] (inclusive, hi >= lo, bit 0 = LSB) of v.
+func Extract(v uint64, hi, lo int) uint64 {
+	if hi < lo {
+		return 0
+	}
+	if hi > 63 {
+		hi = 63
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	return (v >> uint(lo)) & LowMask64(hi-lo+1)
+}
+
+// Partition16 splits a `width`-bit value into ceil(width/16) 16-bit
+// partitions, numbered from the most significant partition (index 0) to the
+// least significant, and returns partition idx. A 48-bit Ethernet address
+// therefore yields partitions {higher, middle, lower} for idx {0, 1, 2},
+// matching the field-partition convention of the paper (Section III.C).
+func Partition16(v uint64, width, idx int) uint16 {
+	n := NumPartitions16(width)
+	if idx < 0 || idx >= n {
+		return 0
+	}
+	// Most significant partition first. The top partition of a width that is
+	// not a multiple of 16 is padded at the top with zeros.
+	shift := (n - 1 - idx) * 16
+	return uint16(Extract(v, shift+15, shift))
+}
+
+// NumPartitions16 returns the number of 16-bit partitions needed to cover a
+// width-bit field.
+func NumPartitions16(width int) int {
+	if width <= 0 {
+		return 0
+	}
+	return (width + 15) / 16
+}
+
+// PartitionPrefixLen returns the prefix length that falls within partition
+// idx (0 = most significant) when a `width`-bit field has a prefix of length
+// plen. The result is in [0, 16]: 16 means the partition is fully covered by
+// the prefix, 0 means the prefix does not reach this partition.
+func PartitionPrefixLen(width, plen, idx int) int {
+	n := NumPartitions16(width)
+	if idx < 0 || idx >= n {
+		return 0
+	}
+	if plen < 0 {
+		plen = 0
+	}
+	if plen > width {
+		plen = width
+	}
+	// Bits of prefix consumed before this partition starts. The top
+	// partition absorbs the padding when width is not a multiple of 16.
+	pad := n*16 - width
+	start := idx*16 - pad
+	if idx == 0 {
+		start = 0
+	}
+	rem := plen - start
+	if idx == 0 {
+		rem = plen - 0
+		// Padding bits are not real prefix bits; partition 0 holds
+		// width-(n-1)*16 real bits.
+		top := width - (n-1)*16
+		if rem > top {
+			rem = top
+		}
+		return clamp16(rem)
+	}
+	if rem < 0 {
+		return 0
+	}
+	if rem > 16 {
+		rem = 16
+	}
+	return rem
+}
+
+func clamp16(v int) int {
+	if v < 0 {
+		return 0
+	}
+	if v > 16 {
+		return 16
+	}
+	return v
+}
+
+// PrefixContains reports whether the prefix value/plen (over a width-bit
+// field) contains the address addr.
+func PrefixContains(value uint64, plen, width int, addr uint64) bool {
+	m := Mask64(plen, width)
+	return (value & m) == (addr & m)
+}
+
+// U128 is an unsigned 128-bit integer, used for IPv6 address fields. The
+// zero value is the number zero.
+type U128 struct {
+	Hi uint64 // most significant 64 bits
+	Lo uint64 // least significant 64 bits
+}
+
+// U128From64 widens a uint64 into a U128.
+func U128From64(v uint64) U128 { return U128{Lo: v} }
+
+// Cmp compares a and b, returning -1, 0 or +1.
+func (a U128) Cmp(b U128) int {
+	switch {
+	case a.Hi < b.Hi:
+		return -1
+	case a.Hi > b.Hi:
+		return 1
+	case a.Lo < b.Lo:
+		return -1
+	case a.Lo > b.Lo:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// And returns a & b.
+func (a U128) And(b U128) U128 { return U128{Hi: a.Hi & b.Hi, Lo: a.Lo & b.Lo} }
+
+// Or returns a | b.
+func (a U128) Or(b U128) U128 { return U128{Hi: a.Hi | b.Hi, Lo: a.Lo | b.Lo} }
+
+// Xor returns a ^ b.
+func (a U128) Xor(b U128) U128 { return U128{Hi: a.Hi ^ b.Hi, Lo: a.Lo ^ b.Lo} }
+
+// Not returns ^a.
+func (a U128) Not() U128 { return U128{Hi: ^a.Hi, Lo: ^a.Lo} }
+
+// IsZero reports whether a is zero.
+func (a U128) IsZero() bool { return a.Hi == 0 && a.Lo == 0 }
+
+// Rsh returns a >> n for n in [0, 128].
+func (a U128) Rsh(n int) U128 {
+	switch {
+	case n <= 0:
+		return a
+	case n >= 128:
+		return U128{}
+	case n >= 64:
+		return U128{Lo: a.Hi >> uint(n-64)}
+	default:
+		return U128{
+			Hi: a.Hi >> uint(n),
+			Lo: a.Lo>>uint(n) | a.Hi<<uint(64-n),
+		}
+	}
+}
+
+// Lsh returns a << n for n in [0, 128].
+func (a U128) Lsh(n int) U128 {
+	switch {
+	case n <= 0:
+		return a
+	case n >= 128:
+		return U128{}
+	case n >= 64:
+		return U128{Hi: a.Lo << uint(n-64)}
+	default:
+		return U128{
+			Hi: a.Hi<<uint(n) | a.Lo>>uint(64-n),
+			Lo: a.Lo << uint(n),
+		}
+	}
+}
+
+// Mask128 returns a U128 with the n most significant bits of a width-bit
+// value set (reported in the low width bits), the 128-bit analogue of
+// Mask64.
+func Mask128(n, width int) U128 {
+	if width <= 0 {
+		return U128{}
+	}
+	if width > 128 {
+		width = 128
+	}
+	if n < 0 {
+		n = 0
+	}
+	if n > width {
+		n = width
+	}
+	all := U128{Hi: ^uint64(0), Lo: ^uint64(0)}.Rsh(128 - width)
+	return all.Xor(all.Rsh(n)).And(all)
+}
+
+// Extract128 returns bits [hi, lo] of v as a uint64; hi-lo must be < 64.
+func Extract128(v U128, hi, lo int) uint64 {
+	if hi < lo || hi-lo >= 64 {
+		return 0
+	}
+	shifted := v.Rsh(lo)
+	return shifted.Lo & LowMask64(hi-lo+1)
+}
+
+// Partition16Of128 is Partition16 for 128-bit fields: it returns the idx-th
+// 16-bit partition (0 = most significant) of a width-bit value held in v.
+func Partition16Of128(v U128, width, idx int) uint16 {
+	n := NumPartitions16(width)
+	if idx < 0 || idx >= n {
+		return 0
+	}
+	shift := (n - 1 - idx) * 16
+	return uint16(Extract128(v, shift+15, shift))
+}
+
+// PrefixContains128 reports whether prefix value/plen over a width-bit field
+// contains addr.
+func PrefixContains128(value U128, plen, width int, addr U128) bool {
+	m := Mask128(plen, width)
+	return value.And(m) == addr.And(m)
+}
+
+// SplitPrefix16U128 is SplitPrefix16 for fields wider than 64 bits (IPv6
+// addresses). For widths of 64 bits or less it defers to SplitPrefix16.
+func SplitPrefix16U128(v U128, width, plen int) []PartPrefix {
+	if width <= 64 {
+		return SplitPrefix16(v.Lo, width, plen)
+	}
+	n := NumPartitions16(width)
+	out := make([]PartPrefix, 0, n)
+	for idx := 0; idx < n; idx++ {
+		l := PartitionPrefixLen(width, plen, idx)
+		if l == 0 && idx > 0 {
+			break
+		}
+		pv := Partition16Of128(v, width, idx)
+		pv &= uint16(Mask64(l, 16))
+		out = append(out, PartPrefix{Index: idx, Value: pv, Len: l})
+		if l < 16 {
+			break
+		}
+	}
+	return out
+}
+
+// PartitionOf extracts the idx-th 16-bit partition of a width-bit field
+// value held in v, dispatching on width.
+func PartitionOf(v U128, width, idx int) uint16 {
+	if width <= 64 {
+		return Partition16(v.Lo, width, idx)
+	}
+	return Partition16Of128(v, width, idx)
+}
+
+// OnesCount returns the number of set bits in a.
+func (a U128) OnesCount() int {
+	return bits.OnesCount64(a.Hi) + bits.OnesCount64(a.Lo)
+}
+
+// String formats a as 0x-prefixed hexadecimal.
+func (a U128) String() string {
+	if a.Hi == 0 {
+		return "0x" + strconv.FormatUint(a.Lo, 16)
+	}
+	return fmt.Sprintf("0x%x%016x", a.Hi, a.Lo)
+}
+
+// Log2Ceil returns ceil(log2(n)) for n >= 1; it returns 0 for n <= 1. It is
+// the width in bits of an index that must address n distinct values.
+func Log2Ceil(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return bits.Len(uint(n - 1))
+}
+
+// PartPrefix is the projection of a field prefix onto one 16-bit
+// partition: the partition index (0 = most significant), the partition
+// value (prefix bits left-aligned within 16 bits) and the prefix length
+// within the partition (0..16).
+type PartPrefix struct {
+	Index int
+	Value uint16
+	Len   int
+}
+
+// SplitPrefix16 decomposes a width-bit prefix value/plen into per-partition
+// prefixes, the decomposition the paper's architecture applies before
+// dispatching each partition to its own trie. Partitions entirely below
+// the prefix are omitted; the most significant partition is always present
+// (a /0 yields a single zero-length part, stored as the trie's default
+// entry).
+func SplitPrefix16(value uint64, width, plen int) []PartPrefix {
+	n := NumPartitions16(width)
+	if n == 0 {
+		return nil
+	}
+	out := make([]PartPrefix, 0, n)
+	for idx := 0; idx < n; idx++ {
+		l := PartitionPrefixLen(width, plen, idx)
+		if l == 0 && idx > 0 {
+			break
+		}
+		v := Partition16(value, width, idx)
+		v &= uint16(Mask64(l, 16))
+		out = append(out, PartPrefix{Index: idx, Value: v, Len: l})
+		if l < 16 {
+			break
+		}
+	}
+	return out
+}

@@ -1,0 +1,271 @@
+package bitops
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMask64(t *testing.T) {
+	tests := []struct {
+		n, width int
+		want     uint64
+	}{
+		{0, 32, 0},
+		{32, 32, 0xFFFFFFFF},
+		{8, 32, 0xFF000000},
+		{24, 32, 0xFFFFFF00},
+		{1, 32, 0x80000000},
+		{16, 16, 0xFFFF},
+		{4, 16, 0xF000},
+		{48, 48, 0xFFFFFFFFFFFF},
+		{16, 48, 0xFFFF00000000},
+		{64, 64, ^uint64(0)},
+		{1, 64, 1 << 63},
+		{0, 0, 0},
+		{-3, 32, 0},          // clamped
+		{40, 32, 0xFFFFFFFF}, // clamped to width
+	}
+	for _, tt := range tests {
+		if got := Mask64(tt.n, tt.width); got != tt.want {
+			t.Errorf("Mask64(%d, %d) = %#x, want %#x", tt.n, tt.width, got, tt.want)
+		}
+	}
+}
+
+func TestLowMask64(t *testing.T) {
+	if got := LowMask64(0); got != 0 {
+		t.Errorf("LowMask64(0) = %#x, want 0", got)
+	}
+	if got := LowMask64(64); got != ^uint64(0) {
+		t.Errorf("LowMask64(64) = %#x", got)
+	}
+	if got := LowMask64(13); got != 0x1FFF {
+		t.Errorf("LowMask64(13) = %#x, want 0x1fff", got)
+	}
+}
+
+func TestExtract(t *testing.T) {
+	v := uint64(0xABCD_EF01_2345_6789)
+	if got := Extract(v, 15, 0); got != 0x6789 {
+		t.Errorf("Extract low 16 = %#x", got)
+	}
+	if got := Extract(v, 63, 48); got != 0xABCD {
+		t.Errorf("Extract high 16 = %#x", got)
+	}
+	if got := Extract(v, 31, 16); got != 0x2345 {
+		t.Errorf("Extract mid = %#x", got)
+	}
+	if got := Extract(v, 3, 8); got != 0 {
+		t.Errorf("Extract inverted range = %#x, want 0", got)
+	}
+}
+
+func TestPartition16(t *testing.T) {
+	// 48-bit Ethernet address: higher/middle/lower 16-bit partitions, as in
+	// Table III of the paper.
+	mac := uint64(0x0011_2233_4455)
+	if got := Partition16(mac, 48, 0); got != 0x0011 {
+		t.Errorf("higher partition = %#x, want 0x0011", got)
+	}
+	if got := Partition16(mac, 48, 1); got != 0x2233 {
+		t.Errorf("middle partition = %#x, want 0x2233", got)
+	}
+	if got := Partition16(mac, 48, 2); got != 0x4455 {
+		t.Errorf("lower partition = %#x, want 0x4455", got)
+	}
+	// 32-bit IPv4 address: higher/lower partitions, as in Table IV.
+	ip := uint64(0xC0A8_0102) // 192.168.1.2
+	if got := Partition16(ip, 32, 0); got != 0xC0A8 {
+		t.Errorf("IPv4 higher = %#x", got)
+	}
+	if got := Partition16(ip, 32, 1); got != 0x0102 {
+		t.Errorf("IPv4 lower = %#x", got)
+	}
+	// Out of range indices yield zero.
+	if got := Partition16(ip, 32, 2); got != 0 {
+		t.Errorf("out-of-range partition = %#x, want 0", got)
+	}
+	// 13-bit VLAN ID fits in a single (padded) partition.
+	if got := Partition16(0x0FFF, 13, 0); got != 0x0FFF {
+		t.Errorf("VLAN partition = %#x", got)
+	}
+}
+
+func TestNumPartitions16(t *testing.T) {
+	cases := map[int]int{0: 0, 1: 1, 13: 1, 16: 1, 17: 2, 32: 2, 48: 3, 128: 8}
+	for width, want := range cases {
+		if got := NumPartitions16(width); got != want {
+			t.Errorf("NumPartitions16(%d) = %d, want %d", width, got, want)
+		}
+	}
+}
+
+func TestPartitionPrefixLen(t *testing.T) {
+	// /24 over a 32-bit field: higher partition fully covered (16), lower
+	// partition gets 8 prefix bits.
+	if got := PartitionPrefixLen(32, 24, 0); got != 16 {
+		t.Errorf("plen24 hi = %d, want 16", got)
+	}
+	if got := PartitionPrefixLen(32, 24, 1); got != 8 {
+		t.Errorf("plen24 lo = %d, want 8", got)
+	}
+	// /8: only the higher partition is constrained.
+	if got := PartitionPrefixLen(32, 8, 0); got != 8 {
+		t.Errorf("plen8 hi = %d, want 8", got)
+	}
+	if got := PartitionPrefixLen(32, 8, 1); got != 0 {
+		t.Errorf("plen8 lo = %d, want 0", got)
+	}
+	// /0 default route: nothing constrained.
+	if got := PartitionPrefixLen(32, 0, 0); got != 0 {
+		t.Errorf("plen0 hi = %d, want 0", got)
+	}
+	// Full /32.
+	if got := PartitionPrefixLen(32, 32, 1); got != 16 {
+		t.Errorf("plen32 lo = %d, want 16", got)
+	}
+	// 48-bit field, /40 prefix: partitions get 16, 16, 8.
+	for idx, want := range []int{16, 16, 8} {
+		if got := PartitionPrefixLen(48, 40, idx); got != want {
+			t.Errorf("48-bit plen40 partition %d = %d, want %d", idx, got, want)
+		}
+	}
+}
+
+func TestPrefixContains(t *testing.T) {
+	// 10.0.0.0/8 contains 10.1.2.3 but not 11.0.0.1.
+	p := uint64(0x0A000000)
+	if !PrefixContains(p, 8, 32, 0x0A010203) {
+		t.Error("10.0.0.0/8 should contain 10.1.2.3")
+	}
+	if PrefixContains(p, 8, 32, 0x0B000001) {
+		t.Error("10.0.0.0/8 should not contain 11.0.0.1")
+	}
+	// /0 contains everything.
+	if !PrefixContains(0, 0, 32, 0xFFFFFFFF) {
+		t.Error("/0 should contain everything")
+	}
+}
+
+func TestU128Shifts(t *testing.T) {
+	v := U128{Hi: 0x0123456789ABCDEF, Lo: 0xFEDCBA9876543210}
+	if got := v.Rsh(0); got != v {
+		t.Errorf("Rsh(0) = %v", got)
+	}
+	if got := v.Rsh(128); !got.IsZero() {
+		t.Errorf("Rsh(128) = %v", got)
+	}
+	if got := v.Rsh(64); got.Lo != v.Hi || got.Hi != 0 {
+		t.Errorf("Rsh(64) = %v", got)
+	}
+	if got := v.Lsh(64); got.Hi != v.Lo || got.Lo != 0 {
+		t.Errorf("Lsh(64) = %v", got)
+	}
+	if got := v.Rsh(4).Lsh(4).And(v.Not()).OnesCount(); got != 0 {
+		t.Errorf("Rsh/Lsh roundtrip introduced bits: %d", got)
+	}
+}
+
+func TestU128Cmp(t *testing.T) {
+	a := U128{Hi: 1, Lo: 0}
+	b := U128{Hi: 0, Lo: ^uint64(0)}
+	if a.Cmp(b) != 1 || b.Cmp(a) != -1 || a.Cmp(a) != 0 {
+		t.Error("U128.Cmp ordering wrong")
+	}
+}
+
+func TestMask128(t *testing.T) {
+	// /64 over 128 bits sets exactly the high 64 bits.
+	m := Mask128(64, 128)
+	if m.Hi != ^uint64(0) || m.Lo != 0 {
+		t.Errorf("Mask128(64,128) = %v", m)
+	}
+	// /1 over 128 bits.
+	m = Mask128(1, 128)
+	if m.Hi != 1<<63 || m.Lo != 0 {
+		t.Errorf("Mask128(1,128) = %v", m)
+	}
+	// Full mask.
+	m = Mask128(128, 128)
+	if m.Hi != ^uint64(0) || m.Lo != ^uint64(0) {
+		t.Errorf("Mask128(128,128) = %v", m)
+	}
+}
+
+func TestPartition16Of128(t *testing.T) {
+	// IPv6-style address; 8 partitions.
+	v := U128{Hi: 0x2001_0DB8_0001_0002, Lo: 0x0003_0004_0005_0006}
+	want := []uint16{0x2001, 0x0DB8, 0x0001, 0x0002, 0x0003, 0x0004, 0x0005, 0x0006}
+	for i, w := range want {
+		if got := Partition16Of128(v, 128, i); got != w {
+			t.Errorf("partition %d = %#x, want %#x", i, got, w)
+		}
+	}
+}
+
+func TestLog2Ceil(t *testing.T) {
+	cases := map[int]int{0: 0, 1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 1024: 10, 1025: 11, 20214: 15}
+	for n, want := range cases {
+		if got := Log2Ceil(n); got != want {
+			t.Errorf("Log2Ceil(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+// Property: Partition16 partitions reassemble to the original value.
+func TestPartition16Reassembly(t *testing.T) {
+	f := func(v uint64) bool {
+		v &= LowMask64(48)
+		var out uint64
+		for i := 0; i < 3; i++ {
+			out = out<<16 | uint64(Partition16(v, 48, i))
+		}
+		return out == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: PartitionPrefixLen sums to the full prefix length.
+func TestPartitionPrefixLenSums(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		width := []int{16, 32, 48, 128}[rng.Intn(4)]
+		plen := rng.Intn(width + 1)
+		sum := 0
+		for idx := 0; idx < NumPartitions16(width); idx++ {
+			sum += PartitionPrefixLen(width, plen, idx)
+		}
+		if sum != plen {
+			t.Fatalf("width %d plen %d: partition prefix lens sum to %d", width, plen, sum)
+		}
+	}
+}
+
+// Property: PrefixContains(v, n, w, v) always holds (a prefix contains its
+// own base address).
+func TestPrefixContainsSelf(t *testing.T) {
+	f := func(v uint64, n uint8) bool {
+		plen := int(n % 33)
+		v &= LowMask64(32)
+		base := v & Mask64(plen, 32)
+		return PrefixContains(base, plen, 32, v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Mask128 restricted to 64-bit widths agrees with Mask64.
+func TestMask128MatchesMask64(t *testing.T) {
+	for width := 1; width <= 64; width++ {
+		for n := 0; n <= width; n++ {
+			m128 := Mask128(n, width)
+			if m128.Hi != 0 || m128.Lo != Mask64(n, width) {
+				t.Fatalf("Mask128(%d,%d) = %v disagrees with Mask64 %#x", n, width, m128, Mask64(n, width))
+			}
+		}
+	}
+}

@@ -1,0 +1,172 @@
+package bitops
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestU128From64(t *testing.T) {
+	v := U128From64(42)
+	if v.Hi != 0 || v.Lo != 42 {
+		t.Errorf("U128From64 = %v", v)
+	}
+}
+
+func TestU128BitwiseOps(t *testing.T) {
+	a := U128{Hi: 0xF0F0, Lo: 0x0F0F}
+	b := U128{Hi: 0xFF00, Lo: 0x00FF}
+	if got := a.Or(b); got.Hi != 0xFFF0 || got.Lo != 0x0FFF {
+		t.Errorf("Or = %v", got)
+	}
+	if got := a.And(b); got.Hi != 0xF000 || got.Lo != 0x000F {
+		t.Errorf("And = %v", got)
+	}
+	if got := a.Xor(a); !got.IsZero() {
+		t.Errorf("Xor self = %v", got)
+	}
+	if got := a.Not().Not(); got != a {
+		t.Errorf("double Not = %v", got)
+	}
+}
+
+func TestU128String(t *testing.T) {
+	if got := U128From64(0xAB).String(); got != "0xab" {
+		t.Errorf("String = %q", got)
+	}
+	wide := U128{Hi: 0x1, Lo: 0x2}
+	if got := wide.String(); got != "0x10000000000000002" {
+		t.Errorf("wide String = %q", got)
+	}
+}
+
+func TestPrefixContains128(t *testing.T) {
+	base := U128{Hi: 0x20010DB8_00000000}
+	inside := U128{Hi: 0x20010DB8_12345678, Lo: 99}
+	outside := U128{Hi: 0x20010DB9_00000000}
+	if !PrefixContains128(base, 32, 128, inside) {
+		t.Error("/32 should contain same-prefix address")
+	}
+	if PrefixContains128(base, 32, 128, outside) {
+		t.Error("/32 should reject different prefix")
+	}
+	if !PrefixContains128(U128{}, 0, 128, outside) {
+		t.Error("/0 should contain everything")
+	}
+}
+
+func TestSplitPrefix16U128(t *testing.T) {
+	// 64-bit and narrower widths defer to SplitPrefix16.
+	parts := SplitPrefix16U128(U128From64(0x0A000000), 32, 8)
+	if len(parts) != 1 || parts[0].Len != 8 || parts[0].Value != 0x0A00 {
+		t.Errorf("32-bit split = %+v", parts)
+	}
+	// A /40 over 128 bits: two full partitions, one half.
+	v := U128{Hi: 0x20010DB8_12340000}
+	parts = SplitPrefix16U128(v, 128, 40)
+	if len(parts) != 3 {
+		t.Fatalf("/40 split = %+v", parts)
+	}
+	want := []PartPrefix{
+		{Index: 0, Value: 0x2001, Len: 16},
+		{Index: 1, Value: 0x0DB8, Len: 16},
+		{Index: 2, Value: 0x1200, Len: 8},
+	}
+	for i, w := range want {
+		if parts[i] != w {
+			t.Errorf("part %d = %+v, want %+v", i, parts[i], w)
+		}
+	}
+	// /0 yields a single zero-length part.
+	parts = SplitPrefix16U128(U128{}, 128, 0)
+	if len(parts) != 1 || parts[0].Len != 0 {
+		t.Errorf("/0 split = %+v", parts)
+	}
+	// /128 yields eight full parts.
+	parts = SplitPrefix16U128(U128{Hi: ^uint64(0), Lo: ^uint64(0)}, 128, 128)
+	if len(parts) != 8 || parts[7].Value != 0xFFFF {
+		t.Errorf("/128 split = %+v", parts)
+	}
+}
+
+func TestPartitionOf(t *testing.T) {
+	if got := PartitionOf(U128From64(0xAABBCCDD), 32, 0); got != 0xAABB {
+		t.Errorf("32-bit partition 0 = %#x", got)
+	}
+	wide := U128{Hi: 0x1111222233334444, Lo: 0x5555666677778888}
+	if got := PartitionOf(wide, 128, 4); got != 0x5555 {
+		t.Errorf("128-bit partition 4 = %#x", got)
+	}
+}
+
+func TestExtract128Bounds(t *testing.T) {
+	v := U128{Hi: 0xABCD, Lo: 0x1234}
+	if got := Extract128(v, 15, 0); got != 0x1234 {
+		t.Errorf("low extract = %#x", got)
+	}
+	if got := Extract128(v, 79, 64); got != 0xABCD {
+		t.Errorf("high extract = %#x", got)
+	}
+	if got := Extract128(v, 63, 0); got != 0x1234 {
+		t.Errorf("full-word extract = %#x", got)
+	}
+	if got := Extract128(v, 200, 100); got != 0 {
+		t.Errorf("over-wide extract = %#x", got)
+	}
+}
+
+func TestMask128EdgeWidths(t *testing.T) {
+	if m := Mask128(0, 128); !m.IsZero() {
+		t.Errorf("zero mask = %v", m)
+	}
+	if m := Mask128(48, 48); m.Lo != LowMask64(48) || m.Hi != 0 {
+		t.Errorf("48-bit full mask = %v", m)
+	}
+	if m := Mask128(8, 48); m.Lo != 0xFF0000000000 {
+		t.Errorf("48-bit /8 mask = %v", m)
+	}
+	if m := Mask128(-1, 200); m != Mask128(0, 128) {
+		t.Errorf("clamped mask = %v", m)
+	}
+}
+
+// Property: SplitPrefix16U128 partition prefixes reassemble to the masked
+// original for 128-bit fields.
+func TestSplitPrefix16U128Reassembly(t *testing.T) {
+	f := func(hi, lo uint64, plenRaw uint8) bool {
+		plen := int(plenRaw) % 129
+		v := U128{Hi: hi, Lo: lo}.And(Mask128(plen, 128))
+		parts := SplitPrefix16U128(v, 128, plen)
+		var out U128
+		covered := 0
+		for _, p := range parts {
+			out = out.Lsh(16).Or(U128From64(uint64(p.Value)))
+			covered += p.Len
+		}
+		// Shift into position for any partitions not emitted.
+		out = out.Lsh(16 * (8 - len(parts)))
+		return out == v && covered == plen
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Cmp defines a total order consistent with subtraction via
+// shifts.
+func TestU128CmpProperty(t *testing.T) {
+	f := func(a, b uint64) bool {
+		x, y := U128{Hi: a, Lo: b}, U128{Hi: b, Lo: a}
+		c := x.Cmp(y)
+		switch {
+		case x == y:
+			return c == 0
+		case a != b:
+			return (c == -1) == (a < b)
+		default:
+			return (c == -1) == (b < a)
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"fmt"
+
+	"ofmtl/internal/openflow"
+)
+
+// ActionTable stores the instruction sets flow entries execute on a match
+// (Section IV.C: Goto-Table, Write-action, and the rest of the v1.3
+// instruction set). Identical instruction sets are stored once and
+// reference counted — the action-table analogue of the label method — so
+// the MAC-learning application's thousands of rules resolve to at most one
+// row per (output port) combination.
+type ActionTable struct {
+	entries []actionEntry
+	free    []uint32
+	byKey   map[string]uint32
+	live    int
+	peak    int
+}
+
+type actionEntry struct {
+	instrs []openflow.Instruction
+	key    string
+	refs   int
+}
+
+// NewActionTable returns an empty action table.
+func NewActionTable() *ActionTable {
+	return &ActionTable{byKey: make(map[string]uint32)}
+}
+
+// instrKey serialises an instruction list into a map key using the wire
+// codec (a canonical byte encoding).
+func instrKey(instrs []openflow.Instruction) string {
+	e := openflow.FlowEntry{Instructions: instrs}
+	return string(openflow.AppendFlowEntry(nil, &e))
+}
+
+// Add stores (or references) an instruction set and returns its index.
+func (t *ActionTable) Add(instrs []openflow.Instruction) uint32 {
+	key := instrKey(instrs)
+	if idx, ok := t.byKey[key]; ok {
+		t.entries[idx].refs++
+		return idx
+	}
+	var idx uint32
+	if n := len(t.free); n > 0 {
+		idx = t.free[n-1]
+		t.free = t.free[:n-1]
+		t.entries[idx] = actionEntry{instrs: instrs, key: key, refs: 1}
+	} else {
+		idx = uint32(len(t.entries))
+		t.entries = append(t.entries, actionEntry{instrs: instrs, key: key, refs: 1})
+	}
+	t.byKey[key] = idx
+	t.live++
+	if t.live > t.peak {
+		t.peak = t.live
+	}
+	return idx
+}
+
+// Find returns the index of an instruction set without referencing it.
+func (t *ActionTable) Find(instrs []openflow.Instruction) (uint32, bool) {
+	idx, ok := t.byKey[instrKey(instrs)]
+	return idx, ok
+}
+
+// Get returns the instruction set at idx.
+func (t *ActionTable) Get(idx uint32) ([]openflow.Instruction, error) {
+	if int(idx) >= len(t.entries) || t.entries[idx].refs == 0 {
+		return nil, fmt.Errorf("core: action index %d not live", idx)
+	}
+	return t.entries[idx].instrs, nil
+}
+
+// Release dereferences the entry at idx, freeing the row when its last
+// reference disappears.
+func (t *ActionTable) Release(idx uint32) error {
+	if int(idx) >= len(t.entries) || t.entries[idx].refs == 0 {
+		return fmt.Errorf("core: release of dead action index %d", idx)
+	}
+	e := &t.entries[idx]
+	e.refs--
+	if e.refs > 0 {
+		return nil
+	}
+	delete(t.byKey, e.key)
+	e.instrs = nil
+	e.key = ""
+	t.free = append(t.free, idx)
+	t.live--
+	return nil
+}
+
+// Len returns the number of live rows.
+func (t *ActionTable) Len() int { return t.live }
+
+// Peak returns the high-water mark of live rows (the provisioned depth in
+// the memory model).
+func (t *ActionTable) Peak() int { return t.peak }

@@ -1,0 +1,46 @@
+package core
+
+import (
+	"testing"
+
+	"ofmtl/internal/filterset"
+	"ofmtl/internal/openflow"
+)
+
+func TestARPPipeline(t *testing.T) {
+	f := filterset.GenerateARP("arp", 300, filterset.DefaultSeed)
+	p, err := BuildARP(f, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every installed target resolves to its port.
+	for i, r := range f.Rules {
+		h := &openflow.Header{EthType: 0x0806, ARPOp: 1, ARPTPA: r.TargetIP}
+		res := p.Execute(h)
+		if !res.Matched || len(res.Outputs) != 1 || res.Outputs[0] != r.OutPort {
+			t.Fatalf("ARP rule %d: %+v, want port %d", i, res, r.OutPort)
+		}
+	}
+	// Unknown targets reach the controller (where a real controller would
+	// answer or flood).
+	h := &openflow.Header{EthType: 0x0806, ARPOp: 1, ARPTPA: 0x01020304}
+	if res := p.Execute(h); !res.SentToController {
+		t.Errorf("unknown ARP target: %+v", res)
+	}
+}
+
+func TestARPMemoryScalesWithTargets(t *testing.T) {
+	small := filterset.GenerateARP("s", 50, 1)
+	large := filterset.GenerateARP("l", 2000, 1)
+	ps, err := BuildARP(small, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := BuildARP(large, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.MemoryReport().TotalBits <= ps.MemoryReport().TotalBits {
+		t.Error("more ARP targets should cost more memory")
+	}
+}

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"container/list"
+
+	"ofmtl/internal/openflow"
+)
+
+// FlowCache is an exact-match cache in front of the pipeline: the first
+// packet of a flow walks the multi-table lookup, subsequent packets hit a
+// single hash probe. This is the "flow caching" improvement the paper's
+// related work (its reference [7], the DPDK software-switch study)
+// proposes for multi-table lookup cost, and software switches deploy as
+// megaflow/microflow caches.
+//
+// The cache key is the full header tuple; any flow-mod invalidates the
+// whole cache, which is the conservative correctness rule (a finer
+// dependency tracking would need per-entry match covers). The cache is
+// not safe for concurrent use, matching the Pipeline it wraps.
+type FlowCache struct {
+	pipeline *Pipeline
+	capacity int
+
+	entries map[cacheKey]*list.Element
+	order   *list.List // front = most recently used
+
+	hits, misses, invalidations uint64
+}
+
+type cacheKey struct {
+	inPort          uint32
+	ethSrc, ethDst  uint64
+	ethType, vlanID uint16
+	vlanPrio        uint8
+	mpls            uint32
+	ipv4Src         uint32
+	ipv4Dst         uint32
+	ipv6SrcHi       uint64
+	ipv6SrcLo       uint64
+	ipv6DstHi       uint64
+	ipv6DstLo       uint64
+	ipProto, ipToS  uint8
+	srcPort         uint16
+	dstPort         uint16
+	arpOp           uint16
+	arpSPA, arpTPA  uint32
+}
+
+type cacheEntry struct {
+	key cacheKey
+	res Result
+}
+
+func keyOf(h *openflow.Header) cacheKey {
+	return cacheKey{
+		inPort: h.InPort, ethSrc: h.EthSrc, ethDst: h.EthDst,
+		ethType: h.EthType, vlanID: h.VLANID, vlanPrio: h.VLANPrio,
+		mpls: h.MPLS, ipv4Src: h.IPv4Src, ipv4Dst: h.IPv4Dst,
+		ipv6SrcHi: h.IPv6Src.Hi, ipv6SrcLo: h.IPv6Src.Lo,
+		ipv6DstHi: h.IPv6Dst.Hi, ipv6DstLo: h.IPv6Dst.Lo,
+		ipProto: h.IPProto, ipToS: h.IPToS,
+		srcPort: h.SrcPort, dstPort: h.DstPort,
+		arpOp: h.ARPOp, arpSPA: h.ARPSPA, arpTPA: h.ARPTPA,
+	}
+}
+
+// NewFlowCache wraps a pipeline with an LRU flow cache of the given
+// capacity (entries).
+func NewFlowCache(p *Pipeline, capacity int) *FlowCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &FlowCache{
+		pipeline: p,
+		capacity: capacity,
+		entries:  make(map[cacheKey]*list.Element, capacity),
+		order:    list.New(),
+	}
+}
+
+// Execute classifies the header, serving repeated flows from the cache.
+// Pipelines mutate headers (metadata, set-field); cached results replay
+// the recorded outcome without re-mutating, which matches data-plane
+// behaviour (mutations apply to the forwarded copy, not to subsequent
+// packets).
+func (c *FlowCache) Execute(h *openflow.Header) Result {
+	k := keyOf(h)
+	if el, ok := c.entries[k]; ok {
+		c.hits++
+		c.order.MoveToFront(el)
+		return el.Value.(*cacheEntry).res
+	}
+	c.misses++
+	res := c.pipeline.Execute(h)
+	if c.order.Len() >= c.capacity {
+		oldest := c.order.Back()
+		if oldest != nil {
+			c.order.Remove(oldest)
+			delete(c.entries, oldest.Value.(*cacheEntry).key)
+		}
+	}
+	c.entries[k] = c.order.PushFront(&cacheEntry{key: k, res: res})
+	return res
+}
+
+// Insert installs a flow entry and invalidates the cache.
+func (c *FlowCache) Insert(id openflow.TableID, e *openflow.FlowEntry) error {
+	if err := c.pipeline.Insert(id, e); err != nil {
+		return err
+	}
+	c.Invalidate()
+	return nil
+}
+
+// Remove uninstalls a flow entry and invalidates the cache.
+func (c *FlowCache) Remove(id openflow.TableID, e *openflow.FlowEntry) error {
+	if err := c.pipeline.Remove(id, e); err != nil {
+		return err
+	}
+	c.Invalidate()
+	return nil
+}
+
+// Invalidate empties the cache.
+func (c *FlowCache) Invalidate() {
+	c.entries = make(map[cacheKey]*list.Element, c.capacity)
+	c.order.Init()
+	c.invalidations++
+}
+
+// Stats reports cache effectiveness.
+func (c *FlowCache) Stats() (hits, misses, invalidations uint64) {
+	return c.hits, c.misses, c.invalidations
+}
+
+// Len returns the number of cached flows.
+func (c *FlowCache) Len() int { return c.order.Len() }
+
+// Pipeline returns the wrapped pipeline.
+func (c *FlowCache) Pipeline() *Pipeline { return c.pipeline }

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"testing"
+
+	"ofmtl/internal/filterset"
+	"ofmtl/internal/openflow"
+	"ofmtl/internal/traffic"
+	"ofmtl/internal/xrand"
+)
+
+func cachedMACSetup(t *testing.T) (*filterset.MACFilter, *FlowCache) {
+	t.Helper()
+	f, err := filterset.GenerateMAC("bbrb", filterset.DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := BuildMAC(f, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f, NewFlowCache(p, 1024)
+}
+
+func TestFlowCacheAgreesWithPipeline(t *testing.T) {
+	f, cache := cachedMACSetup(t)
+	p := cache.Pipeline()
+	// A Zipf-flavoured trace: heavy repetition of a few flows.
+	rng := xrand.New(9)
+	base := traffic.MACTrace(f, 64, 0.9, 5)
+	for i := 0; i < 5000; i++ {
+		h := base[rng.Intn(len(base))]
+		hc := h
+		want := p.Execute(&h)
+		got := cache.Execute(&hc)
+		if got.Matched != want.Matched || got.SentToController != want.SentToController ||
+			len(got.Outputs) != len(want.Outputs) {
+			t.Fatalf("iteration %d: cache %+v, pipeline %+v", i, got, want)
+		}
+		for j := range got.Outputs {
+			if got.Outputs[j] != want.Outputs[j] {
+				t.Fatalf("iteration %d: output mismatch", i)
+			}
+		}
+	}
+	hits, misses, _ := cache.Stats()
+	if hits == 0 {
+		t.Error("repetitive trace should produce cache hits")
+	}
+	if hits < misses {
+		t.Errorf("hits (%d) should dominate misses (%d) on a 64-flow trace", hits, misses)
+	}
+}
+
+func TestFlowCacheInvalidationOnFlowMod(t *testing.T) {
+	_, cache := cachedMACSetup(t)
+	h := openflow.Header{VLANID: 500, EthDst: 0xAABBCCDDEEFF}
+	hc := h
+	res := cache.Execute(&hc)
+	if !res.SentToController {
+		t.Fatalf("unknown flow should miss: %+v", res)
+	}
+	// Install the flow through the cache wrapper: the stale "miss" result
+	// must not survive.
+	e0 := &openflow.FlowEntry{
+		Priority: 1,
+		Matches:  []openflow.Match{openflow.Exact(openflow.FieldVLANID, 500)},
+		Instructions: []openflow.Instruction{
+			openflow.WriteMetadata(500, ^uint64(0)),
+			openflow.GotoTable(1),
+		},
+	}
+	e1 := &openflow.FlowEntry{
+		Priority: 1,
+		Matches: []openflow.Match{
+			openflow.Exact(openflow.FieldMetadata, 500),
+			openflow.Exact(openflow.FieldEthDst, 0xAABBCCDDEEFF),
+		},
+		Instructions: []openflow.Instruction{
+			openflow.WriteActions(openflow.Output(31)),
+		},
+	}
+	if err := cache.Insert(0, e0); err != nil {
+		t.Fatal(err)
+	}
+	if err := cache.Insert(1, e1); err != nil {
+		t.Fatal(err)
+	}
+	hc = h
+	res = cache.Execute(&hc)
+	if !res.Matched || len(res.Outputs) != 1 || res.Outputs[0] != 31 {
+		t.Fatalf("after install: %+v, want output 31", res)
+	}
+	// Remove through the wrapper: back to controller.
+	if err := cache.Remove(1, e1); err != nil {
+		t.Fatal(err)
+	}
+	hc = h
+	if res := cache.Execute(&hc); !res.SentToController {
+		t.Fatalf("after removal: %+v", res)
+	}
+	if _, _, inv := cache.Stats(); inv != 3 {
+		t.Errorf("invalidations = %d, want 3", inv)
+	}
+}
+
+func TestFlowCacheEviction(t *testing.T) {
+	f, err := filterset.GenerateMAC("bbrb", filterset.DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := BuildMAC(f, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := NewFlowCache(p, 8)
+	trace := traffic.MACTrace(f, 100, 1.0, 3)
+	for i := range trace {
+		h := trace[i]
+		cache.Execute(&h)
+	}
+	if cache.Len() > 8 {
+		t.Errorf("cache grew to %d entries, capacity 8", cache.Len())
+	}
+	// Tiny capacities are clamped to 1, not rejected.
+	small := NewFlowCache(p, 0)
+	h := trace[0]
+	small.Execute(&h)
+	if small.Len() != 1 {
+		t.Errorf("clamped cache len = %d", small.Len())
+	}
+}
+
+// TestInsertionOrderInvariance: building the same rule set in different
+// orders must classify identically (the structures are order-independent,
+// as hardware incremental update requires).
+func TestInsertionOrderInvariance(t *testing.T) {
+	f, err := filterset.GenerateRoute("pozb", filterset.DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	build := func(order []int) *Pipeline {
+		shuffled := &filterset.RouteFilter{Name: f.Name, Rules: make([]filterset.RouteRule, len(f.Rules))}
+		for i, idx := range order {
+			shuffled.Rules[i] = f.Rules[idx]
+		}
+		p, err := BuildRoute(shuffled, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	fwd := make([]int, len(f.Rules))
+	for i := range fwd {
+		fwd[i] = i
+	}
+	rng := xrand.New(44)
+	p1 := build(fwd)
+	p2 := build(rng.Perm(len(f.Rules)))
+
+	trace := traffic.RouteTrace(f, 3000, 0.8, 11)
+	for i := range trace {
+		h1, h2 := trace[i], trace[i]
+		r1, r2 := p1.Execute(&h1), p2.Execute(&h2)
+		if r1.Matched != r2.Matched || r1.SentToController != r2.SentToController ||
+			len(r1.Outputs) != len(r2.Outputs) {
+			t.Fatalf("probe %d: order-dependent result: %+v vs %+v", i, r1, r2)
+		}
+		for j := range r1.Outputs {
+			if r1.Outputs[j] != r2.Outputs[j] {
+				t.Fatalf("probe %d: order-dependent output", i)
+			}
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"testing"
+
+	"ofmtl/internal/bitops"
+	"ofmtl/internal/openflow"
+	"ofmtl/internal/xrand"
+)
+
+// TestRouteTableChurn soaks the two-field routing table (exact metadata +
+// LPM IPv4) with interleaved inserts and removes, spot-checking
+// equivalence against the reference classifier throughout — the
+// incremental-update correctness the paper's update analysis presumes.
+func TestRouteTableChurn(t *testing.T) {
+	rng := xrand.New(31415)
+	tbl, err := NewLookupTable(TableConfig{
+		ID:     0,
+		Fields: []openflow.FieldID{openflow.FieldMetadata, openflow.FieldIPv4Dst},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ref ReferenceClassifier
+
+	type ruleKey struct {
+		port uint64
+		v    uint64
+		plen int
+	}
+	live := map[ruleKey]*openflow.FlowEntry{}
+	var liveKeys []ruleKey
+
+	makeEntry := func(k ruleKey) *openflow.FlowEntry {
+		return &openflow.FlowEntry{
+			Priority: 1 + k.plen,
+			Matches: []openflow.Match{
+				openflow.Exact(openflow.FieldMetadata, k.port),
+				openflow.Prefix(openflow.FieldIPv4Dst, k.v, k.plen),
+			},
+			Instructions: []openflow.Instruction{
+				openflow.WriteActions(openflow.Output(uint32(k.port*100 + uint64(k.plen)))),
+			},
+		}
+	}
+
+	const steps = 1200
+	for step := 0; step < steps; step++ {
+		if rng.Float64() < 0.6 || len(liveKeys) == 0 {
+			plen := rng.Intn(33)
+			k := ruleKey{
+				port: uint64(rng.Intn(8)),
+				v:    uint64(rng.Uint32()) & bitops.Mask64(plen, 32),
+				plen: plen,
+			}
+			if _, dup := live[k]; dup {
+				continue
+			}
+			e := makeEntry(k)
+			if err := tbl.Insert(e); err != nil {
+				t.Fatalf("step %d insert: %v", step, err)
+			}
+			ref.Insert(e)
+			live[k] = e
+			liveKeys = append(liveKeys, k)
+		} else {
+			idx := rng.Intn(len(liveKeys))
+			k := liveKeys[idx]
+			e := live[k]
+			if err := tbl.Remove(e); err != nil {
+				t.Fatalf("step %d remove: %v", step, err)
+			}
+			if !ref.Remove(e) {
+				t.Fatalf("step %d: reference remove failed", step)
+			}
+			delete(live, k)
+			liveKeys[idx] = liveKeys[len(liveKeys)-1]
+			liveKeys = liveKeys[:len(liveKeys)-1]
+		}
+
+		if step%60 != 0 {
+			continue
+		}
+		for probe := 0; probe < 40; probe++ {
+			h := &openflow.Header{
+				Metadata: uint64(rng.Intn(8)),
+				IPv4Dst:  rng.Uint32(),
+			}
+			if len(liveKeys) > 0 && rng.Float64() < 0.6 {
+				k := liveKeys[rng.Intn(len(liveKeys))]
+				mask := uint32(bitops.Mask64(k.plen, 32))
+				h.Metadata = k.port
+				h.IPv4Dst = (uint32(k.v) & mask) | (rng.Uint32() &^ mask)
+			}
+			got, gotOK := tbl.Classify(h)
+			want, wantOK := ref.Classify(h)
+			if gotOK != wantOK {
+				t.Fatalf("step %d: churn divergence (table=%v ref=%v)", step, gotOK, wantOK)
+			}
+			if gotOK && got.Priority != want.Priority {
+				t.Fatalf("step %d: priority %d != %d", step, got.Priority, want.Priority)
+			}
+		}
+	}
+
+	// Drain completely; every structure must empty.
+	for _, k := range liveKeys {
+		if err := tbl.Remove(live[k]); err != nil {
+			t.Fatalf("drain remove: %v", err)
+		}
+	}
+	if tbl.Rules() != 0 || tbl.combos.Keys() != 0 || tbl.actions.Len() != 0 || len(tbl.patterns) != 0 {
+		t.Errorf("residue after drain: rules=%d combos=%d actions=%d patterns=%d",
+			tbl.Rules(), tbl.combos.Keys(), tbl.actions.Len(), len(tbl.patterns))
+	}
+}

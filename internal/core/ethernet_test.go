@@ -1,0 +1,196 @@
+package core
+
+import (
+	"testing"
+
+	"ofmtl/internal/bitops"
+	"ofmtl/internal/openflow"
+	"ofmtl/internal/xrand"
+)
+
+// Table II marks the Ethernet address fields as wildcard (LPM) matching:
+// OUI-prefix rules like 00:11:22:*:*:* coexist with exact host entries.
+// These tests cover the 48-bit three-partition LPM path.
+
+type refEthEntry struct {
+	v    uint64
+	plen int
+}
+
+func refEthLookup(entries []refEthEntry, addr uint64) (int, bool) {
+	best, bestIdx := -1, -1
+	for i, e := range entries {
+		if bitops.PrefixContains(e.v, e.plen, 48, addr) && e.plen > best {
+			best, bestIdx = e.plen, i
+		}
+	}
+	return bestIdx, bestIdx >= 0
+}
+
+func TestEthernetOUIWildcard(t *testing.T) {
+	tbl, err := NewLookupTable(TableConfig{
+		ID:     0,
+		Fields: []openflow.FieldID{openflow.FieldEthDst},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An OUI-level rule (first 24 bits) and a host exception inside it.
+	oui := uint64(0x001122000000)
+	host := uint64(0x001122334455)
+	for _, p := range []struct {
+		v    uint64
+		plen int
+		port uint32
+	}{
+		{oui, 24, 10},
+		{host, 48, 20},
+	} {
+		e := &openflow.FlowEntry{
+			Priority: p.plen,
+			Matches:  []openflow.Match{openflow.Prefix(openflow.FieldEthDst, p.v, p.plen)},
+			Instructions: []openflow.Instruction{
+				openflow.WriteActions(openflow.Output(p.port)),
+			},
+		}
+		if err := tbl.Insert(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The host exception wins inside the OUI; the OUI rule catches other
+	// NICs of the same vendor; foreign OUIs miss.
+	if m, ok := tbl.Classify(&openflow.Header{EthDst: host}); !ok || m.Priority != 48 {
+		t.Errorf("exact host: %v %v", m, ok)
+	}
+	if m, ok := tbl.Classify(&openflow.Header{EthDst: 0x001122AAAAAA}); !ok || m.Priority != 24 {
+		t.Errorf("same OUI: %v %v", m, ok)
+	}
+	if _, ok := tbl.Classify(&openflow.Header{EthDst: 0x665544332211}); ok {
+		t.Error("foreign OUI should miss")
+	}
+}
+
+// Property: the three-trie Ethernet decomposition agrees with brute-force
+// 48-bit LPM, including prefix lengths that do not align with partition
+// boundaries.
+func TestEthernetLPMMatchesReference(t *testing.T) {
+	rng := xrand.New(4242)
+	tbl, err := NewLookupTable(TableConfig{
+		ID:     0,
+		Fields: []openflow.FieldID{openflow.FieldEthDst},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var entries []refEthEntry
+	seen := map[refEthEntry]bool{}
+	for i := 0; i < 300; i++ {
+		plen := rng.Intn(49)
+		v := rng.Uint64() & bitops.Mask64(plen, 48)
+		e := refEthEntry{v: v, plen: plen}
+		if seen[e] {
+			continue
+		}
+		seen[e] = true
+		fe := &openflow.FlowEntry{
+			Priority: plen,
+			Matches:  []openflow.Match{openflow.Prefix(openflow.FieldEthDst, v, plen)},
+			Instructions: []openflow.Instruction{
+				openflow.WriteActions(openflow.Output(uint32(i))),
+			},
+		}
+		if err := tbl.Insert(fe); err != nil {
+			t.Fatalf("insert /%d: %v", plen, err)
+		}
+		entries = append(entries, e)
+	}
+	for i := 0; i < 4000; i++ {
+		var addr uint64
+		if rng.Float64() < 0.7 {
+			e := entries[rng.Intn(len(entries))]
+			mask := bitops.Mask64(e.plen, 48)
+			addr = (e.v & mask) | (rng.Uint64() &^ mask & bitops.LowMask64(48))
+		} else {
+			addr = rng.Uint64() & bitops.LowMask64(48)
+		}
+		got, gotOK := tbl.Classify(&openflow.Header{EthDst: addr})
+		wantIdx, wantOK := refEthLookup(entries, addr)
+		if gotOK != wantOK {
+			t.Fatalf("probe %d (%012x): match %v, reference %v", i, addr, gotOK, wantOK)
+		}
+		if gotOK && got.Priority != entries[wantIdx].plen {
+			t.Fatalf("probe %d (%012x): plen %d, reference %d", i, addr, got.Priority, entries[wantIdx].plen)
+		}
+	}
+}
+
+// Property: interleaved inserts and removes of Ethernet prefixes keep the
+// searcher equivalent to the reference.
+func TestEthernetChurnMatchesReference(t *testing.T) {
+	rng := xrand.New(777)
+	tbl, err := NewLookupTable(TableConfig{
+		ID:     0,
+		Fields: []openflow.FieldID{openflow.FieldEthDst},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	type live struct {
+		e  refEthEntry
+		fe *openflow.FlowEntry
+	}
+	var alive []live
+	seen := map[refEthEntry]bool{}
+	for step := 0; step < 600; step++ {
+		if rng.Float64() < 0.6 || len(alive) == 0 {
+			plen := rng.Intn(49)
+			v := rng.Uint64() & bitops.Mask64(plen, 48)
+			e := refEthEntry{v: v, plen: plen}
+			if seen[e] {
+				continue
+			}
+			seen[e] = true
+			fe := &openflow.FlowEntry{
+				Priority: plen,
+				Matches:  []openflow.Match{openflow.Prefix(openflow.FieldEthDst, v, plen)},
+				Instructions: []openflow.Instruction{
+					openflow.WriteActions(openflow.Output(uint32(step))),
+				},
+			}
+			if err := tbl.Insert(fe); err != nil {
+				t.Fatalf("step %d insert: %v", step, err)
+			}
+			alive = append(alive, live{e, fe})
+		} else {
+			k := rng.Intn(len(alive))
+			if err := tbl.Remove(alive[k].fe); err != nil {
+				t.Fatalf("step %d remove: %v", step, err)
+			}
+			delete(seen, alive[k].e)
+			alive = append(alive[:k], alive[k+1:]...)
+		}
+		// Spot-check equivalence every few steps.
+		if step%20 == 0 {
+			var refs []refEthEntry
+			for _, l := range alive {
+				refs = append(refs, l.e)
+			}
+			for probe := 0; probe < 50; probe++ {
+				addr := rng.Uint64() & bitops.LowMask64(48)
+				if len(alive) > 0 && rng.Float64() < 0.6 {
+					e := alive[rng.Intn(len(alive))].e
+					mask := bitops.Mask64(e.plen, 48)
+					addr = (e.v & mask) | (addr &^ mask)
+				}
+				got, gotOK := tbl.Classify(&openflow.Header{EthDst: addr})
+				wantIdx, wantOK := refEthLookup(refs, addr)
+				if gotOK != wantOK {
+					t.Fatalf("step %d probe %012x: match %v, reference %v", step, addr, gotOK, wantOK)
+				}
+				if gotOK && got.Priority != refs[wantIdx].plen {
+					t.Fatalf("step %d probe %012x: plen mismatch", step, addr)
+				}
+			}
+		}
+	}
+}

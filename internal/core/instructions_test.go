@@ -1,0 +1,225 @@
+package core
+
+import (
+	"testing"
+
+	"ofmtl/internal/openflow"
+)
+
+// Coverage for the instruction-execution semantics the OpenFlow v1.3
+// pipeline defines: apply-actions, clear-actions, set-field, and the
+// action-set replacement rules.
+
+// singleTablePipeline builds a one-table pipeline over VLAN ID.
+func singleTablePipeline(t *testing.T) (*Pipeline, *LookupTable) {
+	t.Helper()
+	p := NewPipeline()
+	tbl, err := p.AddTable(TableConfig{
+		ID:     0,
+		Fields: []openflow.FieldID{openflow.FieldVLANID},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, tbl
+}
+
+func TestApplyActionsSetField(t *testing.T) {
+	p, tbl := singleTablePipeline(t)
+	e := &openflow.FlowEntry{
+		Priority: 1,
+		Matches:  []openflow.Match{openflow.Exact(openflow.FieldVLANID, 5)},
+		Instructions: []openflow.Instruction{
+			openflow.ApplyActions(openflow.SetField(openflow.FieldVLANID, 7)),
+			openflow.WriteActions(openflow.Output(3)),
+		},
+	}
+	if err := tbl.Insert(e); err != nil {
+		t.Fatal(err)
+	}
+	h := &openflow.Header{VLANID: 5}
+	res := p.Execute(h)
+	if h.VLANID != 7 {
+		t.Errorf("apply-actions set-field: VLAN = %d, want 7 (applied immediately)", h.VLANID)
+	}
+	if len(res.Outputs) != 1 || res.Outputs[0] != 3 {
+		t.Errorf("outputs = %v", res.Outputs)
+	}
+}
+
+func TestClearActionsDropsAccumulatedSet(t *testing.T) {
+	p := NewPipeline()
+	t0, err := p.AddTable(TableConfig{ID: 0, Fields: []openflow.FieldID{openflow.FieldVLANID}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1, err := p.AddTable(TableConfig{ID: 1, Fields: []openflow.FieldID{openflow.FieldVLANID}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Table 0 writes an output and goes to table 1; table 1 clears the set.
+	if err := t0.Insert(&openflow.FlowEntry{
+		Priority: 1,
+		Matches:  []openflow.Match{openflow.Exact(openflow.FieldVLANID, 5)},
+		Instructions: []openflow.Instruction{
+			openflow.WriteActions(openflow.Output(9)),
+			openflow.GotoTable(1),
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := t1.Insert(&openflow.FlowEntry{
+		Priority: 1,
+		Matches:  []openflow.Match{openflow.Exact(openflow.FieldVLANID, 5)},
+		Instructions: []openflow.Instruction{
+			{Type: openflow.InstrClearActions},
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	res := p.Execute(&openflow.Header{VLANID: 5})
+	// Matched, but the cleared action set leaves the packet with nowhere
+	// to go: an implicit drop.
+	if !res.Matched || !res.Dropped || len(res.Outputs) != 0 {
+		t.Errorf("clear-actions result: %+v", res)
+	}
+}
+
+func TestWriteActionsReplacement(t *testing.T) {
+	p := NewPipeline()
+	t0, err := p.AddTable(TableConfig{ID: 0, Fields: []openflow.FieldID{openflow.FieldVLANID}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1, err := p.AddTable(TableConfig{ID: 1, Fields: []openflow.FieldID{openflow.FieldVLANID}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Table 0 writes output 1; table 1 overwrites with output 2 (OpenFlow
+	// action sets hold one action per type, later writes replace).
+	if err := t0.Insert(&openflow.FlowEntry{
+		Priority: 1,
+		Matches:  []openflow.Match{openflow.Exact(openflow.FieldVLANID, 5)},
+		Instructions: []openflow.Instruction{
+			openflow.WriteActions(openflow.Output(1)),
+			openflow.GotoTable(1),
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := t1.Insert(&openflow.FlowEntry{
+		Priority: 1,
+		Matches:  []openflow.Match{openflow.Exact(openflow.FieldVLANID, 5)},
+		Instructions: []openflow.Instruction{
+			openflow.WriteActions(openflow.Output(2)),
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	res := p.Execute(&openflow.Header{VLANID: 5})
+	if len(res.Outputs) != 1 || res.Outputs[0] != 2 {
+		t.Errorf("later write-actions should replace: %v", res.Outputs)
+	}
+}
+
+func TestDropThenOutputReplacement(t *testing.T) {
+	p, tbl := singleTablePipeline(t)
+	if err := tbl.Insert(&openflow.FlowEntry{
+		Priority: 1,
+		Matches:  []openflow.Match{openflow.Exact(openflow.FieldVLANID, 5)},
+		Instructions: []openflow.Instruction{
+			openflow.WriteActions(openflow.Drop(), openflow.Output(4)),
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	res := p.Execute(&openflow.Header{VLANID: 5})
+	if res.Dropped || len(res.Outputs) != 1 || res.Outputs[0] != 4 {
+		t.Errorf("output after drop should win: %+v", res)
+	}
+}
+
+func TestOutputToControllerPort(t *testing.T) {
+	p, tbl := singleTablePipeline(t)
+	if err := tbl.Insert(&openflow.FlowEntry{
+		Priority: 1,
+		Matches:  []openflow.Match{openflow.Exact(openflow.FieldVLANID, 5)},
+		Instructions: []openflow.Instruction{
+			openflow.WriteActions(openflow.Output(openflow.ControllerPort)),
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	res := p.Execute(&openflow.Header{VLANID: 5})
+	if !res.SentToController || len(res.Outputs) != 0 {
+		t.Errorf("explicit controller output: %+v", res)
+	}
+}
+
+func TestGotoBackwardsRejectedAtRuntime(t *testing.T) {
+	p := NewPipeline()
+	t1, err := p.AddTable(TableConfig{ID: 1, Fields: []openflow.FieldID{openflow.FieldVLANID}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.AddTable(TableConfig{ID: 0, Fields: []openflow.FieldID{openflow.FieldEthType}}); err != nil {
+		t.Fatal(err)
+	}
+	// A goto pointing backwards (1 -> 0) must not loop; the packet goes to
+	// the controller.
+	if err := t1.Insert(&openflow.FlowEntry{
+		Priority: 1,
+		Matches:  []openflow.Match{openflow.Exact(openflow.FieldVLANID, 5)},
+		Instructions: []openflow.Instruction{
+			openflow.GotoTable(0),
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Table 0 forwards everything to table 1.
+	t0, _ := p.Table(0)
+	if err := t0.Insert(&openflow.FlowEntry{
+		Priority:     1,
+		Instructions: []openflow.Instruction{openflow.GotoTable(1)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	res := p.Execute(&openflow.Header{VLANID: 5})
+	if !res.SentToController {
+		t.Errorf("backward goto should surface as controller miss: %+v", res)
+	}
+}
+
+func TestPipelineAccessors(t *testing.T) {
+	p, tbl := singleTablePipeline(t)
+	if tbl.ID() != 0 {
+		t.Errorf("ID = %d", tbl.ID())
+	}
+	if fields := tbl.Fields(); len(fields) != 1 || fields[0] != openflow.FieldVLANID {
+		t.Errorf("Fields = %v", fields)
+	}
+	if tbl.Miss().Kind != MissController {
+		t.Errorf("default miss = %v", tbl.Miss())
+	}
+	if _, ok := tbl.Searcher(openflow.FieldVLANID); !ok {
+		t.Error("Searcher(VLANID) missing")
+	}
+	if _, ok := tbl.Searcher(openflow.FieldEthDst); ok {
+		t.Error("Searcher of absent field should report false")
+	}
+	if err := tbl.Insert(&openflow.FlowEntry{
+		Priority:     1,
+		Matches:      []openflow.Match{openflow.Exact(openflow.FieldVLANID, 1)},
+		Instructions: []openflow.Instruction{openflow.WriteActions(openflow.Drop())},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if p.Rules() != 1 {
+		t.Errorf("pipeline Rules = %d", p.Rules())
+	}
+	var ref ReferenceClassifier
+	ref.Insert(&openflow.FlowEntry{})
+	if ref.Len() != 1 {
+		t.Errorf("reference Len = %d", ref.Len())
+	}
+}

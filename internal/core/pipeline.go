@@ -1,0 +1,244 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"ofmtl/internal/memmodel"
+	"ofmtl/internal/openflow"
+)
+
+// Pipeline is the multiple-table lookup pipeline of Fig. 1: packets enter
+// at the lowest-numbered table and move forward through Goto-Table
+// instructions, accumulating an action set and metadata on the way.
+type Pipeline struct {
+	tables map[openflow.TableID]*LookupTable
+	order  []openflow.TableID
+}
+
+// NewPipeline returns an empty pipeline.
+func NewPipeline() *Pipeline {
+	return &Pipeline{tables: make(map[openflow.TableID]*LookupTable)}
+}
+
+// AddTable creates and registers a table from its configuration.
+func (p *Pipeline) AddTable(cfg TableConfig) (*LookupTable, error) {
+	if _, dup := p.tables[cfg.ID]; dup {
+		return nil, fmt.Errorf("core: pipeline already has table %d", cfg.ID)
+	}
+	t, err := NewLookupTable(cfg)
+	if err != nil {
+		return nil, err
+	}
+	p.tables[cfg.ID] = t
+	p.order = append(p.order, cfg.ID)
+	sort.Slice(p.order, func(i, j int) bool { return p.order[i] < p.order[j] })
+	return t, nil
+}
+
+// Table returns the table with the given identifier.
+func (p *Pipeline) Table(id openflow.TableID) (*LookupTable, bool) {
+	t, ok := p.tables[id]
+	return t, ok
+}
+
+// Tables returns the table identifiers in pipeline order.
+func (p *Pipeline) Tables() []openflow.TableID {
+	return append([]openflow.TableID(nil), p.order...)
+}
+
+// Insert installs a flow entry into the identified table.
+func (p *Pipeline) Insert(id openflow.TableID, e *openflow.FlowEntry) error {
+	t, ok := p.tables[id]
+	if !ok {
+		return fmt.Errorf("core: pipeline has no table %d", id)
+	}
+	return t.Insert(e)
+}
+
+// Remove uninstalls a flow entry from the identified table.
+func (p *Pipeline) Remove(id openflow.TableID, e *openflow.FlowEntry) error {
+	t, ok := p.tables[id]
+	if !ok {
+		return fmt.Errorf("core: pipeline has no table %d", id)
+	}
+	return t.Remove(e)
+}
+
+// Rules returns the total number of installed flow entries.
+func (p *Pipeline) Rules() int {
+	total := 0
+	for _, t := range p.tables {
+		total += t.Rules()
+	}
+	return total
+}
+
+// Result is the outcome of executing one packet through the pipeline.
+type Result struct {
+	// Matched reports whether any table matched the packet.
+	Matched bool
+	// SentToController reports the miss path of Section IV.C.
+	SentToController bool
+	// Dropped reports an explicit drop (or a clear-actions with no output).
+	Dropped bool
+	// Outputs lists the egress ports the final action set forwards to.
+	Outputs []uint32
+	// TablesVisited records the walk, in order.
+	TablesVisited []openflow.TableID
+	// MatchedTables counts tables that produced a match.
+	MatchedTables int
+}
+
+// actionSet models the OpenFlow action set: write-actions replace earlier
+// actions of the same kind; clear-actions empties the set; the set runs
+// when the pipeline stops going to further tables.
+type actionSet struct {
+	output   []uint32
+	drop     bool
+	setField []openflow.Action
+	hasAny   bool
+}
+
+func (as *actionSet) write(actions []openflow.Action) {
+	for _, a := range actions {
+		as.hasAny = true
+		switch a.Type {
+		case openflow.ActionOutput:
+			as.output = append(as.output[:0], a.Port)
+			as.drop = false
+		case openflow.ActionDrop:
+			as.drop = true
+			as.output = as.output[:0]
+		case openflow.ActionSetField:
+			as.setField = append(as.setField, a)
+		case openflow.ActionGroup, openflow.ActionSetQueue:
+			// Modelled as pass-through annotations; no pipeline effect.
+		case openflow.ActionPushVLAN, openflow.ActionPopVLAN:
+			// Header restructuring actions are applied at egress.
+		}
+	}
+}
+
+func (as *actionSet) clear() { *as = actionSet{} }
+
+// Execute classifies the header through the pipeline, mutating it as
+// apply-actions and metadata instructions dictate, and returns the
+// execution result. Execution starts at the lowest-numbered table.
+func (p *Pipeline) Execute(h *openflow.Header) Result {
+	var res Result
+	if len(p.order) == 0 {
+		res.SentToController = true
+		return res
+	}
+	var as actionSet
+	cur := p.order[0]
+	for steps := 0; steps <= len(p.order); steps++ {
+		t, ok := p.tables[cur]
+		if !ok {
+			res.SentToController = true
+			return res
+		}
+		res.TablesVisited = append(res.TablesVisited, cur)
+		m, matched := t.Classify(h)
+		if !matched {
+			switch t.cfg.Miss.Kind {
+			case MissGoto:
+				if t.cfg.Miss.Table <= cur {
+					res.SentToController = true
+					return res
+				}
+				cur = t.cfg.Miss.Table
+				continue
+			case MissDrop:
+				res.Dropped = true
+				return res
+			default:
+				res.SentToController = true
+				return res
+			}
+		}
+		res.Matched = true
+		res.MatchedTables++
+
+		next, hasNext := p.applyInstructions(h, &as, m.Instructions, cur)
+		if !hasNext {
+			break
+		}
+		if next <= cur {
+			// Goto must move forward; treat violations as a miss to the
+			// controller rather than looping.
+			res.SentToController = true
+			return res
+		}
+		cur = next
+	}
+
+	// Run the accumulated action set.
+	for _, a := range as.setField {
+		if a.Field.Valid() {
+			h.Set(a.Field, a.Value)
+		}
+	}
+	switch {
+	case as.drop:
+		res.Dropped = true
+	case len(as.output) > 0:
+		for _, port := range as.output {
+			if port == openflow.ControllerPort {
+				res.SentToController = true
+			} else {
+				res.Outputs = append(res.Outputs, port)
+			}
+		}
+	case !as.hasAny:
+		// Matched but accumulated no actions: the packet has nowhere to
+		// go; model as an implicit drop.
+		res.Dropped = true
+	}
+	return res
+}
+
+// applyInstructions executes an entry's instruction list, returning the
+// goto target if one is present.
+func (p *Pipeline) applyInstructions(h *openflow.Header, as *actionSet, instrs []openflow.Instruction, cur openflow.TableID) (openflow.TableID, bool) {
+	var next openflow.TableID
+	hasNext := false
+	for _, in := range instrs {
+		switch in.Type {
+		case openflow.InstrGotoTable:
+			next, hasNext = in.Table, true
+		case openflow.InstrWriteActions:
+			as.write(in.Actions)
+		case openflow.InstrApplyActions:
+			for _, a := range in.Actions {
+				switch a.Type {
+				case openflow.ActionSetField:
+					if a.Field.Valid() {
+						h.Set(a.Field, a.Value)
+					}
+				case openflow.ActionOutput:
+					// Immediate output: model as joining the action set.
+					as.write([]openflow.Action{a})
+				}
+			}
+		case openflow.InstrClearActions:
+			as.clear()
+		case openflow.InstrWriteMetadata:
+			h.Metadata = (h.Metadata &^ in.MetadataMask) | (in.Metadata & in.MetadataMask)
+		}
+	}
+	return next, hasNext
+}
+
+// MemoryReport assembles the full-system memory report: every searcher
+// memory, index-calculation store and action table across all tables —
+// the quantity behind the paper's "5 Mb of total memory" for the 4-table
+// prototype.
+func (p *Pipeline) MemoryReport() *memmodel.SystemReport {
+	var r memmodel.SystemReport
+	for _, id := range p.order {
+		p.tables[id].AddMemory(&r)
+	}
+	return &r
+}

@@ -1,0 +1,340 @@
+package core
+
+import (
+	"fmt"
+
+	"ofmtl/internal/bitops"
+	"ofmtl/internal/crossprod"
+	"ofmtl/internal/label"
+	"ofmtl/internal/mbt"
+	"ofmtl/internal/memmodel"
+	"ofmtl/internal/openflow"
+)
+
+// PrefixFieldSearcher implements longest-prefix matching for wide fields
+// the way the paper's architecture does (Section IV): the field is split
+// into 16-bit partitions, each partition is searched by its own 3-level
+// multi-bit trie (higher/middle/lower for Ethernet, higher/lower for
+// IPv4), each unique partition prefix carries a label, and a partition
+// combination table maps label tuples back to the unique field values —
+// the per-field slice of the index-calculation stage.
+//
+// Search returns every stored field value matching the header (not only
+// the longest), because the table-level crossproduct needs complete match
+// sets to resolve cross-field priority correctly (the DCFL property).
+type PrefixFieldSearcher struct {
+	field  openflow.FieldID
+	width  int
+	nparts int
+
+	parts  []partition
+	fields *label.Allocator[fieldKey]
+	combos *crossprod.Table
+
+	// scratch buffers reused across Search calls to keep the hot path
+	// allocation-free.
+	scratchMatches [][]mbt.MatchedEntry
+	scratchKey     []label.Label
+}
+
+type partition struct {
+	alloc *label.Allocator[partKey]
+	trie  *mbt.Trie
+}
+
+type partKey struct {
+	value uint16
+	plen  int
+}
+
+type fieldKey struct {
+	value bitops.U128
+	plen  int
+}
+
+// NewPrefixFieldSearcher builds an LPM searcher for field f using the
+// paper's default 3-level {5,5,6} tries.
+func NewPrefixFieldSearcher(f openflow.FieldID) (*PrefixFieldSearcher, error) {
+	return NewPrefixFieldSearcherStrides(f, mbt.DefaultStrides16)
+}
+
+// NewPrefixFieldSearcherStrides builds an LPM searcher with explicit
+// per-partition trie strides (used by the stride ablation benchmark).
+func NewPrefixFieldSearcherStrides(f openflow.FieldID, strides []int) (*PrefixFieldSearcher, error) {
+	width := f.Bits()
+	nparts := bitops.NumPartitions16(width)
+	if nparts == 0 {
+		return nil, fmt.Errorf("core: field %s has zero width", f)
+	}
+	s := &PrefixFieldSearcher{
+		field:          f,
+		width:          width,
+		nparts:         nparts,
+		parts:          make([]partition, nparts),
+		fields:         label.NewAllocator[fieldKey](),
+		combos:         crossprod.MustNew(nparts),
+		scratchMatches: make([][]mbt.MatchedEntry, nparts),
+		scratchKey:     make([]label.Label, nparts),
+	}
+	for i := range s.parts {
+		cfg := mbt.Config{Width: 16, Strides: append([]int(nil), strides...)}
+		tr, err := mbt.New(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("core: trie for %s partition %d: %w", f, i, err)
+		}
+		s.parts[i] = partition{alloc: label.NewAllocator[partKey](), trie: tr}
+	}
+	return s, nil
+}
+
+// Field implements FieldSearcher.
+func (s *PrefixFieldSearcher) Field() openflow.FieldID { return s.field }
+
+func (s *PrefixFieldSearcher) fieldKeyOf(m openflow.Match) (fieldKey, error) {
+	switch m.Kind {
+	case openflow.MatchExact:
+		return fieldKey{value: m.Value, plen: s.width}, nil
+	case openflow.MatchPrefix:
+		if m.PrefixLen < 0 || m.PrefixLen > s.width {
+			return fieldKey{}, fmt.Errorf("core: prefix length %d out of range for %s", m.PrefixLen, s.field)
+		}
+		masked := m.Value.And(bitops.Mask128(m.PrefixLen, s.width))
+		return fieldKey{value: masked, plen: m.PrefixLen}, nil
+	default:
+		return fieldKey{}, fmt.Errorf("core: field %s requires prefix matching, got %s", s.field, m.Kind)
+	}
+}
+
+// Insert implements FieldSearcher.
+func (s *PrefixFieldSearcher) Insert(m openflow.Match) (label.Label, error) {
+	if m.Kind == openflow.MatchAny {
+		return Wildcard, nil
+	}
+	fk, err := s.fieldKeyOf(m)
+	if err != nil {
+		return 0, err
+	}
+	fieldLab, isNew := s.fields.Acquire(fk)
+	if !isNew {
+		return fieldLab, nil
+	}
+
+	split := bitops.SplitPrefix16U128(fk.value, s.width, fk.plen)
+	key := make([]label.Label, s.nparts)
+	for i := range key {
+		key[i] = Wildcard
+	}
+	for _, p := range split {
+		part := &s.parts[p.Index]
+		pk := partKey{value: p.Value, plen: p.Len}
+		partLab, partNew := part.alloc.Acquire(pk)
+		if partNew {
+			if err := part.trie.Insert(uint64(p.Value), p.Len, partLab); err != nil {
+				// Roll back the acquisitions made so far so a failed insert
+				// leaves the searcher unchanged.
+				_, _ = part.alloc.Release(pk)
+				s.rollbackParts(split, p.Index)
+				_, _ = s.fields.Release(fk)
+				return 0, fmt.Errorf("core: inserting %s partition %d: %w", s.field, p.Index, err)
+			}
+		}
+		key[p.Index] = partLab
+	}
+	if err := s.combos.Insert(key, crossprod.Binding{Priority: fk.plen, Payload: uint32(fieldLab)}); err != nil {
+		s.rollbackParts(split, s.nparts)
+		_, _ = s.fields.Release(fk)
+		return 0, fmt.Errorf("core: inserting %s combination: %w", s.field, err)
+	}
+	return fieldLab, nil
+}
+
+// rollbackParts releases partition acquisitions for split entries with
+// Index < upto, deleting trie entries whose refcount reached zero.
+func (s *PrefixFieldSearcher) rollbackParts(split []bitops.PartPrefix, upto int) {
+	for _, p := range split {
+		if p.Index >= upto {
+			break
+		}
+		part := &s.parts[p.Index]
+		pk := partKey{value: p.Value, plen: p.Len}
+		lab := part.alloc.Lookup(pk)
+		if removed, err := part.alloc.Release(pk); err == nil && removed {
+			_ = part.trie.Delete(uint64(p.Value), p.Len, lab)
+		}
+	}
+}
+
+// LabelOf implements FieldSearcher.
+func (s *PrefixFieldSearcher) LabelOf(m openflow.Match) (label.Label, error) {
+	if m.Kind == openflow.MatchAny {
+		return Wildcard, nil
+	}
+	fk, err := s.fieldKeyOf(m)
+	if err != nil {
+		return 0, err
+	}
+	lab := s.fields.Lookup(fk)
+	if lab == label.NoLabel {
+		return 0, fmt.Errorf("core: field %s has no stored prefix %v/%d", s.field, fk.value, fk.plen)
+	}
+	return lab, nil
+}
+
+// Remove implements FieldSearcher.
+func (s *PrefixFieldSearcher) Remove(m openflow.Match) error {
+	if m.Kind == openflow.MatchAny {
+		return nil
+	}
+	fk, err := s.fieldKeyOf(m)
+	if err != nil {
+		return err
+	}
+	fieldLab := s.fields.Lookup(fk)
+	if fieldLab == label.NoLabel {
+		return fmt.Errorf("core: removal of absent prefix %v/%d from %s", fk.value, fk.plen, s.field)
+	}
+	removed, err := s.fields.Release(fk)
+	if err != nil {
+		return fmt.Errorf("core: releasing %s field value: %w", s.field, err)
+	}
+	if !removed {
+		return nil
+	}
+
+	split := bitops.SplitPrefix16U128(fk.value, s.width, fk.plen)
+	key := make([]label.Label, s.nparts)
+	for i := range key {
+		key[i] = Wildcard
+	}
+	for _, p := range split {
+		part := &s.parts[p.Index]
+		pk := partKey{value: p.Value, plen: p.Len}
+		partLab := part.alloc.Lookup(pk)
+		key[p.Index] = partLab
+		partRemoved, err := part.alloc.Release(pk)
+		if err != nil {
+			return fmt.Errorf("core: releasing %s partition %d: %w", s.field, p.Index, err)
+		}
+		if partRemoved {
+			if err := part.trie.Delete(uint64(p.Value), p.Len, partLab); err != nil {
+				return fmt.Errorf("core: deleting %s partition %d trie entry: %w", s.field, p.Index, err)
+			}
+		}
+	}
+	if err := s.combos.Remove(key, crossprod.Binding{Priority: fk.plen, Payload: uint32(fieldLab)}); err != nil {
+		return fmt.Errorf("core: removing %s combination: %w", s.field, err)
+	}
+	return nil
+}
+
+// Search implements FieldSearcher. It walks every partition trie once,
+// then enumerates partition-label combinations in descending total prefix
+// length, appending the field label of each stored combination.
+func (s *PrefixFieldSearcher) Search(h *openflow.Header, dst []Candidate) []Candidate {
+	v := h.Get(s.field)
+
+	// Walk each partition trie, collecting complete match sets.
+	for i := 0; i < s.nparts; i++ {
+		key16 := bitops.PartitionOf(v, s.width, i)
+		s.scratchMatches[i] = s.parts[i].trie.LookupAll(uint64(key16), s.scratchMatches[i][:0])
+	}
+
+	// full16[i] is the label of the exact (plen 16) match in partition i,
+	// required for any combination extending past partition i.
+	key := s.scratchKey
+	for j := s.nparts - 1; j >= 0; j-- {
+		// Prerequisite: partitions 0..j-1 must match exactly.
+		ok := true
+		for i := 0; i < j; i++ {
+			m := s.scratchMatches[i]
+			if len(m) == 0 || m[0].Plen != 16 {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		for i := 0; i < s.nparts; i++ {
+			key[i] = Wildcard
+		}
+		for i := 0; i < j; i++ {
+			key[i] = s.scratchMatches[i][0].Label
+		}
+		for _, c := range s.scratchMatches[j] {
+			key[j] = c.Label
+			if b, ok := s.combos.Lookup(key); ok {
+				dst = append(dst, Candidate{Label: label.Label(b.Payload), Specificity: b.Priority})
+			}
+		}
+	}
+	return dst
+}
+
+// LabelBits implements FieldSearcher.
+func (s *PrefixFieldSearcher) LabelBits() int { return bitops.Log2Ceil(s.fields.Peak()) }
+
+// AddMemory implements FieldSearcher. Each partition trie contributes its
+// per-level memories (sized by the memory cost model); the partition
+// combination table contributes one memory of label-tuple rows.
+func (s *PrefixFieldSearcher) AddMemory(r *memmodel.SystemReport, prefix string) {
+	partNames := partitionNames(s.nparts)
+	for i, part := range s.parts {
+		cost := memmodel.DefaultTrieCostModel.Cost(part.trie.Stats(), part.alloc.Peak(), nil)
+		for _, lc := range cost.Levels {
+			r.Add(fmt.Sprintf("%s/%s-trie/L%d", prefix, partNames[i], lc.Level), lc.StoredNodes, lc.BitsPerEntry)
+		}
+	}
+	comboWidth := 0
+	for _, part := range s.parts {
+		comboWidth += bitops.Log2Ceil(part.alloc.Peak())
+	}
+	comboWidth += s.LabelBits() // payload: the field label
+	comboWidth += 6             // priority: a prefix length 0..width
+	if keys := s.combos.PeakKeys(); keys > 0 && comboWidth > 0 {
+		r.Add(prefix+"/combine", keys, comboWidth)
+	}
+}
+
+// partitionNames labels partitions the way the paper does: higher/lower
+// for 2-partition fields, higher/middle/lower for 3-partition fields.
+func partitionNames(n int) []string {
+	switch n {
+	case 1:
+		return []string{"single"}
+	case 2:
+		return []string{"higher", "lower"}
+	case 3:
+		return []string{"higher", "middle", "lower"}
+	default:
+		names := make([]string, n)
+		for i := range names {
+			names[i] = fmt.Sprintf("p%d", i)
+		}
+		return names
+	}
+}
+
+// PartitionTrie exposes partition i's trie for the experiment harness
+// (node counts and per-level memory are what Figs. 2-4 report).
+func (s *PrefixFieldSearcher) PartitionTrie(i int) *mbt.Trie {
+	if i < 0 || i >= s.nparts {
+		return nil
+	}
+	return s.parts[i].trie
+}
+
+// PartitionLabelPeak returns the high-water unique-value count of
+// partition i.
+func (s *PrefixFieldSearcher) PartitionLabelPeak(i int) int {
+	if i < 0 || i >= s.nparts {
+		return 0
+	}
+	return s.parts[i].alloc.Peak()
+}
+
+// Partitions returns the partition count.
+func (s *PrefixFieldSearcher) Partitions() int { return s.nparts }
+
+// UniqueValues returns the number of live unique field values.
+func (s *PrefixFieldSearcher) UniqueValues() int { return s.fields.Len() }

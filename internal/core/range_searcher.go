@@ -1,0 +1,151 @@
+package core
+
+import (
+	"fmt"
+
+	"ofmtl/internal/bitops"
+	"ofmtl/internal/label"
+	"ofmtl/internal/memmodel"
+	"ofmtl/internal/openflow"
+	"ofmtl/internal/rangelookup"
+)
+
+// RangeFieldSearcher implements range matching for port fields: unique
+// ranges are labelled and projected onto elementary intervals
+// (rangelookup), so a search is a binary search returning every containing
+// range, narrowest first — the paper's RM semantics extended with the
+// complete match set the crossproduct stage needs.
+type RangeFieldSearcher struct {
+	field openflow.FieldID
+	width int
+	table rangelookup.Table
+	alloc *label.Allocator[rangeKey]
+}
+
+type rangeKey struct {
+	lo, hi uint64
+}
+
+// NewRangeFieldSearcher builds a range searcher for field f (at most 64
+// bits wide).
+func NewRangeFieldSearcher(f openflow.FieldID) (*RangeFieldSearcher, error) {
+	width := f.Bits()
+	if width > 64 {
+		return nil, fmt.Errorf("core: range searcher unsupported for %d-bit field %s", width, f)
+	}
+	return &RangeFieldSearcher{
+		field: f,
+		width: width,
+		alloc: label.NewAllocator[rangeKey](),
+	}, nil
+}
+
+// Field implements FieldSearcher.
+func (s *RangeFieldSearcher) Field() openflow.FieldID { return s.field }
+
+func (s *RangeFieldSearcher) keyOf(m openflow.Match) (rangeKey, error) {
+	switch m.Kind {
+	case openflow.MatchRange:
+		if m.Lo > m.Hi {
+			return rangeKey{}, fmt.Errorf("core: inverted range [%d, %d] on %s", m.Lo, m.Hi, s.field)
+		}
+		return rangeKey{lo: m.Lo, hi: m.Hi}, nil
+	case openflow.MatchExact:
+		return rangeKey{lo: m.Value.Lo, hi: m.Value.Lo}, nil
+	default:
+		return rangeKey{}, fmt.Errorf("core: field %s requires range matching, got %s", s.field, m.Kind)
+	}
+}
+
+// Insert implements FieldSearcher.
+func (s *RangeFieldSearcher) Insert(m openflow.Match) (label.Label, error) {
+	if m.Kind == openflow.MatchAny {
+		return Wildcard, nil
+	}
+	k, err := s.keyOf(m)
+	if err != nil {
+		return 0, err
+	}
+	lab, isNew := s.alloc.Acquire(k)
+	if isNew {
+		if err := s.table.Insert(k.lo, k.hi, lab); err != nil {
+			_, _ = s.alloc.Release(k)
+			return 0, fmt.Errorf("core: inserting range into %s: %w", s.field, err)
+		}
+	}
+	return lab, nil
+}
+
+// LabelOf implements FieldSearcher.
+func (s *RangeFieldSearcher) LabelOf(m openflow.Match) (label.Label, error) {
+	if m.Kind == openflow.MatchAny {
+		return Wildcard, nil
+	}
+	k, err := s.keyOf(m)
+	if err != nil {
+		return 0, err
+	}
+	lab := s.alloc.Lookup(k)
+	if lab == label.NoLabel {
+		return 0, fmt.Errorf("core: field %s has no stored range [%d, %d]", s.field, k.lo, k.hi)
+	}
+	return lab, nil
+}
+
+// Remove implements FieldSearcher.
+func (s *RangeFieldSearcher) Remove(m openflow.Match) error {
+	if m.Kind == openflow.MatchAny {
+		return nil
+	}
+	k, err := s.keyOf(m)
+	if err != nil {
+		return err
+	}
+	lab := s.alloc.Lookup(k)
+	if lab == label.NoLabel {
+		return fmt.Errorf("core: removal of absent range [%d, %d] from %s", k.lo, k.hi, s.field)
+	}
+	removed, err := s.alloc.Release(k)
+	if err != nil {
+		return fmt.Errorf("core: releasing %s range: %w", s.field, err)
+	}
+	if removed {
+		if err := s.table.Remove(k.lo, k.hi, lab); err != nil {
+			return fmt.Errorf("core: deleting range from %s: %w", s.field, err)
+		}
+	}
+	return nil
+}
+
+// Search implements FieldSearcher.
+func (s *RangeFieldSearcher) Search(h *openflow.Header, dst []Candidate) []Candidate {
+	v := h.Get(s.field).Lo
+	for _, lab := range s.table.LookupAll(v) {
+		spec := 0
+		if k, ok := s.alloc.Value(lab); ok {
+			size := k.hi - k.lo + 1
+			if size > 0 {
+				spec = s.width - bitops.Log2Ceil(int(size))
+			}
+		}
+		dst = append(dst, Candidate{Label: lab, Specificity: spec})
+	}
+	return dst
+}
+
+// LabelBits implements FieldSearcher.
+func (s *RangeFieldSearcher) LabelBits() int { return bitops.Log2Ceil(s.alloc.Peak()) }
+
+// AddMemory implements FieldSearcher: the range stage is provisioned as a
+// boundary memory of elementary intervals, each row holding a boundary
+// value plus the narrowest label.
+func (s *RangeFieldSearcher) AddMemory(r *memmodel.SystemReport, prefix string) {
+	segs := s.table.Segments()
+	if segs == 0 {
+		return
+	}
+	r.Add(prefix+"/ranges", segs, s.width+s.LabelBits())
+}
+
+// Entries returns the number of unique ranges stored.
+func (s *RangeFieldSearcher) Entries() int { return s.alloc.Len() }

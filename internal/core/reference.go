@@ -1,0 +1,66 @@
+package core
+
+import (
+	"reflect"
+
+	"ofmtl/internal/openflow"
+)
+
+// ReferenceClassifier is a brute-force single-table classifier used to
+// verify the decomposed architecture: it scans every installed entry and
+// picks the highest-priority match (earliest installed on ties). It is the
+// semantic ground truth for LookupTable.
+type ReferenceClassifier struct {
+	entries []refEntry
+	nextSeq uint64
+}
+
+type refEntry struct {
+	e   openflow.FlowEntry
+	seq uint64
+}
+
+// Insert installs a copy of the entry.
+func (r *ReferenceClassifier) Insert(e *openflow.FlowEntry) {
+	cp := *e
+	cp.Matches = append([]openflow.Match(nil), e.Matches...)
+	cp.Instructions = append([]openflow.Instruction(nil), e.Instructions...)
+	r.entries = append(r.entries, refEntry{e: cp, seq: r.nextSeq})
+	r.nextSeq++
+}
+
+// Remove uninstalls the first entry deeply equal to e.
+func (r *ReferenceClassifier) Remove(e *openflow.FlowEntry) bool {
+	for i := range r.entries {
+		cand := &r.entries[i].e
+		if cand.Priority == e.Priority &&
+			reflect.DeepEqual(cand.Matches, e.Matches) &&
+			reflect.DeepEqual(cand.Instructions, e.Instructions) {
+			r.entries = append(r.entries[:i], r.entries[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Classify returns the winning entry for the header.
+func (r *ReferenceClassifier) Classify(h *openflow.Header) (*openflow.FlowEntry, bool) {
+	var best *refEntry
+	for i := range r.entries {
+		cand := &r.entries[i]
+		if !cand.e.MatchesHeader(h) {
+			continue
+		}
+		if best == nil || cand.e.Priority > best.e.Priority ||
+			(cand.e.Priority == best.e.Priority && cand.seq < best.seq) {
+			best = cand
+		}
+	}
+	if best == nil {
+		return nil, false
+	}
+	return &best.e, true
+}
+
+// Len returns the number of installed entries.
+func (r *ReferenceClassifier) Len() int { return len(r.entries) }

@@ -1,0 +1,190 @@
+// Package core implements the paper's multiple table lookup architecture
+// (Fig. 1): each lookup table splits the packet header into its configured
+// fields, searches every field with a method-appropriate one-dimensional
+// algorithm in parallel (hash LUT for exact matching, partitioned
+// multi-bit tries for longest-prefix matching, elementary-interval search
+// for range matching), labels each unique field value (Section IV.B), and
+// combines the labels in an index-calculation stage that addresses the
+// action tables (Section IV.C). Tables chain through Goto-Table
+// instructions and the 64-bit metadata register; a miss falls through to
+// the table's miss policy ("send to controller" by default, as in the
+// paper).
+package core
+
+import (
+	"fmt"
+
+	"ofmtl/internal/bitops"
+	"ofmtl/internal/crossprod"
+	"ofmtl/internal/label"
+	"ofmtl/internal/lut"
+	"ofmtl/internal/memmodel"
+	"ofmtl/internal/openflow"
+)
+
+// Wildcard is the label standing for "field unconstrained" in combination
+// keys.
+const Wildcard = crossprod.Wildcard
+
+// Candidate is one matching unique field value produced by a field search:
+// the value's label and a specificity (prefix length for LPM fields, field
+// width for exact fields, an inverse-width rank for ranges) used to order
+// overlapping candidates.
+type Candidate struct {
+	Label       label.Label
+	Specificity int
+}
+
+// FieldSearcher is one single-field search algorithm of the architecture's
+// algorithm set.
+type FieldSearcher interface {
+	// Field identifies the header field this searcher covers.
+	Field() openflow.FieldID
+	// Insert stores the match constraint (acquiring a label for its value)
+	// and returns the value's label. Wildcard constraints return the
+	// Wildcard label without storing anything.
+	Insert(m openflow.Match) (label.Label, error)
+	// LabelOf returns the label a constraint is currently bound to, without
+	// changing reference counts.
+	LabelOf(m openflow.Match) (label.Label, error)
+	// Remove releases one reference to the constraint's value.
+	Remove(m openflow.Match) error
+	// Search appends the labels of every stored unique value matching the
+	// header to dst, most specific first.
+	Search(h *openflow.Header, dst []Candidate) []Candidate
+	// LabelBits returns the width needed to encode this field's label
+	// space (sized by its high-water mark).
+	LabelBits() int
+	// AddMemory contributes the searcher's memories to a system report.
+	AddMemory(r *memmodel.SystemReport, prefix string)
+}
+
+// Interface compliance.
+var (
+	_ FieldSearcher = (*ExactFieldSearcher)(nil)
+	_ FieldSearcher = (*PrefixFieldSearcher)(nil)
+	_ FieldSearcher = (*RangeFieldSearcher)(nil)
+)
+
+// NewFieldSearcher constructs the method-appropriate searcher for a field,
+// following Table II: EM fields get a hash LUT, LPM fields partitioned
+// multi-bit tries, RM fields an elementary-interval range table.
+func NewFieldSearcher(f openflow.FieldID) (FieldSearcher, error) {
+	if !f.Valid() {
+		return nil, fmt.Errorf("core: invalid field %d", int(f))
+	}
+	switch f.Method() {
+	case openflow.ExactMatch:
+		return NewExactFieldSearcher(f)
+	case openflow.LongestPrefixMatch:
+		return NewPrefixFieldSearcher(f)
+	case openflow.RangeMatch:
+		return NewRangeFieldSearcher(f)
+	default:
+		return nil, fmt.Errorf("core: field %s has unknown matching method", f)
+	}
+}
+
+// ExactFieldSearcher is the hash-LUT searcher for exact-matching fields.
+type ExactFieldSearcher struct {
+	field openflow.FieldID
+	width int
+	table *lut.LUT
+}
+
+// NewExactFieldSearcher builds an exact-match searcher for field f (which
+// must be at most 64 bits wide).
+func NewExactFieldSearcher(f openflow.FieldID) (*ExactFieldSearcher, error) {
+	width := f.Bits()
+	if width > 64 {
+		return nil, fmt.Errorf("core: exact searcher unsupported for %d-bit field %s", width, f)
+	}
+	l, err := lut.New(width, 0)
+	if err != nil {
+		return nil, fmt.Errorf("core: exact searcher for %s: %w", f, err)
+	}
+	return &ExactFieldSearcher{field: f, width: width, table: l}, nil
+}
+
+// Field implements FieldSearcher.
+func (s *ExactFieldSearcher) Field() openflow.FieldID { return s.field }
+
+func (s *ExactFieldSearcher) key(m openflow.Match) (uint64, error) {
+	switch m.Kind {
+	case openflow.MatchExact:
+		return m.Value.Lo, nil
+	case openflow.MatchPrefix:
+		if m.PrefixLen == s.width {
+			return m.Value.Lo, nil
+		}
+	}
+	return 0, fmt.Errorf("core: field %s requires exact matching, got %s", s.field, m.Kind)
+}
+
+// Insert implements FieldSearcher.
+func (s *ExactFieldSearcher) Insert(m openflow.Match) (label.Label, error) {
+	if m.Kind == openflow.MatchAny {
+		return Wildcard, nil
+	}
+	k, err := s.key(m)
+	if err != nil {
+		return 0, err
+	}
+	lab, _, err := s.table.Insert(k)
+	if err != nil {
+		return 0, fmt.Errorf("core: inserting into %s LUT: %w", s.field, err)
+	}
+	return lab, nil
+}
+
+// LabelOf implements FieldSearcher.
+func (s *ExactFieldSearcher) LabelOf(m openflow.Match) (label.Label, error) {
+	if m.Kind == openflow.MatchAny {
+		return Wildcard, nil
+	}
+	k, err := s.key(m)
+	if err != nil {
+		return 0, err
+	}
+	lab := s.table.Lookup(k)
+	if lab == label.NoLabel {
+		return 0, fmt.Errorf("core: field %s has no stored value %#x", s.field, k)
+	}
+	return lab, nil
+}
+
+// Remove implements FieldSearcher.
+func (s *ExactFieldSearcher) Remove(m openflow.Match) error {
+	if m.Kind == openflow.MatchAny {
+		return nil
+	}
+	k, err := s.key(m)
+	if err != nil {
+		return err
+	}
+	if _, err := s.table.Remove(k); err != nil {
+		return fmt.Errorf("core: removing from %s LUT: %w", s.field, err)
+	}
+	return nil
+}
+
+// Search implements FieldSearcher.
+func (s *ExactFieldSearcher) Search(h *openflow.Header, dst []Candidate) []Candidate {
+	v := h.Get(s.field)
+	if lab := s.table.Lookup(v.Lo); lab != label.NoLabel {
+		dst = append(dst, Candidate{Label: lab, Specificity: s.width})
+	}
+	return dst
+}
+
+// LabelBits implements FieldSearcher.
+func (s *ExactFieldSearcher) LabelBits() int { return bitops.Log2Ceil(s.table.Peak()) }
+
+// AddMemory implements FieldSearcher.
+func (s *ExactFieldSearcher) AddMemory(r *memmodel.SystemReport, prefix string) {
+	c := memmodel.LUTCostOf(s.table.Peak(), s.width, s.table.Peak(), s.table.Buckets(), s.table.Ways())
+	r.Add(prefix+"/lut", c.Buckets*c.Ways, c.BitsPerEntry)
+}
+
+// Entries returns the number of unique values stored.
+func (s *ExactFieldSearcher) Entries() int { return s.table.Len() }

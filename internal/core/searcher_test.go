@@ -1,0 +1,170 @@
+package core
+
+import (
+	"testing"
+
+	"ofmtl/internal/openflow"
+)
+
+func TestNewFieldSearcherDispatch(t *testing.T) {
+	cases := []struct {
+		field openflow.FieldID
+		want  string
+	}{
+		{openflow.FieldVLANID, "*core.ExactFieldSearcher"},
+		{openflow.FieldEthDst, "*core.PrefixFieldSearcher"},
+		{openflow.FieldDstPort, "*core.RangeFieldSearcher"},
+		{openflow.FieldMetadata, "*core.ExactFieldSearcher"},
+		{openflow.FieldIPv6Dst, "*core.PrefixFieldSearcher"},
+	}
+	for _, c := range cases {
+		s, err := NewFieldSearcher(c.field)
+		if err != nil {
+			t.Fatalf("%s: %v", c.field, err)
+		}
+		if got := typeName(s); got != c.want {
+			t.Errorf("%s: searcher type %s, want %s", c.field, got, c.want)
+		}
+		if s.Field() != c.field {
+			t.Errorf("%s: Field() = %s", c.field, s.Field())
+		}
+	}
+	if _, err := NewFieldSearcher(openflow.FieldID(0)); err == nil {
+		t.Error("invalid field should error")
+	}
+}
+
+func typeName(v any) string {
+	switch v.(type) {
+	case *ExactFieldSearcher:
+		return "*core.ExactFieldSearcher"
+	case *PrefixFieldSearcher:
+		return "*core.PrefixFieldSearcher"
+	case *RangeFieldSearcher:
+		return "*core.RangeFieldSearcher"
+	default:
+		return "unknown"
+	}
+}
+
+func TestExactSearcherErrorPaths(t *testing.T) {
+	s, err := NewExactFieldSearcher(openflow.FieldVLANID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wrong match kinds are rejected.
+	if _, err := s.Insert(openflow.Range(openflow.FieldVLANID, 1, 2)); err == nil {
+		t.Error("range match on exact field should error")
+	}
+	if _, err := s.Insert(openflow.Prefix(openflow.FieldVLANID, 0, 5)); err == nil {
+		t.Error("partial prefix on exact field should error")
+	}
+	// Full-width prefixes are accepted as exact values.
+	if _, err := s.Insert(openflow.Prefix(openflow.FieldVLANID, 7, 13)); err != nil {
+		t.Errorf("full-width prefix should be accepted: %v", err)
+	}
+	// LabelOf of an absent value errors; of a wildcard returns Wildcard.
+	if _, err := s.LabelOf(openflow.Exact(openflow.FieldVLANID, 99)); err == nil {
+		t.Error("LabelOf absent value should error")
+	}
+	if lab, err := s.LabelOf(openflow.Any(openflow.FieldVLANID)); err != nil || lab != Wildcard {
+		t.Errorf("LabelOf(Any) = %v, %v", lab, err)
+	}
+	// Remove of an absent value errors; Remove(Any) is a no-op.
+	if err := s.Remove(openflow.Exact(openflow.FieldVLANID, 99)); err == nil {
+		t.Error("Remove absent should error")
+	}
+	if err := s.Remove(openflow.Any(openflow.FieldVLANID)); err != nil {
+		t.Errorf("Remove(Any) should be a no-op: %v", err)
+	}
+	// IPv6-wide exact fields are rejected at construction.
+	if _, err := NewExactFieldSearcher(openflow.FieldIPv6NDTarget); err == nil {
+		t.Error("128-bit exact searcher should be rejected")
+	}
+}
+
+func TestRangeSearcherErrorPaths(t *testing.T) {
+	s, err := NewRangeFieldSearcher(openflow.FieldDstPort)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Insert(openflow.Prefix(openflow.FieldDstPort, 0, 4)); err == nil {
+		t.Error("prefix match on range field should error")
+	}
+	// Exact matches become degenerate ranges.
+	lab, err := s.Insert(openflow.Exact(openflow.FieldDstPort, 80))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.LabelOf(openflow.Range(openflow.FieldDstPort, 80, 80))
+	if err != nil || got != lab {
+		t.Errorf("exact and [80,80] should share a label: %v %v", got, err)
+	}
+	if _, err := s.LabelOf(openflow.Range(openflow.FieldDstPort, 1, 2)); err == nil {
+		t.Error("LabelOf absent range should error")
+	}
+	if err := s.Remove(openflow.Range(openflow.FieldDstPort, 1, 2)); err == nil {
+		t.Error("Remove absent range should error")
+	}
+}
+
+func TestPrefixSearcherErrorPaths(t *testing.T) {
+	s, err := NewPrefixFieldSearcher(openflow.FieldIPv4Dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Insert(openflow.Range(openflow.FieldIPv4Dst, 1, 2)); err == nil {
+		t.Error("range match on prefix field should error")
+	}
+	if _, err := s.LabelOf(openflow.Prefix(openflow.FieldIPv4Dst, 0x0A000000, 8)); err == nil {
+		t.Error("LabelOf absent prefix should error")
+	}
+	if err := s.Remove(openflow.Prefix(openflow.FieldIPv4Dst, 0x0A000000, 8)); err == nil {
+		t.Error("Remove absent prefix should error")
+	}
+	// Out-of-range stride configurations are rejected.
+	if _, err := NewPrefixFieldSearcherStrides(openflow.FieldIPv4Dst, []int{5, 5}); err == nil {
+		t.Error("strides not summing to 16 should error")
+	}
+	// Value bits beyond the prefix length are masked, so equivalent
+	// prefixes share labels.
+	l1, err := s.Insert(openflow.Prefix(openflow.FieldIPv4Dst, 0x0AFFFFFF, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, err := s.Insert(openflow.Prefix(openflow.FieldIPv4Dst, 0x0A000000, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l1 != l2 {
+		t.Error("masked-equivalent prefixes should share a label")
+	}
+	if s.UniqueValues() != 1 {
+		t.Errorf("unique values = %d, want 1", s.UniqueValues())
+	}
+	// Partition accessors guard their bounds.
+	if s.PartitionTrie(-1) != nil || s.PartitionTrie(99) != nil {
+		t.Error("out-of-range partition tries should be nil")
+	}
+	if s.PartitionLabelPeak(-1) != 0 {
+		t.Error("out-of-range partition peak should be 0")
+	}
+}
+
+func TestSearcherLabelBitsGrow(t *testing.T) {
+	s, err := NewExactFieldSearcher(openflow.FieldInPort)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.LabelBits() != 0 {
+		t.Errorf("empty searcher label bits = %d", s.LabelBits())
+	}
+	for i := uint64(0); i < 300; i++ {
+		if _, err := s.Insert(openflow.Exact(openflow.FieldInPort, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.LabelBits(); got != 9 { // ceil(log2(300))
+		t.Errorf("label bits = %d, want 9", got)
+	}
+}

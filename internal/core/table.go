@@ -1,0 +1,350 @@
+package core
+
+import (
+	"fmt"
+
+	"ofmtl/internal/bitops"
+	"ofmtl/internal/crossprod"
+	"ofmtl/internal/label"
+	"ofmtl/internal/memmodel"
+	"ofmtl/internal/openflow"
+)
+
+// MissKind selects a table's behaviour when no flow entry matches.
+type MissKind int
+
+// Miss behaviours. The paper's default is "send to controller"
+// (Section IV.C).
+const (
+	MissController MissKind = iota + 1
+	MissDrop
+	MissGoto
+)
+
+// MissPolicy is a table-miss configuration.
+type MissPolicy struct {
+	Kind  MissKind
+	Table openflow.TableID // target for MissGoto
+}
+
+// TableConfig describes one lookup table of the pipeline: its identifier,
+// the header fields it searches (each handled by a parallel single-field
+// algorithm), and its miss policy.
+type TableConfig struct {
+	ID     openflow.TableID
+	Fields []openflow.FieldID
+	Miss   MissPolicy
+}
+
+// LookupTable is one OpenFlow lookup table of the architecture: an
+// algorithm set (one searcher per field), the index-calculation
+// combination store, and the action table.
+type LookupTable struct {
+	cfg       TableConfig
+	searchers []FieldSearcher
+	combos    *crossprod.Table
+	actions   *ActionTable
+	rules     int
+
+	// patterns tracks the live wildcard patterns: bit i set means field i
+	// is constrained. The index calculation enumerates candidate
+	// combinations per live pattern instead of the full candidate product
+	// — the aggregation-pruning idea of the DCFL lineage.
+	patterns map[uint32]int
+
+	// scratch buffers for Classify.
+	scratchCands [][]Candidate
+	scratchKey   []label.Label
+}
+
+// NewLookupTable builds a table from its configuration.
+func NewLookupTable(cfg TableConfig) (*LookupTable, error) {
+	if len(cfg.Fields) == 0 {
+		return nil, fmt.Errorf("core: table %d has no fields", cfg.ID)
+	}
+	if cfg.Miss.Kind == 0 {
+		cfg.Miss = MissPolicy{Kind: MissController}
+	}
+	seen := make(map[openflow.FieldID]bool, len(cfg.Fields))
+	if len(cfg.Fields) > 32 {
+		return nil, fmt.Errorf("core: table %d has %d fields, maximum 32", cfg.ID, len(cfg.Fields))
+	}
+	t := &LookupTable{
+		cfg:          cfg,
+		searchers:    make([]FieldSearcher, 0, len(cfg.Fields)),
+		combos:       crossprod.MustNew(len(cfg.Fields)),
+		actions:      NewActionTable(),
+		patterns:     make(map[uint32]int),
+		scratchCands: make([][]Candidate, len(cfg.Fields)),
+		scratchKey:   make([]label.Label, len(cfg.Fields)),
+	}
+	for _, f := range cfg.Fields {
+		if seen[f] {
+			return nil, fmt.Errorf("core: table %d lists field %s twice", cfg.ID, f)
+		}
+		seen[f] = true
+		s, err := NewFieldSearcher(f)
+		if err != nil {
+			return nil, fmt.Errorf("core: table %d: %w", cfg.ID, err)
+		}
+		t.searchers = append(t.searchers, s)
+	}
+	return t, nil
+}
+
+// ID returns the table identifier.
+func (t *LookupTable) ID() openflow.TableID { return t.cfg.ID }
+
+// Fields returns the searched fields in configuration order.
+func (t *LookupTable) Fields() []openflow.FieldID {
+	return append([]openflow.FieldID(nil), t.cfg.Fields...)
+}
+
+// Miss returns the miss policy.
+func (t *LookupTable) Miss() MissPolicy { return t.cfg.Miss }
+
+// Rules returns the number of installed flow entries.
+func (t *LookupTable) Rules() int { return t.rules }
+
+// matchFor returns the entry's constraint on field f, or an explicit
+// wildcard when the entry leaves f unconstrained.
+func matchFor(e *openflow.FlowEntry, f openflow.FieldID) openflow.Match {
+	if m, ok := e.Match(f); ok {
+		return m
+	}
+	return openflow.Any(f)
+}
+
+// checkCoverage verifies the entry constrains only fields this table
+// searches — anything else cannot be represented and is a configuration
+// error.
+func (t *LookupTable) checkCoverage(e *openflow.FlowEntry) error {
+	for _, m := range e.Matches {
+		covered := false
+		for _, f := range t.cfg.Fields {
+			if m.Field == f {
+				covered = true
+				break
+			}
+		}
+		if !covered && m.Kind != openflow.MatchAny {
+			return fmt.Errorf("core: table %d does not search field %s", t.cfg.ID, m.Field)
+		}
+	}
+	return nil
+}
+
+// Insert installs a flow entry.
+func (t *LookupTable) Insert(e *openflow.FlowEntry) error {
+	if err := e.Validate(); err != nil {
+		return fmt.Errorf("core: table %d insert: %w", t.cfg.ID, err)
+	}
+	if err := t.checkCoverage(e); err != nil {
+		return err
+	}
+	key := make([]label.Label, len(t.searchers))
+	for i, s := range t.searchers {
+		lab, err := s.Insert(matchFor(e, s.Field()))
+		if err != nil {
+			// Roll back the searchers already updated.
+			for j := 0; j < i; j++ {
+				_ = t.searchers[j].Remove(matchFor(e, t.searchers[j].Field()))
+			}
+			return fmt.Errorf("core: table %d insert: %w", t.cfg.ID, err)
+		}
+		key[i] = lab
+	}
+	actionIdx := t.actions.Add(e.Instructions)
+	if err := t.combos.Insert(key, crossprod.Binding{Priority: e.Priority, Payload: actionIdx}); err != nil {
+		_ = t.actions.Release(actionIdx)
+		for _, s := range t.searchers {
+			_ = s.Remove(matchFor(e, s.Field()))
+		}
+		return fmt.Errorf("core: table %d insert: %w", t.cfg.ID, err)
+	}
+	t.patterns[patternOf(key)]++
+	t.rules++
+	return nil
+}
+
+// patternOf computes the wildcard pattern of a combination key: bit i set
+// when dimension i carries a real label.
+func patternOf(key []label.Label) uint32 {
+	var p uint32
+	for i, l := range key {
+		if l != Wildcard {
+			p |= 1 << uint(i)
+		}
+	}
+	return p
+}
+
+// Remove uninstalls a flow entry previously installed with Insert. The
+// entry must carry the same matches, priority and instructions.
+func (t *LookupTable) Remove(e *openflow.FlowEntry) error {
+	if err := t.checkCoverage(e); err != nil {
+		return err
+	}
+	key := make([]label.Label, len(t.searchers))
+	for i, s := range t.searchers {
+		lab, err := s.LabelOf(matchFor(e, s.Field()))
+		if err != nil {
+			return fmt.Errorf("core: table %d remove: %w", t.cfg.ID, err)
+		}
+		key[i] = lab
+	}
+	actionIdx, ok := t.actions.Find(e.Instructions)
+	if !ok {
+		return fmt.Errorf("core: table %d remove: instruction set not installed", t.cfg.ID)
+	}
+	if err := t.combos.Remove(key, crossprod.Binding{Priority: e.Priority, Payload: actionIdx}); err != nil {
+		return fmt.Errorf("core: table %d remove: %w", t.cfg.ID, err)
+	}
+	for _, s := range t.searchers {
+		if err := s.Remove(matchFor(e, s.Field())); err != nil {
+			return fmt.Errorf("core: table %d remove: %w", t.cfg.ID, err)
+		}
+	}
+	if err := t.actions.Release(actionIdx); err != nil {
+		return fmt.Errorf("core: table %d remove: %w", t.cfg.ID, err)
+	}
+	p := patternOf(key)
+	t.patterns[p]--
+	if t.patterns[p] == 0 {
+		delete(t.patterns, p)
+	}
+	t.rules--
+	return nil
+}
+
+// MatchResult is a successful classification.
+type MatchResult struct {
+	Instructions []openflow.Instruction
+	Priority     int
+}
+
+// Classify runs the parallel field searches and the index calculation for
+// one packet header, returning the winning flow entry's instructions.
+// Candidate combinations are enumerated per live wildcard pattern, so
+// fields a pattern leaves unconstrained contribute no fan-out.
+func (t *LookupTable) Classify(h *openflow.Header) (MatchResult, bool) {
+	for i, s := range t.searchers {
+		t.scratchCands[i] = s.Search(h, t.scratchCands[i][:0])
+	}
+
+	best := crossprod.Binding{Priority: 0}
+	var bestSeq uint64
+	found := false
+	probe := func() {
+		if b, seq, ok := t.combos.LookupSeq(t.scratchKey); ok {
+			if !found || b.Priority > best.Priority || (b.Priority == best.Priority && seq < bestSeq) {
+				best, bestSeq, found = b, seq, true
+			}
+		}
+	}
+	for pattern := range t.patterns {
+		// A pattern requiring a constrained field with no candidate cannot
+		// match; skip it without enumerating.
+		viable := true
+		for i := range t.searchers {
+			if pattern&(1<<uint(i)) != 0 && len(t.scratchCands[i]) == 0 {
+				viable = false
+				break
+			}
+		}
+		if !viable {
+			continue
+		}
+		t.enumerate(0, pattern, probe)
+	}
+	if !found {
+		return MatchResult{}, false
+	}
+	instrs, err := t.actions.Get(best.Payload)
+	if err != nil {
+		// The combination store and action table are maintained together;
+		// a dangling index would be an internal invariant violation.
+		return MatchResult{}, false
+	}
+	return MatchResult{Instructions: instrs, Priority: best.Priority}, true
+}
+
+// enumerate walks the candidate product restricted to the pattern's
+// constrained dimensions, invoking fn for every composed key in
+// t.scratchKey.
+func (t *LookupTable) enumerate(dim int, pattern uint32, fn func()) {
+	if dim == len(t.scratchCands) {
+		fn()
+		return
+	}
+	if pattern&(1<<uint(dim)) == 0 {
+		t.scratchKey[dim] = Wildcard
+		t.enumerate(dim+1, pattern, fn)
+		return
+	}
+	for _, c := range t.scratchCands[dim] {
+		t.scratchKey[dim] = c.Label
+		t.enumerate(dim+1, pattern, fn)
+	}
+}
+
+// AddMemory contributes the table's memories (field searchers, index
+// calculation store, action table) to a system report.
+func (t *LookupTable) AddMemory(r *memmodel.SystemReport) {
+	prefix := fmt.Sprintf("table%d", t.cfg.ID)
+	for _, s := range t.searchers {
+		s.AddMemory(r, fmt.Sprintf("%s/%s", prefix, shortFieldName(s.Field())))
+	}
+	// Index calculation: one row per stored combination key, holding the
+	// per-field labels, a priority and the action index.
+	width := 0
+	for _, s := range t.searchers {
+		width += s.LabelBits()
+	}
+	width += 16 // priority
+	width += bitops.Log2Ceil(t.actions.Peak())
+	if keys := t.combos.PeakKeys(); keys > 0 {
+		r.Add(prefix+"/index-calc", keys, width)
+	}
+	if t.actions.Peak() > 0 {
+		r.Add(prefix+"/actions", t.actions.Peak(), memmodel.ActionEntryBits)
+	}
+}
+
+// Searcher returns the searcher handling field f, if the table has one.
+func (t *LookupTable) Searcher(f openflow.FieldID) (FieldSearcher, bool) {
+	for _, s := range t.searchers {
+		if s.Field() == f {
+			return s, true
+		}
+	}
+	return nil, false
+}
+
+// shortFieldName compacts field names for memory-report component names.
+func shortFieldName(f openflow.FieldID) string {
+	switch f {
+	case openflow.FieldVLANID:
+		return "vlan"
+	case openflow.FieldEthDst:
+		return "ethdst"
+	case openflow.FieldEthSrc:
+		return "ethsrc"
+	case openflow.FieldInPort:
+		return "inport"
+	case openflow.FieldIPv4Dst:
+		return "ipv4dst"
+	case openflow.FieldIPv4Src:
+		return "ipv4src"
+	case openflow.FieldMetadata:
+		return "metadata"
+	case openflow.FieldSrcPort:
+		return "sport"
+	case openflow.FieldDstPort:
+		return "dport"
+	case openflow.FieldIPProto:
+		return "proto"
+	default:
+		return fmt.Sprintf("f%d", int(f))
+	}
+}

@@ -1,0 +1,205 @@
+// Package crossprod implements the index-calculation stage of the paper's
+// architecture (Fig. 1, Section IV.C): the labels produced by the parallel
+// single-field searches are combined into a key that addresses the action
+// tables. The combination store follows the distributed-crossproducting
+// idea of reference [11] (Taylor & Turner): only label combinations that
+// correspond to installed rules are stored, and each combination carries
+// the priority of its best rule so that the lookup stage can resolve
+// overlapping candidates.
+//
+// Bindings are reference counted: inserting the same (key, priority,
+// payload) combination twice — as happens when many rules share a
+// decomposed sub-pattern — stores it once, and removal frees it only when
+// the last user disappears. This mirrors the storage behaviour the label
+// method is designed to achieve.
+package crossprod
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"ofmtl/internal/label"
+)
+
+// Wildcard is the label used in a combination key for a dimension the rule
+// leaves unconstrained.
+const Wildcard = label.NoLabel
+
+// Binding is one rule's entry under a combination key.
+type Binding struct {
+	Priority int
+	Payload  uint32 // typically an action-table index
+}
+
+type binding struct {
+	Binding
+	seq  uint64 // insertion order, for deterministic tie-breaking
+	refs int
+}
+
+// Table is a combination store over a fixed number of dimensions.
+// Create one with New. A Table is not safe for concurrent use (lookups
+// share a scratch buffer, matching the single-ported memory it models).
+type Table struct {
+	dims    int
+	m       map[string][]binding
+	nextSeq uint64
+	// bindingCount counts live distinct bindings (not references).
+	bindingCount int
+	// peakKeys tracks the high-water mark of distinct keys, used by the
+	// memory model to provision the combination memory.
+	peakKeys int
+	// scratch backs lookup-path key encoding; indexing the map with
+	// string(scratch) does not allocate.
+	scratch []byte
+}
+
+// New returns a table combining `dims` labels per key.
+func New(dims int) (*Table, error) {
+	if dims <= 0 {
+		return nil, fmt.Errorf("crossprod: dimension count %d out of range", dims)
+	}
+	return &Table{dims: dims, m: make(map[string][]binding)}, nil
+}
+
+// MustNew is New for known-good dimension counts.
+func MustNew(dims int) *Table {
+	t, err := New(dims)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Dims returns the table's dimension count.
+func (t *Table) Dims() int { return t.dims }
+
+func (t *Table) encode(key []label.Label) (string, error) {
+	buf, err := t.encodeScratch(key)
+	if err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+// encodeScratch encodes the key into the shared scratch buffer. The result
+// is only valid until the next encodeScratch call and must not be retained.
+func (t *Table) encodeScratch(key []label.Label) ([]byte, error) {
+	if len(key) != t.dims {
+		return nil, fmt.Errorf("crossprod: key has %d dims, table expects %d", len(key), t.dims)
+	}
+	if cap(t.scratch) < 4*t.dims {
+		t.scratch = make([]byte, 4*t.dims)
+	}
+	buf := t.scratch[:4*t.dims]
+	for i, l := range key {
+		binary.BigEndian.PutUint32(buf[4*i:], uint32(l))
+	}
+	return buf, nil
+}
+
+// Insert adds (or references) the binding under the combination key.
+func (t *Table) Insert(key []label.Label, b Binding) error {
+	k, err := t.encode(key)
+	if err != nil {
+		return err
+	}
+	list := t.m[k]
+	for i := range list {
+		if list[i].Binding == b {
+			list[i].refs++
+			return nil
+		}
+	}
+	nb := binding{Binding: b, seq: t.nextSeq, refs: 1}
+	t.nextSeq++
+	// Keep the list sorted by descending priority, ascending seq, so the
+	// head is the winning rule for this combination.
+	pos := len(list)
+	for i := range list {
+		if list[i].Priority < b.Priority {
+			pos = i
+			break
+		}
+	}
+	list = append(list, binding{})
+	copy(list[pos+1:], list[pos:])
+	list[pos] = nb
+	if len(list) == 1 {
+		if len(t.m)+1 > t.peakKeys {
+			t.peakKeys = len(t.m) + 1
+		}
+	}
+	t.m[k] = list
+	t.bindingCount++
+	return nil
+}
+
+// Remove dereferences the binding under the key, deleting it when its
+// reference count reaches zero.
+func (t *Table) Remove(key []label.Label, b Binding) error {
+	k, err := t.encode(key)
+	if err != nil {
+		return err
+	}
+	list, ok := t.m[k]
+	if !ok {
+		return fmt.Errorf("crossprod: remove of absent combination %v", key)
+	}
+	for i := range list {
+		if list[i].Binding != b {
+			continue
+		}
+		list[i].refs--
+		if list[i].refs > 0 {
+			return nil
+		}
+		list = append(list[:i], list[i+1:]...)
+		t.bindingCount--
+		if len(list) == 0 {
+			delete(t.m, k)
+		} else {
+			t.m[k] = list
+		}
+		return nil
+	}
+	return fmt.Errorf("crossprod: remove of absent binding %+v under %v", b, key)
+}
+
+// Lookup returns the best (highest-priority, earliest-inserted) binding
+// stored under the combination key. The lookup path does not allocate.
+func (t *Table) Lookup(key []label.Label) (Binding, bool) {
+	buf, err := t.encodeScratch(key)
+	if err != nil {
+		return Binding{}, false
+	}
+	list, ok := t.m[string(buf)]
+	if !ok || len(list) == 0 {
+		return Binding{}, false
+	}
+	return list[0].Binding, true
+}
+
+// LookupSeq is Lookup returning the insertion sequence as well, so callers
+// comparing bindings from several candidate keys can break priority ties
+// by insertion order.
+func (t *Table) LookupSeq(key []label.Label) (Binding, uint64, bool) {
+	buf, err := t.encodeScratch(key)
+	if err != nil {
+		return Binding{}, 0, false
+	}
+	list, ok := t.m[string(buf)]
+	if !ok || len(list) == 0 {
+		return Binding{}, 0, false
+	}
+	return list[0].Binding, list[0].seq, true
+}
+
+// Keys returns the number of distinct combination keys stored.
+func (t *Table) Keys() int { return len(t.m) }
+
+// PeakKeys returns the high-water mark of distinct keys.
+func (t *Table) PeakKeys() int { return t.peakKeys }
+
+// Bindings returns the number of distinct live bindings.
+func (t *Table) Bindings() int { return t.bindingCount }

@@ -1,0 +1,208 @@
+package crossprod
+
+import (
+	"testing"
+
+	"ofmtl/internal/label"
+	"ofmtl/internal/xrand"
+)
+
+func TestInsertLookup(t *testing.T) {
+	tbl := MustNew(2)
+	key := []label.Label{1, 2}
+	if err := tbl.Insert(key, Binding{Priority: 5, Payload: 100}); err != nil {
+		t.Fatal(err)
+	}
+	b, ok := tbl.Lookup(key)
+	if !ok || b.Payload != 100 || b.Priority != 5 {
+		t.Errorf("Lookup = %+v, %v", b, ok)
+	}
+	if _, ok := tbl.Lookup([]label.Label{1, 3}); ok {
+		t.Error("absent key should miss")
+	}
+}
+
+func TestLookupSeqOrdering(t *testing.T) {
+	tbl := MustNew(2)
+	if tbl.Dims() != 2 {
+		t.Errorf("Dims = %d", tbl.Dims())
+	}
+	k1 := []label.Label{1, 2}
+	k2 := []label.Label{3, 4}
+	if err := tbl.Insert(k1, Binding{Priority: 5, Payload: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Insert(k2, Binding{Priority: 5, Payload: 20}); err != nil {
+		t.Fatal(err)
+	}
+	_, seq1, ok1 := tbl.LookupSeq(k1)
+	_, seq2, ok2 := tbl.LookupSeq(k2)
+	if !ok1 || !ok2 {
+		t.Fatal("both keys should resolve")
+	}
+	if seq1 >= seq2 {
+		t.Errorf("insertion order not reflected: seq1=%d seq2=%d", seq1, seq2)
+	}
+	if _, _, ok := tbl.LookupSeq([]label.Label{9, 9}); ok {
+		t.Error("absent key should miss")
+	}
+	if _, _, ok := tbl.LookupSeq([]label.Label{1}); ok {
+		t.Error("wrong-dims key should miss")
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew(0) should panic")
+		}
+	}()
+	MustNew(0)
+}
+
+func TestDimensionEnforced(t *testing.T) {
+	tbl := MustNew(3)
+	if err := tbl.Insert([]label.Label{1, 2}, Binding{}); err == nil {
+		t.Error("wrong-dims insert should error")
+	}
+	if _, err := New(0); err == nil {
+		t.Error("zero dims should error")
+	}
+}
+
+func TestPriorityOrdering(t *testing.T) {
+	tbl := MustNew(1)
+	key := []label.Label{7}
+	if err := tbl.Insert(key, Binding{Priority: 1, Payload: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Insert(key, Binding{Priority: 9, Payload: 90}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Insert(key, Binding{Priority: 5, Payload: 50}); err != nil {
+		t.Fatal(err)
+	}
+	if b, _ := tbl.Lookup(key); b.Payload != 90 {
+		t.Errorf("head should be highest priority, got %+v", b)
+	}
+	// Removing the head exposes the next best.
+	if err := tbl.Remove(key, Binding{Priority: 9, Payload: 90}); err != nil {
+		t.Fatal(err)
+	}
+	if b, _ := tbl.Lookup(key); b.Payload != 50 {
+		t.Errorf("after removal head = %+v, want payload 50", b)
+	}
+}
+
+func TestPriorityTieBreaksBySeq(t *testing.T) {
+	tbl := MustNew(1)
+	key := []label.Label{1}
+	if err := tbl.Insert(key, Binding{Priority: 5, Payload: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Insert(key, Binding{Priority: 5, Payload: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if b, _ := tbl.Lookup(key); b.Payload != 1 {
+		t.Errorf("tie should keep first inserted at head, got %+v", b)
+	}
+}
+
+func TestRefcounting(t *testing.T) {
+	tbl := MustNew(2)
+	key := []label.Label{1, Wildcard}
+	b := Binding{Priority: 3, Payload: 33}
+	if err := tbl.Insert(key, b); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Insert(key, b); err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Bindings() != 1 {
+		t.Errorf("identical bindings should share storage: %d", tbl.Bindings())
+	}
+	if err := tbl.Remove(key, b); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := tbl.Lookup(key); !ok {
+		t.Error("binding freed too early")
+	}
+	if err := tbl.Remove(key, b); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := tbl.Lookup(key); ok {
+		t.Error("binding should be gone")
+	}
+	if err := tbl.Remove(key, b); err == nil {
+		t.Error("remove of absent binding should error")
+	}
+	if tbl.Keys() != 0 {
+		t.Errorf("keys = %d after full removal", tbl.Keys())
+	}
+}
+
+func TestPeakKeys(t *testing.T) {
+	tbl := MustNew(1)
+	for i := 0; i < 10; i++ {
+		if err := tbl.Insert([]label.Label{label.Label(i)}, Binding{Payload: uint32(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		if err := tbl.Remove([]label.Label{label.Label(i)}, Binding{Payload: uint32(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tbl.Keys() != 5 || tbl.PeakKeys() != 10 {
+		t.Errorf("Keys=%d PeakKeys=%d, want 5/10", tbl.Keys(), tbl.PeakKeys())
+	}
+}
+
+// Property: a table over random workloads behaves as a multimap with
+// priority-ordered values.
+func TestTableInvariants(t *testing.T) {
+	rng := xrand.New(77)
+	tbl := MustNew(2)
+	type entry struct {
+		key [2]label.Label
+		b   Binding
+	}
+	var live []entry
+	for i := 0; i < 3000; i++ {
+		if rng.Float64() < 0.6 || len(live) == 0 {
+			e := entry{
+				key: [2]label.Label{label.Label(rng.Intn(20)), label.Label(rng.Intn(20))},
+				b:   Binding{Priority: rng.Intn(10), Payload: uint32(rng.Intn(5))},
+			}
+			if err := tbl.Insert(e.key[:], e.b); err != nil {
+				t.Fatal(err)
+			}
+			live = append(live, e)
+		} else {
+			k := rng.Intn(len(live))
+			e := live[k]
+			if err := tbl.Remove(e.key[:], e.b); err != nil {
+				t.Fatal(err)
+			}
+			live = append(live[:k], live[k+1:]...)
+		}
+	}
+	// The head of every key must be its max-priority live binding.
+	bestByKey := map[[2]label.Label]int{}
+	liveKeys := map[[2]label.Label]bool{}
+	for _, e := range live {
+		liveKeys[e.key] = true
+		if cur, ok := bestByKey[e.key]; !ok || e.b.Priority > cur {
+			bestByKey[e.key] = e.b.Priority
+		}
+	}
+	for key, want := range bestByKey {
+		b, ok := tbl.Lookup(key[:])
+		if !ok || b.Priority != want {
+			t.Fatalf("key %v head priority = %d (%v), want %d", key, b.Priority, ok, want)
+		}
+	}
+	if tbl.Keys() != len(liveKeys) {
+		t.Errorf("Keys = %d, want %d", tbl.Keys(), len(liveKeys))
+	}
+}

@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"ofmtl/internal/filterset"
+)
+
+// Config parameterises the experiment harness.
+type Config struct {
+	// Seed drives every synthetic filter and trace.
+	Seed uint64
+	// ACLRules sizes the Table I baseline workload.
+	ACLRules int
+	// TraceLen sizes lookup traces where an experiment needs one.
+	TraceLen int
+}
+
+// DefaultConfig returns the configuration the published numbers in
+// EXPERIMENTS.md were produced with.
+func DefaultConfig() Config {
+	return Config{
+		Seed:     filterset.DefaultSeed,
+		ACLRules: 600,
+		TraceLen: 10000,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.Seed == 0 {
+		c.Seed = d.Seed
+	}
+	if c.ACLRules == 0 {
+		c.ACLRules = d.ACLRules
+	}
+	if c.TraceLen == 0 {
+		c.TraceLen = d.TraceLen
+	}
+	return c
+}
+
+// runner is one registered experiment.
+type runner struct {
+	id, title string
+	run       func(Config) (*Report, error)
+}
+
+// registry lists every experiment in presentation order. It is assembled
+// here rather than via init() so the order is explicit and the package has
+// no initialisation-order surprises.
+var registry = []runner{
+	{"table1", "Evaluation of multi-dimensional lookup algorithms (measured)", runTable1},
+	{"table2", "OpenFlow match fields, field length and matching method", runTable2},
+	{"table3", "Unique field values of flow-based MAC filter", runTable3},
+	{"table4", "Unique field values of flow-based Routing filter", runTable4},
+	{"fig2a", "Stored trie nodes for Ethernet address fields", runFig2a},
+	{"fig2b", "Stored trie nodes for IPv4 address fields", runFig2b},
+	{"fig3", "Memory per level, Ethernet lower trie", runFig3},
+	{"fig4a", "Memory per level, IPv4 lower trie (regular filters)", runFig4a},
+	{"fig4b", "Memory per level, IPv4 higher+lower tries (outlier filters)", runFig4b},
+	{"fig5", "Update clock cycles: original vs label method", runFig5},
+	{"headline", "Prototype memory total (Section V.A)", runHeadline},
+	{"ablation-strides", "Stride ablation: trie levels vs memory", runAblationStrides},
+	{"ablation-label", "Label-method ablation: storage with and without labels", runAblationLabel},
+	{"ablation-lutways", "LUT associativity ablation: overflow vs ways", runAblationLUTWays},
+	{"ext-scaling", "Extension: architecture vs TCAM memory across table sizes", runScaling},
+	{"ext-baseline-sweep", "Extension: Table I algorithms across rule-set sizes", runBaselineSweep},
+}
+
+// IDs returns the registered experiment identifiers in order.
+func IDs() []string {
+	out := make([]string, len(registry))
+	for i, r := range registry {
+		out[i] = r.id
+	}
+	return out
+}
+
+// Run executes one experiment by id.
+func Run(id string, cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	for _, r := range registry {
+		if r.id == id {
+			rep, err := r.run(cfg)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %s: %w", id, err)
+			}
+			rep.ID = r.id
+			rep.Title = r.title
+			return rep, nil
+		}
+	}
+	known := IDs()
+	sort.Strings(known)
+	return nil, fmt.Errorf("experiments: unknown experiment %q (known: %v)", id, known)
+}
+
+// RunAll executes every registered experiment in order.
+func RunAll(cfg Config) ([]*Report, error) {
+	out := make([]*Report, 0, len(registry))
+	for _, r := range registry {
+		rep, err := Run(r.id, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rep)
+	}
+	return out, nil
+}

@@ -1,0 +1,133 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section V) plus the ablations DESIGN.md calls out. Each
+// experiment produces a Report — a titled grid of rows with notes carrying
+// the paper-vs-measured comparison — renderable as aligned text or CSV.
+// The cmd/ofmem binary and the root benchmark suite drive this package.
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"text/tabwriter"
+)
+
+// Report is one regenerated table or figure.
+type Report struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a row, formatting each cell with %v.
+func (r *Report) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = strconv.FormatFloat(v, 'f', 2, 64)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	r.Rows = append(r.Rows, row)
+}
+
+// AddNote appends a formatted note line.
+func (r *Report) AddNote(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// WriteText renders the report as an aligned text table.
+func (r *Report) WriteText(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "== %s: %s ==\n", r.ID, r.Title); err != nil {
+		return fmt.Errorf("experiments: writing report %s: %w", r.ID, err)
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	for i, col := range r.Columns {
+		if i > 0 {
+			fmt.Fprint(tw, "\t")
+		}
+		fmt.Fprint(tw, col)
+	}
+	fmt.Fprintln(tw)
+	for _, row := range r.Rows {
+		for i, cell := range row {
+			if i > 0 {
+				fmt.Fprint(tw, "\t")
+			}
+			fmt.Fprint(tw, cell)
+		}
+		fmt.Fprintln(tw)
+	}
+	if err := tw.Flush(); err != nil {
+		return fmt.Errorf("experiments: flushing report %s: %w", r.ID, err)
+	}
+	for _, n := range r.Notes {
+		if _, err := fmt.Fprintf(w, "note: %s\n", n); err != nil {
+			return fmt.Errorf("experiments: writing notes of %s: %w", r.ID, err)
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// WriteCSV renders the rows (with a header) as CSV.
+func (r *Report) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(r.Columns); err != nil {
+		return fmt.Errorf("experiments: writing CSV header of %s: %w", r.ID, err)
+	}
+	for _, row := range r.Rows {
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("experiments: writing CSV row of %s: %w", r.ID, err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("experiments: flushing CSV of %s: %w", r.ID, err)
+	}
+	return nil
+}
+
+// Cell returns the cell at (row, col) for tests and shape assertions.
+func (r *Report) Cell(row, col int) string {
+	if row < 0 || row >= len(r.Rows) || col < 0 || col >= len(r.Rows[row]) {
+		return ""
+	}
+	return r.Rows[row][col]
+}
+
+// CellFloat parses the cell as a float.
+func (r *Report) CellFloat(row, col int) float64 {
+	v, err := strconv.ParseFloat(r.Cell(row, col), 64)
+	if err != nil {
+		return 0
+	}
+	return v
+}
+
+// CellInt parses the cell as an int.
+func (r *Report) CellInt(row, col int) int {
+	v, err := strconv.Atoi(r.Cell(row, col))
+	if err != nil {
+		return 0
+	}
+	return v
+}
+
+// FindRow returns the index of the first row whose first cell equals key,
+// or -1.
+func (r *Report) FindRow(key string) int {
+	for i, row := range r.Rows {
+		if len(row) > 0 && row[0] == key {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"ofmtl/internal/core"
+	"ofmtl/internal/filterset"
+	"ofmtl/internal/mbt"
+	"ofmtl/internal/openflow"
+)
+
+// trieData is a snapshot of the partition tries built for one filter's
+// address field: per-partition level statistics plus label-space peaks.
+// Figures 2-4 and the ablations all consume this shape; building it for
+// the large routing filters costs seconds, so snapshots are memoised per
+// (seed, application).
+type trieData struct {
+	name  string
+	parts []partData
+}
+
+type partData struct {
+	stats     []mbt.LevelStats
+	labelPeak int
+}
+
+func (d *trieData) storedNodes(i int) int {
+	total := 0
+	for _, ls := range d.parts[i].stats {
+		total += ls.CapacitySlots
+	}
+	return total
+}
+
+func (d *trieData) totalNodes() int {
+	total := 0
+	for i := range d.parts {
+		total += d.storedNodes(i)
+	}
+	return total
+}
+
+var trieCache = struct {
+	sync.Mutex
+	mac   map[uint64][]*trieData
+	route map[uint64][]*trieData
+}{mac: map[uint64][]*trieData{}, route: map[uint64][]*trieData{}}
+
+// macTrieData builds (or recalls) the Ethernet-address tries of all 16 MAC
+// filters: three 16-bit partitions per filter, populated through the real
+// PrefixFieldSearcher insert path so that the label method is exercised.
+func macTrieData(seed uint64) ([]*trieData, error) {
+	trieCache.Lock()
+	defer trieCache.Unlock()
+	if d, ok := trieCache.mac[seed]; ok {
+		return d, nil
+	}
+	var out []*trieData
+	for _, f := range filterset.GenerateAllMAC(seed) {
+		s, err := core.NewPrefixFieldSearcher(openflow.FieldEthDst)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range f.Rules {
+			if _, err := s.Insert(openflow.Exact(openflow.FieldEthDst, r.EthDst)); err != nil {
+				return nil, fmt.Errorf("inserting into %s Ethernet tries: %w", f.Name, err)
+			}
+		}
+		out = append(out, snapshot(f.Name, s))
+	}
+	trieCache.mac[seed] = out
+	return out, nil
+}
+
+// routeTrieData builds (or recalls) the IPv4-address tries of all 16
+// routing filters: higher and lower 16-bit partitions.
+func routeTrieData(seed uint64) ([]*trieData, error) {
+	trieCache.Lock()
+	defer trieCache.Unlock()
+	if d, ok := trieCache.route[seed]; ok {
+		return d, nil
+	}
+	var out []*trieData
+	for _, f := range filterset.GenerateAllRoute(seed) {
+		s, err := core.NewPrefixFieldSearcher(openflow.FieldIPv4Dst)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range f.Rules {
+			m := openflow.Prefix(openflow.FieldIPv4Dst, uint64(r.Prefix), r.PrefixLen)
+			if _, err := s.Insert(m); err != nil {
+				return nil, fmt.Errorf("inserting into %s IPv4 tries: %w", f.Name, err)
+			}
+		}
+		out = append(out, snapshot(f.Name, s))
+	}
+	trieCache.route[seed] = out
+	return out, nil
+}
+
+func snapshot(name string, s *core.PrefixFieldSearcher) *trieData {
+	d := &trieData{name: name}
+	for i := 0; i < s.Partitions(); i++ {
+		d.parts = append(d.parts, partData{
+			stats:     s.PartitionTrie(i).Stats(),
+			labelPeak: s.PartitionLabelPeak(i),
+		})
+	}
+	return d
+}
+
+// worstCase computes, across a set of tries (selected by partition index),
+// the per-level worst-case capacities (for pointer sizing, paper Section
+// V.A: "determined by the worst case") and the worst label peak.
+func worstCase(data []*trieData, part int) (nextCaps []int, labelPeak int) {
+	var levels int
+	for _, d := range data {
+		st := d.parts[part].stats
+		if len(st) > levels {
+			levels = len(st)
+		}
+		if d.parts[part].labelPeak > labelPeak {
+			labelPeak = d.parts[part].labelPeak
+		}
+	}
+	caps := make([]int, levels)
+	for _, d := range data {
+		for i, ls := range d.parts[part].stats {
+			if ls.CapacitySlots > caps[i] {
+				caps[i] = ls.CapacitySlots
+			}
+		}
+	}
+	if levels <= 1 {
+		return nil, labelPeak
+	}
+	return caps[1:], labelPeak
+}

@@ -1,0 +1,71 @@
+package filterset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParseMAC checks the MAC filter parser never panics and that accepted
+// inputs re-serialise to parseable form.
+func FuzzParseMAC(f *testing.F) {
+	f.Add("10 001122334455 3\n")
+	f.Add("# comment\n\n1 ffffffffffff 48\n")
+	f.Add("garbage")
+	f.Fuzz(func(t *testing.T, input string) {
+		flt, err := ParseMAC(strings.NewReader(input), "fuzz")
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteMAC(&buf, flt); err != nil {
+			t.Fatalf("write-back failed: %v", err)
+		}
+		again, err := ParseMAC(&buf, "fuzz")
+		if err != nil {
+			t.Fatalf("re-parse failed: %v", err)
+		}
+		if len(again.Rules) != len(flt.Rules) {
+			t.Fatalf("rule count changed across round trip")
+		}
+	})
+}
+
+// FuzzParseRoute checks the routing filter parser.
+func FuzzParseRoute(f *testing.F) {
+	f.Add("1 10.0.0.0/8 2\n")
+	f.Add("40 0.0.0.0/0 1\n")
+	f.Add("x y z")
+	f.Fuzz(func(t *testing.T, input string) {
+		flt, err := ParseRoute(strings.NewReader(input), "fuzz")
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteRoute(&buf, flt); err != nil {
+			t.Fatalf("write-back failed: %v", err)
+		}
+		if _, err := ParseRoute(&buf, "fuzz"); err != nil {
+			t.Fatalf("re-parse failed: %v", err)
+		}
+	})
+}
+
+// FuzzParseACL checks the ClassBench-style parser.
+func FuzzParseACL(f *testing.F) {
+	f.Add("@10.0.0.0/8 0.0.0.0/0 0 : 65535 80 : 80 0x06/0xff allow\n")
+	f.Add("@1.2.3.4/32 5.6.7.8/32 1 : 2 3 : 4 0x00/0x00 deny\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		flt, err := ParseACL(strings.NewReader(input), "fuzz")
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteACL(&buf, flt); err != nil {
+			t.Fatalf("write-back failed: %v", err)
+		}
+		if _, err := ParseACL(&buf, "fuzz"); err != nil {
+			t.Fatalf("re-parse failed: %v", err)
+		}
+	})
+}

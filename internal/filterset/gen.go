@@ -1,0 +1,499 @@
+package filterset
+
+import (
+	"fmt"
+
+	"ofmtl/internal/bitops"
+	"ofmtl/internal/xrand"
+)
+
+// Synthetic filter-set generation. The generators reproduce the published
+// per-filter statistics (Tables III and IV) exactly: every field value is
+// drawn from a pool whose size equals the published unique-value count,
+// every pool element is used by at least one rule, and rules are distinct.
+//
+// Below 16-bit granularity the pools are clustered the way the real
+// identifier spaces are: Ethernet NIC suffixes and CIDR blocks are
+// allocated sequentially, so values arrive in consecutive runs. The run
+// lengths below were calibrated against the paper's headline node counts
+// (DESIGN.md §5): with mean run ~3.5 the gozb lower Ethernet trie stores
+// ≈54k nodes (paper: 54 010); with mean run ~22 the coza/soza higher IPv4
+// tries store <40k nodes (paper: "less than 40000").
+const (
+	macHiRunMean  = 4.0  // OUI space: weakly clustered
+	macMidRunMean = 3.5  // middle 16 bits of NIC space
+	macLoRunMean  = 3.5  // NIC suffixes: sequential allocation
+	ipHiRunMean   = 46.0 // backbone /16 blocks: long sequential runs
+	ipLoRunMean   = 18.0 // subnet/host space within a /16
+)
+
+// DefaultSeed is the seed used by the experiment harness; any other seed
+// produces an equally valid instance of the same statistics.
+const DefaultSeed uint64 = 20150908 // SOCC'15 conference date
+
+// clusteredPool16 returns `count` distinct 16-bit values generated in
+// consecutive runs with the given mean length, modelling sequentially
+// allocated identifier spaces.
+func clusteredPool16(rng *xrand.Source, count int, runMean float64) []uint16 {
+	if count <= 0 {
+		return nil
+	}
+	if count > 65536 {
+		count = 65536
+	}
+	seen := make(map[uint16]struct{}, count)
+	out := make([]uint16, 0, count)
+	for len(out) < count {
+		start := uint16(rng.Intn(65536))
+		run := rng.Geometric(runMean)
+		for j := 0; j < run && len(out) < count; j++ {
+			v := start + uint16(j)
+			if _, dup := seen[v]; dup {
+				continue
+			}
+			seen[v] = struct{}{}
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// distinctInts returns `count` distinct integers in [lo, hi].
+func distinctInts(rng *xrand.Source, count, lo, hi int) []int {
+	space := hi - lo + 1
+	if count > space {
+		count = space
+	}
+	seen := make(map[int]struct{}, count)
+	out := make([]int, 0, count)
+	for len(out) < count {
+		v := lo + rng.Intn(space)
+		if _, dup := seen[v]; dup {
+			continue
+		}
+		seen[v] = struct{}{}
+		out = append(out, v)
+	}
+	return out
+}
+
+// GenerateMAC synthesises the named MAC-learning filter so that its
+// AnalyzeMAC statistics equal the Table III row for that name.
+func GenerateMAC(name string, seed uint64) (*MACFilter, error) {
+	t, ok := MACTargetFor(name)
+	if !ok {
+		return nil, fmt.Errorf("filterset: no Table III target named %q", name)
+	}
+	return GenerateMACFrom(t, seed), nil
+}
+
+// GenerateMACFrom synthesises a MAC filter matching an arbitrary target
+// row. The target must satisfy Rules >= max(VLAN, EthHi, EthMid, EthLo),
+// as every published row does; targets violating that are clamped by
+// emitting additional rules.
+func GenerateMACFrom(t MACTarget, seed uint64) *MACFilter {
+	rng := xrand.NewNamed(seed, "mac/"+t.Name)
+
+	vlanPool16 := distinctInts(rng.Derive("vlan"), t.VLAN, 1, 4094)
+	hiPool := clusteredPool16(rng.Derive("hi"), t.EthHi, macHiRunMean)
+	midPool := clusteredPool16(rng.Derive("mid"), t.EthMid, macMidRunMean)
+	loPool := clusteredPool16(rng.Derive("lo"), t.EthLo, macLoRunMean)
+
+	n := t.Rules
+	cover := max4(len(vlanPool16), len(hiPool), len(midPool), len(loPool))
+	if n < cover {
+		n = cover
+	}
+
+	type key struct {
+		vlan uint16
+		mac  uint64
+	}
+	seen := make(map[key]struct{}, n)
+	f := &MACFilter{Name: t.Name, Rules: make([]MACRule, 0, n)}
+	emit := func(vlan uint16, mac uint64) bool {
+		k := key{vlan, mac}
+		if _, dup := seen[k]; dup {
+			return false
+		}
+		seen[k] = struct{}{}
+		f.Rules = append(f.Rules, MACRule{
+			VLAN:    vlan,
+			EthDst:  mac,
+			OutPort: uint32(rng.Intn(48) + 1),
+		})
+		return true
+	}
+	mac48 := func(hi, mid, lo uint16) uint64 {
+		return uint64(hi)<<32 | uint64(mid)<<16 | uint64(lo)
+	}
+
+	// Coverage pass: cycling through every pool simultaneously guarantees
+	// each pool element appears; the largest pool's index is injective over
+	// the pass, so all tuples are distinct.
+	for i := 0; i < cover; i++ {
+		vlan := uint16(vlanPool16[i%len(vlanPool16)])
+		m := mac48(hiPool[i%len(hiPool)], midPool[i%len(midPool)], loPool[i%len(loPool)])
+		emit(vlan, m)
+	}
+	// Filler pass: random pool combinations, redrawing on collision.
+	for len(f.Rules) < n {
+		vlan := uint16(vlanPool16[rng.Intn(len(vlanPool16))])
+		m := mac48(
+			hiPool[rng.Intn(len(hiPool))],
+			midPool[rng.Intn(len(midPool))],
+			loPool[rng.Intn(len(loPool))],
+		)
+		if emit(vlan, m) {
+			continue
+		}
+		// Collision: walk the lower pool deterministically to find a free
+		// combination (guaranteed to exist while n <= product of pools).
+		for j := 0; j < len(loPool); j++ {
+			m = mac48(
+				hiPool[rng.Intn(len(hiPool))],
+				midPool[rng.Intn(len(midPool))],
+				loPool[j],
+			)
+			if emit(vlan, m) {
+				break
+			}
+		}
+	}
+	return f
+}
+
+// hiPart is one unique higher-partition prefix of a routing filter.
+type hiPart struct {
+	value uint16
+	plen  int // 0..16; 16 for rules whose prefix reaches the lower half
+}
+
+// loPart is one unique lower-partition prefix.
+type loPart struct {
+	value uint16
+	plen  int // 1..16; overall prefix length is 16 + plen
+}
+
+// GenerateRoute synthesises the named routing filter so that its
+// AnalyzeRoute statistics equal the Table IV row for that name.
+func GenerateRoute(name string, seed uint64) (*RouteFilter, error) {
+	t, ok := RouteTargetFor(name)
+	if !ok {
+		return nil, fmt.Errorf("filterset: no Table IV target named %q", name)
+	}
+	return GenerateRouteFrom(t, seed), nil
+}
+
+// loPlenWeights is the distribution of lower-partition prefix lengths
+// (overall prefix length minus 16). Index 0 is unused; indices 1..16 carry
+// weights. The mix is host-route heavy, as router forwarding tables with
+// connected interfaces and loopbacks are: ~40% /32, ~20% /27–/31,
+// ~25% /24, the rest shorter.
+var loPlenWeights = []float64{
+	0,             // (unused)
+	1, 1, 1, 2, 2, // /17../21
+	2, 3, 25, 3, 2, // /22../26 (/24 dominant at index 8)
+	6, 5, 4, 3, 2, // /27../31
+	40, // /32
+}
+
+// shortHiPlenWeights is the distribution of prefix lengths for rules not
+// reaching the lower partition (plen <= 16); index = plen 1..15. Real
+// backbone tables concentrate short routes around /8-/12 (class-A blocks
+// and aggregates), so lengths past 10 — which would allocate third-level
+// trie arrays — carry little weight.
+var shortHiPlenWeights = []float64{
+	0,
+	0.2, 0.2, 0.3, 0.3, 0.5,
+	0.5, 0.8, 6, 3, 3,
+	1, 1, 0.8, 0.6, 0.5,
+}
+
+// GenerateRouteFrom synthesises a routing filter matching an arbitrary
+// target row. Published rows always satisfy Rules >= IPHi and
+// Rules >= IPLo; rows violating that are topped up with extra rules.
+func GenerateRouteFrom(t RouteTarget, seed uint64) *RouteFilter {
+	rng := xrand.NewNamed(seed, "route/"+t.Name)
+
+	portPool := distinctInts(rng.Derive("port"), t.Ports, 1, 256)
+
+	// Compose the unique higher-partition set: one default route, a small
+	// share of short prefixes, the rest full 16-bit values.
+	nShort := t.IPHi / 64
+	if nShort < 1 {
+		nShort = 1
+	}
+	if nShort > 64 {
+		nShort = 64
+	}
+	nFull := t.IPHi - nShort
+	if nFull < 1 {
+		nFull = 1
+		nShort = t.IPHi - 1
+	}
+
+	his := make([]hiPart, 0, t.IPHi)
+	fullVals := clusteredPool16(rng.Derive("hi"), nFull, ipHiRunMean)
+	for _, v := range fullVals {
+		his = append(his, hiPart{value: v, plen: 16})
+	}
+	shortSeen := make(map[partKey]struct{}, nShort)
+	shortRng := rng.Derive("hishort")
+	for len(his) < t.IPHi {
+		var p hiPart
+		if len(shortSeen) == 0 {
+			p = hiPart{value: 0, plen: 0} // the 0.0.0.0/0 default route
+		} else {
+			plen := shortRng.Pick(shortHiPlenWeights)
+			if plen == 0 {
+				plen = 8
+			}
+			v := uint16(shortRng.Intn(65536)) & uint16(bitops.Mask64(plen, 16))
+			p = hiPart{value: v, plen: plen}
+		}
+		k := partKey{p.value, p.plen}
+		if _, dup := shortSeen[k]; dup {
+			continue
+		}
+		shortSeen[k] = struct{}{}
+		his = append(his, p)
+	}
+	fulls := his[:nFull]
+	shorts := his[nFull:]
+
+	// Compose the unique lower-partition set.
+	los := make([]loPart, 0, t.IPLo)
+	loSeen := make(map[partKey]struct{}, t.IPLo)
+	loValRng := rng.Derive("lo")
+	loStream := newClusterStream(rng.Derive("lostream"), ipLoRunMean)
+	for len(los) < t.IPLo {
+		plen := loValRng.Pick(loPlenWeights)
+		if plen == 0 {
+			plen = 16
+		}
+		v := loStream.next() & uint16(bitops.Mask64(plen, 16))
+		k := partKey{v, plen}
+		if _, dup := loSeen[k]; dup {
+			continue
+		}
+		loSeen[k] = struct{}{}
+		los = append(los, loPart{value: v, plen: plen})
+	}
+
+	n := t.Rules
+	if min := t.IPLo + len(shorts); n < min {
+		n = min
+	}
+
+	type key struct {
+		port uint32
+		hi   partKey
+		lo   partKey // plen 0 means "no lower part"
+	}
+	seen := make(map[key]struct{}, n)
+	f := &RouteFilter{Name: t.Name, Rules: make([]RouteRule, 0, n)}
+	emit := func(port uint32, h hiPart, l *loPart) bool {
+		k := key{port: port, hi: partKey{h.value, h.plen}}
+		if l != nil {
+			k.lo = partKey{l.value, l.plen}
+		}
+		if _, dup := seen[k]; dup {
+			return false
+		}
+		seen[k] = struct{}{}
+		r := RouteRule{
+			InPort:  port,
+			NextHop: uint32(rng.Intn(64) + 1),
+		}
+		if l != nil {
+			r.Prefix = uint32(h.value)<<16 | uint32(l.value)
+			r.PrefixLen = 16 + l.plen
+		} else {
+			r.Prefix = uint32(h.value) << 16
+			r.PrefixLen = h.plen
+		}
+		f.Rules = append(f.Rules, r)
+		return true
+	}
+	randPort := func() uint32 { return uint32(portPool[rng.Intn(len(portPool))]) }
+
+	// Stage A: cover every lower part (cycling ports and full highs).
+	for i, l := range los {
+		lp := l
+		emit(uint32(portPool[i%len(portPool)]), fulls[i%len(fulls)], &lp)
+	}
+	// Stage B: cover every full high not touched by stage A.
+	for i := len(los); i < len(fulls); i++ {
+		lp := los[i%len(los)]
+		emit(randPort(), fulls[i], &lp)
+	}
+	// Stage C: cover every short high (no lower part by construction).
+	for _, h := range shorts {
+		emit(randPort(), h, nil)
+	}
+	// Stage D: filler — random (port, full-high, low) combinations, with a
+	// small share of /16 exact rules (full high, no lower part).
+	for len(f.Rules) < n {
+		h := fulls[rng.Intn(len(fulls))]
+		if rng.Float64() < 0.03 {
+			if emit(randPort(), h, nil) {
+				continue
+			}
+		}
+		lp := los[rng.Intn(len(los))]
+		if emit(randPort(), h, &lp) {
+			continue
+		}
+		// Collision: walk the lower set deterministically.
+		port := randPort()
+		for j := range los {
+			lj := los[j]
+			if emit(port, h, &lj) {
+				break
+			}
+		}
+	}
+	return f
+}
+
+// clusterStream yields 16-bit values in consecutive runs, for sampling
+// clustered spaces without materialising a pool.
+type clusterStream struct {
+	rng  *xrand.Source
+	mean float64
+	cur  uint16
+	left int
+}
+
+func newClusterStream(rng *xrand.Source, mean float64) *clusterStream {
+	return &clusterStream{rng: rng, mean: mean}
+}
+
+func (c *clusterStream) next() uint16 {
+	if c.left <= 0 {
+		c.cur = uint16(c.rng.Intn(65536))
+		c.left = c.rng.Geometric(c.mean)
+	}
+	v := c.cur
+	c.cur++
+	c.left--
+	return v
+}
+
+// GenerateAllMAC synthesises all sixteen MAC filters of Table III.
+func GenerateAllMAC(seed uint64) []*MACFilter {
+	out := make([]*MACFilter, 0, len(tableIII))
+	for _, t := range tableIII {
+		out = append(out, GenerateMACFrom(t, seed))
+	}
+	return out
+}
+
+// GenerateAllRoute synthesises all sixteen routing filters of Table IV.
+func GenerateAllRoute(seed uint64) []*RouteFilter {
+	out := make([]*RouteFilter, 0, len(tableIV))
+	for _, t := range tableIV {
+		out = append(out, GenerateRouteFrom(t, seed))
+	}
+	return out
+}
+
+// GenerateACL synthesises a ClassBench-flavoured 5-tuple ACL filter with
+// the given rule count, used by the Table I baseline comparison and the
+// ACL example.
+func GenerateACL(name string, rules int, seed uint64) *ACLFilter {
+	rng := xrand.NewNamed(seed, "acl/"+name)
+	f := &ACLFilter{Name: name, Rules: make([]ACLRule, 0, rules)}
+
+	srcPool := clusteredPool16(rng.Derive("src"), maxInt(16, rules/8), 8)
+	dstPool := clusteredPool16(rng.Derive("dst"), maxInt(16, rules/4), 8)
+	wellKnown := []uint16{22, 25, 53, 80, 110, 123, 143, 443, 993, 3306, 5432, 8080}
+
+	plenWeights := []float64{5, 0, 0, 0, 0, 0, 0, 0, 10, 0, 0, 0, 0, 0, 0, 0, 20, 0, 0, 0, 0, 0, 0, 0, 40, 0, 0, 0, 10, 0, 0, 0, 15}
+	portKind := []float64{40, 30, 15, 15} // any, well-known, ephemeral, narrow
+	protoKind := []float64{50, 30, 15, 5} // tcp, udp, any, icmp
+
+	drawPrefix := func(pool []uint16, r *xrand.Source) (uint32, int) {
+		plen := r.Pick(plenWeights)
+		hi := pool[r.Intn(len(pool))]
+		lo := uint16(r.Intn(65536))
+		v := uint32(hi)<<16 | uint32(lo)
+		return v & uint32(bitops.Mask64(plen, 32)), plen
+	}
+	drawPorts := func(r *xrand.Source) (uint16, uint16) {
+		switch r.Pick(portKind) {
+		case 0:
+			return 0, 65535
+		case 1:
+			p := wellKnown[r.Intn(len(wellKnown))]
+			return p, p
+		case 2:
+			return 1024, 65535
+		default:
+			lo := uint16(r.Intn(60000))
+			return lo, lo + uint16(r.Intn(512))
+		}
+	}
+
+	for i := 0; i < rules; i++ {
+		var rule ACLRule
+		rule.SrcIP, rule.SrcLen = drawPrefix(srcPool, rng)
+		rule.DstIP, rule.DstLen = drawPrefix(dstPool, rng)
+		rule.SrcPortLo, rule.SrcPortHi = drawPorts(rng)
+		rule.DstPortLo, rule.DstPortHi = drawPorts(rng)
+		switch rng.Pick(protoKind) {
+		case 0:
+			rule.Proto = 6
+		case 1:
+			rule.Proto = 17
+		case 2:
+			rule.ProtoAny = true
+		default:
+			rule.Proto = 1
+		}
+		rule.Allow = rng.Float64() < 0.7
+		rule.Priority = rules - i
+		f.Rules = append(f.Rules, rule)
+	}
+	return f
+}
+
+// GenerateARP synthesises an ARP filter with the given rule count.
+func GenerateARP(name string, rules int, seed uint64) *ARPFilter {
+	rng := xrand.NewNamed(seed, "arp/"+name)
+	f := &ARPFilter{Name: name, Rules: make([]ARPRule, 0, rules)}
+	seen := make(map[uint32]struct{}, rules)
+	stream := newClusterStream(rng, 12)
+	base := uint32(rng.Intn(256))<<24 | uint32(rng.Intn(256))<<16
+	for len(f.Rules) < rules {
+		ip := base | uint32(stream.next())
+		if _, dup := seen[ip]; dup {
+			continue
+		}
+		seen[ip] = struct{}{}
+		f.Rules = append(f.Rules, ARPRule{TargetIP: ip, OutPort: uint32(rng.Intn(48) + 1)})
+	}
+	return f
+}
+
+func max4(a, b, c, d int) int {
+	m := a
+	if b > m {
+		m = b
+	}
+	if c > m {
+		m = c
+	}
+	if d > m {
+		m = d
+	}
+	return m
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

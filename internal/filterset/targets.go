@@ -1,0 +1,114 @@
+package filterset
+
+// This file embeds the published per-filter statistics of the paper's
+// Tables III and IV. They serve two roles: (1) generation targets — the
+// synthetic generator reproduces every count exactly — and (2) the
+// paper-side column of the Table III / Table IV reproduction experiments.
+
+// MACTarget holds one row of Table III: the rule count and the number of
+// unique values of each field (VLAN ID; higher/middle/lower 16-bit
+// partitions of the destination Ethernet address).
+type MACTarget struct {
+	Name   string
+	Rules  int
+	VLAN   int
+	EthHi  int
+	EthMid int
+	EthLo  int
+}
+
+// RouteTarget holds one row of Table IV: the rule count and the number of
+// unique values of each field (ingress port; higher/lower 16-bit
+// partitions of the IPv4 address).
+type RouteTarget struct {
+	Name  string
+	Rules int
+	Ports int
+	IPHi  int
+	IPLo  int
+}
+
+// tableIII reproduces Table III of the paper ("Number of unique field
+// values of flow-based MAC filter").
+var tableIII = []MACTarget{
+	{"bbra", 507, 48, 46, 133, 261},
+	{"bbrb", 151, 16, 26, 38, 55},
+	{"boza", 3664, 139, 136, 3276, 2664},
+	{"bozb", 4454, 139, 137, 1338, 3440},
+	{"coza", 3295, 32, 225, 1578, 2824},
+	{"cozb", 2129, 32, 194, 1101, 1861},
+	{"goza", 6687, 208, 172, 2579, 5480},
+	{"gozb", 7370, 209, 159, 1946, 6177},
+	{"poza", 4533, 153, 195, 2165, 3786},
+	{"pozb", 4999, 155, 169, 1759, 4170},
+	{"roza", 3851, 114, 136, 2389, 3264},
+	{"rozb", 3711, 113, 140, 1920, 3175},
+	{"soza", 3153, 41, 187, 1115, 2682},
+	{"sozb", 2399, 39, 161, 821, 2132},
+	{"yoza", 3944, 112, 178, 1655, 3180},
+	{"yozb", 2944, 101, 162, 1298, 2351},
+}
+
+// tableIV reproduces Table IV of the paper ("Number of unique field values
+// of flow-based Routing filter"). coza, cozb, soza and sozb are the
+// outlier filters the paper highlights: their higher 16-bit partitions
+// carry more unique values than their lower partitions.
+var tableIV = []RouteTarget{
+	{"bbra", 1835, 40, 82, 1190},
+	{"bbrb", 1678, 20, 82, 1015},
+	{"boza", 1614, 26, 53, 1084},
+	{"bozb", 1455, 26, 53, 952},
+	{"coza", 184909, 43, 20214, 7062},
+	{"cozb", 183376, 39, 20212, 5575},
+	{"goza", 1767, 21, 57, 1216},
+	{"gozb", 1669, 22, 57, 1138},
+	{"poza", 1489, 18, 54, 976},
+	{"pozb", 1434, 20, 54, 932},
+	{"roza", 1567, 17, 52, 1053},
+	{"rozb", 1483, 16, 52, 988},
+	{"soza", 184682, 48, 20212, 6723},
+	{"sozb", 180944, 36, 20212, 3168},
+	{"yoza", 4746, 77, 58, 3610},
+	{"yozb", 2592, 48, 55, 1955},
+}
+
+// MACTargets returns Table III (copied; callers may not mutate the source).
+func MACTargets() []MACTarget { return append([]MACTarget(nil), tableIII...) }
+
+// RouteTargets returns Table IV (copied).
+func RouteTargets() []RouteTarget { return append([]RouteTarget(nil), tableIV...) }
+
+// MACTargetFor returns the Table III row for a named filter.
+func MACTargetFor(name string) (MACTarget, bool) {
+	for _, t := range tableIII {
+		if t.Name == name {
+			return t, true
+		}
+	}
+	return MACTarget{}, false
+}
+
+// RouteTargetFor returns the Table IV row for a named filter.
+func RouteTargetFor(name string) (RouteTarget, bool) {
+	for _, t := range tableIV {
+		if t.Name == name {
+			return t, true
+		}
+	}
+	return RouteTarget{}, false
+}
+
+// OutlierFilters lists the routing filters the paper singles out (Section
+// III.C and Fig. 4(b)): their higher tries dominate their lower tries.
+var OutlierFilters = []string{"coza", "cozb", "soza", "sozb"}
+
+// IsOutlier reports whether name is one of the paper's outlier routing
+// filters.
+func IsOutlier(name string) bool {
+	for _, n := range OutlierFilters {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}

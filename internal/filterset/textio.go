@@ -1,0 +1,273 @@
+package filterset
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Text formats for filter sets, one rule per line, '#' comments. The MAC
+// and routing formats are native to this repository; the ACL format
+// follows the ClassBench convention (leading '@', port ranges written
+// "lo : hi") so third-party 5-tuple sets can be imported.
+
+// WriteMAC serialises a MAC filter.
+func WriteMAC(w io.Writer, f *MACFilter) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# ofmtl mac filter %s (%d rules)\n", f.Name, len(f.Rules))
+	for _, r := range f.Rules {
+		fmt.Fprintf(bw, "%d %012x %d\n", r.VLAN, r.EthDst, r.OutPort)
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("filterset: writing MAC filter %s: %w", f.Name, err)
+	}
+	return nil
+}
+
+// ParseMAC reads a MAC filter in WriteMAC's format.
+func ParseMAC(r io.Reader, name string) (*MACFilter, error) {
+	f := &MACFilter{Name: name}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("filterset: %s line %d: want 3 fields, got %d", name, lineNo, len(fields))
+		}
+		vlan, err := strconv.ParseUint(fields[0], 10, 12)
+		if err != nil {
+			return nil, fmt.Errorf("filterset: %s line %d: vlan: %w", name, lineNo, err)
+		}
+		mac, err := strconv.ParseUint(fields[1], 16, 48)
+		if err != nil {
+			return nil, fmt.Errorf("filterset: %s line %d: mac: %w", name, lineNo, err)
+		}
+		port, err := strconv.ParseUint(fields[2], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("filterset: %s line %d: port: %w", name, lineNo, err)
+		}
+		f.Rules = append(f.Rules, MACRule{VLAN: uint16(vlan), EthDst: mac, OutPort: uint32(port)})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("filterset: reading MAC filter %s: %w", name, err)
+	}
+	return f, nil
+}
+
+// WriteRoute serialises a routing filter.
+func WriteRoute(w io.Writer, f *RouteFilter) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# ofmtl route filter %s (%d rules)\n", f.Name, len(f.Rules))
+	for _, r := range f.Rules {
+		fmt.Fprintf(bw, "%d %s/%d %d\n", r.InPort, formatIPv4(r.Prefix), r.PrefixLen, r.NextHop)
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("filterset: writing route filter %s: %w", f.Name, err)
+	}
+	return nil
+}
+
+// ParseRoute reads a routing filter in WriteRoute's format.
+func ParseRoute(r io.Reader, name string) (*RouteFilter, error) {
+	f := &RouteFilter{Name: name}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("filterset: %s line %d: want 3 fields, got %d", name, lineNo, len(fields))
+		}
+		port, err := strconv.ParseUint(fields[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("filterset: %s line %d: port: %w", name, lineNo, err)
+		}
+		prefix, plen, err := parseCIDR(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("filterset: %s line %d: %w", name, lineNo, err)
+		}
+		hop, err := strconv.ParseUint(fields[2], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("filterset: %s line %d: nexthop: %w", name, lineNo, err)
+		}
+		f.Rules = append(f.Rules, RouteRule{
+			InPort: uint32(port), Prefix: prefix, PrefixLen: plen, NextHop: uint32(hop),
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("filterset: reading route filter %s: %w", name, err)
+	}
+	return f, nil
+}
+
+// WriteACL serialises an ACL filter in ClassBench-style syntax.
+func WriteACL(w io.Writer, f *ACLFilter) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# ofmtl acl filter %s (%d rules)\n", f.Name, len(f.Rules))
+	for _, r := range f.Rules {
+		proto := "0x00/0x00"
+		if !r.ProtoAny {
+			proto = fmt.Sprintf("0x%02x/0xff", r.Proto)
+		}
+		verdict := "deny"
+		if r.Allow {
+			verdict = "allow"
+		}
+		fmt.Fprintf(bw, "@%s/%d %s/%d %d : %d %d : %d %s %s\n",
+			formatIPv4(r.SrcIP), r.SrcLen, formatIPv4(r.DstIP), r.DstLen,
+			r.SrcPortLo, r.SrcPortHi, r.DstPortLo, r.DstPortHi, proto, verdict)
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("filterset: writing ACL filter %s: %w", f.Name, err)
+	}
+	return nil
+}
+
+// ParseACL reads an ACL filter in WriteACL's format.
+func ParseACL(r io.Reader, name string) (*ACLFilter, error) {
+	f := &ACLFilter{Name: name}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !strings.HasPrefix(line, "@") {
+			return nil, fmt.Errorf("filterset: %s line %d: ACL rules start with '@'", name, lineNo)
+		}
+		fields := strings.Fields(line[1:])
+		if len(fields) != 10 {
+			return nil, fmt.Errorf("filterset: %s line %d: want 10 fields, got %d", name, lineNo, len(fields))
+		}
+		var rule ACLRule
+		var err error
+		if rule.SrcIP, rule.SrcLen, err = parseCIDR(fields[0]); err != nil {
+			return nil, fmt.Errorf("filterset: %s line %d: src: %w", name, lineNo, err)
+		}
+		if rule.DstIP, rule.DstLen, err = parseCIDR(fields[1]); err != nil {
+			return nil, fmt.Errorf("filterset: %s line %d: dst: %w", name, lineNo, err)
+		}
+		ports := []*uint16{&rule.SrcPortLo, &rule.SrcPortHi, &rule.DstPortLo, &rule.DstPortHi}
+		for i, idx := range []int{2, 4, 5, 7} {
+			v, err := strconv.ParseUint(fields[idx], 10, 16)
+			if err != nil {
+				return nil, fmt.Errorf("filterset: %s line %d: port %d: %w", name, lineNo, i, err)
+			}
+			*ports[i] = uint16(v)
+		}
+		if fields[3] != ":" || fields[6] != ":" {
+			return nil, fmt.Errorf("filterset: %s line %d: malformed port range", name, lineNo)
+		}
+		protoParts := strings.SplitN(fields[8], "/", 2)
+		if len(protoParts) != 2 {
+			return nil, fmt.Errorf("filterset: %s line %d: malformed protocol", name, lineNo)
+		}
+		protoVal, err := strconv.ParseUint(strings.TrimPrefix(protoParts[0], "0x"), 16, 8)
+		if err != nil {
+			return nil, fmt.Errorf("filterset: %s line %d: protocol: %w", name, lineNo, err)
+		}
+		rule.ProtoAny = protoParts[1] == "0x00"
+		if !rule.ProtoAny {
+			rule.Proto = uint8(protoVal)
+		}
+		rule.Allow = fields[9] == "allow"
+		rule.Priority = len(f.Rules) // refined below
+		f.Rules = append(f.Rules, rule)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("filterset: reading ACL filter %s: %w", name, err)
+	}
+	for i := range f.Rules {
+		f.Rules[i].Priority = len(f.Rules) - i
+	}
+	return f, nil
+}
+
+// WriteARP serialises an ARP filter.
+func WriteARP(w io.Writer, f *ARPFilter) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# ofmtl arp filter %s (%d rules)\n", f.Name, len(f.Rules))
+	for _, r := range f.Rules {
+		fmt.Fprintf(bw, "%s %d\n", formatIPv4(r.TargetIP), r.OutPort)
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("filterset: writing ARP filter %s: %w", f.Name, err)
+	}
+	return nil
+}
+
+// ParseARP reads an ARP filter in WriteARP's format.
+func ParseARP(r io.Reader, name string) (*ARPFilter, error) {
+	f := &ARPFilter{Name: name}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("filterset: %s line %d: want 2 fields, got %d", name, lineNo, len(fields))
+		}
+		ip, plen, err := parseCIDR(fields[0] + "/32")
+		if err != nil || plen != 32 {
+			return nil, fmt.Errorf("filterset: %s line %d: bad IPv4 %q", name, lineNo, fields[0])
+		}
+		port, err := strconv.ParseUint(fields[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("filterset: %s line %d: port: %w", name, lineNo, err)
+		}
+		f.Rules = append(f.Rules, ARPRule{TargetIP: ip, OutPort: uint32(port)})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("filterset: reading ARP filter %s: %w", name, err)
+	}
+	return f, nil
+}
+
+func parseCIDR(s string) (uint32, int, error) {
+	slash := strings.IndexByte(s, '/')
+	if slash < 0 {
+		return 0, 0, fmt.Errorf("missing '/' in prefix %q", s)
+	}
+	plen, err := strconv.Atoi(s[slash+1:])
+	if err != nil || plen < 0 || plen > 32 {
+		return 0, 0, fmt.Errorf("bad prefix length in %q", s)
+	}
+	quads := strings.Split(s[:slash], ".")
+	if len(quads) != 4 {
+		return 0, 0, fmt.Errorf("bad IPv4 address in %q", s)
+	}
+	var v uint32
+	for _, q := range quads {
+		b, err := strconv.ParseUint(q, 10, 8)
+		if err != nil {
+			return 0, 0, fmt.Errorf("bad IPv4 octet in %q", s)
+		}
+		v = v<<8 | uint32(b)
+	}
+	return v, plen, nil
+}
+
+func formatIPv4(v uint32) string {
+	return fmt.Sprintf("%d.%d.%d.%d", byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}

@@ -1,0 +1,168 @@
+package filterset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestMACRoundTrip(t *testing.T) {
+	f, err := GenerateMAC("bbrb", DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteMAC(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseMAC(&buf, "bbrb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Rules) != len(f.Rules) {
+		t.Fatalf("rule count %d != %d", len(got.Rules), len(f.Rules))
+	}
+	for i := range f.Rules {
+		if got.Rules[i] != f.Rules[i] {
+			t.Fatalf("rule %d mismatch: %+v != %+v", i, got.Rules[i], f.Rules[i])
+		}
+	}
+}
+
+func TestRouteRoundTrip(t *testing.T) {
+	f, err := GenerateRoute("bbra", DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteRoute(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseRoute(&buf, "bbra")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Rules) != len(f.Rules) {
+		t.Fatalf("rule count %d != %d", len(got.Rules), len(f.Rules))
+	}
+	for i := range f.Rules {
+		if got.Rules[i] != f.Rules[i] {
+			t.Fatalf("rule %d mismatch: %+v != %+v", i, got.Rules[i], f.Rules[i])
+		}
+	}
+}
+
+func TestACLRoundTrip(t *testing.T) {
+	f := GenerateACL("acl-rt", 200, DefaultSeed)
+	var buf bytes.Buffer
+	if err := WriteACL(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseACL(&buf, "acl-rt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Rules) != len(f.Rules) {
+		t.Fatalf("rule count %d != %d", len(got.Rules), len(f.Rules))
+	}
+	for i := range f.Rules {
+		a, b := f.Rules[i], got.Rules[i]
+		// Priority is recomputed from position; compare the rest.
+		a.Priority, b.Priority = 0, 0
+		if a != b {
+			t.Fatalf("rule %d mismatch:\n%+v\n%+v", i, a, b)
+		}
+	}
+}
+
+func TestARPRoundTrip(t *testing.T) {
+	f := GenerateARP("arp-rt", 150, DefaultSeed)
+	var buf bytes.Buffer
+	if err := WriteARP(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseARP(&buf, "arp-rt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Rules) != len(f.Rules) {
+		t.Fatalf("rule count %d != %d", len(got.Rules), len(f.Rules))
+	}
+	for i := range f.Rules {
+		if got.Rules[i] != f.Rules[i] {
+			t.Fatalf("rule %d mismatch: %+v != %+v", i, got.Rules[i], f.Rules[i])
+		}
+	}
+}
+
+func TestParseARPErrors(t *testing.T) {
+	cases := []string{
+		"10.0.0.1",          // missing port
+		"10.0.0.1/8 2",      // CIDR not allowed
+		"300.0.0.1 2",       // bad octet
+		"10.0.0.1 notaport", // bad port
+	}
+	for _, c := range cases {
+		if _, err := ParseARP(strings.NewReader(c), "t"); err == nil {
+			t.Errorf("line %q should fail to parse", c)
+		}
+	}
+}
+
+func TestParseMACErrors(t *testing.T) {
+	cases := []string{
+		"1 2",                     // too few fields
+		"abc 001122334455 1",      // bad vlan
+		"5000 001122334455 1",     // vlan out of range
+		"1 xyz 1",                 // bad mac
+		"1 001122334455 notaport", // bad port
+	}
+	for _, c := range cases {
+		if _, err := ParseMAC(strings.NewReader(c), "t"); err == nil {
+			t.Errorf("line %q should fail to parse", c)
+		}
+	}
+	// Comments and blank lines are fine.
+	f, err := ParseMAC(strings.NewReader("# comment\n\n10 001122334455 3\n"), "t")
+	if err != nil || len(f.Rules) != 1 {
+		t.Errorf("comment handling failed: %v", err)
+	}
+}
+
+func TestParseRouteErrors(t *testing.T) {
+	cases := []string{
+		"1 10.0.0.0 2",    // missing /len
+		"1 10.0.0.0/33 2", // bad len
+		"1 10.0.0/8 2",    // bad quad count
+		"1 300.0.0.0/8 2", // bad octet
+		"x 10.0.0.0/8 2",  // bad port
+	}
+	for _, c := range cases {
+		if _, err := ParseRoute(strings.NewReader(c), "t"); err == nil {
+			t.Errorf("line %q should fail to parse", c)
+		}
+	}
+}
+
+func TestParseACLErrors(t *testing.T) {
+	cases := []string{
+		"10.0.0.0/8 10.0.0.0/8 0 : 65535 0 : 65535 0x06/0xff allow", // no @
+		"@10.0.0.0/8 10.0.0.0/8 0 : 65535 0 65535 0x06/0xff allow",  // missing colon
+		"@10.0.0.0/8 10.0.0.0/8 0 : 65535 0 : 65535 0x06 allow x",   // malformed proto
+	}
+	for _, c := range cases {
+		if _, err := ParseACL(strings.NewReader(c), "t"); err == nil {
+			t.Errorf("line %q should fail to parse", c)
+		}
+	}
+}
+
+func TestParseCIDR(t *testing.T) {
+	v, l, err := parseCIDR("192.168.1.0/24")
+	if err != nil || v != 0xC0A80100 || l != 24 {
+		t.Errorf("parseCIDR = %x/%d, %v", v, l, err)
+	}
+	if _, _, err := parseCIDR("0.0.0.0/0"); err != nil {
+		t.Errorf("default route should parse: %v", err)
+	}
+}

@@ -1,0 +1,36 @@
+package label_test
+
+import (
+	"fmt"
+
+	"ofmtl/internal/label"
+)
+
+// Example shows the label method on a field with heavy value repetition:
+// three rules share one unique value, which is stored once and freed only
+// when the last rule using it is removed.
+func Example() {
+	alloc := label.NewAllocator[uint16]()
+
+	// Three rules use VLAN 100; one uses VLAN 200.
+	l1, isNew := alloc.Acquire(100)
+	fmt.Println("vlan 100:", l1, "new:", isNew)
+	l2, isNew := alloc.Acquire(100)
+	fmt.Println("vlan 100:", l2, "new:", isNew)
+	alloc.Acquire(100)
+	l3, _ := alloc.Acquire(200)
+	fmt.Println("vlan 200:", l3, "unique values:", alloc.Len())
+
+	// Removing two of the three users keeps the value stored.
+	alloc.Release(100)
+	alloc.Release(100)
+	fmt.Println("after two releases:", alloc.Refs(100), "refs")
+	removed, _ := alloc.Release(100)
+	fmt.Println("after the last release, storage freed:", removed)
+	// Output:
+	// vlan 100: 0 new: true
+	// vlan 100: 0 new: false
+	// vlan 200: 1 unique values: 2
+	// after two releases: 1 refs
+	// after the last release, storage freed: true
+}

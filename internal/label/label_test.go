@@ -1,0 +1,182 @@
+package label
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ofmtl/internal/xrand"
+)
+
+func TestAcquireAssignsDenseLabels(t *testing.T) {
+	a := NewAllocator[uint16]()
+	for i := uint16(0); i < 100; i++ {
+		l, isNew := a.Acquire(i)
+		if !isNew {
+			t.Fatalf("value %d should be new", i)
+		}
+		if l != Label(i) {
+			t.Fatalf("expected dense labels; got %d for insertion %d", l, i)
+		}
+	}
+	if a.Len() != 100 || a.Peak() != 100 {
+		t.Errorf("Len=%d Peak=%d, want 100/100", a.Len(), a.Peak())
+	}
+}
+
+func TestAcquireSharesLabels(t *testing.T) {
+	a := NewAllocator[string]()
+	l1, new1 := a.Acquire("10.0.0.0/8")
+	l2, new2 := a.Acquire("10.0.0.0/8")
+	if !new1 || new2 {
+		t.Error("first acquire new, second not")
+	}
+	if l1 != l2 {
+		t.Error("same value must share a label")
+	}
+	if a.Refs("10.0.0.0/8") != 2 {
+		t.Errorf("refs = %d, want 2", a.Refs("10.0.0.0/8"))
+	}
+	if a.Len() != 1 {
+		t.Errorf("Len = %d, want 1", a.Len())
+	}
+}
+
+func TestReleaseRefcounting(t *testing.T) {
+	a := NewAllocator[int]()
+	a.Acquire(7)
+	a.Acquire(7)
+	removed, err := a.Release(7)
+	if err != nil || removed {
+		t.Error("first release should not remove")
+	}
+	removed, err = a.Release(7)
+	if err != nil || !removed {
+		t.Error("second release should remove")
+	}
+	if a.Lookup(7) != NoLabel {
+		t.Error("released value should be unknown")
+	}
+	if _, err := a.Release(7); err == nil {
+		t.Error("release of unknown value should error")
+	}
+}
+
+func TestLabelReuse(t *testing.T) {
+	a := NewAllocator[int]()
+	l0, _ := a.Acquire(1)
+	if _, err := a.Release(1); err != nil {
+		t.Fatal(err)
+	}
+	l1, _ := a.Acquire(2)
+	if l1 != l0 {
+		t.Errorf("freed label %d should be reused, got %d", l0, l1)
+	}
+	if a.LabelSpace() != 1 {
+		t.Errorf("LabelSpace = %d, want 1", a.LabelSpace())
+	}
+}
+
+func TestValueReverseLookup(t *testing.T) {
+	a := NewAllocator[uint64]()
+	l, _ := a.Acquire(0xABCD)
+	if v, ok := a.Value(l); !ok || v != 0xABCD {
+		t.Errorf("Value(%d) = %v, %v", l, v, ok)
+	}
+	if _, ok := a.Value(Label(999)); ok {
+		t.Error("unknown label should report false")
+	}
+}
+
+func TestZeroValueUsable(t *testing.T) {
+	var a Allocator[int]
+	if l, isNew := a.Acquire(5); !isNew || l != 0 {
+		t.Error("zero-value allocator should work")
+	}
+}
+
+func TestLabelsSorted(t *testing.T) {
+	a := NewAllocator[int]()
+	for i := 0; i < 50; i++ {
+		a.Acquire(i * 3)
+	}
+	ls := a.Labels()
+	if len(ls) != 50 {
+		t.Fatalf("Labels len = %d", len(ls))
+	}
+	for i := 1; i < len(ls); i++ {
+		if ls[i-1] >= ls[i] {
+			t.Fatal("labels not strictly ascending")
+		}
+	}
+}
+
+// Property: after any sequence of acquires of values drawn from a small
+// space, Len equals the number of distinct live values, every live value
+// has a unique label, and refcounts sum to the number of acquires minus
+// releases.
+func TestAllocatorInvariants(t *testing.T) {
+	f := func(seed uint64, opsRaw []byte) bool {
+		a := NewAllocator[byte]()
+		rng := xrand.New(seed)
+		live := map[byte]int{}
+		for _, op := range opsRaw {
+			v := op % 16
+			if rng.Float64() < 0.6 || live[v] == 0 {
+				a.Acquire(v)
+				live[v]++
+			} else {
+				if _, err := a.Release(v); err != nil {
+					return false
+				}
+				live[v]--
+				if live[v] == 0 {
+					delete(live, v)
+				}
+			}
+		}
+		if a.Len() != len(live) {
+			return false
+		}
+		seen := map[Label]bool{}
+		for v, refs := range live {
+			if a.Refs(v) != refs {
+				return false
+			}
+			l := a.Lookup(v)
+			if l == NoLabel || seen[l] {
+				return false
+			}
+			seen[l] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: label space never exceeds the peak number of live values —
+// freed labels are recycled before new ones are minted.
+func TestLabelSpaceBoundedByPeak(t *testing.T) {
+	a := NewAllocator[int]()
+	rng := xrand.New(99)
+	live := map[int]bool{}
+	for i := 0; i < 5000; i++ {
+		v := rng.Intn(300)
+		if !live[v] || rng.Float64() < 0.5 {
+			a.Acquire(v)
+			live[v] = true
+		} else {
+			// release down to zero
+			for a.Refs(v) > 0 {
+				if _, err := a.Release(v); err != nil {
+					t.Fatal(err)
+				}
+			}
+			delete(live, v)
+		}
+		if a.LabelSpace() > a.Peak() {
+			t.Fatalf("label space %d exceeds peak %d", a.LabelSpace(), a.Peak())
+		}
+	}
+}

@@ -1,0 +1,143 @@
+// Package lut implements the hash-based exact-match lookup table the paper
+// uses for exact-matching fields (VLAN ID, ingress port, EtherType, …).
+// Each unique field value is stored once and mapped to a label via the
+// label method (Section IV.B); the hardware memory model counts buckets of
+// fixed associativity, so the table also tracks bucket occupancy and
+// overflow as a synthesised LUT would experience them.
+package lut
+
+import (
+	"fmt"
+
+	"ofmtl/internal/bitops"
+	"ofmtl/internal/label"
+)
+
+// DefaultWays is the bucket associativity of the modelled hardware LUT.
+// Four-way buckets are typical for FPGA block-RAM hash tables.
+const DefaultWays = 4
+
+// LUT is an exact-match lookup table over values of a fixed bit width.
+// Create one with New.
+type LUT struct {
+	keyBits int
+	ways    int
+	alloc   *label.Allocator[uint64]
+
+	buckets   int // power of two
+	occupancy map[uint32]int
+}
+
+// New returns a LUT for keyBits-wide values (1..64) with the given bucket
+// associativity (0 selects DefaultWays).
+func New(keyBits, ways int) (*LUT, error) {
+	if keyBits <= 0 || keyBits > 64 {
+		return nil, fmt.Errorf("lut: key width %d out of range (1..64)", keyBits)
+	}
+	if ways == 0 {
+		ways = DefaultWays
+	}
+	if ways < 0 {
+		return nil, fmt.Errorf("lut: negative associativity %d", ways)
+	}
+	return &LUT{
+		keyBits:   keyBits,
+		ways:      ways,
+		alloc:     label.NewAllocator[uint64](),
+		buckets:   16,
+		occupancy: make(map[uint32]int),
+	}, nil
+}
+
+// hash mixes a key into a bucket index (splitmix64 finaliser).
+func (l *LUT) hash(key uint64) uint32 {
+	z := key + 0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	return uint32(z) & uint32(l.buckets-1)
+}
+
+// Insert acquires a label for key, growing the table when the average load
+// would exceed the bucket associativity. It reports the label and whether
+// the key was newly stored.
+func (l *LUT) Insert(key uint64) (label.Label, bool, error) {
+	if !l.fits(key) {
+		return 0, false, fmt.Errorf("lut: key %#x exceeds %d-bit width", key, l.keyBits)
+	}
+	lab, isNew := l.alloc.Acquire(key)
+	if isNew {
+		if (l.alloc.Len()+1)*4 > l.buckets*l.ways*3 { // load factor 0.75
+			l.grow()
+		}
+		l.occupancy[l.hash(key)]++
+	}
+	return lab, isNew, nil
+}
+
+// Remove releases one reference to key; the key's storage is reclaimed when
+// its last reference disappears.
+func (l *LUT) Remove(key uint64) (bool, error) {
+	removed, err := l.alloc.Release(key)
+	if err != nil {
+		return false, fmt.Errorf("lut: %w", err)
+	}
+	if removed {
+		h := l.hash(key)
+		l.occupancy[h]--
+		if l.occupancy[h] == 0 {
+			delete(l.occupancy, h)
+		}
+	}
+	return removed, nil
+}
+
+// Lookup returns the label stored for key, or label.NoLabel when absent.
+func (l *LUT) Lookup(key uint64) label.Label { return l.alloc.Lookup(key) }
+
+func (l *LUT) fits(key uint64) bool {
+	return l.keyBits >= 64 || key <= bitops.LowMask64(l.keyBits)
+}
+
+func (l *LUT) grow() {
+	l.buckets *= 2
+	// Rehash bucket occupancy; the labels themselves are unaffected.
+	l.occupancy = make(map[uint32]int, len(l.occupancy))
+	for _, lab := range l.alloc.Labels() {
+		if v, ok := l.alloc.Value(lab); ok {
+			l.occupancy[l.hash(v)]++
+		}
+	}
+}
+
+// Len returns the number of unique keys stored.
+func (l *LUT) Len() int { return l.alloc.Len() }
+
+// Peak returns the high-water mark of unique keys, which sizes the label
+// width in the memory model.
+func (l *LUT) Peak() int { return l.alloc.Peak() }
+
+// KeyBits returns the key width.
+func (l *LUT) KeyBits() int { return l.keyBits }
+
+// Buckets returns the current number of hash buckets.
+func (l *LUT) Buckets() int { return l.buckets }
+
+// Ways returns the bucket associativity.
+func (l *LUT) Ways() int { return l.ways }
+
+// Overflow returns the number of stored keys that exceed their bucket's
+// associativity — entries a hardware LUT would place in a spill area.
+func (l *LUT) Overflow() int {
+	over := 0
+	for _, n := range l.occupancy {
+		if n > l.ways {
+			over += n - l.ways
+		}
+	}
+	return over
+}
+
+// Allocator exposes the underlying label allocator (read-mostly use by the
+// pipeline's index-calculation stage).
+func (l *LUT) Allocator() *label.Allocator[uint64] { return l.alloc }

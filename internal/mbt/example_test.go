@@ -1,0 +1,34 @@
+package mbt_test
+
+import (
+	"fmt"
+
+	"ofmtl/internal/mbt"
+)
+
+// Example demonstrates the paper's multi-bit trie on one 16-bit field
+// partition: longest-prefix matching across the three pipeline levels.
+func Example() {
+	trie := mbt.MustNew(mbt.Config16()) // the paper's {5,5,6} strides
+
+	// A default entry, a /8-within-the-partition, and an exact value.
+	_ = trie.Insert(0x0000, 0, 100)
+	_ = trie.Insert(0xAB00, 8, 200)
+	_ = trie.Insert(0xABCD, 16, 300)
+
+	for _, key := range []uint64{0xABCD, 0xAB99, 0x1234} {
+		label, plen, _ := trie.Lookup(key)
+		fmt.Printf("%#04x -> label %d (/%d)\n", key, label, plen)
+	}
+
+	total := 0
+	for _, ls := range trie.Stats() {
+		total += ls.CapacitySlots
+	}
+	fmt.Println("stored nodes:", total == trie.StoredNodes())
+	// Output:
+	// 0xabcd -> label 300 (/16)
+	// 0xab99 -> label 200 (/8)
+	// 0x1234 -> label 100 (/0)
+	// stored nodes: true
+}

@@ -1,0 +1,413 @@
+// Package mbt implements the multi-bit trie (MBT) used by the paper for
+// longest-prefix matching of the wide header fields (Ethernet and IP
+// addresses). Each 16-bit field partition is searched by its own trie; the
+// paper distributes each trie over three levels (citing [22] for the
+// trade-off between lookup depth and memory), so the default stride
+// configuration is {5, 5, 6} — which also reproduces the paper's
+// observation that level 1 never stores more than 2^5 = 32 nodes.
+//
+// The trie performs controlled prefix expansion: a prefix whose length
+// falls inside a level's stride is expanded into every slot it covers at
+// that level. Each slot stores the labels of the prefixes expanded into it
+// (longest first), so a lookup is a fixed three-step walk that remembers
+// the last label seen — exactly the pipeline structure of the paper's
+// Fig. 1, where each node level is searched in a different pipeline stage.
+//
+// Terminology used throughout (see DESIGN.md §5 for the calibration
+// rationale):
+//
+//   - a NODE is an allocated child array at some level (2^stride slots);
+//   - a SLOT is one element of a node's array;
+//   - the paper's "stored nodes" corresponds to CapacitySlots: the total
+//     number of slots in allocated arrays (the root array is always
+//     allocated, hence L1's fixed 32).
+package mbt
+
+import (
+	"fmt"
+
+	"ofmtl/internal/label"
+)
+
+// DefaultStrides16 is the 3-level stride split of a 16-bit partition used
+// throughout the paper's evaluation.
+var DefaultStrides16 = []int{5, 5, 6}
+
+// Config describes a trie: the key width in bits and the per-level strides,
+// which must be positive and sum to the width.
+type Config struct {
+	Width   int
+	Strides []int
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Width <= 0 || c.Width > 64 {
+		return fmt.Errorf("mbt: width %d out of range (1..64)", c.Width)
+	}
+	if len(c.Strides) == 0 {
+		return fmt.Errorf("mbt: no strides configured")
+	}
+	sum := 0
+	for i, s := range c.Strides {
+		if s <= 0 || s > 32 {
+			return fmt.Errorf("mbt: stride %d at level %d out of range", s, i+1)
+		}
+		sum += s
+	}
+	if sum != c.Width {
+		return fmt.Errorf("mbt: strides sum to %d, want width %d", sum, c.Width)
+	}
+	return nil
+}
+
+// Config16 returns the paper's default configuration for a 16-bit field
+// partition: three levels with strides {5, 5, 6}.
+func Config16() Config {
+	return Config{Width: 16, Strides: append([]int(nil), DefaultStrides16...)}
+}
+
+type slotEntry struct {
+	plen  int
+	label label.Label
+}
+
+type slot struct {
+	child *node
+	// entries holds the prefixes expanded into this slot, ordered by
+	// descending prefix length (ties keep insertion order). The head is
+	// the longest-prefix answer for any key reaching this slot.
+	entries []slotEntry
+}
+
+func (s *slot) empty() bool { return s.child == nil && len(s.entries) == 0 }
+
+type node struct {
+	slots map[uint32]*slot
+}
+
+func newNode() *node { return &node{slots: make(map[uint32]*slot)} }
+
+// Trie is a multi-bit trie with controlled prefix expansion. Create one
+// with New; the zero value is not usable.
+type Trie struct {
+	cfg    Config
+	root   *node
+	levels []levelAccount
+	// entryInserts counts every slot-entry insertion performed over the
+	// trie's lifetime (including expansion copies); it drives the update
+	// cost model.
+	entryInserts uint64
+}
+
+type levelAccount struct {
+	nodes         int
+	occupiedSlots int
+	entries       int
+}
+
+// LevelStats reports the per-level memory population of the trie.
+type LevelStats struct {
+	Level         int // 1-based
+	Stride        int
+	Nodes         int // allocated node arrays
+	OccupiedSlots int // slots holding at least one entry or a child pointer
+	CapacitySlots int // Nodes << Stride: the paper's "stored nodes"
+	Entries       int // slot entries, counting prefix-expansion copies
+}
+
+// New creates a trie from cfg.
+func New(cfg Config) (*Trie, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	t := &Trie{
+		cfg:    cfg,
+		root:   newNode(),
+		levels: make([]levelAccount, len(cfg.Strides)),
+	}
+	t.levels[0].nodes = 1 // the root array always exists
+	return t, nil
+}
+
+// MustNew is New for known-good configurations; it panics on invalid
+// configuration and is intended for package-level defaults and tests.
+func MustNew(cfg Config) *Trie {
+	t, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Config returns the trie's configuration.
+func (t *Trie) Config() Config { return t.cfg }
+
+// levelIndex returns the level (0-based) at which a prefix of length plen
+// is expanded, and the number of key bits consumed before that level.
+func (t *Trie) levelIndex(plen int) (lvl, before int) {
+	cum := 0
+	for i, s := range t.cfg.Strides {
+		if plen <= cum+s {
+			return i, cum
+		}
+		cum += s
+	}
+	return len(t.cfg.Strides) - 1, cum - t.cfg.Strides[len(t.cfg.Strides)-1]
+}
+
+// chunk extracts the stride-sized index for level lvl from key.
+func (t *Trie) chunk(key uint64, lvl int) uint32 {
+	shift := t.cfg.Width
+	for i := 0; i <= lvl; i++ {
+		shift -= t.cfg.Strides[i]
+	}
+	return uint32(key>>uint(shift)) & uint32((1<<uint(t.cfg.Strides[lvl]))-1)
+}
+
+// Insert adds the prefix value/plen with the given label. value is given in
+// the low Width bits; bits below the prefix are ignored. Duplicate
+// (value, plen) pairs may be inserted (each occupies an entry), which the
+// no-label ablation uses to model rule replication; the labelled pipeline
+// inserts each unique value exactly once.
+func (t *Trie) Insert(value uint64, plen int, lab label.Label) error {
+	if plen < 0 || plen > t.cfg.Width {
+		return fmt.Errorf("mbt: prefix length %d out of range (0..%d)", plen, t.cfg.Width)
+	}
+	lvl, before := t.levelIndex(plen)
+
+	n := t.root
+	for i := 0; i < lvl; i++ {
+		idx := t.chunk(value, i)
+		sl := t.slotAt(n, i, idx)
+		if sl.child == nil {
+			sl.child = newNode()
+			t.levels[i+1].nodes++
+		}
+		n = sl.child
+	}
+
+	stride := t.cfg.Strides[lvl]
+	free := before + stride - plen // expansion bits within this level
+	prefixBits := plen - before    // prefix bits within this level (may be 0)
+	base := uint32(0)
+	if prefixBits > 0 {
+		base = (t.chunk(value, lvl) >> uint(free)) << uint(free)
+	}
+	count := uint32(1) << uint(free)
+	for i := uint32(0); i < count; i++ {
+		sl := t.slotAt(n, lvl, base+i)
+		t.insertEntry(sl, lvl, slotEntry{plen: plen, label: lab})
+	}
+	return nil
+}
+
+func (t *Trie) slotAt(n *node, lvl int, idx uint32) *slot {
+	sl, ok := n.slots[idx]
+	if !ok {
+		sl = &slot{}
+		n.slots[idx] = sl
+		t.levels[lvl].occupiedSlots++
+	}
+	return sl
+}
+
+func (t *Trie) insertEntry(sl *slot, lvl int, e slotEntry) {
+	// Keep entries sorted by descending prefix length; equal lengths keep
+	// insertion order (stable), so lookups prefer the longest prefix.
+	pos := len(sl.entries)
+	for i, ex := range sl.entries {
+		if ex.plen < e.plen {
+			pos = i
+			break
+		}
+	}
+	sl.entries = append(sl.entries, slotEntry{})
+	copy(sl.entries[pos+1:], sl.entries[pos:])
+	sl.entries[pos] = e
+	t.levels[lvl].entries++
+	t.entryInserts++
+}
+
+// Delete removes one occurrence of the prefix value/plen with the given
+// label, pruning empty slots and nodes. It returns an error if the entry is
+// not present.
+func (t *Trie) Delete(value uint64, plen int, lab label.Label) error {
+	if plen < 0 || plen > t.cfg.Width {
+		return fmt.Errorf("mbt: prefix length %d out of range (0..%d)", plen, t.cfg.Width)
+	}
+	lvl, before := t.levelIndex(plen)
+
+	// Collect the path so we can prune on the way back up.
+	path := make([]*node, 0, len(t.cfg.Strides))
+	n := t.root
+	path = append(path, n)
+	for i := 0; i < lvl; i++ {
+		idx := t.chunk(value, i)
+		sl, ok := n.slots[idx]
+		if !ok || sl.child == nil {
+			return fmt.Errorf("mbt: delete of absent prefix %#x/%d", value, plen)
+		}
+		n = sl.child
+		path = append(path, n)
+	}
+
+	stride := t.cfg.Strides[lvl]
+	free := before + stride - plen
+	prefixBits := plen - before
+	base := uint32(0)
+	if prefixBits > 0 {
+		base = (t.chunk(value, lvl) >> uint(free)) << uint(free)
+	}
+	count := uint32(1) << uint(free)
+
+	// Verify presence in every covered slot before mutating anything, so a
+	// failed delete leaves the trie unchanged.
+	target := slotEntry{plen: plen, label: lab}
+	for i := uint32(0); i < count; i++ {
+		sl, ok := n.slots[base+i]
+		if !ok || !containsEntry(sl.entries, target) {
+			return fmt.Errorf("mbt: delete of absent prefix %#x/%d", value, plen)
+		}
+	}
+	for i := uint32(0); i < count; i++ {
+		idx := base + i
+		sl := n.slots[idx]
+		sl.entries = removeEntry(sl.entries, target)
+		t.levels[lvl].entries--
+		if sl.empty() {
+			delete(n.slots, idx)
+			t.levels[lvl].occupiedSlots--
+		}
+	}
+
+	// Prune empty child nodes bottom-up along the walk path.
+	for i := lvl; i >= 1; i-- {
+		child := path[i]
+		if len(child.slots) != 0 {
+			break
+		}
+		parent := path[i-1]
+		idx := t.chunk(value, i-1)
+		sl := parent.slots[idx]
+		sl.child = nil
+		t.levels[i].nodes--
+		if sl.empty() {
+			delete(parent.slots, idx)
+			t.levels[i-1].occupiedSlots--
+		}
+	}
+	return nil
+}
+
+func containsEntry(entries []slotEntry, e slotEntry) bool {
+	for _, ex := range entries {
+		if ex == e {
+			return true
+		}
+	}
+	return false
+}
+
+func removeEntry(entries []slotEntry, e slotEntry) []slotEntry {
+	for i, ex := range entries {
+		if ex == e {
+			return append(entries[:i], entries[i+1:]...)
+		}
+	}
+	return entries
+}
+
+// Lookup returns the label of the longest prefix matching key, together
+// with its length. ok is false when no prefix matches.
+func (t *Trie) Lookup(key uint64) (lab label.Label, plen int, ok bool) {
+	n := t.root
+	for lvl := range t.cfg.Strides {
+		sl, present := n.slots[t.chunk(key, lvl)]
+		if !present {
+			break
+		}
+		if len(sl.entries) > 0 {
+			// Entries are sorted longest-first and deeper levels always
+			// hold strictly longer prefixes, so overwrite the best match.
+			lab, plen, ok = sl.entries[0].label, sl.entries[0].plen, true
+		}
+		if sl.child == nil {
+			break
+		}
+		n = sl.child
+	}
+	return lab, plen, ok
+}
+
+// MatchedEntry is one prefix matched during a LookupAll walk.
+type MatchedEntry struct {
+	Label label.Label
+	Plen  int
+}
+
+// LookupAll appends every prefix matching key to dst, ordered by
+// descending prefix length, and returns the extended slice. Every entry
+// expanded into a slot on the key's walk path covers the key, so the walk
+// collects complete match sets without backtracking — the property the
+// crossproduct index-calculation stage relies on.
+func (t *Trie) LookupAll(key uint64, dst []MatchedEntry) []MatchedEntry {
+	start := len(dst)
+	n := t.root
+	for lvl := range t.cfg.Strides {
+		sl, present := n.slots[t.chunk(key, lvl)]
+		if !present {
+			break
+		}
+		for _, e := range sl.entries {
+			dst = append(dst, MatchedEntry{Label: e.label, Plen: e.plen})
+		}
+		if sl.child == nil {
+			break
+		}
+		n = sl.child
+	}
+	// Slots were visited shallow-to-deep, so the region is roughly
+	// ascending in plen; an insertion sort into descending order is cheap
+	// (the region holds at most one entry per prefix length).
+	region := dst[start:]
+	for i := 1; i < len(region); i++ {
+		for j := i; j > 0 && region[j-1].Plen < region[j].Plen; j-- {
+			region[j-1], region[j] = region[j], region[j-1]
+		}
+	}
+	return dst
+}
+
+// Stats returns per-level population counts.
+func (t *Trie) Stats() []LevelStats {
+	out := make([]LevelStats, len(t.cfg.Strides))
+	for i, acct := range t.levels {
+		out[i] = LevelStats{
+			Level:         i + 1,
+			Stride:        t.cfg.Strides[i],
+			Nodes:         acct.nodes,
+			OccupiedSlots: acct.occupiedSlots,
+			CapacitySlots: acct.nodes << uint(t.cfg.Strides[i]),
+			Entries:       acct.entries,
+		}
+	}
+	return out
+}
+
+// StoredNodes returns the paper's "number of stored nodes": the total
+// capacity slots across the trie's allocated node arrays.
+func (t *Trie) StoredNodes() int {
+	total := 0
+	for i, acct := range t.levels {
+		total += acct.nodes << uint(t.cfg.Strides[i])
+	}
+	return total
+}
+
+// EntryInserts reports the number of slot-entry insertions performed over
+// the trie's lifetime, the quantity the update-cost model charges for.
+func (t *Trie) EntryInserts() uint64 { return t.entryInserts }
+
+// Levels returns the number of trie levels.
+func (t *Trie) Levels() int { return len(t.cfg.Strides) }

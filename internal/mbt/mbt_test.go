@@ -1,0 +1,430 @@
+package mbt
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ofmtl/internal/bitops"
+	"ofmtl/internal/label"
+	"ofmtl/internal/xrand"
+)
+
+func TestConfigValidate(t *testing.T) {
+	good := []Config{
+		Config16(),
+		{Width: 16, Strides: []int{8, 8}},
+		{Width: 32, Strides: []int{8, 8, 8, 8}},
+		{Width: 16, Strides: []int{16}},
+	}
+	for _, c := range good {
+		if err := c.Validate(); err != nil {
+			t.Errorf("config %+v should validate: %v", c, err)
+		}
+	}
+	bad := []Config{
+		{Width: 16, Strides: []int{5, 5}},   // sums to 10
+		{Width: 16, Strides: []int{}},       // empty
+		{Width: 0, Strides: []int{5}},       // zero width
+		{Width: 16, Strides: []int{-1, 17}}, // negative stride
+		{Width: 65, Strides: []int{65}},     // too wide
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %+v should fail validation", c)
+		}
+	}
+}
+
+func TestExactValueLookup(t *testing.T) {
+	tr := MustNew(Config16())
+	if err := tr.Insert(0xABCD, 16, 7); err != nil {
+		t.Fatal(err)
+	}
+	lab, plen, ok := tr.Lookup(0xABCD)
+	if !ok || lab != 7 || plen != 16 {
+		t.Errorf("Lookup = %d/%d/%v, want 7/16/true", lab, plen, ok)
+	}
+	if _, _, ok := tr.Lookup(0xABCE); ok {
+		t.Error("different key should miss")
+	}
+}
+
+func TestLongestPrefixWins(t *testing.T) {
+	tr := MustNew(Config16())
+	// Overlapping prefixes of increasing length.
+	for _, p := range []struct {
+		v    uint64
+		plen int
+		lab  label.Label
+	}{
+		{0x0000, 0, 1}, // default
+		{0xA000, 4, 2}, // 1010...
+		{0xAB00, 8, 3},
+		{0xABC0, 12, 4},
+		{0xABCD, 16, 5},
+	} {
+		if err := tr.Insert(p.v, p.plen, p.lab); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cases := []struct {
+		key      uint64
+		wantLab  label.Label
+		wantPlen int
+	}{
+		{0xABCD, 5, 16},
+		{0xABCE, 4, 12},
+		{0xABFF, 3, 8},
+		{0xAFFF, 2, 4},
+		{0x1234, 1, 0},
+	}
+	for _, c := range cases {
+		lab, plen, ok := tr.Lookup(c.key)
+		if !ok || lab != c.wantLab || plen != c.wantPlen {
+			t.Errorf("Lookup(%#x) = %d/%d/%v, want %d/%d", c.key, lab, plen, ok, c.wantLab, c.wantPlen)
+		}
+	}
+}
+
+func TestDefaultRouteOnly(t *testing.T) {
+	tr := MustNew(Config16())
+	if err := tr.Insert(0, 0, 9); err != nil {
+		t.Fatal(err)
+	}
+	lab, plen, ok := tr.Lookup(0xFFFF)
+	if !ok || lab != 9 || plen != 0 {
+		t.Errorf("default route lookup = %d/%d/%v", lab, plen, ok)
+	}
+	// A /0 expands across all of level 1: occupied slots = 2^5.
+	st := tr.Stats()
+	if st[0].OccupiedSlots != 32 || st[0].Entries != 32 {
+		t.Errorf("L1 occupied=%d entries=%d, want 32/32", st[0].OccupiedSlots, st[0].Entries)
+	}
+}
+
+func TestRootCapacityIsFixed(t *testing.T) {
+	tr := MustNew(Config16())
+	st := tr.Stats()
+	// The paper: "The maximum stored nodes in L1 are 32" — the root array
+	// of a stride-5 first level.
+	if st[0].CapacitySlots != 32 {
+		t.Errorf("L1 capacity = %d, want 32", st[0].CapacitySlots)
+	}
+	if st[0].Nodes != 1 {
+		t.Errorf("L1 nodes = %d, want 1", st[0].Nodes)
+	}
+}
+
+func TestStatsGrowth(t *testing.T) {
+	tr := MustNew(Config16())
+	// One full 16-bit value touches one slot per level and allocates one
+	// node at L2 and L3.
+	if err := tr.Insert(0x1234, 16, 1); err != nil {
+		t.Fatal(err)
+	}
+	st := tr.Stats()
+	if st[1].Nodes != 1 || st[2].Nodes != 1 {
+		t.Errorf("nodes after one insert: L2=%d L3=%d, want 1/1", st[1].Nodes, st[2].Nodes)
+	}
+	if tr.StoredNodes() != 32+32+64 {
+		t.Errorf("StoredNodes = %d, want %d", tr.StoredNodes(), 32+32+64)
+	}
+	// A second value sharing the first 5 bits shares the L2 node.
+	if err := tr.Insert(0x1235, 16, 2); err != nil {
+		t.Fatal(err)
+	}
+	st = tr.Stats()
+	if st[1].Nodes != 1 {
+		t.Errorf("L2 nodes = %d, want 1 (shared)", st[1].Nodes)
+	}
+	// 0x1234 and 0x1235 share the top 10 bits too (0x1234>>6 == 0x1235>>6).
+	if st[2].Nodes != 1 {
+		t.Errorf("L3 nodes = %d, want 1 (shared)", st[2].Nodes)
+	}
+	if st[2].OccupiedSlots != 2 {
+		t.Errorf("L3 occupied = %d, want 2", st[2].OccupiedSlots)
+	}
+}
+
+func TestDeleteRestoresEmpty(t *testing.T) {
+	tr := MustNew(Config16())
+	values := []struct {
+		v    uint64
+		plen int
+	}{
+		{0xABCD, 16}, {0xAB00, 8}, {0x0000, 0}, {0xABC0, 13}, {0xF000, 4},
+	}
+	for i, p := range values {
+		if err := tr.Insert(p.v, p.plen, label.Label(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, p := range values {
+		if err := tr.Delete(p.v, p.plen, label.Label(i)); err != nil {
+			t.Fatalf("delete %d: %v", i, err)
+		}
+	}
+	st := tr.Stats()
+	for _, ls := range st {
+		if ls.OccupiedSlots != 0 || ls.Entries != 0 {
+			t.Errorf("L%d not empty after deletes: %+v", ls.Level, ls)
+		}
+	}
+	if st[0].Nodes != 1 || st[1].Nodes != 0 || st[2].Nodes != 0 {
+		t.Errorf("nodes not pruned: %+v", st)
+	}
+	if tr.StoredNodes() != 32 {
+		t.Errorf("StoredNodes after deletes = %d, want 32 (root only)", tr.StoredNodes())
+	}
+}
+
+func TestDeleteAbsent(t *testing.T) {
+	tr := MustNew(Config16())
+	if err := tr.Delete(0x1234, 16, 0); err == nil {
+		t.Error("delete from empty trie should error")
+	}
+	if err := tr.Insert(0x1234, 16, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Delete(0x1234, 16, 2); err == nil {
+		t.Error("delete with wrong label should error")
+	}
+	if err := tr.Delete(0x1234, 12, 1); err == nil {
+		t.Error("delete with wrong plen should error")
+	}
+	// The failed deletes must not have disturbed the entry.
+	if lab, _, ok := tr.Lookup(0x1234); !ok || lab != 1 {
+		t.Error("entry lost after failed deletes")
+	}
+}
+
+func TestInsertRangeErrors(t *testing.T) {
+	tr := MustNew(Config16())
+	if err := tr.Insert(0, -1, 0); err == nil {
+		t.Error("negative plen should error")
+	}
+	if err := tr.Insert(0, 17, 0); err == nil {
+		t.Error("plen beyond width should error")
+	}
+}
+
+// referenceLPM is a brute-force longest-prefix matcher.
+type referenceLPM struct {
+	width   int
+	entries []struct {
+		v    uint64
+		plen int
+		lab  label.Label
+	}
+}
+
+func (r *referenceLPM) insert(v uint64, plen int, lab label.Label) {
+	r.entries = append(r.entries, struct {
+		v    uint64
+		plen int
+		lab  label.Label
+	}{v, plen, lab})
+}
+
+func (r *referenceLPM) lookup(key uint64) (label.Label, int, bool) {
+	best := -1
+	var bestLab label.Label
+	for _, e := range r.entries {
+		if bitops.PrefixContains(e.v, e.plen, r.width, key) && e.plen > best {
+			best = e.plen
+			bestLab = e.lab
+		}
+	}
+	if best < 0 {
+		return 0, 0, false
+	}
+	return bestLab, best, true
+}
+
+// Property: the MBT agrees with the brute-force reference on random prefix
+// sets, across several stride configurations.
+func TestLPMMatchesReference(t *testing.T) {
+	configs := []Config{
+		Config16(),
+		{Width: 16, Strides: []int{8, 8}},
+		{Width: 16, Strides: []int{4, 4, 8}},
+		{Width: 16, Strides: []int{16}},
+		{Width: 16, Strides: []int{6, 5, 5}},
+	}
+	rng := xrand.New(2025)
+	for _, cfg := range configs {
+		tr := MustNew(cfg)
+		ref := &referenceLPM{width: 16}
+		seen := map[[2]uint64]bool{}
+		for i := 0; i < 400; i++ {
+			plen := rng.Intn(17)
+			v := rng.Uint64() & bitops.Mask64(plen, 16)
+			if seen[[2]uint64{v, uint64(plen)}] {
+				continue // unique (value, plen) pairs, as the label method guarantees
+			}
+			seen[[2]uint64{v, uint64(plen)}] = true
+			lab := label.Label(i)
+			if err := tr.Insert(v, plen, lab); err != nil {
+				t.Fatal(err)
+			}
+			ref.insert(v, plen, lab)
+		}
+		for i := 0; i < 2000; i++ {
+			key := rng.Uint64() & 0xFFFF
+			gotLab, gotPlen, gotOK := tr.Lookup(key)
+			wantLab, wantPlen, wantOK := ref.lookup(key)
+			if gotOK != wantOK || (gotOK && (gotPlen != wantPlen || gotLab != wantLab)) {
+				t.Fatalf("cfg %v key %#x: got %d/%d/%v want %d/%d/%v",
+					cfg.Strides, key, gotLab, gotPlen, gotOK, wantLab, wantPlen, wantOK)
+			}
+		}
+	}
+}
+
+// Property: insert followed by delete returns the trie to its previous
+// stats, for random interleavings.
+func TestInsertDeleteStatsInvariant(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		tr := MustNew(Config16())
+		type pfx struct {
+			v    uint64
+			plen int
+			lab  label.Label
+		}
+		var livePfx []pfx
+		seen := map[[2]uint64]bool{}
+		for i := 0; i < 200; i++ {
+			if rng.Float64() < 0.65 || len(livePfx) == 0 {
+				plen := rng.Intn(17)
+				v := rng.Uint64() & bitops.Mask64(plen, 16)
+				if seen[[2]uint64{v, uint64(plen)}] {
+					continue
+				}
+				seen[[2]uint64{v, uint64(plen)}] = true
+				p := pfx{v, plen, label.Label(i)}
+				if err := tr.Insert(p.v, p.plen, p.lab); err != nil {
+					return false
+				}
+				livePfx = append(livePfx, p)
+			} else {
+				k := rng.Intn(len(livePfx))
+				p := livePfx[k]
+				if err := tr.Delete(p.v, p.plen, p.lab); err != nil {
+					return false
+				}
+				livePfx = append(livePfx[:k], livePfx[k+1:]...)
+				delete(seen, [2]uint64{p.v, uint64(p.plen)})
+			}
+		}
+		// Drain and verify the trie empties.
+		for _, p := range livePfx {
+			if err := tr.Delete(p.v, p.plen, p.lab); err != nil {
+				return false
+			}
+		}
+		for _, ls := range tr.Stats() {
+			if ls.OccupiedSlots != 0 || ls.Entries != 0 {
+				return false
+			}
+		}
+		return tr.StoredNodes() == 32
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: StoredNodes is invariant to insertion order.
+func TestStoredNodesOrderIndependent(t *testing.T) {
+	rng := xrand.New(7)
+	type pfx struct {
+		v    uint64
+		plen int
+	}
+	var prefixes []pfx
+	for i := 0; i < 300; i++ {
+		plen := 4 + rng.Intn(13)
+		prefixes = append(prefixes, pfx{rng.Uint64() & bitops.Mask64(plen, 16), plen})
+	}
+	build := func(order []int) int {
+		tr := MustNew(Config16())
+		for _, idx := range order {
+			if err := tr.Insert(prefixes[idx].v, prefixes[idx].plen, label.Label(idx)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return tr.StoredNodes()
+	}
+	fwd := make([]int, len(prefixes))
+	for i := range fwd {
+		fwd[i] = i
+	}
+	n1 := build(fwd)
+	n2 := build(rng.Perm(len(prefixes)))
+	if n1 != n2 {
+		t.Errorf("StoredNodes order-dependent: %d vs %d", n1, n2)
+	}
+}
+
+func TestUnibitMatchesMBT(t *testing.T) {
+	rng := xrand.New(31)
+	tr := MustNew(Config16())
+	ub, err := NewUnibit(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[[2]uint64]bool{}
+	for i := 0; i < 300; i++ {
+		plen := rng.Intn(17)
+		v := rng.Uint64() & bitops.Mask64(plen, 16)
+		if seen[[2]uint64{v, uint64(plen)}] {
+			continue
+		}
+		seen[[2]uint64{v, uint64(plen)}] = true
+		if err := tr.Insert(v, plen, label.Label(i)); err != nil {
+			t.Fatal(err)
+		}
+		if err := ub.Insert(v, plen, label.Label(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 2000; i++ {
+		key := rng.Uint64() & 0xFFFF
+		l1, p1, ok1 := tr.Lookup(key)
+		l2, p2, ok2 := ub.Lookup(key)
+		if ok1 != ok2 || (ok1 && (l1 != l2 || p1 != p2)) {
+			t.Fatalf("key %#x: mbt %d/%d/%v unibit %d/%d/%v", key, l1, p1, ok1, l2, p2, ok2)
+		}
+	}
+	if ub.Nodes() <= 0 {
+		t.Error("unibit node count should be positive")
+	}
+}
+
+func TestUnibitWidthValidation(t *testing.T) {
+	if _, err := NewUnibit(0); err == nil {
+		t.Error("width 0 should error")
+	}
+	if _, err := NewUnibit(65); err == nil {
+		t.Error("width 65 should error")
+	}
+}
+
+func TestEntryInsertsCounting(t *testing.T) {
+	tr := MustNew(Config16())
+	if err := tr.Insert(0x1234, 16, 1); err != nil {
+		t.Fatal(err)
+	}
+	if tr.EntryInserts() != 1 {
+		t.Errorf("one exact insert = %d entry inserts, want 1", tr.EntryInserts())
+	}
+	// A /14 expands into 2^(16-14)=4 slots at L3... but /14 lands in level 3
+	// (cum 10 < 14 <= 16), so free = 16-14 = 2, i.e. 4 entries.
+	if err := tr.Insert(0x4000, 14, 2); err != nil {
+		t.Fatal(err)
+	}
+	if tr.EntryInserts() != 1+4 {
+		t.Errorf("after /14 insert = %d entry inserts, want 5", tr.EntryInserts())
+	}
+}

@@ -1,0 +1,73 @@
+package mbt
+
+import (
+	"fmt"
+
+	"ofmtl/internal/label"
+)
+
+// Unibit is a classic one-bit-per-level binary trie, used as the reference
+// implementation for LPM correctness tests and as the baseline in the
+// stride-ablation benchmark (a multi-bit trie trades wider nodes for fewer
+// levels; the unibit trie is the degenerate stride-1 case).
+type Unibit struct {
+	width int
+	root  *unibitNode
+	nodes int
+}
+
+type unibitNode struct {
+	children [2]*unibitNode
+	hasLabel bool
+	label    label.Label
+}
+
+// NewUnibit returns a unibit trie over width-bit keys (1..64).
+func NewUnibit(width int) (*Unibit, error) {
+	if width <= 0 || width > 64 {
+		return nil, fmt.Errorf("mbt: unibit width %d out of range (1..64)", width)
+	}
+	return &Unibit{width: width, root: &unibitNode{}, nodes: 1}, nil
+}
+
+// Insert adds prefix value/plen with the given label, replacing any label
+// already stored for exactly that prefix.
+func (u *Unibit) Insert(value uint64, plen int, lab label.Label) error {
+	if plen < 0 || plen > u.width {
+		return fmt.Errorf("mbt: unibit prefix length %d out of range (0..%d)", plen, u.width)
+	}
+	n := u.root
+	for i := 0; i < plen; i++ {
+		bit := (value >> uint(u.width-1-i)) & 1
+		if n.children[bit] == nil {
+			n.children[bit] = &unibitNode{}
+			u.nodes++
+		}
+		n = n.children[bit]
+	}
+	n.hasLabel = true
+	n.label = lab
+	return nil
+}
+
+// Lookup returns the label of the longest matching prefix.
+func (u *Unibit) Lookup(key uint64) (lab label.Label, plen int, ok bool) {
+	n := u.root
+	for i := 0; ; i++ {
+		if n.hasLabel {
+			lab, plen, ok = n.label, i, true
+		}
+		if i == u.width {
+			break
+		}
+		bit := (key >> uint(u.width-1-i)) & 1
+		if n.children[bit] == nil {
+			break
+		}
+		n = n.children[bit]
+	}
+	return lab, plen, ok
+}
+
+// Nodes returns the number of allocated trie nodes.
+func (u *Unibit) Nodes() int { return u.nodes }

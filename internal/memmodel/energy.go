@@ -1,0 +1,33 @@
+package memmodel
+
+// Energy model. Section II of the paper lists "high power consumption"
+// among TCAM's disadvantages; this file quantifies that axis with a
+// first-order per-access energy model so the Table I reproduction can
+// report measured energy next to memory and lookup cost.
+//
+// The coefficients are the commonly cited order-of-magnitude figures for
+// embedded memories at comparable nodes: a TCAM search activates every
+// ternary cell's match line in parallel (~1 fJ/bit searched per access),
+// while an SRAM read activates one word line (~0.1 fJ/bit read). The model
+// is deliberately coarse — it captures the ~10x/bit structural gap and the
+// fact that a TCAM searches its entire array while algorithmic lookups
+// touch a handful of words.
+
+// Energy coefficients in femtojoules per bit per access.
+const (
+	TCAMSearchFjPerBit = 1.0
+	SRAMReadFjPerBit   = 0.1
+)
+
+// TCAMSearchEnergy returns the energy (fJ) of one search over a TCAM of
+// the given total ternary bit count: every bit participates in every
+// search.
+func TCAMSearchEnergy(totalBits int) float64 {
+	return TCAMSearchFjPerBit * float64(totalBits)
+}
+
+// SRAMAccessEnergy returns the energy (fJ) of an algorithmic lookup that
+// reads `accesses` words of `wordBits` bits each from SRAM.
+func SRAMAccessEnergy(accesses int, wordBits int) float64 {
+	return SRAMReadFjPerBit * float64(accesses) * float64(wordBits)
+}

@@ -1,0 +1,263 @@
+// Package ofproto implements a minimal OpenFlow-style control protocol
+// over TCP, connecting a controller (cmd/ofctl) to a switch daemon
+// (cmd/switchd) hosting the multiple-table lookup pipeline. It models the
+// control-plane path the paper's update evaluation assumes: the controller
+// generates update information, the switch interprets it and updates its
+// algorithm structures and action tables.
+//
+// Framing: every message is [length u32 | type u8 | payload], big endian;
+// length covers type and payload. Flow entries and packet headers reuse
+// the binary codec of the openflow package.
+package ofproto
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"ofmtl/internal/openflow"
+)
+
+// ProtocolVersion is negotiated in Hello.
+const ProtocolVersion = 1
+
+// MaxMessageLen bounds a frame to keep a malformed peer from forcing an
+// arbitrary allocation.
+const MaxMessageLen = 1 << 20
+
+// MsgType identifies a message.
+type MsgType uint8
+
+// Message types.
+const (
+	MsgHello MsgType = iota + 1
+	MsgError
+	MsgFlowMod
+	MsgFlowModReply
+	MsgPacket
+	MsgPacketReply
+	MsgStatsRequest
+	MsgStatsReply
+	MsgBarrier
+	MsgBarrierReply
+)
+
+// String names the message type.
+func (t MsgType) String() string {
+	switch t {
+	case MsgHello:
+		return "hello"
+	case MsgError:
+		return "error"
+	case MsgFlowMod:
+		return "flow-mod"
+	case MsgFlowModReply:
+		return "flow-mod-reply"
+	case MsgPacket:
+		return "packet"
+	case MsgPacketReply:
+		return "packet-reply"
+	case MsgStatsRequest:
+		return "stats-request"
+	case MsgStatsReply:
+		return "stats-reply"
+	case MsgBarrier:
+		return "barrier"
+	case MsgBarrierReply:
+		return "barrier-reply"
+	default:
+		return "unknown"
+	}
+}
+
+// FlowModOp selects add or delete.
+type FlowModOp uint8
+
+// Flow-mod operations.
+const (
+	FlowAdd FlowModOp = iota + 1
+	FlowDelete
+)
+
+// FlowMod is a flow-table modification.
+type FlowMod struct {
+	Op    FlowModOp
+	Table openflow.TableID
+	Entry openflow.FlowEntry
+}
+
+// PacketReplyFlags encode the pipeline result.
+const (
+	ReplyMatched uint8 = 1 << iota
+	ReplyToController
+	ReplyDropped
+)
+
+// PacketReply is the switch's answer to an injected packet.
+type PacketReply struct {
+	Flags   uint8
+	Outputs []uint32
+}
+
+// Stats is the switch status report.
+type Stats struct {
+	Tables     []TableStats `json:"tables"`
+	TotalRules int          `json:"total_rules"`
+	MemoryBits int          `json:"memory_bits"`
+	M20KBlocks int          `json:"m20k_blocks"`
+}
+
+// TableStats describes one pipeline table.
+type TableStats struct {
+	ID    uint8  `json:"id"`
+	Rules int    `json:"rules"`
+	Field string `json:"fields"`
+}
+
+// Message is one decoded frame.
+type Message struct {
+	Type    MsgType
+	Payload []byte
+}
+
+// WriteMessage frames and writes a message.
+func WriteMessage(w io.Writer, t MsgType, payload []byte) error {
+	if len(payload)+1 > MaxMessageLen {
+		return fmt.Errorf("ofproto: message of %d bytes exceeds limit", len(payload))
+	}
+	hdr := make([]byte, 5)
+	binary.BigEndian.PutUint32(hdr, uint32(len(payload)+1))
+	hdr[4] = byte(t)
+	if _, err := w.Write(hdr); err != nil {
+		return fmt.Errorf("ofproto: writing %s header: %w", t, err)
+	}
+	if len(payload) > 0 {
+		if _, err := w.Write(payload); err != nil {
+			return fmt.Errorf("ofproto: writing %s payload: %w", t, err)
+		}
+	}
+	return nil
+}
+
+// ReadMessage reads one framed message.
+func ReadMessage(r io.Reader) (Message, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return Message{}, fmt.Errorf("ofproto: reading frame length: %w", err)
+	}
+	n := binary.BigEndian.Uint32(lenBuf[:])
+	if n == 0 || n > MaxMessageLen {
+		return Message{}, fmt.Errorf("ofproto: frame length %d out of range", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return Message{}, fmt.Errorf("ofproto: reading frame body: %w", err)
+	}
+	return Message{Type: MsgType(body[0]), Payload: body[1:]}, nil
+}
+
+// EncodeHello builds a hello payload.
+func EncodeHello() []byte { return []byte{ProtocolVersion} }
+
+// DecodeHello validates a hello payload.
+func DecodeHello(payload []byte) error {
+	if len(payload) != 1 {
+		return fmt.Errorf("ofproto: hello payload of %d bytes", len(payload))
+	}
+	if payload[0] != ProtocolVersion {
+		return fmt.Errorf("ofproto: peer version %d, want %d", payload[0], ProtocolVersion)
+	}
+	return nil
+}
+
+// EncodeFlowMod serialises a flow-mod.
+func EncodeFlowMod(fm *FlowMod) []byte {
+	buf := []byte{byte(fm.Op), byte(fm.Table)}
+	return openflow.AppendFlowEntry(buf, &fm.Entry)
+}
+
+// DecodeFlowMod parses a flow-mod payload.
+func DecodeFlowMod(payload []byte) (*FlowMod, error) {
+	if len(payload) < 2 {
+		return nil, fmt.Errorf("ofproto: flow-mod payload of %d bytes", len(payload))
+	}
+	fm := &FlowMod{Op: FlowModOp(payload[0]), Table: openflow.TableID(payload[1])}
+	if fm.Op != FlowAdd && fm.Op != FlowDelete {
+		return nil, fmt.Errorf("ofproto: unknown flow-mod op %d", payload[0])
+	}
+	entry, n, err := openflow.DecodeFlowEntry(payload[2:])
+	if err != nil {
+		return nil, fmt.Errorf("ofproto: flow-mod entry: %w", err)
+	}
+	if n != len(payload)-2 {
+		return nil, fmt.Errorf("ofproto: flow-mod has %d trailing bytes", len(payload)-2-n)
+	}
+	fm.Entry = *entry
+	return fm, nil
+}
+
+// EncodePacket serialises an injected packet header.
+func EncodePacket(h *openflow.Header) []byte {
+	return openflow.AppendHeader(nil, h)
+}
+
+// DecodePacket parses an injected packet header.
+func DecodePacket(payload []byte) (*openflow.Header, error) {
+	h, n, err := openflow.DecodeHeader(payload)
+	if err != nil {
+		return nil, err
+	}
+	if n != len(payload) {
+		return nil, fmt.Errorf("ofproto: packet has %d trailing bytes", len(payload)-n)
+	}
+	return h, nil
+}
+
+// EncodePacketReply serialises a pipeline result.
+func EncodePacketReply(r *PacketReply) []byte {
+	buf := make([]byte, 0, 3+4*len(r.Outputs))
+	buf = append(buf, r.Flags)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(r.Outputs)))
+	for _, p := range r.Outputs {
+		buf = binary.BigEndian.AppendUint32(buf, p)
+	}
+	return buf
+}
+
+// DecodePacketReply parses a pipeline result.
+func DecodePacketReply(payload []byte) (*PacketReply, error) {
+	if len(payload) < 3 {
+		return nil, fmt.Errorf("ofproto: packet-reply payload of %d bytes", len(payload))
+	}
+	r := &PacketReply{Flags: payload[0]}
+	n := int(binary.BigEndian.Uint16(payload[1:]))
+	if len(payload) != 3+4*n {
+		return nil, fmt.Errorf("ofproto: packet-reply wants %d ports, has %d bytes", n, len(payload)-3)
+	}
+	for i := 0; i < n; i++ {
+		r.Outputs = append(r.Outputs, binary.BigEndian.Uint32(payload[3+4*i:]))
+	}
+	return r, nil
+}
+
+// EncodeStats serialises a stats report.
+func EncodeStats(s *Stats) ([]byte, error) {
+	b, err := json.Marshal(s)
+	if err != nil {
+		return nil, fmt.Errorf("ofproto: encoding stats: %w", err)
+	}
+	return b, nil
+}
+
+// DecodeStats parses a stats report.
+func DecodeStats(payload []byte) (*Stats, error) {
+	var s Stats
+	if err := json.Unmarshal(payload, &s); err != nil {
+		return nil, fmt.Errorf("ofproto: decoding stats: %w", err)
+	}
+	return &s, nil
+}
+
+// EncodeError serialises an error message.
+func EncodeError(err error) []byte { return []byte(err.Error()) }

@@ -1,0 +1,265 @@
+package ofproto
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"ofmtl/internal/core"
+	"ofmtl/internal/openflow"
+)
+
+// Server hosts a lookup pipeline behind the control protocol. One
+// goroutine serves each controller connection; pipeline access is
+// serialised by a mutex (the pipeline itself models single-ported
+// hardware).
+type Server struct {
+	mu       sync.Mutex
+	pipeline *core.Pipeline
+
+	wg       sync.WaitGroup
+	listener net.Listener
+	closed   chan struct{}
+	logf     func(format string, args ...any)
+}
+
+// NewServer wraps a pipeline. logf receives connection-level events; nil
+// discards them.
+func NewServer(p *core.Pipeline, logf func(format string, args ...any)) *Server {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	return &Server{pipeline: p, closed: make(chan struct{}), logf: logf}
+}
+
+// Serve accepts controller connections until Close is called. It returns
+// after the listener fails or closes.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	s.listener = l
+	s.mu.Unlock()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			select {
+			case <-s.closed:
+				return nil
+			default:
+			}
+			return fmt.Errorf("ofproto: accept: %w", err)
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+// Close stops the listener and waits for in-flight connections.
+func (s *Server) Close() error {
+	close(s.closed)
+	s.mu.Lock()
+	l := s.listener
+	s.mu.Unlock()
+	var err error
+	if l != nil {
+		err = l.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer func() {
+		if err := conn.Close(); err != nil {
+			s.logf("ofproto: closing %s: %v", conn.RemoteAddr(), err)
+		}
+	}()
+
+	if err := WriteMessage(conn, MsgHello, EncodeHello()); err != nil {
+		s.logf("ofproto: hello to %s: %v", conn.RemoteAddr(), err)
+		return
+	}
+	for {
+		msg, err := ReadMessage(conn)
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
+				s.logf("ofproto: reading from %s: %v", conn.RemoteAddr(), err)
+			}
+			return
+		}
+		if err := s.dispatch(conn, msg); err != nil {
+			s.logf("ofproto: handling %s from %s: %v", msg.Type, conn.RemoteAddr(), err)
+			if werr := WriteMessage(conn, MsgError, EncodeError(err)); werr != nil {
+				return
+			}
+		}
+	}
+}
+
+func (s *Server) dispatch(conn net.Conn, msg Message) error {
+	switch msg.Type {
+	case MsgHello:
+		return DecodeHello(msg.Payload)
+	case MsgFlowMod:
+		fm, err := DecodeFlowMod(msg.Payload)
+		if err != nil {
+			return err
+		}
+		s.mu.Lock()
+		if fm.Op == FlowAdd {
+			err = s.pipeline.Insert(fm.Table, &fm.Entry)
+		} else {
+			err = s.pipeline.Remove(fm.Table, &fm.Entry)
+		}
+		s.mu.Unlock()
+		if err != nil {
+			return err
+		}
+		return WriteMessage(conn, MsgFlowModReply, nil)
+	case MsgPacket:
+		h, err := DecodePacket(msg.Payload)
+		if err != nil {
+			return err
+		}
+		s.mu.Lock()
+		res := s.pipeline.Execute(h)
+		s.mu.Unlock()
+		reply := PacketReply{Outputs: res.Outputs}
+		if res.Matched {
+			reply.Flags |= ReplyMatched
+		}
+		if res.SentToController {
+			reply.Flags |= ReplyToController
+		}
+		if res.Dropped {
+			reply.Flags |= ReplyDropped
+		}
+		return WriteMessage(conn, MsgPacketReply, EncodePacketReply(&reply))
+	case MsgStatsRequest:
+		s.mu.Lock()
+		stats := s.stats()
+		s.mu.Unlock()
+		payload, err := EncodeStats(stats)
+		if err != nil {
+			return err
+		}
+		return WriteMessage(conn, MsgStatsReply, payload)
+	case MsgBarrier:
+		return WriteMessage(conn, MsgBarrierReply, nil)
+	default:
+		return fmt.Errorf("ofproto: unexpected message type %s", msg.Type)
+	}
+}
+
+// stats must be called with the pipeline lock held.
+func (s *Server) stats() *Stats {
+	st := &Stats{}
+	for _, id := range s.pipeline.Tables() {
+		t, _ := s.pipeline.Table(id)
+		fields := ""
+		for i, f := range t.Fields() {
+			if i > 0 {
+				fields += ","
+			}
+			fields += f.String()
+		}
+		st.Tables = append(st.Tables, TableStats{ID: uint8(id), Rules: t.Rules(), Field: fields})
+		st.TotalRules += t.Rules()
+	}
+	mem := s.pipeline.MemoryReport()
+	st.MemoryBits = mem.TotalBits
+	st.M20KBlocks = mem.Blocks
+	return st
+}
+
+// Client is a controller-side connection to a switch daemon.
+type Client struct {
+	conn net.Conn
+}
+
+// Dial connects to a switch daemon and completes the hello exchange.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("ofproto: dialing %s: %w", addr, err)
+	}
+	c := &Client{conn: conn}
+	msg, err := ReadMessage(conn)
+	if err != nil {
+		_ = conn.Close()
+		return nil, fmt.Errorf("ofproto: awaiting hello: %w", err)
+	}
+	if msg.Type != MsgHello {
+		_ = conn.Close()
+		return nil, fmt.Errorf("ofproto: expected hello, got %s", msg.Type)
+	}
+	if err := DecodeHello(msg.Payload); err != nil {
+		_ = conn.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// Close terminates the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// roundTrip sends a request and reads the next reply, surfacing switch
+// errors as Go errors.
+func (c *Client) roundTrip(t MsgType, payload []byte, want MsgType) (Message, error) {
+	if err := WriteMessage(c.conn, t, payload); err != nil {
+		return Message{}, err
+	}
+	msg, err := ReadMessage(c.conn)
+	if err != nil {
+		return Message{}, err
+	}
+	if msg.Type == MsgError {
+		return Message{}, fmt.Errorf("ofproto: switch error: %s", msg.Payload)
+	}
+	if msg.Type != want {
+		return Message{}, fmt.Errorf("ofproto: expected %s, got %s", want, msg.Type)
+	}
+	return msg, nil
+}
+
+// AddFlow installs a flow entry.
+func (c *Client) AddFlow(table openflow.TableID, e *openflow.FlowEntry) error {
+	fm := FlowMod{Op: FlowAdd, Table: table, Entry: *e}
+	_, err := c.roundTrip(MsgFlowMod, EncodeFlowMod(&fm), MsgFlowModReply)
+	return err
+}
+
+// DeleteFlow removes a flow entry.
+func (c *Client) DeleteFlow(table openflow.TableID, e *openflow.FlowEntry) error {
+	fm := FlowMod{Op: FlowDelete, Table: table, Entry: *e}
+	_, err := c.roundTrip(MsgFlowMod, EncodeFlowMod(&fm), MsgFlowModReply)
+	return err
+}
+
+// SendPacket injects a packet header and returns the pipeline result.
+func (c *Client) SendPacket(h *openflow.Header) (*PacketReply, error) {
+	msg, err := c.roundTrip(MsgPacket, EncodePacket(h), MsgPacketReply)
+	if err != nil {
+		return nil, err
+	}
+	return DecodePacketReply(msg.Payload)
+}
+
+// Stats fetches the switch status report.
+func (c *Client) Stats() (*Stats, error) {
+	msg, err := c.roundTrip(MsgStatsRequest, nil, MsgStatsReply)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeStats(msg.Payload)
+}
+
+// Barrier completes when all previously sent messages are processed.
+func (c *Client) Barrier() error {
+	_, err := c.roundTrip(MsgBarrier, nil, MsgBarrierReply)
+	return err
+}

@@ -1,0 +1,207 @@
+package ofproto
+
+import (
+	"net"
+	"sync"
+	"testing"
+
+	"ofmtl/internal/core"
+	"ofmtl/internal/filterset"
+	"ofmtl/internal/openflow"
+)
+
+// startTestServer brings up a server on a loopback listener and returns
+// its address plus a shutdown function.
+func startTestServer(t *testing.T, p *core.Pipeline) (string, func()) {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(p, t.Logf)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if err := srv.Serve(l); err != nil {
+			t.Errorf("serve: %v", err)
+		}
+	}()
+	return l.Addr().String(), func() {
+		if err := srv.Close(); err != nil {
+			t.Logf("close: %v", err)
+		}
+		<-done
+	}
+}
+
+func emptyMACPipeline(t *testing.T) *core.Pipeline {
+	t.Helper()
+	p, err := core.BuildMAC(&filterset.MACFilter{Name: "empty"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestEndToEndFlowModAndPacket(t *testing.T) {
+	p := emptyMACPipeline(t)
+	addr, stop := startTestServer(t, p)
+	defer stop()
+
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := c.Close(); err != nil {
+			t.Logf("client close: %v", err)
+		}
+	}()
+
+	// Install a (vlan 9, mac) flow through both tables, as a controller
+	// programming the paper's pipeline would.
+	e0 := &openflow.FlowEntry{
+		Priority: 1,
+		Matches:  []openflow.Match{openflow.Exact(openflow.FieldVLANID, 9)},
+		Instructions: []openflow.Instruction{
+			openflow.WriteMetadata(9, ^uint64(0)),
+			openflow.GotoTable(1),
+		},
+	}
+	if err := c.AddFlow(0, e0); err != nil {
+		t.Fatal(err)
+	}
+	e1 := &openflow.FlowEntry{
+		Priority: 1,
+		Matches: []openflow.Match{
+			openflow.Exact(openflow.FieldMetadata, 9),
+			openflow.Exact(openflow.FieldEthDst, 0x0000DEADBEEF),
+		},
+		Instructions: []openflow.Instruction{
+			openflow.WriteActions(openflow.Output(42)),
+		},
+	}
+	if err := c.AddFlow(1, e1); err != nil {
+		t.Fatal(err)
+	}
+
+	reply, err := c.SendPacket(&openflow.Header{VLANID: 9, EthDst: 0x0000DEADBEEF})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Flags&ReplyMatched == 0 || len(reply.Outputs) != 1 || reply.Outputs[0] != 42 {
+		t.Errorf("installed flow reply: %+v", reply)
+	}
+
+	// A miss goes to the controller.
+	reply, err = c.SendPacket(&openflow.Header{VLANID: 10, EthDst: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Flags&ReplyToController == 0 {
+		t.Errorf("miss reply: %+v", reply)
+	}
+
+	// Stats reflect the installed rules.
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.TotalRules != 2 || len(st.Tables) != 2 {
+		t.Errorf("stats: %+v", st)
+	}
+	if st.MemoryBits <= 0 {
+		t.Error("stats memory should be positive")
+	}
+
+	// Delete and verify the flow is gone.
+	if err := c.DeleteFlow(1, e1); err != nil {
+		t.Fatal(err)
+	}
+	reply, err = c.SendPacket(&openflow.Header{VLANID: 9, EthDst: 0x0000DEADBEEF})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Flags&ReplyMatched != 0 && len(reply.Outputs) > 0 {
+		t.Errorf("deleted flow still forwards: %+v", reply)
+	}
+}
+
+func TestServerSurfacesErrors(t *testing.T) {
+	p := emptyMACPipeline(t)
+	addr, stop := startTestServer(t, p)
+	defer stop()
+
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+
+	// Deleting a flow that was never installed must produce a protocol
+	// error, not a hang or disconnect.
+	e := &openflow.FlowEntry{
+		Matches:      []openflow.Match{openflow.Exact(openflow.FieldVLANID, 5)},
+		Instructions: []openflow.Instruction{openflow.GotoTable(1)},
+	}
+	if err := c.DeleteFlow(0, e); err == nil {
+		t.Error("delete of absent flow should error")
+	}
+	// The connection survives the error.
+	if err := c.Barrier(); err != nil {
+		t.Errorf("barrier after error: %v", err)
+	}
+	// Inserting into a missing table errors too.
+	if err := c.AddFlow(9, e); err == nil {
+		t.Error("insert into missing table should error")
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	mac, err := filterset.GenerateMAC("bbrb", filterset.DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := core.BuildMAC(mac, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, stop := startTestServer(t, p)
+	defer stop()
+
+	const clients = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := Dial(addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer func() { _ = c.Close() }()
+			for j := 0; j < 50; j++ {
+				r := mac.Rules[j%len(mac.Rules)]
+				reply, err := c.SendPacket(&openflow.Header{VLANID: r.VLAN, EthDst: r.EthDst})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if reply.Flags&ReplyMatched == 0 {
+					errs <- err
+					return
+				}
+			}
+			errs <- nil
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,187 @@
+package openflow
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"ofmtl/internal/bitops"
+)
+
+// Binary wire encoding. All integers are big-endian (network order), as in
+// the OpenFlow wire protocol. The encoding is TLV-flavoured: a flow entry
+// carries a match count and an instruction count followed by fixed-layout
+// records. It is deliberately simple — the goal is a faithful control
+// channel for switchd/ofctl, not bit-compatibility with ONF framing.
+
+// ErrTruncated is returned when a buffer ends before a complete record.
+var ErrTruncated = errors.New("openflow: truncated message")
+
+const (
+	matchRecordLen  = 1 + 1 + 16 + 1 + 8 + 8 // field, kind, value, plen, lo, hi
+	actionRecordLen = 1 + 4 + 1 + 16         // type, port, field, value
+	instrHeaderLen  = 1 + 1 + 2 + 8 + 8      // type, table, action count, metadata, mask
+	entryHeaderLen  = 4 + 8 + 2 + 2          // priority, cookie, match count, instr count
+	headerLen       = 4 + 8 + 8 + 2 + 2 + 1 + 4 + 4 + 4 + 16 + 16 + 1 + 1 + 2 + 2 + 2 + 4 + 4 + 8
+)
+
+// AppendFlowEntry appends the wire form of e to buf and returns the
+// extended slice.
+func AppendFlowEntry(buf []byte, e *FlowEntry) []byte {
+	buf = binary.BigEndian.AppendUint32(buf, uint32(int32(e.Priority)))
+	buf = binary.BigEndian.AppendUint64(buf, e.Cookie)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(e.Matches)))
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(e.Instructions)))
+	for _, m := range e.Matches {
+		buf = append(buf, byte(m.Field), byte(m.Kind))
+		buf = appendU128(buf, m.Value)
+		buf = append(buf, byte(m.PrefixLen))
+		buf = binary.BigEndian.AppendUint64(buf, m.Lo)
+		buf = binary.BigEndian.AppendUint64(buf, m.Hi)
+	}
+	for _, in := range e.Instructions {
+		buf = append(buf, byte(in.Type), byte(in.Table))
+		buf = binary.BigEndian.AppendUint16(buf, uint16(len(in.Actions)))
+		buf = binary.BigEndian.AppendUint64(buf, in.Metadata)
+		buf = binary.BigEndian.AppendUint64(buf, in.MetadataMask)
+		for _, a := range in.Actions {
+			buf = append(buf, byte(a.Type))
+			buf = binary.BigEndian.AppendUint32(buf, a.Port)
+			buf = append(buf, byte(a.Field))
+			buf = appendU128(buf, a.Value)
+		}
+	}
+	return buf
+}
+
+// DecodeFlowEntry decodes one flow entry from buf, returning the entry and
+// the number of bytes consumed.
+func DecodeFlowEntry(buf []byte) (*FlowEntry, int, error) {
+	if len(buf) < entryHeaderLen {
+		return nil, 0, fmt.Errorf("decoding flow entry header: %w", ErrTruncated)
+	}
+	e := &FlowEntry{
+		Priority: int(int32(binary.BigEndian.Uint32(buf))),
+		Cookie:   binary.BigEndian.Uint64(buf[4:]),
+	}
+	nMatch := int(binary.BigEndian.Uint16(buf[12:]))
+	nInstr := int(binary.BigEndian.Uint16(buf[14:]))
+	off := entryHeaderLen
+
+	if nMatch > 0 {
+		e.Matches = make([]Match, 0, nMatch)
+	}
+	for i := 0; i < nMatch; i++ {
+		if len(buf[off:]) < matchRecordLen {
+			return nil, 0, fmt.Errorf("decoding match %d: %w", i, ErrTruncated)
+		}
+		m := Match{
+			Field: FieldID(buf[off]),
+			Kind:  MatchKind(buf[off+1]),
+		}
+		m.Value = readU128(buf[off+2:])
+		m.PrefixLen = int(buf[off+18])
+		m.Lo = binary.BigEndian.Uint64(buf[off+19:])
+		m.Hi = binary.BigEndian.Uint64(buf[off+27:])
+		e.Matches = append(e.Matches, m)
+		off += matchRecordLen
+	}
+	if nInstr > 0 {
+		e.Instructions = make([]Instruction, 0, nInstr)
+	}
+	for i := 0; i < nInstr; i++ {
+		if len(buf[off:]) < instrHeaderLen {
+			return nil, 0, fmt.Errorf("decoding instruction %d: %w", i, ErrTruncated)
+		}
+		in := Instruction{
+			Type:  InstructionType(buf[off]),
+			Table: TableID(buf[off+1]),
+		}
+		nAct := int(binary.BigEndian.Uint16(buf[off+2:]))
+		in.Metadata = binary.BigEndian.Uint64(buf[off+4:])
+		in.MetadataMask = binary.BigEndian.Uint64(buf[off+12:])
+		off += instrHeaderLen
+		if nAct > 0 {
+			in.Actions = make([]Action, 0, nAct)
+		}
+		for j := 0; j < nAct; j++ {
+			if len(buf[off:]) < actionRecordLen {
+				return nil, 0, fmt.Errorf("decoding action %d of instruction %d: %w", j, i, ErrTruncated)
+			}
+			a := Action{
+				Type:  ActionType(buf[off]),
+				Port:  binary.BigEndian.Uint32(buf[off+1:]),
+				Field: FieldID(buf[off+5]),
+				Value: readU128(buf[off+6:]),
+			}
+			in.Actions = append(in.Actions, a)
+			off += actionRecordLen
+		}
+		e.Instructions = append(e.Instructions, in)
+	}
+	return e, off, nil
+}
+
+// AppendHeader appends the wire form of h to buf.
+func AppendHeader(buf []byte, h *Header) []byte {
+	buf = binary.BigEndian.AppendUint32(buf, h.InPort)
+	buf = binary.BigEndian.AppendUint64(buf, h.EthSrc)
+	buf = binary.BigEndian.AppendUint64(buf, h.EthDst)
+	buf = binary.BigEndian.AppendUint16(buf, h.EthType)
+	buf = binary.BigEndian.AppendUint16(buf, h.VLANID)
+	buf = append(buf, h.VLANPrio)
+	buf = binary.BigEndian.AppendUint32(buf, h.MPLS)
+	buf = binary.BigEndian.AppendUint32(buf, h.IPv4Src)
+	buf = binary.BigEndian.AppendUint32(buf, h.IPv4Dst)
+	buf = appendU128(buf, h.IPv6Src)
+	buf = appendU128(buf, h.IPv6Dst)
+	buf = append(buf, h.IPProto, h.IPToS)
+	buf = binary.BigEndian.AppendUint16(buf, h.SrcPort)
+	buf = binary.BigEndian.AppendUint16(buf, h.DstPort)
+	buf = binary.BigEndian.AppendUint16(buf, h.ARPOp)
+	buf = binary.BigEndian.AppendUint32(buf, h.ARPSPA)
+	buf = binary.BigEndian.AppendUint32(buf, h.ARPTPA)
+	buf = binary.BigEndian.AppendUint64(buf, h.Metadata)
+	return buf
+}
+
+// DecodeHeader decodes one packet header, returning it and the bytes
+// consumed.
+func DecodeHeader(buf []byte) (*Header, int, error) {
+	if len(buf) < headerLen {
+		return nil, 0, fmt.Errorf("decoding packet header: %w", ErrTruncated)
+	}
+	h := &Header{}
+	h.InPort = binary.BigEndian.Uint32(buf)
+	h.EthSrc = binary.BigEndian.Uint64(buf[4:])
+	h.EthDst = binary.BigEndian.Uint64(buf[12:])
+	h.EthType = binary.BigEndian.Uint16(buf[20:])
+	h.VLANID = binary.BigEndian.Uint16(buf[22:])
+	h.VLANPrio = buf[24]
+	h.MPLS = binary.BigEndian.Uint32(buf[25:])
+	h.IPv4Src = binary.BigEndian.Uint32(buf[29:])
+	h.IPv4Dst = binary.BigEndian.Uint32(buf[33:])
+	h.IPv6Src = readU128(buf[37:])
+	h.IPv6Dst = readU128(buf[53:])
+	h.IPProto = buf[69]
+	h.IPToS = buf[70]
+	h.SrcPort = binary.BigEndian.Uint16(buf[71:])
+	h.DstPort = binary.BigEndian.Uint16(buf[73:])
+	h.ARPOp = binary.BigEndian.Uint16(buf[75:])
+	h.ARPSPA = binary.BigEndian.Uint32(buf[77:])
+	h.ARPTPA = binary.BigEndian.Uint32(buf[81:])
+	h.Metadata = binary.BigEndian.Uint64(buf[85:])
+	return h, headerLen, nil
+}
+
+func appendU128(buf []byte, v bitops.U128) []byte {
+	buf = binary.BigEndian.AppendUint64(buf, v.Hi)
+	return binary.BigEndian.AppendUint64(buf, v.Lo)
+}
+
+func readU128(buf []byte) bitops.U128 {
+	return bitops.U128{
+		Hi: binary.BigEndian.Uint64(buf),
+		Lo: binary.BigEndian.Uint64(buf[8:]),
+	}
+}

@@ -1,0 +1,212 @@
+// Package openflow models the subset of the OpenFlow v1.3 data plane needed
+// by the multiple-table lookup architecture: match fields (the OXM set),
+// per-field match constraints, flow entries with priorities and
+// instructions, and packet headers.
+//
+// The field registry reproduces Table II of the paper: the 15 common
+// matching fields with their bit widths and required matching methods
+// (exact, range, or longest-prefix). The extended registry enumerates the
+// full 39-field OXM set of OpenFlow v1.3 for completeness.
+package openflow
+
+// FieldID identifies an OpenFlow match field. The first fifteen values are
+// the common fields of Table II in the paper; the remainder complete the
+// OpenFlow v1.3 OXM set.
+type FieldID int
+
+// Common match fields (Table II of the paper).
+const (
+	FieldInPort       FieldID = iota + 1 // ingress port, 32 bits, exact
+	FieldEthSrc                          // source Ethernet, 48 bits, LPM
+	FieldEthDst                          // destination Ethernet, 48 bits, LPM
+	FieldEthType                         // Ethernet type, 16 bits, exact
+	FieldVLANID                          // VLAN ID, 13 bits (incl. present bit), exact
+	FieldVLANPriority                    // VLAN PCP, 3 bits, exact
+	FieldMPLSLabel                       // MPLS label, 20 bits, exact
+	FieldIPv4Src                         // source IPv4, 32 bits, LPM
+	FieldIPv4Dst                         // destination IPv4, 32 bits, LPM
+	FieldIPv6Src                         // source IPv6, 128 bits, LPM
+	FieldIPv6Dst                         // destination IPv6, 128 bits, LPM
+	FieldIPProto                         // IPv4/IPv6 protocol, 8 bits, exact
+	FieldIPToS                           // IPv4 ToS / DSCP, 6 bits, exact
+	FieldSrcPort                         // TCP/UDP source port, 16 bits, range
+	FieldDstPort                         // TCP/UDP destination port, 16 bits, range
+
+	// numCommonFields is the count of Table II fields above.
+	numCommonFields = int(FieldDstPort)
+)
+
+// Extended OXM fields completing the OpenFlow v1.3 set of 39 matching
+// fields (excluding metadata, as in the paper's count).
+const (
+	FieldInPhyPort FieldID = iota + FieldID(numCommonFields) + 1
+	FieldECN
+	FieldICMPv4Type
+	FieldICMPv4Code
+	FieldARPOp
+	FieldARPSPA
+	FieldARPTPA
+	FieldARPSHA
+	FieldARPTHA
+	FieldIPv6FlowLabel
+	FieldICMPv6Type
+	FieldICMPv6Code
+	FieldIPv6NDTarget
+	FieldIPv6NDSLL
+	FieldIPv6NDTLL
+	FieldMPLSTC
+	FieldMPLSBoS
+	FieldPBBISID
+	FieldTunnelID
+	FieldIPv6ExtHdr
+	FieldSCTPSrc
+	FieldSCTPDst
+	FieldUDPSrc
+	FieldUDPDst
+
+	// FieldMetadata is the 64-bit inter-table register (Section III.A).
+	// It is matchable — the multi-table pipeline uses it to carry labels
+	// between tables — but the paper's count of 39 match fields excludes
+	// it, so AllFields and NumOXMFields exclude it too.
+	FieldMetadata
+
+	fieldSentinel // one past the last valid field
+)
+
+// NumCommonFields is the number of fields in the Table II registry.
+const NumCommonFields = numCommonFields
+
+// NumOXMFields is the total number of OpenFlow v1.3 matching fields modelled
+// (excluding metadata), matching the count of 39 cited in Section III.A.
+const NumOXMFields = int(fieldSentinel) - 2
+
+// MetadataBits is the width of the inter-table metadata register described
+// in Section III.A of the paper.
+const MetadataBits = 64
+
+// MatchMethod is the matching method a field requires (Table II).
+type MatchMethod int
+
+// Matching methods, Section III.A of the paper.
+const (
+	ExactMatch         MatchMethod = iota + 1 // EM: compare all bits
+	RangeMatch                                // RM: narrowest containing range
+	LongestPrefixMatch                        // LPM: longest matching prefix
+)
+
+// String returns the paper's abbreviation for the method.
+func (m MatchMethod) String() string {
+	switch m {
+	case ExactMatch:
+		return "EM"
+	case RangeMatch:
+		return "RM"
+	case LongestPrefixMatch:
+		return "LPM"
+	default:
+		return "unknown"
+	}
+}
+
+// FieldSpec describes one match field: its identity, name, width in bits
+// and required matching method.
+type FieldSpec struct {
+	ID     FieldID
+	Name   string
+	Bits   int
+	Method MatchMethod
+}
+
+// fieldSpecs is indexed by FieldID. Only the registry accessors below
+// expose it, keeping the table immutable from the caller's perspective.
+var fieldSpecs = [fieldSentinel]FieldSpec{
+	FieldInPort:        {FieldInPort, "Ingress Port", 32, ExactMatch},
+	FieldEthSrc:        {FieldEthSrc, "Source Ethernet", 48, LongestPrefixMatch},
+	FieldEthDst:        {FieldEthDst, "Destination Ethernet", 48, LongestPrefixMatch},
+	FieldEthType:       {FieldEthType, "Ethernet Type", 16, ExactMatch},
+	FieldVLANID:        {FieldVLANID, "VLAN ID", 13, ExactMatch},
+	FieldVLANPriority:  {FieldVLANPriority, "VLAN Priority", 3, ExactMatch},
+	FieldMPLSLabel:     {FieldMPLSLabel, "MPLS Label", 20, ExactMatch},
+	FieldIPv4Src:       {FieldIPv4Src, "Source IPv4", 32, LongestPrefixMatch},
+	FieldIPv4Dst:       {FieldIPv4Dst, "Destination IPv4", 32, LongestPrefixMatch},
+	FieldIPv6Src:       {FieldIPv6Src, "Source IPv6", 128, LongestPrefixMatch},
+	FieldIPv6Dst:       {FieldIPv6Dst, "Destination IPv6", 128, LongestPrefixMatch},
+	FieldIPProto:       {FieldIPProto, "IPv4 Protocol", 8, ExactMatch},
+	FieldIPToS:         {FieldIPToS, "IPv4 ToS", 6, ExactMatch},
+	FieldSrcPort:       {FieldSrcPort, "Source Port", 16, RangeMatch},
+	FieldDstPort:       {FieldDstPort, "Destination Port", 16, RangeMatch},
+	FieldInPhyPort:     {FieldInPhyPort, "Physical Ingress Port", 32, ExactMatch},
+	FieldECN:           {FieldECN, "IP ECN", 2, ExactMatch},
+	FieldICMPv4Type:    {FieldICMPv4Type, "ICMPv4 Type", 8, ExactMatch},
+	FieldICMPv4Code:    {FieldICMPv4Code, "ICMPv4 Code", 8, ExactMatch},
+	FieldARPOp:         {FieldARPOp, "ARP Opcode", 16, ExactMatch},
+	FieldARPSPA:        {FieldARPSPA, "ARP Source IPv4", 32, LongestPrefixMatch},
+	FieldARPTPA:        {FieldARPTPA, "ARP Target IPv4", 32, LongestPrefixMatch},
+	FieldARPSHA:        {FieldARPSHA, "ARP Source Ethernet", 48, ExactMatch},
+	FieldARPTHA:        {FieldARPTHA, "ARP Target Ethernet", 48, ExactMatch},
+	FieldIPv6FlowLabel: {FieldIPv6FlowLabel, "IPv6 Flow Label", 20, ExactMatch},
+	FieldICMPv6Type:    {FieldICMPv6Type, "ICMPv6 Type", 8, ExactMatch},
+	FieldICMPv6Code:    {FieldICMPv6Code, "ICMPv6 Code", 8, ExactMatch},
+	FieldIPv6NDTarget:  {FieldIPv6NDTarget, "IPv6 ND Target", 128, ExactMatch},
+	FieldIPv6NDSLL:     {FieldIPv6NDSLL, "IPv6 ND Source LL", 48, ExactMatch},
+	FieldIPv6NDTLL:     {FieldIPv6NDTLL, "IPv6 ND Target LL", 48, ExactMatch},
+	FieldMPLSTC:        {FieldMPLSTC, "MPLS Traffic Class", 3, ExactMatch},
+	FieldMPLSBoS:       {FieldMPLSBoS, "MPLS Bottom of Stack", 1, ExactMatch},
+	FieldPBBISID:       {FieldPBBISID, "PBB I-SID", 24, ExactMatch},
+	FieldTunnelID:      {FieldTunnelID, "Tunnel ID", 64, ExactMatch},
+	FieldIPv6ExtHdr:    {FieldIPv6ExtHdr, "IPv6 Extension Header", 9, ExactMatch},
+	FieldSCTPSrc:       {FieldSCTPSrc, "SCTP Source Port", 16, ExactMatch},
+	FieldSCTPDst:       {FieldSCTPDst, "SCTP Destination Port", 16, ExactMatch},
+	FieldUDPSrc:        {FieldUDPSrc, "UDP Source Port", 16, RangeMatch},
+	FieldUDPDst:        {FieldUDPDst, "UDP Destination Port", 16, RangeMatch},
+	FieldMetadata:      {FieldMetadata, "Metadata", MetadataBits, ExactMatch},
+}
+
+// Spec returns the specification of field f. Unknown fields return a
+// zero-value spec with ID 0.
+func Spec(f FieldID) FieldSpec {
+	if f <= 0 || f >= fieldSentinel {
+		return FieldSpec{}
+	}
+	return fieldSpecs[f]
+}
+
+// Valid reports whether f identifies a known field.
+func (f FieldID) Valid() bool { return f > 0 && f < fieldSentinel }
+
+// String returns the human-readable field name.
+func (f FieldID) String() string {
+	if !f.Valid() {
+		return "invalid-field"
+	}
+	return fieldSpecs[f].Name
+}
+
+// Bits returns the field's width in bits (0 for unknown fields).
+func (f FieldID) Bits() int { return Spec(f).Bits }
+
+// Method returns the matching method the field requires.
+func (f FieldID) Method() MatchMethod { return Spec(f).Method }
+
+// CommonFields returns the Table II registry: the 15 common match fields in
+// the paper's order. The returned slice is a fresh copy.
+func CommonFields() []FieldSpec {
+	out := make([]FieldSpec, 0, NumCommonFields)
+	for id := FieldID(1); int(id) <= NumCommonFields; id++ {
+		out = append(out, fieldSpecs[id])
+	}
+	return out
+}
+
+// AllFields returns every modelled OXM field specification (39 fields,
+// excluding the metadata pseudo-field).
+func AllFields() []FieldSpec {
+	out := make([]FieldSpec, 0, NumOXMFields)
+	for id := FieldID(1); id < fieldSentinel; id++ {
+		if id == FieldMetadata {
+			continue
+		}
+		out = append(out, fieldSpecs[id])
+	}
+	return out
+}

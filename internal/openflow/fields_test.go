@@ -1,0 +1,98 @@
+package openflow
+
+import "testing"
+
+// TestTableII verifies the field registry against Table II of the paper:
+// field names, widths and matching methods for the 15 common fields.
+func TestTableII(t *testing.T) {
+	want := []struct {
+		id     FieldID
+		name   string
+		bits   int
+		method MatchMethod
+	}{
+		{FieldInPort, "Ingress Port", 32, ExactMatch},
+		{FieldEthSrc, "Source Ethernet", 48, LongestPrefixMatch},
+		{FieldEthDst, "Destination Ethernet", 48, LongestPrefixMatch},
+		{FieldEthType, "Ethernet Type", 16, ExactMatch},
+		{FieldVLANID, "VLAN ID", 13, ExactMatch},
+		{FieldVLANPriority, "VLAN Priority", 3, ExactMatch},
+		{FieldMPLSLabel, "MPLS Label", 20, ExactMatch},
+		{FieldIPv4Src, "Source IPv4", 32, LongestPrefixMatch},
+		{FieldIPv4Dst, "Destination IPv4", 32, LongestPrefixMatch},
+		{FieldIPv6Src, "Source IPv6", 128, LongestPrefixMatch},
+		{FieldIPv6Dst, "Destination IPv6", 128, LongestPrefixMatch},
+		{FieldIPProto, "IPv4 Protocol", 8, ExactMatch},
+		{FieldIPToS, "IPv4 ToS", 6, ExactMatch},
+		{FieldSrcPort, "Source Port", 16, RangeMatch},
+		{FieldDstPort, "Destination Port", 16, RangeMatch},
+	}
+	common := CommonFields()
+	if len(common) != len(want) {
+		t.Fatalf("CommonFields returned %d fields, want %d", len(common), len(want))
+	}
+	for i, w := range want {
+		got := common[i]
+		if got.ID != w.id || got.Name != w.name || got.Bits != w.bits || got.Method != w.method {
+			t.Errorf("field %d: got %+v, want %+v", i, got, w)
+		}
+	}
+}
+
+// TestOXMFieldCount checks the paper's claim of 39 matching fields in
+// OpenFlow v1.3 (excluding metadata).
+func TestOXMFieldCount(t *testing.T) {
+	if NumOXMFields != 39 {
+		t.Errorf("NumOXMFields = %d, want 39", NumOXMFields)
+	}
+	if got := len(AllFields()); got != 39 {
+		t.Errorf("AllFields() returned %d specs, want 39", got)
+	}
+	if MetadataBits != 64 {
+		t.Errorf("MetadataBits = %d, want 64", MetadataBits)
+	}
+}
+
+func TestFieldValidity(t *testing.T) {
+	if FieldID(0).Valid() {
+		t.Error("field 0 should be invalid")
+	}
+	if FieldID(-1).Valid() {
+		t.Error("negative field should be invalid")
+	}
+	if !FieldInPort.Valid() || !FieldUDPDst.Valid() {
+		t.Error("known fields reported invalid")
+	}
+	if FieldID(200).Valid() {
+		t.Error("out-of-range field reported valid")
+	}
+	if Spec(FieldID(200)).Bits != 0 {
+		t.Error("unknown field spec should be zero")
+	}
+	if FieldID(0).String() != "invalid-field" {
+		t.Error("invalid field String")
+	}
+}
+
+func TestAllFieldsHaveSpecs(t *testing.T) {
+	for _, spec := range AllFields() {
+		if spec.Name == "" {
+			t.Errorf("field %d has empty name", spec.ID)
+		}
+		if spec.Bits <= 0 || spec.Bits > 128 {
+			t.Errorf("field %s has implausible width %d", spec.Name, spec.Bits)
+		}
+		if spec.Method < ExactMatch || spec.Method > LongestPrefixMatch {
+			t.Errorf("field %s has invalid method %d", spec.Name, spec.Method)
+		}
+	}
+}
+
+func TestMatchMethodString(t *testing.T) {
+	if ExactMatch.String() != "EM" || RangeMatch.String() != "RM" || LongestPrefixMatch.String() != "LPM" {
+		t.Error("match method abbreviations do not follow the paper")
+	}
+	if MatchMethod(0).String() != "unknown" {
+		t.Error("zero method should be unknown")
+	}
+}

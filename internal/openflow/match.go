@@ -1,0 +1,205 @@
+package openflow
+
+import (
+	"fmt"
+
+	"ofmtl/internal/bitops"
+)
+
+// MatchKind distinguishes the constraint a Match places on a field.
+type MatchKind int
+
+// Match kinds. Any is the explicit wildcard: a Match with kind Any matches
+// every value of its field (it is equivalent to omitting the field but
+// preserves the field's presence in serialised rules).
+const (
+	MatchExact  MatchKind = iota + 1 // value must equal Value exactly
+	MatchPrefix                      // value must fall under Value/PrefixLen
+	MatchRange                       // value must lie in [Lo, Hi]
+	MatchAny                         // matches everything
+)
+
+// String names the kind.
+func (k MatchKind) String() string {
+	switch k {
+	case MatchExact:
+		return "exact"
+	case MatchPrefix:
+		return "prefix"
+	case MatchRange:
+		return "range"
+	case MatchAny:
+		return "any"
+	default:
+		return "unknown"
+	}
+}
+
+// Match is a single-field constraint within a flow entry. Exactly one of
+// the constraint encodings is meaningful, selected by Kind:
+//
+//   - MatchExact: Value (full field width)
+//   - MatchPrefix: Value and PrefixLen
+//   - MatchRange: Lo and Hi (inclusive), for fields of at most 64 bits
+//   - MatchAny: no constraint
+type Match struct {
+	Field     FieldID
+	Kind      MatchKind
+	Value     bitops.U128
+	PrefixLen int
+	Lo, Hi    uint64
+}
+
+// Exact constructs an exact match on a field up to 64 bits wide.
+func Exact(f FieldID, v uint64) Match {
+	return Match{Field: f, Kind: MatchExact, Value: bitops.U128From64(v)}
+}
+
+// Exact128 constructs an exact match on a wide (up to 128-bit) field.
+func Exact128(f FieldID, v bitops.U128) Match {
+	return Match{Field: f, Kind: MatchExact, Value: v}
+}
+
+// Prefix constructs a longest-prefix match constraint.
+func Prefix(f FieldID, v uint64, plen int) Match {
+	return Match{Field: f, Kind: MatchPrefix, Value: bitops.U128From64(v), PrefixLen: plen}
+}
+
+// Prefix128 constructs a prefix constraint on a wide field.
+func Prefix128(f FieldID, v bitops.U128, plen int) Match {
+	return Match{Field: f, Kind: MatchPrefix, Value: v, PrefixLen: plen}
+}
+
+// Range constructs an inclusive range constraint.
+func Range(f FieldID, lo, hi uint64) Match {
+	return Match{Field: f, Kind: MatchRange, Lo: lo, Hi: hi}
+}
+
+// Any constructs an explicit wildcard on a field.
+func Any(f FieldID) Match {
+	return Match{Field: f, Kind: MatchAny}
+}
+
+// Matches reports whether the constraint admits the value v (given in the
+// field's native width).
+func (m Match) Matches(v bitops.U128) bool {
+	switch m.Kind {
+	case MatchExact:
+		return m.Value == v
+	case MatchPrefix:
+		return bitops.PrefixContains128(m.Value, m.PrefixLen, m.Field.Bits(), v)
+	case MatchRange:
+		if v.Hi != 0 {
+			return false
+		}
+		return v.Lo >= m.Lo && v.Lo <= m.Hi
+	case MatchAny:
+		return true
+	default:
+		return false
+	}
+}
+
+// IsWildcard reports whether the match admits every field value.
+func (m Match) IsWildcard() bool {
+	switch m.Kind {
+	case MatchAny:
+		return true
+	case MatchPrefix:
+		return m.PrefixLen == 0
+	case MatchRange:
+		width := m.Field.Bits()
+		if width > 64 {
+			return false
+		}
+		return m.Lo == 0 && m.Hi == bitops.LowMask64(width)
+	default:
+		return false
+	}
+}
+
+// Specificity returns an integer ordering of how constrained the match is:
+// larger is more specific. Exact matches score the full field width,
+// prefixes their length, ranges the number of excluded value bits
+// (approximated by width - log2(range size)), wildcards zero. It is used by
+// the reference classifier to break priority ties deterministically.
+func (m Match) Specificity() int {
+	width := m.Field.Bits()
+	switch m.Kind {
+	case MatchExact:
+		return width
+	case MatchPrefix:
+		return m.PrefixLen
+	case MatchRange:
+		size := m.Hi - m.Lo + 1
+		if size == 0 { // full 64-bit span wrapped
+			return 0
+		}
+		return width - bitops.Log2Ceil(int(size))
+	default:
+		return 0
+	}
+}
+
+// Validate checks internal consistency: known field, kind-appropriate
+// bounds, prefix length within field width.
+func (m Match) Validate() error {
+	if !m.Field.Valid() {
+		return fmt.Errorf("openflow: match references invalid field %d", int(m.Field))
+	}
+	width := m.Field.Bits()
+	switch m.Kind {
+	case MatchExact:
+		if err := checkWidth(m.Value, width); err != nil {
+			return fmt.Errorf("openflow: exact match on %s: %w", m.Field, err)
+		}
+	case MatchPrefix:
+		if m.PrefixLen < 0 || m.PrefixLen > width {
+			return fmt.Errorf("openflow: prefix length %d out of range for %d-bit field %s", m.PrefixLen, width, m.Field)
+		}
+		if err := checkWidth(m.Value, width); err != nil {
+			return fmt.Errorf("openflow: prefix match on %s: %w", m.Field, err)
+		}
+	case MatchRange:
+		if width > 64 {
+			return fmt.Errorf("openflow: range match unsupported on %d-bit field %s", width, m.Field)
+		}
+		if m.Lo > m.Hi {
+			return fmt.Errorf("openflow: range match on %s has lo %d > hi %d", m.Field, m.Lo, m.Hi)
+		}
+		if max := bitops.LowMask64(width); m.Hi > max {
+			return fmt.Errorf("openflow: range bound %d exceeds %d-bit field %s", m.Hi, width, m.Field)
+		}
+	case MatchAny:
+		// no constraint to check
+	default:
+		return fmt.Errorf("openflow: unknown match kind %d", int(m.Kind))
+	}
+	return nil
+}
+
+func checkWidth(v bitops.U128, width int) error {
+	if width >= 128 {
+		return nil
+	}
+	if !v.Rsh(width).IsZero() {
+		return fmt.Errorf("value %v exceeds field width %d", v, width)
+	}
+	return nil
+}
+
+// String renders the match in a compact rule-file syntax.
+func (m Match) String() string {
+	switch m.Kind {
+	case MatchExact:
+		return fmt.Sprintf("%s=%v", m.Field, m.Value)
+	case MatchPrefix:
+		return fmt.Sprintf("%s=%v/%d", m.Field, m.Value, m.PrefixLen)
+	case MatchRange:
+		return fmt.Sprintf("%s=[%d,%d]", m.Field, m.Lo, m.Hi)
+	case MatchAny:
+		return fmt.Sprintf("%s=*", m.Field)
+	default:
+		return fmt.Sprintf("%s=?", m.Field)
+	}
+}

@@ -1,0 +1,134 @@
+package openflow
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ofmtl/internal/bitops"
+)
+
+func TestExactMatch(t *testing.T) {
+	m := Exact(FieldVLANID, 100)
+	if !m.Matches(bitops.U128From64(100)) {
+		t.Error("exact match should admit its own value")
+	}
+	if m.Matches(bitops.U128From64(101)) {
+		t.Error("exact match should reject other values")
+	}
+}
+
+func TestPrefixMatch(t *testing.T) {
+	// 10.0.0.0/8
+	m := Prefix(FieldIPv4Dst, 0x0A000000, 8)
+	if !m.Matches(bitops.U128From64(0x0A010203)) {
+		t.Error("/8 should contain 10.1.2.3")
+	}
+	if m.Matches(bitops.U128From64(0x0B000000)) {
+		t.Error("/8 should reject 11.0.0.0")
+	}
+	// /0 admits everything.
+	def := Prefix(FieldIPv4Dst, 0, 0)
+	if !def.Matches(bitops.U128From64(0xFFFFFFFF)) {
+		t.Error("/0 should admit everything")
+	}
+	if !def.IsWildcard() {
+		t.Error("/0 should be a wildcard")
+	}
+}
+
+func TestRangeMatch(t *testing.T) {
+	m := Range(FieldDstPort, 1024, 2047)
+	for _, v := range []uint64{1024, 1500, 2047} {
+		if !m.Matches(bitops.U128From64(v)) {
+			t.Errorf("range should admit %d", v)
+		}
+	}
+	for _, v := range []uint64{1023, 2048, 0} {
+		if m.Matches(bitops.U128From64(v)) {
+			t.Errorf("range should reject %d", v)
+		}
+	}
+	full := Range(FieldDstPort, 0, 0xFFFF)
+	if !full.IsWildcard() {
+		t.Error("full-range port match should be a wildcard")
+	}
+}
+
+func TestAnyMatch(t *testing.T) {
+	m := Any(FieldEthDst)
+	if !m.Matches(bitops.U128From64(0xDEADBEEF)) || !m.IsWildcard() {
+		t.Error("Any should match everything and be a wildcard")
+	}
+}
+
+func TestMatchValidate(t *testing.T) {
+	valid := []Match{
+		Exact(FieldVLANID, 0x1FFF),
+		Prefix(FieldIPv4Dst, 0x0A000000, 8),
+		Range(FieldSrcPort, 0, 65535),
+		Any(FieldEthSrc),
+		Prefix128(FieldIPv6Dst, bitops.U128{Hi: 0x20010DB800000000}, 32),
+	}
+	for _, m := range valid {
+		if err := m.Validate(); err != nil {
+			t.Errorf("%v should validate: %v", m, err)
+		}
+	}
+	invalid := []Match{
+		Exact(FieldVLANID, 0x2000),                // exceeds 13 bits
+		Prefix(FieldIPv4Dst, 0, 33),               // prefix too long
+		Range(FieldSrcPort, 10, 5),                // inverted
+		Range(FieldSrcPort, 0, 70000),             // exceeds 16 bits
+		{Field: FieldID(0), Kind: MatchExact},     // invalid field
+		{Field: FieldInPort, Kind: MatchKind(99)}, // unknown kind
+		{Field: FieldIPv6Dst, Kind: MatchRange},   // range on 128-bit field
+	}
+	for _, m := range invalid {
+		if err := m.Validate(); err == nil {
+			t.Errorf("%v should fail validation", m)
+		}
+	}
+}
+
+func TestSpecificityOrdering(t *testing.T) {
+	exact := Exact(FieldIPv4Dst, 1)
+	p24 := Prefix(FieldIPv4Dst, 0, 24)
+	p8 := Prefix(FieldIPv4Dst, 0, 8)
+	anyM := Any(FieldIPv4Dst)
+	if !(exact.Specificity() > p24.Specificity() && p24.Specificity() > p8.Specificity() && p8.Specificity() > anyM.Specificity()) {
+		t.Error("specificity ordering violated: exact > /24 > /8 > any")
+	}
+	narrow := Range(FieldDstPort, 80, 80)
+	wide := Range(FieldDstPort, 0, 32767)
+	if narrow.Specificity() <= wide.Specificity() {
+		t.Error("narrower range should be more specific")
+	}
+}
+
+// Property: a prefix match admits exactly the values that share its top
+// PrefixLen bits.
+func TestPrefixMatchProperty(t *testing.T) {
+	f := func(base, probe uint32, plen uint8) bool {
+		p := int(plen % 33)
+		m := Prefix(FieldIPv4Dst, uint64(base)&bitops.Mask64(p, 32), p)
+		want := bitops.PrefixContains(uint64(base), p, 32, uint64(probe))
+		return m.Matches(bitops.U128From64(uint64(probe))) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMatchString(t *testing.T) {
+	cases := map[string]Match{
+		"VLAN ID=0x64":                 Exact(FieldVLANID, 100),
+		"Destination IPv4=0xa000000/8": Prefix(FieldIPv4Dst, 0x0A000000, 8),
+		"Destination Port=[80,443]":    Range(FieldDstPort, 80, 443),
+		"Source Ethernet=*":            Any(FieldEthSrc),
+	}
+	for want, m := range cases {
+		if got := m.String(); got != want {
+			t.Errorf("String() = %q, want %q", got, want)
+		}
+	}
+}

@@ -1,0 +1,187 @@
+// Package rangelookup implements range matching (RM) for port fields.
+// The paper's RM semantics (Section III.A) select the narrowest range that
+// contains the search key. The implementation projects the stored ranges
+// onto elementary intervals — the classic technique used by decomposition
+// classifiers — so a lookup is a binary search over interval boundaries,
+// and the memory model can count intervals the way synthesised hardware
+// would provision them.
+package rangelookup
+
+import (
+	"fmt"
+	"sort"
+
+	"ofmtl/internal/label"
+)
+
+type rangeEntry struct {
+	lo, hi uint64
+	lab    label.Label
+	seq    int // insertion order, breaks narrowness ties deterministically
+}
+
+type segment struct {
+	start uint64 // inclusive
+	// labs holds the labels of every range covering this segment, ordered
+	// narrowest first (insertion order breaking ties). Empty means no
+	// coverage.
+	labs []label.Label
+}
+
+// Table is a range-matching table over keys of up to 64 bits. The zero
+// value is an empty, usable table.
+type Table struct {
+	entries []rangeEntry
+	nextSeq int
+
+	dirty    bool
+	segments []segment
+}
+
+// Insert adds the inclusive range [lo, hi] with the given label. Duplicate
+// ranges may coexist (they carry different labels under the label method).
+func (t *Table) Insert(lo, hi uint64, lab label.Label) error {
+	if lo > hi {
+		return fmt.Errorf("rangelookup: inverted range [%d, %d]", lo, hi)
+	}
+	t.entries = append(t.entries, rangeEntry{lo: lo, hi: hi, lab: lab, seq: t.nextSeq})
+	t.nextSeq++
+	t.dirty = true
+	return nil
+}
+
+// Remove deletes one occurrence of the range [lo, hi] bound to lab.
+func (t *Table) Remove(lo, hi uint64, lab label.Label) error {
+	for i, e := range t.entries {
+		if e.lo == lo && e.hi == hi && e.lab == lab {
+			t.entries = append(t.entries[:i], t.entries[i+1:]...)
+			t.dirty = true
+			return nil
+		}
+	}
+	return fmt.Errorf("rangelookup: remove of absent range [%d, %d] label %d", lo, hi, lab)
+}
+
+// Lookup returns the label of the narrowest range containing key. When
+// several ranges tie on width, the earliest inserted wins.
+func (t *Table) Lookup(key uint64) (label.Label, bool) {
+	labs := t.LookupAll(key)
+	if len(labs) == 0 {
+		return 0, false
+	}
+	return labs[0], true
+}
+
+// LookupAll returns the labels of every range containing key, narrowest
+// first. The returned slice aliases internal state and must not be
+// modified or retained across mutations.
+func (t *Table) LookupAll(key uint64) []label.Label {
+	t.rebuild()
+	if len(t.segments) == 0 {
+		return nil
+	}
+	// Find the last segment whose start <= key.
+	idx := sort.Search(len(t.segments), func(i int) bool { return t.segments[i].start > key }) - 1
+	if idx < 0 {
+		return nil
+	}
+	return t.segments[idx].labs
+}
+
+// Len returns the number of stored ranges.
+func (t *Table) Len() int { return len(t.entries) }
+
+// Segments returns the number of elementary intervals the current ranges
+// project onto — the quantity the hardware memory model provisions.
+func (t *Table) Segments() int {
+	t.rebuild()
+	return len(t.segments)
+}
+
+// rebuild projects the ranges onto elementary intervals. Hardware performs
+// this precomputation at update time; the table performs it lazily after
+// mutations.
+func (t *Table) rebuild() {
+	if !t.dirty {
+		return
+	}
+	t.dirty = false
+	t.segments = t.segments[:0]
+	if len(t.entries) == 0 {
+		return
+	}
+
+	// Collect boundary points: range starts and the points just after range
+	// ends (where coverage can change).
+	points := make([]uint64, 0, 2*len(t.entries))
+	for _, e := range t.entries {
+		points = append(points, e.lo)
+		if e.hi != ^uint64(0) {
+			points = append(points, e.hi+1)
+		}
+	}
+	sort.Slice(points, func(i, j int) bool { return points[i] < points[j] })
+	points = dedupe(points)
+
+	for _, p := range points {
+		seg := segment{start: p, labs: t.coveringAt(p)}
+		// Coalesce with the previous segment when nothing changed.
+		if n := len(t.segments); n > 0 && equalLabels(t.segments[n-1].labs, seg.labs) {
+			continue
+		}
+		t.segments = append(t.segments, seg)
+	}
+}
+
+// coveringAt returns the labels of every range containing p, ordered
+// narrowest first (ties by insertion order).
+func (t *Table) coveringAt(p uint64) []label.Label {
+	type cand struct {
+		width uint64
+		seq   int
+		lab   label.Label
+	}
+	var cands []cand
+	for _, e := range t.entries {
+		if p < e.lo || p > e.hi {
+			continue
+		}
+		cands = append(cands, cand{width: e.hi - e.lo, seq: e.seq, lab: e.lab})
+	}
+	if len(cands) == 0 {
+		return nil
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].width != cands[j].width {
+			return cands[i].width < cands[j].width
+		}
+		return cands[i].seq < cands[j].seq
+	})
+	out := make([]label.Label, len(cands))
+	for i, c := range cands {
+		out[i] = c.lab
+	}
+	return out
+}
+
+func equalLabels(a, b []label.Label) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func dedupe(sorted []uint64) []uint64 {
+	out := sorted[:0]
+	for i, v := range sorted {
+		if i == 0 || v != sorted[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,105 @@
+// Package traffic synthesises packet-header traces for the lookup
+// benchmarks: mixes of headers that hit installed rules (drawn from the
+// rule set with randomised don't-care bits) and headers that miss, at a
+// configurable ratio. Traces are deterministic in the seed.
+package traffic
+
+import (
+	"ofmtl/internal/filterset"
+	"ofmtl/internal/openflow"
+	"ofmtl/internal/xrand"
+)
+
+// MACTrace draws n headers against a MAC filter; approximately hitRatio of
+// them match an installed (VLAN, Ethernet) pair.
+func MACTrace(f *filterset.MACFilter, n int, hitRatio float64, seed uint64) []openflow.Header {
+	rng := xrand.NewNamed(seed, "trace/mac/"+f.Name)
+	out := make([]openflow.Header, 0, n)
+	for i := 0; i < n; i++ {
+		var h openflow.Header
+		if len(f.Rules) > 0 && rng.Float64() < hitRatio {
+			r := f.Rules[rng.Intn(len(f.Rules))]
+			h = openflow.Header{VLANID: r.VLAN, EthDst: r.EthDst, EthSrc: rng.Uint64() & 0xFFFFFFFFFFFF}
+		} else {
+			h = openflow.Header{
+				VLANID: uint16(rng.Intn(4095)),
+				EthDst: rng.Uint64() & 0xFFFFFFFFFFFF,
+				EthSrc: rng.Uint64() & 0xFFFFFFFFFFFF,
+			}
+		}
+		h.EthType = 0x0800
+		out = append(out, h)
+	}
+	return out
+}
+
+// RouteTrace draws n headers against a routing filter; hits carry an
+// installed ingress port and an address under an installed prefix, with
+// host bits randomised.
+func RouteTrace(f *filterset.RouteFilter, n int, hitRatio float64, seed uint64) []openflow.Header {
+	rng := xrand.NewNamed(seed, "trace/route/"+f.Name)
+	out := make([]openflow.Header, 0, n)
+	for i := 0; i < n; i++ {
+		var h openflow.Header
+		if len(f.Rules) > 0 && rng.Float64() < hitRatio {
+			r := f.Rules[rng.Intn(len(f.Rules))]
+			keep := uint32(0)
+			if r.PrefixLen > 0 {
+				keep = ^uint32(0) << (32 - r.PrefixLen)
+			}
+			h = openflow.Header{
+				InPort:  r.InPort,
+				IPv4Dst: (r.Prefix & keep) | (rng.Uint32() &^ keep),
+				IPv4Src: rng.Uint32(),
+			}
+		} else {
+			h = openflow.Header{
+				InPort:  uint32(rng.Intn(512)),
+				IPv4Dst: rng.Uint32(),
+				IPv4Src: rng.Uint32(),
+			}
+		}
+		h.EthType = 0x0800
+		h.IPProto = 6
+		out = append(out, h)
+	}
+	return out
+}
+
+// ACLTrace draws n headers against an ACL filter.
+func ACLTrace(f *filterset.ACLFilter, n int, hitRatio float64, seed uint64) []openflow.Header {
+	rng := xrand.NewNamed(seed, "trace/acl/"+f.Name)
+	out := make([]openflow.Header, 0, n)
+	for i := 0; i < n; i++ {
+		var h openflow.Header
+		if len(f.Rules) > 0 && rng.Float64() < hitRatio {
+			r := f.Rules[rng.Intn(len(f.Rules))]
+			keepS := uint32(0)
+			if r.SrcLen > 0 {
+				keepS = ^uint32(0) << (32 - r.SrcLen)
+			}
+			keepD := uint32(0)
+			if r.DstLen > 0 {
+				keepD = ^uint32(0) << (32 - r.DstLen)
+			}
+			h = openflow.Header{
+				IPv4Src: (r.SrcIP & keepS) | (rng.Uint32() &^ keepS),
+				IPv4Dst: (r.DstIP & keepD) | (rng.Uint32() &^ keepD),
+				SrcPort: r.SrcPortLo + uint16(rng.Intn(int(r.SrcPortHi-r.SrcPortLo)+1)),
+				DstPort: r.DstPortLo + uint16(rng.Intn(int(r.DstPortHi-r.DstPortLo)+1)),
+				IPProto: r.Proto,
+			}
+			if r.ProtoAny {
+				h.IPProto = 6
+			}
+		} else {
+			h = openflow.Header{
+				IPv4Src: rng.Uint32(), IPv4Dst: rng.Uint32(),
+				SrcPort: uint16(rng.Intn(65536)), DstPort: uint16(rng.Intn(65536)),
+				IPProto: 6,
+			}
+		}
+		out = append(out, h)
+	}
+	return out
+}

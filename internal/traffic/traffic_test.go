@@ -1,0 +1,77 @@
+package traffic
+
+import (
+	"testing"
+
+	"ofmtl/internal/filterset"
+)
+
+func TestMACTraceHitRatio(t *testing.T) {
+	f, err := filterset.GenerateMAC("bbrb", filterset.DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := MACTrace(f, 5000, 0.8, 1)
+	if len(trace) != 5000 {
+		t.Fatalf("trace length %d", len(trace))
+	}
+	installed := map[[2]uint64]bool{}
+	for _, r := range f.Rules {
+		installed[[2]uint64{uint64(r.VLAN), r.EthDst}] = true
+	}
+	hits := 0
+	for _, h := range trace {
+		if installed[[2]uint64{uint64(h.VLANID), h.EthDst}] {
+			hits++
+		}
+	}
+	ratio := float64(hits) / float64(len(trace))
+	if ratio < 0.7 || ratio > 0.9 {
+		t.Errorf("hit ratio = %v, want ~0.8", ratio)
+	}
+}
+
+func TestRouteTraceDeterministic(t *testing.T) {
+	f, err := filterset.GenerateRoute("bbra", filterset.DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := RouteTrace(f, 100, 0.5, 7)
+	b := RouteTrace(f, 100, 0.5, 7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("trace not deterministic at %d", i)
+		}
+	}
+	c := RouteTrace(f, 100, 0.5, 8)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Error("different seeds gave identical traces")
+	}
+}
+
+func TestACLTraceFields(t *testing.T) {
+	f := filterset.GenerateACL("t", 100, filterset.DefaultSeed)
+	trace := ACLTrace(f, 1000, 1.0, 3)
+	for i, h := range trace {
+		if h.IPProto == 0 {
+			t.Fatalf("header %d has zero protocol", i)
+		}
+	}
+}
+
+func TestEmptyFilterTraces(t *testing.T) {
+	mac := &filterset.MACFilter{Name: "empty"}
+	if got := len(MACTrace(mac, 10, 0.9, 1)); got != 10 {
+		t.Errorf("empty-filter MAC trace length %d", got)
+	}
+	route := &filterset.RouteFilter{Name: "empty"}
+	if got := len(RouteTrace(route, 10, 0.9, 1)); got != 10 {
+		t.Errorf("empty-filter route trace length %d", got)
+	}
+}

@@ -1,0 +1,173 @@
+package update
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"ofmtl/internal/bitops"
+	"ofmtl/internal/filterset"
+	"ofmtl/internal/label"
+	"ofmtl/internal/mbt"
+	"ofmtl/internal/xrand"
+)
+
+func TestFileRoundTrip(t *testing.T) {
+	f := &File{
+		Name: "test/file",
+		Records: []Record{
+			{Kind: RecordLUT, Block: 0, Index: 42, Data: 7},
+			{Kind: RecordTrieNode, Block: trieBlock(2, 3), Index: 63, Data: 0xDEADBEEF},
+			{Kind: RecordAction, Block: 1, Index: 99, Data: 3},
+		},
+	}
+	var buf bytes.Buffer
+	n, err := f.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Errorf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+	got, err := ReadFile(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(f, got) {
+		t.Errorf("round trip mismatch:\n in: %+v\nout: %+v", f, got)
+	}
+}
+
+func TestReadFileRejectsGarbage(t *testing.T) {
+	if _, err := ReadFile(bytes.NewReader([]byte{1, 2, 3})); err == nil {
+		t.Error("short input should fail")
+	}
+	if _, err := ReadFile(bytes.NewReader([]byte{0, 0, 0, 0, 0, 0, 0, 0})); err == nil {
+		t.Error("bad magic should fail")
+	}
+}
+
+// TestPathRecordsMatchTrie verifies the update-file record generator
+// produces exactly the slot writes the real trie materialises: replaying a
+// value's records populates the same (level, index) set the trie reports
+// as occupied.
+func TestPathRecordsMatchTrie(t *testing.T) {
+	rng := xrand.New(15)
+	strides := mbt.DefaultStrides16
+	for trial := 0; trial < 200; trial++ {
+		plen := rng.Intn(17)
+		value := rng.Uint64() & bitops.Mask64(plen, 16)
+		tr := mbt.MustNew(mbt.Config16())
+		if err := tr.Insert(value, plen, label.Label(1)); err != nil {
+			t.Fatal(err)
+		}
+		recs := pathRecords(nil, 0, value, plen, strides, 1)
+		// Count records per level; compare against the trie's occupied
+		// slots per level.
+		perLevel := map[uint16]int{}
+		for _, r := range recs {
+			perLevel[r.Block]++
+		}
+		for i, ls := range tr.Stats() {
+			got := perLevel[trieBlock(0, i+1)]
+			if got != ls.OccupiedSlots {
+				t.Fatalf("plen %d value %#x level %d: %d records, trie has %d occupied slots",
+					plen, value, i+1, got, ls.OccupiedSlots)
+			}
+		}
+	}
+}
+
+func TestMACUpdateFilesConsistentWithPlans(t *testing.T) {
+	f, err := filterset.GenerateMAC("bbrb", filterset.DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, orig := MACUpdateFiles(f)
+	// The concrete files must carry exactly the record counts the
+	// analytic plans predict.
+	pOpt, pOrig := PlanMACOptimized(f), PlanMACOriginal(f)
+	if got, want := len(opt.Records), pOpt.AlgorithmRecords+2*len(f.Rules); got != want {
+		t.Errorf("optimized records = %d, plan predicts %d", got, want)
+	}
+	if got, want := len(orig.Records), pOrig.AlgorithmRecords+2*len(f.Rules); got != want {
+		t.Errorf("original records = %d, plan predicts %d", got, want)
+	}
+}
+
+func TestRouteUpdateFilesConsistentWithPlans(t *testing.T) {
+	f, err := filterset.GenerateRoute("poza", filterset.DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, orig := RouteUpdateFiles(f)
+	pOpt, pOrig := PlanRouteOptimized(f), PlanRouteOriginal(f)
+	if got, want := len(opt.Records), pOpt.AlgorithmRecords+2*len(f.Rules); got != want {
+		t.Errorf("optimized records = %d, plan predicts %d", got, want)
+	}
+	if got, want := len(orig.Records), pOrig.AlgorithmRecords+2*len(f.Rules); got != want {
+		t.Errorf("original records = %d, plan predicts %d", got, want)
+	}
+}
+
+func TestReplayCyclesAndImage(t *testing.T) {
+	f, err := filterset.GenerateMAC("bbrb", filterset.DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, orig := MACUpdateFiles(f)
+	e := Engine{}
+
+	imgOpt := NewMemoryImage()
+	cyclesOpt := e.Replay(opt, imgOpt)
+	if cyclesOpt != uint64(len(opt.Records))*CyclesPerRecord {
+		t.Errorf("optimized cycles = %d, want %d", cyclesOpt, len(opt.Records)*CyclesPerRecord)
+	}
+
+	imgOrig := NewMemoryImage()
+	cyclesOrig := e.Replay(orig, imgOrig)
+	if cyclesOrig <= cyclesOpt {
+		t.Errorf("original replay (%d) should cost more than optimized (%d)", cyclesOrig, cyclesOpt)
+	}
+
+	// Both files populate the same trie and LUT addresses — the label
+	// method writes each of them once instead of once per rule.
+	if imgOpt.WordsOf(RecordTrieNode) != imgOrig.WordsOf(RecordTrieNode) {
+		t.Errorf("distinct trie words differ: %d vs %d",
+			imgOpt.WordsOf(RecordTrieNode), imgOrig.WordsOf(RecordTrieNode))
+	}
+	if imgOpt.WordsOf(RecordLUT) != imgOrig.WordsOf(RecordLUT) {
+		t.Errorf("distinct LUT words differ: %d vs %d",
+			imgOpt.WordsOf(RecordLUT), imgOrig.WordsOf(RecordLUT))
+	}
+	// Redundancy (records per distinct word) must be far lower with the
+	// label method: only idempotent child-pointer rewrites remain, while
+	// the original file rewrites every shared value once per rule.
+	redOpt := float64(len(opt.Records)) / float64(imgOpt.Words())
+	redOrig := float64(len(orig.Records)) / float64(imgOrig.Words())
+	if redOpt >= redOrig {
+		t.Errorf("optimized redundancy %.2f should undercut original %.2f", redOpt, redOrig)
+	}
+	if redOpt > 2.0 {
+		t.Errorf("optimized redundancy %.2f implausibly high (only descent rewrites expected)", redOpt)
+	}
+
+	// Specific content: the LUT rows carry the VLAN labels.
+	stats := filterset.AnalyzeMAC(f)
+	if imgOpt.WordsOf(RecordLUT) != stats.VLAN {
+		t.Errorf("LUT words = %d, want %d unique VLANs", imgOpt.WordsOf(RecordLUT), stats.VLAN)
+	}
+}
+
+func TestReplayImageRead(t *testing.T) {
+	img := NewMemoryImage()
+	e := Engine{}
+	f := &File{Records: []Record{{Kind: RecordLUT, Block: 3, Index: 9, Data: 77}}}
+	e.Replay(f, img)
+	if v, ok := img.Read(RecordLUT, 3, 9); !ok || v != 77 {
+		t.Errorf("Read = %d/%v, want 77/true", v, ok)
+	}
+	if _, ok := img.Read(RecordLUT, 3, 10); ok {
+		t.Error("unwritten word should be absent")
+	}
+}

@@ -1,0 +1,137 @@
+// Package xrand implements a small deterministic pseudo-random source used
+// to synthesise filter sets and packet traces reproducibly.
+//
+// The repository substitutes the Stanford backbone filter sets used by the
+// paper with synthetic equivalents (see DESIGN.md §2); every generated
+// artifact must be byte-for-byte reproducible across runs and platforms, so
+// the generator cannot depend on math/rand's unspecified stream or on any
+// global state. xrand provides a splitmix64 engine with named sub-streams:
+// Derive("boza/eth/lo") yields an independent generator whose output depends
+// only on the parent seed and the name.
+package xrand
+
+import "hash/fnv"
+
+// Source is a deterministic pseudo-random generator (splitmix64). The zero
+// value is a valid generator seeded with zero; use New for an explicit seed.
+type Source struct {
+	state uint64
+}
+
+// New returns a Source seeded with seed.
+func New(seed uint64) *Source { return &Source{state: seed} }
+
+// NewNamed returns a Source whose stream is determined by the pair
+// (seed, name). Distinct names yield statistically independent streams.
+func NewNamed(seed uint64, name string) *Source {
+	h := fnv.New64a()
+	// hash.Hash64.Write never returns an error.
+	_, _ = h.Write([]byte(name))
+	return New(seed ^ h.Sum64() ^ 0x9E3779B97F4A7C15)
+}
+
+// Derive returns a child Source determined by this source's seed state and
+// the given name, without consuming randomness from the parent.
+func (s *Source) Derive(name string) *Source {
+	return NewNamed(s.state, name)
+}
+
+// Uint64 returns the next 64-bit value in the stream.
+func (s *Source) Uint64() uint64 {
+	s.state += 0x9E3779B97F4A7C15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Uint32 returns a uniformly distributed 32-bit value.
+func (s *Source) Uint32() uint32 { return uint32(s.Uint64() >> 32) }
+
+// Intn returns a uniformly distributed int in [0, n). n must be > 0;
+// non-positive n returns 0 so that callers with degenerate bounds (empty
+// pools) do not crash.
+func (s *Source) Intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	// Multiply-shift rejection-free mapping; bias is negligible for the
+	// pool sizes used here (< 2^21) and determinism is what matters.
+	return int((s.Uint64() >> 11) % uint64(n))
+}
+
+// Float64 returns a uniformly distributed float64 in [0, 1).
+func (s *Source) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Perm returns a pseudo-random permutation of [0, n).
+func (s *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	s.ShuffleInts(p)
+	return p
+}
+
+// ShuffleInts shuffles p in place (Fisher-Yates).
+func (s *Source) ShuffleInts(p []int) {
+	for i := len(p) - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+}
+
+// Shuffle shuffles n elements using the provided swap function.
+func (s *Source) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Pick returns a pseudo-random element index weighted by weights; the
+// weights need not be normalised. An all-zero or empty weight slice returns
+// index 0.
+func (s *Source) Pick(weights []float64) int {
+	var total float64
+	for _, w := range weights {
+		if w > 0 {
+			total += w
+		}
+	}
+	if total <= 0 || len(weights) == 0 {
+		return 0
+	}
+	x := s.Float64() * total
+	for i, w := range weights {
+		if w <= 0 {
+			continue
+		}
+		if x < w {
+			return i
+		}
+		x -= w
+	}
+	return len(weights) - 1
+}
+
+// Geometric returns a sample from a geometric-ish distribution with mean
+// approximately mean (minimum 1). It is used to draw cluster run lengths
+// when synthesising sequentially-allocated identifier spaces (NIC suffixes,
+// CIDR blocks).
+func (s *Source) Geometric(mean float64) int {
+	if mean <= 1 {
+		return 1
+	}
+	n := 1
+	p := 1 / mean
+	for s.Float64() > p {
+		n++
+		if float64(n) > mean*32 {
+			break // bound the tail; determinism matters more than exact shape
+		}
+	}
+	return n
+}

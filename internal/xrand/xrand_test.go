@@ -1,0 +1,156 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seed sources diverged at step %d", i)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("different seeds produced %d identical outputs", same)
+	}
+}
+
+func TestNamedStreamsIndependent(t *testing.T) {
+	a := NewNamed(7, "eth/hi")
+	b := NewNamed(7, "eth/lo")
+	if a.Uint64() == b.Uint64() {
+		t.Error("named streams with different names should differ")
+	}
+	c := NewNamed(7, "eth/hi")
+	a2 := NewNamed(7, "eth/hi")
+	if c.Uint64() != a2.Uint64() {
+		t.Error("same (seed, name) must reproduce the same stream")
+	}
+}
+
+func TestDeriveDoesNotConsume(t *testing.T) {
+	a := New(99)
+	b := New(99)
+	_ = a.Derive("child")
+	if a.Uint64() != b.Uint64() {
+		t.Error("Derive must not consume parent randomness")
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	s := New(3)
+	for i := 0; i < 10000; i++ {
+		v := s.Intn(17)
+		if v < 0 || v >= 17 {
+			t.Fatalf("Intn(17) = %d out of range", v)
+		}
+	}
+	if s.Intn(0) != 0 || s.Intn(-5) != 0 {
+		t.Error("Intn with non-positive bound should return 0")
+	}
+}
+
+func TestIntnCoversRange(t *testing.T) {
+	s := New(5)
+	seen := make(map[int]bool, 8)
+	for i := 0; i < 1000; i++ {
+		seen[s.Intn(8)] = true
+	}
+	if len(seen) != 8 {
+		t.Errorf("Intn(8) hit only %d of 8 values in 1000 draws", len(seen))
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(11)
+	var sum float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		v := s.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", v)
+		}
+		sum += v
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("Float64 mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := New(13)
+	p := s.Perm(100)
+	seen := make([]bool, 100)
+	for _, v := range p {
+		if v < 0 || v >= 100 || seen[v] {
+			t.Fatalf("Perm produced invalid permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestPickWeighted(t *testing.T) {
+	s := New(17)
+	counts := make([]int, 3)
+	weights := []float64{1, 0, 9}
+	for i := 0; i < 10000; i++ {
+		counts[s.Pick(weights)]++
+	}
+	if counts[1] != 0 {
+		t.Errorf("zero-weight bucket picked %d times", counts[1])
+	}
+	if counts[2] < counts[0]*5 {
+		t.Errorf("weight-9 bucket (%d) not dominating weight-1 bucket (%d)", counts[2], counts[0])
+	}
+	if s.Pick(nil) != 0 || s.Pick([]float64{0, 0}) != 0 {
+		t.Error("degenerate weights should return index 0")
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	s := New(19)
+	var sum int
+	const n = 20000
+	for i := 0; i < n; i++ {
+		sum += s.Geometric(8)
+	}
+	mean := float64(sum) / n
+	if mean < 6 || mean > 10 {
+		t.Errorf("Geometric(8) mean = %v, want ~8", mean)
+	}
+	if s.Geometric(0.5) != 1 {
+		t.Error("Geometric(<1) should be 1")
+	}
+}
+
+func TestShuffleSwapCount(t *testing.T) {
+	s := New(23)
+	vals := []string{"a", "b", "c", "d", "e"}
+	orig := append([]string(nil), vals...)
+	s.Shuffle(len(vals), func(i, j int) { vals[i], vals[j] = vals[j], vals[i] })
+	// Same multiset.
+	m := map[string]int{}
+	for _, v := range vals {
+		m[v]++
+	}
+	for _, v := range orig {
+		m[v]--
+	}
+	for k, c := range m {
+		if c != 0 {
+			t.Fatalf("shuffle changed multiset: %s count %d", k, c)
+		}
+	}
+}
