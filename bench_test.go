@@ -2,7 +2,9 @@ package ofmtl_test
 
 import (
 	"strconv"
+	"sync"
 	"testing"
+	"time"
 
 	"ofmtl/internal/baseline"
 	"ofmtl/internal/core"
@@ -113,7 +115,7 @@ func BenchmarkHeadlinePrototype(b *testing.B) {
 	})
 }
 
-// BenchmarkAblationStrides sweeps trie stride configurations (DESIGN.md).
+// BenchmarkAblationStrides sweeps trie stride configurations.
 func BenchmarkAblationStrides(b *testing.B) {
 	benchExperiment(b, "ablation-strides", nil)
 }
@@ -323,6 +325,155 @@ func BenchmarkPipelineExecuteACL(b *testing.B) {
 	benchPipeline(b, p, traffic.ACLTrace(f, 4096, 0.8, 1))
 }
 
+// ---------------------------------------------------------------------
+// Parallel benchmarks: the RCU snapshot engine. The sequential
+// BenchmarkPipelineExecute* benchmarks above are the single-threaded
+// baseline; these demonstrate that lookups scale across cores because
+// Execute is lock-free against the published snapshot.
+// ---------------------------------------------------------------------
+
+func benchPipelineParallel(b *testing.B, p *core.Pipeline, trace []openflow.Header) {
+	b.Helper()
+	p.Refresh() // publish the snapshot outside the timed region
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			h := trace[i%len(trace)]
+			p.Execute(&h)
+			i++
+		}
+	})
+}
+
+// BenchmarkPipelineExecuteMACParallel runs the Table III worst-case MAC
+// filter (gozb) with one goroutine per core.
+func BenchmarkPipelineExecuteMACParallel(b *testing.B) {
+	f, err := filterset.GenerateMAC("gozb", filterset.DefaultSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := core.BuildMAC(f, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchPipelineParallel(b, p, traffic.MACTrace(f, 4096, 0.9, 1))
+}
+
+// BenchmarkPipelineExecuteRouteParallel runs the Table IV routing filter
+// (yoza) with one goroutine per core.
+func BenchmarkPipelineExecuteRouteParallel(b *testing.B) {
+	f, err := filterset.GenerateRoute("yoza", filterset.DefaultSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := core.BuildRoute(f, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchPipelineParallel(b, p, traffic.RouteTrace(f, 4096, 0.9, 1))
+}
+
+// BenchmarkPipelineExecuteBatch measures the amortised batch path at
+// several worker counts against the same MAC workload (workers=1 is the
+// sequential baseline).
+func BenchmarkPipelineExecuteBatch(b *testing.B) {
+	f, err := filterset.GenerateMAC("gozb", filterset.DefaultSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := core.BuildMAC(f, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	trace := traffic.MACTrace(f, 4096, 0.9, 1)
+	const batch = 512
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run("workers-"+strconv.Itoa(workers), func(b *testing.B) {
+			p.SetWorkers(workers)
+			p.Refresh()
+			hs := make([]*openflow.Header, batch)
+			scratch := make([]openflow.Header, batch)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := range hs {
+					scratch[j] = trace[(i*batch+j)%len(trace)]
+					hs[j] = &scratch[j]
+				}
+				p.ExecuteBatch(hs)
+			}
+			b.ReportMetric(float64(batch), "packets/op")
+		})
+	}
+}
+
+// BenchmarkPipelineLookupUnderChurn measures parallel lookups while a
+// writer concurrently toggles a flow entry — the lookup-under-update mix
+// the RCU snapshot design targets. Updates arrive every ~100µs, a hot
+// control-plane rate; readers keep running lock-free on the last
+// published snapshot and only the first lookup after each update pays
+// the re-clone.
+func BenchmarkPipelineLookupUnderChurn(b *testing.B) {
+	f, err := filterset.GenerateMAC("gozb", filterset.DefaultSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := core.BuildMAC(f, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	trace := traffic.MACTrace(f, 4096, 0.9, 1)
+	p.Refresh()
+
+	toggled := &openflow.FlowEntry{
+		Priority: 5,
+		Matches: []openflow.Match{
+			openflow.Exact(openflow.FieldMetadata, uint64(f.Rules[0].VLAN)),
+			openflow.Exact(openflow.FieldEthDst, 0x00FFEEDDCCBB),
+		},
+		Instructions: []openflow.Instruction{openflow.WriteActions(openflow.Output(99))},
+	}
+	stop := make(chan struct{})
+	var churnErr error
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := p.Insert(1, toggled); err != nil {
+				churnErr = err
+				return
+			}
+			time.Sleep(50 * time.Microsecond)
+			if err := p.Remove(1, toggled); err != nil {
+				churnErr = err
+				return
+			}
+			time.Sleep(50 * time.Microsecond)
+		}
+	}()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			h := trace[i%len(trace)]
+			p.Execute(&h)
+			i++
+		}
+	})
+	b.StopTimer()
+	close(stop)
+	wg.Wait()
+	if churnErr != nil {
+		b.Fatal(churnErr)
+	}
+}
+
 // BenchmarkUpdatePlans measures update-file construction for the largest
 // routing filter (what the controller does per Section V.B).
 func BenchmarkUpdatePlans(b *testing.B) {
@@ -381,7 +532,7 @@ func BenchmarkBaselineClassify(b *testing.B) {
 }
 
 // BenchmarkFilterGeneration measures synthetic filter-set construction
-// (the substitution for the Stanford data; see DESIGN.md §2).
+// (the substitution for the Stanford data; see internal/filterset).
 func BenchmarkFilterGeneration(b *testing.B) {
 	for _, name := range []string{"bbrb", "gozb"} {
 		b.Run(name, func(b *testing.B) {

@@ -1,7 +1,7 @@
 // Command ofmem regenerates the paper's evaluation artifacts: every table
 // and figure of "Memory Cost Analysis for OpenFlow Multiple Table Lookup"
-// (Guerra Perez et al., SOCC 2015), plus the ablations described in
-// DESIGN.md.
+// (Guerra Perez et al., SOCC 2015), plus the ablations listed by -list
+// (stride sweeps, label-method comparison, LUT associativity).
 //
 // Usage:
 //

@@ -7,6 +7,11 @@
 //
 //	switchd -listen 127.0.0.1:6653                 # empty MAC+routing prototype
 //	switchd -listen :6653 -mac gozb -route coza    # preloaded worst-case prototype
+//	switchd -listen :6653 -mac gozb -workers 8     # 8-way parallel batch classification
+//
+// Packet lookups execute lock-free against the pipeline's RCU-style
+// snapshot, so concurrent controller connections classify in parallel;
+// -workers bounds the per-batch fan-out of packet-batch messages.
 package main
 
 import (
@@ -16,6 +21,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 
 	"ofmtl/internal/core"
@@ -37,8 +43,12 @@ func run() error {
 		rtName   = flag.String("route", "", "preload a Table IV routing filter (e.g. coza)")
 		seed     = flag.Uint64("seed", filterset.DefaultSeed, "generation seed for preloads")
 		pipeFile = flag.String("pipeline", "", "JSON pipeline layout (TTP-style); overrides the built-in prototype")
+		workers  = flag.Int("workers", 0, "goroutines per packet batch (0 = GOMAXPROCS, 1 = sequential)")
 	)
 	flag.Parse()
+	if *workers < 0 {
+		return fmt.Errorf("-workers must be >= 0, got %d", *workers)
+	}
 
 	var pipeline *core.Pipeline
 	var err error
@@ -53,9 +63,18 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	pipeline.SetWorkers(*workers)
 	log.Printf("switchd: pipeline ready: %d tables, %d rules", len(pipeline.Tables()), pipeline.Rules())
 	mem := pipeline.MemoryReport()
 	log.Printf("switchd: modelled memory: %.2f Mbit in %d M20K blocks", mem.TotalMbits(), mem.Blocks)
+	effective := *workers
+	if effective == 0 {
+		effective = runtime.GOMAXPROCS(0)
+	}
+	log.Printf("switchd: lock-free snapshot lookups, batch fan-out %d workers", effective)
+	// Publish the initial snapshot now so the first packet doesn't pay
+	// for the clone.
+	pipeline.Refresh()
 
 	l, err := net.Listen("tcp", *listen)
 	if err != nil {

@@ -11,6 +11,6 @@
 // (ofmem, flowgen, switchd, ofctl) and the runnable examples under
 // examples/ are the public surface. bench_test.go in this directory
 // regenerates every table and figure of the paper as Go benchmarks; see
-// DESIGN.md for the system inventory and EXPERIMENTS.md for the measured
-// paper-vs-reproduction comparison.
+// README.md for build and run instructions, the package map, and the
+// design of the concurrent snapshot lookup engine.
 package ofmtl

@@ -1,0 +1,3 @@
+module ofmtl
+
+go 1.24

@@ -95,6 +95,25 @@ func (t *ActionTable) Release(idx uint32) error {
 	return nil
 }
 
+// Clone returns a deep copy of the action table. Instruction slices are
+// shared with the original — they are immutable once installed — but all
+// bookkeeping state is copied, so either side can mutate independently.
+func (t *ActionTable) Clone() *ActionTable {
+	c := &ActionTable{
+		entries: append([]actionEntry(nil), t.entries...),
+		byKey:   make(map[string]uint32, len(t.byKey)),
+		live:    t.live,
+		peak:    t.peak,
+	}
+	if len(t.free) > 0 {
+		c.free = append([]uint32(nil), t.free...)
+	}
+	for k, v := range t.byKey {
+		c.byKey[k] = v
+	}
+	return c
+}
+
 // Len returns the number of live rows.
 func (t *ActionTable) Len() int { return t.live }
 

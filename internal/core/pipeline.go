@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"ofmtl/internal/memmodel"
 	"ofmtl/internal/openflow"
@@ -11,9 +13,31 @@ import (
 // Pipeline is the multiple-table lookup pipeline of Fig. 1: packets enter
 // at the lowest-numbered table and move forward through Goto-Table
 // instructions, accumulating an action set and metadata on the way.
+//
+// The pipeline is safe for concurrent use in the reader/writer split the
+// paper's hardware performs in silicon: any number of goroutines may call
+// Execute and ExecuteBatch while others call Insert, Remove and AddTable.
+// Lookups run lock-free against an immutable copy-on-write snapshot
+// published through an atomic pointer (RCU style); mutations serialise on
+// an internal write lock and invalidate the snapshot, which is re-cloned
+// lazily on the next lookup, so bursts of updates pay for one clone.
+// Direct mutation of a *LookupTable obtained from AddTable or Table is
+// permitted only while no concurrent lookups run (e.g. during the
+// single-threaded build phase); the snapshot engine detects those
+// mutations through the table generation counters.
 type Pipeline struct {
+	mu     sync.Mutex // serialises mutations and snapshot refresh
 	tables map[openflow.TableID]*LookupTable
 	order  []openflow.TableID
+
+	// structGen counts table-set changes (AddTable); snapshots record it
+	// to detect structural staleness.
+	structGen atomic.Uint64
+	// snap is the published immutable lookup state; nil until the first
+	// lookup.
+	snap atomic.Pointer[snapshot]
+	// workers bounds ExecuteBatch fan-out; 0 selects GOMAXPROCS.
+	workers atomic.Int64
 }
 
 // NewPipeline returns an empty pipeline.
@@ -23,6 +47,8 @@ func NewPipeline() *Pipeline {
 
 // AddTable creates and registers a table from its configuration.
 func (p *Pipeline) AddTable(cfg TableConfig) (*LookupTable, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if _, dup := p.tables[cfg.ID]; dup {
 		return nil, fmt.Errorf("core: pipeline already has table %d", cfg.ID)
 	}
@@ -33,22 +59,31 @@ func (p *Pipeline) AddTable(cfg TableConfig) (*LookupTable, error) {
 	p.tables[cfg.ID] = t
 	p.order = append(p.order, cfg.ID)
 	sort.Slice(p.order, func(i, j int) bool { return p.order[i] < p.order[j] })
+	p.structGen.Add(1)
 	return t, nil
 }
 
 // Table returns the table with the given identifier.
 func (p *Pipeline) Table(id openflow.TableID) (*LookupTable, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	t, ok := p.tables[id]
 	return t, ok
 }
 
 // Tables returns the table identifiers in pipeline order.
 func (p *Pipeline) Tables() []openflow.TableID {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	return append([]openflow.TableID(nil), p.order...)
 }
 
-// Insert installs a flow entry into the identified table.
+// Insert installs a flow entry into the identified table. It is safe to
+// call concurrently with lookups: in-flight Execute calls keep observing
+// the pre-insert snapshot, and later calls observe the entry.
 func (p *Pipeline) Insert(id openflow.TableID, e *openflow.FlowEntry) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	t, ok := p.tables[id]
 	if !ok {
 		return fmt.Errorf("core: pipeline has no table %d", id)
@@ -56,8 +91,11 @@ func (p *Pipeline) Insert(id openflow.TableID, e *openflow.FlowEntry) error {
 	return t.Insert(e)
 }
 
-// Remove uninstalls a flow entry from the identified table.
+// Remove uninstalls a flow entry from the identified table. Like Insert,
+// it is safe to call concurrently with lookups.
 func (p *Pipeline) Remove(id openflow.TableID, e *openflow.FlowEntry) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	t, ok := p.tables[id]
 	if !ok {
 		return fmt.Errorf("core: pipeline has no table %d", id)
@@ -67,11 +105,35 @@ func (p *Pipeline) Remove(id openflow.TableID, e *openflow.FlowEntry) error {
 
 // Rules returns the total number of installed flow entries.
 func (p *Pipeline) Rules() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	total := 0
 	for _, t := range p.tables {
 		total += t.Rules()
 	}
 	return total
+}
+
+// TableInfo is one table's status snapshot.
+type TableInfo struct {
+	ID     openflow.TableID
+	Fields []openflow.FieldID
+	Rules  int
+}
+
+// TableInfos returns a consistent status view of every table in pipeline
+// order, taken under the write lock so it is safe to call concurrently
+// with mutations (unlike reading rule counts through Table, which
+// returns the live mutable table).
+func (p *Pipeline) TableInfos() []TableInfo {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	infos := make([]TableInfo, 0, len(p.order))
+	for _, id := range p.order {
+		t := p.tables[id]
+		infos = append(infos, TableInfo{ID: id, Fields: t.Fields(), Rules: t.Rules()})
+	}
+	return infos
 }
 
 // Result is the outcome of executing one packet through the pipeline.
@@ -125,17 +187,27 @@ func (as *actionSet) clear() { *as = actionSet{} }
 // Execute classifies the header through the pipeline, mutating it as
 // apply-actions and metadata instructions dictate, and returns the
 // execution result. Execution starts at the lowest-numbered table.
+//
+// Execute is lock-free against concurrent Execute and ExecuteBatch calls:
+// it loads the current snapshot and classifies against its immutable
+// table clones. Distinct goroutines must pass distinct headers.
 func (p *Pipeline) Execute(h *openflow.Header) Result {
+	return p.loadSnapshot().execute(h)
+}
+
+// executeTables walks the pipeline over an arbitrary table view — the
+// mutable tables or an immutable snapshot's clones.
+func executeTables(order []openflow.TableID, table func(openflow.TableID) *LookupTable, h *openflow.Header) Result {
 	var res Result
-	if len(p.order) == 0 {
+	if len(order) == 0 {
 		res.SentToController = true
 		return res
 	}
 	var as actionSet
-	cur := p.order[0]
-	for steps := 0; steps <= len(p.order); steps++ {
-		t, ok := p.tables[cur]
-		if !ok {
+	cur := order[0]
+	for steps := 0; steps <= len(order); steps++ {
+		t := table(cur)
+		if t == nil {
 			res.SentToController = true
 			return res
 		}
@@ -161,7 +233,7 @@ func (p *Pipeline) Execute(h *openflow.Header) Result {
 		res.Matched = true
 		res.MatchedTables++
 
-		next, hasNext := p.applyInstructions(h, &as, m.Instructions, cur)
+		next, hasNext := applyInstructions(h, &as, m.Instructions)
 		if !hasNext {
 			break
 		}
@@ -201,7 +273,7 @@ func (p *Pipeline) Execute(h *openflow.Header) Result {
 
 // applyInstructions executes an entry's instruction list, returning the
 // goto target if one is present.
-func (p *Pipeline) applyInstructions(h *openflow.Header, as *actionSet, instrs []openflow.Instruction, cur openflow.TableID) (openflow.TableID, bool) {
+func applyInstructions(h *openflow.Header, as *actionSet, instrs []openflow.Instruction) (openflow.TableID, bool) {
 	var next openflow.TableID
 	hasNext := false
 	for _, in := range instrs {
@@ -234,8 +306,12 @@ func (p *Pipeline) applyInstructions(h *openflow.Header, as *actionSet, instrs [
 // MemoryReport assembles the full-system memory report: every searcher
 // memory, index-calculation store and action table across all tables —
 // the quantity behind the paper's "5 Mb of total memory" for the 4-table
-// prototype.
+// prototype. The report covers the mutable tables; published snapshot
+// clones model the second port of a dual-ported memory, not extra
+// provisioned capacity.
 func (p *Pipeline) MemoryReport() *memmodel.SystemReport {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	var r memmodel.SystemReport
 	for _, id := range p.order {
 		p.tables[id].AddMemory(&r)

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"ofmtl/internal/bitops"
 	"ofmtl/internal/crossprod"
@@ -31,10 +32,24 @@ type PrefixFieldSearcher struct {
 	fields *label.Allocator[fieldKey]
 	combos *crossprod.Table
 
-	// scratch buffers reused across Search calls to keep the hot path
-	// allocation-free.
-	scratchMatches [][]mbt.MatchedEntry
-	scratchKey     []label.Label
+	// scratch pools per-call buffers so Search stays allocation-free in
+	// steady state while remaining safe for concurrent readers.
+	scratch *sync.Pool
+}
+
+// prefixScratch carries one Search call's working buffers.
+type prefixScratch struct {
+	matches [][]mbt.MatchedEntry
+	key     []label.Label
+}
+
+func newPrefixScratchPool(nparts int) *sync.Pool {
+	return &sync.Pool{New: func() any {
+		return &prefixScratch{
+			matches: make([][]mbt.MatchedEntry, nparts),
+			key:     make([]label.Label, nparts),
+		}
+	}}
 }
 
 type partition struct {
@@ -67,14 +82,13 @@ func NewPrefixFieldSearcherStrides(f openflow.FieldID, strides []int) (*PrefixFi
 		return nil, fmt.Errorf("core: field %s has zero width", f)
 	}
 	s := &PrefixFieldSearcher{
-		field:          f,
-		width:          width,
-		nparts:         nparts,
-		parts:          make([]partition, nparts),
-		fields:         label.NewAllocator[fieldKey](),
-		combos:         crossprod.MustNew(nparts),
-		scratchMatches: make([][]mbt.MatchedEntry, nparts),
-		scratchKey:     make([]label.Label, nparts),
+		field:   f,
+		width:   width,
+		nparts:  nparts,
+		parts:   make([]partition, nparts),
+		fields:  label.NewAllocator[fieldKey](),
+		combos:  crossprod.MustNew(nparts),
+		scratch: newPrefixScratchPool(nparts),
 	}
 	for i := range s.parts {
 		cfg := mbt.Config{Width: 16, Strides: append([]int(nil), strides...)}
@@ -232,21 +246,22 @@ func (s *PrefixFieldSearcher) Remove(m openflow.Match) error {
 // length, appending the field label of each stored combination.
 func (s *PrefixFieldSearcher) Search(h *openflow.Header, dst []Candidate) []Candidate {
 	v := h.Get(s.field)
+	sc := s.scratch.Get().(*prefixScratch)
 
 	// Walk each partition trie, collecting complete match sets.
 	for i := 0; i < s.nparts; i++ {
 		key16 := bitops.PartitionOf(v, s.width, i)
-		s.scratchMatches[i] = s.parts[i].trie.LookupAll(uint64(key16), s.scratchMatches[i][:0])
+		sc.matches[i] = s.parts[i].trie.LookupAll(uint64(key16), sc.matches[i][:0])
 	}
 
 	// full16[i] is the label of the exact (plen 16) match in partition i,
 	// required for any combination extending past partition i.
-	key := s.scratchKey
+	key := sc.key
 	for j := s.nparts - 1; j >= 0; j-- {
 		// Prerequisite: partitions 0..j-1 must match exactly.
 		ok := true
 		for i := 0; i < j; i++ {
-			m := s.scratchMatches[i]
+			m := sc.matches[i]
 			if len(m) == 0 || m[0].Plen != 16 {
 				ok = false
 				break
@@ -259,16 +274,34 @@ func (s *PrefixFieldSearcher) Search(h *openflow.Header, dst []Candidate) []Cand
 			key[i] = Wildcard
 		}
 		for i := 0; i < j; i++ {
-			key[i] = s.scratchMatches[i][0].Label
+			key[i] = sc.matches[i][0].Label
 		}
-		for _, c := range s.scratchMatches[j] {
+		for _, c := range sc.matches[j] {
 			key[j] = c.Label
 			if b, ok := s.combos.Lookup(key); ok {
 				dst = append(dst, Candidate{Label: label.Label(b.Payload), Specificity: b.Priority})
 			}
 		}
 	}
+	s.scratch.Put(sc)
 	return dst
+}
+
+// Clone implements FieldSearcher.
+func (s *PrefixFieldSearcher) Clone() FieldSearcher {
+	c := &PrefixFieldSearcher{
+		field:   s.field,
+		width:   s.width,
+		nparts:  s.nparts,
+		parts:   make([]partition, s.nparts),
+		fields:  s.fields.Clone(),
+		combos:  s.combos.Clone(),
+		scratch: newPrefixScratchPool(s.nparts),
+	}
+	for i, p := range s.parts {
+		c.parts[i] = partition{alloc: p.alloc.Clone(), trie: p.trie.Clone()}
+	}
+	return c
 }
 
 // LabelBits implements FieldSearcher.

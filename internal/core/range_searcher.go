@@ -147,5 +147,15 @@ func (s *RangeFieldSearcher) AddMemory(r *memmodel.SystemReport, prefix string) 
 	r.Add(prefix+"/ranges", segs, s.width+s.LabelBits())
 }
 
+// Clone implements FieldSearcher.
+func (s *RangeFieldSearcher) Clone() FieldSearcher {
+	return &RangeFieldSearcher{
+		field: s.field,
+		width: s.width,
+		table: *s.table.Clone(),
+		alloc: s.alloc.Clone(),
+	}
+}
+
 // Entries returns the number of unique ranges stored.
 func (s *RangeFieldSearcher) Entries() int { return s.alloc.Len() }

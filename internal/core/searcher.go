@@ -57,6 +57,10 @@ type FieldSearcher interface {
 	LabelBits() int
 	// AddMemory contributes the searcher's memories to a system report.
 	AddMemory(r *memmodel.SystemReport, prefix string)
+	// Clone returns a deep copy sharing no mutable state with the
+	// original, so the copy can serve concurrent Search calls while the
+	// original keeps taking updates (the pipeline's snapshot mechanism).
+	Clone() FieldSearcher
 }
 
 // Interface compliance.
@@ -184,6 +188,11 @@ func (s *ExactFieldSearcher) LabelBits() int { return bitops.Log2Ceil(s.table.Pe
 func (s *ExactFieldSearcher) AddMemory(r *memmodel.SystemReport, prefix string) {
 	c := memmodel.LUTCostOf(s.table.Peak(), s.width, s.table.Peak(), s.table.Buckets(), s.table.Ways())
 	r.Add(prefix+"/lut", c.Buckets*c.Ways, c.BitsPerEntry)
+}
+
+// Clone implements FieldSearcher.
+func (s *ExactFieldSearcher) Clone() FieldSearcher {
+	return &ExactFieldSearcher{field: s.field, width: s.width, table: s.table.Clone()}
 }
 
 // Entries returns the number of unique values stored.

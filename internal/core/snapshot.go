@@ -1,0 +1,172 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"ofmtl/internal/openflow"
+)
+
+// This file implements the pipeline's RCU-style concurrency engine.
+//
+// The lookup state is published as an immutable snapshot: a set of deep
+// table clones behind an atomic pointer. Readers (Execute, ExecuteBatch)
+// load the pointer and classify lock-free against whatever snapshot they
+// loaded — a reader that raced a concurrent update simply observes the
+// state from just before or just after it, never a half-applied one.
+// Writers mutate the live tables under the pipeline write lock and bump
+// per-table generation counters; the snapshot is re-cloned lazily on the
+// first lookup that observes a stale generation, so a burst of updates
+// costs one clone, not one per update.
+
+// snapshot is one published immutable view of the pipeline.
+type snapshot struct {
+	// structGen is the pipeline's table-set generation this snapshot was
+	// built at.
+	structGen uint64
+	order     []openflow.TableID
+	tables    map[openflow.TableID]*snapTable
+}
+
+// snapTable binds a live table to the frozen clone taken from it.
+type snapTable struct {
+	src   *LookupTable // the mutable table the clone was taken from
+	gen   uint64       // src's generation at clone time
+	clone *LookupTable // immutable; serves concurrent Classify calls
+}
+
+// fresh reports whether the snapshot still reflects the live tables.
+func (s *snapshot) fresh(p *Pipeline) bool {
+	if s.structGen != p.structGen.Load() {
+		return false
+	}
+	for _, st := range s.tables {
+		if st.src.gen.Load() != st.gen {
+			return false
+		}
+	}
+	return true
+}
+
+// execute classifies one header against the snapshot's immutable clones.
+func (s *snapshot) execute(h *openflow.Header) Result {
+	return executeTables(s.order, func(id openflow.TableID) *LookupTable {
+		if st, ok := s.tables[id]; ok {
+			return st.clone
+		}
+		return nil
+	}, h)
+}
+
+// loadSnapshot returns a snapshot reflecting every completed mutation.
+// The fast path is a single atomic load plus one generation comparison
+// per table; the slow path (first lookup after an update) re-clones the
+// stale tables under the write lock, reusing the clones of unchanged
+// ones.
+func (p *Pipeline) loadSnapshot() *snapshot {
+	if s := p.snap.Load(); s != nil && s.fresh(p) {
+		return s
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := p.snap.Load()
+	if s != nil && s.fresh(p) {
+		// Another reader refreshed while we waited for the lock.
+		return s
+	}
+	ns := &snapshot{
+		structGen: p.structGen.Load(),
+		order:     append([]openflow.TableID(nil), p.order...),
+		tables:    make(map[openflow.TableID]*snapTable, len(p.tables)),
+	}
+	for id, t := range p.tables {
+		gen := t.gen.Load()
+		if s != nil {
+			if st, ok := s.tables[id]; ok && st.src == t && st.gen == gen {
+				ns.tables[id] = st
+				continue
+			}
+		}
+		ns.tables[id] = &snapTable{src: t, gen: gen, clone: t.clone()}
+	}
+	p.snap.Store(ns)
+	return ns
+}
+
+// SetWorkers bounds the goroutines one ExecuteBatch call fans out to.
+// Zero (the default) selects GOMAXPROCS; one forces the sequential path.
+func (p *Pipeline) SetWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	p.workers.Store(int64(n))
+}
+
+// Workers returns the configured ExecuteBatch fan-out bound (0 means
+// GOMAXPROCS).
+func (p *Pipeline) Workers() int { return int(p.workers.Load()) }
+
+// batchChunk is the number of headers a batch worker claims per grab:
+// large enough to amortise the atomic increment, small enough to balance
+// skewed per-packet costs across workers.
+const batchChunk = 32
+
+// ExecuteBatch classifies every header through the pipeline and returns
+// one Result per header, in order. The snapshot is loaded once for the
+// whole batch and the work fanned across a bounded worker pool, so the
+// per-packet overhead of the concurrency machinery is amortised away.
+// Headers must be distinct (they are mutated during execution, as in
+// Execute). Like Execute it is safe to call concurrently with mutations;
+// the whole batch observes one consistent snapshot.
+func (p *Pipeline) ExecuteBatch(hs []*openflow.Header) []Result {
+	res := make([]Result, len(hs))
+	if len(hs) == 0 {
+		return res
+	}
+	s := p.loadSnapshot()
+	workers := p.Workers()
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if max := (len(hs) + batchChunk - 1) / batchChunk; workers > max {
+		workers = max
+	}
+	if workers <= 1 {
+		for i, h := range hs {
+			res[i] = s.execute(h)
+		}
+		return res
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				start := int(next.Add(batchChunk)) - batchChunk
+				if start >= len(hs) {
+					return
+				}
+				end := start + batchChunk
+				if end > len(hs) {
+					end = len(hs)
+				}
+				for i := start; i < end; i++ {
+					res[i] = s.execute(hs[i])
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return res
+}
+
+// Refresh forces the snapshot to be rebuilt on the next lookup. It is
+// never required for correctness — staleness is detected through the
+// generation counters — but lets callers that mutated tables directly
+// move the clone cost off the lookup path.
+func (p *Pipeline) Refresh() {
+	p.loadSnapshot()
+}

@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"ofmtl/internal/bitops"
 	"ofmtl/internal/crossprod"
@@ -52,9 +54,30 @@ type LookupTable struct {
 	// — the aggregation-pruning idea of the DCFL lineage.
 	patterns map[uint32]int
 
-	// scratch buffers for Classify.
-	scratchCands [][]Candidate
-	scratchKey   []label.Label
+	// gen counts successful mutations. The pipeline's snapshot engine
+	// compares it against the generation a published clone was taken at to
+	// decide whether the clone is still current.
+	gen atomic.Uint64
+
+	// scratch pools per-call Classify buffers, keeping the hot path
+	// allocation-free while allowing concurrent readers on an immutable
+	// table clone.
+	scratch *sync.Pool
+}
+
+// classifyScratch carries one Classify call's working buffers.
+type classifyScratch struct {
+	cands [][]Candidate
+	key   []label.Label
+}
+
+func newClassifyScratchPool(nfields int) *sync.Pool {
+	return &sync.Pool{New: func() any {
+		return &classifyScratch{
+			cands: make([][]Candidate, nfields),
+			key:   make([]label.Label, nfields),
+		}
+	}}
 }
 
 // NewLookupTable builds a table from its configuration.
@@ -70,13 +93,12 @@ func NewLookupTable(cfg TableConfig) (*LookupTable, error) {
 		return nil, fmt.Errorf("core: table %d has %d fields, maximum 32", cfg.ID, len(cfg.Fields))
 	}
 	t := &LookupTable{
-		cfg:          cfg,
-		searchers:    make([]FieldSearcher, 0, len(cfg.Fields)),
-		combos:       crossprod.MustNew(len(cfg.Fields)),
-		actions:      NewActionTable(),
-		patterns:     make(map[uint32]int),
-		scratchCands: make([][]Candidate, len(cfg.Fields)),
-		scratchKey:   make([]label.Label, len(cfg.Fields)),
+		cfg:       cfg,
+		searchers: make([]FieldSearcher, 0, len(cfg.Fields)),
+		combos:    crossprod.MustNew(len(cfg.Fields)),
+		actions:   NewActionTable(),
+		patterns:  make(map[uint32]int),
+		scratch:   newClassifyScratchPool(len(cfg.Fields)),
 	}
 	for _, f := range cfg.Fields {
 		if seen[f] {
@@ -164,6 +186,7 @@ func (t *LookupTable) Insert(e *openflow.FlowEntry) error {
 	}
 	t.patterns[patternOf(key)]++
 	t.rules++
+	t.gen.Add(1)
 	return nil
 }
 
@@ -214,6 +237,7 @@ func (t *LookupTable) Remove(e *openflow.FlowEntry) error {
 		delete(t.patterns, p)
 	}
 	t.rules--
+	t.gen.Add(1)
 	return nil
 }
 
@@ -228,15 +252,17 @@ type MatchResult struct {
 // Candidate combinations are enumerated per live wildcard pattern, so
 // fields a pattern leaves unconstrained contribute no fan-out.
 func (t *LookupTable) Classify(h *openflow.Header) (MatchResult, bool) {
+	sc := t.scratch.Get().(*classifyScratch)
+	defer t.scratch.Put(sc)
 	for i, s := range t.searchers {
-		t.scratchCands[i] = s.Search(h, t.scratchCands[i][:0])
+		sc.cands[i] = s.Search(h, sc.cands[i][:0])
 	}
 
 	best := crossprod.Binding{Priority: 0}
 	var bestSeq uint64
 	found := false
 	probe := func() {
-		if b, seq, ok := t.combos.LookupSeq(t.scratchKey); ok {
+		if b, seq, ok := t.combos.LookupSeq(sc.key); ok {
 			if !found || b.Priority > best.Priority || (b.Priority == best.Priority && seq < bestSeq) {
 				best, bestSeq, found = b, seq, true
 			}
@@ -247,7 +273,7 @@ func (t *LookupTable) Classify(h *openflow.Header) (MatchResult, bool) {
 		// match; skip it without enumerating.
 		viable := true
 		for i := range t.searchers {
-			if pattern&(1<<uint(i)) != 0 && len(t.scratchCands[i]) == 0 {
+			if pattern&(1<<uint(i)) != 0 && len(sc.cands[i]) == 0 {
 				viable = false
 				break
 			}
@@ -255,7 +281,7 @@ func (t *LookupTable) Classify(h *openflow.Header) (MatchResult, bool) {
 		if !viable {
 			continue
 		}
-		t.enumerate(0, pattern, probe)
+		t.enumerate(sc, 0, pattern, probe)
 	}
 	if !found {
 		return MatchResult{}, false
@@ -270,22 +296,53 @@ func (t *LookupTable) Classify(h *openflow.Header) (MatchResult, bool) {
 }
 
 // enumerate walks the candidate product restricted to the pattern's
-// constrained dimensions, invoking fn for every composed key in
-// t.scratchKey.
-func (t *LookupTable) enumerate(dim int, pattern uint32, fn func()) {
-	if dim == len(t.scratchCands) {
+// constrained dimensions, invoking fn for every composed key in sc.key.
+func (t *LookupTable) enumerate(sc *classifyScratch, dim int, pattern uint32, fn func()) {
+	if dim == len(sc.cands) {
 		fn()
 		return
 	}
 	if pattern&(1<<uint(dim)) == 0 {
-		t.scratchKey[dim] = Wildcard
-		t.enumerate(dim+1, pattern, fn)
+		sc.key[dim] = Wildcard
+		t.enumerate(sc, dim+1, pattern, fn)
 		return
 	}
-	for _, c := range t.scratchCands[dim] {
-		t.scratchKey[dim] = c.Label
-		t.enumerate(dim+1, pattern, fn)
+	for _, c := range sc.cands[dim] {
+		sc.key[dim] = c.Label
+		t.enumerate(sc, dim+1, pattern, fn)
 	}
+}
+
+// Generation returns the table's mutation counter. Each successful Insert
+// or Remove advances it; the pipeline snapshot engine uses it to detect
+// stale clones.
+func (t *LookupTable) Generation() uint64 { return t.gen.Load() }
+
+// clone returns a deep copy of the table. The copy shares no mutable
+// state with the original (instruction slices, which are immutable once
+// installed, are shared), so it can serve concurrent Classify calls while
+// the original keeps taking updates. The clone's generation counter
+// restarts at zero; the snapshot engine records the source generation
+// separately.
+func (t *LookupTable) clone() *LookupTable {
+	cfg := t.cfg
+	cfg.Fields = append([]openflow.FieldID(nil), t.cfg.Fields...)
+	c := &LookupTable{
+		cfg:       cfg,
+		searchers: make([]FieldSearcher, len(t.searchers)),
+		combos:    t.combos.Clone(),
+		actions:   t.actions.Clone(),
+		rules:     t.rules,
+		patterns:  make(map[uint32]int, len(t.patterns)),
+		scratch:   newClassifyScratchPool(len(cfg.Fields)),
+	}
+	for i, s := range t.searchers {
+		c.searchers[i] = s.Clone()
+	}
+	for p, n := range t.patterns {
+		c.patterns[p] = n
+	}
+	return c
 }
 
 // AddMemory contributes the table's memories (field searchers, index

@@ -38,8 +38,10 @@ type binding struct {
 }
 
 // Table is a combination store over a fixed number of dimensions.
-// Create one with New. A Table is not safe for concurrent use (lookups
-// share a scratch buffer, matching the single-ported memory it models).
+// Create one with New. Lookups are safe for concurrent use with each
+// other (they only read); mutations require external serialisation and
+// must not run concurrently with lookups — the pipeline's copy-on-write
+// snapshots arrange exactly that split.
 type Table struct {
 	dims    int
 	m       map[string][]binding
@@ -49,9 +51,6 @@ type Table struct {
 	// peakKeys tracks the high-water mark of distinct keys, used by the
 	// memory model to provision the combination memory.
 	peakKeys int
-	// scratch backs lookup-path key encoding; indexing the map with
-	// string(scratch) does not allocate.
-	scratch []byte
 }
 
 // New returns a table combining `dims` labels per key.
@@ -74,28 +73,27 @@ func MustNew(dims int) *Table {
 // Dims returns the table's dimension count.
 func (t *Table) Dims() int { return t.dims }
 
+// lookupBufBytes sizes the stack buffer the lookup path encodes keys
+// into: 32 dimensions of 4 bytes covers every table the pipeline can
+// configure (tables are capped at 32 fields); wider keys fall back to a
+// heap allocation.
+const lookupBufBytes = 128
+
 func (t *Table) encode(key []label.Label) (string, error) {
-	buf, err := t.encodeScratch(key)
-	if err != nil {
-		return "", err
+	if len(key) != t.dims {
+		return "", fmt.Errorf("crossprod: key has %d dims, table expects %d", len(key), t.dims)
 	}
+	buf := make([]byte, 4*t.dims)
+	encodeKey(buf, key)
 	return string(buf), nil
 }
 
-// encodeScratch encodes the key into the shared scratch buffer. The result
-// is only valid until the next encodeScratch call and must not be retained.
-func (t *Table) encodeScratch(key []label.Label) ([]byte, error) {
-	if len(key) != t.dims {
-		return nil, fmt.Errorf("crossprod: key has %d dims, table expects %d", len(key), t.dims)
-	}
-	if cap(t.scratch) < 4*t.dims {
-		t.scratch = make([]byte, 4*t.dims)
-	}
-	buf := t.scratch[:4*t.dims]
+// encodeKey writes the key's labels into buf, which must hold 4*len(key)
+// bytes.
+func encodeKey(buf []byte, key []label.Label) {
 	for i, l := range key {
 		binary.BigEndian.PutUint32(buf[4*i:], uint32(l))
 	}
-	return buf, nil
 }
 
 // Insert adds (or references) the binding under the combination key.
@@ -167,32 +165,49 @@ func (t *Table) Remove(key []label.Label, b Binding) error {
 }
 
 // Lookup returns the best (highest-priority, earliest-inserted) binding
-// stored under the combination key. The lookup path does not allocate.
+// stored under the combination key. The lookup path does not allocate for
+// keys of up to 32 dimensions and is safe for concurrent readers.
 func (t *Table) Lookup(key []label.Label) (Binding, bool) {
-	buf, err := t.encodeScratch(key)
-	if err != nil {
-		return Binding{}, false
-	}
-	list, ok := t.m[string(buf)]
-	if !ok || len(list) == 0 {
-		return Binding{}, false
-	}
-	return list[0].Binding, true
+	b, _, ok := t.LookupSeq(key)
+	return b, ok
 }
 
 // LookupSeq is Lookup returning the insertion sequence as well, so callers
 // comparing bindings from several candidate keys can break priority ties
 // by insertion order.
 func (t *Table) LookupSeq(key []label.Label) (Binding, uint64, bool) {
-	buf, err := t.encodeScratch(key)
-	if err != nil {
+	if len(key) != t.dims {
 		return Binding{}, 0, false
 	}
+	var arr [lookupBufBytes]byte
+	var buf []byte
+	if n := 4 * t.dims; n <= len(arr) {
+		buf = arr[:n]
+	} else {
+		buf = make([]byte, n)
+	}
+	encodeKey(buf, key)
 	list, ok := t.m[string(buf)]
 	if !ok || len(list) == 0 {
 		return Binding{}, 0, false
 	}
 	return list[0].Binding, list[0].seq, true
+}
+
+// Clone returns a deep copy of the table sharing no state with the
+// original.
+func (t *Table) Clone() *Table {
+	c := &Table{
+		dims:         t.dims,
+		m:            make(map[string][]binding, len(t.m)),
+		nextSeq:      t.nextSeq,
+		bindingCount: t.bindingCount,
+		peakKeys:     t.peakKeys,
+	}
+	for k, list := range t.m {
+		c.m[k] = append([]binding(nil), list...)
+	}
+	return c
 }
 
 // Keys returns the number of distinct combination keys stored.

@@ -12,7 +12,7 @@ import (
 )
 
 // Extension experiments beyond the paper's published artifacts, exploring
-// the design space the paper opens (DESIGN.md §5).
+// the design space the paper opens.
 
 // runScaling sweeps routing-table size and compares the decomposed
 // architecture's memory against a TCAM of equivalent capacity — the

@@ -18,7 +18,7 @@ type Config struct {
 }
 
 // DefaultConfig returns the configuration the published numbers in
-// EXPERIMENTS.md were produced with.
+// the reports were produced with.
 func DefaultConfig() Config {
 	return Config{
 		Seed:     filterset.DefaultSeed,

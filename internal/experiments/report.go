@@ -1,5 +1,5 @@
 // Package experiments regenerates every table and figure of the paper's
-// evaluation (Section V) plus the ablations DESIGN.md calls out. Each
+// evaluation (Section V) plus the stride, label-method and LUT-associativity ablations. Each
 // experiment produces a Report — a titled grid of rows with notes carrying
 // the paper-vs-measured comparison — renderable as aligned text or CSV.
 // The cmd/ofmem binary and the root benchmark suite drive this package.

@@ -16,7 +16,7 @@ import (
 // identifier spaces are: Ethernet NIC suffixes and CIDR blocks are
 // allocated sequentially, so values arrive in consecutive runs. The run
 // lengths below were calibrated against the paper's headline node counts
-// (DESIGN.md §5): with mean run ~3.5 the gozb lower Ethernet trie stores
+// (calibrated against the paper's Fig. 2 node counts): with mean run ~3.5 the gozb lower Ethernet trie stores
 // ≈54k nodes (paper: 54 010); with mean run ~22 the coza/soza higher IPv4
 // tries store <40k nodes (paper: "less than 40000").
 const (

@@ -11,7 +11,7 @@
 // statistics exactly — the rule counts and unique-value counts of
 // Tables III and IV — with realistic value structure beneath the 16-bit
 // partition granularity (OUI/NIC clustering for Ethernet, CIDR block
-// clustering for IPv4). DESIGN.md §2 records the substitution argument:
+// clustering for IPv4). The substitution argument, in short:
 // every memory result in the paper is a function of exactly these
 // distributions.
 package filterset

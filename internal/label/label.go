@@ -99,6 +99,29 @@ func (a *Allocator[K]) Release(v K) (bool, error) {
 	return true, nil
 }
 
+// Clone returns a deep copy of the allocator. The copy shares no state
+// with the original, so one side can mutate while the other serves
+// lookups — the property the pipeline's copy-on-write snapshots rely on.
+func (a *Allocator[K]) Clone() *Allocator[K] {
+	c := &Allocator[K]{
+		byValue: make(map[K]*binding[K], len(a.byValue)),
+		byLabel: make(map[Label]K, len(a.byLabel)),
+		next:    a.next,
+		peak:    a.peak,
+	}
+	if len(a.free) > 0 {
+		c.free = append([]Label(nil), a.free...)
+	}
+	for v, b := range a.byValue {
+		nb := *b
+		c.byValue[v] = &nb
+	}
+	for l, v := range a.byLabel {
+		c.byLabel[l] = v
+	}
+	return c
+}
+
 // Lookup returns the label bound to v, or NoLabel if v is unknown.
 func (a *Allocator[K]) Lookup(v K) Label {
 	if b, ok := a.byValue[v]; ok {

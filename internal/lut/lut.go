@@ -110,6 +110,22 @@ func (l *LUT) grow() {
 	}
 }
 
+// Clone returns a deep copy of the LUT sharing no state with the
+// original.
+func (l *LUT) Clone() *LUT {
+	occ := make(map[uint32]int, len(l.occupancy))
+	for h, n := range l.occupancy {
+		occ[h] = n
+	}
+	return &LUT{
+		keyBits:   l.keyBits,
+		ways:      l.ways,
+		alloc:     l.alloc.Clone(),
+		buckets:   l.buckets,
+		occupancy: occ,
+	}
+}
+
 // Len returns the number of unique keys stored.
 func (l *LUT) Len() int { return l.alloc.Len() }
 

@@ -13,7 +13,7 @@
 // the last label seen — exactly the pipeline structure of the paper's
 // Fig. 1, where each node level is searched in a different pipeline stage.
 //
-// Terminology used throughout (see DESIGN.md §5 for the calibration
+// Terminology used throughout (see the package notes below for the calibration
 // rationale):
 //
 //   - a NODE is an allocated child array at some level (2^stride slots);
@@ -316,6 +316,34 @@ func removeEntry(entries []slotEntry, e slotEntry) []slotEntry {
 		}
 	}
 	return entries
+}
+
+// Clone returns a deep copy of the trie sharing no state with the
+// original.
+func (t *Trie) Clone() *Trie {
+	cfg := t.cfg
+	cfg.Strides = append([]int(nil), t.cfg.Strides...)
+	return &Trie{
+		cfg:          cfg,
+		root:         cloneNode(t.root),
+		levels:       append([]levelAccount(nil), t.levels...),
+		entryInserts: t.entryInserts,
+	}
+}
+
+func cloneNode(n *node) *node {
+	c := &node{slots: make(map[uint32]*slot, len(n.slots))}
+	for idx, sl := range n.slots {
+		ns := &slot{}
+		if len(sl.entries) > 0 {
+			ns.entries = append([]slotEntry(nil), sl.entries...)
+		}
+		if sl.child != nil {
+			ns.child = cloneNode(sl.child)
+		}
+		c.slots[idx] = ns
+	}
+	return c
 }
 
 // Lookup returns the label of the longest prefix matching key, together

@@ -15,7 +15,7 @@
 //     sized either from the trie's own population or from a caller-supplied
 //     worst case; the leaf level has no pointer.
 //
-// EXPERIMENTS.md records where this reconstruction lands relative to the
+// The experiments package records where this reconstruction lands relative to the
 // paper's published Kbit figures.
 package memmodel
 

@@ -41,6 +41,8 @@ const (
 	MsgStatsReply
 	MsgBarrier
 	MsgBarrierReply
+	MsgPacketBatch
+	MsgPacketBatchReply
 )
 
 // String names the message type.
@@ -66,6 +68,10 @@ func (t MsgType) String() string {
 		return "barrier"
 	case MsgBarrierReply:
 		return "barrier-reply"
+	case MsgPacketBatch:
+		return "packet-batch"
+	case MsgPacketBatchReply:
+		return "packet-batch-reply"
 	default:
 		return "unknown"
 	}
@@ -239,6 +245,80 @@ func DecodePacketReply(payload []byte) (*PacketReply, error) {
 		r.Outputs = append(r.Outputs, binary.BigEndian.Uint32(payload[3+4*i:]))
 	}
 	return r, nil
+}
+
+// EncodePacketBatch serialises a batch of injected packet headers.
+func EncodePacketBatch(hs []*openflow.Header) []byte {
+	buf := binary.BigEndian.AppendUint16(nil, uint16(len(hs)))
+	for _, h := range hs {
+		buf = openflow.AppendHeader(buf, h)
+	}
+	return buf
+}
+
+// DecodePacketBatch parses a batch of injected packet headers.
+func DecodePacketBatch(payload []byte) ([]*openflow.Header, error) {
+	if len(payload) < 2 {
+		return nil, fmt.Errorf("ofproto: packet-batch payload of %d bytes", len(payload))
+	}
+	count := int(binary.BigEndian.Uint16(payload))
+	rest := payload[2:]
+	hs := make([]*openflow.Header, 0, count)
+	for i := 0; i < count; i++ {
+		h, n, err := openflow.DecodeHeader(rest)
+		if err != nil {
+			return nil, fmt.Errorf("ofproto: packet-batch header %d: %w", i, err)
+		}
+		hs = append(hs, h)
+		rest = rest[n:]
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("ofproto: packet-batch has %d trailing bytes", len(rest))
+	}
+	return hs, nil
+}
+
+// EncodePacketBatchReply serialises the per-packet pipeline results.
+func EncodePacketBatchReply(rs []PacketReply) []byte {
+	buf := binary.BigEndian.AppendUint16(nil, uint16(len(rs)))
+	for _, r := range rs {
+		buf = append(buf, r.Flags)
+		buf = binary.BigEndian.AppendUint16(buf, uint16(len(r.Outputs)))
+		for _, p := range r.Outputs {
+			buf = binary.BigEndian.AppendUint32(buf, p)
+		}
+	}
+	return buf
+}
+
+// DecodePacketBatchReply parses the per-packet pipeline results.
+func DecodePacketBatchReply(payload []byte) ([]PacketReply, error) {
+	if len(payload) < 2 {
+		return nil, fmt.Errorf("ofproto: packet-batch-reply payload of %d bytes", len(payload))
+	}
+	count := int(binary.BigEndian.Uint16(payload))
+	rest := payload[2:]
+	rs := make([]PacketReply, 0, count)
+	for i := 0; i < count; i++ {
+		if len(rest) < 3 {
+			return nil, fmt.Errorf("ofproto: packet-batch-reply truncated at result %d", i)
+		}
+		r := PacketReply{Flags: rest[0]}
+		n := int(binary.BigEndian.Uint16(rest[1:]))
+		rest = rest[3:]
+		if len(rest) < 4*n {
+			return nil, fmt.Errorf("ofproto: packet-batch-reply result %d wants %d ports, has %d bytes", i, n, len(rest))
+		}
+		for j := 0; j < n; j++ {
+			r.Outputs = append(r.Outputs, binary.BigEndian.Uint32(rest[4*j:]))
+		}
+		rest = rest[4*n:]
+		rs = append(rs, r)
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("ofproto: packet-batch-reply has %d trailing bytes", len(rest))
+	}
+	return rs, nil
 }
 
 // EncodeStats serialises a stats report.

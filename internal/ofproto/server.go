@@ -12,17 +12,19 @@ import (
 )
 
 // Server hosts a lookup pipeline behind the control protocol. One
-// goroutine serves each controller connection; pipeline access is
-// serialised by a mutex (the pipeline itself models single-ported
-// hardware).
+// goroutine serves each controller connection. Packet classification is
+// lock-free — connections execute in parallel against the pipeline's
+// RCU-style snapshot — while flow-table mutations serialise inside the
+// pipeline's write lock.
 type Server struct {
-	mu       sync.Mutex
+	mu       sync.Mutex // guards listener
 	pipeline *core.Pipeline
 
-	wg       sync.WaitGroup
-	listener net.Listener
-	closed   chan struct{}
-	logf     func(format string, args ...any)
+	wg        sync.WaitGroup
+	listener  net.Listener
+	closed    chan struct{}
+	closeOnce sync.Once
+	logf      func(format string, args ...any)
 }
 
 // NewServer wraps a pipeline. logf receives connection-level events; nil
@@ -39,6 +41,15 @@ func NewServer(p *core.Pipeline, logf func(format string, args ...any)) *Server 
 func (s *Server) Serve(l net.Listener) error {
 	s.mu.Lock()
 	s.listener = l
+	select {
+	case <-s.closed:
+		// Close ran before Serve stored the listener; it could not close
+		// it, so do it here instead of accepting forever.
+		s.mu.Unlock()
+		_ = l.Close()
+		return nil
+	default:
+	}
 	s.mu.Unlock()
 	for {
 		conn, err := l.Accept()
@@ -58,16 +69,19 @@ func (s *Server) Serve(l net.Listener) error {
 	}
 }
 
-// Close stops the listener and waits for in-flight connections.
+// Close stops the listener and waits for in-flight connections. It is
+// idempotent: second and later calls wait for shutdown and return nil.
 func (s *Server) Close() error {
-	close(s.closed)
-	s.mu.Lock()
-	l := s.listener
-	s.mu.Unlock()
 	var err error
-	if l != nil {
-		err = l.Close()
-	}
+	s.closeOnce.Do(func() {
+		close(s.closed)
+		s.mu.Lock()
+		l := s.listener
+		s.mu.Unlock()
+		if l != nil {
+			err = l.Close()
+		}
+	})
 	s.wg.Wait()
 	return err
 }
@@ -109,13 +123,13 @@ func (s *Server) dispatch(conn net.Conn, msg Message) error {
 		if err != nil {
 			return err
 		}
-		s.mu.Lock()
+		// The pipeline takes its write lock internally; lookups racing
+		// this mutation keep executing against the previous snapshot.
 		if fm.Op == FlowAdd {
 			err = s.pipeline.Insert(fm.Table, &fm.Entry)
 		} else {
 			err = s.pipeline.Remove(fm.Table, &fm.Entry)
 		}
-		s.mu.Unlock()
 		if err != nil {
 			return err
 		}
@@ -125,24 +139,21 @@ func (s *Server) dispatch(conn net.Conn, msg Message) error {
 		if err != nil {
 			return err
 		}
-		s.mu.Lock()
 		res := s.pipeline.Execute(h)
-		s.mu.Unlock()
-		reply := PacketReply{Outputs: res.Outputs}
-		if res.Matched {
-			reply.Flags |= ReplyMatched
+		return WriteMessage(conn, MsgPacketReply, EncodePacketReply(replyOf(&res)))
+	case MsgPacketBatch:
+		hs, err := DecodePacketBatch(msg.Payload)
+		if err != nil {
+			return err
 		}
-		if res.SentToController {
-			reply.Flags |= ReplyToController
+		results := s.pipeline.ExecuteBatch(hs)
+		replies := make([]PacketReply, len(results))
+		for i := range results {
+			replies[i] = *replyOf(&results[i])
 		}
-		if res.Dropped {
-			reply.Flags |= ReplyDropped
-		}
-		return WriteMessage(conn, MsgPacketReply, EncodePacketReply(&reply))
+		return WriteMessage(conn, MsgPacketBatchReply, EncodePacketBatchReply(replies))
 	case MsgStatsRequest:
-		s.mu.Lock()
 		stats := s.stats()
-		s.mu.Unlock()
 		payload, err := EncodeStats(stats)
 		if err != nil {
 			return err
@@ -155,20 +166,36 @@ func (s *Server) dispatch(conn net.Conn, msg Message) error {
 	}
 }
 
-// stats must be called with the pipeline lock held.
+// replyOf converts a pipeline result to the wire reply.
+func replyOf(res *core.Result) *PacketReply {
+	reply := &PacketReply{Outputs: res.Outputs}
+	if res.Matched {
+		reply.Flags |= ReplyMatched
+	}
+	if res.SentToController {
+		reply.Flags |= ReplyToController
+	}
+	if res.Dropped {
+		reply.Flags |= ReplyDropped
+	}
+	return reply
+}
+
+// stats assembles the status report; TableInfos and MemoryReport each
+// take the pipeline's write lock, so the report is safe against
+// concurrent flow-mods from other connections.
 func (s *Server) stats() *Stats {
 	st := &Stats{}
-	for _, id := range s.pipeline.Tables() {
-		t, _ := s.pipeline.Table(id)
+	for _, info := range s.pipeline.TableInfos() {
 		fields := ""
-		for i, f := range t.Fields() {
+		for i, f := range info.Fields {
 			if i > 0 {
 				fields += ","
 			}
 			fields += f.String()
 		}
-		st.Tables = append(st.Tables, TableStats{ID: uint8(id), Rules: t.Rules(), Field: fields})
-		st.TotalRules += t.Rules()
+		st.Tables = append(st.Tables, TableStats{ID: uint8(info.ID), Rules: info.Rules, Field: fields})
+		st.TotalRules += info.Rules
 	}
 	mem := s.pipeline.MemoryReport()
 	st.MemoryBits = mem.TotalBits
@@ -247,6 +274,17 @@ func (c *Client) SendPacket(h *openflow.Header) (*PacketReply, error) {
 		return nil, err
 	}
 	return DecodePacketReply(msg.Payload)
+}
+
+// SendPackets injects a batch of packet headers in one round trip; the
+// switch classifies them in parallel through the pipeline's batch path
+// and returns one reply per header, in order.
+func (c *Client) SendPackets(hs []*openflow.Header) ([]PacketReply, error) {
+	msg, err := c.roundTrip(MsgPacketBatch, EncodePacketBatch(hs), MsgPacketBatchReply)
+	if err != nil {
+		return nil, err
+	}
+	return DecodePacketBatchReply(msg.Payload)
 }
 
 // Stats fetches the switch status report.

@@ -157,6 +157,139 @@ func TestServerSurfacesErrors(t *testing.T) {
 	}
 }
 
+// TestServerCloseTwice is the regression test for the double-Close panic:
+// the second Close must be a clean no-op, not close(closed) again.
+func TestServerCloseTwice(t *testing.T) {
+	p := emptyMACPipeline(t)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(p, t.Logf)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = srv.Serve(l)
+	}()
+	if err := srv.Close(); err != nil {
+		t.Fatalf("first close: %v", err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+	<-done
+}
+
+// TestPacketBatchRoundTrip exercises the batched classification path end
+// to end: one frame in, per-packet replies out, in order.
+func TestPacketBatchRoundTrip(t *testing.T) {
+	mac, err := filterset.GenerateMAC("bbrb", filterset.DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := core.BuildMAC(mac, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.SetWorkers(4)
+	addr, stop := startTestServer(t, p)
+	defer stop()
+
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+
+	const n = 100
+	hs := make([]*openflow.Header, n)
+	for i := range hs {
+		if i%3 == 2 {
+			// Every third packet misses (unknown VLAN).
+			hs[i] = &openflow.Header{VLANID: 4000, EthDst: 1}
+			continue
+		}
+		r := mac.Rules[i%len(mac.Rules)]
+		hs[i] = &openflow.Header{VLANID: r.VLAN, EthDst: r.EthDst}
+	}
+	replies, err := c.SendPackets(hs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(replies) != n {
+		t.Fatalf("got %d replies, want %d", len(replies), n)
+	}
+	for i, r := range replies {
+		if i%3 == 2 {
+			if r.Flags&ReplyToController == 0 {
+				t.Errorf("packet %d: miss should go to controller: %+v", i, r)
+			}
+			continue
+		}
+		rule := mac.Rules[i%len(mac.Rules)]
+		if r.Flags&ReplyMatched == 0 || len(r.Outputs) != 1 || r.Outputs[0] != rule.OutPort {
+			t.Errorf("packet %d: reply %+v, want output %d", i, r, rule.OutPort)
+		}
+	}
+
+	// The batch and single-packet paths must agree.
+	single, err := c.SendPacket(&openflow.Header{VLANID: mac.Rules[0].VLAN, EthDst: mac.Rules[0].EthDst})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single.Flags != replies[0].Flags || len(single.Outputs) != len(replies[0].Outputs) {
+		t.Errorf("single %+v and batch %+v disagree", single, replies[0])
+	}
+}
+
+// TestConcurrentStatsAndFlowMods covers the stats path racing mutations
+// from another connection (caught by -race if stats ever reads the live
+// tables without the pipeline lock).
+func TestConcurrentStatsAndFlowMods(t *testing.T) {
+	p := emptyMACPipeline(t)
+	addr, stop := startTestServer(t, p)
+	defer stop()
+
+	writer, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = writer.Close() }()
+	reader, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = reader.Close() }()
+
+	done := make(chan error, 1)
+	go func() {
+		e := &openflow.FlowEntry{
+			Priority:     1,
+			Matches:      []openflow.Match{openflow.Exact(openflow.FieldVLANID, 7)},
+			Instructions: []openflow.Instruction{openflow.GotoTable(1)},
+		}
+		for i := 0; i < 200; i++ {
+			if err := writer.AddFlow(0, e); err != nil {
+				done <- err
+				return
+			}
+			if err := writer.DeleteFlow(0, e); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	for i := 0; i < 100; i++ {
+		if _, err := reader.Stats(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestConcurrentClients(t *testing.T) {
 	mac, err := filterset.GenerateMAC("bbrb", filterset.DefaultSeed)
 	if err != nil {

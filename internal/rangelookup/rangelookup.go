@@ -88,6 +88,25 @@ func (t *Table) LookupAll(key uint64) []label.Label {
 	return t.segments[idx].labs
 }
 
+// Clone returns a deep copy of the table with the elementary intervals
+// precomputed, so lookups on the clone never mutate it (LookupAll's lazy
+// rebuild would otherwise race between concurrent readers).
+func (t *Table) Clone() *Table {
+	t.rebuild()
+	c := &Table{nextSeq: t.nextSeq}
+	if len(t.entries) > 0 {
+		c.entries = append([]rangeEntry(nil), t.entries...)
+	}
+	c.segments = make([]segment, len(t.segments))
+	for i, s := range t.segments {
+		c.segments[i] = segment{start: s.start}
+		if len(s.labs) > 0 {
+			c.segments[i].labs = append([]label.Label(nil), s.labs...)
+		}
+	}
+	return c
+}
+
 // Len returns the number of stored ranges.
 func (t *Table) Len() int { return len(t.entries) }
 

@@ -2,7 +2,7 @@
 // to synthesise filter sets and packet traces reproducibly.
 //
 // The repository substitutes the Stanford backbone filter sets used by the
-// paper with synthetic equivalents (see DESIGN.md §2); every generated
+// paper with synthetic equivalents (see internal/filterset); every generated
 // artifact must be byte-for-byte reproducible across runs and platforms, so
 // the generator cannot depend on math/rand's unspecified stream or on any
 // global state. xrand provides a splitmix64 engine with named sub-streams:
