@@ -1,0 +1,136 @@
+package ofmtl_test
+
+import (
+	"testing"
+
+	"ofmtl/internal/core"
+	"ofmtl/internal/filterset"
+	"ofmtl/internal/mbt"
+	"ofmtl/internal/openflow"
+	"ofmtl/internal/traffic"
+)
+
+// Allocation regression tests: the dense-array engine's steady-state hot
+// paths must stay off the heap, so future changes cannot silently
+// reintroduce per-packet allocations. testing.AllocsPerRun averages over
+// enough rounds that pooled-buffer warmup noise vanishes.
+
+func assertZeroAllocs(t *testing.T, name string, f func()) {
+	t.Helper()
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates; alloc regression measured without -race")
+	}
+	// Warm the pools and intern tables outside the measured region.
+	for i := 0; i < 64; i++ {
+		f()
+	}
+	if n := testing.AllocsPerRun(512, f); n != 0 {
+		t.Errorf("%s: %.2f allocs/op in steady state, want 0", name, n)
+	}
+}
+
+// TestExecuteZeroAlloc covers the full pipeline walk for all three
+// benchmark workloads (exact, prefix and mixed-method tables).
+func TestExecuteZeroAlloc(t *testing.T) {
+	if testing.Short() {
+		t.Skip("filter generation is not short")
+	}
+	type workload struct {
+		name  string
+		build func() (*core.Pipeline, []openflow.Header, error)
+	}
+	workloads := []workload{
+		{"mac", func() (*core.Pipeline, []openflow.Header, error) {
+			f, err := filterset.GenerateMAC("bbrb", filterset.DefaultSeed)
+			if err != nil {
+				return nil, nil, err
+			}
+			p, err := core.BuildMAC(f, 0)
+			return p, traffic.MACTrace(f, 256, 0.9, 1), err
+		}},
+		{"route", func() (*core.Pipeline, []openflow.Header, error) {
+			f, err := filterset.GenerateRoute("bbra", filterset.DefaultSeed)
+			if err != nil {
+				return nil, nil, err
+			}
+			p, err := core.BuildRoute(f, 0)
+			return p, traffic.RouteTrace(f, 256, 0.9, 1), err
+		}},
+		{"acl", func() (*core.Pipeline, []openflow.Header, error) {
+			f := filterset.GenerateACL("alloc", 400, filterset.DefaultSeed)
+			p, err := core.BuildACL(f)
+			return p, traffic.ACLTrace(f, 256, 0.8, 1), err
+		}},
+	}
+	for _, w := range workloads {
+		t.Run(w.name, func(t *testing.T) {
+			p, trace, err := w.build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			p.Refresh()
+			// The header lives outside the measured closure: Execute takes
+			// it by pointer through interface methods, so a closure-local
+			// header would escape and the measurement would count the
+			// caller's allocation, not the pipeline's.
+			h := new(openflow.Header)
+			i := 0
+			assertZeroAllocs(t, "Pipeline.Execute/"+w.name, func() {
+				*h = trace[i%len(trace)]
+				p.Execute(h)
+				i++
+			})
+		})
+	}
+}
+
+// TestTrieLookupAllZeroAlloc covers the trie walk feeding the
+// crossproduct stage.
+func TestTrieLookupAllZeroAlloc(t *testing.T) {
+	tr := mbt.MustNew(mbt.Config16())
+	for i := 0; i < 4096; i++ {
+		v := uint64(i * 16)
+		if err := tr.Insert(v&0xFFFF, 16, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Pre-size the destination outside the measured region; LookupAll
+	// appends, so a once-grown buffer is reused thereafter.
+	dst := tr.LookupAll(0, nil)
+	var key uint64
+	assertZeroAllocs(t, "Trie.LookupAll", func() {
+		dst = tr.LookupAll(key&0xFFFF, dst[:0])
+		key += 977
+	})
+}
+
+// TestStatsPathsServeCachedViews locks in the satellite fix for the
+// per-poll allocations: repeated Fields and TableInfos calls must serve
+// the same backing arrays instead of re-allocating.
+func TestStatsPathsServeCachedViews(t *testing.T) {
+	f := filterset.GenerateACL("cache", 50, filterset.DefaultSeed)
+	p, err := core.BuildACL(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, _ := p.Table(0)
+	a := p.TableInfos()
+	b := p.TableInfos()
+	if &a[0] != &b[0] {
+		t.Error("TableInfos re-allocated with no intervening mutation")
+	}
+	// A mutation must invalidate the cached view.
+	e := f.FlowEntries()[0]
+	if err := p.Remove(0, &e); err != nil {
+		t.Fatal(err)
+	}
+	c := p.TableInfos()
+	if c[0].Rules != a[0].Rules-1 {
+		t.Errorf("TableInfos stale after mutation: %d rules, want %d", c[0].Rules, a[0].Rules-1)
+	}
+
+	// The allocation assertions abort (skip) under -race, so they come
+	// last.
+	assertZeroAllocs(t, "LookupTable.Fields", func() { _ = tbl.Fields() })
+	assertZeroAllocs(t, "Pipeline.TableInfos", func() { _ = p.TableInfos() })
+}

@@ -8,6 +8,7 @@ import (
 
 	"ofmtl/internal/baseline"
 	"ofmtl/internal/core"
+	"ofmtl/internal/crossprod"
 	"ofmtl/internal/experiments"
 	"ofmtl/internal/filterset"
 	"ofmtl/internal/label"
@@ -243,6 +244,65 @@ func BenchmarkMBTInsertDelete(b *testing.B) {
 	}
 }
 
+// BenchmarkCrossprodLookup measures one combination-store probe at the
+// two table shapes the pipeline builds: a packed 2-dimension table (the
+// two-field decomposition) and a hashed 5-dimension table (the ACL
+// classifier), for both present and absent keys. This is the
+// index-calculation unit the dense rewrite made allocation-free.
+func BenchmarkCrossprodLookup(b *testing.B) {
+	for _, dims := range []int{2, 5} {
+		tbl := crossprod.MustNew(dims)
+		rng := xrand.New(11)
+		key := make([]label.Label, dims)
+		for i := 0; i < 4096; i++ {
+			for d := range key {
+				key[d] = label.Label(rng.Intn(64))
+			}
+			if err := tbl.Insert(key, crossprod.Binding{Priority: i & 7, Payload: uint32(i)}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		keys := make([][]label.Label, 1024)
+		for i := range keys {
+			k := make([]label.Label, dims)
+			for d := range k {
+				k[d] = label.Label(rng.Intn(64))
+			}
+			keys[i] = k
+		}
+		b.Run("dims-"+strconv.Itoa(dims), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				tbl.Lookup(keys[i%len(keys)])
+			}
+		})
+	}
+}
+
+// BenchmarkClassifyPlan measures one plan-compiled Classify call on the
+// ACL table (five fields, three matching methods): the candidate-product
+// odometer, the pair-combiner pruning and the incremental key hashing,
+// without the surrounding pipeline walk.
+func BenchmarkClassifyPlan(b *testing.B) {
+	f := filterset.GenerateACL("bench", 1000, filterset.DefaultSeed)
+	p, err := core.BuildACL(f)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tbl, ok := p.Table(0)
+	if !ok {
+		b.Fatal("ACL pipeline lost its table")
+	}
+	trace := traffic.ACLTrace(f, 4096, 0.8, 1)
+	h := new(openflow.Header) // hoisted: see benchPipeline
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		*h = trace[i%len(trace)]
+		tbl.Classify(h)
+	}
+}
+
 // BenchmarkLUTLookup measures the exact-match hash LUT.
 func BenchmarkLUTLookup(b *testing.B) {
 	l, err := lut.New(13, 0)
@@ -279,10 +339,17 @@ func BenchmarkRangeLookup(b *testing.B) {
 
 func benchPipeline(b *testing.B, p *core.Pipeline, trace []openflow.Header) {
 	b.Helper()
+	p.Refresh() // publish the snapshot outside the timed region
+	// The header is hoisted out of the loop (and so heap-allocated once,
+	// before the timer): Execute takes it by pointer through interface
+	// method calls, so a per-iteration local would escape and the
+	// benchmark would measure its own allocation instead of the
+	// pipeline's.
+	h := new(openflow.Header)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		h := trace[i%len(trace)]
-		p.Execute(&h)
+		*h = trace[i%len(trace)]
+		p.Execute(h)
 	}
 }
 
@@ -337,10 +404,11 @@ func benchPipelineParallel(b *testing.B, p *core.Pipeline, trace []openflow.Head
 	p.Refresh() // publish the snapshot outside the timed region
 	b.ResetTimer()
 	b.RunParallel(func(pb *testing.PB) {
+		h := new(openflow.Header) // hoisted: see benchPipeline
 		i := 0
 		for pb.Next() {
-			h := trace[i%len(trace)]
-			p.Execute(&h)
+			*h = trace[i%len(trace)]
+			p.Execute(h)
 			i++
 		}
 	})

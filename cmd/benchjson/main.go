@@ -1,0 +1,126 @@
+// Command benchjson converts `go test -bench` text output into a JSON
+// benchmark summary, so CI can publish machine-readable performance
+// artifacts (the repo's perf trajectory files, e.g. BENCH_PR2.json).
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem ./... | benchjson -out BENCH_PR2.json
+//	benchjson < bench.txt            # JSON to stdout
+//
+// Lines that are not benchmark results (the goos/pkg preamble, PASS/ok
+// trailers, custom metrics other than ns/op, B/op and allocs/op) are
+// ignored. Repeated runs of one benchmark (-count > 1) are averaged.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// result accumulates the measurements of one benchmark across runs.
+type result struct {
+	runs     int
+	nsOp     float64
+	bytesOp  float64
+	allocsOp float64
+}
+
+// Entry is one benchmark in the emitted JSON.
+type Entry struct {
+	NsPerOp     float64 `json:"ns_op"`
+	BytesPerOp  float64 `json:"b_op"`
+	AllocsPerOp float64 `json:"allocs_op"`
+}
+
+func main() {
+	out := flag.String("out", "", "file to write JSON to (default stdout)")
+	flag.Parse()
+	if err := run(*out); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(outPath string) error {
+	acc := make(map[string]*result)
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		parseLine(sc.Text(), acc)
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+
+	names := make([]string, 0, len(acc))
+	for name := range acc {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	entries := make(map[string]Entry, len(acc))
+	for _, name := range names {
+		r := acc[name]
+		n := float64(r.runs)
+		entries[name] = Entry{
+			NsPerOp:     r.nsOp / n,
+			BytesPerOp:  r.bytesOp / n,
+			AllocsPerOp: r.allocsOp / n,
+		}
+	}
+
+	data, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if outPath == "" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(outPath, data, 0o644)
+}
+
+// parseLine folds one `go test -bench` output line into acc. Benchmark
+// lines look like:
+//
+//	BenchmarkName-8   123456   987.6 ns/op   12 B/op   3 allocs/op
+func parseLine(line string, acc map[string]*result) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return
+	}
+	// The name is kept verbatim, including any -GOMAXPROCS suffix: a
+	// trailing dash-number is indistinguishable from a sub-benchmark name
+	// like workers-4, and entries from one run never need merging.
+	name := fields[0]
+	r := acc[name]
+	seen := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		if r == nil {
+			r = &result{}
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			r.nsOp += v
+			seen = true
+		case "B/op":
+			r.bytesOp += v
+		case "allocs/op":
+			r.allocsOp += v
+		}
+	}
+	if r != nil && seen {
+		r.runs++
+		acc[name] = r
+	}
+}

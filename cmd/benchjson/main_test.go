@@ -1,0 +1,37 @@
+package main
+
+import "testing"
+
+func TestParseLine(t *testing.T) {
+	acc := make(map[string]*result)
+	parseLine("BenchmarkPipelineExecuteMAC-8   1000000   557.7 ns/op   0 B/op   0 allocs/op", acc)
+	parseLine("BenchmarkPipelineExecuteMAC-8   1000000   442.3 ns/op   0 B/op   0 allocs/op", acc)
+	parseLine("goos: linux", acc)
+	parseLine("PASS", acc)
+	parseLine("ok  \tofmtl\t2.9s", acc)
+	parseLine("BenchmarkFoo   10   5 ns/op", acc)
+	parseLine("BenchmarkHeadlinePrototype-8   2   5.1 mbit", acc) // custom metric only: ignored
+
+	if len(acc) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2: %+v", len(acc), acc)
+	}
+	r := acc["BenchmarkPipelineExecuteMAC-8"]
+	if r == nil || r.runs != 2 {
+		t.Fatalf("MAC runs = %+v, want 2", r)
+	}
+	if avg := r.nsOp / float64(r.runs); avg != 500 {
+		t.Errorf("averaged ns/op = %v, want 500", avg)
+	}
+	if acc["BenchmarkFoo"] == nil || acc["BenchmarkFoo"].runs != 1 {
+		t.Errorf("benchmark without -benchmem columns not parsed: %+v", acc["BenchmarkFoo"])
+	}
+}
+
+func TestParseLineKeepsSubBenchNames(t *testing.T) {
+	acc := make(map[string]*result)
+	parseLine("BenchmarkCrossprodLookup/dims-2   100   9.4 ns/op   0 B/op   0 allocs/op", acc)
+	parseLine("BenchmarkCrossprodLookup/dims-5   100   21.1 ns/op   0 B/op   0 allocs/op", acc)
+	if acc["BenchmarkCrossprodLookup/dims-2"] == nil || acc["BenchmarkCrossprodLookup/dims-5"] == nil {
+		t.Fatalf("sub-benchmark names merged or mangled: %+v", acc)
+	}
+}

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"ofmtl/internal/openflow"
+)
+
+// This file keeps Pipeline.Execute allocation-free in steady state. A
+// Result carries two slices — the table walk and the egress ports — whose
+// contents are drawn from a small, repeating population (pipelines have a
+// handful of tables and ports). Instead of allocating fresh slices per
+// packet, Execute interns them: each distinct walk or port set is
+// materialised once in a lock-free content-addressed table and every later
+// Result shares the canonical immutable copy. The first packet taking a
+// new path pays one allocation; every subsequent packet pays none.
+
+// internSize is the capacity of one intern table; a power of two. Distinct
+// walks are bounded by the pipeline's table fan-out and distinct output
+// sets by the port population, both far below this.
+const internSize = 1024
+
+// internProbes bounds the linear probe; on a full neighbourhood the
+// caller falls back to an uninterned allocation (correct, just not free).
+const internProbes = 16
+
+// internEntry is one published canonical slice.
+type internEntry[T any] struct {
+	key uint64
+	val []T
+}
+
+// internTable is a fixed-size lock-free hash table of canonical slices.
+// Entries are published with CompareAndSwap and never replaced or removed,
+// so readers need no synchronisation beyond the atomic load.
+type internTable[T any] struct {
+	slots [internSize]atomic.Pointer[internEntry[T]]
+}
+
+// intern returns the canonical slice for key, publishing build()'s result
+// on first use. The returned slice is shared and must not be mutated.
+func (t *internTable[T]) intern(key uint64, build func() []T) []T {
+	i := internMix(key) & (internSize - 1)
+	for p := 0; p < internProbes; p++ {
+		slot := &t.slots[(i+uint64(p))&(internSize-1)]
+		e := slot.Load()
+		if e == nil {
+			ne := &internEntry[T]{key: key, val: build()}
+			if slot.CompareAndSwap(nil, ne) {
+				return ne.val
+			}
+			e = slot.Load() // lost the race; see what won
+		}
+		if e.key == key {
+			return e.val
+		}
+	}
+	return build()
+}
+
+// internMix spreads packed keys across slots (MurmurHash3 finaliser).
+func internMix(k uint64) uint64 {
+	k ^= k >> 33
+	k *= 0xFF51AFD7ED558CCD
+	k ^= k >> 33
+	k *= 0xC4CEB9FE1A85EC53
+	k ^= k >> 33
+	return k
+}
+
+// resultIntern is the pipeline's canonical-slice store. Keys are
+// content-addressed, so entries stay valid across rule updates and
+// snapshot rebuilds.
+type resultIntern struct {
+	paths internTable[openflow.TableID]
+	outs  internTable[uint32]
+}
+
+// internedPathMax is the longest walk that can be packed into an intern
+// key: seven 8-bit table IDs plus a length byte.
+const internedPathMax = 7
+
+// internPath returns a canonical copy of the visited-table walk.
+func (in *resultIntern) internPath(visited []openflow.TableID) []openflow.TableID {
+	if len(visited) == 0 {
+		return nil
+	}
+	if in == nil || len(visited) > internedPathMax {
+		return append([]openflow.TableID(nil), visited...)
+	}
+	key := uint64(len(visited))
+	for i, id := range visited {
+		key |= uint64(id) << uint(8*(i+1))
+	}
+	return in.paths.intern(key, func() []openflow.TableID {
+		return append([]openflow.TableID(nil), visited...)
+	})
+}
+
+// internedOutsMax is the longest output list that can be packed into an
+// intern key: two 31-bit ports plus a length marker. The action-set model
+// holds at most one output today; the bound leaves headroom.
+const internedOutsMax = 2
+
+// internOutputs returns a canonical copy of the egress port list.
+func (in *resultIntern) internOutputs(outs []uint32) []uint32 {
+	if len(outs) == 0 {
+		return nil
+	}
+	longPort := false
+	for _, p := range outs {
+		if p > 0x7FFFFFFF {
+			longPort = true
+			break
+		}
+	}
+	if in == nil || len(outs) > internedOutsMax || longPort {
+		return append([]uint32(nil), outs...)
+	}
+	key := uint64(len(outs))
+	for i, p := range outs {
+		key |= uint64(p) << uint(31*i+2)
+	}
+	return in.outs.intern(key, func() []uint32 {
+		return append([]uint32(nil), outs...)
+	})
+}
+
+// execScratch carries one Execute call's working buffers: the visited
+// walk, the egress ports and the accumulating action set. Buffers are
+// pooled so steady-state execution performs no heap allocation.
+type execScratch struct {
+	visited []openflow.TableID
+	outs    []uint32
+	as      actionSet
+}
+
+func (sc *execScratch) reset() {
+	sc.visited = sc.visited[:0]
+	sc.outs = sc.outs[:0]
+	sc.as.clear()
+}
+
+var execScratchPool = sync.Pool{New: func() any { return &execScratch{} }}

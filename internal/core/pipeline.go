@@ -38,6 +38,18 @@ type Pipeline struct {
 	snap atomic.Pointer[snapshot]
 	// workers bounds ExecuteBatch fan-out; 0 selects GOMAXPROCS.
 	workers atomic.Int64
+
+	// intern canonicalises the slices Results carry, keeping Execute
+	// allocation-free in steady state. Content-addressed, so it survives
+	// rule updates and snapshot rebuilds.
+	intern resultIntern
+
+	// infoCache serves TableInfos without re-allocating: the cached slice
+	// is rebuilt only when a table-set or rule mutation invalidates it
+	// (infoStructGen / infoGens record the generations it was built at).
+	infoCache     []TableInfo
+	infoGens      []uint64
+	infoStructGen uint64
 }
 
 // NewPipeline returns an empty pipeline.
@@ -124,19 +136,43 @@ type TableInfo struct {
 // TableInfos returns a consistent status view of every table in pipeline
 // order, taken under the write lock so it is safe to call concurrently
 // with mutations (unlike reading rule counts through Table, which
-// returns the live mutable table).
+// returns the live mutable table). The returned slice is a cached
+// immutable view — it is rebuilt only after a mutation, so stats polling
+// does not allocate; callers must not modify it.
 func (p *Pipeline) TableInfos() []TableInfo {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	if p.infoCache != nil && p.infoStructGen == p.structGen.Load() {
+		stale := false
+		for i, id := range p.order {
+			if p.tables[id].gen.Load() != p.infoGens[i] {
+				stale = true
+				break
+			}
+		}
+		if !stale {
+			return p.infoCache
+		}
+	}
 	infos := make([]TableInfo, 0, len(p.order))
+	gens := make([]uint64, 0, len(p.order))
 	for _, id := range p.order {
 		t := p.tables[id]
 		infos = append(infos, TableInfo{ID: id, Fields: t.Fields(), Rules: t.Rules()})
+		gens = append(gens, t.gen.Load())
 	}
+	p.infoCache = infos
+	p.infoGens = gens
+	p.infoStructGen = p.structGen.Load()
 	return infos
 }
 
 // Result is the outcome of executing one packet through the pipeline.
+//
+// The Outputs and TablesVisited slices are canonical interned copies
+// shared between every Result that took the same path — this is what
+// keeps Execute allocation-free in steady state. Callers must treat them
+// as immutable.
 type Result struct {
 	// Matched reports whether any table matched the packet.
 	Matched bool
@@ -182,7 +218,14 @@ func (as *actionSet) write(actions []openflow.Action) {
 	}
 }
 
-func (as *actionSet) clear() { *as = actionSet{} }
+// clear empties the action set, retaining slice capacity so pooled sets
+// stay allocation-free across packets.
+func (as *actionSet) clear() {
+	as.output = as.output[:0]
+	as.drop = false
+	as.setField = as.setField[:0]
+	as.hasAny = false
+}
 
 // Execute classifies the header through the pipeline, mutating it as
 // apply-actions and metadata instructions dictate, and returns the
@@ -196,44 +239,59 @@ func (p *Pipeline) Execute(h *openflow.Header) Result {
 }
 
 // executeTables walks the pipeline over an arbitrary table view — the
-// mutable tables or an immutable snapshot's clones.
-func executeTables(order []openflow.TableID, table func(openflow.TableID) *LookupTable, h *openflow.Header) Result {
+// mutable tables or an immutable snapshot's clones. Working buffers come
+// from a pool and the Result's slices from the intern store (in may be
+// nil, costing an allocation per call), so the steady-state walk is
+// allocation-free.
+func executeTables(order []openflow.TableID, table func(openflow.TableID) *LookupTable, h *openflow.Header, in *resultIntern) Result {
 	var res Result
 	if len(order) == 0 {
 		res.SentToController = true
 		return res
 	}
-	var as actionSet
+	sc := execScratchPool.Get().(*execScratch)
+	sc.reset()
+	executeWalk(order, table, h, sc, &res)
+	res.TablesVisited = in.internPath(sc.visited)
+	res.Outputs = in.internOutputs(sc.outs)
+	execScratchPool.Put(sc)
+	return res
+}
+
+// executeWalk performs the table walk and action-set run, recording the
+// visited tables and egress ports in the scratch buffers.
+func executeWalk(order []openflow.TableID, table func(openflow.TableID) *LookupTable, h *openflow.Header, sc *execScratch, res *Result) {
+	as := &sc.as
 	cur := order[0]
 	for steps := 0; steps <= len(order); steps++ {
 		t := table(cur)
 		if t == nil {
 			res.SentToController = true
-			return res
+			return
 		}
-		res.TablesVisited = append(res.TablesVisited, cur)
+		sc.visited = append(sc.visited, cur)
 		m, matched := t.Classify(h)
 		if !matched {
 			switch t.cfg.Miss.Kind {
 			case MissGoto:
 				if t.cfg.Miss.Table <= cur {
 					res.SentToController = true
-					return res
+					return
 				}
 				cur = t.cfg.Miss.Table
 				continue
 			case MissDrop:
 				res.Dropped = true
-				return res
+				return
 			default:
 				res.SentToController = true
-				return res
+				return
 			}
 		}
 		res.Matched = true
 		res.MatchedTables++
 
-		next, hasNext := applyInstructions(h, &as, m.Instructions)
+		next, hasNext := applyInstructions(h, as, m.Instructions)
 		if !hasNext {
 			break
 		}
@@ -241,7 +299,7 @@ func executeTables(order []openflow.TableID, table func(openflow.TableID) *Looku
 			// Goto must move forward; treat violations as a miss to the
 			// controller rather than looping.
 			res.SentToController = true
-			return res
+			return
 		}
 		cur = next
 	}
@@ -260,7 +318,7 @@ func executeTables(order []openflow.TableID, table func(openflow.TableID) *Looku
 			if port == openflow.ControllerPort {
 				res.SentToController = true
 			} else {
-				res.Outputs = append(res.Outputs, port)
+				sc.outs = append(sc.outs, port)
 			}
 		}
 	case !as.hasAny:
@@ -268,7 +326,6 @@ func executeTables(order []openflow.TableID, table func(openflow.TableID) *Looku
 		// go; model as an implicit drop.
 		res.Dropped = true
 	}
-	return res
 }
 
 // applyInstructions executes an entry's instruction list, returning the

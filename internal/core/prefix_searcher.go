@@ -255,8 +255,14 @@ func (s *PrefixFieldSearcher) Search(h *openflow.Header, dst []Candidate) []Cand
 	}
 
 	// full16[i] is the label of the exact (plen 16) match in partition i,
-	// required for any combination extending past partition i.
+	// required for any combination extending past partition i. Only
+	// dimension j varies inside the probe loop, so the key hash is
+	// maintained incrementally: the fixed dimensions are folded once and
+	// each candidate contributes only its own dimension's hash. (Tables of
+	// ≤2 partitions take the combination store's packed fast path, where
+	// the probe derives from the key itself.)
 	key := sc.key
+	useHash := s.nparts > 2
 	for j := s.nparts - 1; j >= 0; j-- {
 		// Prerequisite: partitions 0..j-1 must match exactly.
 		ok := true
@@ -270,15 +276,27 @@ func (s *PrefixFieldSearcher) Search(h *openflow.Header, dst []Candidate) []Cand
 		if !ok {
 			continue
 		}
+		var fixed uint64
 		for i := 0; i < s.nparts; i++ {
 			key[i] = Wildcard
 		}
 		for i := 0; i < j; i++ {
 			key[i] = sc.matches[i][0].Label
 		}
+		if useHash {
+			for i := 0; i < s.nparts; i++ {
+				if i != j {
+					fixed ^= crossprod.DimHash(i, key[i])
+				}
+			}
+		}
 		for _, c := range sc.matches[j] {
 			key[j] = c.Label
-			if b, ok := s.combos.Lookup(key); ok {
+			var h uint64
+			if useHash {
+				h = fixed ^ crossprod.DimHash(j, c.Label)
+			}
+			if b, _, ok := s.combos.LookupSeqHash(key, h); ok {
 				dst = append(dst, Candidate{Label: label.Label(b.Payload), Specificity: b.Priority})
 			}
 		}

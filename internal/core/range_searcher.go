@@ -20,6 +20,12 @@ type RangeFieldSearcher struct {
 	width int
 	table rangelookup.Table
 	alloc *label.Allocator[rangeKey]
+	// specs caches each live label's specificity (an inverse-width rank),
+	// indexed by label, so the per-packet Search path reads an array
+	// instead of resolving the label back to its range through a map.
+	// Entries for freed labels go stale harmlessly: the allocator recycles
+	// a label only when a new range claims it, which rewrites the entry.
+	specs []int
 }
 
 type rangeKey struct {
@@ -72,6 +78,14 @@ func (s *RangeFieldSearcher) Insert(m openflow.Match) (label.Label, error) {
 			_, _ = s.alloc.Release(k)
 			return 0, fmt.Errorf("core: inserting range into %s: %w", s.field, err)
 		}
+		for int(lab) >= len(s.specs) {
+			s.specs = append(s.specs, 0)
+		}
+		spec := 0
+		if size := k.hi - k.lo + 1; size > 0 {
+			spec = s.width - bitops.Log2Ceil(int(size))
+		}
+		s.specs[lab] = spec
 	}
 	return lab, nil
 }
@@ -121,14 +135,7 @@ func (s *RangeFieldSearcher) Remove(m openflow.Match) error {
 func (s *RangeFieldSearcher) Search(h *openflow.Header, dst []Candidate) []Candidate {
 	v := h.Get(s.field).Lo
 	for _, lab := range s.table.LookupAll(v) {
-		spec := 0
-		if k, ok := s.alloc.Value(lab); ok {
-			size := k.hi - k.lo + 1
-			if size > 0 {
-				spec = s.width - bitops.Log2Ceil(int(size))
-			}
-		}
-		dst = append(dst, Candidate{Label: lab, Specificity: spec})
+		dst = append(dst, Candidate{Label: lab, Specificity: s.specs[lab]})
 	}
 	return dst
 }
@@ -154,6 +161,7 @@ func (s *RangeFieldSearcher) Clone() FieldSearcher {
 		width: s.width,
 		table: *s.table.Clone(),
 		alloc: s.alloc.Clone(),
+		specs: append([]int(nil), s.specs...),
 	}
 }
 

@@ -27,6 +27,9 @@ type snapshot struct {
 	structGen uint64
 	order     []openflow.TableID
 	tables    map[openflow.TableID]*snapTable
+	// intern points at the owning pipeline's canonical-slice store, which
+	// keeps Result construction allocation-free (see intern.go).
+	intern *resultIntern
 }
 
 // snapTable binds a live table to the frozen clone taken from it.
@@ -56,7 +59,7 @@ func (s *snapshot) execute(h *openflow.Header) Result {
 			return st.clone
 		}
 		return nil
-	}, h)
+	}, h, s.intern)
 }
 
 // loadSnapshot returns a snapshot reflecting every completed mutation.
@@ -79,6 +82,7 @@ func (p *Pipeline) loadSnapshot() *snapshot {
 		structGen: p.structGen.Load(),
 		order:     append([]openflow.TableID(nil), p.order...),
 		tables:    make(map[openflow.TableID]*snapTable, len(p.tables)),
+		intern:    &p.intern,
 	}
 	for id, t := range p.tables {
 		gen := t.gen.Load()

@@ -54,6 +54,16 @@ type LookupTable struct {
 	// — the aggregation-pruning idea of the DCFL lineage.
 	patterns map[uint32]int
 
+	// plan is the compiled classify recipe derived from patterns. It is
+	// recompiled after every successful mutation and shared (read-only)
+	// with snapshot clones, so the Classify hot path never walks the
+	// patterns map.
+	plan *classifyPlan
+
+	// fieldsView is the immutable slice Fields() serves without
+	// re-allocating.
+	fieldsView []openflow.FieldID
+
 	// gen counts successful mutations. The pipeline's snapshot engine
 	// compares it against the generation a published clone was taken at to
 	// decide whether the clone is still current.
@@ -65,10 +75,16 @@ type LookupTable struct {
 	scratch *sync.Pool
 }
 
-// classifyScratch carries one Classify call's working buffers.
+// classifyScratch carries one Classify call's working buffers: the
+// per-field candidate sets, the combination key under composition and the
+// odometer positions of the candidate enumeration.
 type classifyScratch struct {
 	cands [][]Candidate
 	key   []label.Label
+	// chash memoises each candidate's dimension-hash contribution
+	// (crossprod.DimHash), computed once per Classify call so odometer
+	// steps update the key hash with two XORs instead of re-hashing.
+	chash [][]uint64
 }
 
 func newClassifyScratchPool(nfields int) *sync.Pool {
@@ -76,6 +92,7 @@ func newClassifyScratchPool(nfields int) *sync.Pool {
 		return &classifyScratch{
 			cands: make([][]Candidate, nfields),
 			key:   make([]label.Label, nfields),
+			chash: make([][]uint64, nfields),
 		}
 	}}
 }
@@ -93,13 +110,15 @@ func NewLookupTable(cfg TableConfig) (*LookupTable, error) {
 		return nil, fmt.Errorf("core: table %d has %d fields, maximum 32", cfg.ID, len(cfg.Fields))
 	}
 	t := &LookupTable{
-		cfg:       cfg,
-		searchers: make([]FieldSearcher, 0, len(cfg.Fields)),
-		combos:    crossprod.MustNew(len(cfg.Fields)),
-		actions:   NewActionTable(),
-		patterns:  make(map[uint32]int),
-		scratch:   newClassifyScratchPool(len(cfg.Fields)),
+		cfg:        cfg,
+		searchers:  make([]FieldSearcher, 0, len(cfg.Fields)),
+		combos:     crossprod.MustNew(len(cfg.Fields)),
+		actions:    NewActionTable(),
+		patterns:   make(map[uint32]int),
+		scratch:    newClassifyScratchPool(len(cfg.Fields)),
+		fieldsView: append([]openflow.FieldID(nil), cfg.Fields...),
 	}
+	t.plan = compilePlan(len(cfg.Fields), t.patterns)
 	for _, f := range cfg.Fields {
 		if seen[f] {
 			return nil, fmt.Errorf("core: table %d lists field %s twice", cfg.ID, f)
@@ -117,9 +136,11 @@ func NewLookupTable(cfg TableConfig) (*LookupTable, error) {
 // ID returns the table identifier.
 func (t *LookupTable) ID() openflow.TableID { return t.cfg.ID }
 
-// Fields returns the searched fields in configuration order.
+// Fields returns the searched fields in configuration order. The returned
+// slice is a cached immutable view (field sets are fixed at table
+// construction); callers must not modify it.
 func (t *LookupTable) Fields() []openflow.FieldID {
-	return append([]openflow.FieldID(nil), t.cfg.Fields...)
+	return t.fieldsView
 }
 
 // Miss returns the miss policy.
@@ -184,7 +205,11 @@ func (t *LookupTable) Insert(e *openflow.FlowEntry) error {
 		}
 		return fmt.Errorf("core: table %d insert: %w", t.cfg.ID, err)
 	}
-	t.patterns[patternOf(key)]++
+	p := patternOf(key)
+	t.patterns[p]++
+	if t.patterns[p] == 1 {
+		t.plan = compilePlan(len(t.cfg.Fields), t.patterns)
+	}
 	t.rules++
 	t.gen.Add(1)
 	return nil
@@ -235,6 +260,7 @@ func (t *LookupTable) Remove(e *openflow.FlowEntry) error {
 	t.patterns[p]--
 	if t.patterns[p] == 0 {
 		delete(t.patterns, p)
+		t.plan = compilePlan(len(t.cfg.Fields), t.patterns)
 	}
 	t.rules--
 	t.gen.Add(1)
@@ -249,8 +275,11 @@ type MatchResult struct {
 
 // Classify runs the parallel field searches and the index calculation for
 // one packet header, returning the winning flow entry's instructions.
-// Candidate combinations are enumerated per live wildcard pattern, so
-// fields a pattern leaves unconstrained contribute no fan-out.
+// Candidate combinations are enumerated per live wildcard pattern (so
+// fields a pattern leaves unconstrained contribute no fan-out) by an
+// iterative odometer over the compiled plan's constrained dimensions. The
+// combination-key hash is maintained incrementally: each odometer step
+// re-hashes only the dimension it changed.
 func (t *LookupTable) Classify(h *openflow.Header) (MatchResult, bool) {
 	sc := t.scratch.Get().(*classifyScratch)
 	defer t.scratch.Put(sc)
@@ -258,30 +287,186 @@ func (t *LookupTable) Classify(h *openflow.Header) (MatchResult, bool) {
 		sc.cands[i] = s.Search(h, sc.cands[i][:0])
 	}
 
+	plan := t.plan
+	nf := len(sc.key)
+	if plan.useHash {
+		// Memoise each candidate's dimension-hash contribution once, so
+		// every odometer step below re-hashes only the dimension that
+		// changed — and does so with two XORs.
+		for d := 0; d < nf; d++ {
+			ch := sc.chash[d][:0]
+			for _, c := range sc.cands[d] {
+				ch = append(ch, crossprod.DimHash(d, c.Label))
+			}
+			sc.chash[d] = ch
+		}
+	}
 	best := crossprod.Binding{Priority: 0}
 	var bestSeq uint64
 	found := false
-	probe := func() {
-		if b, seq, ok := t.combos.LookupSeq(sc.key); ok {
-			if !found || b.Priority > best.Priority || (b.Priority == best.Priority && seq < bestSeq) {
-				best, bestSeq, found = b, seq, true
-			}
-		}
-	}
-	for pattern := range t.patterns {
-		// A pattern requiring a constrained field with no candidate cannot
-		// match; skip it without enumerating.
+	key := sc.key
+	combos := t.combos
+	// Enumeration state, gathered per pattern into stack-local arrays so
+	// the loops below run on registers and L1 instead of chasing the
+	// scratch struct. Tables cap fields at 32. Declared outside the
+	// pattern loop so the arrays are zeroed once per call, not per
+	// pattern; every in-use entry is rewritten during gathering.
+	var cl [32][]Candidate
+	var ch [32][]uint64
+	var pos [32]int
+	for pi := range plan.pats {
+		pat := &plan.pats[pi]
+		nd := len(pat.dims)
+
+		// Gather the pattern's candidate lists and their memoised hash
+		// contributions. A pattern requiring a constrained field with no
+		// candidate cannot match; skip it without enumerating.
+		rowHash := pat.wildHash
 		viable := true
-		for i := range t.searchers {
-			if pattern&(1<<uint(i)) != 0 && len(sc.cands[i]) == 0 {
+		for k, d := range pat.dims {
+			c := sc.cands[d]
+			if len(c) == 0 {
 				viable = false
 				break
+			}
+			cl[k] = c
+			pos[k] = 0
+			if plan.useHash {
+				ch[k] = sc.chash[d]
+				rowHash ^= ch[k][0]
 			}
 		}
 		if !viable {
 			continue
 		}
-		t.enumerate(sc, 0, pattern, probe)
+
+		// Compose the pattern's first key: the most specific candidate in
+		// every constrained dimension, wildcard elsewhere. The wildcard
+		// dimensions' hash contribution is precompiled into the plan;
+		// rowHash already folds in candidate 0 of every constrained one.
+		for d := 0; d < nf; d++ {
+			key[d] = Wildcard
+		}
+		for k, d := range pat.dims {
+			key[d] = cl[k][0].Label
+		}
+
+		if nd == 0 {
+			// All-wildcard pattern: a single catch-all combination.
+			if b, seq, ok := combos.LookupSeqHash(key, rowHash); ok {
+				if !found || b.Priority > best.Priority || (b.Priority == best.Priority && seq < bestSeq) {
+					best, bestSeq, found = b, seq, true
+				}
+			}
+			continue
+		}
+
+		// Enumerate the candidate product in two nested odometers. The
+		// head dimensions (those covered by the combination store's
+		// pair-combiner stage) advance in the outer loop: each head
+		// combination is vetted with one packed HasPair probe, and a pair
+		// present in no stored key discards its entire tail product. The
+		// last tail dimension is swept by the innermost loop; rowHash
+		// tracks the key hash with every post-head dimension at candidate
+		// 0, so each step re-hashes only the dimension it changed.
+		nhead := pat.nhead
+		ntail := nd - nhead
+		var inner int
+		var icl []Candidate
+		var ich []uint64
+		if ntail > 0 {
+			inner = int(pat.dims[nd-1])
+			icl = cl[nd-1]
+			ich = ch[nd-1]
+		}
+		for {
+			if !plan.useHash || combos.HasPair(key[0], key[1]) {
+				switch {
+				case ntail == 0:
+					if b, seq, ok := combos.LookupSeqHash(key, rowHash); ok {
+						if !found || b.Priority > best.Priority || (b.Priority == best.Priority && seq < bestSeq) {
+							best, bestSeq, found = b, seq, true
+						}
+					}
+				default:
+					var ich0 uint64
+					if plan.useHash {
+						ich0 = rowHash ^ ich[0]
+					}
+					for {
+						for p := range icl {
+							key[inner] = icl[p].Label
+							var h64 uint64
+							if plan.useHash {
+								h64 = ich0 ^ ich[p]
+							}
+							if b, seq, ok := combos.LookupSeqHash(key, h64); ok {
+								if !found || b.Priority > best.Priority || (b.Priority == best.Priority && seq < bestSeq) {
+									best, bestSeq, found = b, seq, true
+								}
+							}
+						}
+						// Advance the tail's outer dimensions; exhausted
+						// ones reset (restoring key, hash and position)
+						// and carry left, so the tail state is back at
+						// candidate 0 when the sweep completes.
+						k := nd - 2
+						for k >= nhead {
+							d := int(pat.dims[k])
+							p := pos[k] + 1
+							if p < len(cl[k]) {
+								if plan.useHash {
+									delta := ch[k][p-1] ^ ch[k][p]
+									rowHash ^= delta
+									ich0 ^= delta
+								}
+								pos[k] = p
+								key[d] = cl[k][p].Label
+								break
+							}
+							if pos[k] != 0 {
+								if plan.useHash {
+									delta := ch[k][pos[k]] ^ ch[k][0]
+									rowHash ^= delta
+									ich0 ^= delta
+								}
+								pos[k] = 0
+								key[d] = cl[k][0].Label
+							}
+							k--
+						}
+						if k < nhead {
+							break
+						}
+					}
+				}
+			}
+			// Advance the head odometer.
+			k := nhead - 1
+			for k >= 0 {
+				d := int(pat.dims[k])
+				p := pos[k] + 1
+				if p < len(cl[k]) {
+					if plan.useHash {
+						rowHash ^= ch[k][p-1] ^ ch[k][p]
+					}
+					pos[k] = p
+					key[d] = cl[k][p].Label
+					break
+				}
+				if pos[k] != 0 {
+					if plan.useHash {
+						rowHash ^= ch[k][pos[k]] ^ ch[k][0]
+					}
+					pos[k] = 0
+					key[d] = cl[k][0].Label
+				}
+				k--
+			}
+			if k < 0 {
+				break
+			}
+		}
 	}
 	if !found {
 		return MatchResult{}, false
@@ -293,24 +478,6 @@ func (t *LookupTable) Classify(h *openflow.Header) (MatchResult, bool) {
 		return MatchResult{}, false
 	}
 	return MatchResult{Instructions: instrs, Priority: best.Priority}, true
-}
-
-// enumerate walks the candidate product restricted to the pattern's
-// constrained dimensions, invoking fn for every composed key in sc.key.
-func (t *LookupTable) enumerate(sc *classifyScratch, dim int, pattern uint32, fn func()) {
-	if dim == len(sc.cands) {
-		fn()
-		return
-	}
-	if pattern&(1<<uint(dim)) == 0 {
-		sc.key[dim] = Wildcard
-		t.enumerate(sc, dim+1, pattern, fn)
-		return
-	}
-	for _, c := range sc.cands[dim] {
-		sc.key[dim] = c.Label
-		t.enumerate(sc, dim+1, pattern, fn)
-	}
 }
 
 // Generation returns the table's mutation counter. Each successful Insert
@@ -334,7 +501,11 @@ func (t *LookupTable) clone() *LookupTable {
 		actions:   t.actions.Clone(),
 		rules:     t.rules,
 		patterns:  make(map[uint32]int, len(t.patterns)),
-		scratch:   newClassifyScratchPool(len(cfg.Fields)),
+		// The compiled plan is immutable after compilation, so the clone
+		// shares it; the clone's own mutations recompile a fresh one.
+		plan:       t.plan,
+		scratch:    newClassifyScratchPool(len(cfg.Fields)),
+		fieldsView: cfg.Fields,
 	}
 	for i, s := range t.searchers {
 		c.searchers[i] = s.Clone()

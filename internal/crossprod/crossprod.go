@@ -12,10 +12,17 @@
 // decomposed sub-pattern — stores it once, and removal frees it only when
 // the last user disappears. This mirrors the storage behaviour the label
 // method is designed to achieve.
+//
+// Storage layout. The table is open-addressed: combination keys live in a
+// flat label arena indexed by slot (no per-key heap encoding), and probes
+// hash the raw []label.Label with a per-dimension FNV-1a fold — the
+// software analogue of the fixed-width index-calculation memory the paper
+// provisions. Tables of at most two dimensions (every table the two-field
+// pipeline decomposition produces) pack the whole key into one uint64 and
+// compare slots with a single word comparison. Lookups never allocate.
 package crossprod
 
 import (
-	"encoding/binary"
 	"fmt"
 
 	"ofmtl/internal/label"
@@ -37,20 +44,61 @@ type binding struct {
 	refs int
 }
 
+// Control bytes of the open-addressed table. A full slot stores
+// ctrlFull | the top 7 bits of its bucket hash, so a probe walking the
+// dense control array rejects almost every non-matching slot from one
+// byte and a miss usually terminates within a single cache line — the
+// Swiss-table idea, scalar variant.
+const (
+	ctrlEmpty uint8 = 0x00
+	ctrlTomb  uint8 = 0x01
+	ctrlFull  uint8 = 0x80
+)
+
+func ctrlOf(bucketHash uint64) uint8 { return ctrlFull | uint8(bucketHash>>57) }
+
+// xslot is one open-addressed bucket. hk caches the packed uint64 key for
+// tables of ≤2 dimensions and the full key hash otherwise, so most probe
+// comparisons are a single word compare; wider keys confirm against the
+// key arena.
+type xslot struct {
+	hk       uint64
+	bindings []binding
+}
+
 // Table is a combination store over a fixed number of dimensions.
 // Create one with New. Lookups are safe for concurrent use with each
 // other (they only read); mutations require external serialisation and
 // must not run concurrently with lookups — the pipeline's copy-on-write
 // snapshots arrange exactly that split.
 type Table struct {
-	dims    int
-	m       map[string][]binding
+	dims   int
+	packed bool // dims <= 2: keys packed into xslot.hk, no arena
+
+	ctrl  []uint8 // per-slot control byte: empty, tombstone, or full+hash7
+	slots []xslot
+	// keys is the key arena for unpacked tables: slot i's key occupies
+	// keys[i*dims : (i+1)*dims].
+	keys []label.Label
+	mask uint64 // len(slots) - 1; len(slots) is a power of two
+
+	used    int // live keys
+	tombs   int // tombstones awaiting the next rehash
 	nextSeq uint64
 	// bindingCount counts live distinct bindings (not references).
 	bindingCount int
 	// peakKeys tracks the high-water mark of distinct keys, used by the
 	// memory model to provision the combination memory.
 	peakKeys int
+
+	// pairs indexes the (dimension 0, dimension 1) label pairs present
+	// among the stored keys of a >2-dimension table — the first combiner
+	// stage of the paper's progressive index calculation (Fig. 1). The
+	// classify enumeration consults it through HasPair to discard a whole
+	// sub-product of candidate keys with one packed probe. It is a lookup
+	// accelerator only: the flat key store above remains the source of
+	// truth (and of the memory-model accounting).
+	pairs *Table
 }
 
 // New returns a table combining `dims` labels per key.
@@ -58,7 +106,11 @@ func New(dims int) (*Table, error) {
 	if dims <= 0 {
 		return nil, fmt.Errorf("crossprod: dimension count %d out of range", dims)
 	}
-	return &Table{dims: dims, m: make(map[string][]binding)}, nil
+	t := &Table{dims: dims, packed: dims <= 2}
+	if !t.packed {
+		t.pairs = &Table{dims: 2, packed: true}
+	}
+	return t, nil
 }
 
 // MustNew is New for known-good dimension counts.
@@ -73,36 +125,196 @@ func MustNew(dims int) *Table {
 // Dims returns the table's dimension count.
 func (t *Table) Dims() int { return t.dims }
 
-// lookupBufBytes sizes the stack buffer the lookup path encodes keys
-// into: 32 dimensions of 4 bytes covers every table the pipeline can
-// configure (tables are capped at 32 fields); wider keys fall back to a
-// heap allocation.
-const lookupBufBytes = 128
+// FNV-1a constants (64-bit variant).
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
 
-func (t *Table) encode(key []label.Label) (string, error) {
-	if len(key) != t.dims {
-		return "", fmt.Errorf("crossprod: key has %d dims, table expects %d", len(key), t.dims)
-	}
-	buf := make([]byte, 4*t.dims)
-	encodeKey(buf, key)
-	return string(buf), nil
+// DimHash returns dimension dim's contribution to a combination key's
+// hash: an FNV-1a fold of the label's four bytes seeded with the dimension
+// index. A full key hashes to the XOR of its dimensions' contributions, so
+// callers enumerating candidate keys (the pipeline's index-calculation
+// odometer) can re-hash only the dimension that changed.
+func DimHash(dim int, l label.Label) uint64 {
+	h := uint64(fnvOffset64) ^ (uint64(dim)+1)*0x9E3779B97F4A7C15
+	v := uint32(l)
+	h = (h ^ uint64(v&0xFF)) * fnvPrime64
+	h = (h ^ uint64(v>>8&0xFF)) * fnvPrime64
+	h = (h ^ uint64(v>>16&0xFF)) * fnvPrime64
+	h = (h ^ uint64(v>>24)) * fnvPrime64
+	return h
 }
 
-// encodeKey writes the key's labels into buf, which must hold 4*len(key)
-// bytes.
-func encodeKey(buf []byte, key []label.Label) {
+// HashKey returns the probe hash of a full combination key: the XOR of
+// DimHash over every dimension.
+func HashKey(key []label.Label) uint64 {
+	var h uint64
 	for i, l := range key {
-		binary.BigEndian.PutUint32(buf[4*i:], uint32(l))
+		h ^= DimHash(i, l)
 	}
+	return h
+}
+
+// pack folds a ≤2-dimension key into one uint64.
+func pack(key []label.Label) uint64 {
+	k := uint64(uint32(key[0]))
+	if len(key) == 2 {
+		k |= uint64(uint32(key[1])) << 32
+	}
+	return k
+}
+
+// mix64 is the finaliser of MurmurHash3, used to spread packed keys across
+// buckets.
+func mix64(k uint64) uint64 {
+	k ^= k >> 33
+	k *= 0xFF51AFD7ED558CCD
+	k ^= k >> 33
+	k *= 0xC4CEB9FE1A85EC53
+	k ^= k >> 33
+	return k
+}
+
+// bucketHash returns the value probes are distributed by: the mixed packed
+// key for packed tables, the caller-maintained XOR-fold hash otherwise.
+func (t *Table) bucketHash(hk uint64) uint64 {
+	if t.packed {
+		return mix64(hk)
+	}
+	return hk
+}
+
+// hk returns the slot comparison word for key: the packed key itself for
+// packed tables, the XOR-fold hash otherwise.
+func (t *Table) hkOf(key []label.Label) uint64 {
+	if t.packed {
+		return pack(key)
+	}
+	return HashKey(key)
+}
+
+// keyAt returns slot i's key from the arena (unpacked tables only).
+func (t *Table) keyAt(i int) []label.Label {
+	return t.keys[i*t.dims : (i+1)*t.dims]
+}
+
+// keysEqual compares key against slot i's stored key.
+func (t *Table) keysEqual(i int, key []label.Label) bool {
+	stored := t.keyAt(i)
+	for d, l := range key {
+		if stored[d] != l {
+			return false
+		}
+	}
+	return true
+}
+
+// findSlot returns the index of the slot holding key, or -1.
+func (t *Table) findSlot(hk uint64, key []label.Label) int {
+	if t.used == 0 {
+		return -1
+	}
+	bh := t.bucketHash(hk)
+	want := ctrlOf(bh)
+	i := bh & t.mask
+	for {
+		c := t.ctrl[i]
+		if c == ctrlEmpty {
+			return -1
+		}
+		if c == want {
+			sl := &t.slots[i]
+			if sl.hk == hk && (t.packed || t.keysEqual(int(i), key)) {
+				return int(i)
+			}
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+// grow rehashes into a table of at least minSlots buckets, dropping
+// tombstones.
+func (t *Table) grow(minSlots int) {
+	n := 8
+	for n < minSlots {
+		n <<= 1
+	}
+	oldCtrl, old := t.ctrl, t.slots
+	t.ctrl = make([]uint8, n)
+	t.slots = make([]xslot, n)
+	t.mask = uint64(n - 1)
+	t.tombs = 0
+	var oldKeys []label.Label
+	if !t.packed {
+		oldKeys = t.keys
+		t.keys = make([]label.Label, n*t.dims)
+	}
+	for oi := range old {
+		if oldCtrl[oi]&ctrlFull == 0 {
+			continue
+		}
+		bh := t.bucketHash(old[oi].hk)
+		i := bh & t.mask
+		for t.ctrl[i] != ctrlEmpty {
+			i = (i + 1) & t.mask
+		}
+		t.ctrl[i] = ctrlOf(bh)
+		t.slots[i] = old[oi]
+		if !t.packed {
+			copy(t.keyAt(int(i)), oldKeys[oi*t.dims:(oi+1)*t.dims])
+		}
+	}
+}
+
+// claimSlot returns the index of the slot key should be inserted into,
+// growing the table as needed. The returned slot is empty or a tombstone.
+func (t *Table) claimSlot(hk uint64) int {
+	// Keep the load factor (live + tombstones) at or below 1/2, trading a
+	// little memory for short miss probes — the index-calculation stage
+	// probes mostly-absent candidate combinations.
+	if (t.used+t.tombs+1)*2 > len(t.slots) {
+		t.grow((t.used + 1) * 4)
+	}
+	i := t.bucketHash(hk) & t.mask
+	for t.ctrl[i]&ctrlFull != 0 {
+		i = (i + 1) & t.mask
+	}
+	return int(i)
 }
 
 // Insert adds (or references) the binding under the combination key.
 func (t *Table) Insert(key []label.Label, b Binding) error {
-	k, err := t.encode(key)
-	if err != nil {
-		return err
+	if len(key) != t.dims {
+		return fmt.Errorf("crossprod: key has %d dims, table expects %d", len(key), t.dims)
 	}
-	list := t.m[k]
+	if t.pairs != nil {
+		// Reference the key's leading label pair in the combiner stage;
+		// cannot fail (the pair table's dimension count matches by
+		// construction).
+		_ = t.pairs.Insert(key[:2], Binding{})
+	}
+	hk := t.hkOf(key)
+	si := t.findSlot(hk, key)
+	if si < 0 {
+		si = t.claimSlot(hk)
+		if t.ctrl[si] == ctrlTomb {
+			t.tombs--
+		}
+		t.ctrl[si] = ctrlOf(t.bucketHash(hk))
+		sl := &t.slots[si]
+		sl.hk = hk
+		sl.bindings = sl.bindings[:0]
+		if !t.packed {
+			copy(t.keyAt(si), key)
+		}
+		t.used++
+		if t.used > t.peakKeys {
+			t.peakKeys = t.used
+		}
+	}
+	sl := &t.slots[si]
+	list := sl.bindings
 	for i := range list {
 		if list[i].Binding == b {
 			list[i].refs++
@@ -123,12 +335,7 @@ func (t *Table) Insert(key []label.Label, b Binding) error {
 	list = append(list, binding{})
 	copy(list[pos+1:], list[pos:])
 	list[pos] = nb
-	if len(list) == 1 {
-		if len(t.m)+1 > t.peakKeys {
-			t.peakKeys = len(t.m) + 1
-		}
-	}
-	t.m[k] = list
+	sl.bindings = list
 	t.bindingCount++
 	return nil
 }
@@ -136,17 +343,21 @@ func (t *Table) Insert(key []label.Label, b Binding) error {
 // Remove dereferences the binding under the key, deleting it when its
 // reference count reaches zero.
 func (t *Table) Remove(key []label.Label, b Binding) error {
-	k, err := t.encode(key)
-	if err != nil {
-		return err
+	if len(key) != t.dims {
+		return fmt.Errorf("crossprod: key has %d dims, table expects %d", len(key), t.dims)
 	}
-	list, ok := t.m[k]
-	if !ok {
+	si := t.findSlot(t.hkOf(key), key)
+	if si < 0 {
 		return fmt.Errorf("crossprod: remove of absent combination %v", key)
 	}
+	sl := &t.slots[si]
+	list := sl.bindings
 	for i := range list {
 		if list[i].Binding != b {
 			continue
+		}
+		if t.pairs != nil {
+			_ = t.pairs.Remove(key[:2], Binding{})
 		}
 		list[i].refs--
 		if list[i].refs > 0 {
@@ -155,18 +366,37 @@ func (t *Table) Remove(key []label.Label, b Binding) error {
 		list = append(list[:i], list[i+1:]...)
 		t.bindingCount--
 		if len(list) == 0 {
-			delete(t.m, k)
+			t.ctrl[si] = ctrlTomb
+			sl.bindings = nil
+			t.used--
+			t.tombs++
 		} else {
-			t.m[k] = list
+			sl.bindings = list
 		}
 		return nil
 	}
 	return fmt.Errorf("crossprod: remove of absent binding %+v under %v", b, key)
 }
 
+// HasPair reports whether any stored key carries the labels (l0, l1) in
+// its first two dimensions. Tables of ≤2 dimensions have no combiner
+// stage and report true (the full probe is equally cheap there).
+func (t *Table) HasPair(l0, l1 label.Label) bool {
+	p := t.pairs
+	if p == nil {
+		return true
+	}
+	if p.used == 0 {
+		return false
+	}
+	pk := uint64(uint32(l0)) | uint64(uint32(l1))<<32
+	_, _, ok := p.lookupHK(pk, nil)
+	return ok
+}
+
 // Lookup returns the best (highest-priority, earliest-inserted) binding
-// stored under the combination key. The lookup path does not allocate for
-// keys of up to 32 dimensions and is safe for concurrent readers.
+// stored under the combination key. The lookup path never allocates and is
+// safe for concurrent readers.
 func (t *Table) Lookup(key []label.Label) (Binding, bool) {
 	b, _, ok := t.LookupSeq(key)
 	return b, ok
@@ -176,22 +406,47 @@ func (t *Table) Lookup(key []label.Label) (Binding, bool) {
 // comparing bindings from several candidate keys can break priority ties
 // by insertion order.
 func (t *Table) LookupSeq(key []label.Label) (Binding, uint64, bool) {
-	if len(key) != t.dims {
+	if len(key) != t.dims || t.used == 0 {
 		return Binding{}, 0, false
 	}
-	var arr [lookupBufBytes]byte
-	var buf []byte
-	if n := 4 * t.dims; n <= len(arr) {
-		buf = arr[:n]
-	} else {
-		buf = make([]byte, n)
-	}
-	encodeKey(buf, key)
-	list, ok := t.m[string(buf)]
-	if !ok || len(list) == 0 {
+	return t.lookupHK(t.hkOf(key), key)
+}
+
+// LookupSeqHash is LookupSeq with the key's hash supplied by the caller —
+// the XOR of DimHash over every dimension, typically maintained
+// incrementally while enumerating candidate keys. Packed tables (≤2
+// dimensions) derive the probe from the key itself and ignore h.
+func (t *Table) LookupSeqHash(key []label.Label, h uint64) (Binding, uint64, bool) {
+	if len(key) != t.dims || t.used == 0 {
 		return Binding{}, 0, false
 	}
-	return list[0].Binding, list[0].seq, true
+	if t.packed {
+		return t.lookupHK(pack(key), key)
+	}
+	return t.lookupHK(h, key)
+}
+
+func (t *Table) lookupHK(hk uint64, key []label.Label) (Binding, uint64, bool) {
+	bh := t.bucketHash(hk)
+	want := ctrlOf(bh)
+	ctrl, mask := t.ctrl, t.mask
+	i := bh & mask
+	for {
+		c := ctrl[i&mask]
+		if c == ctrlEmpty {
+			return Binding{}, 0, false
+		}
+		if c == want {
+			sl := &t.slots[i&mask]
+			if sl.hk == hk && (t.packed || t.keysEqual(int(i&mask), key)) {
+				if len(sl.bindings) == 0 {
+					return Binding{}, 0, false
+				}
+				return sl.bindings[0].Binding, sl.bindings[0].seq, true
+			}
+		}
+		i++
+	}
 }
 
 // Clone returns a deep copy of the table sharing no state with the
@@ -199,19 +454,34 @@ func (t *Table) LookupSeq(key []label.Label) (Binding, uint64, bool) {
 func (t *Table) Clone() *Table {
 	c := &Table{
 		dims:         t.dims,
-		m:            make(map[string][]binding, len(t.m)),
+		packed:       t.packed,
+		mask:         t.mask,
+		used:         t.used,
+		tombs:        t.tombs,
 		nextSeq:      t.nextSeq,
 		bindingCount: t.bindingCount,
 		peakKeys:     t.peakKeys,
 	}
-	for k, list := range t.m {
-		c.m[k] = append([]binding(nil), list...)
+	if len(t.slots) > 0 {
+		c.ctrl = append([]uint8(nil), t.ctrl...)
+		c.slots = append([]xslot(nil), t.slots...)
+		for i := range c.slots {
+			if len(c.slots[i].bindings) > 0 {
+				c.slots[i].bindings = append([]binding(nil), c.slots[i].bindings...)
+			}
+		}
+	}
+	if len(t.keys) > 0 {
+		c.keys = append([]label.Label(nil), t.keys...)
+	}
+	if t.pairs != nil {
+		c.pairs = t.pairs.Clone()
 	}
 	return c
 }
 
 // Keys returns the number of distinct combination keys stored.
-func (t *Table) Keys() int { return len(t.m) }
+func (t *Table) Keys() int { return t.used }
 
 // PeakKeys returns the high-water mark of distinct keys.
 func (t *Table) PeakKeys() int { return t.peakKeys }

@@ -10,25 +10,43 @@ import (
 )
 
 // recount walks the trie structure and recomputes the level statistics
-// from scratch, independently of the incremental accounting.
+// from scratch, independently of the incremental accounting. It walks only
+// the reachable node blocks (freed blocks stay in the arenas until
+// recycled), mirroring what the old pointer-linked walk counted.
 func recount(t *Trie) []LevelStats {
 	out := make([]LevelStats, len(t.cfg.Strides))
 	for i, s := range t.cfg.Strides {
 		out[i].Level = i + 1
 		out[i].Stride = s
 	}
-	var walk func(n *node, lvl int)
-	walk = func(n *node, lvl int) {
+	var walk func(id int32, lvl int)
+	walk = func(id int32, lvl int) {
 		out[lvl].Nodes++
-		out[lvl].OccupiedSlots += len(n.slots)
-		for _, sl := range n.slots {
-			out[lvl].Entries += len(sl.entries)
-			if sl.child != nil {
+		lv := &t.levels[lvl]
+		base := int(id) << uint(lv.stride)
+		for i := 0; i < 1<<uint(lv.stride); i++ {
+			sl := &lv.slots[base+i]
+			if !sl.empty() {
+				out[lvl].OccupiedSlots++
+			}
+			out[lvl].Entries += int(sl.cnt)
+			// Cross-check cnt against the actual chain length.
+			chain := 0
+			for cur := sl.over; cur != noIndex; cur = t.over[cur].next {
+				chain++
+			}
+			if want := int(sl.cnt) - 1; sl.cnt > 0 && chain != want {
+				panic("mbt: slot cnt disagrees with overflow chain length")
+			}
+			if sl.cnt == 0 && chain != 0 {
+				panic("mbt: empty slot with overflow chain")
+			}
+			if sl.child != noIndex {
 				walk(sl.child, lvl+1)
 			}
 		}
 	}
-	walk(t.root, 0)
+	walk(0, 0)
 	for i := range out {
 		out[i].CapacitySlots = out[i].Nodes << uint(out[i].Stride)
 	}

@@ -13,6 +13,18 @@
 // the last label seen — exactly the pipeline structure of the paper's
 // Fig. 1, where each node level is searched in a different pipeline stage.
 //
+// Memory layout. The trie is pointer-free, mirroring the index-addressed
+// fixed-width memories of the paper's architecture: each level owns one
+// dense slot arena, a node is a contiguous block of 2^stride slots inside
+// that arena (node i occupies slots [i<<stride, (i+1)<<stride)), and a
+// child reference is the child node's index at the next level — exactly
+// the "next-node index" a hardware stage would drive onto the next
+// memory's address bus. The common one-entry slot stores its entry inline;
+// additional entries expanded into the same slot spill into a per-trie
+// arena of singly-linked records (see overEntry). A lookup is therefore
+// three array indexes with no hashing and no pointer chasing on the
+// one-entry fast path.
+//
 // Terminology used throughout (see the package notes below for the calibration
 // rationale):
 //
@@ -68,39 +80,51 @@ func Config16() Config {
 }
 
 type slotEntry struct {
-	plen  int
+	plen  int32
 	label label.Label
 }
 
+// noIndex marks an absent child node or an empty overflow chain.
+const noIndex = int32(-1)
+
+// slot is one element of a node's dense array. The head entry (the
+// longest-prefix answer for any key reaching the slot) is stored inline;
+// entries beyond the head live in the trie's overflow arena as a chain
+// starting at over. cnt counts all entries including the head.
 type slot struct {
-	child *node
-	// entries holds the prefixes expanded into this slot, ordered by
-	// descending prefix length (ties keep insertion order). The head is
-	// the longest-prefix answer for any key reaching this slot.
-	entries []slotEntry
+	child int32 // child node index at the next level, or noIndex
+	cnt   int32 // number of entries expanded into this slot
+	over  int32 // overflow chain head in Trie.over, or noIndex
+	head  slotEntry
 }
 
-func (s *slot) empty() bool { return s.child == nil && len(s.entries) == 0 }
+func (s *slot) empty() bool { return s.child == noIndex && s.cnt == 0 }
 
-type node struct {
-	slots map[uint32]*slot
+// overEntry is one spilled slot entry in the per-trie overflow arena.
+// Chains are kept sorted by descending prefix length (ties keep insertion
+// order), continuing the order that starts at the slot's inline head.
+type overEntry struct {
+	e    slotEntry
+	next int32
 }
 
-func newNode() *node { return &node{slots: make(map[uint32]*slot)} }
+// level is one trie level: its geometry (precomputed in New so lookups do
+// no per-call stride arithmetic) and its dense slot arena.
+type level struct {
+	stride int
+	shift  uint   // key >> shift isolates this level's chunk (before masking)
+	mask   uint32 // (1 << stride) - 1
+	before int    // key bits consumed by earlier levels
 
-// Trie is a multi-bit trie with controlled prefix expansion. Create one
-// with New; the zero value is not usable.
-type Trie struct {
-	cfg    Config
-	root   *node
-	levels []levelAccount
-	// entryInserts counts every slot-entry insertion performed over the
-	// trie's lifetime (including expansion copies); it drives the update
-	// cost model.
-	entryInserts uint64
-}
+	// slots is the level's node arena: node i occupies
+	// slots[i<<stride : (i+1)<<stride]. Freed node blocks are recycled
+	// through freeNodes rather than compacted, so node indexes stay stable.
+	slots     []slot
+	freeNodes []int32
+	// occ[i] counts the occupied slots of node i, so Delete can prune a
+	// node the moment its last slot empties without rescanning the block.
+	occ []int32
 
-type levelAccount struct {
 	nodes         int
 	occupiedSlots int
 	entries       int
@@ -116,18 +140,85 @@ type LevelStats struct {
 	Entries       int // slot entries, counting prefix-expansion copies
 }
 
+// Trie is a multi-bit trie with controlled prefix expansion. Create one
+// with New; the zero value is not usable.
+type Trie struct {
+	cfg    Config
+	levels []level
+
+	// over is the overflow arena holding every entry beyond a slot's
+	// inline head; freeOver chains recycled records.
+	over     []overEntry
+	freeOver int32
+
+	// levelOf and beforeOf map a prefix length to the level it expands at
+	// and the key bits consumed before that level (precomputed so the
+	// update path does no per-call stride walking).
+	levelOf  []int8
+	beforeOf []int8
+
+	// entryInserts counts every slot-entry insertion performed over the
+	// trie's lifetime (including expansion copies); it drives the update
+	// cost model.
+	entryInserts uint64
+}
+
 // New creates a trie from cfg.
 func New(cfg Config) (*Trie, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	t := &Trie{
-		cfg:    cfg,
-		root:   newNode(),
-		levels: make([]levelAccount, len(cfg.Strides)),
+		cfg:      cfg,
+		levels:   make([]level, len(cfg.Strides)),
+		freeOver: noIndex,
+		levelOf:  make([]int8, cfg.Width+1),
+		beforeOf: make([]int8, cfg.Width+1),
 	}
-	t.levels[0].nodes = 1 // the root array always exists
+	shift := cfg.Width
+	cum := 0
+	for i, s := range cfg.Strides {
+		shift -= s
+		t.levels[i] = level{
+			stride: s,
+			shift:  uint(shift),
+			mask:   uint32(1)<<uint(s) - 1,
+			before: cum,
+		}
+		cum += s
+	}
+	for plen := 0; plen <= cfg.Width; plen++ {
+		lvl, before := levelIndexOf(cfg.Strides, plen)
+		t.levelOf[plen] = int8(lvl)
+		t.beforeOf[plen] = int8(before)
+	}
+	// The root array always exists: node 0 of level 1.
+	t.levels[0].slots = emptySlots(make([]slot, 1<<uint(cfg.Strides[0])))
+	t.levels[0].occ = []int32{0}
+	t.levels[0].nodes = 1
 	return t, nil
+}
+
+// levelIndexOf returns the level (0-based) at which a prefix of length
+// plen is expanded, and the number of key bits consumed before that level.
+func levelIndexOf(strides []int, plen int) (lvl, before int) {
+	cum := 0
+	for i, s := range strides {
+		if plen <= cum+s {
+			return i, cum
+		}
+		cum += s
+	}
+	return len(strides) - 1, cum - strides[len(strides)-1]
+}
+
+// emptySlots initialises (or re-initialises) a slot block to the empty
+// state and returns it.
+func emptySlots(s []slot) []slot {
+	for i := range s {
+		s[i] = slot{child: noIndex, over: noIndex}
+	}
+	return s
 }
 
 // MustNew is New for known-good configurations; it panics on invalid
@@ -143,26 +234,61 @@ func MustNew(cfg Config) *Trie {
 // Config returns the trie's configuration.
 func (t *Trie) Config() Config { return t.cfg }
 
-// levelIndex returns the level (0-based) at which a prefix of length plen
-// is expanded, and the number of key bits consumed before that level.
-func (t *Trie) levelIndex(plen int) (lvl, before int) {
-	cum := 0
-	for i, s := range t.cfg.Strides {
-		if plen <= cum+s {
-			return i, cum
-		}
-		cum += s
-	}
-	return len(t.cfg.Strides) - 1, cum - t.cfg.Strides[len(t.cfg.Strides)-1]
-}
-
 // chunk extracts the stride-sized index for level lvl from key.
 func (t *Trie) chunk(key uint64, lvl int) uint32 {
-	shift := t.cfg.Width
-	for i := 0; i <= lvl; i++ {
-		shift -= t.cfg.Strides[i]
+	lv := &t.levels[lvl]
+	return uint32(key>>lv.shift) & lv.mask
+}
+
+// allocNode allocates (or recycles) a node block at level lvl and returns
+// its index.
+func (t *Trie) allocNode(lvl int) int32 {
+	lv := &t.levels[lvl]
+	lv.nodes++
+	if n := len(lv.freeNodes); n > 0 {
+		id := lv.freeNodes[n-1]
+		lv.freeNodes = lv.freeNodes[:n-1]
+		base := int(id) << uint(lv.stride)
+		emptySlots(lv.slots[base : base+(1<<uint(lv.stride))])
+		lv.occ[id] = 0
+		return id
 	}
-	return uint32(key>>uint(shift)) & uint32((1<<uint(t.cfg.Strides[lvl]))-1)
+	id := int32(len(lv.slots) >> uint(lv.stride))
+	lv.slots = append(lv.slots, emptySlots(make([]slot, 1<<uint(lv.stride)))...)
+	lv.occ = append(lv.occ, 0)
+	return id
+}
+
+// freeNode returns a node block to level lvl's freelist.
+func (t *Trie) freeNode(lvl int, id int32) {
+	lv := &t.levels[lvl]
+	lv.freeNodes = append(lv.freeNodes, id)
+	lv.nodes--
+}
+
+// slotAt returns the slot idx of node id at level lvl.
+func (t *Trie) slotAt(lvl int, id int32, idx uint32) *slot {
+	lv := &t.levels[lvl]
+	return &lv.slots[(int(id)<<uint(lv.stride))+int(idx)]
+}
+
+// allocOver allocates (or recycles) an overflow record holding e with the
+// given successor and returns its index.
+func (t *Trie) allocOver(e slotEntry, next int32) int32 {
+	if t.freeOver != noIndex {
+		idx := t.freeOver
+		t.freeOver = t.over[idx].next
+		t.over[idx] = overEntry{e: e, next: next}
+		return idx
+	}
+	t.over = append(t.over, overEntry{e: e, next: next})
+	return int32(len(t.over) - 1)
+}
+
+// freeOverAt recycles overflow record idx.
+func (t *Trie) freeOverAt(idx int32) {
+	t.over[idx] = overEntry{next: t.freeOver}
+	t.freeOver = idx
 }
 
 // Insert adds the prefix value/plen with the given label. value is given in
@@ -174,17 +300,20 @@ func (t *Trie) Insert(value uint64, plen int, lab label.Label) error {
 	if plen < 0 || plen > t.cfg.Width {
 		return fmt.Errorf("mbt: prefix length %d out of range (0..%d)", plen, t.cfg.Width)
 	}
-	lvl, before := t.levelIndex(plen)
+	lvl := int(t.levelOf[plen])
+	before := int(t.beforeOf[plen])
 
-	n := t.root
+	node := int32(0)
 	for i := 0; i < lvl; i++ {
-		idx := t.chunk(value, i)
-		sl := t.slotAt(n, i, idx)
-		if sl.child == nil {
-			sl.child = newNode()
-			t.levels[i+1].nodes++
+		sl := t.slotAt(i, node, t.chunk(value, i))
+		if sl.child == noIndex {
+			wasEmpty := sl.empty()
+			sl.child = t.allocNode(i + 1)
+			if wasEmpty {
+				t.markOccupied(i, node)
+			}
 		}
-		n = sl.child
+		node = sl.child
 	}
 
 	stride := t.cfg.Strides[lvl]
@@ -195,38 +324,113 @@ func (t *Trie) Insert(value uint64, plen int, lab label.Label) error {
 		base = (t.chunk(value, lvl) >> uint(free)) << uint(free)
 	}
 	count := uint32(1) << uint(free)
+	e := slotEntry{plen: int32(plen), label: lab}
 	for i := uint32(0); i < count; i++ {
-		sl := t.slotAt(n, lvl, base+i)
-		t.insertEntry(sl, lvl, slotEntry{plen: plen, label: lab})
+		t.insertEntry(lvl, node, base+i, e)
 	}
 	return nil
 }
 
-func (t *Trie) slotAt(n *node, lvl int, idx uint32) *slot {
-	sl, ok := n.slots[idx]
-	if !ok {
-		sl = &slot{}
-		n.slots[idx] = sl
-		t.levels[lvl].occupiedSlots++
-	}
-	return sl
+// markOccupied records the empty→occupied transition of one slot of node
+// id at level lvl.
+func (t *Trie) markOccupied(lvl int, id int32) {
+	lv := &t.levels[lvl]
+	lv.occupiedSlots++
+	lv.occ[id]++
 }
 
-func (t *Trie) insertEntry(sl *slot, lvl int, e slotEntry) {
-	// Keep entries sorted by descending prefix length; equal lengths keep
-	// insertion order (stable), so lookups prefer the longest prefix.
-	pos := len(sl.entries)
-	for i, ex := range sl.entries {
-		if ex.plen < e.plen {
-			pos = i
-			break
+// markVacated records the occupied→empty transition of one slot of node
+// id at level lvl.
+func (t *Trie) markVacated(lvl int, id int32) {
+	lv := &t.levels[lvl]
+	lv.occupiedSlots--
+	lv.occ[id]--
+}
+
+// insertEntry adds e to slot idx of node id at level lvl, keeping the
+// slot's entries sorted by descending prefix length; equal lengths keep
+// insertion order (stable), so lookups prefer the longest prefix.
+func (t *Trie) insertEntry(lvl int, id int32, idx uint32, e slotEntry) {
+	sl := t.slotAt(lvl, id, idx)
+	if sl.empty() {
+		t.markOccupied(lvl, id)
+	}
+	switch {
+	case sl.cnt == 0:
+		sl.head = e
+	case e.plen > sl.head.plen:
+		// The new entry is the longest: the old head spills to the front
+		// of the overflow chain.
+		sl.over = t.allocOver(sl.head, sl.over)
+		sl.head = e
+	default:
+		// Walk the chain past every entry with plen >= e.plen (stability:
+		// equal lengths keep insertion order) and splice e in.
+		prev := noIndex
+		cur := sl.over
+		for cur != noIndex && t.over[cur].e.plen >= e.plen {
+			prev = cur
+			cur = t.over[cur].next
+		}
+		rec := t.allocOver(e, cur)
+		if prev == noIndex {
+			sl.over = rec
+		} else {
+			t.over[prev].next = rec
 		}
 	}
-	sl.entries = append(sl.entries, slotEntry{})
-	copy(sl.entries[pos+1:], sl.entries[pos:])
-	sl.entries[pos] = e
+	sl.cnt++
 	t.levels[lvl].entries++
 	t.entryInserts++
+}
+
+// slotContains reports whether the slot holds an entry equal to e.
+func (t *Trie) slotContains(sl *slot, e slotEntry) bool {
+	if sl.cnt == 0 {
+		return false
+	}
+	if sl.head == e {
+		return true
+	}
+	for cur := sl.over; cur != noIndex; cur = t.over[cur].next {
+		if t.over[cur].e == e {
+			return true
+		}
+	}
+	return false
+}
+
+// removeEntry removes the first occurrence of e from slot idx of node id
+// at level lvl. The entry must be present.
+func (t *Trie) removeEntry(lvl int, id int32, idx uint32, e slotEntry) {
+	sl := t.slotAt(lvl, id, idx)
+	if sl.head == e {
+		if sl.over != noIndex {
+			next := sl.over
+			sl.head = t.over[next].e
+			sl.over = t.over[next].next
+			t.freeOverAt(next)
+		}
+	} else {
+		prev := noIndex
+		for cur := sl.over; cur != noIndex; cur = t.over[cur].next {
+			if t.over[cur].e == e {
+				if prev == noIndex {
+					sl.over = t.over[cur].next
+				} else {
+					t.over[prev].next = t.over[cur].next
+				}
+				t.freeOverAt(cur)
+				break
+			}
+			prev = cur
+		}
+	}
+	sl.cnt--
+	t.levels[lvl].entries--
+	if sl.empty() {
+		t.markVacated(lvl, id)
+	}
 }
 
 // Delete removes one occurrence of the prefix value/plen with the given
@@ -236,20 +440,22 @@ func (t *Trie) Delete(value uint64, plen int, lab label.Label) error {
 	if plen < 0 || plen > t.cfg.Width {
 		return fmt.Errorf("mbt: prefix length %d out of range (0..%d)", plen, t.cfg.Width)
 	}
-	lvl, before := t.levelIndex(plen)
+	lvl := int(t.levelOf[plen])
+	before := int(t.beforeOf[plen])
 
-	// Collect the path so we can prune on the way back up.
-	path := make([]*node, 0, len(t.cfg.Strides))
-	n := t.root
-	path = append(path, n)
+	// Collect the node path so we can prune on the way back up. Widths are
+	// capped at 64 bits, so the path never exceeds 64 levels.
+	var pathArr [64]int32
+	path := pathArr[:0]
+	node := int32(0)
+	path = append(path, node)
 	for i := 0; i < lvl; i++ {
-		idx := t.chunk(value, i)
-		sl, ok := n.slots[idx]
-		if !ok || sl.child == nil {
+		sl := t.slotAt(i, node, t.chunk(value, i))
+		if sl.child == noIndex {
 			return fmt.Errorf("mbt: delete of absent prefix %#x/%d", value, plen)
 		}
-		n = sl.child
-		path = append(path, n)
+		node = sl.child
+		path = append(path, node)
 	}
 
 	stride := t.cfg.Strides[lvl]
@@ -263,85 +469,57 @@ func (t *Trie) Delete(value uint64, plen int, lab label.Label) error {
 
 	// Verify presence in every covered slot before mutating anything, so a
 	// failed delete leaves the trie unchanged.
-	target := slotEntry{plen: plen, label: lab}
+	target := slotEntry{plen: int32(plen), label: lab}
 	for i := uint32(0); i < count; i++ {
-		sl, ok := n.slots[base+i]
-		if !ok || !containsEntry(sl.entries, target) {
+		if !t.slotContains(t.slotAt(lvl, node, base+i), target) {
 			return fmt.Errorf("mbt: delete of absent prefix %#x/%d", value, plen)
 		}
 	}
 	for i := uint32(0); i < count; i++ {
-		idx := base + i
-		sl := n.slots[idx]
-		sl.entries = removeEntry(sl.entries, target)
-		t.levels[lvl].entries--
-		if sl.empty() {
-			delete(n.slots, idx)
-			t.levels[lvl].occupiedSlots--
-		}
+		t.removeEntry(lvl, node, base+i, target)
 	}
 
 	// Prune empty child nodes bottom-up along the walk path.
 	for i := lvl; i >= 1; i-- {
 		child := path[i]
-		if len(child.slots) != 0 {
+		if t.levels[i].occ[child] != 0 {
 			break
 		}
 		parent := path[i-1]
-		idx := t.chunk(value, i-1)
-		sl := parent.slots[idx]
-		sl.child = nil
-		t.levels[i].nodes--
+		sl := t.slotAt(i-1, parent, t.chunk(value, i-1))
+		sl.child = noIndex
+		t.freeNode(i, child)
 		if sl.empty() {
-			delete(parent.slots, idx)
-			t.levels[i-1].occupiedSlots--
+			t.markVacated(i-1, parent)
 		}
 	}
 	return nil
 }
 
-func containsEntry(entries []slotEntry, e slotEntry) bool {
-	for _, ex := range entries {
-		if ex == e {
-			return true
-		}
-	}
-	return false
-}
-
-func removeEntry(entries []slotEntry, e slotEntry) []slotEntry {
-	for i, ex := range entries {
-		if ex == e {
-			return append(entries[:i], entries[i+1:]...)
-		}
-	}
-	return entries
-}
-
 // Clone returns a deep copy of the trie sharing no state with the
-// original.
+// original. Because the trie is index-addressed, cloning is a flat copy of
+// the level arenas — no structural walk.
 func (t *Trie) Clone() *Trie {
 	cfg := t.cfg
 	cfg.Strides = append([]int(nil), t.cfg.Strides...)
-	return &Trie{
+	c := &Trie{
 		cfg:          cfg,
-		root:         cloneNode(t.root),
-		levels:       append([]levelAccount(nil), t.levels...),
+		levels:       append([]level(nil), t.levels...),
+		freeOver:     t.freeOver,
+		levelOf:      t.levelOf, // immutable after New
+		beforeOf:     t.beforeOf,
 		entryInserts: t.entryInserts,
 	}
-}
-
-func cloneNode(n *node) *node {
-	c := &node{slots: make(map[uint32]*slot, len(n.slots))}
-	for idx, sl := range n.slots {
-		ns := &slot{}
-		if len(sl.entries) > 0 {
-			ns.entries = append([]slotEntry(nil), sl.entries...)
+	if len(t.over) > 0 {
+		c.over = append([]overEntry(nil), t.over...)
+	}
+	for i := range c.levels {
+		lv := &c.levels[i]
+		lv.slots = append([]slot(nil), lv.slots...)
+		lv.occ = append([]int32(nil), lv.occ...)
+		if len(lv.freeNodes) > 0 {
+			lv.freeNodes = append([]int32(nil), lv.freeNodes...)
 		}
-		if sl.child != nil {
-			ns.child = cloneNode(sl.child)
-		}
-		c.slots[idx] = ns
 	}
 	return c
 }
@@ -349,21 +527,19 @@ func cloneNode(n *node) *node {
 // Lookup returns the label of the longest prefix matching key, together
 // with its length. ok is false when no prefix matches.
 func (t *Trie) Lookup(key uint64) (lab label.Label, plen int, ok bool) {
-	n := t.root
-	for lvl := range t.cfg.Strides {
-		sl, present := n.slots[t.chunk(key, lvl)]
-		if !present {
+	node := int32(0)
+	for l := range t.levels {
+		lv := &t.levels[l]
+		sl := &lv.slots[(int(node)<<uint(lv.stride))+int(uint32(key>>lv.shift)&lv.mask)]
+		if sl.cnt > 0 {
+			// The head is the longest entry and deeper levels always hold
+			// strictly longer prefixes, so overwrite the best match.
+			lab, plen, ok = sl.head.label, int(sl.head.plen), true
+		}
+		if sl.child == noIndex {
 			break
 		}
-		if len(sl.entries) > 0 {
-			// Entries are sorted longest-first and deeper levels always
-			// hold strictly longer prefixes, so overwrite the best match.
-			lab, plen, ok = sl.entries[0].label, sl.entries[0].plen, true
-		}
-		if sl.child == nil {
-			break
-		}
-		n = sl.child
+		node = sl.child
 	}
 	return lab, plen, ok
 }
@@ -381,19 +557,21 @@ type MatchedEntry struct {
 // crossproduct index-calculation stage relies on.
 func (t *Trie) LookupAll(key uint64, dst []MatchedEntry) []MatchedEntry {
 	start := len(dst)
-	n := t.root
-	for lvl := range t.cfg.Strides {
-		sl, present := n.slots[t.chunk(key, lvl)]
-		if !present {
+	node := int32(0)
+	for l := range t.levels {
+		lv := &t.levels[l]
+		sl := &lv.slots[(int(node)<<uint(lv.stride))+int(uint32(key>>lv.shift)&lv.mask)]
+		if sl.cnt > 0 {
+			dst = append(dst, MatchedEntry{Label: sl.head.label, Plen: int(sl.head.plen)})
+			for cur := sl.over; cur != noIndex; cur = t.over[cur].next {
+				e := &t.over[cur].e
+				dst = append(dst, MatchedEntry{Label: e.label, Plen: int(e.plen)})
+			}
+		}
+		if sl.child == noIndex {
 			break
 		}
-		for _, e := range sl.entries {
-			dst = append(dst, MatchedEntry{Label: e.label, Plen: e.plen})
-		}
-		if sl.child == nil {
-			break
-		}
-		n = sl.child
+		node = sl.child
 	}
 	// Slots were visited shallow-to-deep, so the region is roughly
 	// ascending in plen; an insertion sort into descending order is cheap
@@ -409,15 +587,16 @@ func (t *Trie) LookupAll(key uint64, dst []MatchedEntry) []MatchedEntry {
 
 // Stats returns per-level population counts.
 func (t *Trie) Stats() []LevelStats {
-	out := make([]LevelStats, len(t.cfg.Strides))
-	for i, acct := range t.levels {
+	out := make([]LevelStats, len(t.levels))
+	for i := range t.levels {
+		lv := &t.levels[i]
 		out[i] = LevelStats{
 			Level:         i + 1,
-			Stride:        t.cfg.Strides[i],
-			Nodes:         acct.nodes,
-			OccupiedSlots: acct.occupiedSlots,
-			CapacitySlots: acct.nodes << uint(t.cfg.Strides[i]),
-			Entries:       acct.entries,
+			Stride:        lv.stride,
+			Nodes:         lv.nodes,
+			OccupiedSlots: lv.occupiedSlots,
+			CapacitySlots: lv.nodes << uint(lv.stride),
+			Entries:       lv.entries,
 		}
 	}
 	return out
@@ -427,8 +606,8 @@ func (t *Trie) Stats() []LevelStats {
 // capacity slots across the trie's allocated node arrays.
 func (t *Trie) StoredNodes() int {
 	total := 0
-	for i, acct := range t.levels {
-		total += acct.nodes << uint(t.cfg.Strides[i])
+	for i := range t.levels {
+		total += t.levels[i].nodes << uint(t.levels[i].stride)
 	}
 	return total
 }
