@@ -84,6 +84,54 @@ func TestExecuteZeroAlloc(t *testing.T) {
 	}
 }
 
+// TestExecuteBatchZeroAlloc locks in the PR 3 batch-engine fix (the
+// 32KB/op reply-slice allocation): with the reply slice reused through
+// ExecuteBatchInto, the batch path must be allocation-free at every
+// worker count, cache on or off. Cache fills allocate, so the cached
+// variant uses a small flow population warmed outside the measurement.
+func TestExecuteBatchZeroAlloc(t *testing.T) {
+	if testing.Short() {
+		t.Skip("filter generation is not short")
+	}
+	f, err := filterset.GenerateMAC("bbrb", filterset.DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cached := range []bool{false, true} {
+		name := "walk"
+		if cached {
+			name = "cached"
+		}
+		t.Run(name, func(t *testing.T) {
+			p, err := core.BuildMAC(f, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			trace := traffic.MACTrace(f, 64, 0.9, 1)
+			if cached {
+				p.SetCacheSize(1 << 14)
+			}
+			p.Refresh()
+			const batch = 128
+			hs := make([]*openflow.Header, batch)
+			scratch := make([]openflow.Header, batch)
+			var res []core.Result
+			for _, workers := range []int{1, 4} {
+				p.SetWorkers(workers)
+				i := 0
+				assertZeroAllocs(t, "Pipeline.ExecuteBatchInto/"+name, func() {
+					for j := range hs {
+						scratch[j] = trace[(i*batch+j)%len(trace)]
+						hs[j] = &scratch[j]
+					}
+					res = p.ExecuteBatchInto(hs, res)
+					i++
+				})
+			}
+		})
+	}
+}
+
 // TestTrieLookupAllZeroAlloc covers the trie walk feeding the
 // crossproduct stage.
 func TestTrieLookupAllZeroAlloc(t *testing.T) {

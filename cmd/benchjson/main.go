@@ -1,15 +1,24 @@
 // Command benchjson converts `go test -bench` text output into a JSON
 // benchmark summary, so CI can publish machine-readable performance
-// artifacts (the repo's perf trajectory files, e.g. BENCH_PR2.json).
+// artifacts (the repo's perf trajectory files, e.g. BENCH_PR3.json). It
+// can also diff the fresh run against a committed baseline JSON and fail
+// when a benchmark regresses beyond a threshold, which is how the CI
+// bench job gates the hot-path benchmarks.
 //
 // Usage:
 //
-//	go test -run '^$' -bench . -benchmem ./... | benchjson -out BENCH_PR2.json
+//	go test -run '^$' -bench . -benchmem ./... | benchjson -out BENCH_PR3.json
 //	benchjson < bench.txt            # JSON to stdout
+//	benchjson -out BENCH_PR3.json -baseline BENCH_PR2.json -maxregress 25 \
+//	    -match 'BenchmarkPipelineExecute' < bench.txt
 //
 // Lines that are not benchmark results (the goos/pkg preamble, PASS/ok
 // trailers, custom metrics other than ns/op, B/op and allocs/op) are
 // ignored. Repeated runs of one benchmark (-count > 1) are averaged.
+//
+// Baseline matching tolerates differing GOMAXPROCS between the two
+// machines: a name absent from the baseline is retried with its
+// trailing -N procs suffix stripped.
 package main
 
 import (
@@ -18,6 +27,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"regexp"
 	"sort"
 	"strconv"
 	"strings"
@@ -39,15 +49,20 @@ type Entry struct {
 }
 
 func main() {
-	out := flag.String("out", "", "file to write JSON to (default stdout)")
+	var (
+		out       = flag.String("out", "", "file to write JSON to (default stdout)")
+		baseline  = flag.String("baseline", "", "baseline JSON to diff ns/op against")
+		maxRegr   = flag.Float64("maxregress", 25, "fail when ns/op regresses more than this percentage over the baseline")
+		matchExpr = flag.String("match", "", "regexp restricting which benchmarks the regression gate applies to (default all)")
+	)
 	flag.Parse()
-	if err := run(*out); err != nil {
+	if err := run(*out, *baseline, *maxRegr, *matchExpr); err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(outPath string) error {
+func run(outPath, baselinePath string, maxRegress float64, matchExpr string) error {
 	acc := make(map[string]*result)
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
@@ -80,10 +95,100 @@ func run(outPath string) error {
 	}
 	data = append(data, '\n')
 	if outPath == "" {
-		_, err = os.Stdout.Write(data)
+		if _, err := os.Stdout.Write(data); err != nil {
+			return err
+		}
+	} else if err := os.WriteFile(outPath, data, 0o644); err != nil {
 		return err
 	}
-	return os.WriteFile(outPath, data, 0o644)
+
+	if baselinePath == "" {
+		return nil
+	}
+	return diffBaseline(os.Stderr, entries, baselinePath, maxRegress, matchExpr)
+}
+
+// diffBaseline compares the fresh entries against a committed baseline
+// and errors when any gated benchmark's ns/op regressed beyond the
+// threshold. Improvements and new benchmarks are reported, not gated.
+func diffBaseline(w *os.File, entries map[string]Entry, baselinePath string, maxRegress float64, matchExpr string) error {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("reading baseline: %w", err)
+	}
+	var base map[string]Entry
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("parsing baseline %s: %w", baselinePath, err)
+	}
+	var gate *regexp.Regexp
+	if matchExpr != "" {
+		gate, err = regexp.Compile(matchExpr)
+		if err != nil {
+			return fmt.Errorf("bad -match: %w", err)
+		}
+	}
+
+	names := make([]string, 0, len(entries))
+	for name := range entries {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var regressions []string
+	for _, name := range names {
+		e := entries[name]
+		b, ok := findBaseline(base, name)
+		if !ok {
+			fmt.Fprintf(w, "benchjson: %s: new benchmark (no baseline)\n", name)
+			continue
+		}
+		if b.NsPerOp <= 0 {
+			continue
+		}
+		delta := (e.NsPerOp - b.NsPerOp) / b.NsPerOp * 100
+		fmt.Fprintf(w, "benchjson: %s: %.1f ns/op vs baseline %.1f (%+.1f%%)\n", name, e.NsPerOp, b.NsPerOp, delta)
+		if delta > maxRegress && (gate == nil || gate.MatchString(name)) {
+			regressions = append(regressions, fmt.Sprintf("%s regressed %.1f%% (%.1f -> %.1f ns/op)", name, delta, b.NsPerOp, e.NsPerOp))
+		}
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed more than %.0f%% over %s:\n  %s",
+			len(regressions), maxRegress, baselinePath, strings.Join(regressions, "\n  "))
+	}
+	return nil
+}
+
+// findBaseline resolves name in the baseline map, tolerating a differing
+// GOMAXPROCS suffix between the two runs: an exact match wins, otherwise
+// the trailing -N is stripped from the candidate (and, failing that,
+// from the baseline keys).
+func findBaseline(base map[string]Entry, name string) (Entry, bool) {
+	if e, ok := base[name]; ok {
+		return e, true
+	}
+	if e, ok := base[stripProcs(name)]; ok {
+		return e, true
+	}
+	for k, e := range base {
+		if stripProcs(k) == name {
+			return e, true
+		}
+	}
+	return Entry{}, false
+}
+
+// stripProcs removes a trailing -N (the GOMAXPROCS suffix go test adds
+// when procs > 1). Only the final dash-number is removed, so
+// sub-benchmark names like workers-4 survive when they appear without a
+// procs suffix.
+func stripProcs(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
 }
 
 // parseLine folds one `go test -bench` output line into acc. Benchmark

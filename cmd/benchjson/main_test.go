@@ -1,6 +1,9 @@
 package main
 
-import "testing"
+import (
+	"os"
+	"testing"
+)
 
 func TestParseLine(t *testing.T) {
 	acc := make(map[string]*result)
@@ -33,5 +36,81 @@ func TestParseLineKeepsSubBenchNames(t *testing.T) {
 	parseLine("BenchmarkCrossprodLookup/dims-5   100   21.1 ns/op   0 B/op   0 allocs/op", acc)
 	if acc["BenchmarkCrossprodLookup/dims-2"] == nil || acc["BenchmarkCrossprodLookup/dims-5"] == nil {
 		t.Fatalf("sub-benchmark names merged or mangled: %+v", acc)
+	}
+}
+
+func TestStripProcs(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkPipelineExecuteMAC-8":           "BenchmarkPipelineExecuteMAC",
+		"BenchmarkPipelineExecuteMAC":             "BenchmarkPipelineExecuteMAC",
+		"BenchmarkPipelineExecuteBatch/workers-4": "BenchmarkPipelineExecuteBatch/workers", // only the final dash-number goes
+		"BenchmarkFoo/sub":                        "BenchmarkFoo/sub",
+	}
+	for in, want := range cases {
+		if got := stripProcs(in); got != want {
+			t.Errorf("stripProcs(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestFindBaselineToleratesProcsSuffix(t *testing.T) {
+	base := map[string]Entry{
+		"BenchmarkPipelineExecuteMAC":             {NsPerOp: 100},
+		"BenchmarkPipelineExecuteBatch/workers-4": {NsPerOp: 200},
+	}
+	// Exact hit.
+	if e, ok := findBaseline(base, "BenchmarkPipelineExecuteMAC"); !ok || e.NsPerOp != 100 {
+		t.Errorf("exact lookup failed: %+v %v", e, ok)
+	}
+	// Current run on a multi-core box appends -8; baseline was 1-core.
+	if e, ok := findBaseline(base, "BenchmarkPipelineExecuteMAC-8"); !ok || e.NsPerOp != 100 {
+		t.Errorf("suffix-stripped lookup failed: %+v %v", e, ok)
+	}
+	if e, ok := findBaseline(base, "BenchmarkPipelineExecuteBatch/workers-4-8"); !ok || e.NsPerOp != 200 {
+		t.Errorf("sub-benchmark suffixed lookup failed: %+v %v", e, ok)
+	}
+	// Baseline from a multi-core box, current run 1-core.
+	multi := map[string]Entry{"BenchmarkPipelineExecuteMAC-8": {NsPerOp: 300}}
+	if e, ok := findBaseline(multi, "BenchmarkPipelineExecuteMAC"); !ok || e.NsPerOp != 300 {
+		t.Errorf("baseline-stripped lookup failed: %+v %v", e, ok)
+	}
+	if _, ok := findBaseline(base, "BenchmarkUnknown"); ok {
+		t.Error("unknown benchmark should not resolve")
+	}
+}
+
+func TestDiffBaselineGate(t *testing.T) {
+	dir := t.TempDir()
+	basePath := dir + "/base.json"
+	if err := os.WriteFile(basePath, []byte(`{"BenchmarkHot":{"ns_op":100},"BenchmarkCold":{"ns_op":100}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Within threshold: passes.
+	entries := map[string]Entry{"BenchmarkHot": {NsPerOp: 110}, "BenchmarkCold": {NsPerOp: 110}}
+	if err := diffBaseline(os.Stderr, entries, basePath, 25, ""); err != nil {
+		t.Errorf("10%% regression under a 25%% gate should pass: %v", err)
+	}
+	// Beyond threshold: fails.
+	entries["BenchmarkHot"] = Entry{NsPerOp: 200}
+	if err := diffBaseline(os.Stderr, entries, basePath, 25, ""); err == nil {
+		t.Error("100% regression should fail the gate")
+	}
+	// The -match gate restricts which benchmarks can fail it.
+	entries["BenchmarkHot"] = Entry{NsPerOp: 110}
+	entries["BenchmarkCold"] = Entry{NsPerOp: 500}
+	if err := diffBaseline(os.Stderr, entries, basePath, 25, "BenchmarkHot"); err != nil {
+		t.Errorf("regression outside -match should not fail: %v", err)
+	}
+	if err := diffBaseline(os.Stderr, entries, basePath, 25, "BenchmarkCold"); err == nil {
+		t.Error("regression inside -match should fail")
+	}
+	// New benchmarks (no baseline) never fail the gate.
+	entries = map[string]Entry{"BenchmarkNew": {NsPerOp: 999}}
+	if err := diffBaseline(os.Stderr, entries, basePath, 25, ""); err != nil {
+		t.Errorf("new benchmark should not fail the gate: %v", err)
+	}
+	// A missing baseline file is an error.
+	if err := diffBaseline(os.Stderr, entries, dir+"/missing.json", 25, ""); err == nil {
+		t.Error("missing baseline should error")
 	}
 }

@@ -1,6 +1,9 @@
 // Command flowgen synthesises filter sets calibrated to the paper's
 // Tables III and IV (MAC learning, routing) or ClassBench-style 5-tuple
-// sets (ACL), writing them in the repository's text formats.
+// sets (ACL), writing them in the repository's text formats. It can also
+// emit packet traces against a generated filter — uniform or
+// Zipf-skewed — so benchmark workloads with realistic hot-flow
+// distributions can be saved and replayed.
 //
 // Usage:
 //
@@ -8,6 +11,7 @@
 //	flowgen -app route -name coza -o coza_route.txt
 //	flowgen -app acl -name acl1 -n 1000 -o acl1.txt
 //	flowgen -app mac -all -o filters/        # all 16 filters
+//	flowgen -app mac -name gozb -trace 100000 -zipf 1.1 -o gozb_trace.txt
 package main
 
 import (
@@ -18,6 +22,8 @@ import (
 	"path/filepath"
 
 	"ofmtl/internal/filterset"
+	"ofmtl/internal/openflow"
+	"ofmtl/internal/traffic"
 )
 
 func main() {
@@ -35,8 +41,31 @@ func run() error {
 		seed = flag.Uint64("seed", filterset.DefaultSeed, "generation seed")
 		out  = flag.String("o", "", "output file (default stdout); with -all, output directory")
 		all  = flag.Bool("all", false, "generate all 16 filters (mac/route only)")
+
+		trace = flag.Int("trace", 0, "emit an N-packet trace against the generated filter instead of the filter itself")
+		flows = flag.Int("flows", 1024, "distinct flows in the trace population (with -trace)")
+		hit   = flag.Float64("hit", 0.9, "fraction of trace flows that match installed rules (with -trace)")
+		zipf  = flag.Float64("zipf", 0, "Zipf skew of flow popularity; 0 = uniform, 1.0-1.3 = measured traffic (with -trace)")
 	)
 	flag.Parse()
+
+	if *trace > 0 {
+		if *all {
+			return fmt.Errorf("-trace is mutually exclusive with -all")
+		}
+		gen := func(w io.Writer) error {
+			return generateTrace(w, *app, *name, *n, *trace, *flows, *hit, *zipf, *seed)
+		}
+		if *out == "" {
+			return gen(os.Stdout)
+		}
+		f, err := os.Create(*out)
+		if err != nil {
+			return fmt.Errorf("creating %s: %w", *out, err)
+		}
+		defer func() { _ = f.Close() }()
+		return gen(f)
+	}
 
 	if *all {
 		if *out == "" {
@@ -89,4 +118,42 @@ func generate(w io.Writer, app, name string, n int, seed uint64) error {
 	default:
 		return fmt.Errorf("unknown application %q (want mac | route | acl | arp)", app)
 	}
+}
+
+// generateTrace emits an n-packet trace against the named filter. With
+// skew 0 every packet is drawn independently (the uniform regime); a
+// positive skew resamples a population of `flows` distinct flows with
+// Zipf-distributed popularity, the regime exercising the pipeline's
+// microflow cache.
+func generateTrace(w io.Writer, app, name string, rules, n, flows int, hit, skew float64, seed uint64) error {
+	if flows < 1 {
+		flows = 1
+	}
+	population := n
+	if skew > 0 {
+		population = flows
+	}
+	var hs []openflow.Header
+	switch app {
+	case "mac":
+		f, err := filterset.GenerateMAC(name, seed)
+		if err != nil {
+			return err
+		}
+		hs = traffic.MACTrace(f, population, hit, seed)
+	case "route":
+		f, err := filterset.GenerateRoute(name, seed)
+		if err != nil {
+			return err
+		}
+		hs = traffic.RouteTrace(f, population, hit, seed)
+	case "acl":
+		hs = traffic.ACLTrace(filterset.GenerateACL(name, rules, seed), population, hit, seed)
+	default:
+		return fmt.Errorf("unknown trace application %q (want mac | route | acl)", app)
+	}
+	if skew > 0 {
+		hs = traffic.ZipfMix(hs, n, skew, seed)
+	}
+	return traffic.WriteTrace(w, hs)
 }

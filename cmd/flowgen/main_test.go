@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"ofmtl/internal/filterset"
+	"ofmtl/internal/traffic"
 )
 
 func TestGenerateAllApps(t *testing.T) {
@@ -39,5 +40,67 @@ func TestGeneratedMACOutputParses(t *testing.T) {
 	target, _ := filterset.MACTargetFor("bbrb")
 	if len(f.Rules) != target.Rules {
 		t.Errorf("parsed %d rules, want %d", len(f.Rules), target.Rules)
+	}
+}
+
+func TestGenerateTraceRoundTrips(t *testing.T) {
+	for _, app := range []string{"mac", "route", "acl"} {
+		var buf bytes.Buffer
+		if err := generateTrace(&buf, app, "bbrb", 50, 200, 32, 0.9, 1.1, filterset.DefaultSeed); err != nil {
+			t.Fatalf("%s: %v", app, err)
+		}
+		hs, err := traffic.ReadTrace(strings.NewReader(buf.String()))
+		if err != nil {
+			t.Fatalf("%s: parsing emitted trace: %v", app, err)
+		}
+		if len(hs) != 200 {
+			t.Errorf("%s: trace has %d packets, want 200", app, len(hs))
+		}
+	}
+	var buf bytes.Buffer
+	if err := generateTrace(&buf, "arp", "bbrb", 50, 10, 8, 0.9, 0, 1); err == nil {
+		t.Error("trace for unsupported app should error")
+	}
+}
+
+func TestGenerateTraceZipfSkews(t *testing.T) {
+	var buf bytes.Buffer
+	if err := generateTrace(&buf, "mac", "bbrb", 0, 4000, 64, 1.0, 1.1, filterset.DefaultSeed); err != nil {
+		t.Fatal(err)
+	}
+	hs, err := traffic.ReadTrace(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[[2]uint64]int{}
+	max := 0
+	for _, h := range hs {
+		k := [2]uint64{uint64(h.VLANID)<<48 | h.EthSrc, h.EthDst}
+		counts[k]++
+		if counts[k] > max {
+			max = counts[k]
+		}
+	}
+	if len(counts) > 64 {
+		t.Errorf("skewed trace has %d distinct flows, want <= population of 64", len(counts))
+	}
+	if max < 4000/64*5 {
+		t.Errorf("hottest flow carries %d packets, want Zipf concentration", max)
+	}
+	// Uniform mode draws every packet independently: far more flows.
+	buf.Reset()
+	if err := generateTrace(&buf, "mac", "bbrb", 0, 4000, 64, 1.0, 0, filterset.DefaultSeed); err != nil {
+		t.Fatal(err)
+	}
+	hs, err = traffic.ReadTrace(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	uniform := map[[2]uint64]int{}
+	for _, h := range hs {
+		uniform[[2]uint64{uint64(h.VLANID)<<48 | h.EthSrc, h.EthDst}]++
+	}
+	if len(uniform) <= len(counts) {
+		t.Errorf("uniform trace has %d flows, skewed %d; expected many more", len(uniform), len(counts))
 	}
 }

@@ -75,6 +75,15 @@ func doStats(c *ofproto.Client) error {
 	}
 	fmt.Printf("memory: %.2f Mbit (%d bits) in %d M20K blocks\n",
 		float64(st.MemoryBits)/1e6, st.MemoryBits, st.M20KBlocks)
+	if st.CacheEntries > 0 {
+		total := st.CacheHits + st.CacheMisses
+		hitPct := 0.0
+		if total > 0 {
+			hitPct = float64(st.CacheHits) / float64(total) * 100
+		}
+		fmt.Printf("microflow cache: %d entries, %d hits / %d misses (%.1f%% hit)\n",
+			st.CacheEntries, st.CacheHits, st.CacheMisses, hitPct)
+	}
 	return nil
 }
 

@@ -8,10 +8,14 @@
 //	switchd -listen 127.0.0.1:6653                 # empty MAC+routing prototype
 //	switchd -listen :6653 -mac gozb -route coza    # preloaded worst-case prototype
 //	switchd -listen :6653 -mac gozb -workers 8     # 8-way parallel batch classification
+//	switchd -listen :6653 -mac gozb -cache 0       # disable the microflow fast path
 //
 // Packet lookups execute lock-free against the pipeline's RCU-style
 // snapshot, so concurrent controller connections classify in parallel;
-// -workers bounds the per-batch fan-out of packet-batch messages.
+// -workers bounds the per-batch fan-out of packet-batch messages. A
+// microflow cache (-cache, entries) fronts the multi-table walk so
+// repeated flows cost one exact-match probe; its hit/miss counters are
+// reported through the stats message.
 package main
 
 import (
@@ -44,10 +48,14 @@ func run() error {
 		seed     = flag.Uint64("seed", filterset.DefaultSeed, "generation seed for preloads")
 		pipeFile = flag.String("pipeline", "", "JSON pipeline layout (TTP-style); overrides the built-in prototype")
 		workers  = flag.Int("workers", 0, "goroutines per packet batch (0 = GOMAXPROCS, 1 = sequential)")
+		cacheSz  = flag.Int("cache", 1<<16, "microflow cache entries (0 = disable the fast path)")
 	)
 	flag.Parse()
 	if *workers < 0 {
 		return fmt.Errorf("-workers must be >= 0, got %d", *workers)
+	}
+	if *cacheSz < 0 {
+		return fmt.Errorf("-cache must be >= 0, got %d", *cacheSz)
 	}
 
 	var pipeline *core.Pipeline
@@ -64,6 +72,7 @@ func run() error {
 		return err
 	}
 	pipeline.SetWorkers(*workers)
+	pipeline.SetCacheSize(*cacheSz)
 	log.Printf("switchd: pipeline ready: %d tables, %d rules", len(pipeline.Tables()), pipeline.Rules())
 	mem := pipeline.MemoryReport()
 	log.Printf("switchd: modelled memory: %.2f Mbit in %d M20K blocks", mem.TotalMbits(), mem.Blocks)
@@ -72,6 +81,11 @@ func run() error {
 		effective = runtime.GOMAXPROCS(0)
 	}
 	log.Printf("switchd: lock-free snapshot lookups, batch fan-out %d workers", effective)
+	if st := pipeline.CacheStats(); st.Entries > 0 {
+		log.Printf("switchd: microflow cache: %d entries, generation-invalidated", st.Entries)
+	} else {
+		log.Printf("switchd: microflow cache disabled")
+	}
 	// Publish the initial snapshot now so the first packet doesn't pay
 	// for the clone.
 	pipeline.Refresh()

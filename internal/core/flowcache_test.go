@@ -1,0 +1,458 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"ofmtl/internal/filterset"
+	"ofmtl/internal/openflow"
+	"ofmtl/internal/traffic"
+	"ofmtl/internal/xrand"
+)
+
+// mirroredMACPipelines builds two identical MAC pipelines from one
+// filter; the first gets a microflow cache, the second stays uncached
+// and serves as the reference walk.
+func mirroredMACPipelines(t *testing.T, cacheEntries int) (*filterset.MACFilter, *Pipeline, *Pipeline) {
+	t.Helper()
+	f, err := filterset.GenerateMAC("bbrb", filterset.DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached, err := BuildMAC(f, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached.SetCacheSize(cacheEntries)
+	ref, err := BuildMAC(f, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f, cached, ref
+}
+
+func sameResult(a, b Result) bool {
+	if a.Matched != b.Matched || a.SentToController != b.SentToController ||
+		a.Dropped != b.Dropped || a.MatchedTables != b.MatchedTables ||
+		len(a.Outputs) != len(b.Outputs) || len(a.TablesVisited) != len(b.TablesVisited) {
+		return false
+	}
+	for i := range a.Outputs {
+		if a.Outputs[i] != b.Outputs[i] {
+			return false
+		}
+	}
+	for i := range a.TablesVisited {
+		if a.TablesVisited[i] != b.TablesVisited[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// churnEntries builds a deterministic pool of second-table flow entries
+// to insert and remove during the differential churn rounds.
+func churnEntries(n int, f *filterset.MACFilter) []*openflow.FlowEntry {
+	entries := make([]*openflow.FlowEntry, 0, n)
+	for i := 0; i < n; i++ {
+		vlan := f.Rules[i%len(f.Rules)].VLAN
+		entries = append(entries, &openflow.FlowEntry{
+			Priority: 7,
+			Matches: []openflow.Match{
+				openflow.Exact(openflow.FieldMetadata, uint64(vlan)),
+				openflow.Exact(openflow.FieldEthDst, 0x00F000000000|uint64(i)),
+			},
+			Instructions: []openflow.Instruction{
+				openflow.WriteActions(openflow.Output(uint32(1000 + i))),
+			},
+		})
+	}
+	return entries
+}
+
+// TestMicroflowCacheDifferentialUnderChurn mutates a cached and an
+// uncached pipeline in lockstep and asserts — between every burst — that
+// the cached path (single-packet and batch) agrees with the reference
+// walk for every probe. A cache serving a pre-burst Result after the
+// burst would fail immediately.
+func TestMicroflowCacheDifferentialUnderChurn(t *testing.T) {
+	f, cached, ref := mirroredMACPipelines(t, 1<<12)
+	// A skewed trace, so most probes are cache hits by round two.
+	trace := traffic.ZipfMix(traffic.MACTrace(f, 96, 0.9, 5), 600, 1.1, 7)
+	entries := churnEntries(24, f)
+	hs := make([]*openflow.Header, len(trace))
+	scratch := make([]openflow.Header, len(trace))
+	var res []Result
+
+	check := func(round int) {
+		t.Helper()
+		for i := range trace {
+			hc, hr := trace[i], trace[i]
+			got := cached.Execute(&hc)
+			want := ref.Execute(&hr)
+			if !sameResult(got, want) {
+				t.Fatalf("round %d probe %d: cached %+v, reference %+v", round, i, got, want)
+			}
+		}
+		for i := range trace {
+			scratch[i] = trace[i]
+			hs[i] = &scratch[i]
+		}
+		res = cached.ExecuteBatchInto(hs, res)
+		for i := range trace {
+			hr := trace[i]
+			if want := ref.Execute(&hr); !sameResult(res[i], want) {
+				t.Fatalf("round %d batch probe %d: cached %+v, reference %+v", round, i, res[i], want)
+			}
+		}
+	}
+
+	check(0)
+	for round := 1; round <= 4; round++ {
+		for i, e := range entries {
+			if (i+round)%2 == 0 {
+				continue
+			}
+			if err := cached.Insert(1, e); err != nil {
+				t.Fatal(err)
+			}
+			if err := ref.Insert(1, e); err != nil {
+				t.Fatal(err)
+			}
+		}
+		check(round)
+		for i, e := range entries {
+			if (i+round)%2 == 0 {
+				continue
+			}
+			if err := cached.Remove(1, e); err != nil {
+				t.Fatal(err)
+			}
+			if err := ref.Remove(1, e); err != nil {
+				t.Fatal(err)
+			}
+		}
+		check(round)
+	}
+	if st := cached.CacheStats(); st.Hits == 0 {
+		t.Error("skewed differential trace should produce cache hits")
+	}
+}
+
+// TestMicroflowCacheConcurrentChurn runs cached readers (Execute and
+// ExecuteBatchInto) against a writer toggling a flow entry, under the
+// race detector. Headers untouched by the toggled rule must keep their
+// steady outcome whichever snapshot a reader observes.
+func TestMicroflowCacheConcurrentChurn(t *testing.T) {
+	f, err := filterset.GenerateMAC("bbrb", filterset.DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := BuildMAC(f, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.SetCacheSize(1 << 12)
+	p.Refresh()
+
+	trace := traffic.ZipfMix(traffic.MACTrace(f, 128, 1.0, 3), 512, 1.1, 9)
+	want := make([]Result, len(trace))
+	for i := range trace {
+		h := trace[i]
+		want[i] = p.Execute(&h)
+	}
+
+	toggled := &openflow.FlowEntry{
+		Priority: 5,
+		Matches: []openflow.Match{
+			openflow.Exact(openflow.FieldMetadata, uint64(f.Rules[0].VLAN)),
+			openflow.Exact(openflow.FieldEthDst, 0x00FFEEDDCCBB),
+		},
+		Instructions: []openflow.Instruction{openflow.WriteActions(openflow.Output(99))},
+	}
+
+	stop := make(chan struct{})
+	var writerWg sync.WaitGroup
+	writerWg.Add(1)
+	var churnErr error
+	go func() {
+		defer writerWg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			var err error
+			if i%2 == 0 {
+				err = p.Insert(1, toggled)
+			} else {
+				err = p.Remove(1, toggled)
+			}
+			if err != nil {
+				churnErr = err
+				return
+			}
+			// Pace the churn like a hot control plane (~100µs/update)
+			// instead of forcing a snapshot re-clone per probe.
+			time.Sleep(100 * time.Microsecond)
+		}
+	}()
+
+	const readers = 4
+	errs := make(chan string, readers)
+	var readerWg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		readerWg.Add(1)
+		go func(r int) {
+			defer readerWg.Done()
+			var res []Result
+			hs := make([]*openflow.Header, 64)
+			scratch := make([]openflow.Header, 64)
+			for iter := 0; iter < 20; iter++ {
+				for i := range trace {
+					h := trace[i]
+					if got := p.Execute(&h); !sameResult(got, want[i]) {
+						errs <- "single-packet result drifted under churn"
+						return
+					}
+				}
+				for j := range hs {
+					idx := (iter*64 + j + r) % len(trace)
+					scratch[j] = trace[idx]
+					hs[j] = &scratch[j]
+				}
+				res = p.ExecuteBatchInto(hs, res)
+				for j := range hs {
+					idx := (iter*64 + j + r) % len(trace)
+					if !sameResult(res[j], want[idx]) {
+						errs <- "batch result drifted under churn"
+						return
+					}
+				}
+			}
+		}(r)
+	}
+
+	readerWg.Wait()
+	close(stop)
+	writerWg.Wait()
+	if churnErr != nil {
+		t.Fatal(churnErr)
+	}
+	select {
+	case msg := <-errs:
+		t.Fatal(msg)
+	default:
+	}
+}
+
+// TestMicroflowCacheInvalidation asserts a flow-mod retires cached
+// results: the same header must observe the pre-insert, post-insert and
+// post-remove outcomes in order, even though each was cached.
+func TestMicroflowCacheInvalidation(t *testing.T) {
+	_, p, _ := mirroredMACPipelines(t, 1<<12)
+	h := openflow.Header{VLANID: 500, EthDst: 0xAABBCCDDEEFF}
+
+	exec := func() Result {
+		hc := h
+		p.Execute(&hc) // prime
+		hc = h
+		return p.Execute(&hc) // served from cache
+	}
+	if res := exec(); !res.SentToController {
+		t.Fatalf("unknown flow should miss to controller: %+v", res)
+	}
+	e0 := &openflow.FlowEntry{
+		Priority: 1,
+		Matches:  []openflow.Match{openflow.Exact(openflow.FieldVLANID, 500)},
+		Instructions: []openflow.Instruction{
+			openflow.WriteMetadata(500, ^uint64(0)),
+			openflow.GotoTable(1),
+		},
+	}
+	e1 := &openflow.FlowEntry{
+		Priority: 1,
+		Matches: []openflow.Match{
+			openflow.Exact(openflow.FieldMetadata, 500),
+			openflow.Exact(openflow.FieldEthDst, 0xAABBCCDDEEFF),
+		},
+		Instructions: []openflow.Instruction{
+			openflow.WriteActions(openflow.Output(31)),
+		},
+	}
+	if err := p.Insert(0, e0); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Insert(1, e1); err != nil {
+		t.Fatal(err)
+	}
+	if res := exec(); !res.Matched || len(res.Outputs) != 1 || res.Outputs[0] != 31 {
+		t.Fatalf("stale cached miss survived the insert: %+v", res)
+	}
+	if err := p.Remove(1, e1); err != nil {
+		t.Fatal(err)
+	}
+	if res := exec(); !res.SentToController {
+		t.Fatalf("stale cached match survived the removal: %+v", res)
+	}
+	if st := p.CacheStats(); st.Hits == 0 || st.Misses == 0 {
+		t.Errorf("stats did not move: %+v", st)
+	}
+}
+
+// TestMicroflowCacheEvictionAndSizing covers capacity behaviour: the
+// table is fixed-size (overflowing flows evict, correctness is kept),
+// resizing replaces the cache, and size 0 disables it.
+func TestMicroflowCacheEvictionAndSizing(t *testing.T) {
+	f, p, ref := mirroredMACPipelines(t, 1) // clamps to the minimum table
+	st := p.CacheStats()
+	if st.Entries <= 0 {
+		t.Fatalf("configured cache reports %d entries", st.Entries)
+	}
+	// Far more distinct flows than slots: every flow still classifies
+	// exactly like the reference walk, evictions notwithstanding.
+	trace := traffic.MACTrace(f, 4*st.Entries, 0.8, 21)
+	for i := range trace {
+		hc, hr := trace[i], trace[i]
+		if got, want := p.Execute(&hc), ref.Execute(&hr); !sameResult(got, want) {
+			t.Fatalf("flow %d misclassified under eviction pressure: %+v vs %+v", i, got, want)
+		}
+	}
+	// Re-probing a hot flow keeps hitting even under pressure from a
+	// colliding population.
+	rng := xrand.New(5)
+	hot := trace[0]
+	before := p.CacheStats()
+	for i := 0; i < 64; i++ {
+		hc := hot
+		p.Execute(&hc)
+		hd := trace[rng.Intn(len(trace))]
+		p.Execute(&hd)
+	}
+	after := p.CacheStats()
+	if after.Hits <= before.Hits {
+		t.Error("hot flow re-probes produced no cache hits")
+	}
+	// Growing the cache replaces it; correctness and stats survive.
+	p.SetCacheSize(1 << 14)
+	if got := p.CacheStats().Entries; got < 1<<14 {
+		t.Errorf("resized cache reports %d entries, want >= %d", got, 1<<14)
+	}
+	hc := hot
+	p.Execute(&hc)
+	// Size 0 disables the fast path entirely.
+	p.SetCacheSize(0)
+	if st := p.CacheStats(); st.Entries != 0 || st.Hits != 0 || st.Misses != 0 {
+		t.Errorf("disabled cache still reports %+v", st)
+	}
+	hc = hot
+	hr := hot
+	if got, want := p.Execute(&hc), ref.Execute(&hr); !sameResult(got, want) {
+		t.Fatalf("uncached execute disagrees after disable: %+v vs %+v", got, want)
+	}
+}
+
+// TestFlowKeyDistinguishesEveryField pins the cache key packing: two
+// headers differing in any single field — including bits beyond a
+// field's nominal width, which the wire codec does not mask — must pack
+// to different keys, or the cache would serve one flow's Result for
+// another. The ARPOp/MPLS and EthSrc/VLANPrio pairs are regression
+// cases for overlapping-shift bugs.
+func TestFlowKeyDistinguishesEveryField(t *testing.T) {
+	muts := []struct {
+		name string
+		mut  func(*openflow.Header)
+	}{
+		{"InPort", func(h *openflow.Header) { h.InPort = 1 << 31 }},
+		{"EthSrc-low", func(h *openflow.Header) { h.EthSrc = 1 }},
+		{"EthSrc-high", func(h *openflow.Header) { h.EthSrc = 1 << 48 }},
+		{"EthDst-high", func(h *openflow.Header) { h.EthDst = 1 << 63 }},
+		{"EthType", func(h *openflow.Header) { h.EthType = 0x86DD }},
+		{"VLANID", func(h *openflow.Header) { h.VLANID = 1 }},
+		{"VLANPrio", func(h *openflow.Header) { h.VLANPrio = 1 }},
+		{"MPLS-low", func(h *openflow.Header) { h.MPLS = 1 }},
+		{"MPLS-high", func(h *openflow.Header) { h.MPLS = 1 << 31 }},
+		{"IPv4Src", func(h *openflow.Header) { h.IPv4Src = 1 }},
+		{"IPv4Dst", func(h *openflow.Header) { h.IPv4Dst = 1 }},
+		{"IPv6Src", func(h *openflow.Header) { h.IPv6Src.Lo = 1 }},
+		{"IPv6Dst", func(h *openflow.Header) { h.IPv6Dst.Hi = 1 }},
+		{"IPProto", func(h *openflow.Header) { h.IPProto = 6 }},
+		{"IPToS", func(h *openflow.Header) { h.IPToS = 1 }},
+		{"SrcPort", func(h *openflow.Header) { h.SrcPort = 1 }},
+		{"DstPort", func(h *openflow.Header) { h.DstPort = 1 }},
+		{"ARPOp", func(h *openflow.Header) { h.ARPOp = 0x0100 }},
+		{"ARPSPA", func(h *openflow.Header) { h.ARPSPA = 1 }},
+		{"ARPTPA", func(h *openflow.Header) { h.ARPTPA = 1 }},
+		{"Metadata", func(h *openflow.Header) { h.Metadata = 1 }},
+	}
+	keys := make(map[flowKey]string, len(muts)+1)
+	var zero flowKey
+	packFlowKey(&zero, &openflow.Header{})
+	keys[zero] = "zero"
+	for _, m := range muts {
+		var h openflow.Header
+		m.mut(&h)
+		var k flowKey
+		packFlowKey(&k, &h)
+		if prev, dup := keys[k]; dup {
+			t.Errorf("headers %q and %q pack to the same cache key", m.name, prev)
+		}
+		keys[k] = m.name
+	}
+}
+
+// TestExecuteBatchEdges covers the batch entry points' degenerate
+// inputs: nil and empty batches, nil header slots, and reply-slice
+// reuse through ExecuteBatchInto.
+func TestExecuteBatchEdges(t *testing.T) {
+	f, p, _ := mirroredMACPipelines(t, 1<<10)
+	if res := p.ExecuteBatch(nil); len(res) != 0 {
+		t.Fatalf("nil batch returned %d results", len(res))
+	}
+	if res := p.ExecuteBatchInto([]*openflow.Header{}, nil); len(res) != 0 {
+		t.Fatalf("empty batch returned %d results", len(res))
+	}
+	if res := p.Execute(nil); !res.SentToController {
+		t.Fatalf("nil header Execute: %+v", res)
+	}
+
+	trace := traffic.MACTrace(f, 8, 1.0, 2)
+	hs := make([]*openflow.Header, 0, len(trace)+2)
+	scratch := make([]openflow.Header, len(trace))
+	hs = append(hs, nil)
+	for i := range trace {
+		scratch[i] = trace[i]
+		hs = append(hs, &scratch[i])
+	}
+	hs = append(hs, nil)
+	res := p.ExecuteBatch(hs)
+	if len(res) != len(hs) {
+		t.Fatalf("batch returned %d results for %d headers", len(res), len(hs))
+	}
+	for _, i := range []int{0, len(hs) - 1} {
+		if !res[i].SentToController || res[i].Matched {
+			t.Fatalf("nil header slot %d: %+v", i, res[i])
+		}
+	}
+	for i := 1; i < len(hs)-1; i++ {
+		h := trace[i-1]
+		if want := p.Execute(&h); !sameResult(res[i], want) {
+			t.Fatalf("slot %d: %+v, want %+v", i, res[i], want)
+		}
+	}
+
+	// Into must reuse a sufficiently large reply slice.
+	buf := make([]Result, 0, len(hs))
+	out := p.ExecuteBatchInto(hs, buf)
+	if len(out) != len(hs) || &out[0] != &buf[:1][0] {
+		t.Error("ExecuteBatchInto re-allocated a reply slice with sufficient capacity")
+	}
+	// A short slice grows.
+	short := make([]Result, 1)
+	out = p.ExecuteBatchInto(hs, short)
+	if len(out) != len(hs) {
+		t.Fatalf("grown batch returned %d results", len(out))
+	}
+}

@@ -33,11 +33,20 @@ type Pipeline struct {
 	// structGen counts table-set changes (AddTable); snapshots record it
 	// to detect structural staleness.
 	structGen atomic.Uint64
+	// snapVersion numbers published snapshots; microflow cache entries
+	// are valid only for the exact version they were filled at, so a
+	// rebuild invalidates the whole cache without flush traffic.
+	snapVersion atomic.Uint64
 	// snap is the published immutable lookup state; nil until the first
 	// lookup.
 	snap atomic.Pointer[snapshot]
+	// cache is the optional exact-match microflow fast path in front of
+	// the multi-table walk; nil when disabled (see flowcache.go).
+	cache atomic.Pointer[flowCache]
 	// workers bounds ExecuteBatch fan-out; 0 selects GOMAXPROCS.
 	workers atomic.Int64
+	// batch parks the persistent ExecuteBatch worker goroutines.
+	batch batchEngine
 
 	// intern canonicalises the slices Results carry, keeping Execute
 	// allocation-free in steady state. Content-addressed, so it survives
@@ -231,40 +240,52 @@ func (as *actionSet) clear() {
 // apply-actions and metadata instructions dictate, and returns the
 // execution result. Execution starts at the lowest-numbered table.
 //
+// With the microflow cache enabled (SetCacheSize), repeated packets of a
+// flow are served from the exact-match fast path without re-walking the
+// tables; a cached Result replays the recorded outcome without
+// re-mutating the header, matching data-plane behaviour (mutations apply
+// to the forwarded copy, not to subsequent packets of the flow). A nil
+// header carries nothing to classify and yields the miss path.
+//
 // Execute is lock-free against concurrent Execute and ExecuteBatch calls:
 // it loads the current snapshot and classifies against its immutable
 // table clones. Distinct goroutines must pass distinct headers.
 func (p *Pipeline) Execute(h *openflow.Header) Result {
-	return p.loadSnapshot().execute(h)
-}
-
-// executeTables walks the pipeline over an arbitrary table view — the
-// mutable tables or an immutable snapshot's clones. Working buffers come
-// from a pool and the Result's slices from the intern store (in may be
-// nil, costing an allocation per call), so the steady-state walk is
-// allocation-free.
-func executeTables(order []openflow.TableID, table func(openflow.TableID) *LookupTable, h *openflow.Header, in *resultIntern) Result {
-	var res Result
-	if len(order) == 0 {
-		res.SentToController = true
+	if h == nil {
+		return Result{SentToController: true}
+	}
+	s := p.loadSnapshot()
+	c := p.cache.Load()
+	if c == nil {
+		return s.execute(h)
+	}
+	var k flowKey
+	packFlowKey(&k, h)
+	fp := k.fingerprint()
+	// The single-packet path counts per packet on the fingerprint's
+	// shard. Flows spread across 8 padded counter lines, but one
+	// elephant flow hammered from many cores concentrates on one line;
+	// batching the counters needs per-worker state, which only the
+	// batch path has (execCtx) — at scale, use ExecuteBatch.
+	sh := c.shardOf(fp)
+	if res, ok := c.lookup(fp, &k, s.version); ok {
+		sh.hits.Add(1)
 		return res
 	}
-	sc := execScratchPool.Get().(*execScratch)
-	sc.reset()
-	executeWalk(order, table, h, sc, &res)
-	res.TablesVisited = in.internPath(sc.visited)
-	res.Outputs = in.internOutputs(sc.outs)
-	execScratchPool.Put(sc)
+	sh.misses.Add(1)
+	res := s.execute(h)
+	c.store(fp, &k, s.version, res)
 	return res
 }
 
-// executeWalk performs the table walk and action-set run, recording the
-// visited tables and egress ports in the scratch buffers.
-func executeWalk(order []openflow.TableID, table func(openflow.TableID) *LookupTable, h *openflow.Header, sc *execScratch, res *Result) {
+// executeWalk performs the table walk and action-set run over a
+// snapshot's dense clone index, recording the visited tables and egress
+// ports in the scratch buffers.
+func executeWalk(order []openflow.TableID, byID *[256]*LookupTable, h *openflow.Header, sc *execScratch, res *Result) {
 	as := &sc.as
 	cur := order[0]
 	for steps := 0; steps <= len(order); steps++ {
-		t := table(cur)
+		t := byID[cur]
 		if t == nil {
 			res.SentToController = true
 			return

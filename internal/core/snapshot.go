@@ -19,14 +19,30 @@ import (
 // per-table generation counters; the snapshot is re-cloned lazily on the
 // first lookup that observes a stale generation, so a burst of updates
 // costs one clone, not one per update.
+//
+// Every snapshot additionally carries a version from a monotonic
+// counter. The microflow cache (flowcache.go) keys its entries on that
+// version, so a rule update — which forces a new snapshot — implicitly
+// invalidates every cached fast-path result without any flush traffic.
 
 // snapshot is one published immutable view of the pipeline.
 type snapshot struct {
 	// structGen is the pipeline's table-set generation this snapshot was
 	// built at.
 	structGen uint64
-	order     []openflow.TableID
-	tables    map[openflow.TableID]*snapTable
+	// version identifies this snapshot; it increases with every rebuild
+	// and scopes the validity of microflow cache entries.
+	version uint64
+	order   []openflow.TableID
+	tables  map[openflow.TableID]*snapTable
+	// byID indexes the clones densely by table identifier, so the walk's
+	// goto-table hops cost an array load instead of a map probe.
+	byID [256]*LookupTable
+	// srcs/gens mirror tables in pipeline order for the freshness check:
+	// iterating two flat slices per lookup is markedly cheaper than
+	// ranging over the map.
+	srcs []*LookupTable
+	gens []uint64
 	// intern points at the owning pipeline's canonical-slice store, which
 	// keeps Result construction allocation-free (see intern.go).
 	intern *resultIntern
@@ -44,22 +60,37 @@ func (s *snapshot) fresh(p *Pipeline) bool {
 	if s.structGen != p.structGen.Load() {
 		return false
 	}
-	for _, st := range s.tables {
-		if st.src.gen.Load() != st.gen {
+	for i, src := range s.srcs {
+		if src.gen.Load() != s.gens[i] {
 			return false
 		}
 	}
 	return true
 }
 
-// execute classifies one header against the snapshot's immutable clones.
+// execute classifies one header against the snapshot's immutable clones,
+// drawing scratch from the shared pool (single-packet path).
 func (s *snapshot) execute(h *openflow.Header) Result {
-	return executeTables(s.order, func(id openflow.TableID) *LookupTable {
-		if st, ok := s.tables[id]; ok {
-			return st.clone
-		}
-		return nil
-	}, h, s.intern)
+	sc := execScratchPool.Get().(*execScratch)
+	res := s.executeScratch(h, sc)
+	execScratchPool.Put(sc)
+	return res
+}
+
+// executeScratch classifies one header using caller-owned scratch. Batch
+// workers pass their per-worker context's scratch, so the batch hot path
+// touches no shared pool at all.
+func (s *snapshot) executeScratch(h *openflow.Header, sc *execScratch) Result {
+	var res Result
+	if len(s.order) == 0 {
+		res.SentToController = true
+		return res
+	}
+	sc.reset()
+	executeWalk(s.order, &s.byID, h, sc, &res)
+	res.TablesVisited = s.intern.internPath(sc.visited)
+	res.Outputs = s.intern.internOutputs(sc.outs)
+	return res
 }
 
 // loadSnapshot returns a snapshot reflecting every completed mutation.
@@ -80,6 +111,7 @@ func (p *Pipeline) loadSnapshot() *snapshot {
 	}
 	ns := &snapshot{
 		structGen: p.structGen.Load(),
+		version:   p.snapVersion.Add(1),
 		order:     append([]openflow.TableID(nil), p.order...),
 		tables:    make(map[openflow.TableID]*snapTable, len(p.tables)),
 		intern:    &p.intern,
@@ -93,6 +125,12 @@ func (p *Pipeline) loadSnapshot() *snapshot {
 			}
 		}
 		ns.tables[id] = &snapTable{src: t, gen: gen, clone: t.clone()}
+	}
+	for _, id := range ns.order {
+		st := ns.tables[id]
+		ns.byID[id] = st.clone
+		ns.srcs = append(ns.srcs, st.src)
+		ns.gens = append(ns.gens, st.gen)
 	}
 	p.snap.Store(ns)
 	return ns
@@ -111,24 +149,207 @@ func (p *Pipeline) SetWorkers(n int) {
 // GOMAXPROCS).
 func (p *Pipeline) Workers() int { return int(p.workers.Load()) }
 
-// batchChunk is the number of headers a batch worker claims per grab:
-// large enough to amortise the atomic increment, small enough to balance
-// skewed per-packet costs across workers.
+// batchChunk is the number of headers a batch worker claims per cursor
+// advance: large enough to amortise the atomic increment, small enough
+// to balance skewed per-packet costs across workers.
 const batchChunk = 32
 
+// execCtx is one batch worker's private execution context: its own walk
+// scratch and its own cache counters, flushed once per batch. Workers
+// never share a context, so the batch hot path performs no pool traffic
+// and no per-packet atomic writes beyond the claimed-cursor advances.
+type execCtx struct {
+	sc     execScratch
+	hits   uint64
+	misses uint64
+	_      [64]byte // keep neighbouring workers' contexts off one line
+}
+
+// padCursor is a cache-line-isolated work cursor; one per worker region,
+// so claims on one region never bounce another worker's line.
+type padCursor struct {
+	n atomic.Int64
+	_ [56]byte
+}
+
+// batchState carries one ExecuteBatch invocation: the inputs, the reply
+// slice, the loaded snapshot/cache, and the per-worker cursors and
+// contexts. States are pooled; the slices grow to the largest worker
+// count seen and are reused, so steady-state batches allocate nothing.
+type batchState struct {
+	s       *snapshot
+	c       *flowCache
+	hs      []*openflow.Header
+	res     []Result
+	workers int
+	region  int // headers per worker region (multiple of batchChunk)
+	cursors []padCursor
+	ctxs    []execCtx
+	wg      sync.WaitGroup
+}
+
+var batchStatePool = sync.Pool{New: func() any { return new(batchState) }}
+
+// size ensures the per-worker slices cover n workers.
+func (bs *batchState) size(n int) {
+	if cap(bs.cursors) < n {
+		bs.cursors = make([]padCursor, n)
+		bs.ctxs = make([]execCtx, n)
+	}
+	bs.cursors = bs.cursors[:n]
+	bs.ctxs = bs.ctxs[:n]
+}
+
+// batchJob hands one worker slot of one batch to a parked worker.
+type batchJob struct {
+	bs *batchState
+	w  int
+}
+
+// batchEngine parks persistent worker goroutines on a job channel. A
+// `go f(args)` statement heap-allocates its argument closure, so
+// spawning workers per batch costs one allocation each; parked workers
+// receive (batchState, slot) pairs by value instead, which is what
+// makes the steady-state batch path 0 allocs/op. Workers are started
+// lazily up to the largest fan-out seen; a cleanup closes the channel
+// when the owning pipeline becomes unreachable, so parked goroutines do
+// not outlive it.
+type batchEngine struct {
+	mu     sync.Mutex
+	jobs   chan batchJob
+	parked int
+}
+
+// dispatch hands out worker slots 1..workers-1 (the caller runs slot 0).
+func (p *Pipeline) dispatchBatch(bs *batchState, workers int) {
+	e := &p.batch
+	e.mu.Lock()
+	if e.jobs == nil {
+		e.jobs = make(chan batchJob, 64)
+		// Tied to the pipeline, not the engine: the workers only
+		// reference the channel, so an abandoned pipeline becomes
+		// unreachable, the cleanup closes the channel and the parked
+		// goroutines exit.
+		runtime.AddCleanup(p, func(jobs chan batchJob) { close(jobs) }, e.jobs)
+	}
+	for e.parked < workers-1 {
+		go batchWorker(e.jobs)
+		e.parked++
+	}
+	e.mu.Unlock()
+	for w := 1; w < workers; w++ {
+		e.jobs <- batchJob{bs: bs, w: w}
+	}
+}
+
+// batchWorker is one parked worker: it serves batch jobs until the
+// owning pipeline's cleanup closes the channel.
+func batchWorker(jobs chan batchJob) {
+	for j := range jobs {
+		j.bs.work(j.w)
+		j.bs.wg.Done()
+	}
+}
+
+// work drains the worker's own contiguous region, then steals from the
+// other regions in cyclic order so stragglers (skewed per-packet costs,
+// descheduled workers) never leave a core idle.
+func (bs *batchState) work(w int) {
+	ctx := &bs.ctxs[w]
+	for v := 0; v < bs.workers; v++ {
+		bs.drain((w+v)%bs.workers, ctx)
+	}
+	if bs.c != nil && (ctx.hits != 0 || ctx.misses != 0) {
+		bs.c.addStats(uint64(w), ctx.hits, ctx.misses)
+		ctx.hits, ctx.misses = 0, 0
+	}
+}
+
+// drain claims chunks from region v until it is exhausted. Both the
+// owner and thieves claim through the same cursor, so every header is
+// executed exactly once.
+func (bs *batchState) drain(v int, ctx *execCtx) {
+	lo := v * bs.region
+	n := len(bs.hs)
+	if lo >= n {
+		return
+	}
+	hi := lo + bs.region
+	if hi > n {
+		hi = n
+	}
+	cur := &bs.cursors[v].n
+	for {
+		start := int(cur.Add(batchChunk)) - batchChunk
+		if start >= hi {
+			return
+		}
+		end := start + batchChunk
+		if end > hi {
+			end = hi
+		}
+		for i := start; i < end; i++ {
+			bs.res[i] = bs.execOne(bs.hs[i], ctx)
+		}
+	}
+}
+
+// execOne classifies one header through the two-tier path: microflow
+// cache probe first (when enabled), full multi-table walk on a miss.
+func (bs *batchState) execOne(h *openflow.Header, ctx *execCtx) Result {
+	if h == nil {
+		// A nil header carries nothing to classify; model it as the
+		// miss path (packet to controller), as an empty pipeline does.
+		return Result{SentToController: true}
+	}
+	if bs.c == nil {
+		return bs.s.executeScratch(h, &ctx.sc)
+	}
+	var k flowKey
+	packFlowKey(&k, h)
+	fp := k.fingerprint()
+	if res, ok := bs.c.lookup(fp, &k, bs.s.version); ok {
+		ctx.hits++
+		return res
+	}
+	ctx.misses++
+	res := bs.s.executeScratch(h, &ctx.sc)
+	bs.c.store(fp, &k, bs.s.version, res)
+	return res
+}
+
 // ExecuteBatch classifies every header through the pipeline and returns
-// one Result per header, in order. The snapshot is loaded once for the
-// whole batch and the work fanned across a bounded worker pool, so the
-// per-packet overhead of the concurrency machinery is amortised away.
-// Headers must be distinct (they are mutated during execution, as in
-// Execute). Like Execute it is safe to call concurrently with mutations;
-// the whole batch observes one consistent snapshot.
+// one Result per header, in order. It is ExecuteBatchInto with a fresh
+// reply slice; callers on the steady-state path should reuse a slice
+// through ExecuteBatchInto instead.
 func (p *Pipeline) ExecuteBatch(hs []*openflow.Header) []Result {
-	res := make([]Result, len(hs))
+	return p.ExecuteBatchInto(hs, nil)
+}
+
+// ExecuteBatchInto classifies every header through the pipeline, writing
+// one Result per header, in order, into res (grown if its capacity is
+// short, so passing the previous call's return value makes the batch
+// path allocation-free in steady state).
+//
+// The snapshot is loaded once for the whole batch and the work split
+// into per-worker contiguous regions claimed in cache-friendly chunks;
+// workers that finish their region steal chunks from the others. Each
+// worker owns a private execution context (walk scratch, cache
+// counters), so workers share no mutable state besides the region
+// cursors and their disjoint slices of res. Headers must be distinct
+// (they are mutated during execution, as in Execute); nil headers yield
+// a send-to-controller Result. Like Execute it is safe to call
+// concurrently with mutations; the whole batch observes one consistent
+// snapshot.
+func (p *Pipeline) ExecuteBatchInto(hs []*openflow.Header, res []Result) []Result {
+	if cap(res) >= len(hs) {
+		res = res[:len(hs)]
+	} else {
+		res = make([]Result, len(hs))
+	}
 	if len(hs) == 0 {
 		return res
 	}
-	s := p.loadSnapshot()
 	workers := p.Workers()
 	if workers == 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -136,34 +357,32 @@ func (p *Pipeline) ExecuteBatch(hs []*openflow.Header) []Result {
 	if max := (len(hs) + batchChunk - 1) / batchChunk; workers > max {
 		workers = max
 	}
-	if workers <= 1 {
-		for i, h := range hs {
-			res[i] = s.execute(h)
-		}
-		return res
+	if workers < 1 {
+		workers = 1
 	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(workers)
+
+	bs := batchStatePool.Get().(*batchState)
+	bs.size(workers)
+	bs.s = p.loadSnapshot()
+	bs.c = p.cache.Load()
+	bs.hs = hs
+	bs.res = res
+	bs.workers = workers
+	region := (len(hs) + workers - 1) / workers
+	bs.region = (region + batchChunk - 1) / batchChunk * batchChunk
 	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				start := int(next.Add(batchChunk)) - batchChunk
-				if start >= len(hs) {
-					return
-				}
-				end := start + batchChunk
-				if end > len(hs) {
-					end = len(hs)
-				}
-				for i := start; i < end; i++ {
-					res[i] = s.execute(hs[i])
-				}
-			}
-		}()
+		bs.cursors[w].n.Store(int64(w * bs.region))
 	}
-	wg.Wait()
+
+	bs.wg.Add(workers - 1)
+	if workers > 1 {
+		p.dispatchBatch(bs, workers)
+	}
+	bs.work(0) // the caller is worker 0
+	bs.wg.Wait()
+
+	bs.s, bs.c, bs.hs, bs.res = nil, nil, nil, nil
+	batchStatePool.Put(bs)
 	return res
 }
 

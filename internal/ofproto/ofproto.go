@@ -106,12 +106,17 @@ type PacketReply struct {
 	Outputs []uint32
 }
 
-// Stats is the switch status report.
+// Stats is the switch status report. The cache fields describe the
+// pipeline's microflow fast path: zero entries means the cache is
+// disabled.
 type Stats struct {
-	Tables     []TableStats `json:"tables"`
-	TotalRules int          `json:"total_rules"`
-	MemoryBits int          `json:"memory_bits"`
-	M20KBlocks int          `json:"m20k_blocks"`
+	Tables       []TableStats `json:"tables"`
+	TotalRules   int          `json:"total_rules"`
+	MemoryBits   int          `json:"memory_bits"`
+	M20KBlocks   int          `json:"m20k_blocks"`
+	CacheEntries int          `json:"cache_entries,omitempty"`
+	CacheHits    uint64       `json:"cache_hits,omitempty"`
+	CacheMisses  uint64       `json:"cache_misses,omitempty"`
 }
 
 // TableStats describes one pipeline table.
@@ -127,12 +132,15 @@ type Message struct {
 	Payload []byte
 }
 
+// frameHeaderLen is the [length u32 | type u8] frame prefix.
+const frameHeaderLen = 5
+
 // WriteMessage frames and writes a message.
 func WriteMessage(w io.Writer, t MsgType, payload []byte) error {
 	if len(payload)+1 > MaxMessageLen {
 		return fmt.Errorf("ofproto: message of %d bytes exceeds limit", len(payload))
 	}
-	hdr := make([]byte, 5)
+	hdr := make([]byte, frameHeaderLen)
 	binary.BigEndian.PutUint32(hdr, uint32(len(payload)+1))
 	hdr[4] = byte(t)
 	if _, err := w.Write(hdr); err != nil {
@@ -146,21 +154,57 @@ func WriteMessage(w io.Writer, t MsgType, payload []byte) error {
 	return nil
 }
 
-// ReadMessage reads one framed message.
+// WriteFrame frames and writes a message whose payload was appended in
+// place after a frameHeaderLen-byte prefix (see BeginFrame). The frame
+// goes out in a single Write — one syscall, no per-message allocation —
+// which is what the packet-batch path wants.
+func WriteFrame(w io.Writer, t MsgType, frame []byte) error {
+	if len(frame) < frameHeaderLen || len(frame)-4 > MaxMessageLen {
+		return fmt.Errorf("ofproto: frame of %d bytes out of range", len(frame))
+	}
+	binary.BigEndian.PutUint32(frame, uint32(len(frame)-4))
+	frame[4] = byte(t)
+	if _, err := w.Write(frame); err != nil {
+		return fmt.Errorf("ofproto: writing %s frame: %w", t, err)
+	}
+	return nil
+}
+
+// BeginFrame resets buf to a frame under construction: a placeholder
+// header to be filled by WriteFrame, ready for payload appends. The
+// buffer's capacity is reused across messages.
+func BeginFrame(buf []byte) []byte {
+	buf = buf[:0]
+	return append(buf, 0, 0, 0, 0, 0)
+}
+
+// ReadMessage reads one framed message into a fresh buffer.
 func ReadMessage(r io.Reader) (Message, error) {
+	msg, _, err := ReadMessageBuf(r, nil)
+	return msg, err
+}
+
+// ReadMessageBuf reads one framed message, reusing buf when it is large
+// enough. It returns the (possibly grown) buffer for the next call; the
+// returned Message's Payload aliases it, so the caller must consume the
+// message before reading the next one.
+func ReadMessageBuf(r io.Reader, buf []byte) (Message, []byte, error) {
 	var lenBuf [4]byte
 	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
-		return Message{}, fmt.Errorf("ofproto: reading frame length: %w", err)
+		return Message{}, buf, fmt.Errorf("ofproto: reading frame length: %w", err)
 	}
 	n := binary.BigEndian.Uint32(lenBuf[:])
 	if n == 0 || n > MaxMessageLen {
-		return Message{}, fmt.Errorf("ofproto: frame length %d out of range", n)
+		return Message{}, buf, fmt.Errorf("ofproto: frame length %d out of range", n)
 	}
-	body := make([]byte, n)
+	if cap(buf) < int(n) {
+		buf = make([]byte, n)
+	}
+	body := buf[:n]
 	if _, err := io.ReadFull(r, body); err != nil {
-		return Message{}, fmt.Errorf("ofproto: reading frame body: %w", err)
+		return Message{}, buf, fmt.Errorf("ofproto: reading frame body: %w", err)
 	}
-	return Message{Type: MsgType(body[0]), Payload: body[1:]}, nil
+	return Message{Type: MsgType(body[0]), Payload: body[1:]}, buf, nil
 }
 
 // EncodeHello builds a hello payload.
@@ -220,15 +264,19 @@ func DecodePacket(payload []byte) (*openflow.Header, error) {
 	return h, nil
 }
 
-// EncodePacketReply serialises a pipeline result.
-func EncodePacketReply(r *PacketReply) []byte {
-	buf := make([]byte, 0, 3+4*len(r.Outputs))
+// AppendPacketReply appends the wire form of a pipeline result to buf.
+func AppendPacketReply(buf []byte, r PacketReply) []byte {
 	buf = append(buf, r.Flags)
 	buf = binary.BigEndian.AppendUint16(buf, uint16(len(r.Outputs)))
 	for _, p := range r.Outputs {
 		buf = binary.BigEndian.AppendUint32(buf, p)
 	}
 	return buf
+}
+
+// EncodePacketReply serialises a pipeline result.
+func EncodePacketReply(r *PacketReply) []byte {
+	return AppendPacketReply(make([]byte, 0, 3+4*len(r.Outputs)), *r)
 }
 
 // DecodePacketReply parses a pipeline result.
@@ -247,40 +295,61 @@ func DecodePacketReply(payload []byte) (*PacketReply, error) {
 	return r, nil
 }
 
-// EncodePacketBatch serialises a batch of injected packet headers.
-func EncodePacketBatch(hs []*openflow.Header) []byte {
-	buf := binary.BigEndian.AppendUint16(nil, uint16(len(hs)))
+// AppendPacketBatch appends the wire form of a packet-header batch to
+// buf, so per-connection senders can reuse one encode buffer.
+func AppendPacketBatch(buf []byte, hs []*openflow.Header) []byte {
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(hs)))
 	for _, h := range hs {
 		buf = openflow.AppendHeader(buf, h)
 	}
 	return buf
 }
 
+// EncodePacketBatch serialises a batch of injected packet headers.
+func EncodePacketBatch(hs []*openflow.Header) []byte {
+	return AppendPacketBatch(nil, hs)
+}
+
 // DecodePacketBatch parses a batch of injected packet headers.
 func DecodePacketBatch(payload []byte) ([]*openflow.Header, error) {
+	hs, _, err := DecodePacketBatchArena(payload, nil, nil)
+	return hs, err
+}
+
+// DecodePacketBatchArena parses a batch of injected packet headers,
+// decoding into a reused header arena: hs and arena keep their capacity
+// across calls, so a connection's steady-state batch path allocates only
+// when a larger batch than any before it arrives. The returned pointer
+// slice aliases the returned arena.
+func DecodePacketBatchArena(payload []byte, hs []*openflow.Header, arena []openflow.Header) ([]*openflow.Header, []openflow.Header, error) {
 	if len(payload) < 2 {
-		return nil, fmt.Errorf("ofproto: packet-batch payload of %d bytes", len(payload))
+		return nil, arena, fmt.Errorf("ofproto: packet-batch payload of %d bytes", len(payload))
 	}
 	count := int(binary.BigEndian.Uint16(payload))
 	rest := payload[2:]
-	hs := make([]*openflow.Header, 0, count)
+	if cap(arena) < count {
+		arena = make([]openflow.Header, count)
+	}
+	arena = arena[:count]
+	hs = hs[:0]
 	for i := 0; i < count; i++ {
-		h, n, err := openflow.DecodeHeader(rest)
+		n, err := openflow.DecodeHeaderInto(&arena[i], rest)
 		if err != nil {
-			return nil, fmt.Errorf("ofproto: packet-batch header %d: %w", i, err)
+			return nil, arena, fmt.Errorf("ofproto: packet-batch header %d: %w", i, err)
 		}
-		hs = append(hs, h)
+		hs = append(hs, &arena[i])
 		rest = rest[n:]
 	}
 	if len(rest) != 0 {
-		return nil, fmt.Errorf("ofproto: packet-batch has %d trailing bytes", len(rest))
+		return nil, arena, fmt.Errorf("ofproto: packet-batch has %d trailing bytes", len(rest))
 	}
-	return hs, nil
+	return hs, arena, nil
 }
 
-// EncodePacketBatchReply serialises the per-packet pipeline results.
-func EncodePacketBatchReply(rs []PacketReply) []byte {
-	buf := binary.BigEndian.AppendUint16(nil, uint16(len(rs)))
+// AppendPacketBatchReply appends the wire form of the per-packet
+// pipeline results to buf.
+func AppendPacketBatchReply(buf []byte, rs []PacketReply) []byte {
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(rs)))
 	for _, r := range rs {
 		buf = append(buf, r.Flags)
 		buf = binary.BigEndian.AppendUint16(buf, uint16(len(r.Outputs)))
@@ -289,6 +358,11 @@ func EncodePacketBatchReply(rs []PacketReply) []byte {
 		}
 	}
 	return buf
+}
+
+// EncodePacketBatchReply serialises the per-packet pipeline results.
+func EncodePacketBatchReply(rs []PacketReply) []byte {
+	return AppendPacketBatchReply(nil, rs)
 }
 
 // DecodePacketBatchReply parses the per-packet pipeline results.

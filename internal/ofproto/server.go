@@ -86,6 +86,20 @@ func (s *Server) Close() error {
 	return err
 }
 
+// connState carries one connection's reusable buffers: the frame read
+// buffer, the decoded-header arena, the pipeline reply slice and the
+// outgoing frame under construction. Messages on one connection are
+// handled sequentially, so reusing them is safe; in steady state a
+// packet-batch round trip performs no per-message allocation.
+type connState struct {
+	readBuf []byte
+	hs      []*openflow.Header
+	arena   []openflow.Header
+	results []core.Result
+	replies []PacketReply
+	out     []byte
+}
+
 func (s *Server) serveConn(conn net.Conn) {
 	defer func() {
 		if err := conn.Close(); err != nil {
@@ -97,15 +111,17 @@ func (s *Server) serveConn(conn net.Conn) {
 		s.logf("ofproto: hello to %s: %v", conn.RemoteAddr(), err)
 		return
 	}
+	cs := &connState{}
 	for {
-		msg, err := ReadMessage(conn)
+		msg, buf, err := ReadMessageBuf(conn, cs.readBuf)
+		cs.readBuf = buf
 		if err != nil {
 			if !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
 				s.logf("ofproto: reading from %s: %v", conn.RemoteAddr(), err)
 			}
 			return
 		}
-		if err := s.dispatch(conn, msg); err != nil {
+		if err := s.dispatch(conn, cs, msg); err != nil {
 			s.logf("ofproto: handling %s from %s: %v", msg.Type, conn.RemoteAddr(), err)
 			if werr := WriteMessage(conn, MsgError, EncodeError(err)); werr != nil {
 				return
@@ -114,7 +130,7 @@ func (s *Server) serveConn(conn net.Conn) {
 	}
 }
 
-func (s *Server) dispatch(conn net.Conn, msg Message) error {
+func (s *Server) dispatch(conn net.Conn, cs *connState, msg Message) error {
 	switch msg.Type {
 	case MsgHello:
 		return DecodeHello(msg.Payload)
@@ -140,18 +156,24 @@ func (s *Server) dispatch(conn net.Conn, msg Message) error {
 			return err
 		}
 		res := s.pipeline.Execute(h)
-		return WriteMessage(conn, MsgPacketReply, EncodePacketReply(replyOf(&res)))
+		cs.out = BeginFrame(cs.out)
+		cs.out = AppendPacketReply(cs.out, replyOf(&res))
+		return WriteFrame(conn, MsgPacketReply, cs.out)
 	case MsgPacketBatch:
-		hs, err := DecodePacketBatch(msg.Payload)
+		hs, arena, err := DecodePacketBatchArena(msg.Payload, cs.hs, cs.arena)
+		cs.arena = arena
 		if err != nil {
 			return err
 		}
-		results := s.pipeline.ExecuteBatch(hs)
-		replies := make([]PacketReply, len(results))
-		for i := range results {
-			replies[i] = *replyOf(&results[i])
+		cs.hs = hs
+		cs.results = s.pipeline.ExecuteBatchInto(hs, cs.results)
+		cs.replies = cs.replies[:0]
+		for i := range cs.results {
+			cs.replies = append(cs.replies, replyOf(&cs.results[i]))
 		}
-		return WriteMessage(conn, MsgPacketBatchReply, EncodePacketBatchReply(replies))
+		cs.out = BeginFrame(cs.out)
+		cs.out = AppendPacketBatchReply(cs.out, cs.replies)
+		return WriteFrame(conn, MsgPacketBatchReply, cs.out)
 	case MsgStatsRequest:
 		stats := s.stats()
 		payload, err := EncodeStats(stats)
@@ -166,9 +188,10 @@ func (s *Server) dispatch(conn net.Conn, msg Message) error {
 	}
 }
 
-// replyOf converts a pipeline result to the wire reply.
-func replyOf(res *core.Result) *PacketReply {
-	reply := &PacketReply{Outputs: res.Outputs}
+// replyOf converts a pipeline result to the wire reply. The Outputs
+// slice aliases the result's interned (immutable) copy.
+func replyOf(res *core.Result) PacketReply {
+	reply := PacketReply{Outputs: res.Outputs}
 	if res.Matched {
 		reply.Flags |= ReplyMatched
 	}
@@ -200,12 +223,22 @@ func (s *Server) stats() *Stats {
 	mem := s.pipeline.MemoryReport()
 	st.MemoryBits = mem.TotalBits
 	st.M20KBlocks = mem.Blocks
+	cache := s.pipeline.CacheStats()
+	st.CacheEntries = cache.Entries
+	st.CacheHits = cache.Hits
+	st.CacheMisses = cache.Misses
 	return st
 }
 
-// Client is a controller-side connection to a switch daemon.
+// Client is a controller-side connection to a switch daemon. A Client
+// serialises its requests over one TCP connection and reuses its encode
+// and read buffers across calls; it is not safe for concurrent use by
+// multiple goroutines (open one Client per goroutine, as the server
+// classifies connections in parallel).
 type Client struct {
-	conn net.Conn
+	conn    net.Conn
+	out     []byte // outgoing frame under construction
+	readBuf []byte // incoming frame buffer
 }
 
 // Dial connects to a switch daemon and completes the hello exchange.
@@ -278,11 +311,25 @@ func (c *Client) SendPacket(h *openflow.Header) (*PacketReply, error) {
 
 // SendPackets injects a batch of packet headers in one round trip; the
 // switch classifies them in parallel through the pipeline's batch path
-// and returns one reply per header, in order.
+// and returns one reply per header, in order. The encode and read
+// buffers are reused across calls, so steady-state batch injection does
+// not re-allocate the wire frames.
 func (c *Client) SendPackets(hs []*openflow.Header) ([]PacketReply, error) {
-	msg, err := c.roundTrip(MsgPacketBatch, EncodePacketBatch(hs), MsgPacketBatchReply)
+	c.out = BeginFrame(c.out)
+	c.out = AppendPacketBatch(c.out, hs)
+	if err := WriteFrame(c.conn, MsgPacketBatch, c.out); err != nil {
+		return nil, err
+	}
+	msg, buf, err := ReadMessageBuf(c.conn, c.readBuf)
+	c.readBuf = buf
 	if err != nil {
 		return nil, err
+	}
+	if msg.Type == MsgError {
+		return nil, fmt.Errorf("ofproto: switch error: %s", msg.Payload)
+	}
+	if msg.Type != MsgPacketBatchReply {
+		return nil, fmt.Errorf("ofproto: expected %s, got %s", MsgPacketBatchReply, msg.Type)
 	}
 	return DecodePacketBatchReply(msg.Payload)
 }

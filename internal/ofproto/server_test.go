@@ -338,3 +338,75 @@ func TestConcurrentClients(t *testing.T) {
 		}
 	}
 }
+
+// TestCacheStatsOverWire enables the microflow cache on the served
+// pipeline, drives a repeated batch workload through it, and checks the
+// stats message reports the fast path's effectiveness.
+func TestCacheStatsOverWire(t *testing.T) {
+	mac, err := filterset.GenerateMAC("bbrb", filterset.DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := core.BuildMAC(mac, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.SetCacheSize(1 << 12)
+	addr, stop := startTestServer(t, p)
+	defer stop()
+
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+
+	hs := make([]*openflow.Header, 64)
+	scratch := make([]openflow.Header, 64)
+	for round := 0; round < 4; round++ {
+		for i := range hs {
+			r := mac.Rules[i%len(mac.Rules)]
+			scratch[i] = openflow.Header{VLANID: r.VLAN, EthDst: r.EthDst}
+			hs[i] = &scratch[i]
+		}
+		replies, err := c.SendPackets(hs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, r := range replies {
+			if r.Flags&ReplyMatched == 0 {
+				t.Fatalf("round %d packet %d did not match: %+v", round, i, r)
+			}
+		}
+	}
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.CacheEntries <= 0 {
+		t.Errorf("stats report %d cache entries, want > 0", st.CacheEntries)
+	}
+	if st.CacheHits == 0 {
+		t.Errorf("repeated batches produced no cache hits: %+v", st)
+	}
+	if st.CacheMisses == 0 {
+		t.Errorf("first-packet flows should count as misses: %+v", st)
+	}
+	// A flow-mod through the wire retires cached results.
+	e := &openflow.FlowEntry{
+		Priority:     2,
+		Matches:      []openflow.Match{openflow.Exact(openflow.FieldVLANID, uint64(mac.Rules[0].VLAN))},
+		Instructions: []openflow.Instruction{openflow.GotoTable(1)},
+	}
+	if err := c.AddFlow(0, e); err != nil {
+		t.Fatal(err)
+	}
+	h := openflow.Header{VLANID: mac.Rules[0].VLAN, EthDst: mac.Rules[0].EthDst}
+	reply, err := c.SendPacket(&h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Flags&ReplyMatched == 0 {
+		t.Errorf("post-flow-mod packet should still match: %+v", reply)
+	}
+}

@@ -148,10 +148,21 @@ func AppendHeader(buf []byte, h *Header) []byte {
 // DecodeHeader decodes one packet header, returning it and the bytes
 // consumed.
 func DecodeHeader(buf []byte) (*Header, int, error) {
-	if len(buf) < headerLen {
-		return nil, 0, fmt.Errorf("decoding packet header: %w", ErrTruncated)
-	}
 	h := &Header{}
+	n, err := DecodeHeaderInto(h, buf)
+	if err != nil {
+		return nil, 0, err
+	}
+	return h, n, nil
+}
+
+// DecodeHeaderInto decodes one packet header into h (fully overwritten),
+// returning the bytes consumed. It allocates nothing, so batch decoders
+// can reuse a header arena across messages.
+func DecodeHeaderInto(h *Header, buf []byte) (int, error) {
+	if len(buf) < headerLen {
+		return 0, fmt.Errorf("decoding packet header: %w", ErrTruncated)
+	}
 	h.InPort = binary.BigEndian.Uint32(buf)
 	h.EthSrc = binary.BigEndian.Uint64(buf[4:])
 	h.EthDst = binary.BigEndian.Uint64(buf[12:])
@@ -171,7 +182,7 @@ func DecodeHeader(buf []byte) (*Header, int, error) {
 	h.ARPSPA = binary.BigEndian.Uint32(buf[77:])
 	h.ARPTPA = binary.BigEndian.Uint32(buf[81:])
 	h.Metadata = binary.BigEndian.Uint64(buf[85:])
-	return h, headerLen, nil
+	return headerLen, nil
 }
 
 func appendU128(buf []byte, v bitops.U128) []byte {

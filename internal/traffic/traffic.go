@@ -2,6 +2,15 @@
 // benchmarks: mixes of headers that hit installed rules (drawn from the
 // rule set with randomised don't-care bits) and headers that miss, at a
 // configurable ratio. Traces are deterministic in the seed.
+//
+// Two regimes are supported. The uniform traces (MACTrace, RouteTrace,
+// ACLTrace) draw every packet independently — the worst case for any
+// caching front end, and the regime the paper's per-lookup memory cost
+// is paid in. ZipfMix and the *TraceZipf wrappers resample a flow
+// population so packet frequencies follow a Zipf law, the distribution
+// measured traffic actually exhibits: a few elephant flows carry most
+// packets. The skewed regime is what the pipeline's microflow cache is
+// designed for.
 package traffic
 
 import (
@@ -64,6 +73,46 @@ func RouteTrace(f *filterset.RouteFilter, n int, hitRatio float64, seed uint64) 
 		out = append(out, h)
 	}
 	return out
+}
+
+// ZipfMix draws an n-packet trace from a flow population: each packet
+// is one of the given flows, chosen with Zipf-distributed frequency of
+// exponent skew (1.0–1.3 matches measured flow-size distributions;
+// 0 degenerates to uniform resampling). Which flow lands on which
+// popularity rank is itself a deterministic shuffle of the population,
+// so the hot flows are not simply the first entries. The returned
+// headers are copies; traces are deterministic in (flows, n, skew,
+// seed).
+func ZipfMix(flows []openflow.Header, n int, skew float64, seed uint64) []openflow.Header {
+	if len(flows) == 0 || n <= 0 {
+		return nil
+	}
+	rng := xrand.NewNamed(seed, "trace/zipfmix")
+	rank := rng.Perm(len(flows))
+	z := rng.NewZipf(len(flows), skew)
+	out := make([]openflow.Header, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, flows[rank[z.Next()]])
+	}
+	return out
+}
+
+// MACTraceZipf draws an n-packet Zipf-skewed trace over a population of
+// flows distinct MAC flows (see MACTrace for the hit/miss mix).
+func MACTraceZipf(f *filterset.MACFilter, flows, n int, hitRatio, skew float64, seed uint64) []openflow.Header {
+	return ZipfMix(MACTrace(f, flows, hitRatio, seed), n, skew, seed)
+}
+
+// RouteTraceZipf draws an n-packet Zipf-skewed trace over a population
+// of flows distinct routing flows.
+func RouteTraceZipf(f *filterset.RouteFilter, flows, n int, hitRatio, skew float64, seed uint64) []openflow.Header {
+	return ZipfMix(RouteTrace(f, flows, hitRatio, seed), n, skew, seed)
+}
+
+// ACLTraceZipf draws an n-packet Zipf-skewed trace over a population of
+// flows distinct 5-tuple flows.
+func ACLTraceZipf(f *filterset.ACLFilter, flows, n int, hitRatio, skew float64, seed uint64) []openflow.Header {
+	return ZipfMix(ACLTrace(f, flows, hitRatio, seed), n, skew, seed)
 }
 
 // ACLTrace draws n headers against an ACL filter.

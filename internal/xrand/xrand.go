@@ -117,6 +117,132 @@ func (s *Source) Pick(weights []float64) int {
 	return len(weights) - 1
 }
 
+// Zipf samples ranks 0..n-1 with probability proportional to
+// 1/(rank+1)^skew — the classic model of flow popularity in measured
+// traffic (a few elephant flows carry most packets). The cumulative
+// weights are precomputed once so sampling is a deterministic binary
+// search, keeping traces byte-reproducible across platforms.
+type Zipf struct {
+	src *Source
+	cdf []float64
+}
+
+// NewZipf returns a Zipf sampler over [0, n) drawing randomness from s.
+// skew <= 0 degenerates to the uniform distribution.
+func (s *Source) NewZipf(n int, skew float64) *Zipf {
+	if n < 1 {
+		n = 1
+	}
+	cdf := make([]float64, n)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		w := 1.0
+		if skew > 0 {
+			w = 1 / pow(float64(i+1), skew)
+		}
+		total += w
+		cdf[i] = total
+	}
+	for i := range cdf {
+		cdf[i] /= total
+	}
+	return &Zipf{src: s, cdf: cdf}
+}
+
+// Next returns the next sampled rank.
+func (z *Zipf) Next() int {
+	x := z.src.Float64()
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// pow computes base^exp for positive base via exp/log-free repeated
+// squaring on the integer part and a short Newton series on the
+// fractional part. math.Pow would serve, but its last-ulp behaviour is
+// not specified across platforms and these tables must be reproducible;
+// a fixed iteration count is.
+func pow(base, exp float64) float64 {
+	if base <= 0 {
+		return 0
+	}
+	// Integer part by repeated squaring.
+	n := int(exp)
+	frac := exp - float64(n)
+	result := 1.0
+	b := base
+	for n > 0 {
+		if n&1 == 1 {
+			result *= b
+		}
+		b *= b
+		n >>= 1
+	}
+	if frac > 0 {
+		// base^frac = exp(frac*ln(base)); compute ln via atanh series and
+		// exp via its Taylor series, both with fixed iteration counts.
+		result *= expFixed(frac * lnFixed(base))
+	}
+	return result
+}
+
+// lnFixed computes ln(x) for x > 0 with a fixed-length atanh series
+// after range reduction by powers of two.
+func lnFixed(x float64) float64 {
+	const ln2 = 0.6931471805599453
+	k := 0
+	for x > 1.5 {
+		x /= 2
+		k++
+	}
+	for x < 0.75 {
+		x *= 2
+		k--
+	}
+	t := (x - 1) / (x + 1)
+	t2 := t * t
+	sum := 0.0
+	term := t
+	for i := 0; i < 16; i++ {
+		sum += term / float64(2*i+1)
+		term *= t2
+	}
+	return 2*sum + float64(k)*ln2
+}
+
+// expFixed computes e^x with a fixed-length Taylor series after range
+// reduction.
+func expFixed(x float64) float64 {
+	neg := false
+	if x < 0 {
+		x, neg = -x, true
+	}
+	n := 0
+	for x > 0.5 {
+		x /= 2
+		n++
+	}
+	sum, term := 1.0, 1.0
+	for i := 1; i < 20; i++ {
+		term *= x / float64(i)
+		sum += term
+	}
+	for i := 0; i < n; i++ {
+		sum *= sum
+	}
+	if neg {
+		return 1 / sum
+	}
+	return sum
+}
+
 // Geometric returns a sample from a geometric-ish distribution with mean
 // approximately mean (minimum 1). It is used to draw cluster run lengths
 // when synthesising sequentially-allocated identifier spaces (NIC suffixes,

@@ -154,3 +154,75 @@ func TestShuffleSwapCount(t *testing.T) {
 		}
 	}
 }
+
+func TestZipfSkewConcentratesMass(t *testing.T) {
+	const n, draws = 1000, 20000
+	counts := make([]int, n)
+	z := New(17).NewZipf(n, 1.1)
+	for i := 0; i < draws; i++ {
+		r := z.Next()
+		if r < 0 || r >= n {
+			t.Fatalf("rank %d out of range", r)
+		}
+		counts[r]++
+	}
+	// Rank 0 should carry far more than the uniform share (draws/n = 20).
+	if counts[0] < 10*draws/n {
+		t.Errorf("rank 0 drew %d times, want heavy concentration", counts[0])
+	}
+	top10 := 0
+	for i := 0; i < 10; i++ {
+		top10 += counts[i]
+	}
+	if float64(top10)/draws < 0.25 {
+		t.Errorf("top 10 ranks carry %.2f of the mass, want Zipf-like skew", float64(top10)/draws)
+	}
+}
+
+func TestZipfUniformWhenSkewZero(t *testing.T) {
+	const n, draws = 64, 64000
+	counts := make([]int, n)
+	z := New(23).NewZipf(n, 0)
+	for i := 0; i < draws; i++ {
+		counts[z.Next()]++
+	}
+	for r, c := range counts {
+		if c < draws/n/2 || c > draws/n*2 {
+			t.Errorf("rank %d drew %d times, want ~%d (uniform)", r, c, draws/n)
+		}
+	}
+}
+
+func TestZipfDeterministic(t *testing.T) {
+	a := New(5).NewZipf(100, 1.2)
+	b := New(5).NewZipf(100, 1.2)
+	for i := 0; i < 500; i++ {
+		if a.Next() != b.Next() {
+			t.Fatalf("same-seed Zipf samplers diverged at draw %d", i)
+		}
+	}
+}
+
+func TestZipfDegenerateBounds(t *testing.T) {
+	z := New(1).NewZipf(0, 1.0) // clamps to one rank
+	for i := 0; i < 10; i++ {
+		if r := z.Next(); r != 0 {
+			t.Fatalf("single-rank sampler returned %d", r)
+		}
+	}
+}
+
+// TestPowMatchesStdlib pins the deterministic fixed-series pow used for
+// the Zipf weights against math.Pow over the exponent/base ranges the
+// sampler uses.
+func TestPowMatchesStdlib(t *testing.T) {
+	for _, base := range []float64{1, 2, 3.5, 10, 997, 100000} {
+		for _, exp := range []float64{0, 0.4, 0.8, 1, 1.1, 1.3, 2, 2.7} {
+			got := pow(base, exp)
+			want := math.Pow(base, exp)
+			if rel := math.Abs(got-want) / want; rel > 1e-12 {
+				t.Errorf("pow(%v, %v) = %v, want %v (rel err %v)", base, exp, got, want, rel)
+			}
+		}
+	}
+}
