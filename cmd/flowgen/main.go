@@ -2,8 +2,9 @@
 // Tables III and IV (MAC learning, routing) or ClassBench-style 5-tuple
 // sets (ACL), writing them in the repository's text formats. It can also
 // emit packet traces against a generated filter — uniform or
-// Zipf-skewed — so benchmark workloads with realistic hot-flow
-// distributions can be saved and replayed.
+// Zipf-skewed — and flow-mod churn workloads (add / modify / delete
+// command streams in the flowtext format) that ofctl flow-mods replays
+// against a live switch in batched transactions.
 //
 // Usage:
 //
@@ -12,6 +13,7 @@
 //	flowgen -app acl -name acl1 -n 1000 -o acl1.txt
 //	flowgen -app mac -all -o filters/        # all 16 filters
 //	flowgen -app mac -name gozb -trace 100000 -zipf 1.1 -o gozb_trace.txt
+//	flowgen -app mac -name gozb -churn 10000 -o gozb_churn.txt
 package main
 
 import (
@@ -22,8 +24,11 @@ import (
 	"path/filepath"
 
 	"ofmtl/internal/filterset"
+	"ofmtl/internal/flowtext"
+	"ofmtl/internal/ofproto"
 	"ofmtl/internal/openflow"
 	"ofmtl/internal/traffic"
+	"ofmtl/internal/xrand"
 )
 
 func main() {
@@ -46,8 +51,28 @@ func run() error {
 		flows = flag.Int("flows", 1024, "distinct flows in the trace population (with -trace)")
 		hit   = flag.Float64("hit", 0.9, "fraction of trace flows that match installed rules (with -trace)")
 		zipf  = flag.Float64("zipf", 0, "Zipf skew of flow popularity; 0 = uniform, 1.0-1.3 = measured traffic (with -trace)")
+
+		churn = flag.Int("churn", 0, "emit an N-command flow-mod churn workload against the generated filter")
 	)
 	flag.Parse()
+
+	if *churn > 0 {
+		if *all || *trace > 0 {
+			return fmt.Errorf("-churn is mutually exclusive with -all and -trace")
+		}
+		gen := func(w io.Writer) error {
+			return generateChurn(w, *app, *name, *n, *churn, *seed)
+		}
+		if *out == "" {
+			return gen(os.Stdout)
+		}
+		f, err := os.Create(*out)
+		if err != nil {
+			return fmt.Errorf("creating %s: %w", *out, err)
+		}
+		defer func() { _ = f.Close() }()
+		return gen(f)
+	}
 
 	if *trace > 0 {
 		if *all {
@@ -156,4 +181,135 @@ func generateTrace(w io.Writer, app, name string, rules, n, flows int, hit, skew
 		hs = traffic.ZipfMix(hs, n, skew, seed)
 	}
 	return traffic.WriteTrace(w, hs)
+}
+
+// generateChurn emits an n-command flow-mod workload against the named
+// filter in the flowtext format: a preamble installing the application's
+// first-table entries, then a randomized add / modify / delete mix over
+// the leaf-table entries — the control-plane regime the transactional API
+// (one snapshot publish per batch) is built for. The same seed always
+// yields the same workload, so churn benchmarks are reproducible.
+func generateChurn(w io.Writer, app, name string, rules, n int, seed uint64) error {
+	pre, leaf, err := churnCommands(app, name, rules, seed)
+	if err != nil {
+		return err
+	}
+	rng := xrand.New(seed ^ 0xC0FFEE)
+	cmds := make([]ofproto.FlowMod, 0, n)
+	cmds = append(cmds, pre...)
+	if len(cmds) > n {
+		cmds = cmds[:n]
+	}
+	live := make([]bool, len(leaf))
+	var liveIdx []int
+	for len(cmds) < n {
+		r := rng.Float64()
+		switch {
+		case len(liveIdx) == 0 || r < 0.5:
+			// Add a random rule; re-adding a live one exercises the
+			// replace path.
+			i := rng.Intn(len(leaf))
+			cmds = append(cmds, leaf[i])
+			if !live[i] {
+				live[i] = true
+				liveIdx = append(liveIdx, i)
+			}
+		case r < 0.75:
+			// Modify a live rule's output port (non-strict match on its
+			// match set).
+			i := liveIdx[rng.Intn(len(liveIdx))]
+			mod := leaf[i]
+			mod.Op = ofproto.FlowModify
+			mod.Entry.Priority = 0
+			mod.Entry.Instructions = []openflow.Instruction{
+				openflow.WriteActions(openflow.Output(uint32(1 + rng.Intn(64)))),
+			}
+			cmds = append(cmds, mod)
+		default:
+			// Strict-delete a live rule.
+			k := rng.Intn(len(liveIdx))
+			i := liveIdx[k]
+			del := leaf[i]
+			del.Op = ofproto.FlowDeleteStrict
+			del.Entry.Instructions = nil
+			cmds = append(cmds, del)
+			live[i] = false
+			liveIdx[k] = liveIdx[len(liveIdx)-1]
+			liveIdx = liveIdx[:len(liveIdx)-1]
+		}
+	}
+	return flowtext.Write(w, cmds)
+}
+
+// churnCommands renders the named filter as flow-mod add commands:
+// first-table preamble entries and per-rule leaf-table entries, following
+// the same pipeline decomposition the builders and ofctl use.
+func churnCommands(app, name string, rules int, seed uint64) (pre, leaf []ofproto.FlowMod, err error) {
+	switch app {
+	case "mac":
+		f, err := filterset.GenerateMAC(name, seed)
+		if err != nil {
+			return nil, nil, err
+		}
+		seen := map[uint16]bool{}
+		for _, r := range f.Rules {
+			if !seen[r.VLAN] {
+				seen[r.VLAN] = true
+				pre = append(pre, ofproto.FlowMod{Op: ofproto.FlowAdd, Table: 0, Entry: openflow.FlowEntry{
+					Priority: 1,
+					Matches:  []openflow.Match{openflow.Exact(openflow.FieldVLANID, uint64(r.VLAN))},
+					Instructions: []openflow.Instruction{
+						openflow.WriteMetadata(uint64(r.VLAN), ^uint64(0)),
+						openflow.GotoTable(1),
+					},
+				}})
+			}
+			leaf = append(leaf, ofproto.FlowMod{Op: ofproto.FlowAdd, Table: 1, Entry: openflow.FlowEntry{
+				Priority: 1,
+				Cookie:   uint64(r.VLAN),
+				Matches: []openflow.Match{
+					openflow.Exact(openflow.FieldMetadata, uint64(r.VLAN)),
+					openflow.Exact(openflow.FieldEthDst, r.EthDst),
+				},
+				Instructions: []openflow.Instruction{openflow.WriteActions(openflow.Output(r.OutPort))},
+			}})
+		}
+		return pre, leaf, nil
+	case "route":
+		f, err := filterset.GenerateRoute(name, seed)
+		if err != nil {
+			return nil, nil, err
+		}
+		seen := map[uint32]bool{}
+		for _, r := range f.Rules {
+			if !seen[r.InPort] {
+				seen[r.InPort] = true
+				pre = append(pre, ofproto.FlowMod{Op: ofproto.FlowAdd, Table: 2, Entry: openflow.FlowEntry{
+					Priority: 1,
+					Matches:  []openflow.Match{openflow.Exact(openflow.FieldInPort, uint64(r.InPort))},
+					Instructions: []openflow.Instruction{
+						openflow.WriteMetadata(uint64(r.InPort), ^uint64(0)),
+						openflow.GotoTable(3),
+					},
+				}})
+			}
+			leaf = append(leaf, ofproto.FlowMod{Op: ofproto.FlowAdd, Table: 3, Entry: openflow.FlowEntry{
+				Priority: 1 + r.PrefixLen,
+				Cookie:   uint64(r.InPort),
+				Matches: []openflow.Match{
+					openflow.Exact(openflow.FieldMetadata, uint64(r.InPort)),
+					openflow.Prefix(openflow.FieldIPv4Dst, uint64(r.Prefix), r.PrefixLen),
+				},
+				Instructions: []openflow.Instruction{openflow.WriteActions(openflow.Output(r.NextHop))},
+			}})
+		}
+		return pre, leaf, nil
+	case "acl":
+		for _, e := range filterset.GenerateACL(name, rules, seed).FlowEntries() {
+			leaf = append(leaf, ofproto.FlowMod{Op: ofproto.FlowAdd, Table: 0, Entry: e})
+		}
+		return nil, leaf, nil
+	default:
+		return nil, nil, fmt.Errorf("unknown churn application %q (want mac | route | acl)", app)
+	}
 }

@@ -1,15 +1,24 @@
-// Command ofctl is the controller-side CLI for switchd: it installs flow
-// entries (individually or whole filter files), injects packets and reads
-// switch statistics over the control protocol.
+// Command ofctl is the controller-side CLI for switchd: it installs and
+// removes flow entries (individually, as whole filter files, or as
+// batched flow-mod transactions), injects packets and reads switch
+// statistics over the control protocol.
 //
 // Usage:
 //
 //	ofctl -addr 127.0.0.1:6653 stats
 //	ofctl add-mac -vlan 10 -mac 00:11:22:33:44:55 -port 3
+//	ofctl del-mac -vlan 10 -mac 00:11:22:33:44:55
 //	ofctl add-route -inport 2 -prefix 10.0.0.0/8 -nexthop 7
+//	ofctl del-route -inport 2 -prefix 10.0.0.0/8
 //	ofctl load -app mac -file gozb_mac.txt
+//	ofctl flow-mods -file churn.txt -batch 256
 //	ofctl packet -vlan 10 -mac 00:11:22:33:44:55
 //	ofctl packet -inport 2 -dst 10.1.2.3
+//
+// flow-mods replays a flow-mod command file (the flowgen/flowtext format:
+// add / modify / delete / delete-strict lines) in batched transactions:
+// each batch of -batch commands is applied by the switch atomically with
+// one snapshot publish, and a barrier closes the session.
 package main
 
 import (
@@ -20,6 +29,7 @@ import (
 	"strings"
 
 	"ofmtl/internal/filterset"
+	"ofmtl/internal/flowtext"
 	"ofmtl/internal/ofproto"
 	"ofmtl/internal/openflow"
 )
@@ -39,7 +49,7 @@ func run(args []string) error {
 	}
 	rest := global.Args()
 	if len(rest) == 0 {
-		return fmt.Errorf("usage: ofctl [-addr host:port] <stats|add-mac|add-route|load|packet> [flags]")
+		return fmt.Errorf("usage: ofctl [-addr host:port] <stats|add-mac|del-mac|add-route|del-route|load|flow-mods|packet> [flags]")
 	}
 
 	client, err := ofproto.Dial(*addr)
@@ -53,10 +63,16 @@ func run(args []string) error {
 		return doStats(client)
 	case "add-mac":
 		return doAddMAC(client, rest[1:])
+	case "del-mac":
+		return doDelMAC(client, rest[1:])
 	case "add-route":
 		return doAddRoute(client, rest[1:])
+	case "del-route":
+		return doDelRoute(client, rest[1:])
 	case "load":
 		return doLoad(client, rest[1:])
+	case "flow-mods":
+		return doFlowMods(client, rest[1:])
 	case "packet":
 		return doPacket(client, rest[1:])
 	default:
@@ -83,6 +99,10 @@ func doStats(c *ofproto.Client) error {
 		}
 		fmt.Printf("microflow cache: %d entries, %d hits / %d misses (%.1f%% hit)\n",
 			st.CacheEntries, st.CacheHits, st.CacheMisses, hitPct)
+	}
+	if st.Txs > 0 || st.RejectedTxs > 0 {
+		fmt.Printf("control plane: %d transactions, %d flow-mod commands, %d rejected\n",
+			st.Txs, st.FlowModCommands, st.RejectedTxs)
 	}
 	return nil
 }
@@ -205,6 +225,123 @@ func doAddMAC(c *ofproto.Client, args []string) error {
 		return err
 	}
 	fmt.Printf("installed vlan=%d mac=%s -> port %d\n", *vlan, *mac, *port)
+	return nil
+}
+
+// doDelMAC removes the MAC application's second-table entry for one
+// (VLAN, MAC) pair via a strict-delete transaction. The first-table VLAN
+// entry is shared by every MAC on the VLAN, so it stays installed.
+func doDelMAC(c *ofproto.Client, args []string) error {
+	fs := flag.NewFlagSet("del-mac", flag.ContinueOnError)
+	vlan := fs.Uint("vlan", 1, "VLAN ID")
+	mac := fs.String("mac", "", "destination Ethernet (aa:bb:cc:dd:ee:ff)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	m, err := parseMAC(*mac)
+	if err != nil {
+		return err
+	}
+	reply, err := c.SendFlowMods([]ofproto.FlowMod{{
+		Op:    ofproto.FlowDeleteStrict,
+		Table: 1,
+		Entry: openflow.FlowEntry{
+			Priority: 1,
+			Matches: []openflow.Match{
+				openflow.Exact(openflow.FieldMetadata, uint64(*vlan)),
+				openflow.Exact(openflow.FieldEthDst, m),
+			},
+		},
+	}})
+	if err != nil {
+		return err
+	}
+	if reply.Deleted == 0 {
+		return fmt.Errorf("no entry installed for vlan=%d mac=%s", *vlan, *mac)
+	}
+	fmt.Printf("deleted vlan=%d mac=%s (%d entries)\n", *vlan, *mac, reply.Deleted)
+	return nil
+}
+
+// doDelRoute removes the routing application's second-table entry for one
+// (ingress port, prefix) pair via a strict-delete transaction.
+func doDelRoute(c *ofproto.Client, args []string) error {
+	fs := flag.NewFlagSet("del-route", flag.ContinueOnError)
+	inport := fs.Uint("inport", 1, "ingress port")
+	prefix := fs.String("prefix", "0.0.0.0/0", "IPv4 destination prefix")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	p, plen, err := parseCIDR(*prefix)
+	if err != nil {
+		return err
+	}
+	reply, err := c.SendFlowMods([]ofproto.FlowMod{{
+		Op:    ofproto.FlowDeleteStrict,
+		Table: 3,
+		Entry: openflow.FlowEntry{
+			Priority: 1 + plen,
+			Matches: []openflow.Match{
+				openflow.Exact(openflow.FieldMetadata, uint64(*inport)),
+				openflow.Prefix(openflow.FieldIPv4Dst, uint64(p), plen),
+			},
+		},
+	}})
+	if err != nil {
+		return err
+	}
+	if reply.Deleted == 0 {
+		return fmt.Errorf("no route installed for inport=%d %s", *inport, *prefix)
+	}
+	fmt.Printf("deleted inport=%d %s (%d entries)\n", *inport, *prefix, reply.Deleted)
+	return nil
+}
+
+// doFlowMods replays a flow-mod command file in batched transactions.
+func doFlowMods(c *ofproto.Client, args []string) error {
+	fs := flag.NewFlagSet("flow-mods", flag.ContinueOnError)
+	file := fs.String("file", "", "flow-mod command file (flowgen/flowtext format)")
+	batch := fs.Int("batch", 256, "commands per transaction")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *batch < 1 {
+		return fmt.Errorf("-batch must be >= 1, got %d", *batch)
+	}
+	f, err := os.Open(*file)
+	if err != nil {
+		return fmt.Errorf("opening command file: %w", err)
+	}
+	defer func() { _ = f.Close() }()
+	fms, err := flowtext.Read(f)
+	if err != nil {
+		return err
+	}
+	var total ofproto.FlowModBatchReply
+	txs := 0
+	for off := 0; off < len(fms); off += *batch {
+		end := off + *batch
+		if end > len(fms) {
+			end = len(fms)
+		}
+		reply, err := c.SendFlowMods(fms[off:end])
+		if err != nil {
+			return fmt.Errorf("after %d committed transactions: %w", txs, err)
+		}
+		total.Commands += reply.Commands
+		total.Added += reply.Added
+		total.Replaced += reply.Replaced
+		total.Modified += reply.Modified
+		total.Deleted += reply.Deleted
+		txs++
+	}
+	// The barrier guarantees every transaction is fully processed before
+	// the command returns.
+	if err := c.Barrier(); err != nil {
+		return err
+	}
+	fmt.Printf("committed %d transactions, %d commands: %d added (%d replaced), %d modified, %d deleted\n",
+		txs, total.Commands, total.Added, total.Replaced, total.Modified, total.Deleted)
 	return nil
 }
 

@@ -2,11 +2,14 @@ package main
 
 import (
 	"net"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"ofmtl/internal/core"
 	"ofmtl/internal/filterset"
 	"ofmtl/internal/ofproto"
+	"ofmtl/internal/openflow"
 )
 
 func TestParseMAC(t *testing.T) {
@@ -99,5 +102,144 @@ func TestSubcommandsEndToEnd(t *testing.T) {
 	}
 	if err := run([]string{"-addr", addr, "add-mac", "-mac", "garbage"}); err == nil {
 		t.Error("bad MAC should error")
+	}
+}
+
+// TestDeleteSubcommandsEndToEnd drives del-mac / del-route against a live
+// switch: installed entries disappear, packets fall back to the miss
+// path, and deleting a missing entry errors.
+func TestDeleteSubcommandsEndToEnd(t *testing.T) {
+	p, err := core.BuildPrototype(
+		&filterset.MACFilter{Name: "empty"},
+		&filterset.RouteFilter{Name: "empty"},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := ofproto.NewServer(p, nil)
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(l) }()
+	defer func() {
+		_ = srv.Close()
+		<-done
+	}()
+	addr := l.Addr().String()
+
+	steps := [][]string{
+		{"-addr", addr, "add-mac", "-vlan", "10", "-mac", "00:11:22:33:44:55", "-port", "3"},
+		{"-addr", addr, "add-route", "-inport", "2", "-prefix", "10.0.0.0/8", "-nexthop", "7"},
+		{"-addr", addr, "del-mac", "-vlan", "10", "-mac", "00:11:22:33:44:55"},
+		{"-addr", addr, "del-route", "-inport", "2", "-prefix", "10.0.0.0/8"},
+	}
+	for _, args := range steps {
+		if err := run(args); err != nil {
+			t.Fatalf("ofctl %v: %v", args, err)
+		}
+	}
+	// The deleted MAC no longer forwards.
+	c, err := ofproto.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+	reply, err := c.SendPacket(&openflow.Header{VLANID: 10, EthDst: 0x001122334455})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reply.Outputs) != 0 {
+		t.Fatalf("deleted MAC still forwards to %v", reply.Outputs)
+	}
+	// Deleting again errors (nothing matched).
+	if err := run([]string{"-addr", addr, "del-mac", "-vlan", "10", "-mac", "00:11:22:33:44:55"}); err == nil {
+		t.Error("double delete should error")
+	}
+	if err := run([]string{"-addr", addr, "del-route", "-inport", "2", "-prefix", "10.0.0.0/8"}); err == nil {
+		t.Error("double route delete should error")
+	}
+}
+
+// TestFlowModsSubcommandEndToEnd replays a flow-mod command file in
+// batched transactions and verifies the resulting table state.
+func TestFlowModsSubcommandEndToEnd(t *testing.T) {
+	p, err := core.BuildPrototype(
+		&filterset.MACFilter{Name: "empty"},
+		&filterset.RouteFilter{Name: "empty"},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := ofproto.NewServer(p, nil)
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(l) }()
+	defer func() {
+		_ = srv.Close()
+		<-done
+	}()
+	addr := l.Addr().String()
+
+	file := filepath.Join(t.TempDir(), "cmds.txt")
+	script := `# three hosts on VLAN 10, then one modified and one deleted
+add 0 prio=1 vlan=10 setmeta=10 goto=1
+add 1 prio=1 cookie=10 meta=10 ethdst=00:aa:00:00:00:01 out=1
+add 1 prio=1 cookie=10 meta=10 ethdst=00:aa:00:00:00:02 out=2
+add 1 prio=1 cookie=10 meta=10 ethdst=00:aa:00:00:00:03 out=3
+modify 1 ethdst=00:aa:00:00:00:02 out=22
+delete-strict 1 prio=1 meta=10 ethdst=00:aa:00:00:00:03
+`
+	if err := os.WriteFile(file, []byte(script), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Batch size 2 forces multiple transactions.
+	if err := run([]string{"-addr", addr, "flow-mods", "-file", file, "-batch", "2"}); err != nil {
+		t.Fatalf("flow-mods: %v", err)
+	}
+
+	c, err := ofproto.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+	checks := []struct {
+		mac  uint64
+		port uint32 // 0 = miss
+	}{
+		{0x00AA00000001, 1},
+		{0x00AA00000002, 22},
+		{0x00AA00000003, 0},
+	}
+	for _, chk := range checks {
+		reply, err := c.SendPacket(&openflow.Header{VLANID: 10, EthDst: chk.mac})
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch {
+		case chk.port == 0 && len(reply.Outputs) != 0:
+			t.Errorf("mac %x: want miss, got %v", chk.mac, reply.Outputs)
+		case chk.port != 0 && (len(reply.Outputs) != 1 || reply.Outputs[0] != chk.port):
+			t.Errorf("mac %x: outputs = %v, want [%d]", chk.mac, reply.Outputs, chk.port)
+		}
+	}
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Txs != 3 || st.FlowModCommands != 6 {
+		t.Errorf("tx stats = %d txs / %d commands, want 3 / 6", st.Txs, st.FlowModCommands)
+	}
+	// A file with a bad command errors client-side before any send.
+	bad := filepath.Join(t.TempDir(), "bad.txt")
+	if err := os.WriteFile(bad, []byte("explode 0 vlan=1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-addr", addr, "flow-mods", "-file", bad}); err == nil {
+		t.Error("bad command file should error")
 	}
 }

@@ -16,6 +16,13 @@
 // microflow cache (-cache, entries) fronts the multi-table walk so
 // repeated flows cost one exact-match probe; its hit/miss counters are
 // reported through the stats message.
+//
+// Flow-table mutations arrive as flow-mod transactions: a flow-mod batch
+// message validates and applies atomically, publishing one lookup
+// snapshot and invalidating the microflow cache once per batch however
+// many commands it carries. Transaction counters (committed transactions,
+// commands, rejected transactions) are reported through the stats message
+// and logged on shutdown.
 package main
 
 import (
@@ -110,6 +117,9 @@ func run() error {
 		if err := srv.Close(); err != nil {
 			return err
 		}
+		tc := pipeline.TxCounters()
+		log.Printf("switchd: control plane served %d transactions (%d flow-mod commands, %d rejected)",
+			tc.Txs, tc.Commands, tc.Rejected)
 		return <-errCh
 	}
 }

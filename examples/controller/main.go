@@ -56,7 +56,9 @@ func run() error {
 	}
 	defer func() { _ = client.Close() }()
 
-	// Program a small MAC-learning table over the wire.
+	// Program a small MAC-learning table over the wire — one flow-mod
+	// batch, applied by the switch as a single transaction: atomic, one
+	// snapshot publish, one cache invalidation.
 	hosts := []struct {
 		vlan uint16
 		mac  uint64
@@ -66,36 +68,42 @@ func run() error {
 		{100, 0x0050_56AB_0002, 6},
 		{200, 0x0050_56AB_0001, 9},
 	}
+	var fms []ofproto.FlowMod
 	for _, hst := range hosts {
-		e0 := &openflow.FlowEntry{
-			Priority: 1,
-			Matches:  []openflow.Match{openflow.Exact(openflow.FieldVLANID, uint64(hst.vlan))},
-			Instructions: []openflow.Instruction{
-				openflow.WriteMetadata(uint64(hst.vlan), ^uint64(0)),
-				openflow.GotoTable(1),
+		fms = append(fms, ofproto.FlowMod{
+			Op: ofproto.FlowAdd, Table: 0,
+			Entry: openflow.FlowEntry{
+				Priority: 1,
+				Matches:  []openflow.Match{openflow.Exact(openflow.FieldVLANID, uint64(hst.vlan))},
+				Instructions: []openflow.Instruction{
+					openflow.WriteMetadata(uint64(hst.vlan), ^uint64(0)),
+					openflow.GotoTable(1),
+				},
 			},
-		}
-		if err := client.AddFlow(0, e0); err != nil {
-			return fmt.Errorf("installing VLAN entry: %w", err)
-		}
-		e1 := &openflow.FlowEntry{
-			Priority: 1,
-			Matches: []openflow.Match{
-				openflow.Exact(openflow.FieldMetadata, uint64(hst.vlan)),
-				openflow.Exact(openflow.FieldEthDst, hst.mac),
+		}, ofproto.FlowMod{
+			Op: ofproto.FlowAdd, Table: 1,
+			Entry: openflow.FlowEntry{
+				Priority: 1,
+				Cookie:   uint64(hst.vlan),
+				Matches: []openflow.Match{
+					openflow.Exact(openflow.FieldMetadata, uint64(hst.vlan)),
+					openflow.Exact(openflow.FieldEthDst, hst.mac),
+				},
+				Instructions: []openflow.Instruction{
+					openflow.WriteActions(openflow.Output(hst.port)),
+				},
 			},
-			Instructions: []openflow.Instruction{
-				openflow.WriteActions(openflow.Output(hst.port)),
-			},
-		}
-		if err := client.AddFlow(1, e1); err != nil {
-			return fmt.Errorf("installing MAC entry: %w", err)
-		}
+		})
+	}
+	reply, err := client.SendFlowMods(fms)
+	if err != nil {
+		return fmt.Errorf("installing hosts: %w", err)
 	}
 	if err := client.Barrier(); err != nil {
 		return err
 	}
-	fmt.Printf("installed %d hosts across 2 tables\n\n", len(hosts))
+	fmt.Printf("installed %d hosts across 2 tables in one transaction (%d commands, %d added, %d replaced)\n\n",
+		len(hosts), reply.Commands, reply.Added, reply.Replaced)
 
 	// Inject packets and report the data-plane verdicts.
 	probes := []openflow.Header{
@@ -130,5 +138,7 @@ func run() error {
 	for _, tbl := range st.Tables {
 		fmt.Printf("  table %d: %d rules [%s]\n", tbl.ID, tbl.Rules, tbl.Field)
 	}
+	fmt.Printf("control plane: %d transactions, %d flow-mod commands, %d rejected\n",
+		st.Txs, st.FlowModCommands, st.RejectedTxs)
 	return nil
 }

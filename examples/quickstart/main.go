@@ -1,5 +1,6 @@
 // Quickstart: build a two-table MAC-learning pipeline by hand, install a
-// few flows, classify packets, and print the modelled memory footprint.
+// few flows through the transactional control-plane API, classify
+// packets, and print the modelled memory footprint.
 //
 //	go run ./examples/quickstart
 package main
@@ -21,22 +22,22 @@ func main() {
 	// searched by three 16-bit multi-bit tries in parallel, exactly the
 	// architecture of the paper's Fig. 1.
 	p := core.NewPipeline()
-	t0, err := p.AddTable(core.TableConfig{
+	if _, err := p.AddTable(core.TableConfig{
 		ID:     0,
 		Fields: []openflow.FieldID{openflow.FieldVLANID},
-	})
-	if err != nil {
+	}); err != nil {
 		log.Fatalf("quickstart: %v", err)
 	}
-	t1, err := p.AddTable(core.TableConfig{
+	if _, err := p.AddTable(core.TableConfig{
 		ID:     1,
 		Fields: []openflow.FieldID{openflow.FieldMetadata, openflow.FieldEthDst},
-	})
-	if err != nil {
+	}); err != nil {
 		log.Fatalf("quickstart: %v", err)
 	}
 
-	// Install three hosts across two VLANs.
+	// Install three hosts across two VLANs as ONE transaction: every
+	// command validates and applies atomically, and the lookup engine
+	// publishes a single snapshot for the whole batch, however large.
 	hosts := []struct {
 		vlan uint16
 		mac  uint64
@@ -46,20 +47,19 @@ func main() {
 		{10, 0x00AA_BB01_0002, 2},
 		{20, 0x00AA_BB01_0001, 7}, // same MAC, different VLAN, different port
 	}
+	tx := p.Begin()
 	for _, h := range hosts {
-		e0 := &openflow.FlowEntry{
+		tx.Add(0, &openflow.FlowEntry{
 			Priority: 1,
 			Matches:  []openflow.Match{openflow.Exact(openflow.FieldVLANID, uint64(h.vlan))},
 			Instructions: []openflow.Instruction{
 				openflow.WriteMetadata(uint64(h.vlan), ^uint64(0)),
 				openflow.GotoTable(1),
 			},
-		}
-		if err := t0.Insert(e0); err != nil {
-			log.Fatalf("quickstart: table 0 insert: %v", err)
-		}
-		e1 := &openflow.FlowEntry{
+		})
+		tx.Add(1, &openflow.FlowEntry{
 			Priority: 1,
+			Cookie:   uint64(h.vlan), // cookies tag rules for bulk delete
 			Matches: []openflow.Match{
 				openflow.Exact(openflow.FieldMetadata, uint64(h.vlan)),
 				openflow.Exact(openflow.FieldEthDst, h.mac),
@@ -67,11 +67,16 @@ func main() {
 			Instructions: []openflow.Instruction{
 				openflow.WriteActions(openflow.Output(h.port)),
 			},
-		}
-		if err := t1.Insert(e1); err != nil {
-			log.Fatalf("quickstart: table 1 insert: %v", err)
-		}
+		})
 	}
+	res, err := tx.Commit()
+	if err != nil {
+		log.Fatalf("quickstart: commit: %v", err)
+	}
+	// The two VLAN-10 hosts share a table-0 entry: the second add
+	// replaces the (identical) first, OpenFlow add semantics.
+	fmt.Printf("committed %d commands: %d added, %d replaced\n\n",
+		res.Commands, res.Added, res.Replaced)
 
 	// Classify some packets.
 	packets := []openflow.Header{
@@ -94,8 +99,21 @@ func main() {
 		}
 	}
 
+	// Tear down every VLAN-10 rule in table 1 with one cookie-filtered
+	// non-strict delete — no need to re-state the individual matches.
+	res, err = p.Begin().FlowMod(core.FlowCmd{
+		Op:         core.CmdDelete,
+		Table:      1,
+		CookieMask: ^uint64(0),
+		Entry:      openflow.FlowEntry{Cookie: 10},
+	}).Commit()
+	if err != nil {
+		log.Fatalf("quickstart: delete: %v", err)
+	}
+	fmt.Printf("\ncookie-filtered delete removed %d VLAN-10 entries\n", res.Deleted)
+
 	// The memory model behind the paper's evaluation.
 	mem := p.MemoryReport()
-	fmt.Printf("\nmodelled memory: %.2f Kbit across %d components (%d M20K blocks)\n",
+	fmt.Printf("modelled memory: %.2f Kbit across %d components (%d M20K blocks)\n",
 		mem.TotalKbits(), len(mem.Components), mem.Blocks)
 }

@@ -53,6 +53,11 @@ type Pipeline struct {
 	// rule updates and snapshot rebuilds.
 	intern resultIntern
 
+	// Transaction telemetry (see TxCounters).
+	txCommitted atomic.Uint64
+	txCommands  atomic.Uint64
+	txRejected  atomic.Uint64
+
 	// infoCache serves TableInfos without re-allocating: the cached slice
 	// is rebuilt only when a table-set or rule mutation invalidates it
 	// (infoStructGen / infoGens record the generations it was built at).
@@ -99,30 +104,46 @@ func (p *Pipeline) Tables() []openflow.TableID {
 	return append([]openflow.TableID(nil), p.order...)
 }
 
-// Insert installs a flow entry into the identified table. It is safe to
-// call concurrently with lookups: in-flight Execute calls keep observing
-// the pre-insert snapshot, and later calls observe the entry.
+// Insert installs a flow entry into the identified table. It is the
+// single-command convenience form of the transactional API — equivalent
+// to p.Begin().Add(id, e) followed by Commit — and carries OpenFlow add
+// semantics: an installed entry with the same match set and priority is
+// replaced. It is safe to call concurrently with lookups: in-flight
+// Execute calls keep observing the pre-insert snapshot, and later calls
+// observe the entry.
 func (p *Pipeline) Insert(id openflow.TableID, e *openflow.FlowEntry) error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	t, ok := p.tables[id]
-	if !ok {
-		return fmt.Errorf("core: pipeline has no table %d", id)
-	}
-	return t.Insert(e)
+	_, err := p.Begin().Add(id, e).Commit()
+	return err
 }
 
-// Remove uninstalls a flow entry from the identified table. Like Insert,
-// it is safe to call concurrently with lookups.
+// Remove uninstalls a flow entry from the identified table: the installed
+// entry with the same matches, priority and instructions is removed, and
+// removing a missing entry is an error. This is the legacy strict
+// single-entry form; match-based (non-strict) deletion is Tx.Delete. Like
+// Insert, it is safe to call concurrently with lookups.
 func (p *Pipeline) Remove(id openflow.TableID, e *openflow.FlowEntry) error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	t, ok := p.tables[id]
-	if !ok {
-		return fmt.Errorf("core: pipeline has no table %d", id)
-	}
-	return t.Remove(e)
+	tx := p.Begin()
+	tx.FlowMod(FlowCmd{Op: CmdRemoveExact, Table: id, Entry: *e})
+	_, err := tx.Commit()
+	return err
 }
+
+// TxCounters returns the pipeline's accumulated transaction telemetry:
+// committed transactions, the commands they carried, and rejected
+// (rolled-back) transactions.
+func (p *Pipeline) TxCounters() TxCounters {
+	return TxCounters{
+		Txs:      p.txCommitted.Load(),
+		Commands: p.txCommands.Load(),
+		Rejected: p.txRejected.Load(),
+	}
+}
+
+// SnapshotVersion returns the version of the most recently published
+// lookup snapshot. Versions increase by exactly one per rebuild, so the
+// difference across a window counts how often the lookup state was
+// re-cloned — a whole committed transaction accounts for at most one.
+func (p *Pipeline) SnapshotVersion() uint64 { return p.snapVersion.Load() }
 
 // Rules returns the total number of installed flow entries.
 func (p *Pipeline) Rules() int {

@@ -64,6 +64,12 @@ type LookupTable struct {
 	// re-allocating.
 	fieldsView []openflow.FieldID
 
+	// store holds the canonical copies of the installed flow entries —
+	// the control-plane view the transactional API resolves match-based
+	// (non-strict) modify and delete commands against. Snapshot clones do
+	// not carry it: they serve Classify only.
+	store ruleStore
+
 	// gen counts successful mutations. The pipeline's snapshot engine
 	// compares it against the generation a published clone was taken at to
 	// decide whether the clone is still current.
@@ -177,7 +183,10 @@ func (t *LookupTable) checkCoverage(e *openflow.FlowEntry) error {
 	return nil
 }
 
-// Insert installs a flow entry.
+// Insert installs a flow entry. The table retains no caller memory: the
+// entry is copied into the table's rule store, and the data-plane
+// structures reference the stored copy, so callers (e.g. wire decoders)
+// may reuse the entry's slices immediately.
 func (t *LookupTable) Insert(e *openflow.FlowEntry) error {
 	if err := e.Validate(); err != nil {
 		return fmt.Errorf("core: table %d insert: %w", t.cfg.ID, err)
@@ -185,6 +194,7 @@ func (t *LookupTable) Insert(e *openflow.FlowEntry) error {
 	if err := t.checkCoverage(e); err != nil {
 		return err
 	}
+	sr := t.store.add(e)
 	key := make([]label.Label, len(t.searchers))
 	for i, s := range t.searchers {
 		lab, err := s.Insert(matchFor(e, s.Field()))
@@ -193,16 +203,18 @@ func (t *LookupTable) Insert(e *openflow.FlowEntry) error {
 			for j := 0; j < i; j++ {
 				_ = t.searchers[j].Remove(matchFor(e, t.searchers[j].Field()))
 			}
+			t.store.remove(sr)
 			return fmt.Errorf("core: table %d insert: %w", t.cfg.ID, err)
 		}
 		key[i] = lab
 	}
-	actionIdx := t.actions.Add(e.Instructions)
+	actionIdx := t.actions.Add(sr.entry.Instructions)
 	if err := t.combos.Insert(key, crossprod.Binding{Priority: e.Priority, Payload: actionIdx}); err != nil {
 		_ = t.actions.Release(actionIdx)
 		for _, s := range t.searchers {
 			_ = s.Remove(matchFor(e, s.Field()))
 		}
+		t.store.remove(sr)
 		return fmt.Errorf("core: table %d insert: %w", t.cfg.ID, err)
 	}
 	p := patternOf(key)
@@ -262,6 +274,10 @@ func (t *LookupTable) Remove(e *openflow.FlowEntry) error {
 		delete(t.patterns, p)
 		t.plan = compilePlan(len(t.cfg.Fields), t.patterns)
 	}
+	// The structural removal above applies exactly the identity the store
+	// keys on (per-field matches, priority, instruction content), so a
+	// stored twin always exists on a live table.
+	t.store.removeExact(e)
 	t.rules--
 	t.gen.Add(1)
 	return nil
@@ -513,6 +529,10 @@ func (t *LookupTable) clone() *LookupTable {
 	for p, n := range t.patterns {
 		c.patterns[p] = n
 	}
+	// The rule store is deliberately not copied: clones exist to serve
+	// Classify inside published snapshots and take no mutations, so
+	// copying the control-plane rule list would only tax every snapshot
+	// rebuild.
 	return c
 }
 

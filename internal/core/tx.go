@@ -1,0 +1,322 @@
+package core
+
+import (
+	"fmt"
+
+	"ofmtl/internal/openflow"
+)
+
+// This file implements the pipeline's transactional mutation API.
+//
+// The control plane mutates the pipeline through transactions with
+// OpenFlow flow-mod semantics: a Tx collects Add / Modify / Delete /
+// DeleteStrict commands and Commit validates and applies them all under
+// one hold of the write lock. Readers observe either the pre-commit or
+// the post-commit state — never an intermediate one — because lookups
+// run against the RCU snapshot, which is re-cloned at most once after the
+// commit completes. A 256-command commit therefore publishes exactly one
+// snapshot and invalidates the microflow cache exactly once, where 256
+// single-entry mutations interleaved with lookups could publish 256.
+//
+// Commands resolve against the tables' rule stores in order, so later
+// commands in a transaction observe the effects of earlier ones, as an
+// OpenFlow switch processing a message sequence would. A command that
+// fails rejects the whole transaction: every primitive operation applied
+// so far is rolled back before Commit returns the error.
+
+// FlowCmdOp selects a flow-mod command's operation.
+type FlowCmdOp uint8
+
+// Flow-mod operations, mirroring OFPFC_*: Add installs an entry,
+// replacing any entry with the same match set and priority; Modify
+// rewrites the instructions of every entry its match subsumes; Delete
+// removes every entry its match subsumes (priority ignored);
+// DeleteStrict removes entries with exactly the same match set and
+// priority.
+const (
+	CmdAdd FlowCmdOp = iota + 1
+	CmdModify
+	CmdDelete
+	CmdDeleteStrict
+	// CmdRemoveExact is the legacy Pipeline.Remove identity: like
+	// DeleteStrict but additionally requiring the instructions to match,
+	// and erroring when no entry does.
+	CmdRemoveExact
+)
+
+// String names the operation.
+func (op FlowCmdOp) String() string {
+	switch op {
+	case CmdAdd:
+		return "add"
+	case CmdModify:
+		return "modify"
+	case CmdDelete:
+		return "delete"
+	case CmdDeleteStrict:
+		return "delete-strict"
+	case CmdRemoveExact:
+		return "remove"
+	default:
+		return "unknown"
+	}
+}
+
+// FlowCmd is one flow-mod command of a transaction.
+//
+// Entry carries the command's match set, priority, cookie and (for Add
+// and Modify) instructions. CookieMask gates Modify/Delete/DeleteStrict
+// selection: with a non-zero mask only entries whose cookie equals
+// Entry.Cookie on the masked bits are affected; Add ignores it.
+type FlowCmd struct {
+	Op         FlowCmdOp
+	Table      openflow.TableID
+	CookieMask uint64
+	Entry      openflow.FlowEntry
+}
+
+// TxResult reports what a committed transaction did.
+type TxResult struct {
+	// Commands is the number of commands the transaction carried.
+	Commands int
+	// Added counts entries installed by Add commands.
+	Added int
+	// Replaced counts entries displaced by Add commands that found an
+	// entry with the same match set and priority already installed.
+	Replaced int
+	// Modified counts entries whose instructions Modify commands rewrote.
+	Modified int
+	// Deleted counts entries removed by Delete / DeleteStrict commands.
+	Deleted int
+}
+
+// TxCounters is the pipeline's accumulated transaction telemetry.
+type TxCounters struct {
+	// Txs counts successfully committed transactions.
+	Txs uint64
+	// Commands counts flow-mod commands carried by committed transactions.
+	Commands uint64
+	// Rejected counts transactions that failed validation or application
+	// (and were rolled back).
+	Rejected uint64
+}
+
+// Tx is a mutation transaction under construction. It is not safe for
+// concurrent use; build it on one goroutine and Commit once.
+type Tx struct {
+	p    *Pipeline
+	cmds []FlowCmd
+	done bool
+}
+
+// Begin opens a transaction against the pipeline. The transaction holds
+// no locks until Commit, so building one never blocks lookups or other
+// writers.
+func (p *Pipeline) Begin() *Tx { return &Tx{p: p} }
+
+// FlowMod appends a raw flow-mod command.
+func (tx *Tx) FlowMod(cmd FlowCmd) *Tx {
+	tx.cmds = append(tx.cmds, cmd)
+	return tx
+}
+
+// Add appends an add command: install the entry, replacing any installed
+// entry with the same match set and priority (OpenFlow OFPFC_ADD).
+func (tx *Tx) Add(id openflow.TableID, e *openflow.FlowEntry) *Tx {
+	return tx.FlowMod(FlowCmd{Op: CmdAdd, Table: id, Entry: *e})
+}
+
+// Modify appends a non-strict modify command: every installed entry whose
+// match set is subsumed by e.Matches (and that passes the cookie filter,
+// when armed via FlowMod) has its instructions replaced by
+// e.Instructions. Priority is ignored for selection and preserved on the
+// modified entries, as are their cookies. A modify that selects nothing
+// is a no-op, not an error (OpenFlow OFPFC_MODIFY).
+func (tx *Tx) Modify(id openflow.TableID, e *openflow.FlowEntry) *Tx {
+	return tx.FlowMod(FlowCmd{Op: CmdModify, Table: id, Entry: *e})
+}
+
+// Delete appends a non-strict delete command: every installed entry whose
+// match set is subsumed by the given matches is removed, regardless of
+// priority (OpenFlow OFPFC_DELETE). Deleting nothing is a no-op. With no
+// matches, every entry in the table is selected.
+func (tx *Tx) Delete(id openflow.TableID, matches ...openflow.Match) *Tx {
+	return tx.FlowMod(FlowCmd{Op: CmdDelete, Table: id, Entry: openflow.FlowEntry{Matches: matches}})
+}
+
+// DeleteStrict appends a strict delete command: entries with exactly the
+// given match set and priority are removed (OpenFlow OFPFC_DELETE_STRICT).
+func (tx *Tx) DeleteStrict(id openflow.TableID, priority int, matches ...openflow.Match) *Tx {
+	return tx.FlowMod(FlowCmd{Op: CmdDeleteStrict, Table: id, Entry: openflow.FlowEntry{Priority: priority, Matches: matches}})
+}
+
+// Commands returns the number of commands queued so far.
+func (tx *Tx) Commands() int { return len(tx.cmds) }
+
+// undoOp records the inverse of one applied primitive operation.
+type undoOp struct {
+	t      *LookupTable
+	entry  *openflow.FlowEntry
+	insert bool // true: rollback re-inserts entry; false: rollback removes it
+}
+
+// Commit validates and applies the transaction atomically: either every
+// command applies and Commit returns what changed, or none do and Commit
+// returns the first error. Lookups racing the commit observe the
+// pre-commit snapshot until the commit completes, then re-clone once —
+// one snapshot publish and one microflow-cache generation bump per
+// commit, regardless of how many commands it carried.
+//
+// A transaction commits at most once; further Commit calls error.
+func (tx *Tx) Commit() (TxResult, error) {
+	if tx.done {
+		return TxResult{}, fmt.Errorf("core: transaction already committed")
+	}
+	tx.done = true
+	p := tx.p
+	p.mu.Lock()
+	defer p.mu.Unlock()
+
+	// Phase 1: static validation. Commands that cannot possibly apply —
+	// unknown table, malformed entry, fields the table does not search —
+	// reject the transaction before anything is touched.
+	for i := range tx.cmds {
+		if err := p.validateCmdLocked(&tx.cmds[i]); err != nil {
+			p.txRejected.Add(1)
+			return TxResult{}, fmt.Errorf("core: tx command %d (%s): %w", i, tx.cmds[i].Op, err)
+		}
+	}
+
+	// Phase 2: sequential application with an undo log. Each command
+	// resolves against the rule store as left by its predecessors.
+	res := TxResult{Commands: len(tx.cmds)}
+	var undo []undoOp
+	for i := range tx.cmds {
+		var err error
+		undo, err = p.applyCmdLocked(&tx.cmds[i], &res, undo)
+		if err != nil {
+			rollback(undo)
+			p.txRejected.Add(1)
+			return TxResult{}, fmt.Errorf("core: tx command %d (%s): %w", i, tx.cmds[i].Op, err)
+		}
+	}
+	p.txCommitted.Add(1)
+	p.txCommands.Add(uint64(len(tx.cmds)))
+	return res, nil
+}
+
+// validateCmdLocked statically checks one command against the pipeline.
+func (p *Pipeline) validateCmdLocked(cmd *FlowCmd) error {
+	t, ok := p.tables[cmd.Table]
+	if !ok {
+		return fmt.Errorf("core: pipeline has no table %d", cmd.Table)
+	}
+	switch cmd.Op {
+	case CmdAdd:
+		if err := cmd.Entry.Validate(); err != nil {
+			return err
+		}
+		return t.checkCoverage(&cmd.Entry)
+	case CmdModify:
+		// The matches are a selector, not an installed constraint: a
+		// field this table does not search simply selects nothing
+		// (installed entries all wildcard it), exactly like CmdDelete —
+		// so no coverage check. The modified entries keep their own
+		// (already covered) matches.
+		return cmd.Entry.Validate()
+	case CmdDelete, CmdDeleteStrict, CmdRemoveExact:
+		for _, m := range cmd.Entry.Matches {
+			if err := m.Validate(); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("core: unknown flow-mod op %d", int(cmd.Op))
+	}
+}
+
+// applyCmdLocked resolves one command against the table's rule store and
+// applies the resulting primitive inserts/removes, extending the undo log
+// with their inverses.
+func (p *Pipeline) applyCmdLocked(cmd *FlowCmd, res *TxResult, undo []undoOp) ([]undoOp, error) {
+	t := p.tables[cmd.Table]
+	switch cmd.Op {
+	case CmdAdd:
+		// Displace any entry with the same match set and priority
+		// (cookie-blind, per OFPFC_ADD), then install the new entry.
+		for _, sr := range t.store.strictSelect(&cmd.Entry, 0, 0) {
+			old := &sr.entry
+			if err := t.Remove(old); err != nil {
+				return undo, err
+			}
+			undo = append(undo, undoOp{t: t, entry: old, insert: true})
+			res.Replaced++
+		}
+		if err := t.Insert(&cmd.Entry); err != nil {
+			return undo, err
+		}
+		undo = append(undo, undoOp{t: t, entry: &cmd.Entry, insert: false})
+		res.Added++
+
+	case CmdModify:
+		for _, sr := range t.store.nonStrictSelect(cmd.Entry.Matches, cmd.Entry.Cookie, cmd.CookieMask) {
+			old := &sr.entry
+			mod := old.Clone()
+			mod.Instructions = cmd.Entry.Instructions
+			if err := t.Remove(old); err != nil {
+				return undo, err
+			}
+			undo = append(undo, undoOp{t: t, entry: old, insert: true})
+			if err := t.Insert(mod); err != nil {
+				return undo, err
+			}
+			undo = append(undo, undoOp{t: t, entry: mod, insert: false})
+			res.Modified++
+		}
+
+	case CmdDelete, CmdDeleteStrict:
+		var sel []*storedRule
+		if cmd.Op == CmdDelete {
+			sel = t.store.nonStrictSelect(cmd.Entry.Matches, cmd.Entry.Cookie, cmd.CookieMask)
+		} else {
+			sel = t.store.strictSelect(&cmd.Entry, cmd.Entry.Cookie, cmd.CookieMask)
+		}
+		for _, sr := range sel {
+			old := &sr.entry
+			if err := t.Remove(old); err != nil {
+				return undo, err
+			}
+			undo = append(undo, undoOp{t: t, entry: old, insert: true})
+			res.Deleted++
+		}
+
+	case CmdRemoveExact:
+		if err := t.Remove(&cmd.Entry); err != nil {
+			return undo, err
+		}
+		undo = append(undo, undoOp{t: t, entry: &cmd.Entry, insert: true})
+		res.Deleted++
+	}
+	return undo, nil
+}
+
+// rollback reverts applied primitives in reverse order. The inverses
+// operate on entries the rule store no longer aliases (removed rules keep
+// their canonical copies alive through the undo log), so reverting cannot
+// fail for content reasons; an impossible failure is surfaced as a panic
+// because it means the engine lost track of its own state.
+func rollback(undo []undoOp) {
+	for i := len(undo) - 1; i >= 0; i-- {
+		op := undo[i]
+		var err error
+		if op.insert {
+			err = op.t.Insert(op.entry)
+		} else {
+			err = op.t.Remove(op.entry)
+		}
+		if err != nil {
+			panic(fmt.Sprintf("core: tx rollback failed: %v", err))
+		}
+	}
+}

@@ -1,0 +1,445 @@
+// Package flowtext reads and writes flow-mod command files: a line-based
+// text format for transactional control-plane workloads, the flow-mod
+// analogue of the filter-set and packet-trace formats in
+// internal/filterset and internal/traffic. cmd/flowgen emits churn
+// workloads in this format and cmd/ofctl replays them against a live
+// switch in batched transactions.
+//
+// One command per line, `#` comments and blank lines ignored:
+//
+//	<op> <table> [prio=N] [cookie=V[/MASK]] [<match>...] [<action>...]
+//
+// Operations: add | modify | delete | delete-strict.
+//
+// Matches (omitted fields are wildcards):
+//
+//	inport=N  vlan=N  meta=N  proto=N
+//	ethsrc=aa:bb:cc:dd:ee:ff  ethdst=aa:bb:cc:dd:ee:ff
+//	ipv4src=a.b.c.d[/len]     ipv4dst=a.b.c.d[/len]
+//	sport=N | sport=lo-hi     dport=N | dport=lo-hi
+//
+// Actions / instructions:
+//
+//	out=N | out=controller | drop     (write-actions)
+//	goto=N                            (goto-table)
+//	setmeta=V[/MASK]                  (write-metadata)
+//
+// Example:
+//
+//	add 0 prio=1 vlan=10 setmeta=10/0xffffffffffffffff goto=1
+//	add 1 prio=1 cookie=10 meta=10 ethdst=00:aa:bb:01:00:01 out=3
+//	modify 1 ethdst=00:aa:bb:01:00:01 out=9
+//	delete 1 cookie=10/0xff
+//	delete-strict 1 prio=1 meta=10 ethdst=00:aa:bb:01:00:01
+package flowtext
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"ofmtl/internal/ofproto"
+	"ofmtl/internal/openflow"
+)
+
+// opNames maps the wire operations to their text keywords.
+var opNames = map[ofproto.FlowModOp]string{
+	ofproto.FlowAdd:          "add",
+	ofproto.FlowModify:       "modify",
+	ofproto.FlowDelete:       "delete",
+	ofproto.FlowDeleteStrict: "delete-strict",
+	ofproto.FlowRemoveExact:  "remove-exact",
+}
+
+var opValues = map[string]ofproto.FlowModOp{
+	"add":           ofproto.FlowAdd,
+	"modify":        ofproto.FlowModify,
+	"delete":        ofproto.FlowDelete,
+	"delete-strict": ofproto.FlowDeleteStrict,
+	"remove-exact":  ofproto.FlowRemoveExact,
+}
+
+// Write renders the commands in the flow-mod text format.
+func Write(w io.Writer, fms []ofproto.FlowMod) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# flow-mods: %d commands\n", len(fms))
+	for i := range fms {
+		line, err := FormatCommand(&fms[i])
+		if err != nil {
+			return fmt.Errorf("flowtext: command %d: %w", i, err)
+		}
+		fmt.Fprintln(bw, line)
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("flowtext: writing commands: %w", err)
+	}
+	return nil
+}
+
+// FormatCommand renders one command as a line of the text format.
+func FormatCommand(fm *ofproto.FlowMod) (string, error) {
+	op, ok := opNames[fm.Op]
+	if !ok {
+		return "", fmt.Errorf("unsupported op %d", int(fm.Op))
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s %d", op, fm.Table)
+	if fm.Entry.Priority != 0 {
+		fmt.Fprintf(&b, " prio=%d", fm.Entry.Priority)
+	}
+	if fm.Entry.Cookie != 0 || fm.CookieMask != 0 {
+		fmt.Fprintf(&b, " cookie=%#x", fm.Entry.Cookie)
+		if fm.CookieMask != 0 {
+			fmt.Fprintf(&b, "/%#x", fm.CookieMask)
+		}
+	}
+	for _, m := range fm.Entry.Matches {
+		tok, err := formatMatch(m)
+		if err != nil {
+			return "", err
+		}
+		if tok != "" {
+			b.WriteByte(' ')
+			b.WriteString(tok)
+		}
+	}
+	for _, in := range fm.Entry.Instructions {
+		toks, err := formatInstruction(in)
+		if err != nil {
+			return "", err
+		}
+		for _, tok := range toks {
+			b.WriteByte(' ')
+			b.WriteString(tok)
+		}
+	}
+	return b.String(), nil
+}
+
+// matchKeys maps text keys to fields for the exact/decimal matches.
+var matchKeys = map[string]openflow.FieldID{
+	"inport": openflow.FieldInPort,
+	"vlan":   openflow.FieldVLANID,
+	"meta":   openflow.FieldMetadata,
+	"proto":  openflow.FieldIPProto,
+}
+
+func formatMatch(m openflow.Match) (string, error) {
+	if m.Kind == openflow.MatchAny {
+		return "", nil // absent and explicit wildcard are the same
+	}
+	switch m.Field {
+	case openflow.FieldInPort, openflow.FieldVLANID, openflow.FieldMetadata, openflow.FieldIPProto:
+		if m.Kind != openflow.MatchExact {
+			return "", fmt.Errorf("field %s supports only exact matches, got %s", m.Field, m.Kind)
+		}
+		for key, f := range matchKeys {
+			if f == m.Field {
+				return fmt.Sprintf("%s=%d", key, m.Value.Lo), nil
+			}
+		}
+	case openflow.FieldEthSrc, openflow.FieldEthDst:
+		if m.Kind != openflow.MatchExact {
+			return "", fmt.Errorf("field %s supports only exact matches, got %s", m.Field, m.Kind)
+		}
+		key := "ethdst"
+		if m.Field == openflow.FieldEthSrc {
+			key = "ethsrc"
+		}
+		return fmt.Sprintf("%s=%s", key, formatMAC(m.Value.Lo)), nil
+	case openflow.FieldIPv4Src, openflow.FieldIPv4Dst:
+		key := "ipv4dst"
+		if m.Field == openflow.FieldIPv4Src {
+			key = "ipv4src"
+		}
+		switch m.Kind {
+		case openflow.MatchExact:
+			return fmt.Sprintf("%s=%s", key, formatIPv4(uint32(m.Value.Lo))), nil
+		case openflow.MatchPrefix:
+			return fmt.Sprintf("%s=%s/%d", key, formatIPv4(uint32(m.Value.Lo)), m.PrefixLen), nil
+		default:
+			return "", fmt.Errorf("field %s: unsupported match kind %s", m.Field, m.Kind)
+		}
+	case openflow.FieldSrcPort, openflow.FieldDstPort:
+		key := "dport"
+		if m.Field == openflow.FieldSrcPort {
+			key = "sport"
+		}
+		switch m.Kind {
+		case openflow.MatchExact:
+			return fmt.Sprintf("%s=%d", key, m.Value.Lo), nil
+		case openflow.MatchRange:
+			return fmt.Sprintf("%s=%d-%d", key, m.Lo, m.Hi), nil
+		default:
+			return "", fmt.Errorf("field %s: unsupported match kind %s", m.Field, m.Kind)
+		}
+	}
+	return "", fmt.Errorf("field %s not representable in flow-mod text", m.Field)
+}
+
+func formatInstruction(in openflow.Instruction) ([]string, error) {
+	switch in.Type {
+	case openflow.InstrGotoTable:
+		return []string{fmt.Sprintf("goto=%d", in.Table)}, nil
+	case openflow.InstrWriteMetadata:
+		if in.MetadataMask == ^uint64(0) {
+			return []string{fmt.Sprintf("setmeta=%d", in.Metadata)}, nil
+		}
+		return []string{fmt.Sprintf("setmeta=%d/%#x", in.Metadata, in.MetadataMask)}, nil
+	case openflow.InstrWriteActions:
+		var toks []string
+		for _, a := range in.Actions {
+			switch a.Type {
+			case openflow.ActionOutput:
+				if a.Port == openflow.ControllerPort {
+					toks = append(toks, "out=controller")
+				} else {
+					toks = append(toks, fmt.Sprintf("out=%d", a.Port))
+				}
+			case openflow.ActionDrop:
+				toks = append(toks, "drop")
+			default:
+				return nil, fmt.Errorf("action %s not representable in flow-mod text", a.Type)
+			}
+		}
+		return toks, nil
+	default:
+		return nil, fmt.Errorf("instruction %s not representable in flow-mod text", in.Type)
+	}
+}
+
+func formatMAC(v uint64) string {
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x",
+		byte(v>>40), byte(v>>32), byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+func formatIPv4(v uint32) string {
+	return fmt.Sprintf("%d.%d.%d.%d", byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+// Read parses a flow-mod command file.
+func Read(r io.Reader) ([]ofproto.FlowMod, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	var out []ofproto.FlowMod
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || text[0] == '#' {
+			continue
+		}
+		fm, err := ParseCommand(text)
+		if err != nil {
+			return nil, fmt.Errorf("flowtext: line %d: %w", line, err)
+		}
+		out = append(out, *fm)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("flowtext: reading commands: %w", err)
+	}
+	return out, nil
+}
+
+// ParseCommand parses one command line.
+func ParseCommand(text string) (*ofproto.FlowMod, error) {
+	fields := strings.Fields(text)
+	if len(fields) < 2 {
+		return nil, fmt.Errorf("want `<op> <table> ...`, got %q", text)
+	}
+	op, ok := opValues[fields[0]]
+	if !ok {
+		return nil, fmt.Errorf("unknown op %q", fields[0])
+	}
+	table, err := strconv.ParseUint(fields[1], 10, 8)
+	if err != nil {
+		return nil, fmt.Errorf("bad table %q", fields[1])
+	}
+	fm := &ofproto.FlowMod{Op: op, Table: openflow.TableID(table)}
+	var writeActs []openflow.Action
+	var metaInstr, gotoInstr *openflow.Instruction
+	for _, tok := range fields[2:] {
+		key, val, hasVal := strings.Cut(tok, "=")
+		switch key {
+		case "prio":
+			p, err := strconv.Atoi(val)
+			if err != nil {
+				return nil, fmt.Errorf("bad priority %q", val)
+			}
+			fm.Entry.Priority = p
+		case "cookie":
+			c, m, err := parseValMask(val)
+			if err != nil {
+				return nil, fmt.Errorf("bad cookie %q: %w", val, err)
+			}
+			fm.Entry.Cookie, fm.CookieMask = c, m
+		case "inport", "vlan", "meta", "proto":
+			v, err := parseUint(val)
+			if err != nil {
+				return nil, fmt.Errorf("bad %s %q", key, val)
+			}
+			fm.Entry.Matches = append(fm.Entry.Matches, openflow.Exact(matchKeys[key], v))
+		case "ethsrc", "ethdst":
+			v, err := parseMAC(val)
+			if err != nil {
+				return nil, err
+			}
+			f := openflow.FieldEthDst
+			if key == "ethsrc" {
+				f = openflow.FieldEthSrc
+			}
+			fm.Entry.Matches = append(fm.Entry.Matches, openflow.Exact(f, v))
+		case "ipv4src", "ipv4dst":
+			f := openflow.FieldIPv4Dst
+			if key == "ipv4src" {
+				f = openflow.FieldIPv4Src
+			}
+			m, err := parseIPv4Match(f, val)
+			if err != nil {
+				return nil, err
+			}
+			fm.Entry.Matches = append(fm.Entry.Matches, m)
+		case "sport", "dport":
+			f := openflow.FieldDstPort
+			if key == "sport" {
+				f = openflow.FieldSrcPort
+			}
+			m, err := parsePortMatch(f, val)
+			if err != nil {
+				return nil, err
+			}
+			fm.Entry.Matches = append(fm.Entry.Matches, m)
+		case "out":
+			if val == "controller" {
+				writeActs = append(writeActs, openflow.Output(openflow.ControllerPort))
+				break
+			}
+			p, err := parseUint(val)
+			if err != nil {
+				return nil, fmt.Errorf("bad output port %q", val)
+			}
+			writeActs = append(writeActs, openflow.Output(uint32(p)))
+		case "drop":
+			if hasVal {
+				return nil, fmt.Errorf("drop takes no value")
+			}
+			writeActs = append(writeActs, openflow.Drop())
+		case "goto":
+			tgt, err := strconv.ParseUint(val, 10, 8)
+			if err != nil {
+				return nil, fmt.Errorf("bad goto table %q", val)
+			}
+			in := openflow.GotoTable(openflow.TableID(tgt))
+			gotoInstr = &in
+		case "setmeta":
+			v, m, err := parseValMask(val)
+			if err != nil {
+				return nil, fmt.Errorf("bad setmeta %q: %w", val, err)
+			}
+			if m == 0 {
+				m = ^uint64(0)
+			}
+			in := openflow.WriteMetadata(v, m)
+			metaInstr = &in
+		default:
+			return nil, fmt.Errorf("unknown token %q", tok)
+		}
+	}
+	// Canonical instruction order: write-metadata, goto-table,
+	// write-actions — the order the pipeline builders use.
+	if metaInstr != nil {
+		fm.Entry.Instructions = append(fm.Entry.Instructions, *metaInstr)
+	}
+	if gotoInstr != nil {
+		fm.Entry.Instructions = append(fm.Entry.Instructions, *gotoInstr)
+	}
+	if len(writeActs) > 0 {
+		fm.Entry.Instructions = append(fm.Entry.Instructions, openflow.WriteActions(writeActs...))
+	}
+	return fm, nil
+}
+
+func parseUint(s string) (uint64, error) {
+	return strconv.ParseUint(strings.TrimPrefix(s, "0x"), base(s), 64)
+}
+
+func base(s string) int {
+	if strings.HasPrefix(s, "0x") {
+		return 16
+	}
+	return 10
+}
+
+// parseValMask parses V or V/MASK with decimal or 0x-hex numbers.
+func parseValMask(s string) (v, mask uint64, err error) {
+	vs, ms, hasMask := strings.Cut(s, "/")
+	v, err = parseUint(vs)
+	if err != nil {
+		return 0, 0, err
+	}
+	if hasMask {
+		mask, err = parseUint(ms)
+		if err != nil {
+			return 0, 0, err
+		}
+	}
+	return v, mask, nil
+}
+
+func parseMAC(s string) (uint64, error) {
+	parts := strings.Split(s, ":")
+	if len(parts) != 6 {
+		return 0, fmt.Errorf("malformed MAC %q", s)
+	}
+	var v uint64
+	for _, p := range parts {
+		b, err := strconv.ParseUint(p, 16, 8)
+		if err != nil || len(p) != 2 {
+			return 0, fmt.Errorf("malformed MAC octet %q", p)
+		}
+		v = v<<8 | b
+	}
+	return v, nil
+}
+
+func parseIPv4Match(f openflow.FieldID, s string) (openflow.Match, error) {
+	addr, plenStr, hasLen := strings.Cut(s, "/")
+	quads := strings.Split(addr, ".")
+	if len(quads) != 4 {
+		return openflow.Match{}, fmt.Errorf("malformed IPv4 %q", s)
+	}
+	var v uint32
+	for _, q := range quads {
+		b, err := strconv.ParseUint(q, 10, 8)
+		if err != nil {
+			return openflow.Match{}, fmt.Errorf("malformed IPv4 octet %q", q)
+		}
+		v = v<<8 | uint32(b)
+	}
+	if !hasLen {
+		return openflow.Exact(f, uint64(v)), nil
+	}
+	plen, err := strconv.Atoi(plenStr)
+	if err != nil || plen < 0 || plen > 32 {
+		return openflow.Match{}, fmt.Errorf("bad prefix length %q", plenStr)
+	}
+	return openflow.Prefix(f, uint64(v), plen), nil
+}
+
+func parsePortMatch(f openflow.FieldID, s string) (openflow.Match, error) {
+	lo, hi, isRange := strings.Cut(s, "-")
+	l, err := strconv.ParseUint(lo, 10, 16)
+	if err != nil {
+		return openflow.Match{}, fmt.Errorf("bad port %q", s)
+	}
+	if !isRange {
+		return openflow.Exact(f, l), nil
+	}
+	h, err := strconv.ParseUint(hi, 10, 16)
+	if err != nil {
+		return openflow.Match{}, fmt.Errorf("bad port range %q", s)
+	}
+	return openflow.Range(f, l, h), nil
+}

@@ -43,6 +43,8 @@ const (
 	MsgBarrierReply
 	MsgPacketBatch
 	MsgPacketBatchReply
+	MsgFlowModBatch
+	MsgFlowModBatchReply
 )
 
 // String names the message type.
@@ -72,25 +74,72 @@ func (t MsgType) String() string {
 		return "packet-batch"
 	case MsgPacketBatchReply:
 		return "packet-batch-reply"
+	case MsgFlowModBatch:
+		return "flow-mod-batch"
+	case MsgFlowModBatchReply:
+		return "flow-mod-batch-reply"
 	default:
 		return "unknown"
 	}
 }
 
-// FlowModOp selects add or delete.
+// FlowModOp selects the flow-mod operation, mirroring OFPFC_*.
 type FlowModOp uint8
 
-// Flow-mod operations.
+// Flow-mod operations. FlowAdd installs (replacing an entry with the same
+// match set and priority); FlowDelete removes every entry the match
+// subsumes (non-strict, priority ignored — an empty match sweeps the
+// table); FlowModify rewrites the instructions of every subsumed entry;
+// FlowDeleteStrict removes entries with exactly the same match set and
+// priority. FlowRemoveExact is the legacy pre-transactional identity:
+// like FlowDeleteStrict but additionally requiring the instructions to
+// match, and erroring when no entry does. Each op means the same thing
+// whether it travels as a single MsgFlowMod or inside a MsgFlowModBatch.
 const (
 	FlowAdd FlowModOp = iota + 1
 	FlowDelete
+	FlowModify
+	FlowDeleteStrict
+	FlowRemoveExact
 )
 
-// FlowMod is a flow-table modification.
+// String names the operation.
+func (op FlowModOp) String() string {
+	switch op {
+	case FlowAdd:
+		return "add"
+	case FlowDelete:
+		return "delete"
+	case FlowModify:
+		return "modify"
+	case FlowDeleteStrict:
+		return "delete-strict"
+	case FlowRemoveExact:
+		return "remove-exact"
+	default:
+		return "unknown"
+	}
+}
+
+// FlowMod is one flow-table modification command. Entry carries the
+// match set, priority, cookie and (for add/modify) instructions;
+// CookieMask arms the cookie filter on modify/delete selection (zero
+// disables it, as in OpenFlow).
 type FlowMod struct {
-	Op    FlowModOp
-	Table openflow.TableID
-	Entry openflow.FlowEntry
+	Op         FlowModOp
+	Table      openflow.TableID
+	CookieMask uint64
+	Entry      openflow.FlowEntry
+}
+
+// FlowModBatchReply reports what a committed flow-mod batch did, echoing
+// the switch-side transaction result.
+type FlowModBatchReply struct {
+	Commands uint32
+	Added    uint32
+	Replaced uint32
+	Modified uint32
+	Deleted  uint32
 }
 
 // PacketReplyFlags encode the pipeline result.
@@ -117,6 +166,11 @@ type Stats struct {
 	CacheEntries int          `json:"cache_entries,omitempty"`
 	CacheHits    uint64       `json:"cache_hits,omitempty"`
 	CacheMisses  uint64       `json:"cache_misses,omitempty"`
+	// Transaction telemetry: committed transactions, the flow-mod
+	// commands they carried, and rejected (rolled-back) transactions.
+	Txs             uint64 `json:"txs,omitempty"`
+	FlowModCommands uint64 `json:"flow_mod_commands,omitempty"`
+	RejectedTxs     uint64 `json:"rejected_txs,omitempty"`
 }
 
 // TableStats describes one pipeline table.
@@ -221,30 +275,127 @@ func DecodeHello(payload []byte) error {
 	return nil
 }
 
+// flowModHeaderLen is the [op u8 | table u8 | cookie-mask u64] prefix of
+// one flow-mod record.
+const flowModHeaderLen = 1 + 1 + 8
+
+// AppendFlowMod appends the wire form of one flow-mod record to buf.
+func AppendFlowMod(buf []byte, fm *FlowMod) []byte {
+	buf = append(buf, byte(fm.Op), byte(fm.Table))
+	buf = binary.BigEndian.AppendUint64(buf, fm.CookieMask)
+	return openflow.AppendFlowEntry(buf, &fm.Entry)
+}
+
 // EncodeFlowMod serialises a flow-mod.
 func EncodeFlowMod(fm *FlowMod) []byte {
-	buf := []byte{byte(fm.Op), byte(fm.Table)}
-	return openflow.AppendFlowEntry(buf, &fm.Entry)
+	return AppendFlowMod(nil, fm)
+}
+
+// decodeFlowModInto decodes one flow-mod record into fm, returning the
+// bytes consumed. Entry slices are drawn from the arena when one is given.
+func decodeFlowModInto(fm *FlowMod, buf []byte, ar *openflow.EntryArena) (int, error) {
+	if len(buf) < flowModHeaderLen {
+		return 0, fmt.Errorf("ofproto: flow-mod record of %d bytes", len(buf))
+	}
+	fm.Op = FlowModOp(buf[0])
+	fm.Table = openflow.TableID(buf[1])
+	fm.CookieMask = binary.BigEndian.Uint64(buf[2:])
+	if fm.Op < FlowAdd || fm.Op > FlowRemoveExact {
+		return 0, fmt.Errorf("ofproto: unknown flow-mod op %d", buf[0])
+	}
+	n, err := openflow.DecodeFlowEntryInto(&fm.Entry, buf[flowModHeaderLen:], ar)
+	if err != nil {
+		return 0, fmt.Errorf("ofproto: flow-mod entry: %w", err)
+	}
+	return flowModHeaderLen + n, nil
 }
 
 // DecodeFlowMod parses a flow-mod payload.
 func DecodeFlowMod(payload []byte) (*FlowMod, error) {
-	if len(payload) < 2 {
-		return nil, fmt.Errorf("ofproto: flow-mod payload of %d bytes", len(payload))
-	}
-	fm := &FlowMod{Op: FlowModOp(payload[0]), Table: openflow.TableID(payload[1])}
-	if fm.Op != FlowAdd && fm.Op != FlowDelete {
-		return nil, fmt.Errorf("ofproto: unknown flow-mod op %d", payload[0])
-	}
-	entry, n, err := openflow.DecodeFlowEntry(payload[2:])
+	fm := &FlowMod{}
+	n, err := decodeFlowModInto(fm, payload, nil)
 	if err != nil {
-		return nil, fmt.Errorf("ofproto: flow-mod entry: %w", err)
+		return nil, err
 	}
-	if n != len(payload)-2 {
-		return nil, fmt.Errorf("ofproto: flow-mod has %d trailing bytes", len(payload)-2-n)
+	if n != len(payload) {
+		return nil, fmt.Errorf("ofproto: flow-mod has %d trailing bytes", len(payload)-n)
 	}
-	fm.Entry = *entry
 	return fm, nil
+}
+
+// AppendFlowModBatch appends the wire form of a flow-mod batch to buf, so
+// per-connection senders can reuse one encode buffer.
+func AppendFlowModBatch(buf []byte, fms []FlowMod) []byte {
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(fms)))
+	for i := range fms {
+		buf = AppendFlowMod(buf, &fms[i])
+	}
+	return buf
+}
+
+// EncodeFlowModBatch serialises a batch of flow-mods.
+func EncodeFlowModBatch(fms []FlowMod) []byte {
+	return AppendFlowModBatch(nil, fms)
+}
+
+// DecodeFlowModBatch parses a batch of flow-mods.
+func DecodeFlowModBatch(payload []byte) ([]FlowMod, error) {
+	return DecodeFlowModBatchArena(payload, nil, nil)
+}
+
+// DecodeFlowModBatchArena parses a batch of flow-mods, reusing the fms
+// slice and drawing the entries' match/instruction/action slices from the
+// arena: once both have grown to a connection's working set, the
+// steady-state decode path allocates nothing. The decoded commands alias
+// the arena (and the payload's lifetime rules of ReadMessageBuf apply),
+// so the caller must consume them before the next message.
+func DecodeFlowModBatchArena(payload []byte, fms []FlowMod, ar *openflow.EntryArena) ([]FlowMod, error) {
+	if len(payload) < 2 {
+		return fms, fmt.Errorf("ofproto: flow-mod-batch payload of %d bytes", len(payload))
+	}
+	count := int(binary.BigEndian.Uint16(payload))
+	rest := payload[2:]
+	if cap(fms) < count {
+		fms = make([]FlowMod, count)
+	}
+	fms = fms[:count]
+	if ar != nil {
+		ar.Reset()
+	}
+	for i := 0; i < count; i++ {
+		n, err := decodeFlowModInto(&fms[i], rest, ar)
+		if err != nil {
+			return fms[:0], fmt.Errorf("ofproto: flow-mod-batch record %d: %w", i, err)
+		}
+		rest = rest[n:]
+	}
+	if len(rest) != 0 {
+		return fms[:0], fmt.Errorf("ofproto: flow-mod-batch has %d trailing bytes", len(rest))
+	}
+	return fms, nil
+}
+
+// AppendFlowModBatchReply appends the wire form of a batch reply to buf.
+func AppendFlowModBatchReply(buf []byte, r *FlowModBatchReply) []byte {
+	buf = binary.BigEndian.AppendUint32(buf, r.Commands)
+	buf = binary.BigEndian.AppendUint32(buf, r.Added)
+	buf = binary.BigEndian.AppendUint32(buf, r.Replaced)
+	buf = binary.BigEndian.AppendUint32(buf, r.Modified)
+	return binary.BigEndian.AppendUint32(buf, r.Deleted)
+}
+
+// DecodeFlowModBatchReply parses a batch reply.
+func DecodeFlowModBatchReply(payload []byte) (*FlowModBatchReply, error) {
+	if len(payload) != 20 {
+		return nil, fmt.Errorf("ofproto: flow-mod-batch-reply payload of %d bytes", len(payload))
+	}
+	return &FlowModBatchReply{
+		Commands: binary.BigEndian.Uint32(payload),
+		Added:    binary.BigEndian.Uint32(payload[4:]),
+		Replaced: binary.BigEndian.Uint32(payload[8:]),
+		Modified: binary.BigEndian.Uint32(payload[12:]),
+		Deleted:  binary.BigEndian.Uint32(payload[16:]),
+	}, nil
 }
 
 // EncodePacket serialises an injected packet header.

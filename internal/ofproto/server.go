@@ -98,6 +98,11 @@ type connState struct {
 	results []core.Result
 	replies []PacketReply
 	out     []byte
+	// Flow-mod batch decode buffers: the command slice and the entry
+	// arena its matches/instructions/actions live in. The pipeline copies
+	// entries on insert, so both are safe to reuse per message.
+	fms     []FlowMod
+	fmArena openflow.EntryArena
 }
 
 func (s *Server) serveConn(conn net.Conn) {
@@ -141,15 +146,37 @@ func (s *Server) dispatch(conn net.Conn, cs *connState, msg Message) error {
 		}
 		// The pipeline takes its write lock internally; lookups racing
 		// this mutation keep executing against the previous snapshot.
-		if fm.Op == FlowAdd {
-			err = s.pipeline.Insert(fm.Table, &fm.Entry)
-		} else {
-			err = s.pipeline.Remove(fm.Table, &fm.Entry)
-		}
-		if err != nil {
+		if err := s.applyFlowMod(fm); err != nil {
 			return err
 		}
 		return WriteMessage(conn, MsgFlowModReply, nil)
+	case MsgFlowModBatch:
+		fms, err := DecodeFlowModBatchArena(msg.Payload, cs.fms, &cs.fmArena)
+		cs.fms = fms
+		if err != nil {
+			return err
+		}
+		// The whole batch is one transaction: it validates and applies
+		// atomically, publishes one snapshot, and invalidates the
+		// microflow cache once — regardless of the batch size.
+		tx := s.pipeline.Begin()
+		for i := range fms {
+			tx.FlowMod(coreCmd(&fms[i]))
+		}
+		res, err := tx.Commit()
+		if err != nil {
+			return err
+		}
+		reply := FlowModBatchReply{
+			Commands: uint32(res.Commands),
+			Added:    uint32(res.Added),
+			Replaced: uint32(res.Replaced),
+			Modified: uint32(res.Modified),
+			Deleted:  uint32(res.Deleted),
+		}
+		cs.out = BeginFrame(cs.out)
+		cs.out = AppendFlowModBatchReply(cs.out, &reply)
+		return WriteFrame(conn, MsgFlowModBatchReply, cs.out)
 	case MsgPacket:
 		h, err := DecodePacket(msg.Payload)
 		if err != nil {
@@ -186,6 +213,31 @@ func (s *Server) dispatch(conn net.Conn, cs *connState, msg Message) error {
 	default:
 		return fmt.Errorf("ofproto: unexpected message type %s", msg.Type)
 	}
+}
+
+// coreCmd translates a wire flow-mod into the pipeline's command form.
+func coreCmd(fm *FlowMod) core.FlowCmd {
+	var op core.FlowCmdOp
+	switch fm.Op {
+	case FlowAdd:
+		op = core.CmdAdd
+	case FlowModify:
+		op = core.CmdModify
+	case FlowDelete:
+		op = core.CmdDelete
+	case FlowDeleteStrict:
+		op = core.CmdDeleteStrict
+	case FlowRemoveExact:
+		op = core.CmdRemoveExact
+	}
+	return core.FlowCmd{Op: op, Table: fm.Table, CookieMask: fm.CookieMask, Entry: fm.Entry}
+}
+
+// applyFlowMod applies one wire flow-mod as a single-command transaction.
+// Every op means the same thing here as inside a flow-mod batch.
+func (s *Server) applyFlowMod(fm *FlowMod) error {
+	_, err := s.pipeline.Begin().FlowMod(coreCmd(fm)).Commit()
+	return err
 }
 
 // replyOf converts a pipeline result to the wire reply. The Outputs
@@ -227,6 +279,10 @@ func (s *Server) stats() *Stats {
 	st.CacheEntries = cache.Entries
 	st.CacheHits = cache.Hits
 	st.CacheMisses = cache.Misses
+	tc := s.pipeline.TxCounters()
+	st.Txs = tc.Txs
+	st.FlowModCommands = tc.Commands
+	st.RejectedTxs = tc.Rejected
 	return st
 }
 
@@ -286,18 +342,49 @@ func (c *Client) roundTrip(t MsgType, payload []byte, want MsgType) (Message, er
 	return msg, nil
 }
 
-// AddFlow installs a flow entry.
+// AddFlow installs a flow entry, replacing any installed entry with the
+// same match set and priority.
 func (c *Client) AddFlow(table openflow.TableID, e *openflow.FlowEntry) error {
 	fm := FlowMod{Op: FlowAdd, Table: table, Entry: *e}
 	_, err := c.roundTrip(MsgFlowMod, EncodeFlowMod(&fm), MsgFlowModReply)
 	return err
 }
 
-// DeleteFlow removes a flow entry.
+// DeleteFlow removes the flow entry with the same matches, priority and
+// instructions (the FlowRemoveExact op); deleting a missing entry is an
+// error. For OpenFlow non-strict / strict deletion semantics send
+// FlowDelete / FlowDeleteStrict commands — either as single flow-mods or
+// through SendFlowMods; the op, not the framing, selects the semantics.
 func (c *Client) DeleteFlow(table openflow.TableID, e *openflow.FlowEntry) error {
-	fm := FlowMod{Op: FlowDelete, Table: table, Entry: *e}
+	fm := FlowMod{Op: FlowRemoveExact, Table: table, Entry: *e}
 	_, err := c.roundTrip(MsgFlowMod, EncodeFlowMod(&fm), MsgFlowModReply)
 	return err
+}
+
+// SendFlowMods submits a batch of flow-mod commands in one round trip.
+// The switch applies the whole batch as one transaction: every command
+// applies atomically (a failing command rejects and rolls back the
+// batch), one lookup snapshot is published, and the microflow cache is
+// invalidated once. The encode and read buffers are reused across calls,
+// so steady-state batch submission does not re-allocate the wire frames.
+func (c *Client) SendFlowMods(fms []FlowMod) (*FlowModBatchReply, error) {
+	c.out = BeginFrame(c.out)
+	c.out = AppendFlowModBatch(c.out, fms)
+	if err := WriteFrame(c.conn, MsgFlowModBatch, c.out); err != nil {
+		return nil, err
+	}
+	msg, buf, err := ReadMessageBuf(c.conn, c.readBuf)
+	c.readBuf = buf
+	if err != nil {
+		return nil, err
+	}
+	if msg.Type == MsgError {
+		return nil, fmt.Errorf("ofproto: switch error: %s", msg.Payload)
+	}
+	if msg.Type != MsgFlowModBatchReply {
+		return nil, fmt.Errorf("ofproto: expected %s, got %s", MsgFlowModBatchReply, msg.Type)
+	}
+	return DecodeFlowModBatchReply(msg.Payload)
 }
 
 // SendPacket injects a packet header and returns the pipeline result.

@@ -55,12 +55,67 @@ func AppendFlowEntry(buf []byte, e *FlowEntry) []byte {
 }
 
 // DecodeFlowEntry decodes one flow entry from buf, returning the entry and
-// the number of bytes consumed.
+// the number of bytes consumed. It is the heap-allocating form of
+// DecodeFlowEntryInto, so single-message and batch paths share one parser.
 func DecodeFlowEntry(buf []byte) (*FlowEntry, int, error) {
-	if len(buf) < entryHeaderLen {
-		return nil, 0, fmt.Errorf("decoding flow entry header: %w", ErrTruncated)
+	e := &FlowEntry{}
+	n, err := DecodeFlowEntryInto(e, buf, nil)
+	if err != nil {
+		return nil, 0, err
 	}
-	e := &FlowEntry{
+	return e, n, nil
+}
+
+// EntryArena pools the variable-length slices flow-entry decoding needs
+// (matches, instructions, actions). A decoder that threads one arena
+// through a batch reuses the arena's capacity across messages, so the
+// steady-state decode path allocates nothing. Decoded entries alias the
+// arena until the next Reset, so callers must consume (or copy) them
+// before reusing it.
+type EntryArena struct {
+	matches []Match
+	instrs  []Instruction
+	actions []Action
+}
+
+// Reset empties the arena, retaining capacity for the next batch.
+func (ar *EntryArena) Reset() {
+	ar.matches = ar.matches[:0]
+	ar.instrs = ar.instrs[:0]
+	ar.actions = ar.actions[:0]
+}
+
+// grabMatches extends the arena by n matches and returns the new region.
+// The region is capacity-clamped so a later append on the returned slice
+// can never overwrite a neighbouring region.
+func (ar *EntryArena) grabMatches(n int) []Match {
+	off := len(ar.matches)
+	ar.matches = append(ar.matches, make([]Match, n)...)
+	return ar.matches[off : off+n : off+n]
+}
+
+func (ar *EntryArena) grabInstrs(n int) []Instruction {
+	off := len(ar.instrs)
+	ar.instrs = append(ar.instrs, make([]Instruction, n)...)
+	return ar.instrs[off : off+n : off+n]
+}
+
+func (ar *EntryArena) grabActions(n int) []Action {
+	off := len(ar.actions)
+	ar.actions = append(ar.actions, make([]Action, n)...)
+	return ar.actions[off : off+n : off+n]
+}
+
+// DecodeFlowEntryInto decodes one flow entry into e (fully overwritten),
+// drawing the entry's slices from the arena instead of the heap. It is
+// the allocation-free sibling of DecodeFlowEntry for batch decoders: once
+// the arena has grown to a batch's working set, later batches decode with
+// zero allocations. With a nil arena it falls back to heap allocation.
+func DecodeFlowEntryInto(e *FlowEntry, buf []byte, ar *EntryArena) (int, error) {
+	if len(buf) < entryHeaderLen {
+		return 0, fmt.Errorf("decoding flow entry header: %w", ErrTruncated)
+	}
+	*e = FlowEntry{
 		Priority: int(int32(binary.BigEndian.Uint32(buf))),
 		Cookie:   binary.BigEndian.Uint64(buf[4:]),
 	}
@@ -68,58 +123,65 @@ func DecodeFlowEntry(buf []byte) (*FlowEntry, int, error) {
 	nInstr := int(binary.BigEndian.Uint16(buf[14:]))
 	off := entryHeaderLen
 
+	if len(buf[off:]) < nMatch*matchRecordLen {
+		return 0, fmt.Errorf("decoding matches: %w", ErrTruncated)
+	}
 	if nMatch > 0 {
-		e.Matches = make([]Match, 0, nMatch)
+		if ar != nil {
+			e.Matches = ar.grabMatches(nMatch)
+		} else {
+			e.Matches = make([]Match, nMatch)
+		}
 	}
 	for i := 0; i < nMatch; i++ {
-		if len(buf[off:]) < matchRecordLen {
-			return nil, 0, fmt.Errorf("decoding match %d: %w", i, ErrTruncated)
-		}
-		m := Match{
-			Field: FieldID(buf[off]),
-			Kind:  MatchKind(buf[off+1]),
-		}
+		m := &e.Matches[i]
+		m.Field = FieldID(buf[off])
+		m.Kind = MatchKind(buf[off+1])
 		m.Value = readU128(buf[off+2:])
 		m.PrefixLen = int(buf[off+18])
 		m.Lo = binary.BigEndian.Uint64(buf[off+19:])
 		m.Hi = binary.BigEndian.Uint64(buf[off+27:])
-		e.Matches = append(e.Matches, m)
 		off += matchRecordLen
 	}
 	if nInstr > 0 {
-		e.Instructions = make([]Instruction, 0, nInstr)
+		if ar != nil {
+			e.Instructions = ar.grabInstrs(nInstr)
+		} else {
+			e.Instructions = make([]Instruction, nInstr)
+		}
 	}
 	for i := 0; i < nInstr; i++ {
 		if len(buf[off:]) < instrHeaderLen {
-			return nil, 0, fmt.Errorf("decoding instruction %d: %w", i, ErrTruncated)
+			return 0, fmt.Errorf("decoding instruction %d: %w", i, ErrTruncated)
 		}
-		in := Instruction{
-			Type:  InstructionType(buf[off]),
-			Table: TableID(buf[off+1]),
-		}
+		in := &e.Instructions[i]
+		in.Type = InstructionType(buf[off])
+		in.Table = TableID(buf[off+1])
 		nAct := int(binary.BigEndian.Uint16(buf[off+2:]))
 		in.Metadata = binary.BigEndian.Uint64(buf[off+4:])
 		in.MetadataMask = binary.BigEndian.Uint64(buf[off+12:])
+		in.Actions = nil
 		off += instrHeaderLen
+		if len(buf[off:]) < nAct*actionRecordLen {
+			return 0, fmt.Errorf("decoding actions of instruction %d: %w", i, ErrTruncated)
+		}
 		if nAct > 0 {
-			in.Actions = make([]Action, 0, nAct)
+			if ar != nil {
+				in.Actions = ar.grabActions(nAct)
+			} else {
+				in.Actions = make([]Action, nAct)
+			}
 		}
 		for j := 0; j < nAct; j++ {
-			if len(buf[off:]) < actionRecordLen {
-				return nil, 0, fmt.Errorf("decoding action %d of instruction %d: %w", j, i, ErrTruncated)
-			}
-			a := Action{
-				Type:  ActionType(buf[off]),
-				Port:  binary.BigEndian.Uint32(buf[off+1:]),
-				Field: FieldID(buf[off+5]),
-				Value: readU128(buf[off+6:]),
-			}
-			in.Actions = append(in.Actions, a)
+			a := &in.Actions[j]
+			a.Type = ActionType(buf[off])
+			a.Port = binary.BigEndian.Uint32(buf[off+1:])
+			a.Field = FieldID(buf[off+5])
+			a.Value = readU128(buf[off+6:])
 			off += actionRecordLen
 		}
-		e.Instructions = append(e.Instructions, in)
 	}
-	return e, off, nil
+	return off, nil
 }
 
 // AppendHeader appends the wire form of h to buf.

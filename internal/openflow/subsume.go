@@ -1,0 +1,144 @@
+package openflow
+
+import "ofmtl/internal/bitops"
+
+// Match subsumption implements the OpenFlow non-strict matching rule used
+// by OFPFC_MODIFY and OFPFC_DELETE: a flow-mod's match describes a set of
+// packets, and an installed entry is selected when the set of packets the
+// entry admits is wholly contained in the flow-mod's set. Subsumption is
+// evaluated per field; fields the flow-mod leaves unconstrained subsume
+// everything, while fields the flow-mod constrains select only entries at
+// least as constrained.
+
+// Subsumes reports whether m admits every value that o admits (both on the
+// same field). A wildcard m subsumes anything; a wildcard o is subsumed
+// only by a wildcard m.
+func (m Match) Subsumes(o Match) bool {
+	if m.Field != o.Field {
+		return false
+	}
+	if m.IsWildcard() {
+		return true
+	}
+	if o.IsWildcard() {
+		return false
+	}
+	width := m.Field.Bits()
+	if width <= 64 {
+		mlo, mhi, ok := m.bounds64(width)
+		if !ok {
+			return false
+		}
+		olo, ohi, ok := o.bounds64(width)
+		if !ok {
+			return false
+		}
+		return mlo <= olo && ohi <= mhi
+	}
+	// Wide fields (IPv6): only exact and prefix constraints exist.
+	switch m.Kind {
+	case MatchExact:
+		switch o.Kind {
+		case MatchExact:
+			return m.Value == o.Value
+		case MatchPrefix:
+			return o.PrefixLen == width && maskedValue(o.Value, o.PrefixLen, width) == m.Value
+		}
+		return false
+	case MatchPrefix:
+		switch o.Kind {
+		case MatchExact:
+			return bitops.PrefixContains128(m.Value, m.PrefixLen, width, o.Value)
+		case MatchPrefix:
+			return o.PrefixLen >= m.PrefixLen &&
+				bitops.PrefixContains128(m.Value, m.PrefixLen, width, o.Value)
+		}
+		return false
+	default:
+		return false
+	}
+}
+
+// bounds64 renders a constraint on a field of at most 64 bits as an
+// inclusive value interval. Every supported match kind on a narrow field
+// admits a contiguous interval, which makes subsumption a bounds check.
+func (m Match) bounds64(width int) (lo, hi uint64, ok bool) {
+	switch m.Kind {
+	case MatchExact:
+		return m.Value.Lo, m.Value.Lo, true
+	case MatchPrefix:
+		mask := bitops.Mask64(m.PrefixLen, width)
+		base := m.Value.Lo & mask
+		return base, base | (bitops.LowMask64(width) &^ mask), true
+	case MatchRange:
+		return m.Lo, m.Hi, true
+	case MatchAny:
+		return 0, bitops.LowMask64(width), true
+	default:
+		return 0, 0, false
+	}
+}
+
+// maskedValue zeroes the host bits of a prefix value within a width-bit
+// field.
+func maskedValue(v bitops.U128, plen, width int) bitops.U128 {
+	return v.And(bitops.Mask128(plen, width))
+}
+
+// Canon returns the match in canonical form: prefix host bits are masked
+// off, so two prefixes that admit the same values compare equal. Other
+// kinds are returned unchanged.
+func (m Match) Canon() Match {
+	if m.Kind == MatchPrefix {
+		m.Value = maskedValue(m.Value, m.PrefixLen, m.Field.Bits())
+	}
+	return m
+}
+
+// SelectedBy reports whether the entry is selected by a non-strict
+// flow-mod carrying the given matches (OpenFlow OFPFC_MODIFY /
+// OFPFC_DELETE semantics): every constrained selector field must subsume
+// the entry's constraint on that field, with fields the entry leaves
+// unmentioned treated as wildcards. Priority plays no role.
+func (e *FlowEntry) SelectedBy(sel []Match) bool {
+	for _, s := range sel {
+		if s.Kind == MatchAny {
+			continue
+		}
+		em, ok := e.Match(s.Field)
+		if !ok {
+			em = Any(s.Field)
+		}
+		if !s.Subsumes(em) {
+			return false
+		}
+	}
+	return true
+}
+
+// CookieSelectedBy implements the OpenFlow cookie filter: with a zero mask
+// every entry passes; otherwise the entry's cookie must equal the given
+// cookie on the masked bits.
+func (e *FlowEntry) CookieSelectedBy(cookie, mask uint64) bool {
+	return mask == 0 || (e.Cookie^cookie)&mask == 0
+}
+
+// Clone returns a deep copy of the entry sharing no mutable state with the
+// original: matches, instructions and per-instruction action slices are
+// all copied.
+func (e *FlowEntry) Clone() *FlowEntry {
+	cp := *e
+	if e.Matches != nil {
+		cp.Matches = append([]Match(nil), e.Matches...)
+	}
+	if e.Instructions != nil {
+		cp.Instructions = make([]Instruction, len(e.Instructions))
+		for i, in := range e.Instructions {
+			cp.Instructions[i] = in
+			if in.Actions != nil {
+				cp.Instructions[i].Actions = append([]Action(nil), in.Actions...)
+			}
+		}
+	}
+	return &cp
+}
