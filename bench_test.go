@@ -392,6 +392,47 @@ func BenchmarkPipelineExecuteACL(b *testing.B) {
 	benchPipeline(b, p, traffic.ACLTrace(f, 4096, 0.8, 1))
 }
 
+// BenchmarkLookupPerBackend classifies the same ACL workload through each
+// pluggable lookup backend — the live form of the paper's per-scheme
+// comparison. ns/op is the lookup cost axis; the membits metric is the
+// scheme's accounted memory for the identical rule set, so one benchmark
+// run reproduces the memory/lookup tradeoff table.
+func BenchmarkLookupPerBackend(b *testing.B) {
+	f := filterset.GenerateACL("bench", 1000, filterset.DefaultSeed)
+	trace := traffic.ACLTrace(f, 4096, 0.8, 1)
+	for _, kind := range core.BackendKinds() {
+		b.Run(kind, func(b *testing.B) {
+			p := core.NewPipeline()
+			if err := p.SetDefaultBackend(kind); err != nil {
+				b.Fatal(err)
+			}
+			t, err := p.AddTable(core.TableConfig{
+				ID: 0,
+				Fields: []openflow.FieldID{
+					openflow.FieldIPv4Src,
+					openflow.FieldIPv4Dst,
+					openflow.FieldSrcPort,
+					openflow.FieldDstPort,
+					openflow.FieldIPProto,
+				},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i, e := range f.FlowEntries() {
+				entry := e
+				if err := t.Insert(&entry); err != nil {
+					b.Fatalf("rule %d: %v", i, err)
+				}
+			}
+			benchPipeline(b, p, trace)
+			// After the timed region: ResetTimer inside benchPipeline
+			// would discard metrics reported earlier.
+			b.ReportMetric(float64(p.MemoryStats().TotalBits), "membits")
+		})
+	}
+}
+
 // ---------------------------------------------------------------------
 // Parallel benchmarks: the RCU snapshot engine. The sequential
 // BenchmarkPipelineExecute* benchmarks above are the single-threaded

@@ -14,6 +14,12 @@
 //	flowgen -app mac -all -o filters/        # all 16 filters
 //	flowgen -app mac -name gozb -trace 100000 -zipf 1.1 -o gozb_trace.txt
 //	flowgen -app mac -name gozb -churn 10000 -o gozb_churn.txt
+//	flowgen -app acl -name acl1 -churn 10000 -backend tss -o tss_churn.txt
+//
+// With -backend, churn workloads open with a table-options preamble
+// pinning every touched table to the named lookup backend, so `ofctl
+// flow-mods` can verify the live switch runs the scheme the workload was
+// generated to measure.
 package main
 
 import (
@@ -22,7 +28,9 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 
+	"ofmtl/internal/core"
 	"ofmtl/internal/filterset"
 	"ofmtl/internal/flowtext"
 	"ofmtl/internal/ofproto"
@@ -52,16 +60,27 @@ func run() error {
 		hit   = flag.Float64("hit", 0.9, "fraction of trace flows that match installed rules (with -trace)")
 		zipf  = flag.Float64("zipf", 0, "Zipf skew of flow popularity; 0 = uniform, 1.0-1.3 = measured traffic (with -trace)")
 
-		churn = flag.Int("churn", 0, "emit an N-command flow-mod churn workload against the generated filter")
+		churn   = flag.Int("churn", 0, "emit an N-command flow-mod churn workload against the generated filter")
+		backend = flag.String("backend", "", "pin touched tables to this lookup backend via a table-options preamble (with -churn)")
 	)
 	flag.Parse()
 
+	if *backend != "" {
+		if *churn <= 0 {
+			return fmt.Errorf("-backend requires -churn (table-options pin churn workloads)")
+		}
+		if !core.ValidBackend(*backend) {
+			// Fail at generation time: a workload pinned to a kind no
+			// switch can run would fail every later replay.
+			return fmt.Errorf("unknown backend %q (want %v)", *backend, core.BackendKinds())
+		}
+	}
 	if *churn > 0 {
 		if *all || *trace > 0 {
 			return fmt.Errorf("-churn is mutually exclusive with -all and -trace")
 		}
 		gen := func(w io.Writer) error {
-			return generateChurn(w, *app, *name, *n, *churn, *seed)
+			return generateChurn(w, *app, *name, *n, *churn, *seed, *backend)
 		}
 		if *out == "" {
 			return gen(os.Stdout)
@@ -188,8 +207,10 @@ func generateTrace(w io.Writer, app, name string, rules, n, flows int, hit, skew
 // first-table entries, then a randomized add / modify / delete mix over
 // the leaf-table entries — the control-plane regime the transactional API
 // (one snapshot publish per batch) is built for. The same seed always
-// yields the same workload, so churn benchmarks are reproducible.
-func generateChurn(w io.Writer, app, name string, rules, n int, seed uint64) error {
+// yields the same workload, so churn benchmarks are reproducible. A
+// non-empty backend pins every table the workload touches through a
+// table-options preamble.
+func generateChurn(w io.Writer, app, name string, rules, n int, seed uint64, backend string) error {
 	pre, leaf, err := churnCommands(app, name, rules, seed)
 	if err != nil {
 		return err
@@ -238,7 +259,20 @@ func generateChurn(w io.Writer, app, name string, rules, n int, seed uint64) err
 			liveIdx = liveIdx[:len(liveIdx)-1]
 		}
 	}
-	return flowtext.Write(w, cmds)
+	out := &flowtext.File{Commands: cmds}
+	if backend != "" {
+		seen := map[openflow.TableID]bool{}
+		for i := range cmds {
+			if id := cmds[i].Table; !seen[id] {
+				seen[id] = true
+				out.TableOptions = append(out.TableOptions, flowtext.TableOption{Table: id, Backend: backend})
+			}
+		}
+		sort.Slice(out.TableOptions, func(i, j int) bool {
+			return out.TableOptions[i].Table < out.TableOptions[j].Table
+		})
+	}
+	return flowtext.WriteFile(w, out)
 }
 
 // churnCommands renders the named filter as flow-mod add commands:

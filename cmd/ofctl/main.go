@@ -6,6 +6,7 @@
 // Usage:
 //
 //	ofctl -addr 127.0.0.1:6653 stats
+//	ofctl memory
 //	ofctl add-mac -vlan 10 -mac 00:11:22:33:44:55 -port 3
 //	ofctl del-mac -vlan 10 -mac 00:11:22:33:44:55
 //	ofctl add-route -inport 2 -prefix 10.0.0.0/8 -nexthop 7
@@ -18,7 +19,17 @@
 // flow-mods replays a flow-mod command file (the flowgen/flowtext format:
 // add / modify / delete / delete-strict lines) in batched transactions:
 // each batch of -batch commands is applied by the switch atomically with
-// one snapshot publish, and a barrier closes the session.
+// one snapshot publish, and a barrier closes the session. A table-options
+// preamble in the file (flowgen -backend emits one) pins the lookup
+// backend each table is expected to run; flow-mods verifies the pins
+// against the switch's live memory stats before replaying, so a workload
+// generated for one scheme is not measured against another
+// (-ignore-table-options skips the check).
+//
+// memory reads the switch's live per-table memory accounting — the
+// per-backend byte counters each flow-mod commit republishes — over the
+// memory-stats message. The switch serves it lock-free, so polling is
+// safe under full churn.
 package main
 
 import (
@@ -49,7 +60,7 @@ func run(args []string) error {
 	}
 	rest := global.Args()
 	if len(rest) == 0 {
-		return fmt.Errorf("usage: ofctl [-addr host:port] <stats|add-mac|del-mac|add-route|del-route|load|flow-mods|packet> [flags]")
+		return fmt.Errorf("usage: ofctl [-addr host:port] <stats|memory|add-mac|del-mac|add-route|del-route|load|flow-mods|packet> [flags]")
 	}
 
 	client, err := ofproto.Dial(*addr)
@@ -61,6 +72,8 @@ func run(args []string) error {
 	switch rest[0] {
 	case "stats":
 		return doStats(client)
+	case "memory":
+		return doMemory(client)
 	case "add-mac":
 		return doAddMAC(client, rest[1:])
 	case "del-mac":
@@ -103,6 +116,23 @@ func doStats(c *ofproto.Client) error {
 	if st.Txs > 0 || st.RejectedTxs > 0 {
 		fmt.Printf("control plane: %d transactions, %d flow-mod commands, %d rejected\n",
 			st.Txs, st.FlowModCommands, st.RejectedTxs)
+	}
+	return nil
+}
+
+// doMemory prints the switch's live per-table, per-backend memory
+// accounting.
+func doMemory(c *ofproto.Client) error {
+	ms, err := c.MemoryStats()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("memory: %d bits (%.3f Mbit, %d bytes) across %d tables\n",
+		ms.TotalBits, float64(ms.TotalBits)/1e6, (ms.TotalBits+7)/8, len(ms.Tables))
+	for i := range ms.Tables {
+		t := &ms.Tables[i]
+		fmt.Printf("  table %d [%-10s] %7d rules  search=%-10d index=%-9d actions=%-8d total=%d bits\n",
+			t.Table, t.Backend, t.Rules, t.SearchBits, t.IndexBits, t.ActionBits, t.TotalBits())
 	}
 	return nil
 }
@@ -302,6 +332,7 @@ func doFlowMods(c *ofproto.Client, args []string) error {
 	fs := flag.NewFlagSet("flow-mods", flag.ContinueOnError)
 	file := fs.String("file", "", "flow-mod command file (flowgen/flowtext format)")
 	batch := fs.Int("batch", 256, "commands per transaction")
+	ignoreOpts := fs.Bool("ignore-table-options", false, "replay even when the switch's table backends differ from the file's table-options pins")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -313,9 +344,15 @@ func doFlowMods(c *ofproto.Client, args []string) error {
 		return fmt.Errorf("opening command file: %w", err)
 	}
 	defer func() { _ = f.Close() }()
-	fms, err := flowtext.Read(f)
+	parsed, err := flowtext.ReadFile(f)
 	if err != nil {
 		return err
+	}
+	fms := parsed.Commands
+	if len(parsed.TableOptions) > 0 && !*ignoreOpts {
+		if err := checkTableOptions(c, parsed.TableOptions); err != nil {
+			return err
+		}
 	}
 	var total ofproto.FlowModBatchReply
 	txs := 0
@@ -342,6 +379,32 @@ func doFlowMods(c *ofproto.Client, args []string) error {
 	}
 	fmt.Printf("committed %d transactions, %d commands: %d added (%d replaced), %d modified, %d deleted\n",
 		txs, total.Commands, total.Added, total.Replaced, total.Modified, total.Deleted)
+	return nil
+}
+
+// checkTableOptions verifies the workload's table-options pins against
+// the backends the live switch actually runs, via the memory-stats
+// message.
+func checkTableOptions(c *ofproto.Client, opts []flowtext.TableOption) error {
+	ms, err := c.MemoryStats()
+	if err != nil {
+		return fmt.Errorf("fetching table backends: %w", err)
+	}
+	byTable := make(map[uint8]string, len(ms.Tables))
+	for i := range ms.Tables {
+		byTable[ms.Tables[i].Table] = ms.Tables[i].Backend
+	}
+	for _, opt := range opts {
+		got, ok := byTable[uint8(opt.Table)]
+		if !ok {
+			return fmt.Errorf("table-options: switch has no table %d", opt.Table)
+		}
+		if got != opt.Backend {
+			return fmt.Errorf("table-options: table %d runs backend %s, workload pins %s (re-run switchd -backend %s, or pass -ignore-table-options)",
+				opt.Table, got, opt.Backend, opt.Backend)
+		}
+		fmt.Printf("table-options: table %d backend=%s confirmed\n", opt.Table, opt.Backend)
+	}
 	return nil
 }
 

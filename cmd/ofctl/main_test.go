@@ -243,3 +243,70 @@ delete-strict 1 prio=1 meta=10 ethdst=00:aa:00:00:00:03
 		t.Error("bad command file should error")
 	}
 }
+
+// TestMemoryAndTableOptionsEndToEnd drives the memory subcommand and the
+// flow-mods table-options verification against a live switch running a
+// non-default backend.
+func TestMemoryAndTableOptionsEndToEnd(t *testing.T) {
+	p := core.NewPipeline()
+	if err := p.SetDefaultBackend(core.BackendTSS); err != nil {
+		t.Fatal(err)
+	}
+	if err := core.AddMACTables(p, &filterset.MACFilter{Name: "empty"}, 0, core.MissPolicy{Kind: core.MissController}); err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := ofproto.NewServer(p, nil)
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(l) }()
+	defer func() {
+		_ = srv.Close()
+		<-done
+	}()
+	addr := l.Addr().String()
+
+	if err := run([]string{"-addr", addr, "memory"}); err != nil {
+		t.Fatalf("memory: %v", err)
+	}
+
+	dir := t.TempDir()
+	script := "add 0 prio=1 vlan=10 setmeta=10 goto=1\nadd 1 prio=1 meta=10 ethdst=00:aa:00:00:00:01 out=1\n"
+	pinned := filepath.Join(dir, "pinned.txt")
+	if err := os.WriteFile(pinned, []byte("table-options 1 backend=tss\n"+script), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-addr", addr, "flow-mods", "-file", pinned}); err != nil {
+		t.Fatalf("flow-mods with matching pin: %v", err)
+	}
+
+	mismatched := filepath.Join(dir, "mismatched.txt")
+	if err := os.WriteFile(mismatched, []byte("table-options 1 backend=lineartcam\n"+script), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-addr", addr, "flow-mods", "-file", mismatched}); err == nil {
+		t.Fatal("flow-mods should refuse a workload pinned to another backend")
+	}
+	if err := run([]string{"-addr", addr, "flow-mods", "-file", mismatched, "-ignore-table-options"}); err != nil {
+		t.Fatalf("-ignore-table-options should replay anyway: %v", err)
+	}
+
+	// The wire-reported backends reflect the pipeline.
+	c, err := ofproto.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+	ms, err := c.MemoryStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms.Tables) != 2 || ms.Tables[0].Backend != core.BackendTSS || ms.Tables[1].Backend != core.BackendTSS {
+		t.Errorf("wire backends: %+v", ms.Tables)
+	}
+	if ms.Tables[1].Rules == 0 || ms.TotalBits == 0 {
+		t.Errorf("memory stats did not move under inserts: %+v", ms)
+	}
+}

@@ -9,6 +9,17 @@
 //	switchd -listen :6653 -mac gozb -route coza    # preloaded worst-case prototype
 //	switchd -listen :6653 -mac gozb -workers 8     # 8-way parallel batch classification
 //	switchd -listen :6653 -mac gozb -cache 0       # disable the microflow fast path
+//	switchd -listen :6653 -backend tss             # tuple-space search in every table
+//	switchd -listen :6653 -memlog 30s              # periodic live memory accounting logs
+//
+// -backend selects the lookup scheme tables run (mbt, the paper's
+// multi-bit-trie architecture; tss, tuple space search; lineartcam, the
+// TCAM cost model) when the pipeline layout does not pin one per table;
+// a -pipeline file may pin schemes per table with "backend" properties.
+// -memlog logs the pipeline's live per-table memory accounting on an
+// interval; the same figures are served over the wire as the
+// memory-stats message (ofctl memory), read from lock-free counters that
+// never serialise against flow-mods or lookups.
 //
 // Packet lookups execute lock-free against the pipeline's RCU-style
 // snapshot, so concurrent controller connections classify in parallel;
@@ -33,7 +44,9 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
+	"time"
 
 	"ofmtl/internal/core"
 	"ofmtl/internal/filterset"
@@ -56,6 +69,8 @@ func run() error {
 		pipeFile = flag.String("pipeline", "", "JSON pipeline layout (TTP-style); overrides the built-in prototype")
 		workers  = flag.Int("workers", 0, "goroutines per packet batch (0 = GOMAXPROCS, 1 = sequential)")
 		cacheSz  = flag.Int("cache", 1<<16, "microflow cache entries (0 = disable the fast path)")
+		backend  = flag.String("backend", "", "default per-table lookup backend: mbt | tss | lineartcam")
+		memlog   = flag.Duration("memlog", 0, "interval for periodic memory-accounting logs (0 = disabled)")
 	)
 	flag.Parse()
 	if *workers < 0 {
@@ -71,9 +86,9 @@ func run() error {
 		if *macName != "" || *rtName != "" {
 			return fmt.Errorf("-pipeline is mutually exclusive with -mac/-route preloads")
 		}
-		pipeline, err = loadPipeline(*pipeFile)
+		pipeline, err = loadPipeline(*pipeFile, *backend)
 	} else {
-		pipeline, err = buildPipeline(*macName, *rtName, *seed)
+		pipeline, err = buildPipeline(*macName, *rtName, *seed, *backend)
 	}
 	if err != nil {
 		return err
@@ -81,6 +96,9 @@ func run() error {
 	pipeline.SetWorkers(*workers)
 	pipeline.SetCacheSize(*cacheSz)
 	log.Printf("switchd: pipeline ready: %d tables, %d rules", len(pipeline.Tables()), pipeline.Rules())
+	for _, tm := range pipeline.MemoryStats().Tables {
+		log.Printf("switchd: table %d: backend %s, %d rules, %d bits accounted", tm.Table, tm.Backend, tm.Rules, tm.TotalBits())
+	}
 	mem := pipeline.MemoryReport()
 	log.Printf("switchd: modelled memory: %.2f Mbit in %d M20K blocks", mem.TotalMbits(), mem.Blocks)
 	effective := *workers
@@ -107,6 +125,34 @@ func run() error {
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.Serve(l) }()
 
+	if *memlog > 0 {
+		// Periodic memory accounting: the read is lock-free (atomic loads
+		// of the per-table counters every commit republishes), so the
+		// logger never stalls the control or data plane.
+		stopLog := make(chan struct{})
+		defer close(stopLog)
+		go func() {
+			ticker := time.NewTicker(*memlog)
+			defer ticker.Stop()
+			var tables []core.TableMemory
+			for {
+				select {
+				case <-stopLog:
+					return
+				case <-ticker.C:
+					ms := pipeline.MemoryStatsInto(tables)
+					tables = ms.Tables
+					var b strings.Builder
+					for _, tm := range ms.Tables {
+						fmt.Fprintf(&b, " table%d[%s]=%db", tm.Table, tm.Backend, tm.TotalBits())
+					}
+					log.Printf("switchd: memory: %d bits total (%.3f Mbit)%s",
+						ms.TotalBits, float64(ms.TotalBits)/1e6, b.String())
+				}
+			}
+		}()
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	select {
@@ -125,7 +171,8 @@ func run() error {
 }
 
 // loadPipeline builds a pipeline from a TTP-style JSON layout file.
-func loadPipeline(path string) (*core.Pipeline, error) {
+// backend is the -backend default for tables the layout leaves unpinned.
+func loadPipeline(path, backend string) (*core.Pipeline, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("opening pipeline layout: %w", err)
@@ -136,12 +183,13 @@ func loadPipeline(path string) (*core.Pipeline, error) {
 		return nil, err
 	}
 	log.Printf("switchd: pipeline layout %q from %s", cfg.Name, path)
-	return cfg.Build()
+	return cfg.BuildWithDefault(backend)
 }
 
-// buildPipeline assembles the 4-table prototype, preloading the named
-// filters when given (empty names preload nothing).
-func buildPipeline(macName, rtName string, seed uint64) (*core.Pipeline, error) {
+// buildPipeline assembles the 4-table prototype under the selected
+// lookup backend, preloading the named filters when given (empty names
+// preload nothing).
+func buildPipeline(macName, rtName string, seed uint64, backend string) (*core.Pipeline, error) {
 	mac := &filterset.MACFilter{Name: "empty"}
 	route := &filterset.RouteFilter{Name: "empty"}
 	if macName != "" {
@@ -158,5 +206,5 @@ func buildPipeline(macName, rtName string, seed uint64) (*core.Pipeline, error) 
 		}
 		route = r
 	}
-	return core.BuildPrototype(mac, route)
+	return core.BuildPrototypeWith(mac, route, backend)
 }

@@ -10,7 +10,7 @@ import (
 )
 
 func TestBuildPipelineEmpty(t *testing.T) {
-	p, err := buildPipeline("", "", filterset.DefaultSeed)
+	p, err := buildPipeline("", "", filterset.DefaultSeed, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -23,7 +23,7 @@ func TestBuildPipelineEmpty(t *testing.T) {
 }
 
 func TestBuildPipelinePreloaded(t *testing.T) {
-	p, err := buildPipeline("bbrb", "bbra", filterset.DefaultSeed)
+	p, err := buildPipeline("bbrb", "bbra", filterset.DefaultSeed, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,10 +44,10 @@ func TestBuildPipelinePreloaded(t *testing.T) {
 }
 
 func TestBuildPipelineUnknownFilter(t *testing.T) {
-	if _, err := buildPipeline("bogus", "", 1); err == nil {
+	if _, err := buildPipeline("bogus", "", 1, ""); err == nil {
 		t.Error("unknown MAC filter should error")
 	}
-	if _, err := buildPipeline("", "bogus", 1); err == nil {
+	if _, err := buildPipeline("", "bogus", 1, ""); err == nil {
 		t.Error("unknown routing filter should error")
 	}
 }
@@ -59,21 +59,21 @@ func TestLoadPipelineFromFile(t *testing.T) {
 	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	p, err := loadPipeline(path)
+	p, err := loadPipeline(path, "")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if got := len(p.Tables()); got != 1 {
 		t.Errorf("tables = %d", got)
 	}
-	if _, err := loadPipeline(filepath.Join(dir, "missing.json")); err == nil {
+	if _, err := loadPipeline(filepath.Join(dir, "missing.json"), ""); err == nil {
 		t.Error("missing layout file should error")
 	}
 	bad := filepath.Join(dir, "bad.json")
 	if err := os.WriteFile(bad, []byte("{"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := loadPipeline(bad); err == nil {
+	if _, err := loadPipeline(bad, ""); err == nil {
 		t.Error("malformed layout should error")
 	}
 }

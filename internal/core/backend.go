@@ -1,0 +1,246 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"sort"
+
+	"ofmtl/internal/memmodel"
+	"ofmtl/internal/openflow"
+)
+
+// This file defines the pluggable per-table lookup backend API.
+//
+// The paper's central observation is that memory cost depends on the
+// lookup scheme chosen per table: the same rule set costs very different
+// bit counts under a label-compressed multi-bit-trie architecture, a
+// tuple-space hash search, or a TCAM-style ternary array. Earlier PRs
+// hard-wired the first scheme into every LookupTable and left the others
+// as offline estimators in internal/baseline; this API makes the scheme a
+// per-table runtime decision so the Table III/IV comparison can be
+// reproduced on a live switch.
+//
+// A Backend owns a table's data-plane state: it installs and uninstalls
+// canonical flow entries, classifies packet headers, deep-clones itself
+// for the pipeline's RCU snapshots, and continuously accounts the
+// modelled memory its structures occupy. The LookupTable keeps everything
+// scheme-independent — configuration, the control-plane rule store the
+// transactional API resolves against, generation counters and the
+// published memory-stats pointer — and delegates the rest.
+
+// Backend kind names, the values TableConfig.Backend, the switchd
+// -backend flag, pipeline-config "backend" properties and flowtext
+// table-options lines accept.
+const (
+	// BackendMBT is the default scheme: the paper's architecture of
+	// per-field searchers (partitioned multi-bit tries, hash LUTs,
+	// elementary-interval range tables) feeding a label crossproduct
+	// index-calculation stage and a shared action table.
+	BackendMBT = "mbt"
+	// BackendTSS is tuple space search (the paper's reference [12]):
+	// rules grouped by their per-field mask tuple, one exact-match hash
+	// table per tuple, a linear spill list for non-hashable ranges.
+	BackendTSS = "tss"
+	// BackendLinearTCAM is the TCAM cost model: a priority-ordered
+	// ternary array searched linearly in software (hardware compares all
+	// rows in parallel), with range matches expanded into prefix sets.
+	BackendLinearTCAM = "lineartcam"
+)
+
+// EnvBackend is the environment variable naming the default backend for
+// pipelines that do not choose one explicitly (TableConfig.Backend and
+// SetDefaultBackend both override it). It is how the CI backend matrix
+// runs the test suite under every scheme.
+const EnvBackend = "OFMTL_BACKEND"
+
+// BackendKinds returns the recognised backend kind names, sorted.
+func BackendKinds() []string {
+	return []string{BackendLinearTCAM, BackendMBT, BackendTSS}
+}
+
+// ValidBackend reports whether kind names a registered backend — the
+// membership test behind every selection surface (flags, configs,
+// SetDefaultBackend).
+func ValidBackend(kind string) bool {
+	switch kind {
+	case BackendMBT, BackendTSS, BackendLinearTCAM:
+		return true
+	default:
+		return false
+	}
+}
+
+// Backend is one table's lookup scheme: the data-plane structures behind
+// a LookupTable. Implementations are not safe for concurrent mutation —
+// the pipeline serialises Insert/Remove under its write lock — but a
+// Clone must serve any number of concurrent Lookup calls while the
+// original keeps taking updates (the RCU snapshot contract).
+type Backend interface {
+	// Kind returns the backend's registered kind name.
+	Kind() string
+	// Insert installs a canonical flow entry (matches sorted and masked,
+	// instruction slices immutable once installed). A failed insert must
+	// leave the backend unchanged.
+	Insert(e *openflow.FlowEntry) error
+	// Remove uninstalls the entry previously installed with the same
+	// canonical matches, priority and instructions; removing an absent
+	// entry is an error and must leave the backend unchanged.
+	Remove(e *openflow.FlowEntry) error
+	// Lookup classifies one packet header, returning the winning entry's
+	// instructions and priority. Ties on priority resolve to the earliest
+	// installed entry. Lookup must be safe for concurrent callers on an
+	// immutable (cloned) backend.
+	Lookup(h *openflow.Header) (MatchResult, bool)
+	// Clone returns a deep copy sharing no mutable state with the
+	// original (immutable instruction slices are shared).
+	Clone() Backend
+	// Stats returns the modelled memory breakdown — the incremental
+	// counters behind the pipeline's lock-free MemoryStats (byte totals
+	// via BackendStats.TotalBytes). It must be cheap (no structure
+	// walks): the table republishes it after every mutation.
+	Stats() BackendStats
+	// AddMemory contributes the backend's memories to a system report
+	// under the given component-name prefix. The component total must
+	// equal Stats().TotalBits() exactly — ofctl memory cross-checks the
+	// two surfaces.
+	AddMemory(r *memmodel.SystemReport, prefix string)
+}
+
+// BackendStats is a backend's modelled memory breakdown, in bits. The
+// three buckets mirror the architecture of Section IV: the per-field (or
+// per-tuple) search structures, the index-calculation / directory stage,
+// and the action rows.
+type BackendStats struct {
+	// SearchBits covers the field-search structures: tries, LUTs and
+	// range tables for mbt; the per-tuple hash entries and the ternary
+	// spill list for tss; the ternary array for lineartcam.
+	SearchBits uint64
+	// IndexBits covers the combination store (mbt) or the tuple
+	// directory (tss); lineartcam has no index stage.
+	IndexBits uint64
+	// ActionBits covers the action rows the scheme stores.
+	ActionBits uint64
+}
+
+// TotalBits sums the breakdown.
+func (s BackendStats) TotalBits() uint64 {
+	return s.SearchBits + s.IndexBits + s.ActionBits
+}
+
+// TotalBytes returns the total rounded up to whole bytes.
+func (s BackendStats) TotalBytes() uint64 { return (s.TotalBits() + 7) / 8 }
+
+// TableMemory is one table's published memory accounting: the backend
+// kind, the live rule count and the bit breakdown. The pipeline
+// republishes it through an atomic pointer after every mutation, which is
+// what makes MemoryStats readable lock-free under full churn.
+type TableMemory struct {
+	Table   openflow.TableID
+	Backend string
+	Rules   int
+	BackendStats
+}
+
+// MemoryStats is the pipeline-wide live memory view: one entry per table
+// in pipeline order plus the total.
+type MemoryStats struct {
+	Tables    []TableMemory
+	TotalBits uint64
+}
+
+// TotalBytes returns the pipeline total rounded up to whole bytes.
+func (m MemoryStats) TotalBytes() uint64 { return (m.TotalBits + 7) / 8 }
+
+// newBackend constructs the named backend for a table configuration. An
+// empty kind selects mbt.
+func newBackend(kind string, cfg TableConfig) (Backend, error) {
+	switch kind {
+	case "", BackendMBT:
+		return newMBTBackend(cfg)
+	case BackendTSS:
+		return newTSSBackend(cfg), nil
+	case BackendLinearTCAM:
+		return newTCAMBackend(cfg), nil
+	default:
+		return nil, fmt.Errorf("core: table %d: unknown backend %q (want %v)", cfg.ID, kind, BackendKinds())
+	}
+}
+
+// defaultBackendFromEnv reads the process-wide backend default. Invalid
+// values are surfaced when the first table is built, not here.
+func defaultBackendFromEnv() string { return os.Getenv(EnvBackend) }
+
+// checkFieldKinds verifies every match uses a kind the field's matching
+// method supports, mirroring the acceptance rules of the mbt searchers so
+// every backend rejects the same entries: EM fields take exact values (or
+// full-width prefixes), LPM fields take exact values or prefixes, RM
+// fields take exact values or ranges. The generic backends (tss,
+// lineartcam) call this before mutating; the mbt searchers enforce it
+// structurally.
+func checkFieldKinds(id openflow.TableID, e *openflow.FlowEntry) error {
+	for _, m := range e.Matches {
+		if m.Kind == openflow.MatchAny {
+			continue
+		}
+		width := m.Field.Bits()
+		switch m.Field.Method() {
+		case openflow.ExactMatch:
+			if m.Kind == openflow.MatchExact || (m.Kind == openflow.MatchPrefix && m.PrefixLen == width) {
+				continue
+			}
+			return fmt.Errorf("core: table %d: field %s requires exact matching, got %s", id, m.Field, m.Kind)
+		case openflow.LongestPrefixMatch:
+			if m.Kind == openflow.MatchExact || m.Kind == openflow.MatchPrefix {
+				continue
+			}
+			return fmt.Errorf("core: table %d: field %s requires prefix matching, got %s", id, m.Field, m.Kind)
+		case openflow.RangeMatch:
+			if m.Kind == openflow.MatchExact || m.Kind == openflow.MatchRange {
+				continue
+			}
+			return fmt.Errorf("core: table %d: field %s requires range matching, got %s", id, m.Field, m.Kind)
+		default:
+			return fmt.Errorf("core: table %d: field %s has unknown matching method", id, m.Field)
+		}
+	}
+	return nil
+}
+
+// entryIdentityEqual reports whether two canonical entries carry the same
+// removal identity: priority, match set and instruction content — the
+// same identity ruleStore.removeExact keys on.
+func entryIdentityEqual(a, b *openflow.FlowEntry) bool {
+	if a.Priority != b.Priority || !matchesEqual(a.Matches, b.Matches) {
+		return false
+	}
+	return instructionsEqual(a.Instructions, b.Instructions)
+}
+
+// instructionsEqual compares instruction lists structurally.
+func instructionsEqual(a, b []openflow.Instruction) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		x, y := &a[i], &b[i]
+		if x.Type != y.Type || x.Table != y.Table ||
+			x.Metadata != y.Metadata || x.MetadataMask != y.MetadataMask ||
+			len(x.Actions) != len(y.Actions) {
+			return false
+		}
+		for j := range x.Actions {
+			if x.Actions[j] != y.Actions[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// sortedFields returns the table's configured fields sorted by ID — the
+// deterministic per-field order the generic backends key their masks on.
+func sortedFields(cfg TableConfig) []openflow.FieldID {
+	fs := append([]openflow.FieldID(nil), cfg.Fields...)
+	sort.Slice(fs, func(i, j int) bool { return fs[i] < fs[j] })
+	return fs
+}

@@ -1,0 +1,277 @@
+package core
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"ofmtl/internal/openflow"
+	"ofmtl/internal/xrand"
+)
+
+// TestBackendsMatchReference is the cross-scheme equivalence test: every
+// lookup backend (mbt, tss, lineartcam) must classify identically to the
+// brute-force linear-scan reference across a randomized insert/remove
+// churn — including priority ties, which every scheme must resolve to the
+// earliest installed entry.
+func TestBackendsMatchReference(t *testing.T) {
+	rng := xrand.New(5015)
+	kinds := BackendKinds()
+	tables := make(map[string]*LookupTable, len(kinds))
+	for _, k := range kinds {
+		cfg := aclTableConfig()
+		cfg.Backend = k
+		tbl, err := NewLookupTable(cfg)
+		if err != nil {
+			t.Fatalf("backend %s: %v", k, err)
+		}
+		if tbl.Backend() != k {
+			t.Fatalf("backend = %s, want %s", tbl.Backend(), k)
+		}
+		tables[k] = tbl
+	}
+	ref := &ReferenceClassifier{}
+	var live []*openflow.FlowEntry
+
+	for step := 0; step < 1200; step++ {
+		if len(live) == 0 || rng.Float64() < 0.6 {
+			// Low-cardinality priorities force frequent ties.
+			e := randomEntry(rng, 1+rng.Intn(6))
+			for _, k := range kinds {
+				if err := tables[k].Insert(e); err != nil {
+					t.Fatalf("step %d: %s insert: %v", step, k, err)
+				}
+			}
+			ref.Insert(e)
+			live = append(live, e)
+		} else {
+			i := rng.Intn(len(live))
+			e := live[i]
+			for _, k := range kinds {
+				if err := tables[k].Remove(e); err != nil {
+					t.Fatalf("step %d: %s remove: %v", step, k, err)
+				}
+			}
+			if !ref.Remove(e) {
+				t.Fatalf("step %d: reference lost entry %v", step, e)
+			}
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+		}
+
+		for probe := 0; probe < 4; probe++ {
+			h := randomHeader(rng, live)
+			want, wok := ref.Classify(h)
+			for _, k := range kinds {
+				got, ok := tables[k].Classify(h)
+				if ok != wok {
+					t.Fatalf("step %d: %s matched=%v, reference=%v (header %+v)", step, k, ok, wok, h)
+				}
+				if !ok {
+					continue
+				}
+				if got.Priority != want.Priority {
+					t.Fatalf("step %d: %s priority=%d, reference=%d", step, k, got.Priority, want.Priority)
+				}
+				if !reflect.DeepEqual(got.Instructions, want.Instructions) {
+					t.Fatalf("step %d: %s instructions=%v, reference=%v", step, k, got.Instructions, want.Instructions)
+				}
+			}
+		}
+	}
+	if len(live) == 0 {
+		t.Fatal("degenerate churn: nothing left installed")
+	}
+}
+
+// TestBackendsMatchUnderTx runs the same differential through the
+// transactional API — add-replace, non-strict modify/delete and strict
+// delete — so the backends agree not only on classification but on how
+// flow-mod semantics resolve against them.
+func TestBackendsMatchUnderTx(t *testing.T) {
+	rng := xrand.New(777)
+	kinds := BackendKinds()
+	pipes := make(map[string]*Pipeline, len(kinds))
+	for _, k := range kinds {
+		p := NewPipeline()
+		cfg := aclTableConfig()
+		cfg.Backend = k
+		if _, err := p.AddTable(cfg); err != nil {
+			t.Fatalf("backend %s: %v", k, err)
+		}
+		pipes[k] = p
+	}
+
+	var pool []*openflow.FlowEntry
+	for i := 0; i < 64; i++ {
+		pool = append(pool, randomEntry(rng, 1+rng.Intn(6)))
+	}
+	for round := 0; round < 60; round++ {
+		// Build one random command batch and commit it to every pipeline.
+		var cmds []FlowCmd
+		for n := 0; n < 1+rng.Intn(8); n++ {
+			e := pool[rng.Intn(len(pool))]
+			switch rng.Intn(4) {
+			case 0, 1:
+				cmds = append(cmds, FlowCmd{Op: CmdAdd, Table: 0, Entry: *e})
+			case 2:
+				mod := e.Clone()
+				mod.Instructions = []openflow.Instruction{
+					openflow.WriteActions(openflow.Output(uint32(1 + rng.Intn(64)))),
+				}
+				cmds = append(cmds, FlowCmd{Op: CmdModify, Table: 0, Entry: *mod})
+			default:
+				cmds = append(cmds, FlowCmd{Op: CmdDelete, Table: 0, Entry: openflow.FlowEntry{Matches: e.Matches}})
+			}
+		}
+		var want TxResult
+		for i, k := range kinds {
+			tx := pipes[k].Begin()
+			for _, c := range cmds {
+				tx.FlowMod(c)
+			}
+			res, err := tx.Commit()
+			if err != nil {
+				t.Fatalf("round %d: %s commit: %v", round, k, err)
+			}
+			if i == 0 {
+				want = res
+			} else if res != want {
+				t.Fatalf("round %d: %s tx result %+v, want %+v (backend %s)", round, k, res, want, kinds[0])
+			}
+		}
+
+		for probe := 0; probe < 16; probe++ {
+			h := randomHeader(rng, pool)
+			var first Result
+			for i, k := range kinds {
+				hc := *h
+				res := pipes[k].Execute(&hc)
+				if i == 0 {
+					first = res
+				} else if !reflect.DeepEqual(res, first) {
+					t.Fatalf("round %d: %s result %+v, %s result %+v", round, k, res, kinds[0], first)
+				}
+			}
+		}
+	}
+}
+
+// TestBackendCloneIsolationUnderChurn exercises every backend's Clone
+// under `go test -race`: reader goroutines classify through published
+// snapshots while a writer commits transactions. Any mutable state shared
+// between a clone and its source surfaces as a race or a torn lookup.
+func TestBackendCloneIsolationUnderChurn(t *testing.T) {
+	for _, kind := range BackendKinds() {
+		kind := kind
+		t.Run(kind, func(t *testing.T) {
+			t.Parallel()
+			rng := xrand.New(99)
+			p := NewPipeline()
+			cfg := aclTableConfig()
+			cfg.Backend = kind
+			if _, err := p.AddTable(cfg); err != nil {
+				t.Fatal(err)
+			}
+			var pool []*openflow.FlowEntry
+			for i := 0; i < 48; i++ {
+				pool = append(pool, randomEntry(rng, 1+rng.Intn(6)))
+			}
+			stop := make(chan struct{})
+			var wg sync.WaitGroup
+			for r := 0; r < 2; r++ {
+				wg.Add(1)
+				go func(seed uint64) {
+					defer wg.Done()
+					rrng := xrand.New(seed)
+					for {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						h := randomHeader(rrng, pool)
+						res := p.Execute(h)
+						if res.Matched && len(res.TablesVisited) == 0 {
+							t.Error("matched result with empty walk")
+							return
+						}
+					}
+				}(uint64(r) + 1)
+			}
+			wrng := xrand.New(4242)
+			for i := 0; i < 400; i++ {
+				e := pool[wrng.Intn(len(pool))]
+				if wrng.Float64() < 0.6 {
+					if err := p.Insert(0, e); err != nil {
+						t.Errorf("insert: %v", err)
+						break
+					}
+				} else {
+					tx := p.Begin()
+					tx.FlowMod(FlowCmd{Op: CmdDeleteStrict, Table: 0, Entry: *e})
+					if _, err := tx.Commit(); err != nil {
+						t.Errorf("delete: %v", err)
+						break
+					}
+				}
+			}
+			close(stop)
+			wg.Wait()
+		})
+	}
+}
+
+// TestRemoveStructuralTwinRejected pins the Remove identity across
+// backends: an exact-value match is a different identity from a
+// full-width prefix even though the mbt searchers resolve them to the
+// same stored value. Removing the twin must fail uniformly — and must
+// not desync the data plane from the rule store (the non-strict delete
+// afterwards still resolves and applies cleanly).
+func TestRemoveStructuralTwinRejected(t *testing.T) {
+	for _, kind := range BackendKinds() {
+		kind := kind
+		t.Run(kind, func(t *testing.T) {
+			p := NewPipeline()
+			cfg := aclTableConfig()
+			cfg.Backend = kind
+			tbl, err := p.AddTable(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			instrs := []openflow.Instruction{openflow.WriteActions(openflow.Output(7))}
+			installed := &openflow.FlowEntry{
+				Priority:     5,
+				Matches:      []openflow.Match{openflow.Prefix(openflow.FieldIPv4Dst, 0x0A000001, 32)},
+				Instructions: instrs,
+			}
+			if err := tbl.Insert(installed); err != nil {
+				t.Fatal(err)
+			}
+			twin := &openflow.FlowEntry{
+				Priority:     5,
+				Matches:      []openflow.Match{openflow.Exact(openflow.FieldIPv4Dst, 0x0A000001)},
+				Instructions: instrs,
+			}
+			if err := tbl.Remove(twin); err == nil {
+				t.Fatal("Remove accepted a structural twin with a different canonical identity")
+			}
+			if tbl.Rules() != 1 || tbl.store.count != 1 {
+				t.Fatalf("table desynced: rules=%d store=%d", tbl.Rules(), tbl.store.count)
+			}
+			// The installed rule is intact: it still classifies and a
+			// non-strict delete still resolves against the store and
+			// tears it down in the data plane.
+			h := &openflow.Header{IPv4Dst: 0x0A000001}
+			if _, ok := tbl.Classify(h); !ok {
+				t.Fatal("installed rule stopped matching after rejected twin removal")
+			}
+			if _, err := p.Begin().Delete(0).Commit(); err != nil {
+				t.Fatalf("sweep delete after rejected twin removal: %v", err)
+			}
+			if tbl.Rules() != 0 || tbl.store.count != 0 {
+				t.Fatalf("sweep left residue: rules=%d store=%d", tbl.Rules(), tbl.store.count)
+			}
+		})
+	}
+}

@@ -153,7 +153,19 @@ func AddRouteTables(p *Pipeline, f *filterset.RouteFilter, base openflow.TableID
 // two exact-match LUTs (VLAN ID, ingress port). A packet missing the MAC
 // application's first table falls through to the routing application.
 func BuildPrototype(mac *filterset.MACFilter, route *filterset.RouteFilter) (*Pipeline, error) {
+	return BuildPrototypeWith(mac, route, "")
+}
+
+// BuildPrototypeWith is BuildPrototype with the tables served by the
+// named lookup backend (empty selects the process default, normally
+// mbt) — the constructor behind switchd's -backend flag.
+func BuildPrototypeWith(mac *filterset.MACFilter, route *filterset.RouteFilter, backend string) (*Pipeline, error) {
 	p := NewPipeline()
+	if backend != "" {
+		if err := p.SetDefaultBackend(backend); err != nil {
+			return nil, err
+		}
+	}
 	if err := AddMACTables(p, mac, 0, MissPolicy{Kind: MissGoto, Table: 2}); err != nil {
 		return nil, err
 	}

@@ -112,9 +112,10 @@ func TestRouteTableChurn(t *testing.T) {
 			t.Fatalf("drain remove: %v", err)
 		}
 	}
-	if tbl.Rules() != 0 || tbl.combos.Keys() != 0 || tbl.actions.Len() != 0 || len(tbl.patterns) != 0 {
+	b := mbtOf(t, tbl)
+	if tbl.Rules() != 0 || b.combos.Keys() != 0 || b.actions.Len() != 0 || len(b.patterns) != 0 {
 		t.Errorf("residue after drain: rules=%d combos=%d actions=%d patterns=%d",
-			tbl.Rules(), tbl.combos.Keys(), tbl.actions.Len(), len(tbl.patterns))
+			tbl.Rules(), b.combos.Keys(), b.actions.Len(), len(b.patterns))
 	}
 }
 

@@ -28,17 +28,22 @@ import (
 //	  ]
 //	}
 
-// PipelineConfig is the top-level configuration document.
+// PipelineConfig is the top-level configuration document. Backend, when
+// set, is the default lookup scheme for tables that do not choose one
+// ("mbt" | "tss" | "lineartcam").
 type PipelineConfig struct {
-	Name   string            `json:"name"`
-	Tables []TableConfigJSON `json:"tables"`
+	Name    string            `json:"name"`
+	Backend string            `json:"backend,omitempty"`
+	Tables  []TableConfigJSON `json:"tables"`
 }
 
-// TableConfigJSON is one table description.
+// TableConfigJSON is one table description. Backend optionally pins the
+// table's lookup scheme, overriding the document and process defaults.
 type TableConfigJSON struct {
-	ID     uint8    `json:"id"`
-	Fields []string `json:"fields"`
-	Miss   string   `json:"miss,omitempty"` // "controller" (default), "drop", "goto:<id>"
+	ID      uint8    `json:"id"`
+	Fields  []string `json:"fields"`
+	Miss    string   `json:"miss,omitempty"`    // "controller" (default), "drop", "goto:<id>"
+	Backend string   `json:"backend,omitempty"` // "mbt" (default) | "tss" | "lineartcam"
 }
 
 // fieldNames maps configuration names to field identifiers. Names follow
@@ -115,7 +120,24 @@ func parseMiss(s string) (MissPolicy, error) {
 
 // Build instantiates the configured pipeline.
 func (cfg *PipelineConfig) Build() (*Pipeline, error) {
+	return cfg.BuildWithDefault("")
+}
+
+// BuildWithDefault instantiates the configured pipeline with a fallback
+// lookup backend (e.g. a -backend flag): per-table "backend" properties
+// win, then the document's "backend", then the given default, then the
+// process default ($OFMTL_BACKEND or mbt).
+func (cfg *PipelineConfig) BuildWithDefault(backend string) (*Pipeline, error) {
 	p := NewPipeline()
+	def := cfg.Backend
+	if def == "" {
+		def = backend
+	}
+	if def != "" {
+		if err := p.SetDefaultBackend(def); err != nil {
+			return nil, err
+		}
+	}
 	for i, tc := range cfg.Tables {
 		fields := make([]openflow.FieldID, 0, len(tc.Fields))
 		for _, name := range tc.Fields {
@@ -133,9 +155,10 @@ func (cfg *PipelineConfig) Build() (*Pipeline, error) {
 			return nil, fmt.Errorf("core: table %d miss goto must move forward", tc.ID)
 		}
 		if _, err := p.AddTable(TableConfig{
-			ID:     openflow.TableID(tc.ID),
-			Fields: fields,
-			Miss:   miss,
+			ID:      openflow.TableID(tc.ID),
+			Fields:  fields,
+			Miss:    miss,
+			Backend: tc.Backend,
 		}); err != nil {
 			return nil, fmt.Errorf("core: table entry %d: %w", i, err)
 		}

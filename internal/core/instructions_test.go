@@ -201,8 +201,12 @@ func TestPipelineAccessors(t *testing.T) {
 	if tbl.Miss().Kind != MissController {
 		t.Errorf("default miss = %v", tbl.Miss())
 	}
-	if _, ok := tbl.Searcher(openflow.FieldVLANID); !ok {
-		t.Error("Searcher(VLANID) missing")
+	if tbl.Backend() == BackendMBT {
+		if _, ok := tbl.Searcher(openflow.FieldVLANID); !ok {
+			t.Error("Searcher(VLANID) missing")
+		}
+	} else if _, ok := tbl.Searcher(openflow.FieldVLANID); ok {
+		t.Errorf("Searcher should report false under the %s backend", tbl.Backend())
 	}
 	if _, ok := tbl.Searcher(openflow.FieldEthDst); ok {
 		t.Error("Searcher of absent field should report false")

@@ -30,6 +30,17 @@ type Pipeline struct {
 	tables map[openflow.TableID]*LookupTable
 	order  []openflow.TableID
 
+	// defaultBackend is the lookup backend tables receive when their
+	// TableConfig does not pick one; seeded from $OFMTL_BACKEND and
+	// overridable with SetDefaultBackend. Empty selects mbt.
+	defaultBackend string
+
+	// tablesView is the atomically published table list (pipeline order),
+	// re-published on AddTable. It is what keeps MemoryStats lock-free:
+	// readers walk the published list and each table's published
+	// accounting pointer without ever touching mu.
+	tablesView atomic.Pointer[[]*LookupTable]
+
 	// structGen counts table-set changes (AddTable); snapshots record it
 	// to detect structural staleness.
 	structGen atomic.Uint64
@@ -66,9 +77,27 @@ type Pipeline struct {
 	infoStructGen uint64
 }
 
-// NewPipeline returns an empty pipeline.
+// NewPipeline returns an empty pipeline. The default lookup backend for
+// its tables is mbt unless $OFMTL_BACKEND names another scheme.
 func NewPipeline() *Pipeline {
-	return &Pipeline{tables: make(map[openflow.TableID]*LookupTable)}
+	return &Pipeline{
+		tables:         make(map[openflow.TableID]*LookupTable),
+		defaultBackend: defaultBackendFromEnv(),
+	}
+}
+
+// SetDefaultBackend selects the lookup backend tables receive when their
+// TableConfig does not pick one explicitly, overriding $OFMTL_BACKEND. It
+// must be called before the affected tables are added; already-built
+// tables keep their backend.
+func (p *Pipeline) SetDefaultBackend(kind string) error {
+	if kind != "" && !ValidBackend(kind) {
+		return fmt.Errorf("core: unknown backend %q (want %v)", kind, BackendKinds())
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.defaultBackend = kind
+	return nil
 }
 
 // AddTable creates and registers a table from its configuration.
@@ -78,6 +107,9 @@ func (p *Pipeline) AddTable(cfg TableConfig) (*LookupTable, error) {
 	if _, dup := p.tables[cfg.ID]; dup {
 		return nil, fmt.Errorf("core: pipeline already has table %d", cfg.ID)
 	}
+	if cfg.Backend == "" {
+		cfg.Backend = p.defaultBackend
+	}
 	t, err := NewLookupTable(cfg)
 	if err != nil {
 		return nil, err
@@ -85,6 +117,11 @@ func (p *Pipeline) AddTable(cfg TableConfig) (*LookupTable, error) {
 	p.tables[cfg.ID] = t
 	p.order = append(p.order, cfg.ID)
 	sort.Slice(p.order, func(i, j int) bool { return p.order[i] < p.order[j] })
+	view := make([]*LookupTable, 0, len(p.order))
+	for _, id := range p.order {
+		view = append(view, p.tables[id])
+	}
+	p.tablesView.Store(&view)
 	p.structGen.Add(1)
 	return t, nil
 }
@@ -402,18 +439,54 @@ func applyInstructions(h *openflow.Header, as *actionSet, instrs []openflow.Inst
 	return next, hasNext
 }
 
-// MemoryReport assembles the full-system memory report: every searcher
-// memory, index-calculation store and action table across all tables —
-// the quantity behind the paper's "5 Mb of total memory" for the 4-table
-// prototype. The report covers the mutable tables; published snapshot
-// clones model the second port of a dual-ported memory, not extra
-// provisioned capacity.
+// MemoryReport assembles the full-system memory report: every backend
+// memory across all tables — the quantity behind the paper's "5 Mb of
+// total memory" for the 4-table prototype. The report covers the mutable
+// tables; published snapshot clones model the second port of a
+// dual-ported memory, not extra provisioned capacity.
+//
+// The walk runs over the RCU snapshot's immutable clones, not the live
+// tables, so assembling the (potentially large) component list holds no
+// lock. A stale snapshot is refreshed first — briefly under the write
+// lock, the same clone the next lookup would otherwise pay for — but the
+// component assembly itself never serialises against commits. Clones
+// preserve every population statistic and high-water mark the cost model
+// reads, so the report is identical to a locked walk of the live tables.
+// For frequent polling under churn, MemoryStats is the cheap surface: it
+// reads the published counters and never clones anything.
 func (p *Pipeline) MemoryReport() *memmodel.SystemReport {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	s := p.loadSnapshot()
 	var r memmodel.SystemReport
-	for _, id := range p.order {
-		p.tables[id].AddMemory(&r)
+	for _, id := range s.order {
+		s.byID[id].AddMemory(&r)
 	}
 	return &r
+}
+
+// MemoryStats returns the live per-table, per-backend memory accounting.
+// It is lock-free: the read path is one atomic load of the published
+// table list plus one atomic load per table of the accounting the most
+// recent mutation republished — it never acquires the pipeline write
+// lock, so it stays readable under full control-plane churn. The same
+// counters are embedded in every published lookup snapshot and exported
+// over the wire as MsgMemoryStats.
+func (p *Pipeline) MemoryStats() MemoryStats {
+	return p.MemoryStatsInto(nil)
+}
+
+// MemoryStatsInto is MemoryStats reusing the given table slice when it
+// has capacity, so polling paths (the wire server, periodic logs) do not
+// re-allocate the view every read.
+func (p *Pipeline) MemoryStatsInto(tables []TableMemory) MemoryStats {
+	out := MemoryStats{Tables: tables[:0]}
+	view := p.tablesView.Load()
+	if view == nil {
+		return out
+	}
+	for _, t := range *view {
+		tm := t.stats.Load()
+		out.Tables = append(out.Tables, *tm)
+		out.TotalBits += tm.TotalBits()
+	}
+	return out
 }

@@ -347,6 +347,32 @@ func (s *PrefixFieldSearcher) AddMemory(r *memmodel.SystemReport, prefix string)
 	}
 }
 
+// MemoryBits implements FieldSearcher with the same arithmetic as
+// AddMemory — per-level trie bits under the default cost model plus the
+// partition combination table — but no component materialisation, so the
+// per-commit accounting path performs no allocation.
+func (s *PrefixFieldSearcher) MemoryBits() int {
+	bits := 0
+	comboWidth := s.LabelBits() + 6 // payload field label + priority (a prefix length)
+	for i := range s.parts {
+		part := &s.parts[i]
+		labelBits := bitops.Log2Ceil(part.alloc.Peak())
+		comboWidth += labelBits
+		levels := part.trie.Levels()
+		for lvl := 0; lvl < levels; lvl++ {
+			ptrBits := 0
+			if lvl < levels-1 {
+				ptrBits = bitops.Log2Ceil(part.trie.CapacitySlots(lvl + 1))
+			}
+			bits += part.trie.CapacitySlots(lvl) * (1 + labelBits + ptrBits)
+		}
+	}
+	if keys := s.combos.PeakKeys(); keys > 0 && comboWidth > 0 {
+		bits += keys * comboWidth
+	}
+	return bits
+}
+
 // partitionNames labels partitions the way the paper does: higher/lower
 // for 2-partition fields, higher/middle/lower for 3-partition fields.
 func partitionNames(n int) []string {

@@ -154,6 +154,11 @@ func (s *RangeFieldSearcher) AddMemory(r *memmodel.SystemReport, prefix string) 
 	r.Add(prefix+"/ranges", segs, s.width+s.LabelBits())
 }
 
+// MemoryBits implements FieldSearcher with AddMemory's arithmetic.
+func (s *RangeFieldSearcher) MemoryBits() int {
+	return s.table.Segments() * (s.width + s.LabelBits())
+}
+
 // Clone implements FieldSearcher.
 func (s *RangeFieldSearcher) Clone() FieldSearcher {
 	return &RangeFieldSearcher{

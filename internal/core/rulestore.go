@@ -119,21 +119,19 @@ func (rs *ruleStore) add(e *openflow.FlowEntry) *storedRule {
 	return sr
 }
 
-// removeExact removes the first stored rule whose priority, canonical
-// match set and instructions all equal the entry's, reporting whether one
-// was found. This is the legacy single-entry Remove identity.
-func (rs *ruleStore) removeExact(e *openflow.FlowEntry) bool {
-	canon := canonicalEntry(e)
+// findExact locates the first stored rule whose priority, canonical
+// match set and instructions all equal the canonical entry's — the
+// legacy single-entry Remove identity.
+func (rs *ruleStore) findExact(canon *openflow.FlowEntry) (uint64, int, bool) {
 	h := strictHash(canon.Priority, canon.Matches)
 	for i, sr := range rs.buckets[h] {
 		if sr.entry.Priority == canon.Priority &&
 			matchesEqual(sr.entry.Matches, canon.Matches) &&
 			reflect.DeepEqual(sr.entry.Instructions, canon.Instructions) {
-			rs.unlink(h, i)
-			return true
+			return h, i, true
 		}
 	}
-	return false
+	return h, 0, false
 }
 
 // remove unlinks a specific stored rule (by identity), reporting whether

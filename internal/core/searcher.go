@@ -57,6 +57,10 @@ type FieldSearcher interface {
 	LabelBits() int
 	// AddMemory contributes the searcher's memories to a system report.
 	AddMemory(r *memmodel.SystemReport, prefix string)
+	// MemoryBits returns the same total the searcher's AddMemory
+	// components sum to, computed without materialising component names
+	// or slices — the per-commit memory-accounting fast path.
+	MemoryBits() int
 	// Clone returns a deep copy sharing no mutable state with the
 	// original, so the copy can serve concurrent Search calls while the
 	// original keeps taking updates (the pipeline's snapshot mechanism).
@@ -188,6 +192,13 @@ func (s *ExactFieldSearcher) LabelBits() int { return bitops.Log2Ceil(s.table.Pe
 func (s *ExactFieldSearcher) AddMemory(r *memmodel.SystemReport, prefix string) {
 	c := memmodel.LUTCostOf(s.table.Peak(), s.width, s.table.Peak(), s.table.Buckets(), s.table.Ways())
 	r.Add(prefix+"/lut", c.Buckets*c.Ways, c.BitsPerEntry)
+}
+
+// MemoryBits implements FieldSearcher with the same arithmetic as
+// AddMemory: provisioned slots × (valid + key + label) bits.
+func (s *ExactFieldSearcher) MemoryBits() int {
+	c := memmodel.LUTCostOf(s.table.Peak(), s.width, s.table.Peak(), s.table.Buckets(), s.table.Ways())
+	return c.Buckets * c.Ways * c.BitsPerEntry
 }
 
 // Clone implements FieldSearcher.

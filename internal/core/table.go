@@ -2,12 +2,8 @@ package core
 
 import (
 	"fmt"
-	"sync"
 	"sync/atomic"
 
-	"ofmtl/internal/bitops"
-	"ofmtl/internal/crossprod"
-	"ofmtl/internal/label"
 	"ofmtl/internal/memmodel"
 	"ofmtl/internal/openflow"
 )
@@ -30,35 +26,26 @@ type MissPolicy struct {
 }
 
 // TableConfig describes one lookup table of the pipeline: its identifier,
-// the header fields it searches (each handled by a parallel single-field
-// algorithm), and its miss policy.
+// the header fields it searches, its miss policy, and the lookup backend
+// implementing the search (empty selects the pipeline default, normally
+// mbt — the paper's multi-bit-trie architecture).
 type TableConfig struct {
-	ID     openflow.TableID
-	Fields []openflow.FieldID
-	Miss   MissPolicy
+	ID      openflow.TableID
+	Fields  []openflow.FieldID
+	Miss    MissPolicy
+	Backend string
 }
 
-// LookupTable is one OpenFlow lookup table of the architecture: an
-// algorithm set (one searcher per field), the index-calculation
-// combination store, and the action table.
+// LookupTable is one OpenFlow lookup table of the architecture. The
+// scheme-independent shell owns the configuration, the control-plane rule
+// store the transactional API resolves non-strict commands against, the
+// generation counter the snapshot engine watches, and the published
+// memory accounting; the data-plane search itself is delegated to the
+// configured Backend.
 type LookupTable struct {
-	cfg       TableConfig
-	searchers []FieldSearcher
-	combos    *crossprod.Table
-	actions   *ActionTable
-	rules     int
-
-	// patterns tracks the live wildcard patterns: bit i set means field i
-	// is constrained. The index calculation enumerates candidate
-	// combinations per live pattern instead of the full candidate product
-	// — the aggregation-pruning idea of the DCFL lineage.
-	patterns map[uint32]int
-
-	// plan is the compiled classify recipe derived from patterns. It is
-	// recompiled after every successful mutation and shared (read-only)
-	// with snapshot clones, so the Classify hot path never walks the
-	// patterns map.
-	plan *classifyPlan
+	cfg     TableConfig
+	backend Backend
+	rules   int
 
 	// fieldsView is the immutable slice Fields() serves without
 	// re-allocating.
@@ -75,32 +62,19 @@ type LookupTable struct {
 	// decide whether the clone is still current.
 	gen atomic.Uint64
 
-	// scratch pools per-call Classify buffers, keeping the hot path
-	// allocation-free while allowing concurrent readers on an immutable
-	// table clone.
-	scratch *sync.Pool
-}
+	// stats is the table's published memory accounting, republished after
+	// every successful mutation. Readers (Pipeline.MemoryStats, snapshot
+	// builds) load the pointer without taking any lock.
+	stats atomic.Pointer[TableMemory]
 
-// classifyScratch carries one Classify call's working buffers: the
-// per-field candidate sets, the combination key under composition and the
-// odometer positions of the candidate enumeration.
-type classifyScratch struct {
-	cands [][]Candidate
-	key   []label.Label
-	// chash memoises each candidate's dimension-hash contribution
-	// (crossprod.DimHash), computed once per Classify call so odometer
-	// steps update the key hash with two XORs instead of re-hashing.
-	chash [][]uint64
-}
-
-func newClassifyScratchPool(nfields int) *sync.Pool {
-	return &sync.Pool{New: func() any {
-		return &classifyScratch{
-			cands: make([][]Candidate, nfields),
-			key:   make([]label.Label, nfields),
-			chash: make([][]uint64, nfields),
-		}
-	}}
+	// suspendPublish defers stats publication during a multi-command
+	// transaction: the commit republishes once per touched table instead
+	// of once per primitive mutation, which keeps a 256-command commit
+	// from paying 256 accounting walks. statsDirty records that a flush
+	// is owed. Both are guarded by the pipeline write lock (or the
+	// single-threaded build phase), like all mutation state.
+	suspendPublish bool
+	statsDirty     bool
 }
 
 // NewLookupTable builds a table from its configuration.
@@ -111,31 +85,29 @@ func NewLookupTable(cfg TableConfig) (*LookupTable, error) {
 	if cfg.Miss.Kind == 0 {
 		cfg.Miss = MissPolicy{Kind: MissController}
 	}
-	seen := make(map[openflow.FieldID]bool, len(cfg.Fields))
 	if len(cfg.Fields) > 32 {
 		return nil, fmt.Errorf("core: table %d has %d fields, maximum 32", cfg.ID, len(cfg.Fields))
 	}
-	t := &LookupTable{
-		cfg:        cfg,
-		searchers:  make([]FieldSearcher, 0, len(cfg.Fields)),
-		combos:     crossprod.MustNew(len(cfg.Fields)),
-		actions:    NewActionTable(),
-		patterns:   make(map[uint32]int),
-		scratch:    newClassifyScratchPool(len(cfg.Fields)),
-		fieldsView: append([]openflow.FieldID(nil), cfg.Fields...),
-	}
-	t.plan = compilePlan(len(cfg.Fields), t.patterns)
+	seen := make(map[openflow.FieldID]bool, len(cfg.Fields))
 	for _, f := range cfg.Fields {
+		if !f.Valid() {
+			return nil, fmt.Errorf("core: table %d: invalid field %d", cfg.ID, int(f))
+		}
 		if seen[f] {
 			return nil, fmt.Errorf("core: table %d lists field %s twice", cfg.ID, f)
 		}
 		seen[f] = true
-		s, err := NewFieldSearcher(f)
-		if err != nil {
-			return nil, fmt.Errorf("core: table %d: %w", cfg.ID, err)
-		}
-		t.searchers = append(t.searchers, s)
 	}
+	t := &LookupTable{
+		cfg:        cfg,
+		fieldsView: append([]openflow.FieldID(nil), cfg.Fields...),
+	}
+	backend, err := newBackend(cfg.Backend, cfg)
+	if err != nil {
+		return nil, err
+	}
+	t.backend = backend
+	t.publishStats()
 	return t, nil
 }
 
@@ -154,6 +126,9 @@ func (t *LookupTable) Miss() MissPolicy { return t.cfg.Miss }
 
 // Rules returns the number of installed flow entries.
 func (t *LookupTable) Rules() int { return t.rules }
+
+// Backend returns the table's lookup backend kind.
+func (t *LookupTable) Backend() string { return t.backend.Kind() }
 
 // matchFor returns the entry's constraint on field f, or an explicit
 // wildcard when the entry leaves f unconstrained.
@@ -183,6 +158,33 @@ func (t *LookupTable) checkCoverage(e *openflow.FlowEntry) error {
 	return nil
 }
 
+// publishStats republishes the table's memory accounting from the
+// backend's incremental counters. It runs after every successful mutation
+// (under the pipeline write lock, or during the single-threaded build
+// phase), so lock-free readers always observe the accounting of a fully
+// applied state. Inside a transaction the publication is deferred to the
+// commit (see suspendPublish): readers keep the pre-commit figures until
+// the whole batch has applied — the accounting analogue of the one
+// snapshot publish per commit.
+func (t *LookupTable) publishStats() {
+	if t.suspendPublish {
+		t.statsDirty = true
+		return
+	}
+	tm := &TableMemory{
+		Table:        t.cfg.ID,
+		Backend:      t.backend.Kind(),
+		Rules:        t.rules,
+		BackendStats: t.backend.Stats(),
+	}
+	t.stats.Store(tm)
+}
+
+// Memory returns the table's published memory accounting. It is safe to
+// call concurrently with mutations: the returned value is the accounting
+// of the most recently completed mutation.
+func (t *LookupTable) Memory() TableMemory { return *t.stats.Load() }
+
 // Insert installs a flow entry. The table retains no caller memory: the
 // entry is copied into the table's rule store, and the data-plane
 // structures reference the stored copy, so callers (e.g. wire decoders)
@@ -195,48 +197,14 @@ func (t *LookupTable) Insert(e *openflow.FlowEntry) error {
 		return err
 	}
 	sr := t.store.add(e)
-	key := make([]label.Label, len(t.searchers))
-	for i, s := range t.searchers {
-		lab, err := s.Insert(matchFor(e, s.Field()))
-		if err != nil {
-			// Roll back the searchers already updated.
-			for j := 0; j < i; j++ {
-				_ = t.searchers[j].Remove(matchFor(e, t.searchers[j].Field()))
-			}
-			t.store.remove(sr)
-			return fmt.Errorf("core: table %d insert: %w", t.cfg.ID, err)
-		}
-		key[i] = lab
-	}
-	actionIdx := t.actions.Add(sr.entry.Instructions)
-	if err := t.combos.Insert(key, crossprod.Binding{Priority: e.Priority, Payload: actionIdx}); err != nil {
-		_ = t.actions.Release(actionIdx)
-		for _, s := range t.searchers {
-			_ = s.Remove(matchFor(e, s.Field()))
-		}
+	if err := t.backend.Insert(&sr.entry); err != nil {
 		t.store.remove(sr)
-		return fmt.Errorf("core: table %d insert: %w", t.cfg.ID, err)
-	}
-	p := patternOf(key)
-	t.patterns[p]++
-	if t.patterns[p] == 1 {
-		t.plan = compilePlan(len(t.cfg.Fields), t.patterns)
+		return err
 	}
 	t.rules++
 	t.gen.Add(1)
+	t.publishStats()
 	return nil
-}
-
-// patternOf computes the wildcard pattern of a combination key: bit i set
-// when dimension i carries a real label.
-func patternOf(key []label.Label) uint32 {
-	var p uint32
-	for i, l := range key {
-		if l != Wildcard {
-			p |= 1 << uint(i)
-		}
-	}
-	return p
 }
 
 // Remove uninstalls a flow entry previously installed with Insert. The
@@ -245,41 +213,25 @@ func (t *LookupTable) Remove(e *openflow.FlowEntry) error {
 	if err := t.checkCoverage(e); err != nil {
 		return err
 	}
-	key := make([]label.Label, len(t.searchers))
-	for i, s := range t.searchers {
-		lab, err := s.LabelOf(matchFor(e, s.Field()))
-		if err != nil {
-			return fmt.Errorf("core: table %d remove: %w", t.cfg.ID, err)
-		}
-		key[i] = lab
-	}
-	actionIdx, ok := t.actions.Find(e.Instructions)
+	canon := canonicalEntry(e)
+	// The rule store is consulted first: it keys on the exact canonical
+	// identity, where a backend may resolve structurally (the mbt
+	// searchers treat an exact value and a full-width prefix as the same
+	// stored value). Gating on the store keeps every backend's Remove
+	// identity identical and the store in lockstep with the data plane.
+	// The located (bucket, index) stays valid across backend.Remove —
+	// backends never touch the store — so the identity resolves once.
+	h, i, ok := t.store.findExact(&canon)
 	if !ok {
-		return fmt.Errorf("core: table %d remove: instruction set not installed", t.cfg.ID)
+		return fmt.Errorf("core: table %d remove: entry not installed", t.cfg.ID)
 	}
-	if err := t.combos.Remove(key, crossprod.Binding{Priority: e.Priority, Payload: actionIdx}); err != nil {
-		return fmt.Errorf("core: table %d remove: %w", t.cfg.ID, err)
+	if err := t.backend.Remove(&canon); err != nil {
+		return err
 	}
-	for _, s := range t.searchers {
-		if err := s.Remove(matchFor(e, s.Field())); err != nil {
-			return fmt.Errorf("core: table %d remove: %w", t.cfg.ID, err)
-		}
-	}
-	if err := t.actions.Release(actionIdx); err != nil {
-		return fmt.Errorf("core: table %d remove: %w", t.cfg.ID, err)
-	}
-	p := patternOf(key)
-	t.patterns[p]--
-	if t.patterns[p] == 0 {
-		delete(t.patterns, p)
-		t.plan = compilePlan(len(t.cfg.Fields), t.patterns)
-	}
-	// The structural removal above applies exactly the identity the store
-	// keys on (per-field matches, priority, instruction content), so a
-	// stored twin always exists on a live table.
-	t.store.removeExact(e)
+	t.store.unlink(h, i)
 	t.rules--
 	t.gen.Add(1)
+	t.publishStats()
 	return nil
 }
 
@@ -289,211 +241,12 @@ type MatchResult struct {
 	Priority     int
 }
 
-// Classify runs the parallel field searches and the index calculation for
-// one packet header, returning the winning flow entry's instructions.
-// Candidate combinations are enumerated per live wildcard pattern (so
-// fields a pattern leaves unconstrained contribute no fan-out) by an
-// iterative odometer over the compiled plan's constrained dimensions. The
-// combination-key hash is maintained incrementally: each odometer step
-// re-hashes only the dimension it changed.
+// Classify runs the table's lookup backend for one packet header,
+// returning the winning flow entry's instructions. Ties on priority
+// resolve to the earliest installed entry, whichever backend serves the
+// table.
 func (t *LookupTable) Classify(h *openflow.Header) (MatchResult, bool) {
-	sc := t.scratch.Get().(*classifyScratch)
-	defer t.scratch.Put(sc)
-	for i, s := range t.searchers {
-		sc.cands[i] = s.Search(h, sc.cands[i][:0])
-	}
-
-	plan := t.plan
-	nf := len(sc.key)
-	if plan.useHash {
-		// Memoise each candidate's dimension-hash contribution once, so
-		// every odometer step below re-hashes only the dimension that
-		// changed — and does so with two XORs.
-		for d := 0; d < nf; d++ {
-			ch := sc.chash[d][:0]
-			for _, c := range sc.cands[d] {
-				ch = append(ch, crossprod.DimHash(d, c.Label))
-			}
-			sc.chash[d] = ch
-		}
-	}
-	best := crossprod.Binding{Priority: 0}
-	var bestSeq uint64
-	found := false
-	key := sc.key
-	combos := t.combos
-	// Enumeration state, gathered per pattern into stack-local arrays so
-	// the loops below run on registers and L1 instead of chasing the
-	// scratch struct. Tables cap fields at 32. Declared outside the
-	// pattern loop so the arrays are zeroed once per call, not per
-	// pattern; every in-use entry is rewritten during gathering.
-	var cl [32][]Candidate
-	var ch [32][]uint64
-	var pos [32]int
-	for pi := range plan.pats {
-		pat := &plan.pats[pi]
-		nd := len(pat.dims)
-
-		// Gather the pattern's candidate lists and their memoised hash
-		// contributions. A pattern requiring a constrained field with no
-		// candidate cannot match; skip it without enumerating.
-		rowHash := pat.wildHash
-		viable := true
-		for k, d := range pat.dims {
-			c := sc.cands[d]
-			if len(c) == 0 {
-				viable = false
-				break
-			}
-			cl[k] = c
-			pos[k] = 0
-			if plan.useHash {
-				ch[k] = sc.chash[d]
-				rowHash ^= ch[k][0]
-			}
-		}
-		if !viable {
-			continue
-		}
-
-		// Compose the pattern's first key: the most specific candidate in
-		// every constrained dimension, wildcard elsewhere. The wildcard
-		// dimensions' hash contribution is precompiled into the plan;
-		// rowHash already folds in candidate 0 of every constrained one.
-		for d := 0; d < nf; d++ {
-			key[d] = Wildcard
-		}
-		for k, d := range pat.dims {
-			key[d] = cl[k][0].Label
-		}
-
-		if nd == 0 {
-			// All-wildcard pattern: a single catch-all combination.
-			if b, seq, ok := combos.LookupSeqHash(key, rowHash); ok {
-				if !found || b.Priority > best.Priority || (b.Priority == best.Priority && seq < bestSeq) {
-					best, bestSeq, found = b, seq, true
-				}
-			}
-			continue
-		}
-
-		// Enumerate the candidate product in two nested odometers. The
-		// head dimensions (those covered by the combination store's
-		// pair-combiner stage) advance in the outer loop: each head
-		// combination is vetted with one packed HasPair probe, and a pair
-		// present in no stored key discards its entire tail product. The
-		// last tail dimension is swept by the innermost loop; rowHash
-		// tracks the key hash with every post-head dimension at candidate
-		// 0, so each step re-hashes only the dimension it changed.
-		nhead := pat.nhead
-		ntail := nd - nhead
-		var inner int
-		var icl []Candidate
-		var ich []uint64
-		if ntail > 0 {
-			inner = int(pat.dims[nd-1])
-			icl = cl[nd-1]
-			ich = ch[nd-1]
-		}
-		for {
-			if !plan.useHash || combos.HasPair(key[0], key[1]) {
-				switch {
-				case ntail == 0:
-					if b, seq, ok := combos.LookupSeqHash(key, rowHash); ok {
-						if !found || b.Priority > best.Priority || (b.Priority == best.Priority && seq < bestSeq) {
-							best, bestSeq, found = b, seq, true
-						}
-					}
-				default:
-					var ich0 uint64
-					if plan.useHash {
-						ich0 = rowHash ^ ich[0]
-					}
-					for {
-						for p := range icl {
-							key[inner] = icl[p].Label
-							var h64 uint64
-							if plan.useHash {
-								h64 = ich0 ^ ich[p]
-							}
-							if b, seq, ok := combos.LookupSeqHash(key, h64); ok {
-								if !found || b.Priority > best.Priority || (b.Priority == best.Priority && seq < bestSeq) {
-									best, bestSeq, found = b, seq, true
-								}
-							}
-						}
-						// Advance the tail's outer dimensions; exhausted
-						// ones reset (restoring key, hash and position)
-						// and carry left, so the tail state is back at
-						// candidate 0 when the sweep completes.
-						k := nd - 2
-						for k >= nhead {
-							d := int(pat.dims[k])
-							p := pos[k] + 1
-							if p < len(cl[k]) {
-								if plan.useHash {
-									delta := ch[k][p-1] ^ ch[k][p]
-									rowHash ^= delta
-									ich0 ^= delta
-								}
-								pos[k] = p
-								key[d] = cl[k][p].Label
-								break
-							}
-							if pos[k] != 0 {
-								if plan.useHash {
-									delta := ch[k][pos[k]] ^ ch[k][0]
-									rowHash ^= delta
-									ich0 ^= delta
-								}
-								pos[k] = 0
-								key[d] = cl[k][0].Label
-							}
-							k--
-						}
-						if k < nhead {
-							break
-						}
-					}
-				}
-			}
-			// Advance the head odometer.
-			k := nhead - 1
-			for k >= 0 {
-				d := int(pat.dims[k])
-				p := pos[k] + 1
-				if p < len(cl[k]) {
-					if plan.useHash {
-						rowHash ^= ch[k][p-1] ^ ch[k][p]
-					}
-					pos[k] = p
-					key[d] = cl[k][p].Label
-					break
-				}
-				if pos[k] != 0 {
-					if plan.useHash {
-						rowHash ^= ch[k][pos[k]] ^ ch[k][0]
-					}
-					pos[k] = 0
-					key[d] = cl[k][0].Label
-				}
-				k--
-			}
-			if k < 0 {
-				break
-			}
-		}
-	}
-	if !found {
-		return MatchResult{}, false
-	}
-	instrs, err := t.actions.Get(best.Payload)
-	if err != nil {
-		// The combination store and action table are maintained together;
-		// a dangling index would be an internal invariant violation.
-		return MatchResult{}, false
-	}
-	return MatchResult{Instructions: instrs, Priority: best.Priority}, true
+	return t.backend.Lookup(h)
 }
 
 // Generation returns the table's mutation counter. Each successful Insert
@@ -511,60 +264,35 @@ func (t *LookupTable) clone() *LookupTable {
 	cfg := t.cfg
 	cfg.Fields = append([]openflow.FieldID(nil), t.cfg.Fields...)
 	c := &LookupTable{
-		cfg:       cfg,
-		searchers: make([]FieldSearcher, len(t.searchers)),
-		combos:    t.combos.Clone(),
-		actions:   t.actions.Clone(),
-		rules:     t.rules,
-		patterns:  make(map[uint32]int, len(t.patterns)),
-		// The compiled plan is immutable after compilation, so the clone
-		// shares it; the clone's own mutations recompile a fresh one.
-		plan:       t.plan,
-		scratch:    newClassifyScratchPool(len(cfg.Fields)),
+		cfg:        cfg,
+		backend:    t.backend.Clone(),
+		rules:      t.rules,
 		fieldsView: cfg.Fields,
-	}
-	for i, s := range t.searchers {
-		c.searchers[i] = s.Clone()
-	}
-	for p, n := range t.patterns {
-		c.patterns[p] = n
 	}
 	// The rule store is deliberately not copied: clones exist to serve
 	// Classify inside published snapshots and take no mutations, so
 	// copying the control-plane rule list would only tax every snapshot
-	// rebuild.
+	// rebuild. The published stats pointer is shared for the same reason:
+	// stats readers always go through the live table, so recomputing the
+	// accounting for the clone would be dead work on the rebuild path.
+	c.stats.Store(t.stats.Load())
 	return c
 }
 
-// AddMemory contributes the table's memories (field searchers, index
-// calculation store, action table) to a system report.
+// AddMemory contributes the table's memories to a system report. The
+// component set depends on the backend: the default mbt scheme reports
+// its field searchers, index-calculation store and action table; tss and
+// lineartcam report their own structures. The component total always
+// equals the table's published Memory() bits.
 func (t *LookupTable) AddMemory(r *memmodel.SystemReport) {
-	prefix := fmt.Sprintf("table%d", t.cfg.ID)
-	for _, s := range t.searchers {
-		s.AddMemory(r, fmt.Sprintf("%s/%s", prefix, shortFieldName(s.Field())))
-	}
-	// Index calculation: one row per stored combination key, holding the
-	// per-field labels, a priority and the action index.
-	width := 0
-	for _, s := range t.searchers {
-		width += s.LabelBits()
-	}
-	width += 16 // priority
-	width += bitops.Log2Ceil(t.actions.Peak())
-	if keys := t.combos.PeakKeys(); keys > 0 {
-		r.Add(prefix+"/index-calc", keys, width)
-	}
-	if t.actions.Peak() > 0 {
-		r.Add(prefix+"/actions", t.actions.Peak(), memmodel.ActionEntryBits)
-	}
+	t.backend.AddMemory(r, fmt.Sprintf("table%d", t.cfg.ID))
 }
 
-// Searcher returns the searcher handling field f, if the table has one.
+// Searcher returns the searcher handling field f when the table runs the
+// default mbt backend; other backends have no per-field searchers.
 func (t *LookupTable) Searcher(f openflow.FieldID) (FieldSearcher, bool) {
-	for _, s := range t.searchers {
-		if s.Field() == f {
-			return s, true
-		}
+	if b, ok := t.backend.(*mbtBackend); ok {
+		return b.searcher(f)
 	}
 	return nil, false
 }

@@ -187,6 +187,28 @@ func (tx *Tx) Commit() (TxResult, error) {
 		}
 	}
 
+	// Suspend per-mutation stats publication on every table the
+	// transaction touches: the accounting walk runs once per touched
+	// table at the end of the commit (success or rollback), not once per
+	// primitive mutation. Validation has already confirmed the tables
+	// exist.
+	for i := range tx.cmds {
+		t := p.tables[tx.cmds[i].Table]
+		t.suspendPublish = true
+	}
+	defer func() {
+		for i := range tx.cmds {
+			t := p.tables[tx.cmds[i].Table]
+			if t.suspendPublish {
+				t.suspendPublish = false
+				if t.statsDirty {
+					t.statsDirty = false
+					t.publishStats()
+				}
+			}
+		}
+	}()
+
 	// Phase 2: sequential application with an undo log. Each command
 	// resolves against the rule store as left by its predecessors.
 	res := TxResult{Commands: len(tx.cmds)}

@@ -11,6 +11,12 @@
 //
 // Operations: add | modify | delete | delete-strict.
 //
+// A file may open with a table-options preamble pinning the lookup
+// backend a table should run (cmd/flowgen emits one with -backend, and
+// ofctl flow-mods verifies it against the live switch before replaying):
+//
+//	table-options 1 backend=tss
+//
 // Matches (omitted fields are wildcards):
 //
 //	inport=N  vlan=N  meta=N  proto=N
@@ -61,12 +67,41 @@ var opValues = map[string]ofproto.FlowModOp{
 	"remove-exact":  ofproto.FlowRemoveExact,
 }
 
+// TableOption is one table-options directive: the named table should be
+// served by the named lookup backend. The directive carries workload
+// intent — a tuple-space churn benchmark replayed against a multi-bit
+// trie switch measures the wrong scheme — so consumers verify it against
+// the live pipeline rather than silently ignoring it.
+type TableOption struct {
+	Table   openflow.TableID
+	Backend string
+}
+
+// File is a parsed flow-mod command file: the table-options preamble plus
+// the command stream.
+type File struct {
+	TableOptions []TableOption
+	Commands     []ofproto.FlowMod
+}
+
 // Write renders the commands in the flow-mod text format.
 func Write(w io.Writer, fms []ofproto.FlowMod) error {
+	return WriteFile(w, &File{Commands: fms})
+}
+
+// WriteFile renders a command file: the table-options preamble (if any)
+// followed by the commands.
+func WriteFile(w io.Writer, f *File) error {
 	bw := bufio.NewWriter(w)
-	fmt.Fprintf(bw, "# flow-mods: %d commands\n", len(fms))
-	for i := range fms {
-		line, err := FormatCommand(&fms[i])
+	fmt.Fprintf(bw, "# flow-mods: %d commands\n", len(f.Commands))
+	for _, opt := range f.TableOptions {
+		if opt.Backend == "" {
+			return fmt.Errorf("flowtext: table-options for table %d names no backend", opt.Table)
+		}
+		fmt.Fprintf(bw, "table-options %d backend=%s\n", opt.Table, opt.Backend)
+	}
+	for i := range f.Commands {
+		line, err := FormatCommand(&f.Commands[i])
 		if err != nil {
 			return fmt.Errorf("flowtext: command %d: %w", i, err)
 		}
@@ -219,11 +254,23 @@ func formatIPv4(v uint32) string {
 	return fmt.Sprintf("%d.%d.%d.%d", byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
 }
 
-// Read parses a flow-mod command file.
+// Read parses a flow-mod command file, returning the commands only (any
+// table-options preamble is parsed and discarded; use ReadFile to get
+// it).
 func Read(r io.Reader) ([]ofproto.FlowMod, error) {
+	f, err := ReadFile(r)
+	if err != nil {
+		return nil, err
+	}
+	return f.Commands, nil
+}
+
+// ReadFile parses a flow-mod command file including its table-options
+// preamble.
+func ReadFile(r io.Reader) (*File, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
-	var out []ofproto.FlowMod
+	out := &File{}
 	line := 0
 	for sc.Scan() {
 		line++
@@ -231,16 +278,54 @@ func Read(r io.Reader) ([]ofproto.FlowMod, error) {
 		if text == "" || text[0] == '#' {
 			continue
 		}
+		if strings.HasPrefix(text, "table-options ") || text == "table-options" {
+			opt, err := ParseTableOption(text)
+			if err != nil {
+				return nil, fmt.Errorf("flowtext: line %d: %w", line, err)
+			}
+			out.TableOptions = append(out.TableOptions, opt)
+			continue
+		}
 		fm, err := ParseCommand(text)
 		if err != nil {
 			return nil, fmt.Errorf("flowtext: line %d: %w", line, err)
 		}
-		out = append(out, *fm)
+		out.Commands = append(out.Commands, *fm)
 	}
 	if err := sc.Err(); err != nil {
 		return nil, fmt.Errorf("flowtext: reading commands: %w", err)
 	}
 	return out, nil
+}
+
+// ParseTableOption parses one `table-options <table> key=value...` line.
+// The only recognised key is backend.
+func ParseTableOption(text string) (TableOption, error) {
+	fields := strings.Fields(text)
+	if len(fields) < 3 || fields[0] != "table-options" {
+		return TableOption{}, fmt.Errorf("want `table-options <table> backend=<kind>`, got %q", text)
+	}
+	table, err := strconv.ParseUint(fields[1], 10, 8)
+	if err != nil {
+		return TableOption{}, fmt.Errorf("bad table %q", fields[1])
+	}
+	opt := TableOption{Table: openflow.TableID(table)}
+	for _, tok := range fields[2:] {
+		key, val, _ := strings.Cut(tok, "=")
+		switch key {
+		case "backend":
+			if val == "" {
+				return TableOption{}, fmt.Errorf("backend takes a value")
+			}
+			opt.Backend = val
+		default:
+			return TableOption{}, fmt.Errorf("unknown table-options token %q", tok)
+		}
+	}
+	if opt.Backend == "" {
+		return TableOption{}, fmt.Errorf("table-options for table %d names no backend", opt.Table)
+	}
+	return opt, nil
 }
 
 // ParseCommand parses one command line.

@@ -149,3 +149,61 @@ func TestFormatUnrepresentable(t *testing.T) {
 		t.Error("apply-actions serialised but the grammar has no token for it")
 	}
 }
+
+// TestTableOptionsRoundTrip: a workload with a table-options preamble
+// writes and re-reads losslessly, and the legacy Read still returns the
+// commands alone.
+func TestTableOptionsRoundTrip(t *testing.T) {
+	in := &File{
+		TableOptions: []TableOption{
+			{Table: 0, Backend: "tss"},
+			{Table: 3, Backend: "lineartcam"},
+		},
+		Commands: []ofproto.FlowMod{
+			{Op: ofproto.FlowAdd, Table: 0, Entry: openflow.FlowEntry{
+				Priority:     1,
+				Matches:      []openflow.Match{openflow.Exact(openflow.FieldVLANID, 9)},
+				Instructions: []openflow.Instruction{openflow.WriteActions(openflow.Output(2))},
+			}},
+		},
+	}
+	var buf strings.Builder
+	if err := WriteFile(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadFile(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(out.TableOptions, in.TableOptions) {
+		t.Errorf("table options: got %+v, want %+v", out.TableOptions, in.TableOptions)
+	}
+	if len(out.Commands) != 1 || out.Commands[0].Table != 0 {
+		t.Errorf("commands: %+v", out.Commands)
+	}
+	fms, err := Read(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fms) != 1 {
+		t.Errorf("legacy Read returned %d commands, want 1", len(fms))
+	}
+}
+
+// TestTableOptionsRejectsMalformed covers the directive's error paths.
+func TestTableOptionsRejectsMalformed(t *testing.T) {
+	for _, line := range []string{
+		"table-options",
+		"table-options 0",
+		"table-options abc backend=tss",
+		"table-options 0 backend=",
+		"table-options 0 frontend=tss",
+	} {
+		if _, err := ReadFile(strings.NewReader(line + "\n")); err == nil {
+			t.Errorf("parse of %q succeeded", line)
+		}
+	}
+	if err := WriteFile(&strings.Builder{}, &File{TableOptions: []TableOption{{Table: 1}}}); err == nil {
+		t.Error("WriteFile accepted a table option naming no backend")
+	}
+}

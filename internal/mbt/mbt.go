@@ -618,3 +618,13 @@ func (t *Trie) EntryInserts() uint64 { return t.entryInserts }
 
 // Levels returns the number of trie levels.
 func (t *Trie) Levels() int { return len(t.cfg.Strides) }
+
+// CapacitySlots returns level lvl's capacity slots (nodes << stride) —
+// the paper's "stored nodes" for that level — without materialising a
+// stats slice, for callers on the per-commit accounting path.
+func (t *Trie) CapacitySlots(lvl int) int {
+	if lvl < 0 || lvl >= len(t.levels) {
+		return 0
+	}
+	return t.levels[lvl].nodes << uint(t.levels[lvl].stride)
+}

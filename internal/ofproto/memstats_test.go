@@ -1,0 +1,151 @@
+package ofproto
+
+import (
+	"reflect"
+	"testing"
+
+	"ofmtl/internal/core"
+	"ofmtl/internal/openflow"
+)
+
+// TestMemoryStatsCodecRoundTrip pins the wire form: encode → decode must
+// be lossless, including the backend kind codes.
+func TestMemoryStatsCodecRoundTrip(t *testing.T) {
+	in := &MemoryStatsReply{
+		TotalBits: 123456789,
+		Tables: []TableMemoryStats{
+			{Table: 0, Backend: "mbt", Rules: 507, SearchBits: 1 << 40, IndexBits: 77, ActionBits: 24},
+			{Table: 3, Backend: "tss", Rules: 1, SearchBits: 0, IndexBits: 72, ActionBits: 32},
+			{Table: 9, Backend: "lineartcam", Rules: 0},
+		},
+	}
+	payload := EncodeMemoryStatsReply(in)
+	out, err := DecodeMemoryStatsReply(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Errorf("round trip mismatch:\n in  %+v\n out %+v", in, out)
+	}
+
+	// The reuse decode draws no fresh Tables slice once grown.
+	var reused MemoryStatsReply
+	if err := DecodeMemoryStatsReplyInto(&reused, payload); err != nil {
+		t.Fatal(err)
+	}
+	prev := &reused.Tables[0]
+	if err := DecodeMemoryStatsReplyInto(&reused, payload); err != nil {
+		t.Fatal(err)
+	}
+	if prev != &reused.Tables[0] {
+		t.Error("DecodeMemoryStatsReplyInto re-allocated the Tables slice")
+	}
+}
+
+// TestMemoryStatsCodecRejectsMalformed covers the truncation paths.
+func TestMemoryStatsCodecRejectsMalformed(t *testing.T) {
+	good := EncodeMemoryStatsReply(&MemoryStatsReply{
+		Tables: []TableMemoryStats{{Table: 1, Backend: "mbt"}},
+	})
+	for _, bad := range [][]byte{nil, good[:5], good[:11], append(append([]byte(nil), good...), 0)} {
+		if _, err := DecodeMemoryStatsReply(bad); err == nil {
+			t.Errorf("decode of %d-byte malformed payload succeeded", len(bad))
+		}
+	}
+}
+
+// TestBackendCodesCoverCoreKinds keeps the wire enum in lockstep with the
+// backend registry: a kind the codec cannot carry would silently decode
+// as an empty name.
+func TestBackendCodesCoverCoreKinds(t *testing.T) {
+	for _, kind := range core.BackendKinds() {
+		code, ok := backendCodes[kind]
+		if !ok || code == 0 {
+			t.Errorf("backend %q has no wire code", kind)
+			continue
+		}
+		if backendNames[code] != kind {
+			t.Errorf("backend %q round-trips to %q", kind, backendNames[code])
+		}
+	}
+}
+
+// TestEndToEndMemoryStats runs a mixed-backend pipeline behind a live
+// server and checks the acceptance criterion: the wire report equals the
+// pipeline's MemoryStats exactly, table for table, and the total agrees
+// with MemoryReport bit for bit.
+func TestEndToEndMemoryStats(t *testing.T) {
+	p := core.NewPipeline()
+	cfgs := []core.TableConfig{
+		{ID: 0, Fields: []openflow.FieldID{openflow.FieldVLANID}, Backend: core.BackendMBT},
+		{ID: 1, Fields: []openflow.FieldID{openflow.FieldMetadata, openflow.FieldEthDst}, Backend: core.BackendTSS},
+		{ID: 2, Fields: []openflow.FieldID{openflow.FieldInPort}, Backend: core.BackendLinearTCAM},
+	}
+	for _, cfg := range cfgs {
+		if _, err := p.AddTable(cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	addr, stop := startTestServer(t, p)
+	defer stop()
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+
+	// Install a few rules through the wire so the counters move.
+	fms := []FlowMod{
+		{Op: FlowAdd, Table: 0, Entry: openflow.FlowEntry{
+			Priority: 1,
+			Matches:  []openflow.Match{openflow.Exact(openflow.FieldVLANID, 7)},
+			Instructions: []openflow.Instruction{
+				openflow.WriteMetadata(7, ^uint64(0)), openflow.GotoTable(1),
+			},
+		}},
+		{Op: FlowAdd, Table: 1, Entry: openflow.FlowEntry{
+			Priority: 1,
+			Matches: []openflow.Match{
+				openflow.Exact(openflow.FieldMetadata, 7),
+				openflow.Exact(openflow.FieldEthDst, 0xAABBCCDDEEFF),
+			},
+			Instructions: []openflow.Instruction{openflow.WriteActions(openflow.Output(3))},
+		}},
+		{Op: FlowAdd, Table: 2, Entry: openflow.FlowEntry{
+			Priority:     2,
+			Matches:      []openflow.Match{openflow.Exact(openflow.FieldInPort, 4)},
+			Instructions: []openflow.Instruction{openflow.WriteActions(openflow.Drop())},
+		}},
+	}
+	if _, err := c.SendFlowMods(fms); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := c.MemoryStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := p.MemoryStats()
+	if got.TotalBits != want.TotalBits || len(got.Tables) != len(want.Tables) {
+		t.Fatalf("wire stats %+v, pipeline stats %+v", got, want)
+	}
+	for i, tm := range want.Tables {
+		wt := TableMemoryStats{
+			Table:      uint8(tm.Table),
+			Backend:    tm.Backend,
+			Rules:      uint32(tm.Rules),
+			SearchBits: tm.SearchBits,
+			IndexBits:  tm.IndexBits,
+			ActionBits: tm.ActionBits,
+		}
+		if got.Tables[i] != wt {
+			t.Errorf("table %d: wire %+v, pipeline %+v", tm.Table, got.Tables[i], wt)
+		}
+	}
+	if report := p.MemoryReport(); report.TotalBits != int(got.TotalBits) {
+		t.Errorf("wire total = %d bits, MemoryReport = %d bits", got.TotalBits, report.TotalBits)
+	}
+	if got.Tables[0].Backend != "mbt" || got.Tables[1].Backend != "tss" || got.Tables[2].Backend != "lineartcam" {
+		t.Errorf("backends over the wire: %+v", got.Tables)
+	}
+}

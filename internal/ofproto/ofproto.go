@@ -45,6 +45,8 @@ const (
 	MsgPacketBatchReply
 	MsgFlowModBatch
 	MsgFlowModBatchReply
+	MsgMemoryStatsRequest
+	MsgMemoryStatsReply
 )
 
 // String names the message type.
@@ -78,6 +80,10 @@ func (t MsgType) String() string {
 		return "flow-mod-batch"
 	case MsgFlowModBatchReply:
 		return "flow-mod-batch-reply"
+	case MsgMemoryStatsRequest:
+		return "memory-stats-request"
+	case MsgMemoryStatsReply:
+		return "memory-stats-reply"
 	default:
 		return "unknown"
 	}
@@ -562,6 +568,113 @@ func DecodeStats(payload []byte) (*Stats, error) {
 		return nil, fmt.Errorf("ofproto: decoding stats: %w", err)
 	}
 	return &s, nil
+}
+
+// TableMemoryStats is one table's live memory accounting as reported by
+// the switch: the lookup backend serving the table, the installed rule
+// count, and the modelled bit breakdown (search structures / index stage
+// / action rows) the backend maintains incrementally.
+type TableMemoryStats struct {
+	Table      uint8
+	Backend    string
+	Rules      uint32
+	SearchBits uint64
+	IndexBits  uint64
+	ActionBits uint64
+}
+
+// TotalBits sums one table's breakdown.
+func (t *TableMemoryStats) TotalBits() uint64 {
+	return t.SearchBits + t.IndexBits + t.ActionBits
+}
+
+// MemoryStatsReply is the switch's answer to a memory-stats request: the
+// per-table breakdowns in pipeline order plus the total. The figures come
+// from the pipeline's lock-free counters, so serving the request never
+// blocks flow-mod transactions or packet lookups.
+type MemoryStatsReply struct {
+	TotalBits uint64
+	Tables    []TableMemoryStats
+}
+
+// Backend kind codes on the wire. Unknown kinds travel as 0 and decode to
+// an empty name, so protocol peers degrade gracefully across versions.
+var backendCodes = map[string]uint8{
+	"mbt":        1,
+	"tss":        2,
+	"lineartcam": 3,
+}
+
+var backendNames = map[uint8]string{
+	1: "mbt",
+	2: "tss",
+	3: "lineartcam",
+}
+
+// memoryStatsRowLen is the fixed wire width of one per-table record:
+// [table u8 | backend u8 | rules u32 | search u64 | index u64 | action u64].
+const memoryStatsRowLen = 1 + 1 + 4 + 8 + 8 + 8
+
+// AppendMemoryStatsReply appends the wire form of a memory-stats reply to
+// buf, so per-connection senders can reuse one encode buffer (the
+// zero-allocation path, like the packet and flow-mod batch codecs).
+func AppendMemoryStatsReply(buf []byte, r *MemoryStatsReply) []byte {
+	buf = binary.BigEndian.AppendUint64(buf, r.TotalBits)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(r.Tables)))
+	for i := range r.Tables {
+		t := &r.Tables[i]
+		buf = append(buf, t.Table, backendCodes[t.Backend])
+		buf = binary.BigEndian.AppendUint32(buf, t.Rules)
+		buf = binary.BigEndian.AppendUint64(buf, t.SearchBits)
+		buf = binary.BigEndian.AppendUint64(buf, t.IndexBits)
+		buf = binary.BigEndian.AppendUint64(buf, t.ActionBits)
+	}
+	return buf
+}
+
+// EncodeMemoryStatsReply serialises a memory-stats reply.
+func EncodeMemoryStatsReply(r *MemoryStatsReply) []byte {
+	return AppendMemoryStatsReply(make([]byte, 0, 10+memoryStatsRowLen*len(r.Tables)), r)
+}
+
+// DecodeMemoryStatsReplyInto parses a memory-stats reply, reusing the
+// reply's Tables slice: once it has grown to the pipeline's table count,
+// steady-state polling decodes allocate nothing (backend names are
+// interned strings, not payload slices).
+func DecodeMemoryStatsReplyInto(r *MemoryStatsReply, payload []byte) error {
+	if len(payload) < 10 {
+		return fmt.Errorf("ofproto: memory-stats payload of %d bytes", len(payload))
+	}
+	r.TotalBits = binary.BigEndian.Uint64(payload)
+	count := int(binary.BigEndian.Uint16(payload[8:]))
+	rest := payload[10:]
+	if len(rest) != count*memoryStatsRowLen {
+		return fmt.Errorf("ofproto: memory-stats wants %d tables, has %d bytes", count, len(rest))
+	}
+	if cap(r.Tables) < count {
+		r.Tables = make([]TableMemoryStats, count)
+	}
+	r.Tables = r.Tables[:count]
+	for i := 0; i < count; i++ {
+		t := &r.Tables[i]
+		t.Table = rest[0]
+		t.Backend = backendNames[rest[1]]
+		t.Rules = binary.BigEndian.Uint32(rest[2:])
+		t.SearchBits = binary.BigEndian.Uint64(rest[6:])
+		t.IndexBits = binary.BigEndian.Uint64(rest[14:])
+		t.ActionBits = binary.BigEndian.Uint64(rest[22:])
+		rest = rest[memoryStatsRowLen:]
+	}
+	return nil
+}
+
+// DecodeMemoryStatsReply parses a memory-stats reply into a fresh value.
+func DecodeMemoryStatsReply(payload []byte) (*MemoryStatsReply, error) {
+	r := &MemoryStatsReply{}
+	if err := DecodeMemoryStatsReplyInto(r, payload); err != nil {
+		return nil, err
+	}
+	return r, nil
 }
 
 // EncodeError serialises an error message.

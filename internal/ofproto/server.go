@@ -103,6 +103,10 @@ type connState struct {
 	// entries on insert, so both are safe to reuse per message.
 	fms     []FlowMod
 	fmArena openflow.EntryArena
+	// Memory-stats buffers: the pipeline-side view and the wire reply,
+	// both reused so stats polling is allocation-free in steady state.
+	memTables []core.TableMemory
+	memReply  MemoryStatsReply
 }
 
 func (s *Server) serveConn(conn net.Conn) {
@@ -208,6 +212,27 @@ func (s *Server) dispatch(conn net.Conn, cs *connState, msg Message) error {
 			return err
 		}
 		return WriteMessage(conn, MsgStatsReply, payload)
+	case MsgMemoryStatsRequest:
+		// The read is lock-free (atomic loads of the published per-table
+		// counters), so a stats poller never serialises against flow-mod
+		// commits or packet batches on other connections.
+		ms := s.pipeline.MemoryStatsInto(cs.memTables)
+		cs.memTables = ms.Tables
+		cs.memReply.TotalBits = ms.TotalBits
+		cs.memReply.Tables = cs.memReply.Tables[:0]
+		for _, tm := range ms.Tables {
+			cs.memReply.Tables = append(cs.memReply.Tables, TableMemoryStats{
+				Table:      uint8(tm.Table),
+				Backend:    tm.Backend,
+				Rules:      uint32(tm.Rules),
+				SearchBits: tm.SearchBits,
+				IndexBits:  tm.IndexBits,
+				ActionBits: tm.ActionBits,
+			})
+		}
+		cs.out = BeginFrame(cs.out)
+		cs.out = AppendMemoryStatsReply(cs.out, &cs.memReply)
+		return WriteFrame(conn, MsgMemoryStatsReply, cs.out)
 	case MsgBarrier:
 		return WriteMessage(conn, MsgBarrierReply, nil)
 	default:
@@ -428,6 +453,17 @@ func (c *Client) Stats() (*Stats, error) {
 		return nil, err
 	}
 	return DecodeStats(msg.Payload)
+}
+
+// MemoryStats fetches the switch's live per-table, per-backend memory
+// accounting. The switch serves it from lock-free counters, so polling
+// it does not perturb concurrent flow-mod or packet traffic.
+func (c *Client) MemoryStats() (*MemoryStatsReply, error) {
+	msg, err := c.roundTrip(MsgMemoryStatsRequest, nil, MsgMemoryStatsReply)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeMemoryStatsReply(msg.Payload)
 }
 
 // Barrier completes when all previously sent messages are processed.

@@ -36,6 +36,9 @@ type Table struct {
 
 	dirty    bool
 	segments []segment
+	// sortScratch is reused across labelsOf calls within one rebuild, so
+	// the sweep allocates only the per-segment label slices it retains.
+	sortScratch []int
 }
 
 // Insert adds the inclusive range [lo, hi] with the given label. Duplicate
@@ -117,9 +120,12 @@ func (t *Table) Segments() int {
 	return len(t.segments)
 }
 
-// rebuild projects the ranges onto elementary intervals. Hardware performs
-// this precomputation at update time; the table performs it lazily after
-// mutations.
+// rebuild projects the ranges onto elementary intervals with a sweep
+// line over the boundary events. Hardware performs this precomputation at
+// update time; the table performs it lazily after mutations — and, since
+// the pipeline's memory accounting reads Segments on every transaction
+// commit, the sweep maintains an active-range set so each boundary costs
+// O(active) instead of a scan of every stored range.
 func (t *Table) rebuild() {
 	if !t.dirty {
 		return
@@ -130,55 +136,67 @@ func (t *Table) rebuild() {
 		return
 	}
 
-	// Collect boundary points: range starts and the points just after range
-	// ends (where coverage can change).
-	points := make([]uint64, 0, 2*len(t.entries))
-	for _, e := range t.entries {
-		points = append(points, e.lo)
+	// Boundary events: a range enters at lo and leaves just after hi
+	// (where coverage can change).
+	type event struct {
+		p     uint64
+		enter bool
+		idx   int
+	}
+	events := make([]event, 0, 2*len(t.entries))
+	for i, e := range t.entries {
+		events = append(events, event{p: e.lo, enter: true, idx: i})
 		if e.hi != ^uint64(0) {
-			points = append(points, e.hi+1)
+			events = append(events, event{p: e.hi + 1, enter: false, idx: i})
 		}
 	}
-	sort.Slice(points, func(i, j int) bool { return points[i] < points[j] })
-	points = dedupe(points)
+	sort.Slice(events, func(i, j int) bool { return events[i].p < events[j].p })
 
-	for _, p := range points {
-		seg := segment{start: p, labs: t.coveringAt(p)}
+	active := make([]int, 0, len(t.entries))
+	for ei := 0; ei < len(events); {
+		p := events[ei].p
+		for ei < len(events) && events[ei].p == p {
+			ev := events[ei]
+			if ev.enter {
+				active = append(active, ev.idx)
+			} else {
+				for k, idx := range active {
+					if idx == ev.idx {
+						active = append(active[:k], active[k+1:]...)
+						break
+					}
+				}
+			}
+			ei++
+		}
+		labs := t.labelsOf(active)
 		// Coalesce with the previous segment when nothing changed.
-		if n := len(t.segments); n > 0 && equalLabels(t.segments[n-1].labs, seg.labs) {
+		if n := len(t.segments); n > 0 && equalLabels(t.segments[n-1].labs, labs) {
 			continue
 		}
-		t.segments = append(t.segments, seg)
+		t.segments = append(t.segments, segment{start: p, labs: labs})
 	}
 }
 
-// coveringAt returns the labels of every range containing p, ordered
-// narrowest first (ties by insertion order).
-func (t *Table) coveringAt(p uint64) []label.Label {
-	type cand struct {
-		width uint64
-		seq   int
-		lab   label.Label
-	}
-	var cands []cand
-	for _, e := range t.entries {
-		if p < e.lo || p > e.hi {
-			continue
-		}
-		cands = append(cands, cand{width: e.hi - e.lo, seq: e.seq, lab: e.lab})
-	}
-	if len(cands) == 0 {
+// labelsOf returns the labels of the active ranges ordered narrowest
+// first (ties by insertion order) — the paper's RM resolution order.
+func (t *Table) labelsOf(active []int) []label.Label {
+	if len(active) == 0 {
 		return nil
 	}
-	sort.Slice(cands, func(i, j int) bool {
-		if cands[i].width != cands[j].width {
-			return cands[i].width < cands[j].width
+	idxs := append(t.sortScratch[:0], active...)
+	t.sortScratch = idxs
+	sort.Slice(idxs, func(i, j int) bool {
+		a, b := &t.entries[idxs[i]], &t.entries[idxs[j]]
+		wa, wb := a.hi-a.lo, b.hi-b.lo
+		if wa != wb {
+			return wa < wb
 		}
-		return cands[i].seq < cands[j].seq
+		return a.seq < b.seq
 	})
-	out := make([]label.Label, len(cands))
-	for i, c := range cands {
-		out[i] = c.lab
+	out := make([]label.Label, len(idxs))
+	for i, idx := range idxs {
+		out[i] = t.entries[idx].lab
 	}
 	return out
 }
@@ -193,14 +211,4 @@ func equalLabels(a, b []label.Label) bool {
 		}
 	}
 	return true
-}
-
-func dedupe(sorted []uint64) []uint64 {
-	out := sorted[:0]
-	for i, v := range sorted {
-		if i == 0 || v != sorted[i-1] {
-			out = append(out, v)
-		}
-	}
-	return out
 }
