@@ -587,6 +587,54 @@ func BenchmarkPipelineExecuteMACZipf(b *testing.B) {
 	}
 }
 
+// BenchmarkMegaflowSubnetZipf is the megaflow tier's headline workload:
+// a Zipf-of-subnets routing trace where every packet is a brand-new flow
+// (fresh host bits and source address), so an exact-match microflow
+// cache never hits and every packet either pays the full LPM walk
+// ("walk") or one masked megaflow probe ("megaflow"). The ratio is the
+// wildcard tier's win; the acceptance floor is 5x.
+func BenchmarkMegaflowSubnetZipf(b *testing.B) {
+	f, err := filterset.GenerateRoute("coza", filterset.DefaultSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	trace := traffic.SubnetZipf(f, 8192, 1.1, 1)
+	for _, mode := range []string{"walk", "megaflow"} {
+		b.Run(mode, func(b *testing.B) {
+			p, err := core.BuildRoute(f, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if mode == "megaflow" {
+				p.SetMegaflowSize(1 << 14)
+			} else {
+				p.SetMegaflowSize(0)
+			}
+			p.Refresh()
+			h := new(openflow.Header) // hoisted: see benchPipeline
+			// Warm outside the timed region: install every subnet's
+			// megaflow and intern every distinct Result.
+			for i := 0; i < len(trace); i++ {
+				*h = trace[i]
+				p.Execute(h)
+			}
+			b.ResetTimer()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				*h = trace[i%len(trace)]
+				p.Execute(h)
+			}
+			if mode == "megaflow" {
+				st := p.MegaflowStats()
+				if total := st.Hits + st.Misses; total > 0 {
+					b.ReportMetric(float64(st.Hits)/float64(total)*100, "hit%")
+				}
+				b.ReportMetric(float64(st.Masks), "masks")
+			}
+		})
+	}
+}
+
 // BenchmarkPipelineLookupUnderChurn measures parallel lookups while a
 // writer concurrently toggles a flow entry — the lookup-under-update mix
 // the RCU snapshot design targets. Updates arrive every ~100µs, a hot

@@ -13,6 +13,7 @@
 //	flowgen -app acl -name acl1 -n 1000 -o acl1.txt
 //	flowgen -app mac -all -o filters/        # all 16 filters
 //	flowgen -app mac -name gozb -trace 100000 -zipf 1.1 -o gozb_trace.txt
+//	flowgen -app route -name coza -trace 100000 -zipf-subnets 1.1 -o coza_subnets.txt
 //	flowgen -app mac -name gozb -churn 10000 -o gozb_churn.txt
 //	flowgen -app acl -name acl1 -churn 10000 -backend tss -o tss_churn.txt
 //
@@ -55,10 +56,11 @@ func run() error {
 		out  = flag.String("o", "", "output file (default stdout); with -all, output directory")
 		all  = flag.Bool("all", false, "generate all 16 filters (mac/route only)")
 
-		trace = flag.Int("trace", 0, "emit an N-packet trace against the generated filter instead of the filter itself")
-		flows = flag.Int("flows", 1024, "distinct flows in the trace population (with -trace)")
-		hit   = flag.Float64("hit", 0.9, "fraction of trace flows that match installed rules (with -trace)")
-		zipf  = flag.Float64("zipf", 0, "Zipf skew of flow popularity; 0 = uniform, 1.0-1.3 = measured traffic (with -trace)")
+		trace       = flag.Int("trace", 0, "emit an N-packet trace against the generated filter instead of the filter itself")
+		flows       = flag.Int("flows", 1024, "distinct flows in the trace population (with -trace)")
+		hit         = flag.Float64("hit", 0.9, "fraction of trace flows that match installed rules (with -trace)")
+		zipf        = flag.Float64("zipf", 0, "Zipf skew of flow popularity; 0 = uniform, 1.0-1.3 = measured traffic (with -trace)")
+		zipfSubnets = flag.Float64("zipf-subnets", 0, "Zipf skew of *subnet* popularity with every packet a new flow; route app only (with -trace)")
 
 		churn   = flag.Int("churn", 0, "emit an N-command flow-mod churn workload against the generated filter")
 		backend = flag.String("backend", "", "pin touched tables to this lookup backend via a table-options preamble (with -churn)")
@@ -93,11 +95,25 @@ func run() error {
 		return gen(f)
 	}
 
+	if *zipfSubnets > 0 {
+		if *trace <= 0 {
+			return fmt.Errorf("-zipf-subnets requires -trace")
+		}
+		if *zipf > 0 {
+			return fmt.Errorf("-zipf-subnets is mutually exclusive with -zipf")
+		}
+		if *app != "route" {
+			return fmt.Errorf("-zipf-subnets requires -app route, got %q", *app)
+		}
+	}
 	if *trace > 0 {
 		if *all {
 			return fmt.Errorf("-trace is mutually exclusive with -all")
 		}
 		gen := func(w io.Writer) error {
+			if *zipfSubnets > 0 {
+				return generateSubnetZipfTrace(w, *name, *trace, *zipfSubnets, *seed)
+			}
 			return generateTrace(w, *app, *name, *n, *trace, *flows, *hit, *zipf, *seed)
 		}
 		if *out == "" {
@@ -200,6 +216,20 @@ func generateTrace(w io.Writer, app, name string, rules, n, flows int, hit, skew
 		hs = traffic.ZipfMix(hs, n, skew, seed)
 	}
 	return traffic.WriteTrace(w, hs)
+}
+
+// generateSubnetZipfTrace emits an n-packet trace where installed
+// routing prefixes are Zipf-popular but every packet is a brand-new flow
+// (fresh host bits and source address per packet). The regime defeats
+// exact-match flow caching and exercises the megaflow wildcard tier:
+// after one traced walk per subnet, every further packet in that subnet
+// is a masked cache hit.
+func generateSubnetZipfTrace(w io.Writer, name string, n int, skew float64, seed uint64) error {
+	f, err := filterset.GenerateRoute(name, seed)
+	if err != nil {
+		return err
+	}
+	return traffic.WriteTrace(w, traffic.SubnetZipf(f, n, skew, seed))
 }
 
 // generateChurn emits an n-command flow-mod workload against the named

@@ -7,6 +7,7 @@
 //
 //	ofctl -addr 127.0.0.1:6653 stats
 //	ofctl memory
+//	ofctl cache
 //	ofctl add-mac -vlan 10 -mac 00:11:22:33:44:55 -port 3
 //	ofctl del-mac -vlan 10 -mac 00:11:22:33:44:55
 //	ofctl add-route -inport 2 -prefix 10.0.0.0/8 -nexthop 7
@@ -30,6 +31,11 @@
 // per-backend byte counters each flow-mod commit republishes — over the
 // memory-stats message. The switch serves it lock-free, so polling is
 // safe under full churn.
+//
+// cache reads both fast-path tiers' counters over the cache-stats
+// message: the microflow (exact-match) cache and the megaflow (wildcard)
+// tier, including the distinct consulted-bits masks the megaflow tier
+// currently holds. Also served lock-free.
 package main
 
 import (
@@ -60,7 +66,7 @@ func run(args []string) error {
 	}
 	rest := global.Args()
 	if len(rest) == 0 {
-		return fmt.Errorf("usage: ofctl [-addr host:port] <stats|memory|add-mac|del-mac|add-route|del-route|load|flow-mods|packet> [flags]")
+		return fmt.Errorf("usage: ofctl [-addr host:port] <stats|memory|cache|add-mac|del-mac|add-route|del-route|load|flow-mods|packet> [flags]")
 	}
 
 	client, err := ofproto.Dial(*addr)
@@ -74,6 +80,8 @@ func run(args []string) error {
 		return doStats(client)
 	case "memory":
 		return doMemory(client)
+	case "cache":
+		return doCache(client)
 	case "add-mac":
 		return doAddMAC(client, rest[1:])
 	case "del-mac":
@@ -113,9 +121,46 @@ func doStats(c *ofproto.Client) error {
 		fmt.Printf("microflow cache: %d entries, %d hits / %d misses (%.1f%% hit)\n",
 			st.CacheEntries, st.CacheHits, st.CacheMisses, hitPct)
 	}
+	if st.MegaflowEntries > 0 {
+		total := st.MegaflowHits + st.MegaflowMisses
+		hitPct := 0.0
+		if total > 0 {
+			hitPct = float64(st.MegaflowHits) / float64(total) * 100
+		}
+		fmt.Printf("megaflow tier: %d entries, %d masks, %d hits / %d misses (%.1f%% hit)\n",
+			st.MegaflowEntries, st.MegaflowMasks, st.MegaflowHits, st.MegaflowMisses, hitPct)
+	}
 	if st.Txs > 0 || st.RejectedTxs > 0 {
 		fmt.Printf("control plane: %d transactions, %d flow-mod commands, %d rejected\n",
 			st.Txs, st.FlowModCommands, st.RejectedTxs)
+	}
+	return nil
+}
+
+// doCache prints both fast-path tiers' counters: the microflow
+// exact-match cache and the megaflow wildcard tier.
+func doCache(c *ofproto.Client) error {
+	cs, err := c.CacheStats()
+	if err != nil {
+		return err
+	}
+	pct := func(hits, misses uint64) float64 {
+		if hits+misses == 0 {
+			return 0
+		}
+		return float64(hits) / float64(hits+misses) * 100
+	}
+	if cs.MicroEntries > 0 {
+		fmt.Printf("microflow cache: %d entries, %d hits / %d misses (%.1f%% hit)\n",
+			cs.MicroEntries, cs.MicroHits, cs.MicroMisses, pct(cs.MicroHits, cs.MicroMisses))
+	} else {
+		fmt.Println("microflow cache: disabled")
+	}
+	if cs.MegaEntries > 0 {
+		fmt.Printf("megaflow tier: %d entries, %d masks, %d hits / %d misses (%.1f%% hit)\n",
+			cs.MegaEntries, cs.MegaMasks, cs.MegaHits, cs.MegaMisses, pct(cs.MegaHits, cs.MegaMisses))
+	} else {
+		fmt.Println("megaflow tier: disabled")
 	}
 	return nil
 }

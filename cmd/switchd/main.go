@@ -9,6 +9,7 @@
 //	switchd -listen :6653 -mac gozb -route coza    # preloaded worst-case prototype
 //	switchd -listen :6653 -mac gozb -workers 8     # 8-way parallel batch classification
 //	switchd -listen :6653 -mac gozb -cache 0       # disable the microflow fast path
+//	switchd -listen :6653 -route coza -megaflow 0  # disable the megaflow wildcard tier
 //	switchd -listen :6653 -backend tss             # tuple-space search in every table
 //	switchd -listen :6653 -memlog 30s              # periodic live memory accounting logs
 //
@@ -23,10 +24,14 @@
 //
 // Packet lookups execute lock-free against the pipeline's RCU-style
 // snapshot, so concurrent controller connections classify in parallel;
-// -workers bounds the per-batch fan-out of packet-batch messages. A
-// microflow cache (-cache, entries) fronts the multi-table walk so
-// repeated flows cost one exact-match probe; its hit/miss counters are
-// reported through the stats message.
+// -workers bounds the per-batch fan-out of packet-batch messages. Two
+// cache tiers front the multi-table walk: a microflow cache (-cache,
+// entries) absorbs exact flow repeats, and a megaflow wildcard cache
+// (-megaflow, entries) absorbs whole regions — each walk traces the
+// header bits it consulted and installs its outcome under that mask, so
+// new flows agreeing on the consulted bits skip the walk entirely. Both
+// tiers' hit/miss counters are reported through the stats and
+// cache-stats messages (ofctl stats / ofctl cache).
 //
 // Flow-table mutations arrive as flow-mod transactions: a flow-mod batch
 // message validates and applies atomically, publishing one lookup
@@ -69,6 +74,7 @@ func run() error {
 		pipeFile = flag.String("pipeline", "", "JSON pipeline layout (TTP-style); overrides the built-in prototype")
 		workers  = flag.Int("workers", 0, "goroutines per packet batch (0 = GOMAXPROCS, 1 = sequential)")
 		cacheSz  = flag.Int("cache", 1<<16, "microflow cache entries (0 = disable the fast path)")
+		megaSz   = flag.Int("megaflow", 1<<14, "megaflow (wildcard) cache entries (0 = disable the tier)")
 		backend  = flag.String("backend", "", "default per-table lookup backend: mbt | tss | lineartcam")
 		memlog   = flag.Duration("memlog", 0, "interval for periodic memory-accounting logs (0 = disabled)")
 	)
@@ -78,6 +84,9 @@ func run() error {
 	}
 	if *cacheSz < 0 {
 		return fmt.Errorf("-cache must be >= 0, got %d", *cacheSz)
+	}
+	if *megaSz < 0 {
+		return fmt.Errorf("-megaflow must be >= 0, got %d", *megaSz)
 	}
 
 	var pipeline *core.Pipeline
@@ -95,6 +104,7 @@ func run() error {
 	}
 	pipeline.SetWorkers(*workers)
 	pipeline.SetCacheSize(*cacheSz)
+	pipeline.SetMegaflowSize(*megaSz)
 	log.Printf("switchd: pipeline ready: %d tables, %d rules", len(pipeline.Tables()), pipeline.Rules())
 	for _, tm := range pipeline.MemoryStats().Tables {
 		log.Printf("switchd: table %d: backend %s, %d rules, %d bits accounted", tm.Table, tm.Backend, tm.Rules, tm.TotalBits())
@@ -110,6 +120,11 @@ func run() error {
 		log.Printf("switchd: microflow cache: %d entries, generation-invalidated", st.Entries)
 	} else {
 		log.Printf("switchd: microflow cache disabled")
+	}
+	if st := pipeline.MegaflowStats(); st.Entries > 0 {
+		log.Printf("switchd: megaflow tier: %d entries, traced-mask wildcard caching", st.Entries)
+	} else {
+		log.Printf("switchd: megaflow tier disabled")
 	}
 	// Publish the initial snapshot now so the first packet doesn't pay
 	// for the clone.

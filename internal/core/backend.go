@@ -53,6 +53,13 @@ const (
 // runs the test suite under every scheme.
 const EnvBackend = "OFMTL_BACKEND"
 
+// EnvMegaflow is the environment variable sizing the megaflow (wildcard)
+// cache tier for pipelines that do not call SetMegaflowSize explicitly: a
+// positive integer enables the tier with that many entries; unset, zero
+// or unparsable values leave it disabled. It is how the CI backend matrix
+// runs the test suite with the tier on and off.
+const EnvMegaflow = "OFMTL_MEGAFLOW"
+
 // BackendKinds returns the recognised backend kind names, sorted.
 func BackendKinds() []string {
 	return []string{BackendLinearTCAM, BackendMBT, BackendTSS}
@@ -91,6 +98,12 @@ type Backend interface {
 	// installed entry. Lookup must be safe for concurrent callers on an
 	// immutable (cloned) backend.
 	Lookup(h *openflow.Header) (MatchResult, bool)
+	// LookupTraced is Lookup plus consulted-bits accounting for the
+	// megaflow tier: it must mark in tr every header bit whose value
+	// could change the lookup's outcome, so that any header agreeing with
+	// h on the marked bits is guaranteed the identical MatchResult.
+	// Over-marking is safe; under-marking caches wrong results.
+	LookupTraced(h *openflow.Header, tr *flowMask) (MatchResult, bool)
 	// Clone returns a deep copy sharing no mutable state with the
 	// original (immutable instruction slices are shared).
 	Clone() Backend

@@ -139,6 +139,22 @@ func (b *tcamBackend) Lookup(h *openflow.Header) (MatchResult, bool) {
 	return MatchResult{}, false
 }
 
+// LookupTraced implements Backend. A linear TCAM scan consults the care
+// bits of every row up to and including the winning row: a packet
+// agreeing with h on all those bits misses the same higher-priority rows
+// and hits the same winner (or, on a total miss, misses every row).
+func (b *tcamBackend) LookupTraced(h *openflow.Header, tr *flowMask) (MatchResult, bool) {
+	for _, ent := range b.entries {
+		for i := range ent.entry.Matches {
+			tr.traceMatch(&ent.entry.Matches[i])
+		}
+		if ent.entry.MatchesHeader(h) {
+			return MatchResult{Instructions: ent.entry.Instructions, Priority: ent.entry.Priority}, true
+		}
+	}
+	return MatchResult{}, false
+}
+
 // Clone implements Backend. Entries are immutable once installed, so the
 // clone shares them and copies only the ordered array.
 func (b *tcamBackend) Clone() Backend {

@@ -319,6 +319,31 @@ func (b *tssBackend) Lookup(h *openflow.Header) (MatchResult, bool) {
 	return MatchResult{Instructions: best.entry.Instructions, Priority: best.entry.Priority}, true
 }
 
+// LookupTraced implements Backend. Every probed tuple consults exactly
+// its shape's masked bits (the probe key), whether the bucket hits or
+// misses, so each non-empty tuple contributes its shape mask. The spill
+// scan may test any entry's full match, so every spill entry's care bits
+// are traced unconditionally (conservative: tssBetter can skip a test,
+// but identical traced bits imply the identical skip decisions).
+func (b *tssBackend) LookupTraced(h *openflow.Header, tr *flowMask) (MatchResult, bool) {
+	for _, tp := range b.order {
+		if tp.n == 0 {
+			continue
+		}
+		for i, f := range b.fields {
+			if plen := tp.shape[i]; plen != tssShapeWild && plen != 0 {
+				tr.orField(f, int(plen))
+			}
+		}
+	}
+	for _, ent := range b.spill {
+		for i := range ent.entry.Matches {
+			tr.traceMatch(&ent.entry.Matches[i])
+		}
+	}
+	return b.Lookup(h)
+}
+
 // Clone implements Backend. Entries are immutable once installed, so the
 // clone shares them and deep-copies only the containers.
 func (b *tssBackend) Clone() Backend {

@@ -73,8 +73,9 @@ func internMix(k uint64) uint64 {
 // content-addressed, so entries stay valid across rule updates and
 // snapshot rebuilds.
 type resultIntern struct {
-	paths internTable[openflow.TableID]
-	outs  internTable[uint32]
+	paths   internTable[openflow.TableID]
+	outs    internTable[uint32]
+	results resultPtrTable
 }
 
 // internedPathMax is the longest walk that can be packed into an intern
@@ -127,19 +128,118 @@ func (in *resultIntern) internOutputs(outs []uint32) []uint32 {
 	})
 }
 
+// resultPtrTable is a fixed-size lock-free intern table of whole
+// Results, keyed by content. The megaflow tier publishes one
+// atomic.Pointer[Result] per cached entry (so a torn seqlock read can
+// never mix two results' fields); interning the pointer keeps the
+// steady-state install path allocation-free — a walk outcome seen
+// before reuses its canonical heap copy. Distinct outcomes are bounded
+// by the pipeline's path × port population, far below internSize.
+type resultPtrTable struct {
+	slots [internSize]atomic.Pointer[Result]
+}
+
+// internResult returns a canonical heap pointer for r. r is taken by
+// value so callers' stack results never escape; only the first
+// appearance of a distinct outcome allocates.
+func (in *resultIntern) internResult(r Result) *Result {
+	t := &in.results
+	i := internMix(resultHashKey(&r)) & (internSize - 1)
+	for p := 0; p < internProbes; p++ {
+		slot := &t.slots[(i+uint64(p))&(internSize-1)]
+		e := slot.Load()
+		if e == nil {
+			ne := new(Result)
+			*ne = r
+			if slot.CompareAndSwap(nil, ne) {
+				return ne
+			}
+			e = slot.Load() // lost the race; see what won
+		}
+		if resultsEqual(e, &r) {
+			return e
+		}
+	}
+	ne := new(Result)
+	*ne = r
+	return ne
+}
+
+// resultHashKey condenses a Result's content (FNV-1a over scalars and
+// slice elements).
+func resultHashKey(r *Result) uint64 {
+	const prime = 0x100000001B3
+	h := uint64(0xCBF29CE484222325)
+	mix := func(v uint64) {
+		h ^= v
+		h *= prime
+	}
+	flags := uint64(0)
+	if r.Matched {
+		flags |= 1
+	}
+	if r.SentToController {
+		flags |= 2
+	}
+	if r.Dropped {
+		flags |= 4
+	}
+	mix(flags)
+	mix(uint64(r.MatchedTables))
+	mix(uint64(len(r.Outputs)))
+	for _, p := range r.Outputs {
+		mix(uint64(p))
+	}
+	mix(uint64(len(r.TablesVisited)))
+	for _, id := range r.TablesVisited {
+		mix(uint64(id))
+	}
+	return h
+}
+
+// resultsEqual compares a published Result against a candidate by
+// content (slice elements, not slice headers — interned slices make the
+// header compare usually succeed, but content is the contract).
+func resultsEqual(a, b *Result) bool {
+	if a.Matched != b.Matched || a.SentToController != b.SentToController ||
+		a.Dropped != b.Dropped || a.MatchedTables != b.MatchedTables ||
+		len(a.Outputs) != len(b.Outputs) || len(a.TablesVisited) != len(b.TablesVisited) {
+		return false
+	}
+	for i := range a.Outputs {
+		if a.Outputs[i] != b.Outputs[i] {
+			return false
+		}
+	}
+	for i := range a.TablesVisited {
+		if a.TablesVisited[i] != b.TablesVisited[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // execScratch carries one Execute call's working buffers: the visited
-// walk, the egress ports and the accumulating action set. Buffers are
-// pooled so steady-state execution performs no heap allocation.
+// walk, the egress ports, the accumulating action set, and — for traced
+// (megaflow-installing) walks — the consulted-bits mask and the
+// rewritten-fields bitmask. Buffers are pooled so steady-state execution
+// performs no heap allocation.
 type execScratch struct {
 	visited []openflow.TableID
 	outs    []uint32
 	as      actionSet
+
+	traced    bool     // record consulted bits into tr
+	tr        flowMask // union of consulted bits (valid when traced)
+	rewritten uint64   // FieldIDs mutated mid-walk (always tracked; cheap)
 }
 
 func (sc *execScratch) reset() {
 	sc.visited = sc.visited[:0]
 	sc.outs = sc.outs[:0]
 	sc.as.clear()
+	sc.traced = false
+	sc.rewritten = 0
 }
 
 var execScratchPool = sync.Pool{New: func() any { return &execScratch{} }}

@@ -1,0 +1,9 @@
+//go:build !race
+
+package core
+
+// raceEnabled reports whether the race detector instruments this build.
+// Allocation-regression assertions are skipped under -race: the
+// detector's instrumentation itself allocates, so AllocsPerRun counts
+// the tooling, not the code under test.
+const raceEnabled = false

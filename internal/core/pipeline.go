@@ -2,7 +2,9 @@ package core
 
 import (
 	"fmt"
+	"os"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
@@ -54,6 +56,9 @@ type Pipeline struct {
 	// cache is the optional exact-match microflow fast path in front of
 	// the multi-table walk; nil when disabled (see flowcache.go).
 	cache atomic.Pointer[flowCache]
+	// mega is the optional masked (wildcard) megaflow tier between the
+	// microflow cache and the walk; nil when disabled (see megaflow.go).
+	mega atomic.Pointer[megaflowCache]
 	// workers bounds ExecuteBatch fan-out; 0 selects GOMAXPROCS.
 	workers atomic.Int64
 	// batch parks the persistent ExecuteBatch worker goroutines.
@@ -78,12 +83,18 @@ type Pipeline struct {
 }
 
 // NewPipeline returns an empty pipeline. The default lookup backend for
-// its tables is mbt unless $OFMTL_BACKEND names another scheme.
+// its tables is mbt unless $OFMTL_BACKEND names another scheme; a
+// positive $OFMTL_MEGAFLOW enables the megaflow tier with that many
+// entries (SetMegaflowSize overrides either way).
 func NewPipeline() *Pipeline {
-	return &Pipeline{
+	p := &Pipeline{
 		tables:         make(map[openflow.TableID]*LookupTable),
 		defaultBackend: defaultBackendFromEnv(),
 	}
+	if n, err := strconv.Atoi(os.Getenv(EnvMegaflow)); err == nil && n > 0 {
+		p.SetMegaflowSize(n)
+	}
+	return p
 }
 
 // SetDefaultBackend selects the lookup backend tables receive when their
@@ -314,9 +325,12 @@ func (p *Pipeline) Execute(h *openflow.Header) Result {
 	}
 	s := p.loadSnapshot()
 	c := p.cache.Load()
-	if c == nil {
+	m := p.mega.Load()
+	if c == nil && m == nil {
 		return s.execute(h)
 	}
+	// The key is packed before the walk: mid-walk mutations apply to the
+	// forwarded copy, and both cache tiers key on the original header.
 	var k flowKey
 	packFlowKey(&k, h)
 	fp := k.fingerprint()
@@ -325,12 +339,32 @@ func (p *Pipeline) Execute(h *openflow.Header) Result {
 	// elephant flow hammered from many cores concentrates on one line;
 	// batching the counters needs per-worker state, which only the
 	// batch path has (execCtx) — at scale, use ExecuteBatch.
-	sh := c.shardOf(fp)
-	if res, ok := c.lookup(fp, &k, s.version); ok {
-		sh.hits.Add(1)
+	if c != nil {
+		sh := c.shardOf(fp)
+		if res, ok := c.lookup(fp, &k, s.version); ok {
+			sh.hits.Add(1)
+			return res
+		}
+		sh.misses.Add(1)
+	}
+	if m != nil {
+		msh := m.shardOf(fp)
+		if res, ok := m.lookup(&k, s.version); ok {
+			// A megaflow hit does NOT back-fill the microflow tier:
+			// all-new-flow traffic (the regime this tier exists for)
+			// would churn the exact-match slots without ever re-hitting
+			// them, and the microflow fill path allocates.
+			msh.hits.Add(1)
+			return res
+		}
+		msh.misses.Add(1)
+		res, rp, mask, rewritten := s.executeTraced(h)
+		m.install(&k, &mask, rewritten, s.version, rp)
+		if c != nil {
+			c.store(fp, &k, s.version, res)
+		}
 		return res
 	}
-	sh.misses.Add(1)
 	res := s.execute(h)
 	c.store(fp, &k, s.version, res)
 	return res
@@ -338,7 +372,13 @@ func (p *Pipeline) Execute(h *openflow.Header) Result {
 
 // executeWalk performs the table walk and action-set run over a
 // snapshot's dense clone index, recording the visited tables and egress
-// ports in the scratch buffers.
+// ports in the scratch buffers. With sc.traced set it additionally
+// accumulates the consulted-bits mask (sc.tr) and the rewritten-fields
+// bitmask (sc.rewritten) the megaflow tier installs against. Every
+// control-flow decision below — which table classifies next, which miss
+// policy fires — is a function of classification outcomes, which are
+// functions of the traced bits, so the trace needs no extra terms for
+// the walk structure itself.
 func executeWalk(order []openflow.TableID, byID *[256]*LookupTable, h *openflow.Header, sc *execScratch, res *Result) {
 	as := &sc.as
 	cur := order[0]
@@ -349,7 +389,13 @@ func executeWalk(order []openflow.TableID, byID *[256]*LookupTable, h *openflow.
 			return
 		}
 		sc.visited = append(sc.visited, cur)
-		m, matched := t.Classify(h)
+		var m MatchResult
+		var matched bool
+		if sc.traced {
+			m, matched = t.ClassifyTraced(h, &sc.tr)
+		} else {
+			m, matched = t.Classify(h)
+		}
 		if !matched {
 			switch t.cfg.Miss.Kind {
 			case MissGoto:
@@ -370,7 +416,7 @@ func executeWalk(order []openflow.TableID, byID *[256]*LookupTable, h *openflow.
 		res.Matched = true
 		res.MatchedTables++
 
-		next, hasNext := applyInstructions(h, as, m.Instructions)
+		next, hasNext := applyInstructions(h, sc, m.Instructions)
 		if !hasNext {
 			break
 		}
@@ -408,8 +454,13 @@ func executeWalk(order []openflow.TableID, byID *[256]*LookupTable, h *openflow.
 }
 
 // applyInstructions executes an entry's instruction list, returning the
-// goto target if one is present.
-func applyInstructions(h *openflow.Header, as *actionSet, instrs []openflow.Instruction) (openflow.TableID, bool) {
+// goto target if one is present. Mid-walk header mutations (apply-
+// actions set-field, write-metadata) are recorded in sc.rewritten: a
+// later table then matches the rewritten value while the megaflow key
+// records the original one, so commit-time eviction must treat rules
+// constraining those fields conservatively (see ruleShadow).
+func applyInstructions(h *openflow.Header, sc *execScratch, instrs []openflow.Instruction) (openflow.TableID, bool) {
+	as := &sc.as
 	var next openflow.TableID
 	hasNext := false
 	for _, in := range instrs {
@@ -424,6 +475,7 @@ func applyInstructions(h *openflow.Header, as *actionSet, instrs []openflow.Inst
 				case openflow.ActionSetField:
 					if a.Field.Valid() {
 						h.Set(a.Field, a.Value)
+						sc.rewritten |= rewrittenBit(a.Field)
 					}
 				case openflow.ActionOutput:
 					// Immediate output: model as joining the action set.
@@ -434,6 +486,7 @@ func applyInstructions(h *openflow.Header, as *actionSet, instrs []openflow.Inst
 			as.clear()
 		case openflow.InstrWriteMetadata:
 			h.Metadata = (h.Metadata &^ in.MetadataMask) | (in.Metadata & in.MetadataMask)
+			sc.rewritten |= rewrittenBit(openflow.FieldMetadata)
 		}
 	}
 	return next, hasNext

@@ -140,6 +140,17 @@ func (s *RangeFieldSearcher) Search(h *openflow.Header, dst []Candidate) []Candi
 	return dst
 }
 
+// SearchTraced implements FieldSearcher. Elementary-interval search
+// compares the value against stored boundaries, so with any interval
+// present every field bit can move the value across a boundary; the
+// whole field is consulted. An empty table consults nothing.
+func (s *RangeFieldSearcher) SearchTraced(h *openflow.Header, dst []Candidate, tr *flowMask) []Candidate {
+	if s.table.Segments() > 0 {
+		tr.orFieldFull(s.field)
+	}
+	return s.Search(h, dst)
+}
+
 // LabelBits implements FieldSearcher.
 func (s *RangeFieldSearcher) LabelBits() int { return bitops.Log2Ceil(s.alloc.Peak()) }
 

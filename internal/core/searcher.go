@@ -52,6 +52,12 @@ type FieldSearcher interface {
 	// Search appends the labels of every stored unique value matching the
 	// header to dst, most specific first.
 	Search(h *openflow.Header, dst []Candidate) []Candidate
+	// SearchTraced is Search plus consulted-bits accounting: it marks in
+	// tr every header bit whose value could change the candidate set (the
+	// megaflow mask-correctness invariant). Implementations must be
+	// conservative — over-marking shrinks cached regions, under-marking
+	// caches wrong results.
+	SearchTraced(h *openflow.Header, dst []Candidate, tr *flowMask) []Candidate
 	// LabelBits returns the width needed to encode this field's label
 	// space (sized by its high-water mark).
 	LabelBits() int
@@ -183,6 +189,17 @@ func (s *ExactFieldSearcher) Search(h *openflow.Header, dst []Candidate) []Candi
 		dst = append(dst, Candidate{Label: lab, Specificity: s.width})
 	}
 	return dst
+}
+
+// SearchTraced implements FieldSearcher. A populated LUT discriminates on
+// every bit of the field (any bit flip can move the header onto or off a
+// stored value); an empty LUT returns the same empty candidate set for
+// all headers and consults nothing.
+func (s *ExactFieldSearcher) SearchTraced(h *openflow.Header, dst []Candidate, tr *flowMask) []Candidate {
+	if s.table.Len() > 0 {
+		tr.orFieldFull(s.field)
+	}
+	return s.Search(h, dst)
 }
 
 // LabelBits implements FieldSearcher.

@@ -98,6 +98,40 @@ func (s *snapshot) executeScratch(h *openflow.Header, sc *execScratch) Result {
 	return res
 }
 
+// executeTracedScratch is executeScratch with consulted-bits tracing
+// enabled: after it returns, sc.tr holds the union of header bits any
+// lookup layer consulted and sc.rewritten the fields mutated mid-walk —
+// together the megaflow entry the outcome may be installed under. An
+// empty pipeline legitimately leaves the mask all-zero: the outcome
+// (controller miss) is the same for every packet.
+func (s *snapshot) executeTracedScratch(h *openflow.Header, sc *execScratch) Result {
+	var res Result
+	sc.reset()
+	sc.traced = true
+	sc.tr.reset()
+	if len(s.order) == 0 {
+		res.SentToController = true
+		return res
+	}
+	executeWalk(s.order, &s.byID, h, sc, &res)
+	res.TablesVisited = s.intern.internPath(sc.visited)
+	res.Outputs = s.intern.internOutputs(sc.outs)
+	return res
+}
+
+// executeTraced runs one traced walk with pooled scratch, returning the
+// outcome, its canonical interned pointer, and the traced (mask,
+// rewritten) pair copied out of the scratch before it is repooled.
+func (s *snapshot) executeTraced(h *openflow.Header) (res Result, rp *Result, mask flowMask, rewritten uint64) {
+	sc := execScratchPool.Get().(*execScratch)
+	res = s.executeTracedScratch(h, sc)
+	mask = sc.tr
+	rewritten = sc.rewritten
+	execScratchPool.Put(sc)
+	rp = s.intern.internResult(res)
+	return res, rp, mask, rewritten
+}
+
 // loadSnapshot returns a snapshot reflecting every completed mutation.
 // The fast path is a single atomic load plus one generation comparison
 // per table; the slow path (first lookup after an update) re-clones the
@@ -114,6 +148,18 @@ func (p *Pipeline) loadSnapshot() *snapshot {
 		// Another reader refreshed while we waited for the lock.
 		return s
 	}
+	return p.rebuildSnapshotLocked()
+}
+
+// rebuildSnapshotLocked clones the stale tables and publishes a new
+// snapshot under the already-held write lock, bumping the version
+// counter exactly once. Callers: loadSnapshot's slow path, and
+// Tx.Commit's eager rebuild when the megaflow tier is enabled (the
+// precise-invalidation sweep needs the new version before the commit
+// returns; lookups then find the snapshot fresh, so the version still
+// advances once per commit).
+func (p *Pipeline) rebuildSnapshotLocked() *snapshot {
+	s := p.snap.Load()
 	ns := &snapshot{
 		structGen: p.structGen.Load(),
 		version:   p.snapVersion.Add(1),
@@ -176,10 +222,12 @@ const batchChunk = 32
 // never share a context, so the batch hot path performs no pool traffic
 // and no per-packet atomic writes beyond the claimed-cursor advances.
 type execCtx struct {
-	sc     execScratch
-	hits   uint64
-	misses uint64
-	_      [64]byte // keep neighbouring workers' contexts off one line
+	sc      execScratch
+	hits    uint64
+	misses  uint64
+	mhits   uint64   // megaflow-tier hits
+	mmisses uint64   // megaflow-tier misses
+	_       [64]byte // keep neighbouring workers' contexts off one line
 }
 
 // padCursor is a cache-line-isolated work cursor; one per worker region,
@@ -196,6 +244,7 @@ type padCursor struct {
 type batchState struct {
 	s       *snapshot
 	c       *flowCache
+	m       *megaflowCache
 	hs      []*openflow.Header
 	res     []Result
 	workers int
@@ -280,6 +329,10 @@ func (bs *batchState) work(w int) {
 		bs.c.addStats(uint64(w), ctx.hits, ctx.misses)
 		ctx.hits, ctx.misses = 0, 0
 	}
+	if bs.m != nil && (ctx.mhits != 0 || ctx.mmisses != 0) {
+		bs.m.addStats(uint64(w), ctx.mhits, ctx.mmisses)
+		ctx.mhits, ctx.mmisses = 0, 0
+	}
 }
 
 // drain claims chunks from region v until it is exhausted. Both the
@@ -311,25 +364,42 @@ func (bs *batchState) drain(v int, ctx *execCtx) {
 	}
 }
 
-// execOne classifies one header through the two-tier path: microflow
-// cache probe first (when enabled), full multi-table walk on a miss.
+// execOne classifies one header through the tiered path: microflow
+// cache probe first, megaflow (masked) probe second, full multi-table
+// walk on a double miss — the batch mirror of Pipeline.Execute.
 func (bs *batchState) execOne(h *openflow.Header, ctx *execCtx) Result {
 	if h == nil {
 		// A nil header carries nothing to classify; model it as the
 		// miss path (packet to controller), as an empty pipeline does.
 		return Result{SentToController: true}
 	}
-	if bs.c == nil {
+	if bs.c == nil && bs.m == nil {
 		return bs.s.executeScratch(h, &ctx.sc)
 	}
 	var k flowKey
 	packFlowKey(&k, h)
 	fp := k.fingerprint()
-	if res, ok := bs.c.lookup(fp, &k, bs.s.version); ok {
-		ctx.hits++
+	if bs.c != nil {
+		if res, ok := bs.c.lookup(fp, &k, bs.s.version); ok {
+			ctx.hits++
+			return res
+		}
+		ctx.misses++
+	}
+	if bs.m != nil {
+		if res, ok := bs.m.lookup(&k, bs.s.version); ok {
+			ctx.mhits++
+			return res
+		}
+		ctx.mmisses++
+		res := bs.s.executeTracedScratch(h, &ctx.sc)
+		rp := bs.s.intern.internResult(res)
+		bs.m.install(&k, &ctx.sc.tr, ctx.sc.rewritten, bs.s.version, rp)
+		if bs.c != nil {
+			bs.c.store(fp, &k, bs.s.version, res)
+		}
 		return res
 	}
-	ctx.misses++
 	res := bs.s.executeScratch(h, &ctx.sc)
 	bs.c.store(fp, &k, bs.s.version, res)
 	return res
@@ -382,6 +452,7 @@ func (p *Pipeline) ExecuteBatchInto(hs []*openflow.Header, res []Result) []Resul
 	bs.size(workers)
 	bs.s = p.loadSnapshot()
 	bs.c = p.cache.Load()
+	bs.m = p.mega.Load()
 	bs.hs = hs
 	bs.res = res
 	bs.workers = workers
@@ -398,7 +469,7 @@ func (p *Pipeline) ExecuteBatchInto(hs []*openflow.Header, res []Result) []Resul
 	bs.work(0) // the caller is worker 0
 	bs.wg.Wait()
 
-	bs.s, bs.c, bs.hs, bs.res = nil, nil, nil, nil
+	bs.s, bs.c, bs.m, bs.hs, bs.res = nil, nil, nil, nil, nil
 	batchStatePool.Put(bs)
 	return res
 }

@@ -249,6 +249,13 @@ func (t *LookupTable) Classify(h *openflow.Header) (MatchResult, bool) {
 	return t.backend.Lookup(h)
 }
 
+// ClassifyTraced is Classify plus consulted-bits accounting: the backend
+// marks in tr every header bit that could change the classification (the
+// megaflow tier's mask-correctness invariant).
+func (t *LookupTable) ClassifyTraced(h *openflow.Header, tr *flowMask) (MatchResult, bool) {
+	return t.backend.LookupTraced(h, tr)
+}
+
 // Generation returns the table's mutation counter. Each successful Insert
 // or Remove advances it; the pipeline snapshot engine uses it to detect
 // stale clones.

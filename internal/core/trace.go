@@ -1,0 +1,235 @@
+package core
+
+import (
+	"ofmtl/internal/bitops"
+	"ofmtl/internal/openflow"
+)
+
+// flowMask is a ternary care-bit mask over the packed 12-word flow key
+// (see packFlowKey): bit set = the lookup consulted that header bit. A
+// traced pipeline walk accumulates one flowMask; the megaflow tier then
+// caches (key & mask, mask) → Result, which is correct for every packet
+// agreeing with the original on the consulted bits. Over-setting bits is
+// always safe (the megaflow just covers fewer packets); under-setting
+// breaks the mask-correctness invariant, so every tracer is conservative.
+type flowMask [flowKeyWords]uint64
+
+// keySpan locates a field inside the packed key. Fields wider than a
+// word (IPv6 addresses) are special-cased in orField; everything else is
+// a (word, shift, bits) slot mirroring packFlowKey exactly.
+type keySpan struct {
+	word  int8
+	shift uint8
+	bits  uint8
+}
+
+// keySpans is indexed by FieldID; word < 0 marks fields the packed key
+// does not carry (extended OXM fields Header has no storage for).
+// Tracing them is a no-op: Header.Get returns zero for them, so they can
+// never differentiate packets and need no care bits.
+var keySpans = func() [64]keySpan {
+	var t [64]keySpan
+	for i := range t {
+		t[i].word = -1
+	}
+	set := func(f openflow.FieldID, w, sh, b int) {
+		t[f] = keySpan{word: int8(w), shift: uint8(sh), bits: uint8(b)}
+	}
+	set(openflow.FieldInPort, 0, 0, 32)
+	set(openflow.FieldEthType, 0, 32, 16)
+	set(openflow.FieldVLANID, 0, 48, 13)
+	set(openflow.FieldEthSrc, 1, 0, 48)
+	set(openflow.FieldEthDst, 2, 0, 48)
+	set(openflow.FieldIPv4Src, 3, 0, 32)
+	set(openflow.FieldIPv4Dst, 3, 32, 32)
+	set(openflow.FieldSrcPort, 4, 0, 16)
+	set(openflow.FieldDstPort, 4, 16, 16)
+	set(openflow.FieldARPOp, 4, 32, 16)
+	set(openflow.FieldVLANPriority, 4, 48, 3)
+	set(openflow.FieldIPToS, 4, 56, 6)
+	set(openflow.FieldARPSPA, 5, 0, 32)
+	set(openflow.FieldARPTPA, 5, 32, 32)
+	// IPv6 src/dst occupy word pairs (6,7) and (8,9); orField splits the
+	// prefix across Hi/Lo words itself.
+	set(openflow.FieldIPv6Src, 6, 0, 64)
+	set(openflow.FieldIPv6Dst, 8, 0, 64)
+	set(openflow.FieldMetadata, 10, 0, 64)
+	set(openflow.FieldMPLSLabel, 11, 0, 20)
+	set(openflow.FieldIPProto, 11, 32, 8)
+	return t
+}()
+
+func (m *flowMask) reset() {
+	*m = flowMask{}
+}
+
+// orField marks the top plen bits of field f as consulted.
+func (m *flowMask) orField(f openflow.FieldID, plen int) {
+	if plen <= 0 || f <= 0 || int(f) >= len(keySpans) {
+		return
+	}
+	sp := keySpans[f]
+	if sp.word < 0 {
+		return
+	}
+	if f == openflow.FieldIPv6Src || f == openflow.FieldIPv6Dst {
+		// Hi word carries bits 127..64, Lo word bits 63..0.
+		pHi := plen
+		if pHi > 64 {
+			pHi = 64
+		}
+		m[sp.word] |= bitops.Mask64(pHi, 64)
+		if plen > 64 {
+			m[sp.word+1] |= bitops.Mask64(plen-64, 64)
+		}
+		return
+	}
+	m[sp.word] |= bitops.Mask64(plen, int(sp.bits)) << sp.shift
+}
+
+// orFieldFull marks every bit of field f as consulted.
+func (m *flowMask) orFieldFull(f openflow.FieldID) {
+	if f == openflow.FieldIPv6Src || f == openflow.FieldIPv6Dst {
+		m.orField(f, 128)
+		return
+	}
+	if f > 0 && int(f) < len(keySpans) {
+		m.orField(f, int(keySpans[f].bits))
+	}
+}
+
+// traceMatch marks the bits a single match constraint inspects. Exact and
+// range constraints consult the whole field (a range test reads every
+// bit); prefixes consult their length; wildcards consult nothing.
+func (m *flowMask) traceMatch(mt *openflow.Match) {
+	switch mt.Kind {
+	case openflow.MatchExact, openflow.MatchRange:
+		m.orFieldFull(mt.Field)
+	case openflow.MatchPrefix:
+		m.orField(mt.Field, mt.PrefixLen)
+	}
+}
+
+// rewrittenBit returns the bit for field f in a rewritten-fields bitmask
+// (fits in uint64: fieldSentinel < 64), or 0 for invalid fields.
+func rewrittenBit(f openflow.FieldID) uint64 {
+	if f <= 0 || f >= 64 {
+		return 0
+	}
+	return uint64(1) << uint(f)
+}
+
+// rangeCheck is one inclusive range constraint a rule places on a packed
+// field of at most 64 bits.
+type rangeCheck struct {
+	field  openflow.FieldID
+	lo, hi uint64
+}
+
+// ruleShadow is a committed rule's match projected into packed-key space,
+// used to decide which cached megaflows the rule can affect. Constraints
+// on fields the packed key does not carry are dropped — the shadow then
+// admits MORE packets than the rule, which only causes extra evictions,
+// never a stale hit.
+type ruleShadow struct {
+	val    flowMask
+	mask   flowMask
+	fields uint64 // bitmask of constrained FieldIDs (rewritten-field check)
+	ranges []rangeCheck
+}
+
+// shadowOf projects a flow entry's match onto the packed key.
+func shadowOf(e *openflow.FlowEntry) ruleShadow {
+	var s ruleShadow
+	for i := range e.Matches {
+		mt := &e.Matches[i]
+		if mt.Kind == openflow.MatchAny {
+			continue
+		}
+		s.fields |= rewrittenBit(mt.Field)
+		sp := keySpan{word: -1}
+		if mt.Field > 0 && int(mt.Field) < len(keySpans) {
+			sp = keySpans[mt.Field]
+		}
+		if sp.word < 0 {
+			continue // unpacked field: unconstrained in shadow space
+		}
+		switch mt.Kind {
+		case openflow.MatchExact:
+			if mt.Field == openflow.FieldIPv6Src || mt.Field == openflow.FieldIPv6Dst {
+				s.mask[sp.word] |= ^uint64(0)
+				s.mask[sp.word+1] |= ^uint64(0)
+				s.val[sp.word] |= mt.Value.Hi
+				s.val[sp.word+1] |= mt.Value.Lo
+				continue
+			}
+			fm := bitops.LowMask64(int(sp.bits)) << sp.shift
+			s.mask[sp.word] |= fm
+			s.val[sp.word] |= (mt.Value.Lo << sp.shift) & fm
+		case openflow.MatchPrefix:
+			if mt.Field == openflow.FieldIPv6Src || mt.Field == openflow.FieldIPv6Dst {
+				pHi := mt.PrefixLen
+				if pHi > 64 {
+					pHi = 64
+				}
+				mh := bitops.Mask64(pHi, 64)
+				s.mask[sp.word] |= mh
+				s.val[sp.word] |= mt.Value.Hi & mh
+				if mt.PrefixLen > 64 {
+					ml := bitops.Mask64(mt.PrefixLen-64, 64)
+					s.mask[sp.word+1] |= ml
+					s.val[sp.word+1] |= mt.Value.Lo & ml
+				}
+				continue
+			}
+			fm := bitops.Mask64(mt.PrefixLen, int(sp.bits)) << sp.shift
+			s.mask[sp.word] |= fm
+			s.val[sp.word] |= (mt.Value.Lo << sp.shift) & fm
+		case openflow.MatchRange:
+			if mt.Lo == mt.Hi {
+				fm := bitops.LowMask64(int(sp.bits)) << sp.shift
+				s.mask[sp.word] |= fm
+				s.val[sp.word] |= (mt.Lo << sp.shift) & fm
+				continue
+			}
+			s.ranges = append(s.ranges, rangeCheck{field: mt.Field, lo: mt.Lo, hi: mt.Hi})
+		}
+	}
+	return s
+}
+
+// overlapsMegaflow reports whether the shadowed rule can match any packet
+// in the region a cached megaflow covers — i.e. whether installing or
+// removing the rule may change the megaflow's cached Result. mfKey must
+// already be masked by mfMask. rewritten is the megaflow's mid-walk
+// rewritten-field bitmask: the cached key records those fields' ORIGINAL
+// values while the rule was matched against REWRITTEN ones, so any rule
+// constraining a rewritten field is conservatively treated as
+// overlapping.
+func (s *ruleShadow) overlapsMegaflow(mfKey, mfMask *flowMask, rewritten uint64) bool {
+	if s.fields&rewritten != 0 {
+		return true
+	}
+	for w := 0; w < flowKeyWords; w++ {
+		common := s.mask[w] & mfMask[w]
+		if (s.val[w]^mfKey[w])&common != 0 {
+			return false
+		}
+	}
+	for i := range s.ranges {
+		rc := &s.ranges[i]
+		sp := keySpans[rc.field]
+		if sp.word < 0 {
+			continue
+		}
+		fm := bitops.LowMask64(int(sp.bits)) << sp.shift
+		if mfMask[sp.word]&fm != fm {
+			continue // field not fully cached: assume overlap
+		}
+		v := (mfKey[sp.word] >> sp.shift) & bitops.LowMask64(int(sp.bits))
+		if v < rc.lo || v > rc.hi {
+			return false
+		}
+	}
+	return true
+}

@@ -196,18 +196,7 @@ func (tx *Tx) Commit() (TxResult, error) {
 		t := p.tables[tx.cmds[i].Table]
 		t.suspendPublish = true
 	}
-	defer func() {
-		for i := range tx.cmds {
-			t := p.tables[tx.cmds[i].Table]
-			if t.suspendPublish {
-				t.suspendPublish = false
-				if t.statsDirty {
-					t.statsDirty = false
-					t.publishStats()
-				}
-			}
-		}
-	}()
+	defer p.flushStatsLocked(tx.cmds)
 
 	// Phase 2: sequential application with an undo log. Each command
 	// resolves against the rule store as left by its predecessors.
@@ -224,7 +213,49 @@ func (tx *Tx) Commit() (TxResult, error) {
 	}
 	p.txCommitted.Add(1)
 	p.txCommands.Add(uint64(len(tx.cmds)))
+
+	// Megaflow precise invalidation. With the tier disabled, the snapshot
+	// stays lazily rebuilt (the version-mismatch rule already invalidates
+	// both cache tiers wholesale). With it enabled, the commit rebuilds
+	// the snapshot eagerly — still exactly one version bump — and sweeps
+	// the cached megaflows: every touched rule (the undo log holds each
+	// inserted and removed canonical entry) is projected onto packed-key
+	// space and every cached (mask, key) region it can affect is evicted;
+	// untouched regions are re-stamped to the new version so they keep
+	// serving hits across the commit.
+	if m := p.mega.Load(); m != nil && len(undo) > 0 {
+		var prevVer uint64
+		if s := p.snap.Load(); s != nil {
+			prevVer = s.version
+		}
+		// Publish suspended stats now so the eager snapshot embeds this
+		// commit's accounting (the deferred flush then finds nothing).
+		p.flushStatsLocked(tx.cmds)
+		ns := p.rebuildSnapshotLocked()
+		shadows := make([]ruleShadow, len(undo))
+		for i := range undo {
+			shadows[i] = shadowOf(undo[i].entry)
+		}
+		m.sweep(shadows, prevVer, ns.version)
+	}
 	return res, nil
+}
+
+// flushStatsLocked resumes per-mutation stats publication on the tables
+// a transaction suspended, publishing once per dirty table. Idempotent:
+// the commit's deferred call finds nothing to do when the megaflow path
+// already flushed.
+func (p *Pipeline) flushStatsLocked(cmds []FlowCmd) {
+	for i := range cmds {
+		t := p.tables[cmds[i].Table]
+		if t.suspendPublish {
+			t.suspendPublish = false
+			if t.statsDirty {
+				t.statsDirty = false
+				t.publishStats()
+			}
+		}
+	}
 }
 
 // validateCmdLocked statically checks one command against the pipeline.

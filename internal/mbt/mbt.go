@@ -585,6 +585,40 @@ func (t *Trie) LookupAll(key uint64, dst []MatchedEntry) []MatchedEntry {
 	return dst
 }
 
+// LookupAllTraced is LookupAll plus a consulted-bits report: consumed is
+// the number of leading key bits the walk actually indexed on (the
+// cumulative stride of the deepest level visited). Two keys agreeing on
+// their top consumed bits take the identical walk path and collect the
+// identical match set, which is the property wildcard-caching layers
+// above rely on.
+func (t *Trie) LookupAllTraced(key uint64, dst []MatchedEntry) (out []MatchedEntry, consumed int) {
+	start := len(dst)
+	node := int32(0)
+	for l := range t.levels {
+		lv := &t.levels[l]
+		consumed = lv.before + lv.stride
+		sl := &lv.slots[(int(node)<<uint(lv.stride))+int(uint32(key>>lv.shift)&lv.mask)]
+		if sl.cnt > 0 {
+			dst = append(dst, MatchedEntry{Label: sl.head.label, Plen: int(sl.head.plen)})
+			for cur := sl.over; cur != noIndex; cur = t.over[cur].next {
+				e := &t.over[cur].e
+				dst = append(dst, MatchedEntry{Label: e.label, Plen: int(e.plen)})
+			}
+		}
+		if sl.child == noIndex {
+			break
+		}
+		node = sl.child
+	}
+	region := dst[start:]
+	for i := 1; i < len(region); i++ {
+		for j := i; j > 0 && region[j-1].Plen < region[j].Plen; j-- {
+			region[j-1], region[j] = region[j], region[j-1]
+		}
+	}
+	return dst, consumed
+}
+
 // Stats returns per-level population counts.
 func (t *Trie) Stats() []LevelStats {
 	out := make([]LevelStats, len(t.levels))

@@ -1,0 +1,124 @@
+package ofproto
+
+import (
+	"testing"
+
+	"ofmtl/internal/core"
+	"ofmtl/internal/openflow"
+)
+
+// TestCacheStatsCodecRoundTrip pins the fixed-width wire form: encode →
+// decode must be lossless for every counter.
+func TestCacheStatsCodecRoundTrip(t *testing.T) {
+	in := &CacheStatsReply{
+		MicroHits:    1 << 50,
+		MicroMisses:  12345,
+		MicroEntries: 1024,
+		MegaHits:     99999999,
+		MegaMisses:   7,
+		MegaEntries:  1 << 14,
+		MegaMasks:    5,
+	}
+	payload := EncodeCacheStatsReply(in)
+	if len(payload) != cacheStatsLen {
+		t.Fatalf("payload is %d bytes, want %d", len(payload), cacheStatsLen)
+	}
+	out, err := DecodeCacheStatsReply(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *out != *in {
+		t.Errorf("round trip mismatch:\n in  %+v\n out %+v", in, out)
+	}
+}
+
+// TestCacheStatsCodecRejectsMalformed covers the length-validation
+// paths: anything but exactly cacheStatsLen bytes is an error.
+func TestCacheStatsCodecRejectsMalformed(t *testing.T) {
+	good := EncodeCacheStatsReply(&CacheStatsReply{MicroHits: 1})
+	for _, bad := range [][]byte{nil, good[:1], good[:cacheStatsLen-1], append(append([]byte(nil), good...), 0)} {
+		if _, err := DecodeCacheStatsReply(bad); err == nil {
+			t.Errorf("decode of %d-byte malformed payload succeeded", len(bad))
+		}
+	}
+}
+
+// TestEndToEndCacheStats runs both cache tiers behind a live server and
+// checks the wire report tracks the pipeline's own counters.
+func TestEndToEndCacheStats(t *testing.T) {
+	p := core.NewPipeline()
+	if _, err := p.AddTable(core.TableConfig{
+		ID:     0,
+		Fields: []openflow.FieldID{openflow.FieldIPv4Dst},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	p.SetCacheSize(256)
+	p.SetMegaflowSize(256)
+	if _, err := p.Begin().Add(0, &openflow.FlowEntry{
+		Priority:     1,
+		Matches:      []openflow.Match{openflow.Prefix(openflow.FieldIPv4Dst, 0x0A000000, 8)},
+		Instructions: []openflow.Instruction{openflow.WriteActions(openflow.Output(1))},
+	}).Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Same flow twice (microflow hit), then a new flow in the same /8
+	// (microflow miss, megaflow hit).
+	for _, h := range []openflow.Header{
+		{IPv4Dst: 0x0A000001}, {IPv4Dst: 0x0A000001}, {IPv4Dst: 0x0A0000FE},
+	} {
+		h := h
+		p.Execute(&h)
+	}
+
+	addr, stop := startTestServer(t, p)
+	defer stop()
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+
+	got, err := c.CacheStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	micro := p.CacheStats()
+	mega := p.MegaflowStats()
+	want := CacheStatsReply{
+		MicroHits:    micro.Hits,
+		MicroMisses:  micro.Misses,
+		MicroEntries: uint64(micro.Entries),
+		MegaHits:     mega.Hits,
+		MegaMisses:   mega.Misses,
+		MegaEntries:  uint64(mega.Entries),
+		MegaMasks:    uint64(mega.Masks),
+	}
+	if *got != want {
+		t.Errorf("wire stats %+v, pipeline stats %+v", got, want)
+	}
+	if got.MicroHits != 1 || got.MegaHits != 1 || got.MegaMasks != 1 {
+		t.Errorf("counters did not move as scripted: %+v", got)
+	}
+}
+
+// FuzzDecodeCacheStatsReply feeds arbitrary bytes to the cache-stats
+// decoder: it must never panic, and whatever decodes must re-encode to
+// the identical payload (the codec is a fixed-width bijection).
+func FuzzDecodeCacheStatsReply(f *testing.F) {
+	f.Add(EncodeCacheStatsReply(&CacheStatsReply{MicroHits: 1, MegaMasks: 3}))
+	f.Add([]byte{})
+	f.Add(make([]byte, cacheStatsLen-1))
+	f.Add(make([]byte, cacheStatsLen+1))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := DecodeCacheStatsReply(data)
+		if err != nil {
+			return
+		}
+		buf := EncodeCacheStatsReply(r)
+		if string(buf) != string(data) {
+			t.Fatal("cache-stats decode/encode is not a fixed point")
+		}
+	})
+}

@@ -47,6 +47,8 @@ const (
 	MsgFlowModBatchReply
 	MsgMemoryStatsRequest
 	MsgMemoryStatsReply
+	MsgCacheStatsRequest
+	MsgCacheStatsReply
 )
 
 // String names the message type.
@@ -84,6 +86,10 @@ func (t MsgType) String() string {
 		return "memory-stats-request"
 	case MsgMemoryStatsReply:
 		return "memory-stats-reply"
+	case MsgCacheStatsRequest:
+		return "cache-stats-request"
+	case MsgCacheStatsReply:
+		return "cache-stats-reply"
 	default:
 		return "unknown"
 	}
@@ -172,6 +178,11 @@ type Stats struct {
 	CacheEntries int          `json:"cache_entries,omitempty"`
 	CacheHits    uint64       `json:"cache_hits,omitempty"`
 	CacheMisses  uint64       `json:"cache_misses,omitempty"`
+	// Megaflow tier: the masked (wildcard) cache fronting the walk.
+	MegaflowEntries int    `json:"megaflow_entries,omitempty"`
+	MegaflowHits    uint64 `json:"megaflow_hits,omitempty"`
+	MegaflowMisses  uint64 `json:"megaflow_misses,omitempty"`
+	MegaflowMasks   int    `json:"megaflow_masks,omitempty"`
 	// Transaction telemetry: committed transactions, the flow-mod
 	// commands they carried, and rejected (rolled-back) transactions.
 	Txs             uint64 `json:"txs,omitempty"`
@@ -666,6 +677,68 @@ func DecodeMemoryStatsReplyInto(r *MemoryStatsReply, payload []byte) error {
 		rest = rest[memoryStatsRowLen:]
 	}
 	return nil
+}
+
+// CacheStatsReply is the switch's answer to a cache-stats request: the
+// two fast-path tiers' hit/miss counters and shapes. Micro* describes
+// the exact-match microflow cache, Mega* the masked megaflow tier
+// (MegaMasks is the distinct consulted-bits masks currently cached).
+// Zero entries means the corresponding tier is disabled.
+type CacheStatsReply struct {
+	MicroHits    uint64
+	MicroMisses  uint64
+	MicroEntries uint64
+	MegaHits     uint64
+	MegaMisses   uint64
+	MegaEntries  uint64
+	MegaMasks    uint64
+}
+
+// cacheStatsLen is the fixed wire width of a cache-stats reply: seven
+// big-endian u64 counters.
+const cacheStatsLen = 7 * 8
+
+// AppendCacheStatsReply appends the wire form of a cache-stats reply to
+// buf, so per-connection senders can reuse one encode buffer.
+func AppendCacheStatsReply(buf []byte, r *CacheStatsReply) []byte {
+	buf = binary.BigEndian.AppendUint64(buf, r.MicroHits)
+	buf = binary.BigEndian.AppendUint64(buf, r.MicroMisses)
+	buf = binary.BigEndian.AppendUint64(buf, r.MicroEntries)
+	buf = binary.BigEndian.AppendUint64(buf, r.MegaHits)
+	buf = binary.BigEndian.AppendUint64(buf, r.MegaMisses)
+	buf = binary.BigEndian.AppendUint64(buf, r.MegaEntries)
+	buf = binary.BigEndian.AppendUint64(buf, r.MegaMasks)
+	return buf
+}
+
+// EncodeCacheStatsReply serialises a cache-stats reply.
+func EncodeCacheStatsReply(r *CacheStatsReply) []byte {
+	return AppendCacheStatsReply(make([]byte, 0, cacheStatsLen), r)
+}
+
+// DecodeCacheStatsReplyInto parses a cache-stats reply into r. The
+// payload is fixed-width; any other length is rejected.
+func DecodeCacheStatsReplyInto(r *CacheStatsReply, payload []byte) error {
+	if len(payload) != cacheStatsLen {
+		return fmt.Errorf("ofproto: cache-stats payload of %d bytes, want %d", len(payload), cacheStatsLen)
+	}
+	r.MicroHits = binary.BigEndian.Uint64(payload)
+	r.MicroMisses = binary.BigEndian.Uint64(payload[8:])
+	r.MicroEntries = binary.BigEndian.Uint64(payload[16:])
+	r.MegaHits = binary.BigEndian.Uint64(payload[24:])
+	r.MegaMisses = binary.BigEndian.Uint64(payload[32:])
+	r.MegaEntries = binary.BigEndian.Uint64(payload[40:])
+	r.MegaMasks = binary.BigEndian.Uint64(payload[48:])
+	return nil
+}
+
+// DecodeCacheStatsReply parses a cache-stats reply into a fresh value.
+func DecodeCacheStatsReply(payload []byte) (*CacheStatsReply, error) {
+	r := &CacheStatsReply{}
+	if err := DecodeCacheStatsReplyInto(r, payload); err != nil {
+		return nil, err
+	}
+	return r, nil
 }
 
 // DecodeMemoryStatsReply parses a memory-stats reply into a fresh value.

@@ -233,6 +233,23 @@ func (s *Server) dispatch(conn net.Conn, cs *connState, msg Message) error {
 		cs.out = BeginFrame(cs.out)
 		cs.out = AppendMemoryStatsReply(cs.out, &cs.memReply)
 		return WriteFrame(conn, MsgMemoryStatsReply, cs.out)
+	case MsgCacheStatsRequest:
+		// Both tiers' counters are lock-free atomics; serving this never
+		// serialises against packet or flow-mod traffic.
+		micro := s.pipeline.CacheStats()
+		mega := s.pipeline.MegaflowStats()
+		reply := CacheStatsReply{
+			MicroHits:    micro.Hits,
+			MicroMisses:  micro.Misses,
+			MicroEntries: uint64(micro.Entries),
+			MegaHits:     mega.Hits,
+			MegaMisses:   mega.Misses,
+			MegaEntries:  uint64(mega.Entries),
+			MegaMasks:    uint64(mega.Masks),
+		}
+		cs.out = BeginFrame(cs.out)
+		cs.out = AppendCacheStatsReply(cs.out, &reply)
+		return WriteFrame(conn, MsgCacheStatsReply, cs.out)
 	case MsgBarrier:
 		return WriteMessage(conn, MsgBarrierReply, nil)
 	default:
@@ -304,6 +321,11 @@ func (s *Server) stats() *Stats {
 	st.CacheEntries = cache.Entries
 	st.CacheHits = cache.Hits
 	st.CacheMisses = cache.Misses
+	mega := s.pipeline.MegaflowStats()
+	st.MegaflowEntries = mega.Entries
+	st.MegaflowHits = mega.Hits
+	st.MegaflowMisses = mega.Misses
+	st.MegaflowMasks = mega.Masks
 	tc := s.pipeline.TxCounters()
 	st.Txs = tc.Txs
 	st.FlowModCommands = tc.Commands
@@ -464,6 +486,17 @@ func (c *Client) MemoryStats() (*MemoryStatsReply, error) {
 		return nil, err
 	}
 	return DecodeMemoryStatsReply(msg.Payload)
+}
+
+// CacheStats fetches the fast-path tiers' hit/miss counters and shapes
+// (microflow exact-match cache and megaflow wildcard tier). Served from
+// lock-free counters on the switch side.
+func (c *Client) CacheStats() (*CacheStatsReply, error) {
+	msg, err := c.roundTrip(MsgCacheStatsRequest, nil, MsgCacheStatsReply)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeCacheStatsReply(msg.Payload)
 }
 
 // Barrier completes when all previously sent messages are processed.

@@ -10,7 +10,9 @@
 // population so packet frequencies follow a Zipf law, the distribution
 // measured traffic actually exhibits: a few elephant flows carry most
 // packets. The skewed regime is what the pipeline's microflow cache is
-// designed for.
+// designed for. SubnetZipf is a third regime: the installed subnets are
+// Zipf-popular but every packet is a brand-new flow, which defeats any
+// exact-match cache and exercises the megaflow wildcard tier instead.
 package traffic
 
 import (
@@ -113,6 +115,40 @@ func RouteTraceZipf(f *filterset.RouteFilter, flows, n int, hitRatio, skew float
 // flows distinct 5-tuple flows.
 func ACLTraceZipf(f *filterset.ACLFilter, flows, n int, hitRatio, skew float64, seed uint64) []openflow.Header {
 	return ZipfMix(ACLTrace(f, flows, hitRatio, seed), n, skew, seed)
+}
+
+// SubnetZipf draws an n-packet trace where the *subnets* (installed
+// routing prefixes) follow a Zipf law of exponent skew but every packet
+// is a brand-new flow: the host bits and the source address are fresh
+// random draws each packet. This is the megaflow tier's home regime —
+// an exact-match microflow cache never hits (no packet repeats a flow),
+// while a wildcard cache keyed on the consulted prefix bits absorbs
+// every packet after the first per subnet. Which prefix lands on which
+// popularity rank is a deterministic shuffle, as in ZipfMix. The trace
+// is deterministic in (f, n, skew, seed).
+func SubnetZipf(f *filterset.RouteFilter, n int, skew float64, seed uint64) []openflow.Header {
+	if len(f.Rules) == 0 || n <= 0 {
+		return nil
+	}
+	rng := xrand.NewNamed(seed, "trace/subnetzipf/"+f.Name)
+	rank := rng.Perm(len(f.Rules))
+	z := rng.NewZipf(len(f.Rules), skew)
+	out := make([]openflow.Header, 0, n)
+	for i := 0; i < n; i++ {
+		r := f.Rules[rank[z.Next()]]
+		keep := uint32(0)
+		if r.PrefixLen > 0 {
+			keep = ^uint32(0) << (32 - r.PrefixLen)
+		}
+		out = append(out, openflow.Header{
+			InPort:  r.InPort,
+			IPv4Dst: (r.Prefix & keep) | (rng.Uint32() &^ keep),
+			IPv4Src: rng.Uint32(),
+			EthType: 0x0800,
+			IPProto: 6,
+		})
+	}
+	return out
 }
 
 // ACLTrace draws n headers against an ACL filter.
