@@ -168,6 +168,90 @@ func BenchmarkPipelineLookupUnderBatchedChurn(b *testing.B) {
 	}
 }
 
+// BenchmarkFlowModChurnBudgeted is BenchmarkFlowModChurn with a memory
+// budget armed (at 2x usage, so every commit passes admission and the
+// pressure controller stays inert). The delta to the unbudgeted run is
+// the pure cost of budget admission checks on the commit path — the
+// acceptance bar is <= 5% overhead.
+func BenchmarkFlowModChurnBudgeted(b *testing.B) {
+	p, pool := churnPool(b, 1000)
+	p.SetMemoryBudget(2 * p.MemoryStats().TotalBits)
+	live := make([]bool, len(pool))
+	for i := range live {
+		live[i] = true
+	}
+	const batch = 256
+	b.ResetTimer()
+	var tx *core.Tx
+	for i := 0; i < b.N; i++ {
+		if tx == nil {
+			tx = p.Begin()
+		}
+		idx := i % len(pool)
+		e := &pool[idx]
+		if live[idx] {
+			tx.DeleteStrict(0, e.Priority, e.Matches...)
+		} else {
+			tx.Add(0, e)
+		}
+		live[idx] = !live[idx]
+		if tx.Commands() == batch || i == b.N-1 {
+			if _, err := tx.Commit(); err != nil {
+				b.Fatal(err)
+			}
+			tx = nil
+		}
+	}
+	b.StopTimer()
+	elapsed := b.Elapsed()
+	if elapsed > 0 {
+		b.ReportMetric(float64(b.N)/elapsed.Seconds(), "cmds/s")
+	}
+}
+
+// BenchmarkLookupUnderPressure measures parallel lookup throughput on a
+// fully degraded switch: the budget is frozen at current usage and
+// memory-neutral commits step the pressure controller until both cache
+// tiers sit at their floors (megaflow 64 entries, microflow 512). The
+// delta to the churn-free lookup numbers is the price of operating at
+// the bottom of the degradation ladder — shrunken caches thrash, but
+// lookups keep completing out of the full tables.
+func BenchmarkLookupUnderPressure(b *testing.B) {
+	f := filterset.GenerateACL("churnbench", 1000, filterset.DefaultSeed)
+	p, err := core.BuildACL(f)
+	if err != nil {
+		b.Fatal(err)
+	}
+	trace := traffic.ACLTrace(f, 4096, 0.8, 1)
+	p.Refresh()
+	p.SetCacheSize(4096)
+	p.SetMegaflowSize(1024)
+	p.SetMemoryBudget(p.MemoryStats().TotalBits)
+	// Step the controller to the bottom of the ladder with neutral
+	// replaces (re-adding an installed entry needs no fresh bits, so
+	// admission always passes).
+	e := f.FlowEntries()[0]
+	for i := 0; i < 16; i++ {
+		if _, err := p.Begin().Add(0, &e).Commit(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	ps := p.PressureStats()
+	if ps.Level == 0 {
+		b.Fatal("pressure controller never engaged; the benchmark is mislabelled")
+	}
+	b.ReportMetric(float64(ps.Level), "pressure-level")
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			h := trace[i%len(trace)]
+			p.Execute(&h)
+			i++
+		}
+	})
+}
+
 // churnWireBatch encodes a 256-command flow-mod batch for decode
 // benchmarks.
 func churnWireBatch(b *testing.B) []byte {

@@ -16,11 +16,15 @@
 //	flowgen -app route -name coza -trace 100000 -zipf-subnets 1.1 -o coza_subnets.txt
 //	flowgen -app mac -name gozb -churn 10000 -o gozb_churn.txt
 //	flowgen -app acl -name acl1 -churn 10000 -backend tss -o tss_churn.txt
+//	flowgen -app mac -name gozb -churn 10000 -budget 4000000 -o pressure_churn.txt
 //
 // With -backend, churn workloads open with a table-options preamble
 // pinning every touched table to the named lookup backend, so `ofctl
 // flow-mods` can verify the live switch runs the scheme the workload was
-// generated to measure.
+// generated to measure. -budget likewise pins the per-table memory
+// budget (in modelled bits) an overload workload expects the switch to
+// enforce — replaying a pressure workload against an unbudgeted switch
+// measures nothing.
 package main
 
 import (
@@ -64,6 +68,7 @@ func run() error {
 
 		churn   = flag.Int("churn", 0, "emit an N-command flow-mod churn workload against the generated filter")
 		backend = flag.String("backend", "", "pin touched tables to this lookup backend via a table-options preamble (with -churn)")
+		budget  = flag.Uint64("budget", 0, "pin touched tables to this memory budget in modelled bits via a table-options preamble (with -churn)")
 	)
 	flag.Parse()
 
@@ -77,12 +82,15 @@ func run() error {
 			return fmt.Errorf("unknown backend %q (want %v)", *backend, core.BackendKinds())
 		}
 	}
+	if *budget > 0 && *churn <= 0 {
+		return fmt.Errorf("-budget requires -churn (table-options pin churn workloads)")
+	}
 	if *churn > 0 {
 		if *all || *trace > 0 {
 			return fmt.Errorf("-churn is mutually exclusive with -all and -trace")
 		}
 		gen := func(w io.Writer) error {
-			return generateChurn(w, *app, *name, *n, *churn, *seed, *backend)
+			return generateChurn(w, *app, *name, *n, *churn, *seed, *backend, *budget)
 		}
 		if *out == "" {
 			return gen(os.Stdout)
@@ -239,8 +247,9 @@ func generateSubnetZipfTrace(w io.Writer, name string, n int, skew float64, seed
 // (one snapshot publish per batch) is built for. The same seed always
 // yields the same workload, so churn benchmarks are reproducible. A
 // non-empty backend pins every table the workload touches through a
-// table-options preamble.
-func generateChurn(w io.Writer, app, name string, rules, n int, seed uint64, backend string) error {
+// table-options preamble; a non-zero budget pins the per-table memory
+// budget the same way.
+func generateChurn(w io.Writer, app, name string, rules, n int, seed uint64, backend string, budget uint64) error {
 	pre, leaf, err := churnCommands(app, name, rules, seed)
 	if err != nil {
 		return err
@@ -290,12 +299,12 @@ func generateChurn(w io.Writer, app, name string, rules, n int, seed uint64, bac
 		}
 	}
 	out := &flowtext.File{Commands: cmds}
-	if backend != "" {
+	if backend != "" || budget > 0 {
 		seen := map[openflow.TableID]bool{}
 		for i := range cmds {
 			if id := cmds[i].Table; !seen[id] {
 				seen[id] = true
-				out.TableOptions = append(out.TableOptions, flowtext.TableOption{Table: id, Backend: backend})
+				out.TableOptions = append(out.TableOptions, flowtext.TableOption{Table: id, Backend: backend, Budget: budget})
 			}
 		}
 		sort.Slice(out.TableOptions, func(i, j int) bool {

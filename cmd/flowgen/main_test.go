@@ -114,7 +114,7 @@ func TestGenerateTraceZipfSkews(t *testing.T) {
 // against a pipeline as batched transactions.
 func TestGenerateChurn(t *testing.T) {
 	var buf bytes.Buffer
-	if err := generateChurn(&buf, "acl", "churn", 64, 600, filterset.DefaultSeed, ""); err != nil {
+	if err := generateChurn(&buf, "acl", "churn", 64, 600, filterset.DefaultSeed, "", 0); err != nil {
 		t.Fatal(err)
 	}
 	fms, err := flowtext.Read(strings.NewReader(buf.String()))
@@ -168,7 +168,7 @@ func TestGenerateChurn(t *testing.T) {
 
 	// Determinism: the same seed yields the same workload.
 	var buf2 bytes.Buffer
-	if err := generateChurn(&buf2, "acl", "churn", 64, 600, filterset.DefaultSeed, ""); err != nil {
+	if err := generateChurn(&buf2, "acl", "churn", 64, 600, filterset.DefaultSeed, "", 0); err != nil {
 		t.Fatal(err)
 	}
 	if buf.String() != buf2.String() {
@@ -177,7 +177,7 @@ func TestGenerateChurn(t *testing.T) {
 
 	// mac and route apps emit their first-table preambles.
 	var macBuf bytes.Buffer
-	if err := generateChurn(&macBuf, "mac", "bbrb", 0, 200, filterset.DefaultSeed, ""); err != nil {
+	if err := generateChurn(&macBuf, "mac", "bbrb", 0, 200, filterset.DefaultSeed, "", 0); err != nil {
 		t.Fatal(err)
 	}
 	macFMs, err := flowtext.Read(strings.NewReader(macBuf.String()))
@@ -187,7 +187,7 @@ func TestGenerateChurn(t *testing.T) {
 	if len(macFMs) != 200 || macFMs[0].Table != 0 {
 		t.Fatalf("mac churn: %d commands, first table %d", len(macFMs), macFMs[0].Table)
 	}
-	if err := generateChurn(&bytes.Buffer{}, "bogus", "x", 0, 10, 1, ""); err == nil {
+	if err := generateChurn(&bytes.Buffer{}, "bogus", "x", 0, 10, 1, "", 0); err == nil {
 		t.Error("unknown churn app should error")
 	}
 }
@@ -196,7 +196,7 @@ func TestGenerateChurn(t *testing.T) {
 // through a table-options preamble that round-trips through flowtext.
 func TestGenerateChurnBackendPreamble(t *testing.T) {
 	var buf bytes.Buffer
-	if err := generateChurn(&buf, "mac", "bbrb", 0, 200, filterset.DefaultSeed, "tss"); err != nil {
+	if err := generateChurn(&buf, "mac", "bbrb", 0, 200, filterset.DefaultSeed, "tss", 0); err != nil {
 		t.Fatal(err)
 	}
 	parsed, err := flowtext.ReadFile(bytes.NewReader(buf.Bytes()))
@@ -215,9 +215,27 @@ func TestGenerateChurnBackendPreamble(t *testing.T) {
 		t.Errorf("commands = %d, want 200", len(parsed.Commands))
 	}
 
+	// -budget composes with -backend in the same pins.
+	buf.Reset()
+	if err := generateChurn(&buf, "mac", "bbrb", 0, 200, filterset.DefaultSeed, "tss", 4_000_000); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err = flowtext.ReadFile(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed.TableOptions) != 2 {
+		t.Fatalf("table options = %+v, want pins for tables 0 and 1", parsed.TableOptions)
+	}
+	for i, opt := range parsed.TableOptions {
+		if opt.Backend != "tss" || opt.Budget != 4_000_000 {
+			t.Errorf("option %d = %+v, want backend=tss budget=4000000", i, opt)
+		}
+	}
+
 	// Without -backend there is no preamble.
 	buf.Reset()
-	if err := generateChurn(&buf, "mac", "bbrb", 0, 50, filterset.DefaultSeed, ""); err != nil {
+	if err := generateChurn(&buf, "mac", "bbrb", 0, 50, filterset.DefaultSeed, "", 0); err != nil {
 		t.Fatal(err)
 	}
 	parsed, err = flowtext.ReadFile(bytes.NewReader(buf.Bytes()))

@@ -35,15 +35,24 @@
 // cache reads both fast-path tiers' counters over the cache-stats
 // message: the microflow (exact-match) cache and the megaflow (wildcard)
 // tier, including the distinct consulted-bits masks the megaflow tier
-// currently holds. Also served lock-free.
+// currently holds, and — when the switch runs a memory budget — the
+// pressure controller's shrink/regrow counters. Also served lock-free.
+//
+// Every request runs under -timeout (dial, reads, writes), so a dead or
+// unreachable switch fails fast with a clear message and a non-zero
+// exit instead of hanging. A switch over its memory budget rejects
+// flow-mods with an OpenFlow-style TABLE_FULL error; ofctl surfaces it
+// with a hint to free entries or raise switchd -membudget.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"ofmtl/internal/filterset"
 	"ofmtl/internal/flowtext"
@@ -54,6 +63,9 @@ import (
 func main() {
 	if err := run(os.Args[1:]); err != nil {
 		fmt.Fprintf(os.Stderr, "ofctl: %v\n", err)
+		if ofproto.IsTableFull(err) {
+			fmt.Fprintln(os.Stderr, "ofctl: the switch is at its memory budget (TABLE_FULL); delete entries or raise switchd -membudget")
+		}
 		os.Exit(1)
 	}
 }
@@ -61,17 +73,22 @@ func main() {
 func run(args []string) error {
 	global := flag.NewFlagSet("ofctl", flag.ContinueOnError)
 	addr := global.String("addr", "127.0.0.1:6653", "switchd control address")
+	timeout := global.Duration("timeout", 10*time.Second, "per-operation deadline for dialing and each request (0 = wait forever)")
 	if err := global.Parse(args); err != nil {
 		return err
 	}
 	rest := global.Args()
 	if len(rest) == 0 {
-		return fmt.Errorf("usage: ofctl [-addr host:port] <stats|memory|cache|add-mac|del-mac|add-route|del-route|load|flow-mods|packet> [flags]")
+		return fmt.Errorf("usage: ofctl [-addr host:port] [-timeout 10s] <stats|memory|cache|add-mac|del-mac|add-route|del-route|load|flow-mods|packet> [flags]")
 	}
 
-	client, err := ofproto.Dial(*addr)
+	client, err := ofproto.DialContext(context.Background(), *addr, ofproto.DialOptions{
+		DialTimeout:  *timeout,
+		ReadTimeout:  *timeout,
+		WriteTimeout: *timeout,
+	})
 	if err != nil {
-		return err
+		return fmt.Errorf("cannot reach switch at %s: %w (is switchd running?)", *addr, err)
 	}
 	defer func() { _ = client.Close() }()
 
@@ -112,6 +129,14 @@ func doStats(c *ofproto.Client) error {
 	}
 	fmt.Printf("memory: %.2f Mbit (%d bits) in %d M20K blocks\n",
 		float64(st.MemoryBits)/1e6, st.MemoryBits, st.M20KBlocks)
+	if st.MemoryBudgetBits > 0 {
+		fmt.Printf("memory budget: %d bits (%.1f%% used)\n",
+			st.MemoryBudgetBits, float64(st.MemoryBits)/float64(st.MemoryBudgetBits)*100)
+	}
+	if st.PressureShrinks > 0 || st.PressureRegrows > 0 || st.PressureLevel > 0 {
+		fmt.Printf("memory pressure: level %d, %d cache shrinks / %d regrows\n",
+			st.PressureLevel, st.PressureShrinks, st.PressureRegrows)
+	}
 	if st.CacheEntries > 0 {
 		total := st.CacheHits + st.CacheMisses
 		hitPct := 0.0
@@ -162,6 +187,10 @@ func doCache(c *ofproto.Client) error {
 	} else {
 		fmt.Println("megaflow tier: disabled")
 	}
+	if cs.PressureShrinks > 0 || cs.PressureRegrows > 0 || cs.PressureLevel > 0 {
+		fmt.Printf("memory pressure: level %d, %d shrinks / %d regrows (megaflow degrades first, then microflow)\n",
+			cs.PressureLevel, cs.PressureShrinks, cs.PressureRegrows)
+	}
 	return nil
 }
 
@@ -174,10 +203,19 @@ func doMemory(c *ofproto.Client) error {
 	}
 	fmt.Printf("memory: %d bits (%.3f Mbit, %d bytes) across %d tables\n",
 		ms.TotalBits, float64(ms.TotalBits)/1e6, (ms.TotalBits+7)/8, len(ms.Tables))
+	if ms.BudgetBits > 0 {
+		headroom := int64(ms.BudgetBits) - int64(ms.TotalBits)
+		fmt.Printf("budget: %d bits (%.1f%% used, %d bits headroom)\n",
+			ms.BudgetBits, float64(ms.TotalBits)/float64(ms.BudgetBits)*100, headroom)
+	}
 	for i := range ms.Tables {
 		t := &ms.Tables[i]
-		fmt.Printf("  table %d [%-10s] %7d rules  search=%-10d index=%-9d actions=%-8d total=%d bits\n",
+		fmt.Printf("  table %d [%-10s] %7d rules  search=%-10d index=%-9d actions=%-8d total=%d bits",
 			t.Table, t.Backend, t.Rules, t.SearchBits, t.IndexBits, t.ActionBits, t.TotalBits())
+		if t.BudgetBits > 0 {
+			fmt.Printf("  budget=%d bits", t.BudgetBits)
+		}
+		fmt.Println()
 	}
 	return nil
 }
@@ -427,28 +465,37 @@ func doFlowMods(c *ofproto.Client, args []string) error {
 	return nil
 }
 
-// checkTableOptions verifies the workload's table-options pins against
-// the backends the live switch actually runs, via the memory-stats
-// message.
+// checkTableOptions verifies the workload's table-options pins — lookup
+// backends and memory budgets — against the live switch, via the
+// memory-stats message.
 func checkTableOptions(c *ofproto.Client, opts []flowtext.TableOption) error {
 	ms, err := c.MemoryStats()
 	if err != nil {
 		return fmt.Errorf("fetching table backends: %w", err)
 	}
-	byTable := make(map[uint8]string, len(ms.Tables))
+	byTable := make(map[uint8]*ofproto.TableMemoryStats, len(ms.Tables))
 	for i := range ms.Tables {
-		byTable[ms.Tables[i].Table] = ms.Tables[i].Backend
+		byTable[ms.Tables[i].Table] = &ms.Tables[i]
 	}
 	for _, opt := range opts {
 		got, ok := byTable[uint8(opt.Table)]
 		if !ok {
 			return fmt.Errorf("table-options: switch has no table %d", opt.Table)
 		}
-		if got != opt.Backend {
-			return fmt.Errorf("table-options: table %d runs backend %s, workload pins %s (re-run switchd -backend %s, or pass -ignore-table-options)",
-				opt.Table, got, opt.Backend, opt.Backend)
+		if opt.Backend != "" {
+			if got.Backend != opt.Backend {
+				return fmt.Errorf("table-options: table %d runs backend %s, workload pins %s (re-run switchd -backend %s, or pass -ignore-table-options)",
+					opt.Table, got.Backend, opt.Backend, opt.Backend)
+			}
+			fmt.Printf("table-options: table %d backend=%s confirmed\n", opt.Table, opt.Backend)
 		}
-		fmt.Printf("table-options: table %d backend=%s confirmed\n", opt.Table, opt.Backend)
+		if opt.Budget > 0 {
+			if got.BudgetBits != opt.Budget {
+				return fmt.Errorf("table-options: table %d enforces a %d-bit budget, workload pins %d (configure the budget in the switchd -pipeline layout, or pass -ignore-table-options)",
+					opt.Table, got.BudgetBits, opt.Budget)
+			}
+			fmt.Printf("table-options: table %d budget=%d bits confirmed\n", opt.Table, opt.Budget)
+		}
 	}
 	return nil
 }

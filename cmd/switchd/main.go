@@ -12,6 +12,8 @@
 //	switchd -listen :6653 -route coza -megaflow 0  # disable the megaflow wildcard tier
 //	switchd -listen :6653 -backend tss             # tuple-space search in every table
 //	switchd -listen :6653 -memlog 30s              # periodic live memory accounting logs
+//	switchd -listen :6653 -membudget 40000000      # 40 Mbit process memory budget
+//	switchd -listen :6653 -read-timeout 30s        # keepalive probe / dead-peer interval
 //
 // -backend selects the lookup scheme tables run (mbt, the paper's
 // multi-bit-trie architecture; tss, tuple space search; lineartcam, the
@@ -39,9 +41,26 @@
 // many commands it carries. Transaction counters (committed transactions,
 // commands, rejected transactions) are reported through the stats message
 // and logged on shutdown.
+//
+// -membudget arms a process-wide memory budget in modelled bits: a
+// flow-mod transaction that would push the pipeline's accounted memory
+// over the budget is rejected atomically — the controller sees an
+// OpenFlow-style TABLE_FULL error and committed state is untouched. As
+// usage approaches the budget the cache tiers degrade gracefully
+// (megaflow first, then microflow, re-growing when pressure clears);
+// the transitions are visible in ofctl cache / ofctl stats. Per-table
+// budgets can additionally be pinned in a -pipeline layout file.
+//
+// -read-timeout arms the wire keepalive: a peer idle at a frame
+// boundary that long is probed with an echo request and dropped if it
+// stays silent through a second interval; a peer stalled mid-frame is
+// dropped outright. -write-timeout bounds each reply write. On SIGINT /
+// SIGTERM the server drains gracefully — in-flight transactions finish
+// and flush their replies — force-closing only after -drain expires.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -77,6 +96,10 @@ func run() error {
 		megaSz   = flag.Int("megaflow", 1<<14, "megaflow (wildcard) cache entries (0 = disable the tier)")
 		backend  = flag.String("backend", "", "default per-table lookup backend: mbt | tss | lineartcam")
 		memlog   = flag.Duration("memlog", 0, "interval for periodic memory-accounting logs (0 = disabled)")
+		budget   = flag.Uint64("membudget", 0, "process-wide memory budget in modelled bits (0 = unlimited); over-budget flow-mods are rejected TABLE_FULL")
+		readTO   = flag.Duration("read-timeout", time.Minute, "per-read deadline and keepalive probe interval (0 = disabled)")
+		writeTO  = flag.Duration("write-timeout", 30*time.Second, "per-write deadline on replies (0 = disabled)")
+		drain    = flag.Duration("drain", 5*time.Second, "graceful-shutdown drain window before in-flight connections are force-closed")
 	)
 	flag.Parse()
 	if *workers < 0 {
@@ -105,12 +128,23 @@ func run() error {
 	pipeline.SetWorkers(*workers)
 	pipeline.SetCacheSize(*cacheSz)
 	pipeline.SetMegaflowSize(*megaSz)
+	if *budget > 0 {
+		pipeline.SetMemoryBudget(*budget)
+	}
 	log.Printf("switchd: pipeline ready: %d tables, %d rules", len(pipeline.Tables()), pipeline.Rules())
 	for _, tm := range pipeline.MemoryStats().Tables {
 		log.Printf("switchd: table %d: backend %s, %d rules, %d bits accounted", tm.Table, tm.Backend, tm.Rules, tm.TotalBits())
 	}
 	mem := pipeline.MemoryReport()
 	log.Printf("switchd: modelled memory: %.2f Mbit in %d M20K blocks", mem.TotalMbits(), mem.Blocks)
+	if *budget > 0 {
+		used := pipeline.MemoryStats().TotalBits
+		if used > *budget {
+			return fmt.Errorf("preloaded pipeline uses %d bits, over the %d-bit -membudget", used, *budget)
+		}
+		log.Printf("switchd: memory budget %d bits (%.3f Mbit), %d bits in use; over-budget flow-mods rejected TABLE_FULL",
+			*budget, float64(*budget)/1e6, used)
+	}
 	effective := *workers
 	if effective == 0 {
 		effective = runtime.GOMAXPROCS(0)
@@ -136,7 +170,14 @@ func run() error {
 	}
 	log.Printf("switchd: control channel on %s", l.Addr())
 
-	srv := ofproto.NewServer(pipeline, log.Printf)
+	srv := ofproto.NewServerWithOptions(pipeline, ofproto.ServerOptions{
+		Logf:         log.Printf,
+		ReadTimeout:  *readTO,
+		WriteTimeout: *writeTO,
+	})
+	if *readTO > 0 {
+		log.Printf("switchd: wire keepalive armed: probe after %v idle, drop after %v silence", *readTO, 2**readTO)
+	}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.Serve(l) }()
 
@@ -158,6 +199,12 @@ func run() error {
 					ms := pipeline.MemoryStatsInto(tables)
 					tables = ms.Tables
 					var b strings.Builder
+					if ms.BudgetBits > 0 {
+						fmt.Fprintf(&b, " budget=%db", ms.BudgetBits)
+						if press := pipeline.PressureStats(); press.Level > 0 {
+							fmt.Fprintf(&b, " pressure-level=%d", press.Level)
+						}
+					}
 					for _, tm := range ms.Tables {
 						fmt.Fprintf(&b, " table%d[%s]=%db", tm.Table, tm.Backend, tm.TotalBits())
 					}
@@ -174,13 +221,19 @@ func run() error {
 	case err := <-errCh:
 		return err
 	case s := <-sig:
-		log.Printf("switchd: received %v, shutting down", s)
-		if err := srv.Close(); err != nil {
-			return err
+		log.Printf("switchd: received %v, draining connections (up to %v)", s, *drain)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		err := srv.Shutdown(ctx)
+		cancel()
+		if err != nil {
+			log.Printf("switchd: drain window expired, connections force-closed: %v", err)
 		}
 		tc := pipeline.TxCounters()
 		log.Printf("switchd: control plane served %d transactions (%d flow-mod commands, %d rejected)",
 			tc.Txs, tc.Commands, tc.Rejected)
+		sc := srv.Counters()
+		log.Printf("switchd: wire layer: %d connections accepted, %d dead peers dropped, %d handler panics recovered",
+			sc.Accepted, sc.DeadPeers, sc.Panics)
 		return <-errCh
 	}
 }

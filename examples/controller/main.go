@@ -1,8 +1,10 @@
 // Controller: an end-to-end control-plane session — a switch daemon and a
 // controller in one process, talking the repository's OpenFlow-style
 // protocol over loopback TCP. The controller installs flows, injects
-// packets, and reads the memory statistics the paper's evaluation is
-// about.
+// packets, reads the memory statistics the paper's evaluation is about,
+// and then drives the switch into its memory budget to show the
+// TABLE_FULL admission path: an over-budget transaction is rejected
+// atomically, a delete frees headroom, and the same add then succeeds.
 //
 //	go run ./examples/controller
 package main
@@ -140,5 +142,68 @@ func run() error {
 	}
 	fmt.Printf("control plane: %d transactions, %d flow-mod commands, %d rejected\n",
 		st.Txs, st.FlowModCommands, st.RejectedTxs)
+
+	// Overload demo: freeze the memory budget at exactly the current
+	// usage. The next add would need fresh bits, so the switch rejects
+	// it with an OpenFlow-style TABLE_FULL error — atomically, leaving
+	// committed state untouched.
+	ms, err := client.MemoryStats()
+	if err != nil {
+		return err
+	}
+	pipeline.SetMemoryBudget(ms.TotalBits)
+	fmt.Printf("\nmemory budget frozen at current usage: %d bits\n", ms.TotalBits)
+
+	newHost := ofproto.FlowMod{
+		Op: ofproto.FlowAdd, Table: 1,
+		Entry: openflow.FlowEntry{
+			Priority: 1,
+			Cookie:   100,
+			Matches: []openflow.Match{
+				openflow.Exact(openflow.FieldMetadata, 100),
+				openflow.Exact(openflow.FieldEthDst, 0x0050_56AB_0003),
+			},
+			Instructions: []openflow.Instruction{
+				openflow.WriteActions(openflow.Output(7)),
+			},
+		},
+	}
+	if _, err := client.SendFlowMods([]ofproto.FlowMod{newHost}); err == nil {
+		return fmt.Errorf("over-budget add unexpectedly succeeded")
+	} else if !ofproto.IsTableFull(err) {
+		return fmt.Errorf("over-budget add: want TABLE_FULL, got: %w", err)
+	} else {
+		fmt.Printf("adding a 4th host: rejected TABLE_FULL (%v)\n", err)
+	}
+
+	// Churn within the provisioned footprint still commits: accounting
+	// is high-water (capacity stays provisioned across a delete), so
+	// deleting a host and re-adding the *same* one needs no fresh bits
+	// even with zero headroom. Deletes are always admitted.
+	sameHost := fms[len(fms)-1] // the vlan-200 host installed above
+	del := sameHost
+	del.Op = ofproto.FlowDeleteStrict
+	del.Entry.Instructions = nil
+	if _, err := client.SendFlowMods([]ofproto.FlowMod{del}); err != nil {
+		return fmt.Errorf("delete at the budget ceiling: %w", err)
+	}
+	if _, err := client.SendFlowMods([]ofproto.FlowMod{sameHost}); err != nil {
+		return fmt.Errorf("re-add within provisioned capacity: %w", err)
+	}
+	fmt.Println("churn within the provisioned footprint (delete + re-add same host): committed")
+
+	// Admitting genuinely new state needs headroom: the operator raises
+	// the budget (switchd -membudget) and the same add commits.
+	pipeline.SetMemoryBudget(ms.TotalBits + 1024)
+	if _, err := client.SendFlowMods([]ofproto.FlowMod{newHost}); err != nil {
+		return fmt.Errorf("add after raising the budget: %w", err)
+	}
+	fmt.Println("budget raised by 1024 bits; the 4th host now commits")
+
+	ms, err = client.MemoryStats()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("final memory: %d of %d budgeted bits\n", ms.TotalBits, ms.BudgetBits)
 	return nil
 }

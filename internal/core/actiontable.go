@@ -120,3 +120,13 @@ func (t *ActionTable) Len() int { return t.live }
 // Peak returns the high-water mark of live rows (the provisioned depth in
 // the memory model).
 func (t *ActionTable) Peak() int { return t.peak }
+
+// RestorePeak lowers the provisioned-depth high-water mark to peak,
+// clamped to the live row count — the rollback hook for rejected
+// transactions (see label.Allocator.RestorePeak).
+func (t *ActionTable) RestorePeak(peak int) {
+	if peak < t.live {
+		peak = t.live
+	}
+	t.peak = peak
+}

@@ -117,7 +117,28 @@ type Backend interface {
 	// equal Stats().TotalBits() exactly — ofctl memory cross-checks the
 	// two surfaces.
 	AddMemory(r *memmodel.SystemReport, prefix string)
+	// AccountingCheckpoint captures the backend's internal accounting
+	// high-water state (label peaks, provisioned geometry) before a
+	// budgeted transaction applies. Backends whose accounting is fully
+	// reversible under Insert/Remove return nil.
+	AccountingCheckpoint() BackendCheckpoint
+	// RestoreAccounting restores a checkpoint captured by
+	// AccountingCheckpoint, after the transaction's primitives have been
+	// rolled back (so the live entry set equals the capture-time set) —
+	// this is what makes a rejected commit leave the published accounting
+	// byte-identical to the pre-transaction figures. A nil checkpoint is
+	// a no-op.
+	RestoreAccounting(cp BackendCheckpoint)
 }
+
+// BackendCheckpoint is an opaque capture of a backend's accounting
+// high-water state, produced by Backend.AccountingCheckpoint and consumed
+// by Backend.RestoreAccounting on the transaction-rejection path. The
+// provisioned-capacity memory model (Section IV's label widths and memory
+// depths size against peaks, not live counts) only ever ratchets up, so a
+// rejected transaction would otherwise permanently inflate the accounting
+// of state it never committed.
+type BackendCheckpoint any
 
 // BackendStats is a backend's modelled memory breakdown, in bits. The
 // three buckets mirror the architecture of Section IV: the per-field (or
@@ -151,14 +172,20 @@ type TableMemory struct {
 	Table   openflow.TableID
 	Backend string
 	Rules   int
+	// BudgetBits is the table's configured memory budget in bits
+	// (0 = unlimited); commits that would grow the table past it are
+	// rejected (see budget.go).
+	BudgetBits uint64
 	BackendStats
 }
 
 // MemoryStats is the pipeline-wide live memory view: one entry per table
-// in pipeline order plus the total.
+// in pipeline order plus the total and the process-wide budget
+// (0 = unlimited).
 type MemoryStats struct {
-	Tables    []TableMemory
-	TotalBits uint64
+	Tables     []TableMemory
+	TotalBits  uint64
+	BudgetBits uint64
 }
 
 // TotalBytes returns the pipeline total rounded up to whole bytes.

@@ -455,6 +455,45 @@ func (b *mbtBackend) Stats() BackendStats {
 	return st
 }
 
+// mbtCheckpoint is the mbt backend's accounting high-water state: one
+// checkpoint per field searcher in searcher order, the combination
+// store's key peak and the action table's provisioned depth.
+type mbtCheckpoint struct {
+	searchers []searcherCheckpoint
+	combos    int
+	actions   int
+}
+
+// AccountingCheckpoint implements Backend. The mbt memory model sizes
+// its label widths, combination memory and action depth by high-water
+// marks (provisioned capacity), which only ratchet up — so a rejected
+// transaction's effect on them must be captured here and undone by
+// RestoreAccounting.
+func (b *mbtBackend) AccountingCheckpoint() BackendCheckpoint {
+	cp := &mbtCheckpoint{
+		searchers: make([]searcherCheckpoint, len(b.searchers)),
+		combos:    b.combos.PeakKeys(),
+		actions:   b.actions.Peak(),
+	}
+	for i, s := range b.searchers {
+		cp.searchers[i] = s.(searcherAccounting).saveAccounting()
+	}
+	return cp
+}
+
+// RestoreAccounting implements Backend.
+func (b *mbtBackend) RestoreAccounting(cp BackendCheckpoint) {
+	c, ok := cp.(*mbtCheckpoint)
+	if !ok || c == nil {
+		return
+	}
+	for i, s := range b.searchers {
+		s.(searcherAccounting).restoreAccounting(c.searchers[i])
+	}
+	b.combos.RestorePeakKeys(c.combos)
+	b.actions.RestorePeak(c.actions)
+}
+
 // AddMemory implements Backend: the per-field searcher memories, the
 // index-calculation store and the action table, named as the paper's
 // synthesis report does.

@@ -191,3 +191,11 @@ func (b *tcamBackend) AddMemory(r *memmodel.SystemReport, prefix string) {
 // Rows returns the expanded ternary row count (the range-expansion
 // blow-up over the rule count).
 func (b *tcamBackend) Rows() int { return b.rows }
+
+// AccountingCheckpoint implements Backend. The lineartcam accounting is fully
+// reversible under Insert/Remove (it counts live structures, no
+// high-water marks), so rejected transactions need nothing restored.
+func (b *tcamBackend) AccountingCheckpoint() BackendCheckpoint { return nil }
+
+// RestoreAccounting implements Backend (no-op; see AccountingCheckpoint).
+func (b *tcamBackend) RestoreAccounting(BackendCheckpoint) {}

@@ -394,3 +394,11 @@ func (b *tssBackend) AddMemory(r *memmodel.SystemReport, prefix string) {
 
 // Tuples returns the live tuple count — the probe fan-out of one lookup.
 func (b *tssBackend) Tuples() int { return len(b.tuples) }
+
+// AccountingCheckpoint implements Backend. The tss accounting is fully
+// reversible under Insert/Remove (it counts live structures, no
+// high-water marks), so rejected transactions need nothing restored.
+func (b *tssBackend) AccountingCheckpoint() BackendCheckpoint { return nil }
+
+// RestoreAccounting implements Backend (no-op; see AccountingCheckpoint).
+func (b *tssBackend) RestoreAccounting(BackendCheckpoint) {}

@@ -30,20 +30,26 @@ import (
 
 // PipelineConfig is the top-level configuration document. Backend, when
 // set, is the default lookup scheme for tables that do not choose one
-// ("mbt" | "tss" | "lineartcam").
+// ("mbt" | "tss" | "lineartcam"). Budget, when set, is the process-wide
+// memory budget in modelled bits: commits growing the total accounting
+// past it are rejected, and the cache tiers degrade as it is
+// approached (see budget.go).
 type PipelineConfig struct {
 	Name    string            `json:"name"`
 	Backend string            `json:"backend,omitempty"`
+	Budget  uint64            `json:"budget,omitempty"`
 	Tables  []TableConfigJSON `json:"tables"`
 }
 
 // TableConfigJSON is one table description. Backend optionally pins the
-// table's lookup scheme, overriding the document and process defaults.
+// table's lookup scheme, overriding the document and process defaults;
+// Budget optionally caps the table's memory in modelled bits.
 type TableConfigJSON struct {
 	ID      uint8    `json:"id"`
 	Fields  []string `json:"fields"`
 	Miss    string   `json:"miss,omitempty"`    // "controller" (default), "drop", "goto:<id>"
 	Backend string   `json:"backend,omitempty"` // "mbt" (default) | "tss" | "lineartcam"
+	Budget  uint64   `json:"budget,omitempty"`  // per-table memory budget, bits (0 = unlimited)
 }
 
 // fieldNames maps configuration names to field identifiers. Names follow
@@ -155,13 +161,17 @@ func (cfg *PipelineConfig) BuildWithDefault(backend string) (*Pipeline, error) {
 			return nil, fmt.Errorf("core: table %d miss goto must move forward", tc.ID)
 		}
 		if _, err := p.AddTable(TableConfig{
-			ID:      openflow.TableID(tc.ID),
-			Fields:  fields,
-			Miss:    miss,
-			Backend: tc.Backend,
+			ID:         openflow.TableID(tc.ID),
+			Fields:     fields,
+			Miss:       miss,
+			Backend:    tc.Backend,
+			BudgetBits: tc.Budget,
 		}); err != nil {
 			return nil, fmt.Errorf("core: table entry %d: %w", i, err)
 		}
+	}
+	if cfg.Budget > 0 {
+		p.SetMemoryBudget(cfg.Budget)
 	}
 	return p, nil
 }

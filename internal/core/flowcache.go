@@ -108,14 +108,23 @@ type flowCache struct {
 	shards   [flowCacheShards]flowCacheShard
 }
 
-// newFlowCacheTable sizes a cache for about the requested number of
-// entries (rounded up to a power of two per shard, minimum 64).
-func newFlowCacheTable(entries int) *flowCache {
+// flowCacheCapacity returns the actual capacity a cache sized for the
+// requested entries gets: rounded up to a power of two per shard,
+// minimum 64 per shard. The pressure controller compares against it
+// when regrowing toward the configured target.
+func flowCacheCapacity(entries int) int {
 	per := entries / flowCacheShards
 	n := 64
 	for n < per {
 		n <<= 1
 	}
+	return n * flowCacheShards
+}
+
+// newFlowCacheTable sizes a cache for about the requested number of
+// entries (rounded up to a power of two per shard, minimum 64).
+func newFlowCacheTable(entries int) *flowCache {
+	n := flowCacheCapacity(entries) / flowCacheShards
 	c := &flowCache{slotMask: uint64(n - 1), entries: n * flowCacheShards}
 	for i := range c.shards {
 		c.shards[i].slots = make([]atomic.Pointer[flowCacheEntry], n)
@@ -190,8 +199,13 @@ type CacheStats struct {
 // entries in front of the multi-table walk, or removes it when entries
 // is <= 0. Resizing replaces the cache (entries re-learn on their next
 // packet) and resets the hit/miss counters. Safe to call concurrently
-// with lookups.
+// with lookups. The size also becomes the pressure controller's regrow
+// target: capacity shed under memory pressure is restored toward it
+// when the pressure clears.
 func (p *Pipeline) SetCacheSize(entries int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.cacheTarget = entries
 	if entries <= 0 {
 		p.cache.Store(nil)
 		return

@@ -3,6 +3,8 @@ package core
 import (
 	"sync"
 	"sync/atomic"
+
+	"ofmtl/internal/failpoint"
 )
 
 // This file implements the pipeline's megaflow cache: a masked
@@ -110,6 +112,18 @@ type megaflowCache struct {
 	shards   [flowCacheShards]megaflowShard
 }
 
+// megaflowCapacity returns the actual capacity a tier sized for the
+// requested entries gets: rounded up to a power of two, minimum 64.
+// The pressure controller compares against it when regrowing toward
+// the configured target.
+func megaflowCapacity(entries int) int {
+	n := 64
+	for n < entries {
+		n <<= 1
+	}
+	return n
+}
+
 // newMegaflowCache sizes a cache for the requested number of entries
 // (rounded up to a power of two, minimum 64). Every mask's tuple is
 // sized for the full configured capacity rather than a 1/16 share:
@@ -118,10 +132,7 @@ type megaflowCache struct {
 // so a hot region population concentrated under one mask can use the
 // whole budget.
 func newMegaflowCache(entries int) *megaflowCache {
-	n := 64
-	for n < entries {
-		n <<= 1
-	}
+	n := megaflowCapacity(entries)
 	return &megaflowCache{perTuple: n, entries: n}
 }
 
@@ -187,6 +198,11 @@ func (m *megaflowCache) lookup(k *flowKey, ver uint64) (Result, bool) {
 // shared) Result pointer. Steady-state installs allocate nothing; only
 // the first appearance of a new mask allocates its tuple.
 func (m *megaflowCache) install(k *flowKey, mask *flowMask, rewritten uint64, ver uint64, res *Result) {
+	if failpoint.Inject(failpoint.SiteCacheInstall) != nil {
+		// A modelled install failure drops the entry; the walk already
+		// ran, so the region simply re-learns on a later miss.
+		return
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	tuples := m.tuples.Load()
@@ -322,8 +338,12 @@ type MegaflowStats struct {
 // given number of entries between the microflow cache and the multi-
 // table walk, or removes the tier when entries is <= 0. Resizing
 // replaces the cache (regions re-learn on their next miss) and resets
-// the counters. Safe to call concurrently with lookups.
+// the counters. Safe to call concurrently with lookups. The size also
+// becomes the pressure controller's regrow target, like SetCacheSize.
 func (p *Pipeline) SetMegaflowSize(entries int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.megaTarget = entries
 	if entries <= 0 {
 		p.mega.Store(nil)
 		return

@@ -64,6 +64,24 @@ type Pipeline struct {
 	// batch parks the persistent ExecuteBatch worker goroutines.
 	batch batchEngine
 
+	// memBudget is the process-wide memory budget in modelled bits
+	// (0 = unlimited); tableBudgets counts tables carrying a budget.
+	// Together they gate the commit-time admission check, so unbudgeted
+	// pipelines pay two atomic loads per commit and nothing else (see
+	// budget.go).
+	memBudget    atomic.Uint64
+	tableBudgets atomic.Int64
+
+	// Pressure controller state: the configured cache-tier sizes the
+	// controller regrows toward (guarded by mu) and its lock-free
+	// telemetry counters — lifetime shrink and regrow steps, and the
+	// current degradation depth.
+	cacheTarget  int
+	megaTarget   int
+	pressShrinks atomic.Uint64
+	pressRegrows atomic.Uint64
+	pressSteps   atomic.Uint64
+
 	// intern canonicalises the slices Results carry, keeping Execute
 	// allocation-free in steady state. Content-addressed, so it survives
 	// rule updates and snapshot rebuilds.
@@ -124,6 +142,9 @@ func (p *Pipeline) AddTable(cfg TableConfig) (*LookupTable, error) {
 	t, err := NewLookupTable(cfg)
 	if err != nil {
 		return nil, err
+	}
+	if t.budgetBits > 0 {
+		p.tableBudgets.Add(1)
 	}
 	p.tables[cfg.ID] = t
 	p.order = append(p.order, cfg.ID)
@@ -531,7 +552,7 @@ func (p *Pipeline) MemoryStats() MemoryStats {
 // has capacity, so polling paths (the wire server, periodic logs) do not
 // re-allocate the view every read.
 func (p *Pipeline) MemoryStatsInto(tables []TableMemory) MemoryStats {
-	out := MemoryStats{Tables: tables[:0]}
+	out := MemoryStats{Tables: tables[:0], BudgetBits: p.memBudget.Load()}
 	view := p.tablesView.Load()
 	if view == nil {
 		return out

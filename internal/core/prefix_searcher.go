@@ -403,6 +403,23 @@ func (s *PrefixFieldSearcher) MemoryBits() int {
 	return bits
 }
 
+func (s *PrefixFieldSearcher) saveAccounting() searcherCheckpoint {
+	peaks := make([]int, 0, 2+s.nparts)
+	peaks = append(peaks, s.fields.Peak(), s.combos.PeakKeys())
+	for i := range s.parts {
+		peaks = append(peaks, s.parts[i].alloc.Peak())
+	}
+	return searcherCheckpoint{peaks: peaks}
+}
+
+func (s *PrefixFieldSearcher) restoreAccounting(cp searcherCheckpoint) {
+	s.fields.RestorePeak(cp.peaks[0])
+	s.combos.RestorePeakKeys(cp.peaks[1])
+	for i := range s.parts {
+		s.parts[i].alloc.RestorePeak(cp.peaks[2+i])
+	}
+}
+
 // partitionNames labels partitions the way the paper does: higher/lower
 // for 2-partition fields, higher/middle/lower for 3-partition fields.
 func partitionNames(n int) []string {

@@ -181,5 +181,13 @@ func (s *RangeFieldSearcher) Clone() FieldSearcher {
 	}
 }
 
+func (s *RangeFieldSearcher) saveAccounting() searcherCheckpoint {
+	return searcherCheckpoint{peaks: []int{s.alloc.Peak()}}
+}
+
+func (s *RangeFieldSearcher) restoreAccounting(cp searcherCheckpoint) {
+	s.alloc.RestorePeak(cp.peaks[0])
+}
+
 // Entries returns the number of unique ranges stored.
 func (s *RangeFieldSearcher) Entries() int { return s.alloc.Len() }

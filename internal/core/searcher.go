@@ -78,7 +78,29 @@ var (
 	_ FieldSearcher = (*ExactFieldSearcher)(nil)
 	_ FieldSearcher = (*PrefixFieldSearcher)(nil)
 	_ FieldSearcher = (*RangeFieldSearcher)(nil)
+
+	_ searcherAccounting = (*ExactFieldSearcher)(nil)
+	_ searcherAccounting = (*PrefixFieldSearcher)(nil)
+	_ searcherAccounting = (*RangeFieldSearcher)(nil)
 )
+
+// searcherCheckpoint is one field searcher's accounting high-water state:
+// its label-allocator peaks in searcher-defined order, plus the exact
+// searcher's provisioned LUT bucket count.
+type searcherCheckpoint struct {
+	peaks   []int
+	buckets int
+}
+
+// searcherAccounting is the capture/restore hook behind the mbt backend's
+// AccountingCheckpoint: the memory model sizes label widths and memory
+// depths by high-water marks, which a rejected transaction must not
+// ratchet (see BackendCheckpoint). Every searcher the architecture
+// registers implements it.
+type searcherAccounting interface {
+	saveAccounting() searcherCheckpoint
+	restoreAccounting(cp searcherCheckpoint)
+}
 
 // NewFieldSearcher constructs the method-appropriate searcher for a field,
 // following Table II: EM fields get a hash LUT, LPM fields partitioned
@@ -221,6 +243,15 @@ func (s *ExactFieldSearcher) MemoryBits() int {
 // Clone implements FieldSearcher.
 func (s *ExactFieldSearcher) Clone() FieldSearcher {
 	return &ExactFieldSearcher{field: s.field, width: s.width, table: s.table.Clone()}
+}
+
+func (s *ExactFieldSearcher) saveAccounting() searcherCheckpoint {
+	peak, buckets := s.table.AccountingState()
+	return searcherCheckpoint{peaks: []int{peak}, buckets: buckets}
+}
+
+func (s *ExactFieldSearcher) restoreAccounting(cp searcherCheckpoint) {
+	s.table.RestoreAccounting(cp.peaks[0], cp.buckets)
 }
 
 // Entries returns the number of unique values stored.

@@ -167,6 +167,7 @@ func (p *Pipeline) rebuildSnapshotLocked() *snapshot {
 		tables:    make(map[openflow.TableID]*snapTable, len(p.tables)),
 		intern:    &p.intern,
 	}
+	ns.mem.BudgetBits = p.memBudget.Load()
 	for id, t := range p.tables {
 		gen := t.gen.Load()
 		if s != nil {

@@ -34,6 +34,11 @@ type TableConfig struct {
 	Fields  []openflow.FieldID
 	Miss    MissPolicy
 	Backend string
+	// BudgetBits is the table's memory budget in modelled bits
+	// (0 = unlimited). Commits that would grow the table's accounting
+	// past it are rejected with a *BudgetError; SetTableBudget can
+	// change it at runtime.
+	BudgetBits uint64
 }
 
 // LookupTable is one OpenFlow lookup table of the architecture. The
@@ -66,6 +71,12 @@ type LookupTable struct {
 	// every successful mutation. Readers (Pipeline.MemoryStats, snapshot
 	// builds) load the pointer without taking any lock.
 	stats atomic.Pointer[TableMemory]
+
+	// budgetBits is the table's memory budget in bits (0 = unlimited),
+	// checked at commit time against the backend's live accounting.
+	// Guarded by the pipeline write lock like all mutation state; the
+	// published TableMemory carries a copy for lock-free readers.
+	budgetBits uint64
 
 	// suspendPublish defers stats publication during a multi-command
 	// transaction: the commit republishes once per touched table instead
@@ -101,6 +112,7 @@ func NewLookupTable(cfg TableConfig) (*LookupTable, error) {
 	t := &LookupTable{
 		cfg:        cfg,
 		fieldsView: append([]openflow.FieldID(nil), cfg.Fields...),
+		budgetBits: cfg.BudgetBits,
 	}
 	backend, err := newBackend(cfg.Backend, cfg)
 	if err != nil {
@@ -175,6 +187,7 @@ func (t *LookupTable) publishStats() {
 		Table:        t.cfg.ID,
 		Backend:      t.backend.Kind(),
 		Rules:        t.rules,
+		BudgetBits:   t.budgetBits,
 		BackendStats: t.backend.Stats(),
 	}
 	t.stats.Store(tm)
@@ -275,6 +288,7 @@ func (t *LookupTable) clone() *LookupTable {
 		backend:    t.backend.Clone(),
 		rules:      t.rules,
 		fieldsView: cfg.Fields,
+		budgetBits: t.budgetBits,
 	}
 	// The rule store is deliberately not copied: clones exist to serve
 	// Classify inside published snapshots and take no mutations, so

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"ofmtl/internal/failpoint"
 	"ofmtl/internal/openflow"
 )
 
@@ -191,10 +192,24 @@ func (tx *Tx) Commit() (TxResult, error) {
 	// transaction touches: the accounting walk runs once per touched
 	// table at the end of the commit (success or rollback), not once per
 	// primitive mutation. Validation has already confirmed the tables
-	// exist.
-	for i := range tx.cmds {
-		t := p.tables[tx.cmds[i].Table]
-		t.suspendPublish = true
+	// exist. With budgets armed, the first sighting of each table also
+	// snapshots its pre-transaction accounting for admission control;
+	// unbudgeted pipelines skip all of it (two atomic loads).
+	var bc *budgetCheck
+	if p.budgetsArmed() {
+		var touched []*LookupTable
+		for i := range tx.cmds {
+			t := p.tables[tx.cmds[i].Table]
+			if !t.suspendPublish {
+				t.suspendPublish = true
+				touched = append(touched, t)
+			}
+		}
+		bc = p.beginBudgetCheckLocked(touched)
+	} else {
+		for i := range tx.cmds {
+			p.tables[tx.cmds[i].Table].suspendPublish = true
+		}
 	}
 	defer p.flushStatsLocked(tx.cmds)
 
@@ -207,8 +222,35 @@ func (tx *Tx) Commit() (TxResult, error) {
 		undo, err = p.applyCmdLocked(&tx.cmds[i], &res, undo)
 		if err != nil {
 			rollback(undo)
+			if bc != nil {
+				bc.restoreAccounting()
+			}
 			p.txRejected.Add(1)
 			return TxResult{}, fmt.Errorf("core: tx command %d (%s): %w", i, tx.cmds[i].Op, err)
+		}
+	}
+	// Injected commit fault (chaos builds only): exercises the same
+	// rollback path a real post-apply failure would take.
+	if err := failpoint.Inject(failpoint.SiteCommit); err != nil {
+		rollback(undo)
+		if bc != nil {
+			bc.restoreAccounting()
+		}
+		p.txRejected.Add(1)
+		return TxResult{}, fmt.Errorf("core: tx commit: %w", err)
+	}
+
+	// Admission control: a commit that grew any budgeted accounting past
+	// its limit is rejected whole — rolled back, with the backends'
+	// provisioned-capacity marks restored so the republished figures (via
+	// the deferred flush) are byte-identical to the pre-transaction state
+	// and lock-free stats readers never observe an over-budget one.
+	if bc != nil {
+		if err := p.checkBudgetsLocked(bc); err != nil {
+			rollback(undo)
+			bc.restoreAccounting()
+			p.txRejected.Add(1)
+			return TxResult{}, err
 		}
 	}
 	p.txCommitted.Add(1)
@@ -237,6 +279,13 @@ func (tx *Tx) Commit() (TxResult, error) {
 			shadows[i] = shadowOf(undo[i].entry)
 		}
 		m.sweep(shadows, prevVer, ns.version)
+	}
+
+	// One pressure-controller step per committed transaction: shed or
+	// restore cache capacity as the accounting moves against the
+	// process budget (no-op without one — a single atomic load).
+	if p.memBudget.Load() > 0 || p.pressSteps.Load() > 0 {
+		p.adjustPressureLocked()
 	}
 	return res, nil
 }

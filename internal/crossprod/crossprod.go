@@ -486,5 +486,16 @@ func (t *Table) Keys() int { return t.used }
 // PeakKeys returns the high-water mark of distinct keys.
 func (t *Table) PeakKeys() int { return t.peakKeys }
 
+// RestorePeakKeys lowers the distinct-key high-water mark to peak,
+// clamped to the live key count — the rollback hook for rejected
+// transactions, which may have raised the provisioned combination
+// memory before their inserts were undone.
+func (t *Table) RestorePeakKeys(peak int) {
+	if peak < t.used {
+		peak = t.used
+	}
+	t.peakKeys = peak
+}
+
 // Bindings returns the number of distinct live bindings.
 func (t *Table) Bindings() int { return t.bindingCount }

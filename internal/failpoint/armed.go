@@ -1,0 +1,183 @@
+//go:build failpoint
+
+package failpoint
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Armed reports whether the fault-injection harness is compiled in.
+const Armed = true
+
+// point is one armed site's behaviour. Points are immutable after
+// registration (Arm replaces the whole point), so Inject reads them
+// without locks; only the hit counter mutates.
+type point struct {
+	fail  bool
+	delay time.Duration
+	prob  float64 // trigger probability in (0,1]
+	hits  atomic.Uint64
+}
+
+// registry is the copy-on-write site table: Arm/Disarm swap a fresh
+// map through the atomic pointer, Inject loads it lock-free. armMu
+// serialises the writers only.
+var (
+	armMu    sync.Mutex
+	registry atomic.Pointer[map[string]*point]
+)
+
+func init() {
+	if env := os.Getenv(EnvFailpoints); env != "" {
+		for _, kv := range strings.Split(env, ";") {
+			kv = strings.TrimSpace(kv)
+			if kv == "" {
+				continue
+			}
+			name, spec, ok := strings.Cut(kv, "=")
+			if !ok {
+				panic(fmt.Sprintf("failpoint: malformed %s entry %q (want site=spec)", EnvFailpoints, kv))
+			}
+			if err := Arm(name, spec); err != nil {
+				panic(err.Error())
+			}
+		}
+	}
+}
+
+// parseSpec compiles one failure spec (see the package comment for the
+// grammar).
+func parseSpec(spec string) (*point, error) {
+	parts := strings.Split(spec, ":")
+	p := &point{prob: 1}
+	probPart := -1
+	switch parts[0] {
+	case "error":
+		p.fail = true
+		if len(parts) > 2 {
+			return nil, fmt.Errorf("failpoint: spec %q: error takes at most a probability", spec)
+		}
+		if len(parts) == 2 {
+			probPart = 1
+		}
+	case "delay", "delay-error":
+		p.fail = parts[0] == "delay-error"
+		if len(parts) < 2 || len(parts) > 3 {
+			return nil, fmt.Errorf("failpoint: spec %q: want %s:<duration>[:prob]", spec, parts[0])
+		}
+		d, err := time.ParseDuration(parts[1])
+		if err != nil || d < 0 {
+			return nil, fmt.Errorf("failpoint: spec %q: bad duration %q", spec, parts[1])
+		}
+		p.delay = d
+		if len(parts) == 3 {
+			probPart = 2
+		}
+	default:
+		return nil, fmt.Errorf("failpoint: spec %q: unknown action %q (want error | delay | delay-error)", spec, parts[0])
+	}
+	if probPart >= 0 {
+		f, err := strconv.ParseFloat(parts[probPart], 64)
+		if err != nil || f <= 0 || f > 1 {
+			return nil, fmt.Errorf("failpoint: spec %q: bad probability %q (want (0,1])", spec, parts[probPart])
+		}
+		p.prob = f
+	}
+	return p, nil
+}
+
+// Arm registers (or replaces) the failure spec for a site.
+func Arm(name, spec string) error {
+	if name == "" {
+		return fmt.Errorf("failpoint: empty site name")
+	}
+	p, err := parseSpec(spec)
+	if err != nil {
+		return err
+	}
+	armMu.Lock()
+	defer armMu.Unlock()
+	old := registry.Load()
+	next := make(map[string]*point)
+	if old != nil {
+		for k, v := range *old {
+			next[k] = v
+		}
+	}
+	next[name] = p
+	registry.Store(&next)
+	return nil
+}
+
+// Disarm removes a site's failure spec; its hit count is discarded.
+func Disarm(name string) {
+	armMu.Lock()
+	defer armMu.Unlock()
+	old := registry.Load()
+	if old == nil {
+		return
+	}
+	if _, ok := (*old)[name]; !ok {
+		return
+	}
+	next := make(map[string]*point, len(*old))
+	for k, v := range *old {
+		if k != name {
+			next[k] = v
+		}
+	}
+	registry.Store(&next)
+}
+
+// DisarmAll removes every armed site.
+func DisarmAll() {
+	armMu.Lock()
+	defer armMu.Unlock()
+	registry.Store(nil)
+}
+
+// Hits reports how many times a site's spec has triggered (delayed,
+// failed, or both) since it was armed.
+func Hits(name string) uint64 {
+	m := registry.Load()
+	if m == nil {
+		return 0
+	}
+	p := (*m)[name]
+	if p == nil {
+		return 0
+	}
+	return p.hits.Load()
+}
+
+// Inject evaluates the site: armed with a triggering spec it sleeps
+// and/or returns an error wrapping ErrInjected; otherwise it returns
+// nil. Safe for any number of concurrent callers.
+func Inject(name string) error {
+	m := registry.Load()
+	if m == nil {
+		return nil
+	}
+	p := (*m)[name]
+	if p == nil {
+		return nil
+	}
+	if p.prob < 1 && rand.Float64() >= p.prob {
+		return nil
+	}
+	p.hits.Add(1)
+	if p.delay > 0 {
+		time.Sleep(p.delay)
+	}
+	if p.fail {
+		return fmt.Errorf("%w at %s", ErrInjected, name)
+	}
+	return nil
+}

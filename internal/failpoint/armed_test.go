@@ -1,0 +1,87 @@
+//go:build failpoint
+
+package failpoint
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestArmedErrorSpec(t *testing.T) {
+	t.Cleanup(DisarmAll)
+	if err := Inject("unarmed"); err != nil {
+		t.Fatalf("unarmed site injected: %v", err)
+	}
+	if err := Arm("commit", "error"); err != nil {
+		t.Fatalf("Arm: %v", err)
+	}
+	err := Inject("commit")
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("want ErrInjected, got %v", err)
+	}
+	if got := Hits("commit"); got != 1 {
+		t.Fatalf("hits = %d, want 1", got)
+	}
+	Disarm("commit")
+	if err := Inject("commit"); err != nil {
+		t.Fatalf("disarmed site injected: %v", err)
+	}
+}
+
+func TestArmedDelaySpec(t *testing.T) {
+	t.Cleanup(DisarmAll)
+	if err := Arm("conn-read", "delay:30ms"); err != nil {
+		t.Fatalf("Arm: %v", err)
+	}
+	start := time.Now()
+	if err := Inject("conn-read"); err != nil {
+		t.Fatalf("delay spec errored: %v", err)
+	}
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Fatalf("delay spec slept %v, want >= 30ms", d)
+	}
+}
+
+func TestArmedDelayErrorSpec(t *testing.T) {
+	t.Cleanup(DisarmAll)
+	if err := Arm("conn-write", "delay-error:1ms"); err != nil {
+		t.Fatalf("Arm: %v", err)
+	}
+	if err := Inject("conn-write"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("want ErrInjected, got %v", err)
+	}
+}
+
+func TestArmedProbability(t *testing.T) {
+	t.Cleanup(DisarmAll)
+	if err := Arm("accept", "error:0.5"); err != nil {
+		t.Fatalf("Arm: %v", err)
+	}
+	fails := 0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		if Inject("accept") != nil {
+			fails++
+		}
+	}
+	// A fair 0.5 coin over 2000 trials stays within [800, 1200] with
+	// overwhelming probability.
+	if fails < n*2/5 || fails > n*3/5 {
+		t.Fatalf("p=0.5 spec triggered %d/%d times", fails, n)
+	}
+	if got := Hits("accept"); got != uint64(fails) {
+		t.Fatalf("hits = %d, want %d", got, fails)
+	}
+}
+
+func TestArmedBadSpecs(t *testing.T) {
+	for _, spec := range []string{"", "explode", "error:2", "error:0", "error:x", "delay", "delay:nope", "delay:5ms:1.5", "error:0.5:0.5"} {
+		if err := Arm("site", spec); err == nil {
+			t.Errorf("Arm(%q) accepted a malformed spec", spec)
+		}
+	}
+	if err := Arm("", "error"); err == nil {
+		t.Error("Arm with empty site name accepted")
+	}
+}

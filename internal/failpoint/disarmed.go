@@ -1,0 +1,27 @@
+//go:build !failpoint
+
+package failpoint
+
+import "errors"
+
+// Armed reports whether the fault-injection harness is compiled in.
+const Armed = false
+
+// Inject is a no-op in the disarmed build; the call compiles to
+// nothing, so hooks on hot paths are free in production binaries.
+func Inject(name string) error { return nil }
+
+// Arm fails in the disarmed build: there is nothing to arm. Tests that
+// need live failpoints should check Armed (or the Arm error) and skip.
+func Arm(name, spec string) error {
+	return errors.New("failpoint: not compiled in (build with -tags failpoint)")
+}
+
+// Disarm is a no-op in the disarmed build.
+func Disarm(name string) {}
+
+// DisarmAll is a no-op in the disarmed build.
+func DisarmAll() {}
+
+// Hits reports zero in the disarmed build.
+func Hits(name string) uint64 { return 0 }

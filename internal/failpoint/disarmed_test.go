@@ -1,0 +1,25 @@
+//go:build !failpoint
+
+package failpoint
+
+import "testing"
+
+// The disarmed build is the production configuration: every entry
+// point must be inert so hooks on hot paths cost nothing and can never
+// trigger.
+func TestDisarmedIsInert(t *testing.T) {
+	if Armed {
+		t.Fatal("Armed = true in a build without the failpoint tag")
+	}
+	if err := Inject("commit"); err != nil {
+		t.Fatalf("Inject errored disarmed: %v", err)
+	}
+	if err := Arm("commit", "error"); err == nil {
+		t.Fatal("Arm succeeded in the disarmed build")
+	}
+	Disarm("commit")
+	DisarmAll()
+	if got := Hits("commit"); got != 0 {
+		t.Fatalf("Hits = %d disarmed, want 0", got)
+	}
+}

@@ -12,10 +12,12 @@
 // Operations: add | modify | delete | delete-strict.
 //
 // A file may open with a table-options preamble pinning the lookup
-// backend a table should run (cmd/flowgen emits one with -backend, and
-// ofctl flow-mods verifies it against the live switch before replaying):
+// backend a table should run and/or the memory budget (in modelled
+// bits) it is expected to enforce (cmd/flowgen emits one with -backend
+// and -budget, and ofctl flow-mods verifies it against the live switch
+// before replaying):
 //
-//	table-options 1 backend=tss
+//	table-options 1 backend=tss budget=4000000
 //
 // Matches (omitted fields are wildcards):
 //
@@ -68,13 +70,18 @@ var opValues = map[string]ofproto.FlowModOp{
 }
 
 // TableOption is one table-options directive: the named table should be
-// served by the named lookup backend. The directive carries workload
-// intent — a tuple-space churn benchmark replayed against a multi-bit
-// trie switch measures the wrong scheme — so consumers verify it against
-// the live pipeline rather than silently ignoring it.
+// served by the named lookup backend and/or enforce the named memory
+// budget. The directive carries workload intent — a tuple-space churn
+// benchmark replayed against a multi-bit trie switch measures the wrong
+// scheme, and an overload workload replayed against an unbudgeted switch
+// measures nothing — so consumers verify it against the live pipeline
+// rather than silently ignoring it.
 type TableOption struct {
 	Table   openflow.TableID
 	Backend string
+	// Budget is the table's expected memory budget in modelled bits
+	// (0 = not pinned).
+	Budget uint64
 }
 
 // File is a parsed flow-mod command file: the table-options preamble plus
@@ -95,10 +102,17 @@ func WriteFile(w io.Writer, f *File) error {
 	bw := bufio.NewWriter(w)
 	fmt.Fprintf(bw, "# flow-mods: %d commands\n", len(f.Commands))
 	for _, opt := range f.TableOptions {
-		if opt.Backend == "" {
-			return fmt.Errorf("flowtext: table-options for table %d names no backend", opt.Table)
+		if opt.Backend == "" && opt.Budget == 0 {
+			return fmt.Errorf("flowtext: table-options for table %d pins neither backend nor budget", opt.Table)
 		}
-		fmt.Fprintf(bw, "table-options %d backend=%s\n", opt.Table, opt.Backend)
+		fmt.Fprintf(bw, "table-options %d", opt.Table)
+		if opt.Backend != "" {
+			fmt.Fprintf(bw, " backend=%s", opt.Backend)
+		}
+		if opt.Budget > 0 {
+			fmt.Fprintf(bw, " budget=%d", opt.Budget)
+		}
+		fmt.Fprintln(bw)
 	}
 	for i := range f.Commands {
 		line, err := FormatCommand(&f.Commands[i])
@@ -299,11 +313,12 @@ func ReadFile(r io.Reader) (*File, error) {
 }
 
 // ParseTableOption parses one `table-options <table> key=value...` line.
-// The only recognised key is backend.
+// The recognised keys are backend and budget (memory budget in modelled
+// bits); at least one must be present.
 func ParseTableOption(text string) (TableOption, error) {
 	fields := strings.Fields(text)
 	if len(fields) < 3 || fields[0] != "table-options" {
-		return TableOption{}, fmt.Errorf("want `table-options <table> backend=<kind>`, got %q", text)
+		return TableOption{}, fmt.Errorf("want `table-options <table> backend=<kind> budget=<bits>`, got %q", text)
 	}
 	table, err := strconv.ParseUint(fields[1], 10, 8)
 	if err != nil {
@@ -318,12 +333,18 @@ func ParseTableOption(text string) (TableOption, error) {
 				return TableOption{}, fmt.Errorf("backend takes a value")
 			}
 			opt.Backend = val
+		case "budget":
+			b, err := strconv.ParseUint(val, 10, 64)
+			if err != nil || b == 0 {
+				return TableOption{}, fmt.Errorf("bad budget %q (want bits > 0)", val)
+			}
+			opt.Budget = b
 		default:
 			return TableOption{}, fmt.Errorf("unknown table-options token %q", tok)
 		}
 	}
-	if opt.Backend == "" {
-		return TableOption{}, fmt.Errorf("table-options for table %d names no backend", opt.Table)
+	if opt.Backend == "" && opt.Budget == 0 {
+		return TableOption{}, fmt.Errorf("table-options for table %d pins neither backend nor budget", opt.Table)
 	}
 	return opt, nil
 }

@@ -157,7 +157,8 @@ func TestTableOptionsRoundTrip(t *testing.T) {
 	in := &File{
 		TableOptions: []TableOption{
 			{Table: 0, Backend: "tss"},
-			{Table: 3, Backend: "lineartcam"},
+			{Table: 1, Budget: 4_000_000},
+			{Table: 3, Backend: "lineartcam", Budget: 1 << 40},
 		},
 		Commands: []ofproto.FlowMod{
 			{Op: ofproto.FlowAdd, Table: 0, Entry: openflow.FlowEntry{
@@ -198,12 +199,15 @@ func TestTableOptionsRejectsMalformed(t *testing.T) {
 		"table-options abc backend=tss",
 		"table-options 0 backend=",
 		"table-options 0 frontend=tss",
+		"table-options 0 budget=",
+		"table-options 0 budget=0",
+		"table-options 0 budget=lots",
 	} {
 		if _, err := ReadFile(strings.NewReader(line + "\n")); err == nil {
 			t.Errorf("parse of %q succeeded", line)
 		}
 	}
 	if err := WriteFile(&strings.Builder{}, &File{TableOptions: []TableOption{{Table: 1}}}); err == nil {
-		t.Error("WriteFile accepted a table option naming no backend")
+		t.Error("WriteFile accepted a table option pinning neither backend nor budget")
 	}
 }

@@ -151,6 +151,18 @@ func (a *Allocator[K]) Len() int { return len(a.byValue) }
 // label field width in the hardware memory model.
 func (a *Allocator[K]) Peak() int { return a.peak }
 
+// RestorePeak lowers the high-water mark to peak, clamped to the live
+// binding count. It is the rollback hook for rejected transactions: the
+// rejected commit's inserts may have raised the peak (and with it the
+// modelled label width) before being undone, and the reject path restores
+// the accounting captured before the transaction applied.
+func (a *Allocator[K]) RestorePeak(peak int) {
+	if live := len(a.byValue); peak < live {
+		peak = live
+	}
+	a.peak = peak
+}
+
 // LabelSpace returns the number of distinct labels ever minted (freed
 // labels still count — hardware must provision for them until compaction).
 func (a *Allocator[K]) LabelSpace() int { return int(a.next) }

@@ -157,3 +157,25 @@ func (l *LUT) Overflow() int {
 // Allocator exposes the underlying label allocator (read-mostly use by the
 // pipeline's index-calculation stage).
 func (l *LUT) Allocator() *label.Allocator[uint64] { return l.alloc }
+
+// AccountingState returns the quantities RestoreAccounting needs to undo
+// a rejected transaction's effect on the memory model: the label
+// high-water mark and the provisioned bucket count.
+func (l *LUT) AccountingState() (peak, buckets int) { return l.alloc.Peak(), l.buckets }
+
+// RestoreAccounting restores a state captured with AccountingState. The
+// live key set must already be back to what it was at capture time (the
+// captured geometry held exactly that set); shrinking the bucket count
+// rehashes the occupancy model against it.
+func (l *LUT) RestoreAccounting(peak, buckets int) {
+	l.alloc.RestorePeak(peak)
+	if buckets > 0 && buckets < l.buckets {
+		l.buckets = buckets
+		l.occupancy = make(map[uint32]int, len(l.occupancy))
+		for _, lab := range l.alloc.Labels() {
+			if v, ok := l.alloc.Value(lab); ok {
+				l.occupancy[l.hash(v)]++
+			}
+		}
+	}
+}

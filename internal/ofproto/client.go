@@ -1,0 +1,421 @@
+package ofproto
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"net"
+	"time"
+
+	"ofmtl/internal/openflow"
+)
+
+// Client is a controller-side connection to a switch daemon. A Client
+// serialises its requests over one TCP connection and reuses its encode
+// and read buffers across calls; it is not safe for concurrent use by
+// multiple goroutines (open one Client per goroutine, as the server
+// classifies connections in parallel).
+type Client struct {
+	conn    net.Conn
+	out     []byte // outgoing frame under construction
+	readBuf []byte // incoming frame buffer
+}
+
+// DialOptions tunes a client connection. The zero value means no
+// timeouts anywhere — byte-compatible with the pre-hardening behaviour.
+type DialOptions struct {
+	// DialTimeout bounds the TCP connect plus the hello exchange.
+	// 0 means no limit.
+	DialTimeout time.Duration
+	// ReadTimeout bounds each read while awaiting a reply; a switch
+	// that stops responding surfaces as a timeout error instead of a
+	// hang. 0 means no limit.
+	ReadTimeout time.Duration
+	// WriteTimeout bounds each write of a request. 0 means no limit.
+	WriteTimeout time.Duration
+}
+
+// Dial connects to a switch daemon and completes the hello exchange.
+func Dial(addr string) (*Client, error) {
+	return DialContext(context.Background(), addr, DialOptions{})
+}
+
+// DialContext connects to a switch daemon with explicit timeouts,
+// completing the hello exchange before returning. Cancelling ctx aborts
+// the connection attempt.
+func DialContext(ctx context.Context, addr string, opts DialOptions) (*Client, error) {
+	d := net.Dialer{Timeout: opts.DialTimeout}
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("ofproto: dialing %s: %w", addr, err)
+	}
+	tc := &timeoutConn{Conn: conn, readTimeout: opts.ReadTimeout, writeTimeout: opts.WriteTimeout}
+	c := &Client{conn: tc}
+	if opts.DialTimeout > 0 {
+		// Bound the hello wait too, so a dead switch that accepted the
+		// TCP connection cannot hang the dial.
+		_ = conn.SetReadDeadline(time.Now().Add(opts.DialTimeout))
+	}
+	msg, err := ReadMessage(conn)
+	if err != nil {
+		_ = conn.Close()
+		return nil, fmt.Errorf("ofproto: awaiting hello: %w", err)
+	}
+	_ = conn.SetReadDeadline(time.Time{})
+	if msg.Type != MsgHello {
+		_ = conn.Close()
+		return nil, fmt.Errorf("ofproto: expected hello, got %s", msg.Type)
+	}
+	if err := DecodeHello(msg.Payload); err != nil {
+		_ = conn.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// Close terminates the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// readReply reads the next reply frame, transparently answering any
+// unsolicited echo request the server's keepalive interleaves, and
+// surfacing switch errors as *SwitchError.
+func (c *Client) readReply() (Message, error) {
+	for {
+		msg, buf, err := ReadMessageBuf(c.conn, c.readBuf)
+		c.readBuf = buf
+		if err != nil {
+			return Message{}, err
+		}
+		if msg.Type == MsgEchoRequest {
+			if err := WriteMessage(c.conn, MsgEchoReply, msg.Payload); err != nil {
+				return Message{}, err
+			}
+			continue
+		}
+		if msg.Type == MsgError {
+			return Message{}, DecodeError(msg.Payload)
+		}
+		return msg, nil
+	}
+}
+
+// roundTrip sends a request and reads the matching reply.
+func (c *Client) roundTrip(t MsgType, payload []byte, want MsgType) (Message, error) {
+	if err := WriteMessage(c.conn, t, payload); err != nil {
+		return Message{}, err
+	}
+	msg, err := c.readReply()
+	if err != nil {
+		return Message{}, err
+	}
+	if msg.Type != want {
+		return Message{}, fmt.Errorf("ofproto: expected %s, got %s", want, msg.Type)
+	}
+	return msg, nil
+}
+
+// Echo round-trips a keepalive probe, verifying the switch is alive and
+// processing messages.
+func (c *Client) Echo() error {
+	_, err := c.roundTrip(MsgEchoRequest, nil, MsgEchoReply)
+	return err
+}
+
+// AddFlow installs a flow entry, replacing any installed entry with the
+// same match set and priority.
+func (c *Client) AddFlow(table openflow.TableID, e *openflow.FlowEntry) error {
+	fm := FlowMod{Op: FlowAdd, Table: table, Entry: *e}
+	_, err := c.roundTrip(MsgFlowMod, EncodeFlowMod(&fm), MsgFlowModReply)
+	return err
+}
+
+// DeleteFlow removes the flow entry with the same matches, priority and
+// instructions (the FlowRemoveExact op); deleting a missing entry is an
+// error. For OpenFlow non-strict / strict deletion semantics send
+// FlowDelete / FlowDeleteStrict commands — either as single flow-mods or
+// through SendFlowMods; the op, not the framing, selects the semantics.
+func (c *Client) DeleteFlow(table openflow.TableID, e *openflow.FlowEntry) error {
+	fm := FlowMod{Op: FlowRemoveExact, Table: table, Entry: *e}
+	_, err := c.roundTrip(MsgFlowMod, EncodeFlowMod(&fm), MsgFlowModReply)
+	return err
+}
+
+// SendFlowMods submits a batch of flow-mod commands in one round trip.
+// The switch applies the whole batch as one transaction: every command
+// applies atomically (a failing command rejects and rolls back the
+// batch), one lookup snapshot is published, and the microflow cache is
+// invalidated once. The encode and read buffers are reused across calls,
+// so steady-state batch submission does not re-allocate the wire frames.
+func (c *Client) SendFlowMods(fms []FlowMod) (*FlowModBatchReply, error) {
+	c.out = BeginFrame(c.out)
+	c.out = AppendFlowModBatch(c.out, fms)
+	if err := WriteFrame(c.conn, MsgFlowModBatch, c.out); err != nil {
+		return nil, err
+	}
+	msg, err := c.readReply()
+	if err != nil {
+		return nil, err
+	}
+	if msg.Type != MsgFlowModBatchReply {
+		return nil, fmt.Errorf("ofproto: expected %s, got %s", MsgFlowModBatchReply, msg.Type)
+	}
+	return DecodeFlowModBatchReply(msg.Payload)
+}
+
+// SendPacket injects a packet header and returns the pipeline result.
+func (c *Client) SendPacket(h *openflow.Header) (*PacketReply, error) {
+	msg, err := c.roundTrip(MsgPacket, EncodePacket(h), MsgPacketReply)
+	if err != nil {
+		return nil, err
+	}
+	return DecodePacketReply(msg.Payload)
+}
+
+// SendPackets injects a batch of packet headers in one round trip; the
+// switch classifies them in parallel through the pipeline's batch path
+// and returns one reply per header, in order. The encode and read
+// buffers are reused across calls, so steady-state batch injection does
+// not re-allocate the wire frames.
+func (c *Client) SendPackets(hs []*openflow.Header) ([]PacketReply, error) {
+	c.out = BeginFrame(c.out)
+	c.out = AppendPacketBatch(c.out, hs)
+	if err := WriteFrame(c.conn, MsgPacketBatch, c.out); err != nil {
+		return nil, err
+	}
+	msg, err := c.readReply()
+	if err != nil {
+		return nil, err
+	}
+	if msg.Type != MsgPacketBatchReply {
+		return nil, fmt.Errorf("ofproto: expected %s, got %s", MsgPacketBatchReply, msg.Type)
+	}
+	return DecodePacketBatchReply(msg.Payload)
+}
+
+// Stats fetches the switch status report.
+func (c *Client) Stats() (*Stats, error) {
+	msg, err := c.roundTrip(MsgStatsRequest, nil, MsgStatsReply)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeStats(msg.Payload)
+}
+
+// MemoryStats fetches the switch's live per-table, per-backend memory
+// accounting. The switch serves it from lock-free counters, so polling
+// it does not perturb concurrent flow-mod or packet traffic.
+func (c *Client) MemoryStats() (*MemoryStatsReply, error) {
+	msg, err := c.roundTrip(MsgMemoryStatsRequest, nil, MsgMemoryStatsReply)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeMemoryStatsReply(msg.Payload)
+}
+
+// CacheStats fetches the fast-path tiers' hit/miss counters and shapes
+// (microflow exact-match cache and megaflow wildcard tier). Served from
+// lock-free counters on the switch side.
+func (c *Client) CacheStats() (*CacheStatsReply, error) {
+	msg, err := c.roundTrip(MsgCacheStatsRequest, nil, MsgCacheStatsReply)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeCacheStatsReply(msg.Payload)
+}
+
+// Barrier completes when all previously sent messages are processed.
+func (c *Client) Barrier() error {
+	_, err := c.roundTrip(MsgBarrier, nil, MsgBarrierReply)
+	return err
+}
+
+// ReconnClient is a self-healing controller connection: when a request
+// fails on a transport error it closes the connection, redials with
+// jittered exponential backoff and replays the request. Semantic
+// switch errors (*SwitchError — a budget rejection, a bad flow-mod) are
+// returned immediately, never retried: the switch answered, the answer
+// was no.
+//
+// Replay gives at-least-once semantics: a request whose reply was lost
+// may have been applied before the connection died and will run again
+// after the reconnect. Restrict flow-mod traffic through it to
+// idempotent commands (FlowAdd of identical entries, FlowDelete /
+// FlowDeleteStrict — re-deleting an absent flow is a no-op) so a replay
+// converges to the same switch state; FlowRemoveExact errors on a
+// missing entry and is not replay-safe.
+//
+// Like Client it is single-goroutine; open one per worker.
+type ReconnClient struct {
+	addr string
+	opts DialOptions
+
+	// BackoffMin/BackoffMax bound the reconnect backoff; attempt n
+	// waits min(BackoffMax, BackoffMin<<n), jittered to 50-100%.
+	BackoffMin time.Duration
+	BackoffMax time.Duration
+	// MaxAttempts bounds tries per request (dial and replay each count;
+	// the request fails with the last transport error once exhausted).
+	MaxAttempts int
+	// Logf, when set, receives reconnect events.
+	Logf func(format string, args ...any)
+
+	c      *Client
+	dialed bool
+	// Redials counts reconnects performed over the client's lifetime
+	// (dials after the first successful one).
+	Redials uint64
+}
+
+// NewReconnClient builds a reconnecting client for addr. It does not
+// dial until the first request.
+func NewReconnClient(addr string, opts DialOptions) *ReconnClient {
+	return &ReconnClient{
+		addr:        addr,
+		opts:        opts,
+		BackoffMin:  20 * time.Millisecond,
+		BackoffMax:  2 * time.Second,
+		MaxAttempts: 8,
+	}
+}
+
+// Close releases the underlying connection, if any.
+func (r *ReconnClient) Close() error {
+	if r.c == nil {
+		return nil
+	}
+	err := r.c.Close()
+	r.c = nil
+	return err
+}
+
+// backoff sleeps the jittered exponential delay for the given attempt,
+// or returns early with ctx's error.
+func (r *ReconnClient) backoff(ctx context.Context, attempt int) error {
+	d := r.BackoffMin << attempt
+	if d <= 0 || d > r.BackoffMax {
+		d = r.BackoffMax
+	}
+	// Jitter to 50-100% so a fleet of reconnecting workers does not
+	// stampede the switch in lockstep.
+	d = d/2 + rand.N(d/2+1)
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// do runs op against a live connection, redialling and replaying on
+// transport errors.
+func (r *ReconnClient) do(ctx context.Context, op func(*Client) error) error {
+	max := r.MaxAttempts
+	if max <= 0 {
+		max = 8
+	}
+	var err error
+	for attempt := 0; attempt < max; attempt++ {
+		if attempt > 0 {
+			if berr := r.backoff(ctx, attempt-1); berr != nil {
+				return berr
+			}
+		}
+		if r.c == nil {
+			c, derr := DialContext(ctx, r.addr, r.opts)
+			if derr != nil {
+				err = derr
+				if r.Logf != nil {
+					r.Logf("ofproto: reconnect dial %s: %v", r.addr, derr)
+				}
+				continue
+			}
+			if r.dialed {
+				r.Redials++
+			}
+			r.dialed = true
+			r.c = c
+		}
+		err = op(r.c)
+		if err == nil {
+			return nil
+		}
+		var se *SwitchError
+		if errors.As(err, &se) {
+			// The switch processed the request and refused it; the
+			// connection is healthy and a retry would get the same no.
+			return err
+		}
+		if r.Logf != nil {
+			r.Logf("ofproto: connection to %s failed, reconnecting: %v", r.addr, err)
+		}
+		_ = r.c.Close()
+		r.c = nil
+	}
+	return err
+}
+
+// SendFlowMods submits a flow-mod batch, replaying it across reconnects
+// (see the type comment for the idempotency requirement).
+func (r *ReconnClient) SendFlowMods(ctx context.Context, fms []FlowMod) (*FlowModBatchReply, error) {
+	var reply *FlowModBatchReply
+	err := r.do(ctx, func(c *Client) error {
+		var err error
+		reply, err = c.SendFlowMods(fms)
+		return err
+	})
+	return reply, err
+}
+
+// SendPacket injects a packet header, reconnecting as needed (lookups
+// are read-only, so replay is always safe).
+func (r *ReconnClient) SendPacket(ctx context.Context, h *openflow.Header) (*PacketReply, error) {
+	var reply *PacketReply
+	err := r.do(ctx, func(c *Client) error {
+		var err error
+		reply, err = c.SendPacket(h)
+		return err
+	})
+	return reply, err
+}
+
+// MemoryStats polls the switch memory accounting, reconnecting as
+// needed.
+func (r *ReconnClient) MemoryStats(ctx context.Context) (*MemoryStatsReply, error) {
+	var reply *MemoryStatsReply
+	err := r.do(ctx, func(c *Client) error {
+		var err error
+		reply, err = c.MemoryStats()
+		return err
+	})
+	return reply, err
+}
+
+// CacheStats polls the cache tiers, reconnecting as needed.
+func (r *ReconnClient) CacheStats(ctx context.Context) (*CacheStatsReply, error) {
+	var reply *CacheStatsReply
+	err := r.do(ctx, func(c *Client) error {
+		var err error
+		reply, err = c.CacheStats()
+		return err
+	})
+	return reply, err
+}
+
+// Stats polls the status report, reconnecting as needed.
+func (r *ReconnClient) Stats(ctx context.Context) (*Stats, error) {
+	var reply *Stats
+	err := r.do(ctx, func(c *Client) error {
+		var err error
+		reply, err = c.Stats()
+		return err
+	})
+	return reply, err
+}
+
+// Barrier round-trips a barrier, reconnecting as needed.
+func (r *ReconnClient) Barrier(ctx context.Context) error {
+	return r.do(ctx, func(c *Client) error { return c.Barrier() })
+}

@@ -1,0 +1,67 @@
+package ofproto
+
+import (
+	"errors"
+	"net"
+	"sync/atomic"
+	"time"
+
+	"ofmtl/internal/failpoint"
+)
+
+// timeoutConn wraps a connection with per-operation deadlines and
+// (server-side) failpoint hooks. Each Read arms a fresh read deadline,
+// so a peer that keeps making progress — however slowly — stays
+// connected, while a stall longer than readTimeout surfaces as a
+// timeout error. Writes get the same treatment so a peer that stops
+// draining its socket cannot wedge the handler goroutine.
+//
+// nread counts delivered bytes; the server's keepalive uses it to tell
+// an idle peer at a frame boundary (probe with an echo request) from
+// one that stalled mid-frame (drop — the framing cannot be resumed
+// after a partial read).
+type timeoutConn struct {
+	net.Conn
+	readTimeout  time.Duration
+	writeTimeout time.Duration
+	// inject enables the conn-read/conn-write failpoints (server side
+	// only; the published sites are defined as server-side hooks).
+	inject bool
+	// draining, when non-nil and set, stops Read from extending the
+	// deadline so a shutdown nudge (SetReadDeadline(now)) sticks.
+	draining *atomic.Bool
+	nread    int64
+}
+
+func (c *timeoutConn) Read(p []byte) (int, error) {
+	if c.inject {
+		if err := failpoint.Inject(failpoint.SiteConnRead); err != nil {
+			return 0, err
+		}
+	}
+	if c.readTimeout > 0 && (c.draining == nil || !c.draining.Load()) {
+		_ = c.Conn.SetReadDeadline(time.Now().Add(c.readTimeout))
+	}
+	n, err := c.Conn.Read(p)
+	c.nread += int64(n)
+	return n, err
+}
+
+func (c *timeoutConn) Write(p []byte) (int, error) {
+	if c.inject {
+		if err := failpoint.Inject(failpoint.SiteConnWrite); err != nil {
+			return 0, err
+		}
+	}
+	if c.writeTimeout > 0 {
+		_ = c.Conn.SetWriteDeadline(time.Now().Add(c.writeTimeout))
+	}
+	return c.Conn.Write(p)
+}
+
+// isTimeout reports whether err is (or wraps) a deadline expiry, as
+// opposed to a closed or broken connection.
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}

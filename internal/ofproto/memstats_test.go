@@ -12,9 +12,10 @@ import (
 // be lossless, including the backend kind codes.
 func TestMemoryStatsCodecRoundTrip(t *testing.T) {
 	in := &MemoryStatsReply{
-		TotalBits: 123456789,
+		TotalBits:  123456789,
+		BudgetBits: 1 << 33,
 		Tables: []TableMemoryStats{
-			{Table: 0, Backend: "mbt", Rules: 507, SearchBits: 1 << 40, IndexBits: 77, ActionBits: 24},
+			{Table: 0, Backend: "mbt", Rules: 507, SearchBits: 1 << 40, IndexBits: 77, ActionBits: 24, BudgetBits: 1 << 41},
 			{Table: 3, Backend: "tss", Rules: 1, SearchBits: 0, IndexBits: 72, ActionBits: 32},
 			{Table: 9, Backend: "lineartcam", Rules: 0},
 		},
@@ -47,7 +48,7 @@ func TestMemoryStatsCodecRejectsMalformed(t *testing.T) {
 	good := EncodeMemoryStatsReply(&MemoryStatsReply{
 		Tables: []TableMemoryStats{{Table: 1, Backend: "mbt"}},
 	})
-	for _, bad := range [][]byte{nil, good[:5], good[:11], append(append([]byte(nil), good...), 0)} {
+	for _, bad := range [][]byte{nil, good[:5], good[:memoryStatsHeaderLen+1], append(append([]byte(nil), good...), 0)} {
 		if _, err := DecodeMemoryStatsReply(bad); err == nil {
 			t.Errorf("decode of %d-byte malformed payload succeeded", len(bad))
 		}
@@ -137,6 +138,7 @@ func TestEndToEndMemoryStats(t *testing.T) {
 			SearchBits: tm.SearchBits,
 			IndexBits:  tm.IndexBits,
 			ActionBits: tm.ActionBits,
+			BudgetBits: tm.BudgetBits,
 		}
 		if got.Tables[i] != wt {
 			t.Errorf("table %d: wire %+v, pipeline %+v", tm.Table, got.Tables[i], wt)

@@ -13,14 +13,19 @@ package ofproto
 import (
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 
+	"ofmtl/internal/core"
 	"ofmtl/internal/openflow"
 )
 
-// ProtocolVersion is negotiated in Hello.
-const ProtocolVersion = 1
+// ProtocolVersion is negotiated in Hello. Version 2 added structured
+// error payloads (type/code/text instead of bare text), echo
+// request/reply keepalives, and budget/pressure fields in the
+// memory-stats and cache-stats replies.
+const ProtocolVersion = 2
 
 // MaxMessageLen bounds a frame to keep a malformed peer from forcing an
 // arbitrary allocation.
@@ -49,6 +54,8 @@ const (
 	MsgMemoryStatsReply
 	MsgCacheStatsRequest
 	MsgCacheStatsReply
+	MsgEchoRequest
+	MsgEchoReply
 )
 
 // String names the message type.
@@ -90,6 +97,10 @@ func (t MsgType) String() string {
 		return "cache-stats-request"
 	case MsgCacheStatsReply:
 		return "cache-stats-reply"
+	case MsgEchoRequest:
+		return "echo-request"
+	case MsgEchoReply:
+		return "echo-reply"
 	default:
 		return "unknown"
 	}
@@ -188,6 +199,12 @@ type Stats struct {
 	Txs             uint64 `json:"txs,omitempty"`
 	FlowModCommands uint64 `json:"flow_mod_commands,omitempty"`
 	RejectedTxs     uint64 `json:"rejected_txs,omitempty"`
+	// Robustness telemetry: the process memory budget (0 = unlimited)
+	// and the pressure controller's activity against it.
+	MemoryBudgetBits uint64 `json:"memory_budget_bits,omitempty"`
+	PressureShrinks  uint64 `json:"pressure_shrinks,omitempty"`
+	PressureRegrows  uint64 `json:"pressure_regrows,omitempty"`
+	PressureLevel    uint64 `json:"pressure_level,omitempty"`
 }
 
 // TableStats describes one pipeline table.
@@ -592,6 +609,9 @@ type TableMemoryStats struct {
 	SearchBits uint64
 	IndexBits  uint64
 	ActionBits uint64
+	// BudgetBits is the table's configured memory budget in bits
+	// (0 = unlimited).
+	BudgetBits uint64
 }
 
 // TotalBits sums one table's breakdown.
@@ -605,7 +625,11 @@ func (t *TableMemoryStats) TotalBits() uint64 {
 // blocks flow-mod transactions or packet lookups.
 type MemoryStatsReply struct {
 	TotalBits uint64
-	Tables    []TableMemoryStats
+	// BudgetBits is the process-wide memory budget in bits
+	// (0 = unlimited); admission control rejects commits that would
+	// grow TotalBits past it.
+	BudgetBits uint64
+	Tables     []TableMemoryStats
 }
 
 // Backend kind codes on the wire. Unknown kinds travel as 0 and decode to
@@ -623,14 +647,20 @@ var backendNames = map[uint8]string{
 }
 
 // memoryStatsRowLen is the fixed wire width of one per-table record:
-// [table u8 | backend u8 | rules u32 | search u64 | index u64 | action u64].
-const memoryStatsRowLen = 1 + 1 + 4 + 8 + 8 + 8
+// [table u8 | backend u8 | rules u32 | search u64 | index u64 |
+// action u64 | budget u64].
+const memoryStatsRowLen = 1 + 1 + 4 + 8 + 8 + 8 + 8
+
+// memoryStatsHeaderLen is the reply prefix:
+// [total u64 | budget u64 | count u16].
+const memoryStatsHeaderLen = 8 + 8 + 2
 
 // AppendMemoryStatsReply appends the wire form of a memory-stats reply to
 // buf, so per-connection senders can reuse one encode buffer (the
 // zero-allocation path, like the packet and flow-mod batch codecs).
 func AppendMemoryStatsReply(buf []byte, r *MemoryStatsReply) []byte {
 	buf = binary.BigEndian.AppendUint64(buf, r.TotalBits)
+	buf = binary.BigEndian.AppendUint64(buf, r.BudgetBits)
 	buf = binary.BigEndian.AppendUint16(buf, uint16(len(r.Tables)))
 	for i := range r.Tables {
 		t := &r.Tables[i]
@@ -639,13 +669,14 @@ func AppendMemoryStatsReply(buf []byte, r *MemoryStatsReply) []byte {
 		buf = binary.BigEndian.AppendUint64(buf, t.SearchBits)
 		buf = binary.BigEndian.AppendUint64(buf, t.IndexBits)
 		buf = binary.BigEndian.AppendUint64(buf, t.ActionBits)
+		buf = binary.BigEndian.AppendUint64(buf, t.BudgetBits)
 	}
 	return buf
 }
 
 // EncodeMemoryStatsReply serialises a memory-stats reply.
 func EncodeMemoryStatsReply(r *MemoryStatsReply) []byte {
-	return AppendMemoryStatsReply(make([]byte, 0, 10+memoryStatsRowLen*len(r.Tables)), r)
+	return AppendMemoryStatsReply(make([]byte, 0, memoryStatsHeaderLen+memoryStatsRowLen*len(r.Tables)), r)
 }
 
 // DecodeMemoryStatsReplyInto parses a memory-stats reply, reusing the
@@ -653,12 +684,13 @@ func EncodeMemoryStatsReply(r *MemoryStatsReply) []byte {
 // steady-state polling decodes allocate nothing (backend names are
 // interned strings, not payload slices).
 func DecodeMemoryStatsReplyInto(r *MemoryStatsReply, payload []byte) error {
-	if len(payload) < 10 {
+	if len(payload) < memoryStatsHeaderLen {
 		return fmt.Errorf("ofproto: memory-stats payload of %d bytes", len(payload))
 	}
 	r.TotalBits = binary.BigEndian.Uint64(payload)
-	count := int(binary.BigEndian.Uint16(payload[8:]))
-	rest := payload[10:]
+	r.BudgetBits = binary.BigEndian.Uint64(payload[8:])
+	count := int(binary.BigEndian.Uint16(payload[16:]))
+	rest := payload[memoryStatsHeaderLen:]
 	if len(rest) != count*memoryStatsRowLen {
 		return fmt.Errorf("ofproto: memory-stats wants %d tables, has %d bytes", count, len(rest))
 	}
@@ -674,6 +706,7 @@ func DecodeMemoryStatsReplyInto(r *MemoryStatsReply, payload []byte) error {
 		t.SearchBits = binary.BigEndian.Uint64(rest[6:])
 		t.IndexBits = binary.BigEndian.Uint64(rest[14:])
 		t.ActionBits = binary.BigEndian.Uint64(rest[22:])
+		t.BudgetBits = binary.BigEndian.Uint64(rest[30:])
 		rest = rest[memoryStatsRowLen:]
 	}
 	return nil
@@ -692,11 +725,18 @@ type CacheStatsReply struct {
 	MegaMisses   uint64
 	MegaEntries  uint64
 	MegaMasks    uint64
+	// Pressure-controller activity: shrink and regrow steps taken over
+	// the switch's lifetime, and the current degradation depth (0 =
+	// both tiers at their configured sizes). Entries figures above
+	// reflect any capacity the controller has currently shed.
+	PressureShrinks uint64
+	PressureRegrows uint64
+	PressureLevel   uint64
 }
 
-// cacheStatsLen is the fixed wire width of a cache-stats reply: seven
+// cacheStatsLen is the fixed wire width of a cache-stats reply: ten
 // big-endian u64 counters.
-const cacheStatsLen = 7 * 8
+const cacheStatsLen = 10 * 8
 
 // AppendCacheStatsReply appends the wire form of a cache-stats reply to
 // buf, so per-connection senders can reuse one encode buffer.
@@ -708,6 +748,9 @@ func AppendCacheStatsReply(buf []byte, r *CacheStatsReply) []byte {
 	buf = binary.BigEndian.AppendUint64(buf, r.MegaMisses)
 	buf = binary.BigEndian.AppendUint64(buf, r.MegaEntries)
 	buf = binary.BigEndian.AppendUint64(buf, r.MegaMasks)
+	buf = binary.BigEndian.AppendUint64(buf, r.PressureShrinks)
+	buf = binary.BigEndian.AppendUint64(buf, r.PressureRegrows)
+	buf = binary.BigEndian.AppendUint64(buf, r.PressureLevel)
 	return buf
 }
 
@@ -729,6 +772,9 @@ func DecodeCacheStatsReplyInto(r *CacheStatsReply, payload []byte) error {
 	r.MegaMisses = binary.BigEndian.Uint64(payload[32:])
 	r.MegaEntries = binary.BigEndian.Uint64(payload[40:])
 	r.MegaMasks = binary.BigEndian.Uint64(payload[48:])
+	r.PressureShrinks = binary.BigEndian.Uint64(payload[56:])
+	r.PressureRegrows = binary.BigEndian.Uint64(payload[64:])
+	r.PressureLevel = binary.BigEndian.Uint64(payload[72:])
 	return nil
 }
 
@@ -750,5 +796,89 @@ func DecodeMemoryStatsReply(payload []byte) (*MemoryStatsReply, error) {
 	return r, nil
 }
 
-// EncodeError serialises an error message.
-func EncodeError(err error) []byte { return []byte(err.Error()) }
+// OpenFlow-style error types and codes carried by MsgError payloads.
+// The numbering follows OpenFlow 1.3 (OFPET_* / OFPFMFC_*) so the
+// values read naturally next to a real switch's.
+const (
+	// ErrTypeBadRequest covers malformed or unexpected messages.
+	ErrTypeBadRequest uint16 = 1
+	// ErrTypeFlowModFailed covers flow-mod commands the switch could
+	// not apply.
+	ErrTypeFlowModFailed uint16 = 5
+
+	// ErrCodeUnspecified is the catch-all code under any error type.
+	ErrCodeUnspecified uint16 = 0
+	// ErrCodeTableFull (under ErrTypeFlowModFailed) reports a flow-mod
+	// rejected by memory admission control: committing it would have
+	// grown a table or the process past its configured budget
+	// (OFPFMFC_TABLE_FULL).
+	ErrCodeTableFull uint16 = 1
+)
+
+// SwitchError is a structured error reported by the switch: an
+// OpenFlow-style type/code pair plus the human-readable text. It
+// travels as the MsgError payload [type u16 | code u16 | text] and
+// surfaces on the client as the returned error, so callers can branch
+// on the machine-readable part (errors.As / IsTableFull) while logs
+// keep the text.
+type SwitchError struct {
+	Type uint16
+	Code uint16
+	Text string
+}
+
+// Error formats the switch error.
+func (e *SwitchError) Error() string {
+	return fmt.Sprintf("ofproto: switch error (type %d, code %d): %s", e.Type, e.Code, e.Text)
+}
+
+// IsTableFull reports whether the error is a budget rejection.
+func (e *SwitchError) IsTableFull() bool {
+	return e.Type == ErrTypeFlowModFailed && e.Code == ErrCodeTableFull
+}
+
+// IsTableFull reports whether err (anywhere in its chain) is a switch
+// TABLE_FULL rejection — the signal a controller backs off on instead
+// of retrying.
+func IsTableFull(err error) bool {
+	var se *SwitchError
+	return errors.As(err, &se) && se.IsTableFull()
+}
+
+// errClass maps a switch-side error to its wire type/code. Budget
+// rejections become TABLE_FULL; everything else is a bad request.
+func errClass(err error) (uint16, uint16) {
+	var be *core.BudgetError
+	if errors.As(err, &be) {
+		return ErrTypeFlowModFailed, ErrCodeTableFull
+	}
+	var se *SwitchError
+	if errors.As(err, &se) {
+		return se.Type, se.Code
+	}
+	return ErrTypeBadRequest, ErrCodeUnspecified
+}
+
+// EncodeError serialises an error message: [type u16 | code u16 | text].
+func EncodeError(err error) []byte {
+	t, c := errClass(err)
+	text := err.Error()
+	buf := make([]byte, 0, 4+len(text))
+	buf = binary.BigEndian.AppendUint16(buf, t)
+	buf = binary.BigEndian.AppendUint16(buf, c)
+	return append(buf, text...)
+}
+
+// DecodeError parses a MsgError payload. Payloads too short to carry
+// the type/code prefix (from a pre-v2 peer) decode as an unclassified
+// bad request carrying the raw text.
+func DecodeError(payload []byte) *SwitchError {
+	if len(payload) < 4 {
+		return &SwitchError{Type: ErrTypeBadRequest, Code: ErrCodeUnspecified, Text: string(payload)}
+	}
+	return &SwitchError{
+		Type: binary.BigEndian.Uint16(payload),
+		Code: binary.BigEndian.Uint16(payload[2:]),
+		Text: string(payload[4:]),
+	}
+}

@@ -1,13 +1,17 @@
 package ofproto
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"ofmtl/internal/core"
+	"ofmtl/internal/failpoint"
 	"ofmtl/internal/openflow"
 )
 
@@ -16,28 +20,100 @@ import (
 // lock-free — connections execute in parallel against the pipeline's
 // RCU-style snapshot — while flow-table mutations serialise inside the
 // pipeline's write lock.
+//
+// The wire layer is hardened for unattended operation: handler panics
+// are recovered per connection (one bad message cannot take the switch
+// down), reads and writes carry deadlines, idle peers are probed with
+// echo requests and disconnected when they stop answering, and
+// Shutdown drains in-flight requests before closing.
 type Server struct {
-	mu       sync.Mutex // guards listener
+	mu       sync.Mutex // guards listener and conns
 	pipeline *core.Pipeline
 
 	wg        sync.WaitGroup
 	listener  net.Listener
+	conns     map[net.Conn]struct{}
 	closed    chan struct{}
 	closeOnce sync.Once
+	draining  atomic.Bool
 	logf      func(format string, args ...any)
+
+	readTimeout  time.Duration
+	writeTimeout time.Duration
+
+	accepted  atomic.Uint64
+	active    atomic.Int64
+	panics    atomic.Uint64
+	deadPeers atomic.Uint64
 }
 
-// NewServer wraps a pipeline. logf receives connection-level events; nil
-// discards them.
+// ServerOptions tunes the hardened wire layer. The zero value disables
+// every timeout (reads block forever, no keepalive probing) —
+// byte-compatible with the pre-hardening behaviour.
+type ServerOptions struct {
+	// Logf receives connection-level events; nil discards them.
+	Logf func(format string, args ...any)
+	// ReadTimeout bounds one read from a peer. A peer idle at a frame
+	// boundary for this long is probed with an echo request and
+	// disconnected if another ReadTimeout passes without traffic; a
+	// peer that stalls mid-frame is disconnected outright (the framing
+	// cannot be resumed). 0 disables the deadline and the keepalive.
+	ReadTimeout time.Duration
+	// WriteTimeout bounds one write to a peer; a peer that stops
+	// draining its socket is disconnected rather than wedging the
+	// handler. 0 disables it.
+	WriteTimeout time.Duration
+}
+
+// NewServer wraps a pipeline with default options. logf receives
+// connection-level events; nil discards them.
 func NewServer(p *core.Pipeline, logf func(format string, args ...any)) *Server {
+	return NewServerWithOptions(p, ServerOptions{Logf: logf})
+}
+
+// NewServerWithOptions wraps a pipeline with explicit wire-layer
+// tunables.
+func NewServerWithOptions(p *core.Pipeline, opts ServerOptions) *Server {
+	logf := opts.Logf
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
-	return &Server{pipeline: p, closed: make(chan struct{}), logf: logf}
+	return &Server{
+		pipeline:     p,
+		conns:        make(map[net.Conn]struct{}),
+		closed:       make(chan struct{}),
+		logf:         logf,
+		readTimeout:  opts.ReadTimeout,
+		writeTimeout: opts.WriteTimeout,
+	}
 }
 
-// Serve accepts controller connections until Close is called. It returns
-// after the listener fails or closes.
+// ServerCounters reports the server's connection-level telemetry.
+type ServerCounters struct {
+	// Accepted counts connections accepted over the server's lifetime.
+	Accepted uint64
+	// Active is the number of connections currently being served.
+	Active int64
+	// Panics counts handler panics recovered (the connection survived
+	// and got an error reply).
+	Panics uint64
+	// DeadPeers counts connections dropped by the keepalive: idle past
+	// the read timeout and silent through an echo probe.
+	DeadPeers uint64
+}
+
+// Counters returns the connection telemetry. Lock-free.
+func (s *Server) Counters() ServerCounters {
+	return ServerCounters{
+		Accepted:  s.accepted.Load(),
+		Active:    s.active.Load(),
+		Panics:    s.panics.Load(),
+		DeadPeers: s.deadPeers.Load(),
+	}
+}
+
+// Serve accepts controller connections until Close or Shutdown is
+// called. It returns after the listener fails or closes.
 func (s *Server) Serve(l net.Listener) error {
 	s.mu.Lock()
 	s.listener = l
@@ -61,22 +137,53 @@ func (s *Server) Serve(l net.Listener) error {
 			}
 			return fmt.Errorf("ofproto: accept: %w", err)
 		}
+		if err := failpoint.Inject(failpoint.SiteAccept); err != nil {
+			s.logf("ofproto: accept %s: %v", conn.RemoteAddr(), err)
+			_ = conn.Close()
+			continue
+		}
+		s.accepted.Add(1)
+		s.mu.Lock()
+		select {
+		case <-s.closed:
+			// Close/Shutdown swept the conns map already; a connection
+			// registered now would never be closed. Drop it instead.
+			s.mu.Unlock()
+			_ = conn.Close()
+			continue
+		default:
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
+			defer func() {
+				s.mu.Lock()
+				delete(s.conns, conn)
+				s.mu.Unlock()
+			}()
+			s.active.Add(1)
+			defer s.active.Add(-1)
 			s.serveConn(conn)
 		}()
 	}
 }
 
-// Close stops the listener and waits for in-flight connections. It is
-// idempotent: second and later calls wait for shutdown and return nil.
+// Close stops the listener, disconnects every peer and waits for the
+// handlers. It is idempotent: second and later calls wait for shutdown
+// and return nil. For a drain that lets in-flight requests finish
+// first, use Shutdown.
 func (s *Server) Close() error {
 	var err error
 	s.closeOnce.Do(func() {
+		s.draining.Store(true)
 		close(s.closed)
 		s.mu.Lock()
 		l := s.listener
+		for c := range s.conns {
+			_ = c.Close()
+		}
 		s.mu.Unlock()
 		if l != nil {
 			err = l.Close()
@@ -84,6 +191,133 @@ func (s *Server) Close() error {
 	})
 	s.wg.Wait()
 	return err
+}
+
+// Shutdown gracefully drains the server: it stops accepting, lets every
+// in-flight request run to completion (its reply flushes before the
+// connection closes — a barrier over all connections), then closes the
+// connections. If ctx expires first the remaining connections are
+// closed immediately and ctx's error is returned. Like Close, later
+// calls to either are no-ops that wait for the drain.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.closeOnce.Do(func() {
+		s.draining.Store(true)
+		close(s.closed)
+		s.mu.Lock()
+		l := s.listener
+		// Nudge idle handlers off their blocking reads; serveConn sees
+		// the draining flag and exits cleanly at the frame boundary. A
+		// handler mid-dispatch finishes and flushes its reply first.
+		now := time.Now()
+		for c := range s.conns {
+			_ = c.SetReadDeadline(now)
+		}
+		s.mu.Unlock()
+		if l != nil {
+			_ = l.Close()
+		}
+	})
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		for c := range s.conns {
+			_ = c.Close()
+		}
+		s.mu.Unlock()
+		<-done
+		return ctx.Err()
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer func() {
+		if err := conn.Close(); err != nil && !s.draining.Load() {
+			s.logf("ofproto: closing %s: %v", conn.RemoteAddr(), err)
+		}
+	}()
+	tc := &timeoutConn{
+		Conn:         conn,
+		readTimeout:  s.readTimeout,
+		writeTimeout: s.writeTimeout,
+		inject:       true,
+		draining:     &s.draining,
+	}
+
+	if err := WriteMessage(tc, MsgHello, EncodeHello()); err != nil {
+		s.logf("ofproto: hello to %s: %v", conn.RemoteAddr(), err)
+		return
+	}
+	cs := &connState{}
+	probed := false
+	for {
+		nreadBefore := tc.nread
+		msg, buf, err := ReadMessageBuf(tc, cs.readBuf)
+		cs.readBuf = buf
+		if err != nil {
+			if s.draining.Load() {
+				return
+			}
+			switch {
+			case isTimeout(err) && tc.nread == nreadBefore && !probed:
+				// Idle at a frame boundary: probe before giving up on
+				// the peer.
+				if werr := WriteMessage(tc, MsgEchoRequest, nil); werr != nil {
+					s.logf("ofproto: echo probe to %s: %v", conn.RemoteAddr(), werr)
+					return
+				}
+				probed = true
+				continue
+			case isTimeout(err):
+				// Silent through a probe, or stalled mid-frame (the
+				// framing cannot be resumed either way).
+				s.deadPeers.Add(1)
+				s.logf("ofproto: dead peer %s: %v", conn.RemoteAddr(), err)
+				return
+			}
+			if !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
+				s.logf("ofproto: reading from %s: %v", conn.RemoteAddr(), err)
+			}
+			return
+		}
+		probed = false
+		switch msg.Type {
+		case MsgEchoRequest:
+			if werr := WriteMessage(tc, MsgEchoReply, msg.Payload); werr != nil {
+				return
+			}
+			continue
+		case MsgEchoReply:
+			// A probe answer (any traffic already cleared the probe).
+			continue
+		}
+		if err := s.dispatchRecover(tc, cs, msg); err != nil {
+			s.logf("ofproto: handling %s from %s: %v", msg.Type, conn.RemoteAddr(), err)
+			if werr := WriteMessage(tc, MsgError, EncodeError(err)); werr != nil {
+				return
+			}
+		}
+	}
+}
+
+// dispatchRecover runs one message through the handler, converting a
+// handler panic into an error reply so one poisoned message cannot take
+// down the switch (or even its own connection).
+func (s *Server) dispatchRecover(conn net.Conn, cs *connState, msg Message) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.panics.Add(1)
+			s.logf("ofproto: panic handling %s: %v", msg.Type, r)
+			err = fmt.Errorf("ofproto: internal error handling %s", msg.Type)
+		}
+	}()
+	return s.dispatch(conn, cs, msg)
 }
 
 // connState carries one connection's reusable buffers: the frame read
@@ -107,36 +341,6 @@ type connState struct {
 	// both reused so stats polling is allocation-free in steady state.
 	memTables []core.TableMemory
 	memReply  MemoryStatsReply
-}
-
-func (s *Server) serveConn(conn net.Conn) {
-	defer func() {
-		if err := conn.Close(); err != nil {
-			s.logf("ofproto: closing %s: %v", conn.RemoteAddr(), err)
-		}
-	}()
-
-	if err := WriteMessage(conn, MsgHello, EncodeHello()); err != nil {
-		s.logf("ofproto: hello to %s: %v", conn.RemoteAddr(), err)
-		return
-	}
-	cs := &connState{}
-	for {
-		msg, buf, err := ReadMessageBuf(conn, cs.readBuf)
-		cs.readBuf = buf
-		if err != nil {
-			if !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
-				s.logf("ofproto: reading from %s: %v", conn.RemoteAddr(), err)
-			}
-			return
-		}
-		if err := s.dispatch(conn, cs, msg); err != nil {
-			s.logf("ofproto: handling %s from %s: %v", msg.Type, conn.RemoteAddr(), err)
-			if werr := WriteMessage(conn, MsgError, EncodeError(err)); werr != nil {
-				return
-			}
-		}
-	}
 }
 
 func (s *Server) dispatch(conn net.Conn, cs *connState, msg Message) error {
@@ -219,6 +423,7 @@ func (s *Server) dispatch(conn net.Conn, cs *connState, msg Message) error {
 		ms := s.pipeline.MemoryStatsInto(cs.memTables)
 		cs.memTables = ms.Tables
 		cs.memReply.TotalBits = ms.TotalBits
+		cs.memReply.BudgetBits = ms.BudgetBits
 		cs.memReply.Tables = cs.memReply.Tables[:0]
 		for _, tm := range ms.Tables {
 			cs.memReply.Tables = append(cs.memReply.Tables, TableMemoryStats{
@@ -228,6 +433,7 @@ func (s *Server) dispatch(conn net.Conn, cs *connState, msg Message) error {
 				SearchBits: tm.SearchBits,
 				IndexBits:  tm.IndexBits,
 				ActionBits: tm.ActionBits,
+				BudgetBits: tm.BudgetBits,
 			})
 		}
 		cs.out = BeginFrame(cs.out)
@@ -238,14 +444,18 @@ func (s *Server) dispatch(conn net.Conn, cs *connState, msg Message) error {
 		// serialises against packet or flow-mod traffic.
 		micro := s.pipeline.CacheStats()
 		mega := s.pipeline.MegaflowStats()
+		press := s.pipeline.PressureStats()
 		reply := CacheStatsReply{
-			MicroHits:    micro.Hits,
-			MicroMisses:  micro.Misses,
-			MicroEntries: uint64(micro.Entries),
-			MegaHits:     mega.Hits,
-			MegaMisses:   mega.Misses,
-			MegaEntries:  uint64(mega.Entries),
-			MegaMasks:    uint64(mega.Masks),
+			MicroHits:       micro.Hits,
+			MicroMisses:     micro.Misses,
+			MicroEntries:    uint64(micro.Entries),
+			MegaHits:        mega.Hits,
+			MegaMisses:      mega.Misses,
+			MegaEntries:     uint64(mega.Entries),
+			MegaMasks:       uint64(mega.Masks),
+			PressureShrinks: press.Shrinks,
+			PressureRegrows: press.Regrows,
+			PressureLevel:   press.Level,
 		}
 		cs.out = BeginFrame(cs.out)
 		cs.out = AppendCacheStatsReply(cs.out, &reply)
@@ -330,177 +540,10 @@ func (s *Server) stats() *Stats {
 	st.Txs = tc.Txs
 	st.FlowModCommands = tc.Commands
 	st.RejectedTxs = tc.Rejected
+	st.MemoryBudgetBits = s.pipeline.MemoryBudget()
+	press := s.pipeline.PressureStats()
+	st.PressureShrinks = press.Shrinks
+	st.PressureRegrows = press.Regrows
+	st.PressureLevel = press.Level
 	return st
-}
-
-// Client is a controller-side connection to a switch daemon. A Client
-// serialises its requests over one TCP connection and reuses its encode
-// and read buffers across calls; it is not safe for concurrent use by
-// multiple goroutines (open one Client per goroutine, as the server
-// classifies connections in parallel).
-type Client struct {
-	conn    net.Conn
-	out     []byte // outgoing frame under construction
-	readBuf []byte // incoming frame buffer
-}
-
-// Dial connects to a switch daemon and completes the hello exchange.
-func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("ofproto: dialing %s: %w", addr, err)
-	}
-	c := &Client{conn: conn}
-	msg, err := ReadMessage(conn)
-	if err != nil {
-		_ = conn.Close()
-		return nil, fmt.Errorf("ofproto: awaiting hello: %w", err)
-	}
-	if msg.Type != MsgHello {
-		_ = conn.Close()
-		return nil, fmt.Errorf("ofproto: expected hello, got %s", msg.Type)
-	}
-	if err := DecodeHello(msg.Payload); err != nil {
-		_ = conn.Close()
-		return nil, err
-	}
-	return c, nil
-}
-
-// Close terminates the connection.
-func (c *Client) Close() error { return c.conn.Close() }
-
-// roundTrip sends a request and reads the next reply, surfacing switch
-// errors as Go errors.
-func (c *Client) roundTrip(t MsgType, payload []byte, want MsgType) (Message, error) {
-	if err := WriteMessage(c.conn, t, payload); err != nil {
-		return Message{}, err
-	}
-	msg, err := ReadMessage(c.conn)
-	if err != nil {
-		return Message{}, err
-	}
-	if msg.Type == MsgError {
-		return Message{}, fmt.Errorf("ofproto: switch error: %s", msg.Payload)
-	}
-	if msg.Type != want {
-		return Message{}, fmt.Errorf("ofproto: expected %s, got %s", want, msg.Type)
-	}
-	return msg, nil
-}
-
-// AddFlow installs a flow entry, replacing any installed entry with the
-// same match set and priority.
-func (c *Client) AddFlow(table openflow.TableID, e *openflow.FlowEntry) error {
-	fm := FlowMod{Op: FlowAdd, Table: table, Entry: *e}
-	_, err := c.roundTrip(MsgFlowMod, EncodeFlowMod(&fm), MsgFlowModReply)
-	return err
-}
-
-// DeleteFlow removes the flow entry with the same matches, priority and
-// instructions (the FlowRemoveExact op); deleting a missing entry is an
-// error. For OpenFlow non-strict / strict deletion semantics send
-// FlowDelete / FlowDeleteStrict commands — either as single flow-mods or
-// through SendFlowMods; the op, not the framing, selects the semantics.
-func (c *Client) DeleteFlow(table openflow.TableID, e *openflow.FlowEntry) error {
-	fm := FlowMod{Op: FlowRemoveExact, Table: table, Entry: *e}
-	_, err := c.roundTrip(MsgFlowMod, EncodeFlowMod(&fm), MsgFlowModReply)
-	return err
-}
-
-// SendFlowMods submits a batch of flow-mod commands in one round trip.
-// The switch applies the whole batch as one transaction: every command
-// applies atomically (a failing command rejects and rolls back the
-// batch), one lookup snapshot is published, and the microflow cache is
-// invalidated once. The encode and read buffers are reused across calls,
-// so steady-state batch submission does not re-allocate the wire frames.
-func (c *Client) SendFlowMods(fms []FlowMod) (*FlowModBatchReply, error) {
-	c.out = BeginFrame(c.out)
-	c.out = AppendFlowModBatch(c.out, fms)
-	if err := WriteFrame(c.conn, MsgFlowModBatch, c.out); err != nil {
-		return nil, err
-	}
-	msg, buf, err := ReadMessageBuf(c.conn, c.readBuf)
-	c.readBuf = buf
-	if err != nil {
-		return nil, err
-	}
-	if msg.Type == MsgError {
-		return nil, fmt.Errorf("ofproto: switch error: %s", msg.Payload)
-	}
-	if msg.Type != MsgFlowModBatchReply {
-		return nil, fmt.Errorf("ofproto: expected %s, got %s", MsgFlowModBatchReply, msg.Type)
-	}
-	return DecodeFlowModBatchReply(msg.Payload)
-}
-
-// SendPacket injects a packet header and returns the pipeline result.
-func (c *Client) SendPacket(h *openflow.Header) (*PacketReply, error) {
-	msg, err := c.roundTrip(MsgPacket, EncodePacket(h), MsgPacketReply)
-	if err != nil {
-		return nil, err
-	}
-	return DecodePacketReply(msg.Payload)
-}
-
-// SendPackets injects a batch of packet headers in one round trip; the
-// switch classifies them in parallel through the pipeline's batch path
-// and returns one reply per header, in order. The encode and read
-// buffers are reused across calls, so steady-state batch injection does
-// not re-allocate the wire frames.
-func (c *Client) SendPackets(hs []*openflow.Header) ([]PacketReply, error) {
-	c.out = BeginFrame(c.out)
-	c.out = AppendPacketBatch(c.out, hs)
-	if err := WriteFrame(c.conn, MsgPacketBatch, c.out); err != nil {
-		return nil, err
-	}
-	msg, buf, err := ReadMessageBuf(c.conn, c.readBuf)
-	c.readBuf = buf
-	if err != nil {
-		return nil, err
-	}
-	if msg.Type == MsgError {
-		return nil, fmt.Errorf("ofproto: switch error: %s", msg.Payload)
-	}
-	if msg.Type != MsgPacketBatchReply {
-		return nil, fmt.Errorf("ofproto: expected %s, got %s", MsgPacketBatchReply, msg.Type)
-	}
-	return DecodePacketBatchReply(msg.Payload)
-}
-
-// Stats fetches the switch status report.
-func (c *Client) Stats() (*Stats, error) {
-	msg, err := c.roundTrip(MsgStatsRequest, nil, MsgStatsReply)
-	if err != nil {
-		return nil, err
-	}
-	return DecodeStats(msg.Payload)
-}
-
-// MemoryStats fetches the switch's live per-table, per-backend memory
-// accounting. The switch serves it from lock-free counters, so polling
-// it does not perturb concurrent flow-mod or packet traffic.
-func (c *Client) MemoryStats() (*MemoryStatsReply, error) {
-	msg, err := c.roundTrip(MsgMemoryStatsRequest, nil, MsgMemoryStatsReply)
-	if err != nil {
-		return nil, err
-	}
-	return DecodeMemoryStatsReply(msg.Payload)
-}
-
-// CacheStats fetches the fast-path tiers' hit/miss counters and shapes
-// (microflow exact-match cache and megaflow wildcard tier). Served from
-// lock-free counters on the switch side.
-func (c *Client) CacheStats() (*CacheStatsReply, error) {
-	msg, err := c.roundTrip(MsgCacheStatsRequest, nil, MsgCacheStatsReply)
-	if err != nil {
-		return nil, err
-	}
-	return DecodeCacheStatsReply(msg.Payload)
-}
-
-// Barrier completes when all previously sent messages are processed.
-func (c *Client) Barrier() error {
-	_, err := c.roundTrip(MsgBarrier, nil, MsgBarrierReply)
-	return err
 }
