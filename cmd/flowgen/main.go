@@ -1,30 +1,35 @@
 // Command flowgen synthesises filter sets calibrated to the paper's
-// Tables III and IV (MAC learning, routing) or ClassBench-style 5-tuple
-// sets (ACL), writing them in the repository's text formats. It can also
-// emit packet traces against a generated filter — uniform or
-// Zipf-skewed — and flow-mod churn workloads (add / modify / delete
-// command streams in the flowtext format) that ofctl flow-mods replays
-// against a live switch in batched transactions.
+// Tables III and IV (MAC learning, routing), ClassBench-style 5-tuple
+// sets (ACL), or BGP-shaped destination-prefix sets (LPM), writing them
+// in the repository's text formats. It can also emit packet traces
+// against a generated filter — uniform or Zipf-skewed — and flow-mod
+// churn workloads (add / modify / delete command streams in the
+// flowtext format) that ofctl flow-mods replays against a live switch
+// in batched transactions.
 //
 // Usage:
 //
 //	flowgen -app mac -name gozb > gozb_mac.txt
 //	flowgen -app route -name coza -o coza_route.txt
 //	flowgen -app acl -name acl1 -n 1000 -o acl1.txt
+//	flowgen -app lpm -name feed -n 1000000 -o feed_lpm.txt
 //	flowgen -app mac -all -o filters/        # all 16 filters
 //	flowgen -app mac -name gozb -trace 100000 -zipf 1.1 -o gozb_trace.txt
 //	flowgen -app route -name coza -trace 100000 -zipf-subnets 1.1 -o coza_subnets.txt
 //	flowgen -app mac -name gozb -churn 10000 -o gozb_churn.txt
 //	flowgen -app acl -name acl1 -churn 10000 -backend tss -o tss_churn.txt
+//	flowgen -app lpm -name feed -churn 10000 -backend dir24 -o dir24_churn.txt
 //	flowgen -app mac -name gozb -churn 10000 -budget 4000000 -o pressure_churn.txt
 //
 // With -backend, churn workloads open with a table-options preamble
 // pinning every touched table to the named lookup backend, so `ofctl
 // flow-mods` can verify the live switch runs the scheme the workload was
-// generated to measure. -budget likewise pins the per-table memory
-// budget (in modelled bits) an overload workload expects the switch to
-// enforce — replaying a pressure workload against an unbudgeted switch
-// measures nothing.
+// generated to measure. A pin the named backend can never serve — dir24
+// on anything but the lpm app's single-prefix-field table — fails here,
+// at generation time, rather than on every later replay. -budget
+// likewise pins the per-table memory budget (in modelled bits) an
+// overload workload expects the switch to enforce — replaying a
+// pressure workload against an unbudgeted switch measures nothing.
 package main
 
 import (
@@ -53,9 +58,9 @@ func main() {
 
 func run() error {
 	var (
-		app  = flag.String("app", "mac", "application: mac | route | acl | arp")
+		app  = flag.String("app", "mac", "application: mac | route | acl | arp | lpm")
 		name = flag.String("name", "bbra", "filter name (Tables III/IV names for mac/route)")
-		n    = flag.Int("n", 1000, "rule count (acl/arp only)")
+		n    = flag.Int("n", 1000, "rule count (acl/arp/lpm only)")
 		seed = flag.Uint64("seed", filterset.DefaultSeed, "generation seed")
 		out  = flag.String("o", "", "output file (default stdout); with -all, output directory")
 		all  = flag.Bool("all", false, "generate all 16 filters (mac/route only)")
@@ -183,8 +188,10 @@ func generate(w io.Writer, app, name string, n int, seed uint64) error {
 		return filterset.WriteACL(w, filterset.GenerateACL(name, n, seed))
 	case "arp":
 		return filterset.WriteARP(w, filterset.GenerateARP(name, n, seed))
+	case "lpm":
+		return filterset.WriteLPM(w, filterset.GenerateLPM(name, n, seed))
 	default:
-		return fmt.Errorf("unknown application %q (want mac | route | acl | arp)", app)
+		return fmt.Errorf("unknown application %q (want mac | route | acl | arp | lpm)", app)
 	}
 }
 
@@ -217,8 +224,10 @@ func generateTrace(w io.Writer, app, name string, rules, n, flows int, hit, skew
 		hs = traffic.RouteTrace(f, population, hit, seed)
 	case "acl":
 		hs = traffic.ACLTrace(filterset.GenerateACL(name, rules, seed), population, hit, seed)
+	case "lpm":
+		hs = traffic.LPMTrace(filterset.GenerateLPM(name, rules, seed), population, hit, seed)
 	default:
-		return fmt.Errorf("unknown trace application %q (want mac | route | acl)", app)
+		return fmt.Errorf("unknown trace application %q (want mac | route | acl | lpm)", app)
 	}
 	if skew > 0 {
 		hs = traffic.ZipfMix(hs, n, skew, seed)
@@ -250,6 +259,16 @@ func generateSubnetZipfTrace(w io.Writer, name string, n int, skew float64, seed
 // table-options preamble; a non-zero budget pins the per-table memory
 // budget the same way.
 func generateChurn(w io.Writer, app, name string, rules, n int, seed uint64, backend string, budget uint64) error {
+	if backend != "" {
+		// A pin the backend can never serve fails here, not on every
+		// replay: dir24 only accepts a single-prefix-field table shape,
+		// which of the churn apps only lpm has.
+		for _, fields := range churnTableFields(app) {
+			if !core.BackendSupportsFields(backend, fields) {
+				return fmt.Errorf("backend %q cannot serve the %s workload's table shape %v (dir24 requires a single ipv4 longest-prefix-match field; use -app lpm)", backend, app, fields)
+			}
+		}
+	}
 	pre, leaf, err := churnCommands(app, name, rules, seed)
 	if err != nil {
 		return err
@@ -382,7 +401,40 @@ func churnCommands(app, name string, rules int, seed uint64) (pre, leaf []ofprot
 			leaf = append(leaf, ofproto.FlowMod{Op: ofproto.FlowAdd, Table: 0, Entry: e})
 		}
 		return nil, leaf, nil
+	case "lpm":
+		for _, e := range filterset.GenerateLPM(name, rules, seed).FlowEntries() {
+			leaf = append(leaf, ofproto.FlowMod{Op: ofproto.FlowAdd, Table: 0, Entry: e})
+		}
+		return nil, leaf, nil
 	default:
-		return nil, nil, fmt.Errorf("unknown churn application %q (want mac | route | acl)", app)
+		return nil, nil, fmt.Errorf("unknown churn application %q (want mac | route | acl | lpm)", app)
+	}
+}
+
+// churnTableFields lists the match-field shape of every table a churn
+// workload for the given application touches, mirroring churnCommands'
+// pipeline decomposition. Backend pins are checked against these shapes
+// at generation time.
+func churnTableFields(app string) [][]openflow.FieldID {
+	switch app {
+	case "mac":
+		return [][]openflow.FieldID{
+			{openflow.FieldVLANID},
+			{openflow.FieldMetadata, openflow.FieldEthDst},
+		}
+	case "route":
+		return [][]openflow.FieldID{
+			{openflow.FieldInPort},
+			{openflow.FieldMetadata, openflow.FieldIPv4Dst},
+		}
+	case "acl":
+		return [][]openflow.FieldID{{
+			openflow.FieldIPv4Src, openflow.FieldIPv4Dst,
+			openflow.FieldSrcPort, openflow.FieldDstPort, openflow.FieldIPProto,
+		}}
+	case "lpm":
+		return [][]openflow.FieldID{{openflow.FieldIPv4Dst}}
+	default:
+		return nil
 	}
 }

@@ -14,7 +14,7 @@ import (
 )
 
 func TestGenerateAllApps(t *testing.T) {
-	for _, app := range []string{"mac", "route", "acl", "arp"} {
+	for _, app := range []string{"mac", "route", "acl", "arp", "lpm"} {
 		var buf bytes.Buffer
 		if err := generate(&buf, app, "bbrb", 50, filterset.DefaultSeed); err != nil {
 			t.Fatalf("%s: %v", app, err)
@@ -48,7 +48,7 @@ func TestGeneratedMACOutputParses(t *testing.T) {
 }
 
 func TestGenerateTraceRoundTrips(t *testing.T) {
-	for _, app := range []string{"mac", "route", "acl"} {
+	for _, app := range []string{"mac", "route", "acl", "lpm"} {
 		var buf bytes.Buffer
 		if err := generateTrace(&buf, app, "bbrb", 50, 200, 32, 0.9, 1.1, filterset.DefaultSeed); err != nil {
 			t.Fatalf("%s: %v", app, err)
@@ -189,6 +189,61 @@ func TestGenerateChurn(t *testing.T) {
 	}
 	if err := generateChurn(&bytes.Buffer{}, "bogus", "x", 0, 10, 1, "", 0); err == nil {
 		t.Error("unknown churn app should error")
+	}
+}
+
+// TestGenerateChurnDIR24Shape: a dir24 pin is accepted for the lpm
+// app's single-prefix-field table and rejected at generation time for
+// every other app's shape — a workload no switch could run must not be
+// writable in the first place.
+func TestGenerateChurnDIR24Shape(t *testing.T) {
+	var buf bytes.Buffer
+	if err := generateChurn(&buf, "lpm", "feed", 64, 400, filterset.DefaultSeed, "dir24", 0); err != nil {
+		t.Fatalf("lpm churn with dir24 pin: %v", err)
+	}
+	parsed, err := flowtext.ReadFile(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed.TableOptions) != 1 || parsed.TableOptions[0].Backend != "dir24" {
+		t.Fatalf("table options = %+v, want one dir24 pin", parsed.TableOptions)
+	}
+	if len(parsed.Commands) != 400 {
+		t.Errorf("commands = %d, want 400", len(parsed.Commands))
+	}
+
+	// The lpm workload replays cleanly against a dir24-backed pipeline.
+	p := core.NewPipeline()
+	if _, err := p.AddTable(core.TableConfig{
+		ID:      0,
+		Fields:  []openflow.FieldID{openflow.FieldIPv4Dst},
+		Backend: core.BackendDIR24,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	tx := p.Begin()
+	for i := range parsed.Commands {
+		fm := &parsed.Commands[i]
+		op := core.CmdAdd
+		switch fm.Op {
+		case ofproto.FlowModify:
+			op = core.CmdModify
+		case ofproto.FlowDelete:
+			op = core.CmdDelete
+		case ofproto.FlowDeleteStrict:
+			op = core.CmdDeleteStrict
+		}
+		tx.FlowMod(core.FlowCmd{Op: op, Table: fm.Table, CookieMask: fm.CookieMask, Entry: fm.Entry})
+	}
+	if _, err := tx.Commit(); err != nil {
+		t.Fatalf("replaying lpm churn on dir24: %v", err)
+	}
+
+	for _, app := range []string{"mac", "route", "acl"} {
+		err := generateChurn(&bytes.Buffer{}, app, "bbrb", 64, 100, filterset.DefaultSeed, "dir24", 0)
+		if err == nil || !strings.Contains(err.Error(), "longest-prefix-match") {
+			t.Errorf("%s churn with dir24 pin: err = %v, want prefix-shape rejection", app, err)
+		}
 	}
 }
 

@@ -54,6 +54,7 @@ import (
 	"strings"
 	"time"
 
+	"ofmtl/internal/core"
 	"ofmtl/internal/filterset"
 	"ofmtl/internal/flowtext"
 	"ofmtl/internal/ofproto"
@@ -208,10 +209,18 @@ func doMemory(c *ofproto.Client) error {
 		fmt.Printf("budget: %d bits (%.1f%% used, %d bits headroom)\n",
 			ms.BudgetBits, float64(ms.TotalBits)/float64(ms.BudgetBits)*100, headroom)
 	}
+	// The backend column is as wide as the longest name on display, so
+	// rows stay aligned whatever mix of schemes the switch runs.
+	nameWidth := 0
+	for i := range ms.Tables {
+		if n := len(ms.Tables[i].Backend); n > nameWidth {
+			nameWidth = n
+		}
+	}
 	for i := range ms.Tables {
 		t := &ms.Tables[i]
-		fmt.Printf("  table %d [%-10s] %7d rules  search=%-10d index=%-9d actions=%-8d total=%d bits",
-			t.Table, t.Backend, t.Rules, t.SearchBits, t.IndexBits, t.ActionBits, t.TotalBits())
+		fmt.Printf("  table %d [%-*s] %7d rules  search=%-10d index=%-9d actions=%-8d total=%d bits",
+			t.Table, nameWidth, t.Backend, t.Rules, t.SearchBits, t.IndexBits, t.ActionBits, t.TotalBits())
 		if t.BudgetBits > 0 {
 			fmt.Printf("  budget=%d bits", t.BudgetBits)
 		}
@@ -477,12 +486,26 @@ func checkTableOptions(c *ofproto.Client, opts []flowtext.TableOption) error {
 	for i := range ms.Tables {
 		byTable[ms.Tables[i].Table] = &ms.Tables[i]
 	}
+	var fieldsByTable map[uint8][]openflow.FieldID
 	for _, opt := range opts {
 		got, ok := byTable[uint8(opt.Table)]
 		if !ok {
 			return fmt.Errorf("table-options: switch has no table %d", opt.Table)
 		}
 		if opt.Backend != "" {
+			// Shape first: a pin the backend can never serve is the root
+			// cause, and re-running switchd -backend (the mismatch hint
+			// below) would not fix it — the pipeline falls back to a
+			// generic scheme for unservable shapes.
+			if fieldsByTable == nil {
+				if fieldsByTable, err = tableFields(c); err != nil {
+					return err
+				}
+			}
+			if fs, known := fieldsByTable[uint8(opt.Table)]; known && !core.BackendSupportsFields(opt.Backend, fs) {
+				return fmt.Errorf("table-options: table %d matches [%s], which backend %s can never serve (dir24 requires exactly one 32-bit longest-prefix-match field, e.g. ipv4-dst); fix the workload's table-options, or pass -ignore-table-options",
+					opt.Table, fieldNames(fs), opt.Backend)
+			}
 			if got.Backend != opt.Backend {
 				return fmt.Errorf("table-options: table %d runs backend %s, workload pins %s (re-run switchd -backend %s, or pass -ignore-table-options)",
 					opt.Table, got.Backend, opt.Backend, opt.Backend)
@@ -498,6 +521,43 @@ func checkTableOptions(c *ofproto.Client, opts []flowtext.TableOption) error {
 		}
 	}
 	return nil
+}
+
+// tableFields fetches the live tables' match-field sets, reversing the
+// stats report's comma-joined display-name encoding through the field
+// registry. Names the registry does not know are skipped rather than
+// failing the whole check: an older ofctl stays usable against a newer
+// switch, at the cost of not shape-checking the unknown field.
+func tableFields(c *ofproto.Client) (map[uint8][]openflow.FieldID, error) {
+	st, err := c.Stats()
+	if err != nil {
+		return nil, fmt.Errorf("fetching table fields: %w", err)
+	}
+	byName := make(map[string]openflow.FieldID)
+	for _, spec := range openflow.AllFields() {
+		byName[spec.Name] = spec.ID
+	}
+	byName[openflow.FieldMetadata.String()] = openflow.FieldMetadata
+	out := make(map[uint8][]openflow.FieldID, len(st.Tables))
+	for _, t := range st.Tables {
+		var fs []openflow.FieldID
+		for _, name := range strings.Split(t.Field, ",") {
+			if id, ok := byName[name]; ok {
+				fs = append(fs, id)
+			}
+		}
+		out[t.ID] = fs
+	}
+	return out, nil
+}
+
+// fieldNames renders a field list for error messages.
+func fieldNames(fs []openflow.FieldID) string {
+	names := make([]string, len(fs))
+	for i, f := range fs {
+		names[i] = f.String()
+	}
+	return strings.Join(names, ", ")
 }
 
 func doAddRoute(c *ofproto.Client, args []string) error {

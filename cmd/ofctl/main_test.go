@@ -4,6 +4,7 @@ import (
 	"net"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"ofmtl/internal/core"
@@ -241,6 +242,92 @@ delete-strict 1 prio=1 meta=10 ethdst=00:aa:00:00:00:03
 	}
 	if err := run([]string{"-addr", addr, "flow-mods", "-file", bad}); err == nil {
 		t.Error("bad command file should error")
+	}
+}
+
+// TestDIR24TableOptionsShapeEndToEnd drives the flow-mods table-options
+// shape check against a live switch: a workload pinning dir24 on a
+// table whose match fields the backend can never serve is refused
+// up-front with the prefix-restriction error — not at the first insert
+// — while the same pin on the switch's dir24 prefix table replays
+// cleanly.
+func TestDIR24TableOptionsShapeEndToEnd(t *testing.T) {
+	p := core.NewPipeline()
+	if err := core.AddMACTables(p, &filterset.MACFilter{Name: "empty"}, 0, core.MissPolicy{Kind: core.MissController}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.AddTable(core.TableConfig{
+		ID:      2,
+		Fields:  []openflow.FieldID{openflow.FieldIPv4Dst},
+		Backend: core.BackendDIR24,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := ofproto.NewServer(p, nil)
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(l) }()
+	defer func() {
+		_ = srv.Close()
+		<-done
+	}()
+	addr := l.Addr().String()
+
+	dir := t.TempDir()
+	lpmScript := "table-options 2 backend=dir24\nadd 2 prio=24 ipv4dst=10.1.2.0/24 out=7\nadd 2 prio=32 ipv4dst=10.9.9.9/32 out=8\n"
+	good := filepath.Join(dir, "lpm.txt")
+	if err := os.WriteFile(good, []byte(lpmScript), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-addr", addr, "flow-mods", "-file", good}); err != nil {
+		t.Fatalf("flow-mods with dir24 pin on the prefix table: %v", err)
+	}
+
+	// Table 1 matches (Metadata, EthDst): dir24 can never serve it, and
+	// the refusal must say why rather than suggest re-running switchd.
+	badScript := "table-options 1 backend=dir24\nadd 1 prio=1 meta=10 ethdst=00:aa:00:00:00:01 out=1\n"
+	bad := filepath.Join(dir, "bad.txt")
+	if err := os.WriteFile(bad, []byte(badScript), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err = run([]string{"-addr", addr, "flow-mods", "-file", bad})
+	if err == nil {
+		t.Fatal("flow-mods should refuse a dir24 pin on a non-prefix table")
+	}
+	if !strings.Contains(err.Error(), "longest-prefix-match") {
+		t.Errorf("refusal should explain the prefix restriction, got: %v", err)
+	}
+
+	// The memory report renders the mixed-width backend mix (mbt + the
+	// 5-char dir24 name) without erroring.
+	if err := run([]string{"-addr", addr, "memory"}); err != nil {
+		t.Fatalf("memory: %v", err)
+	}
+
+	// The dir24 table's stats moved under the replayed inserts.
+	c, err := ofproto.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+	ms, err := c.MemoryStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dirTable *ofproto.TableMemoryStats
+	for i := range ms.Tables {
+		if ms.Tables[i].Table == 2 {
+			dirTable = &ms.Tables[i]
+		}
+	}
+	if dirTable == nil || dirTable.Backend != core.BackendDIR24 {
+		t.Fatalf("table 2 not reported as dir24: %+v", ms.Tables)
+	}
+	if dirTable.Rules != 2 || dirTable.SearchBits == 0 || dirTable.IndexBits == 0 {
+		t.Errorf("dir24 stats = %+v, want 2 rules with array and spill bits", dirTable)
 	}
 }
 

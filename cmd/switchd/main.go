@@ -17,8 +17,13 @@
 //
 // -backend selects the lookup scheme tables run (mbt, the paper's
 // multi-bit-trie architecture; tss, tuple space search; lineartcam, the
-// TCAM cost model) when the pipeline layout does not pin one per table;
-// a -pipeline file may pin schemes per table with "backend" properties.
+// TCAM cost model; dir24, the DIR-24-8 flat array for single-field IPv4
+// prefix tables) when the pipeline layout does not pin one per table; a
+// -pipeline file may pin schemes per table with "backend" properties. A
+// default of dir24 applies only to tables shaped as a single 32-bit
+// longest-prefix-match field — other tables fall back to mbt, since a
+// process-wide default is advisory; an explicit per-table pin on an
+// unservable shape is an error.
 // -memlog logs the pipeline's live per-table memory accounting on an
 // interval; the same figures are served over the wire as the
 // memory-stats message (ofctl memory), read from lock-free counters that
@@ -94,7 +99,7 @@ func run() error {
 		workers  = flag.Int("workers", 0, "goroutines per packet batch (0 = GOMAXPROCS, 1 = sequential)")
 		cacheSz  = flag.Int("cache", 1<<16, "microflow cache entries (0 = disable the fast path)")
 		megaSz   = flag.Int("megaflow", 1<<14, "megaflow (wildcard) cache entries (0 = disable the tier)")
-		backend  = flag.String("backend", "", "default per-table lookup backend: mbt | tss | lineartcam")
+		backend  = flag.String("backend", "", "default per-table lookup backend: mbt | tss | lineartcam | dir24 (dir24 applies only to single-field IPv4 prefix tables; others fall back to mbt)")
 		memlog   = flag.Duration("memlog", 0, "interval for periodic memory-accounting logs (0 = disabled)")
 		budget   = flag.Uint64("membudget", 0, "process-wide memory budget in modelled bits (0 = unlimited); over-budget flow-mods are rejected TABLE_FULL")
 		readTO   = flag.Duration("read-timeout", time.Minute, "per-read deadline and keepalive probe interval (0 = disabled)")

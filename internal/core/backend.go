@@ -45,6 +45,13 @@ const (
 	// ternary array searched linearly in software (hardware compares all
 	// rows in parallel), with range matches expanded into prefix sets.
 	BackendLinearTCAM = "lineartcam"
+	// BackendDIR24 is the DIR-24-8 dense-array LPM scheme: a 2^24-slot
+	// direct array indexed by the top 24 address bits plus 256-entry
+	// spill chunks for longer prefixes — O(1) lookups bought with a
+	// large constant array bill. Shape-restricted: it serves only
+	// tables whose field set is exactly one 32-bit LPM field (see
+	// BackendSupportsFields).
+	BackendDIR24 = "dir24"
 )
 
 // EnvBackend is the environment variable naming the default backend for
@@ -62,7 +69,7 @@ const EnvMegaflow = "OFMTL_MEGAFLOW"
 
 // BackendKinds returns the recognised backend kind names, sorted.
 func BackendKinds() []string {
-	return []string{BackendLinearTCAM, BackendMBT, BackendTSS}
+	return []string{BackendDIR24, BackendLinearTCAM, BackendMBT, BackendTSS}
 }
 
 // ValidBackend reports whether kind names a registered backend — the
@@ -70,11 +77,26 @@ func BackendKinds() []string {
 // SetDefaultBackend).
 func ValidBackend(kind string) bool {
 	switch kind {
-	case BackendMBT, BackendTSS, BackendLinearTCAM:
+	case BackendMBT, BackendTSS, BackendLinearTCAM, BackendDIR24:
 		return true
 	default:
 		return false
 	}
+}
+
+// BackendSupportsFields reports whether the named backend can serve a
+// table with the given field set. The generic schemes (mbt, tss,
+// lineartcam) serve any field set; dir24 requires exactly one 32-bit
+// longest-prefix-match field. Selection surfaces that apply a
+// process-wide default (SetDefaultBackend, $OFMTL_BACKEND, switchd
+// -backend) consult this to fall back to mbt on unsupported tables;
+// an explicit per-table pin skips the check and fails at config time
+// instead.
+func BackendSupportsFields(kind string, fields []openflow.FieldID) bool {
+	if kind == BackendDIR24 {
+		return dir24SupportsFields(fields)
+	}
+	return true
 }
 
 // Backend is one table's lookup scheme: the data-plane structures behind
@@ -201,6 +223,8 @@ func newBackend(kind string, cfg TableConfig) (Backend, error) {
 		return newTSSBackend(cfg), nil
 	case BackendLinearTCAM:
 		return newTCAMBackend(cfg), nil
+	case BackendDIR24:
+		return newDIR24Backend(cfg)
 	default:
 		return nil, fmt.Errorf("core: table %d: unknown backend %q (want %v)", cfg.ID, kind, BackendKinds())
 	}

@@ -1,0 +1,686 @@
+package core
+
+import (
+	"fmt"
+
+	"ofmtl/internal/memmodel"
+	"ofmtl/internal/openflow"
+)
+
+// dir24Backend is the DIR-24-8 dense-array LPM scheme (Gupta, Lin,
+// McKeown, "Routing Lookups in Hardware at Memory Access Speeds"),
+// promoted to a full mutation-capable, clone-safe backend: a flat array
+// of 2^24 slots indexed directly by the top 24 bits of the packet's
+// address answers most lookups in one read, and slots covered by any
+// prefix longer than /24 point at a 256-entry spill chunk indexed by the
+// low 8 bits — two reads worst case, no trie walk, no hashing. It is
+// the raw-speed extreme of the paper's memory/lookup tradeoff: the
+// array's cost is a large constant (2^24 x 32 bits, ~537 Mbit as
+// modelled) that buys O(1) classification regardless of rule count,
+// where mbt's walk and tss's tuple probing grow with table structure.
+//
+// The scheme is shape-restricted: it serves exactly one 32-bit
+// longest-prefix-match field (ipv4-src/dst, arp-spa/tpa). Tables with
+// any other field set are rejected at construction; BackendSupportsFields
+// is the predicate every selection surface consults (the pipeline falls
+// back to mbt when a process-wide default names dir24 for a table it
+// cannot serve — only an explicit per-table pin is a hard error).
+//
+// Winner semantics match the other schemes exactly: each slot stores the
+// entry that would win a priority/seq tie-break among every installed
+// entry whose prefix contains the slot's addresses — NOT the longest
+// prefix. (The repo's workloads encode LPM as priority=prefix length,
+// so priority order subsumes longest-prefix order when callers want it.)
+//
+// Cloning is chunked copy-on-write: the 2^24 slot array is 4096 chunks
+// of 4096 slots, and a Clone copies only the chunk-pointer directory
+// (32 KiB) while both sides mark every chunk shared; the first writer of
+// a chunk copies those 16 KiB privately. Spill chunks and the entry
+// arena follow the same protocol, so a Tx commit never copies the full
+// 64 MiB array and published snapshots stay immutable under churn.
+type dir24Backend struct {
+	cfg   TableConfig
+	field openflow.FieldID
+
+	// tbl is the 2^24-slot direct table as 4096 lazily allocated chunks;
+	// a nil chunk is all-empty. Slot encoding: 0 = no entry,
+	// dir24SpillFlag|spillIndex = spilled slot, else entry ref (arena
+	// index + 1).
+	tbl       []*dir24TblChunk
+	tblShared []bool
+
+	// spill holds the 256-entry chunks of slots covered by /25../32
+	// prefixes; spillFree recycles freed indices so slot-stored spill
+	// pointers stay dense.
+	spill       []*dir24Spill
+	spillShared []bool
+	spillFree   []uint32
+	liveSpills  int
+
+	// arena resolves entry refs to installed entries; refs are recycled
+	// through arenaFree, and chunks follow the same copy-on-write
+	// protocol as tbl so recycling never mutates memory a clone reads.
+	arena       []*dir24EntryChunk
+	arenaShared []bool
+	arenaFree   []uint32
+	arenaNext   uint32
+
+	// buckets is the control-plane index keyed by (plen, prefix value):
+	// every installed entry, in installation order. Removals recompute
+	// displaced winners from it; lookups never touch it.
+	buckets map[uint64][]*dir24Entry
+
+	nextSeq uint64
+	rules   int
+
+	// Incremental memory accounting so Stats is O(1): the direct array
+	// is a constant bill, spillBits tracks live spill chunks, actionBits
+	// one modelled action row per rule.
+	spillBits  uint64
+	actionBits uint64
+}
+
+const (
+	// dir24SlotBits is the modelled width of one table slot (an entry
+	// ref or a spill pointer) — the classic scheme's 32-bit next-hop
+	// word, and exactly what the implementation stores.
+	dir24SlotBits = 32
+	// dir24Slots is the direct table's depth: one slot per /24.
+	dir24Slots = 1 << 24
+	// dir24ChunkShift sizes the copy-on-write granularity: 4096 slots
+	// (16 KiB) per chunk, 4096 chunks.
+	dir24ChunkShift = 12
+	dir24ChunkSlots = 1 << dir24ChunkShift
+	dir24NumChunks  = dir24Slots / dir24ChunkSlots
+	// dir24SpillSlots is the second-level fan-out: one entry per low
+	// byte of the address.
+	dir24SpillSlots = 256
+	// dir24SpillFlag marks a slot whose value is a spill-chunk index
+	// rather than an entry ref.
+	dir24SpillFlag = uint32(1) << 31
+)
+
+type dir24TblChunk [dir24ChunkSlots]uint32
+
+type dir24EntryChunk [dir24ChunkSlots]*dir24Entry
+
+// dir24Spill is one spilled slot's 256-entry table. longs counts the
+// live /25..32 entries covering the slot; when it reaches zero the chunk
+// is freed and the slot reverts to a direct ref.
+type dir24Spill struct {
+	entries [dir24SpillSlots]uint32
+	longs   int
+}
+
+// dir24Entry is one installed rule: the canonical entry, its prefix
+// interpretation, its installation sequence (the priority tie-breaker)
+// and its arena ref (what slots store).
+type dir24Entry struct {
+	seq   uint64
+	ref   uint32
+	val   uint32 // prefix value, masked to plen
+	plen  int    // 0..32; exact matches are /32, wildcards /0
+	entry openflow.FlowEntry
+}
+
+// dir24SupportsFields reports whether a table field set fits the
+// scheme: exactly one 32-bit longest-prefix-match field.
+func dir24SupportsFields(fields []openflow.FieldID) bool {
+	return len(fields) == 1 &&
+		fields[0].Bits() == 32 &&
+		fields[0].Method() == openflow.LongestPrefixMatch
+}
+
+// newDIR24Backend builds a DIR-24-8 backend, rejecting table shapes the
+// flat array cannot serve.
+func newDIR24Backend(cfg TableConfig) (*dir24Backend, error) {
+	if !dir24SupportsFields(cfg.Fields) {
+		names := make([]string, 0, len(cfg.Fields))
+		for _, f := range cfg.Fields {
+			names = append(names, f.String())
+		}
+		return nil, fmt.Errorf("core: table %d: backend dir24 requires exactly one 32-bit longest-prefix-match field (e.g. ipv4-dst), got %v", cfg.ID, names)
+	}
+	return &dir24Backend{
+		cfg:       cfg,
+		field:     cfg.Fields[0],
+		tbl:       make([]*dir24TblChunk, dir24NumChunks),
+		tblShared: make([]bool, dir24NumChunks),
+		buckets:   make(map[uint64][]*dir24Entry),
+	}, nil
+}
+
+// Kind implements Backend.
+func (b *dir24Backend) Kind() string { return BackendDIR24 }
+
+// dir24Mask returns the 32-bit prefix mask of length plen.
+func dir24Mask(plen int) uint32 {
+	if plen <= 0 {
+		return 0
+	}
+	return ^uint32(0) << (32 - uint(plen))
+}
+
+// dir24BucketKey keys the control-plane index on (plen, masked value).
+func dir24BucketKey(val uint32, plen int) uint64 {
+	return uint64(plen)<<32 | uint64(val)
+}
+
+// prefixOf interprets an entry's single-field match as (value, length).
+// Wildcards and absent matches are the /0 default; exact values are /32.
+func (b *dir24Backend) prefixOf(e *openflow.FlowEntry) (val uint32, plen int) {
+	m, ok := e.Match(b.field)
+	if !ok || m.IsWildcard() {
+		return 0, 0
+	}
+	switch m.Kind {
+	case openflow.MatchExact:
+		return uint32(m.Value.Lo), 32
+	case openflow.MatchPrefix:
+		return uint32(m.Value.Lo) & dir24Mask(m.PrefixLen), m.PrefixLen
+	default:
+		// checkFieldKinds rejects other kinds before this runs.
+		return 0, 0
+	}
+}
+
+// dir24Better reports whether candidate wins over the current best
+// (which may be nil): higher priority first, earlier installation on
+// ties — identical to tssBetter and the mbt crossproduct ordering.
+func dir24Better(best, cand *dir24Entry) bool {
+	if best == nil {
+		return true
+	}
+	if cand.entry.Priority != best.entry.Priority {
+		return cand.entry.Priority > best.entry.Priority
+	}
+	return cand.seq < best.seq
+}
+
+// --- copy-on-write accessors -----------------------------------------
+
+// tblChunkForWrite returns the chunk holding slot range ci, privately
+// owned: nil chunks are allocated, shared chunks copied first.
+func (b *dir24Backend) tblChunkForWrite(ci uint32) *dir24TblChunk {
+	c := b.tbl[ci]
+	if c == nil {
+		c = new(dir24TblChunk)
+		b.tbl[ci] = c
+		b.tblShared[ci] = false
+		return c
+	}
+	if b.tblShared[ci] {
+		cp := new(dir24TblChunk)
+		*cp = *c
+		b.tbl[ci] = cp
+		b.tblShared[ci] = false
+		return cp
+	}
+	return c
+}
+
+// slotGet reads one direct-table slot.
+func (b *dir24Backend) slotGet(idx uint32) uint32 {
+	c := b.tbl[idx>>dir24ChunkShift]
+	if c == nil {
+		return 0
+	}
+	return c[idx&(dir24ChunkSlots-1)]
+}
+
+// slotSet writes one direct-table slot through the COW protocol.
+func (b *dir24Backend) slotSet(idx, v uint32) {
+	b.tblChunkForWrite(idx >> dir24ChunkShift)[idx&(dir24ChunkSlots-1)] = v
+}
+
+// spillForWrite returns spill chunk si privately owned.
+func (b *dir24Backend) spillForWrite(si uint32) *dir24Spill {
+	sp := b.spill[si]
+	if b.spillShared[si] {
+		cp := new(dir24Spill)
+		*cp = *sp
+		b.spill[si] = cp
+		b.spillShared[si] = false
+		return cp
+	}
+	return sp
+}
+
+// allocSpill claims a spill index, recycling freed ones. The fresh
+// chunk replaces whatever pointer sat at a recycled index, so clones
+// still referencing the old chunk are untouched.
+func (b *dir24Backend) allocSpill() uint32 {
+	sp := new(dir24Spill)
+	if n := len(b.spillFree); n > 0 {
+		si := b.spillFree[n-1]
+		b.spillFree = b.spillFree[:n-1]
+		b.spill[si] = sp
+		b.spillShared[si] = false
+		return si
+	}
+	b.spill = append(b.spill, sp)
+	b.spillShared = append(b.spillShared, false)
+	return uint32(len(b.spill) - 1)
+}
+
+// entryOf resolves a slot ref (0 = none).
+func (b *dir24Backend) entryOf(ref uint32) *dir24Entry {
+	if ref == 0 {
+		return nil
+	}
+	return b.arena[(ref-1)>>dir24ChunkShift][(ref-1)&(dir24ChunkSlots-1)]
+}
+
+// dir24Ref maps an entry (possibly nil) to its slot encoding.
+func dir24Ref(ent *dir24Entry) uint32 {
+	if ent == nil {
+		return 0
+	}
+	return ent.ref
+}
+
+// arenaChunkForWrite returns arena chunk ci privately owned.
+func (b *dir24Backend) arenaChunkForWrite(ci uint32) *dir24EntryChunk {
+	c := b.arena[ci]
+	if c == nil {
+		c = new(dir24EntryChunk)
+		b.arena[ci] = c
+		b.arenaShared[ci] = false
+		return c
+	}
+	if b.arenaShared[ci] {
+		cp := new(dir24EntryChunk)
+		*cp = *c
+		b.arena[ci] = cp
+		b.arenaShared[ci] = false
+		return cp
+	}
+	return c
+}
+
+// allocEntry places ent in the arena and assigns its ref.
+func (b *dir24Backend) allocEntry(ent *dir24Entry) {
+	var idx uint32
+	if n := len(b.arenaFree); n > 0 {
+		idx = b.arenaFree[n-1]
+		b.arenaFree = b.arenaFree[:n-1]
+	} else {
+		idx = b.arenaNext
+		b.arenaNext++
+	}
+	ci := idx >> dir24ChunkShift
+	for int(ci) >= len(b.arena) {
+		b.arena = append(b.arena, nil)
+		b.arenaShared = append(b.arenaShared, false)
+	}
+	b.arenaChunkForWrite(ci)[idx&(dir24ChunkSlots-1)] = ent
+	ent.ref = idx + 1
+}
+
+// freeEntry recycles a ref after every slot referencing it was rewritten.
+func (b *dir24Backend) freeEntry(ref uint32) {
+	idx := ref - 1
+	b.arenaChunkForWrite(idx >> dir24ChunkShift)[idx&(dir24ChunkSlots-1)] = nil
+	b.arenaFree = append(b.arenaFree, idx)
+}
+
+// --- winner recomputation --------------------------------------------
+
+// bestFor returns the winning entry for one full 32-bit address: the
+// priority/seq best across the buckets of every prefix length covering
+// it (33 map probes, control-plane only).
+func (b *dir24Backend) bestFor(addr uint32) *dir24Entry {
+	var best *dir24Entry
+	for plen := 0; plen <= 32; plen++ {
+		for _, ent := range b.buckets[dir24BucketKey(addr&dir24Mask(plen), plen)] {
+			if dir24Better(best, ent) {
+				best = ent
+			}
+		}
+	}
+	return best
+}
+
+// bestShort returns the winning /0../24 entry for a direct slot. Valid
+// only while no long entry covers the slot (slot not spilled): every
+// short entry covering one address of the slot covers all 256.
+func (b *dir24Backend) bestShort(idx uint32) *dir24Entry {
+	addr := idx << 8
+	var best *dir24Entry
+	for plen := 0; plen <= 24; plen++ {
+		for _, ent := range b.buckets[dir24BucketKey(addr&dir24Mask(plen), plen)] {
+			if dir24Better(best, ent) {
+				best = ent
+			}
+		}
+	}
+	return best
+}
+
+// paint re-applies one installed entry to the direct slots [lo, hi] —
+// the removal repaint primitive, mirroring Insert's painting. Short
+// entries contend for every covered slot in the range (descending into
+// spill chunks); long entries contend for their spill addresses when
+// their slot lies in the range.
+func (b *dir24Backend) paint(o *dir24Entry, lo, hi uint32) {
+	if o.plen <= 24 {
+		olo := o.val >> 8
+		ohi := olo + (uint32(1)<<(24-uint(o.plen)) - 1)
+		if olo < lo {
+			olo = lo
+		}
+		if ohi > hi {
+			ohi = hi
+		}
+		for idx := olo; idx <= ohi; idx++ {
+			v := b.slotGet(idx)
+			if v&dir24SpillFlag != 0 {
+				sp := b.spill[v&^dir24SpillFlag]
+				var w *dir24Spill
+				for a := range sp.entries {
+					if dir24Better(b.entryOf(sp.entries[a]), o) {
+						if w == nil {
+							w = b.spillForWrite(v &^ dir24SpillFlag)
+							sp = w
+						}
+						w.entries[a] = o.ref
+					}
+				}
+			} else if dir24Better(b.entryOf(v), o) {
+				b.slotSet(idx, o.ref)
+			}
+		}
+		return
+	}
+	idx := o.val >> 8
+	if idx < lo || idx > hi {
+		return
+	}
+	// A live long entry's slot is spilled by invariant.
+	sp := b.spillForWrite(b.slotGet(idx) &^ dir24SpillFlag)
+	aLo := o.val & 0xFF
+	aHi := aLo + (uint32(1)<<(32-uint(o.plen)) - 1)
+	for a := aLo; a <= aHi; a++ {
+		if dir24Better(b.entryOf(sp.entries[a]), o) {
+			sp.entries[a] = o.ref
+		}
+	}
+}
+
+// ensureSpill converts a direct slot to a spilled one (seeding every
+// sub-entry with the current direct winner) or returns the existing
+// chunk writable.
+func (b *dir24Backend) ensureSpill(idx uint32) *dir24Spill {
+	v := b.slotGet(idx)
+	if v&dir24SpillFlag != 0 {
+		return b.spillForWrite(v &^ dir24SpillFlag)
+	}
+	si := b.allocSpill()
+	sp := b.spill[si]
+	if v != 0 {
+		for a := range sp.entries {
+			sp.entries[a] = v
+		}
+	}
+	b.slotSet(idx, dir24SpillFlag|si)
+	b.liveSpills++
+	b.spillBits += dir24SpillSlots * dir24SlotBits
+	return sp
+}
+
+// --- Backend mutation ------------------------------------------------
+
+// Insert implements Backend. A /0../24 prefix updates the winner of
+// every covered direct slot (descending into existing spill chunks); a
+// /25../32 prefix spills its one slot and updates the covered sub-range.
+func (b *dir24Backend) Insert(e *openflow.FlowEntry) error {
+	if err := checkFieldKinds(b.cfg.ID, e); err != nil {
+		return err
+	}
+	val, plen := b.prefixOf(e)
+	ent := &dir24Entry{seq: b.nextSeq, val: val, plen: plen, entry: *e}
+	b.allocEntry(ent)
+	key := dir24BucketKey(val, plen)
+	b.buckets[key] = append(b.buckets[key], ent)
+
+	if plen <= 24 {
+		lo := val >> 8
+		hi := lo + (uint32(1)<<(24-uint(plen)) - 1)
+		for idx := lo; idx <= hi; idx++ {
+			v := b.slotGet(idx)
+			if v&dir24SpillFlag != 0 {
+				sp := b.spillForWrite(v &^ dir24SpillFlag)
+				for a := range sp.entries {
+					if dir24Better(b.entryOf(sp.entries[a]), ent) {
+						sp.entries[a] = ent.ref
+					}
+				}
+			} else if dir24Better(b.entryOf(v), ent) {
+				b.slotSet(idx, ent.ref)
+			}
+		}
+	} else {
+		sp := b.ensureSpill(val >> 8)
+		aLo := val & 0xFF
+		aHi := aLo + (uint32(1)<<(32-uint(plen)) - 1)
+		for a := aLo; a <= aHi; a++ {
+			if dir24Better(b.entryOf(sp.entries[a]), ent) {
+				sp.entries[a] = ent.ref
+			}
+		}
+		sp.longs++
+	}
+
+	b.nextSeq++
+	b.rules++
+	b.actionBits += memmodel.ActionEntryBits
+	return nil
+}
+
+// Remove implements Backend: uninstall the earliest-installed entry
+// with the same canonical identity, recomputing the winner of every
+// address the removed entry held.
+func (b *dir24Backend) Remove(e *openflow.FlowEntry) error {
+	val, plen := b.prefixOf(e)
+	key := dir24BucketKey(val, plen)
+	bucket := b.buckets[key]
+	// Buckets append on insert, so the first identity match is the
+	// earliest installed.
+	found := -1
+	for i, ent := range bucket {
+		if entryIdentityEqual(&ent.entry, e) {
+			found = i
+			break
+		}
+	}
+	if found < 0 {
+		return fmt.Errorf("core: table %d remove: entry not installed", b.cfg.ID)
+	}
+	ent := bucket[found]
+	bucket = append(bucket[:found], bucket[found+1:]...)
+	if len(bucket) == 0 {
+		delete(b.buckets, key)
+	} else {
+		b.buckets[key] = bucket
+	}
+
+	if plen <= 24 {
+		// Clear-then-repaint: first erase the removed ref from every slot
+		// (and spill address) it won, then re-paint every surviving entry
+		// intersecting the range, exactly as Insert painted it. Winner
+		// selection is a max under the (priority, seq) total order, so
+		// pairwise better() in any paint order converges — and the cost
+		// is the covered range plus the overlaps, not a per-slot scan of
+		// every prefix length.
+		lo := val >> 8
+		hi := lo + (uint32(1)<<(24-uint(plen)) - 1)
+		for idx := lo; idx <= hi; idx++ {
+			v := b.slotGet(idx)
+			if v&dir24SpillFlag != 0 {
+				si := v &^ dir24SpillFlag
+				sp := b.spill[si]
+				var w *dir24Spill
+				for a := uint32(0); a < dir24SpillSlots; a++ {
+					if sp.entries[a] != ent.ref {
+						continue
+					}
+					if w == nil {
+						w = b.spillForWrite(si)
+						sp = w
+					}
+					w.entries[a] = 0
+				}
+			} else if v == ent.ref {
+				b.slotSet(idx, 0)
+			}
+		}
+		for _, bucket := range b.buckets {
+			for _, o := range bucket {
+				b.paint(o, lo, hi)
+			}
+		}
+	} else {
+		idx := val >> 8
+		si := b.slotGet(idx) &^ dir24SpillFlag
+		sp := b.spillForWrite(si)
+		aLo := val & 0xFF
+		aHi := aLo + (uint32(1)<<(32-uint(plen)) - 1)
+		for a := aLo; a <= aHi; a++ {
+			if sp.entries[a] == ent.ref {
+				sp.entries[a] = dir24Ref(b.bestFor(idx<<8 | a))
+			}
+		}
+		sp.longs--
+		if sp.longs == 0 {
+			// Last long prefix gone: the slot collapses back to a direct
+			// ref and the chunk is recycled, so the accounting (and the
+			// drift test's from-scratch replay) sees the spill disappear.
+			b.slotSet(idx, dir24Ref(b.bestShort(idx)))
+			b.spillFree = append(b.spillFree, si)
+			b.liveSpills--
+			b.spillBits -= dir24SpillSlots * dir24SlotBits
+		}
+	}
+
+	b.freeEntry(ent.ref)
+	b.rules--
+	b.actionBits -= memmodel.ActionEntryBits
+	return nil
+}
+
+// --- Backend lookup --------------------------------------------------
+
+// Lookup implements Backend: one direct-array read, plus one spill read
+// for slots covered by >/24 prefixes. O(1) and allocation-free.
+func (b *dir24Backend) Lookup(h *openflow.Header) (MatchResult, bool) {
+	addr := uint32(h.Get(b.field).Lo)
+	idx := addr >> 8
+	var ref uint32
+	if c := b.tbl[idx>>dir24ChunkShift]; c != nil {
+		ref = c[idx&(dir24ChunkSlots-1)]
+	}
+	if ref&dir24SpillFlag != 0 {
+		ref = b.spill[ref&^dir24SpillFlag].entries[addr&0xFF]
+	}
+	if ref == 0 {
+		return MatchResult{}, false
+	}
+	ent := b.arena[(ref-1)>>dir24ChunkShift][(ref-1)&(dir24ChunkSlots-1)]
+	return MatchResult{Instructions: ent.entry.Instructions, Priority: ent.entry.Priority}, true
+}
+
+// LookupTraced implements Backend. The direct read consults exactly the
+// top 24 bits of the field — two headers agreeing on them land on the
+// same slot and, when it is direct, the same outcome. A spilled slot
+// additionally consults the low byte, so the full 32 bits are marked.
+func (b *dir24Backend) LookupTraced(h *openflow.Header, tr *flowMask) (MatchResult, bool) {
+	tr.orField(b.field, 24)
+	addr := uint32(h.Get(b.field).Lo)
+	idx := addr >> 8
+	var ref uint32
+	if c := b.tbl[idx>>dir24ChunkShift]; c != nil {
+		ref = c[idx&(dir24ChunkSlots-1)]
+	}
+	if ref&dir24SpillFlag != 0 {
+		tr.orFieldFull(b.field)
+		ref = b.spill[ref&^dir24SpillFlag].entries[addr&0xFF]
+	}
+	if ref == 0 {
+		return MatchResult{}, false
+	}
+	ent := b.arena[(ref-1)>>dir24ChunkShift][(ref-1)&(dir24ChunkSlots-1)]
+	return MatchResult{Instructions: ent.entry.Instructions, Priority: ent.entry.Priority}, true
+}
+
+// --- Backend snapshotting and accounting ------------------------------
+
+// Clone implements Backend: copy the chunk directories and mark every
+// chunk shared on both sides; whichever side writes a chunk first copies
+// it. Entries are immutable once installed and shared outright. The
+// control-plane buckets are deep-copied (slice per key) so the clone is
+// a fully independent backend, per the Backend contract.
+func (b *dir24Backend) Clone() Backend {
+	markShared := func(flags []bool) []bool {
+		cp := make([]bool, len(flags))
+		for i := range flags {
+			flags[i] = true
+			cp[i] = true
+		}
+		return cp
+	}
+	c := &dir24Backend{
+		cfg:        b.cfg,
+		field:      b.field,
+		liveSpills: b.liveSpills,
+		arenaNext:  b.arenaNext,
+		nextSeq:    b.nextSeq,
+		rules:      b.rules,
+		spillBits:  b.spillBits,
+		actionBits: b.actionBits,
+	}
+	c.tbl = append([]*dir24TblChunk(nil), b.tbl...)
+	c.tblShared = markShared(b.tblShared)
+	c.spill = append([]*dir24Spill(nil), b.spill...)
+	c.spillShared = markShared(b.spillShared)
+	c.spillFree = append([]uint32(nil), b.spillFree...)
+	c.arena = append([]*dir24EntryChunk(nil), b.arena...)
+	c.arenaShared = markShared(b.arenaShared)
+	c.arenaFree = append([]uint32(nil), b.arenaFree...)
+	c.buckets = make(map[uint64][]*dir24Entry, len(b.buckets))
+	for k, v := range b.buckets {
+		c.buckets[k] = append([]*dir24Entry(nil), v...)
+	}
+	return c
+}
+
+// Stats implements Backend. The direct array is billed at its full
+// provisioned size — that constant is the scheme's defining cost — and
+// live spill chunks land in the index bucket (the second-level
+// directory), one modelled action row per rule.
+func (b *dir24Backend) Stats() BackendStats {
+	return BackendStats{
+		SearchBits: dir24Slots * dir24SlotBits,
+		IndexBits:  b.spillBits,
+		ActionBits: b.actionBits,
+	}
+}
+
+// AddMemory implements Backend; the component totals equal Stats()
+// exactly (ofctl memory cross-checks the two surfaces).
+func (b *dir24Backend) AddMemory(r *memmodel.SystemReport, prefix string) {
+	r.Add(prefix+"/dir24/tbl24", dir24Slots, dir24SlotBits)
+	r.AddBits(prefix+"/dir24/tbllong", int(b.spillBits))
+	r.AddBits(prefix+"/dir24/actions", int(b.actionBits))
+}
+
+// Spills returns the live spill-chunk count (tests and tooling).
+func (b *dir24Backend) Spills() int { return b.liveSpills }
+
+// AccountingCheckpoint implements Backend. The dir24 accounting is
+// fully reversible under Insert/Remove — spill chunks are freed the
+// moment their last long prefix goes, and the array bill is constant —
+// so rejected transactions need nothing restored.
+func (b *dir24Backend) AccountingCheckpoint() BackendCheckpoint { return nil }
+
+// RestoreAccounting implements Backend (no-op; see AccountingCheckpoint).
+func (b *dir24Backend) RestoreAccounting(BackendCheckpoint) {}

@@ -1,0 +1,647 @@
+package core
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"ofmtl/internal/bitops"
+	"ofmtl/internal/openflow"
+	"ofmtl/internal/xrand"
+)
+
+// lpmTableConfig is the table shape dir24 serves: exactly one 32-bit
+// LPM field.
+func lpmTableConfig() TableConfig {
+	return TableConfig{
+		ID:     0,
+		Fields: []openflow.FieldID{openflow.FieldIPv4Dst},
+	}
+}
+
+// backendTableConfig returns a table shape the given backend can serve:
+// the 5-field ACL table for the generic schemes, the single-LPM-field
+// table for the shape-restricted dir24.
+func backendTableConfig(kind string) TableConfig {
+	cfg := aclTableConfig()
+	if !BackendSupportsFields(kind, cfg.Fields) {
+		return lpmTableConfig()
+	}
+	return cfg
+}
+
+// randomLPMEntry draws a single-field IPv4 destination prefix entry,
+// spanning /12../24 plus the /25../32 band that lands in dir24 spill
+// chunks. Shorter prefixes (and the /0 wildcard) are covered by the
+// dedicated TestDIR24WildcardAndShortPrefixes — at high churn volume
+// their giant slot ranges would dominate the suite's runtime.
+func randomLPMEntry(rng *xrand.Source, prio int) *openflow.FlowEntry {
+	plen := []int{12, 16, 20, 24, 25, 26, 28, 30, 32}[rng.Intn(9)]
+	v := uint64(rng.Uint32()) & bitops.Mask64(plen, 32)
+	return &openflow.FlowEntry{
+		Priority: prio,
+		Matches:  []openflow.Match{openflow.Prefix(openflow.FieldIPv4Dst, v, plen)},
+		Instructions: []openflow.Instruction{
+			openflow.WriteActions(openflow.Output(uint32(rng.Intn(64) + 1))),
+		},
+	}
+}
+
+// backendEntry draws a random entry shaped for backendTableConfig(kind).
+func backendEntry(kind string, rng *xrand.Source, prio int) *openflow.FlowEntry {
+	if !BackendSupportsFields(kind, aclTableConfig().Fields) {
+		return randomLPMEntry(rng, prio)
+	}
+	return randomEntry(rng, prio)
+}
+
+// kindsSupporting filters the registered backends to those able to
+// serve the given field set.
+func kindsSupporting(fields []openflow.FieldID) []string {
+	var kinds []string
+	for _, k := range BackendKinds() {
+		if BackendSupportsFields(k, fields) {
+			kinds = append(kinds, k)
+		}
+	}
+	return kinds
+}
+
+// TestDIR24MatchesGenericBackends is the dir24 arm of the cross-scheme
+// differential: over a single-LPM-field table — a shape every scheme
+// serves — dir24 must classify identically to mbt, tss, lineartcam and
+// the brute-force reference across randomized prefix churn. The
+// low-cardinality priorities force ties (earliest-installed wins), and
+// the /25../32 band exercises the spill-chunk path including chunk
+// collapse on remove.
+func TestDIR24MatchesGenericBackends(t *testing.T) {
+	rng := xrand.New(2480)
+	kinds := BackendKinds()
+	tables := make(map[string]*LookupTable, len(kinds))
+	for _, k := range kinds {
+		cfg := lpmTableConfig()
+		cfg.Backend = k
+		tbl, err := NewLookupTable(cfg)
+		if err != nil {
+			t.Fatalf("backend %s: %v", k, err)
+		}
+		tables[k] = tbl
+	}
+	ref := &ReferenceClassifier{}
+	var live []*openflow.FlowEntry
+
+	for step := 0; step < 1500; step++ {
+		if len(live) == 0 || rng.Float64() < 0.6 {
+			e := randomLPMEntry(rng, 1+rng.Intn(6))
+			for _, k := range kinds {
+				if err := tables[k].Insert(e); err != nil {
+					t.Fatalf("step %d: %s insert: %v", step, k, err)
+				}
+			}
+			ref.Insert(e)
+			live = append(live, e)
+		} else {
+			i := rng.Intn(len(live))
+			e := live[i]
+			for _, k := range kinds {
+				if err := tables[k].Remove(e); err != nil {
+					t.Fatalf("step %d: %s remove: %v", step, k, err)
+				}
+			}
+			if !ref.Remove(e) {
+				t.Fatalf("step %d: reference lost entry %v", step, e)
+			}
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+		}
+
+		for probe := 0; probe < 4; probe++ {
+			h := randomHeader(rng, live)
+			want, wok := ref.Classify(h)
+			for _, k := range kinds {
+				got, ok := tables[k].Classify(h)
+				if ok != wok {
+					t.Fatalf("step %d: %s matched=%v, reference=%v (dst %08x)", step, k, ok, wok, h.IPv4Dst)
+				}
+				if !ok {
+					continue
+				}
+				if got.Priority != want.Priority {
+					t.Fatalf("step %d: %s priority=%d, reference=%d (dst %08x)", step, k, got.Priority, want.Priority, h.IPv4Dst)
+				}
+				if !reflect.DeepEqual(got.Instructions, want.Instructions) {
+					t.Fatalf("step %d: %s instructions=%v, reference=%v", step, k, got.Instructions, want.Instructions)
+				}
+			}
+		}
+	}
+	if tables[BackendDIR24].backend.(*dir24Backend).Spills() == 0 {
+		t.Fatal("degenerate churn: the differential never exercised a spill chunk")
+	}
+}
+
+// TestDIR24LPMWinnerSemantics pins the workload encoding the scheme
+// exists for: priorities equal to prefix lengths make dir24 a
+// longest-prefix matcher, including inside one spilled slot.
+func TestDIR24LPMWinnerSemantics(t *testing.T) {
+	cfg := lpmTableConfig()
+	cfg.Backend = BackendDIR24
+	tbl, err := NewLookupTable(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	add := func(v uint64, plen int, out uint32) {
+		t.Helper()
+		e := &openflow.FlowEntry{
+			Priority:     plen,
+			Matches:      []openflow.Match{openflow.Prefix(openflow.FieldIPv4Dst, v, plen)},
+			Instructions: []openflow.Instruction{openflow.WriteActions(openflow.Output(out))},
+		}
+		if err := tbl.Insert(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add(0x0A000000, 8, 1)  // 10/8
+	add(0x0A010000, 16, 2) // 10.1/16
+	add(0x0A010200, 24, 3) // 10.1.2/24
+	add(0x0A010280, 25, 4) // 10.1.2.128/25 — spills the slot
+	add(0x0A010203, 32, 5) // 10.1.2.3/32
+
+	want := map[uint32]uint32{
+		0x0B000000: 0, // no cover
+		0x0A400000: 1, // /8 only
+		0x0A01FF00: 2, // /16
+		0x0A010255: 3, // /24, low half of the spilled slot
+		0x0A010290: 4, // /25 upper half
+		0x0A010203: 5, // exact /32
+	}
+	for dst, out := range want {
+		res, ok := tbl.Classify(&openflow.Header{IPv4Dst: dst})
+		if out == 0 {
+			if ok {
+				t.Fatalf("dst %08x: matched %+v, want miss", dst, res)
+			}
+			continue
+		}
+		if !ok || len(res.Instructions) == 0 {
+			t.Fatalf("dst %08x: no match, want output %d", dst, out)
+		}
+		got := res.Instructions[0].Actions[0].Port
+		if got != out {
+			t.Fatalf("dst %08x: output %d, want %d", dst, got, out)
+		}
+	}
+}
+
+// TestDIR24WildcardAndShortPrefixes covers the giant-range end the
+// randomized suites avoid for runtime: the /0 wildcard (all 2^24 slots)
+// and /8s, their tie-breaks against specific prefixes, and the repaint
+// on their removal.
+func TestDIR24WildcardAndShortPrefixes(t *testing.T) {
+	cfg := lpmTableConfig()
+	cfg.Backend = BackendDIR24
+	tbl, err := NewLookupTable(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entry := func(v uint64, plen, prio int, out uint32) *openflow.FlowEntry {
+		return &openflow.FlowEntry{
+			Priority:     prio,
+			Matches:      []openflow.Match{openflow.Prefix(openflow.FieldIPv4Dst, v, plen)},
+			Instructions: []openflow.Instruction{openflow.WriteActions(openflow.Output(out))},
+		}
+	}
+	wild := entry(0, 0, 1, 100)
+	eight := entry(0x0A000000, 8, 8, 101)
+	deep := entry(0x0A010203, 32, 32, 102)
+	for _, e := range []*openflow.FlowEntry{wild, eight, deep} {
+		if err := tbl.Insert(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out := func(dst uint32) uint32 {
+		t.Helper()
+		res, ok := tbl.Classify(&openflow.Header{IPv4Dst: dst})
+		if !ok {
+			return 0
+		}
+		return res.Instructions[0].Actions[0].Port
+	}
+	if got := out(0xC0A80101); got != 100 {
+		t.Fatalf("uncovered dst → %d, want the /0 (100)", got)
+	}
+	if got := out(0x0AFFFFFF); got != 101 {
+		t.Fatalf("10/8 dst → %d, want the /8 (101)", got)
+	}
+	if got := out(0x0A010203); got != 102 {
+		t.Fatalf("exact dst → %d, want the /32 (102)", got)
+	}
+	// Removing the /8 drops its range back to the wildcard; removing the
+	// wildcard leaves only the /32.
+	if err := tbl.Remove(eight); err != nil {
+		t.Fatal(err)
+	}
+	if got := out(0x0AFFFFFF); got != 100 {
+		t.Fatalf("10/8 dst after /8 removal → %d, want the /0 (100)", got)
+	}
+	if err := tbl.Remove(wild); err != nil {
+		t.Fatal(err)
+	}
+	if got := out(0xC0A80101); got != 0 {
+		t.Fatalf("uncovered dst after /0 removal → %d, want miss", got)
+	}
+	if got := out(0x0A010203); got != 102 {
+		t.Fatalf("exact dst after removals → %d, want the /32 (102)", got)
+	}
+	if tbl.Rules() != 1 {
+		t.Fatalf("rules = %d, want 1", tbl.Rules())
+	}
+}
+
+// TestDIR24TxDifferential drives dir24 and mbt pipelines over the same
+// single-LPM-field table through identical random flow-mod batches —
+// add-replace, non-strict modify/delete, strict delete — and requires
+// byte-identical TxResults and Execute results.
+func TestDIR24TxDifferential(t *testing.T) {
+	rng := xrand.New(8124)
+	kinds := []string{BackendMBT, BackendDIR24}
+	pipes := make(map[string]*Pipeline, len(kinds))
+	for _, k := range kinds {
+		p := NewPipeline()
+		cfg := lpmTableConfig()
+		cfg.Backend = k
+		if _, err := p.AddTable(cfg); err != nil {
+			t.Fatalf("backend %s: %v", k, err)
+		}
+		pipes[k] = p
+	}
+
+	var pool []*openflow.FlowEntry
+	for i := 0; i < 64; i++ {
+		pool = append(pool, randomLPMEntry(rng, 1+rng.Intn(6)))
+	}
+	for round := 0; round < 80; round++ {
+		var cmds []FlowCmd
+		for n := 0; n < 1+rng.Intn(8); n++ {
+			e := pool[rng.Intn(len(pool))]
+			switch rng.Intn(4) {
+			case 0, 1:
+				cmds = append(cmds, FlowCmd{Op: CmdAdd, Table: 0, Entry: *e})
+			case 2:
+				mod := e.Clone()
+				mod.Instructions = []openflow.Instruction{
+					openflow.WriteActions(openflow.Output(uint32(1 + rng.Intn(64)))),
+				}
+				cmds = append(cmds, FlowCmd{Op: CmdModify, Table: 0, Entry: *mod})
+			default:
+				cmds = append(cmds, FlowCmd{Op: CmdDelete, Table: 0, Entry: openflow.FlowEntry{Matches: e.Matches}})
+			}
+		}
+		var want TxResult
+		for i, k := range kinds {
+			tx := pipes[k].Begin()
+			for _, c := range cmds {
+				tx.FlowMod(c)
+			}
+			res, err := tx.Commit()
+			if err != nil {
+				t.Fatalf("round %d: %s commit: %v", round, k, err)
+			}
+			if i == 0 {
+				want = res
+			} else if res != want {
+				t.Fatalf("round %d: %s tx result %+v, want %+v", round, k, res, want)
+			}
+		}
+		for probe := 0; probe < 16; probe++ {
+			h := randomHeader(rng, pool)
+			var first Result
+			for i, k := range kinds {
+				hc := *h
+				res := pipes[k].Execute(&hc)
+				if i == 0 {
+					first = res
+				} else if !reflect.DeepEqual(res, first) {
+					t.Fatalf("round %d: %s result %+v, %s result %+v", round, k, res, kinds[0], first)
+				}
+			}
+		}
+	}
+}
+
+// TestDIR24SpillLifecycle pins the spill-chunk state machine and its
+// accounting: a slot spills when its first >/24 prefix arrives, the
+// chunk is billed in IndexBits while live, and it collapses back to a
+// direct slot — bits returned — when the last long prefix leaves.
+func TestDIR24SpillLifecycle(t *testing.T) {
+	cfg := lpmTableConfig()
+	cfg.Backend = BackendDIR24
+	tbl, err := NewLookupTable(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := tbl.backend.(*dir24Backend)
+	entry := func(v uint64, plen, prio int) *openflow.FlowEntry {
+		return &openflow.FlowEntry{
+			Priority:     prio,
+			Matches:      []openflow.Match{openflow.Prefix(openflow.FieldIPv4Dst, v, plen)},
+			Instructions: []openflow.Instruction{openflow.WriteActions(openflow.Output(9))},
+		}
+	}
+	short := entry(0x0A010200, 24, 24)
+	long1 := entry(0x0A010203, 32, 32)
+	long2 := entry(0x0A010280, 25, 25)
+	other := entry(0x0B000001, 32, 32)
+
+	if err := tbl.Insert(short); err != nil {
+		t.Fatal(err)
+	}
+	if b.Spills() != 0 || b.Stats().IndexBits != 0 {
+		t.Fatalf("short prefix spilled: %d chunks, %d bits", b.Spills(), b.Stats().IndexBits)
+	}
+	for _, e := range []*openflow.FlowEntry{long1, long2, other} {
+		if err := tbl.Insert(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// long1 and long2 share one slot; other claims a second.
+	if b.Spills() != 2 {
+		t.Fatalf("spill chunks = %d, want 2", b.Spills())
+	}
+	if got, want := b.Stats().IndexBits, uint64(2*dir24SpillSlots*dir24SlotBits); got != want {
+		t.Fatalf("IndexBits = %d, want %d", got, want)
+	}
+	// Removing one of two longs keeps the shared chunk; removing the
+	// second collapses it.
+	if err := tbl.Remove(long1); err != nil {
+		t.Fatal(err)
+	}
+	if b.Spills() != 2 {
+		t.Fatalf("spill chunks = %d after partial remove, want 2", b.Spills())
+	}
+	// The shorter /24 winner resurfaces on the vacated addresses.
+	if res, ok := tbl.Classify(&openflow.Header{IPv4Dst: 0x0A010203}); !ok || res.Priority != 24 {
+		t.Fatalf("vacated address: got %+v ok=%v, want the /24 at priority 24", res, ok)
+	}
+	if err := tbl.Remove(long2); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Remove(other); err != nil {
+		t.Fatal(err)
+	}
+	if b.Spills() != 0 || b.Stats().IndexBits != 0 {
+		t.Fatalf("spills survived their last long prefix: %d chunks, %d bits", b.Spills(), b.Stats().IndexBits)
+	}
+	// The constant array bill and the remaining rule's action row are
+	// all that is left.
+	if got, want := b.Stats().TotalBits(), uint64(dir24Slots*dir24SlotBits)+32; got != want {
+		t.Fatalf("TotalBits = %d, want %d", got, want)
+	}
+}
+
+// TestDIR24CloneIsolation pins the chunked copy-on-write contract
+// deterministically (the racing version is
+// TestBackendCloneIsolationUnderChurn): a clone taken mid-history keeps
+// classifying the capture-time rule set while the original churns on,
+// in both the direct-array and spill paths.
+func TestDIR24CloneIsolation(t *testing.T) {
+	cfg := lpmTableConfig()
+	cfg.Backend = BackendDIR24
+	b, err := newDIR24Backend(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := xrand.New(31)
+	var live []*openflow.FlowEntry
+	for i := 0; i < 200; i++ {
+		e := randomLPMEntry(rng, 1+rng.Intn(6))
+		if err := b.Insert(e); err != nil {
+			t.Fatal(err)
+		}
+		live = append(live, e)
+	}
+	snap := b.Clone()
+	var probes []*openflow.Header
+	want := make([]MatchResult, 0, 256)
+	wantOK := make([]bool, 0, 256)
+	for i := 0; i < 256; i++ {
+		h := randomHeader(rng, live)
+		res, ok := snap.Lookup(h)
+		probes = append(probes, h)
+		want = append(want, res)
+		wantOK = append(wantOK, ok)
+	}
+	// Churn the original hard: remove everything, insert a fresh set.
+	for _, e := range live {
+		if err := b.Remove(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 200; i++ {
+		if err := b.Insert(randomLPMEntry(rng, 1+rng.Intn(6))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, h := range probes {
+		res, ok := snap.Lookup(h)
+		if ok != wantOK[i] || !reflect.DeepEqual(res, want[i]) {
+			t.Fatalf("probe %d drifted after source churn: got %+v ok=%v, want %+v ok=%v", i, res, ok, want[i], wantOK[i])
+		}
+	}
+}
+
+// TestDIR24RejectsNonPrefixTable pins the shape restriction at config
+// time: an explicit dir24 pin on any table that is not exactly one
+// 32-bit LPM field fails with an error naming the requirement, before
+// any insert.
+func TestDIR24RejectsNonPrefixTable(t *testing.T) {
+	bad := []TableConfig{
+		aclTableConfig(),
+		{ID: 0, Fields: []openflow.FieldID{openflow.FieldEthDst}},                         // 48-bit EM
+		{ID: 0, Fields: []openflow.FieldID{openflow.FieldIPv6Dst}},                        // 128-bit LPM
+		{ID: 0, Fields: []openflow.FieldID{openflow.FieldIPv4Src, openflow.FieldIPv4Dst}}, // two LPM fields
+	}
+	for _, cfg := range bad {
+		cfg.Backend = BackendDIR24
+		if _, err := NewLookupTable(cfg); err == nil {
+			t.Fatalf("dir24 accepted unsupported fields %v", cfg.Fields)
+		} else if !strings.Contains(err.Error(), "longest-prefix-match") {
+			t.Fatalf("rejection error %q does not name the shape requirement", err)
+		}
+	}
+	// All four 32-bit LPM fields are accepted.
+	for _, f := range []openflow.FieldID{openflow.FieldIPv4Src, openflow.FieldIPv4Dst, openflow.FieldARPSPA, openflow.FieldARPTPA} {
+		cfg := TableConfig{ID: 0, Fields: []openflow.FieldID{f}, Backend: BackendDIR24}
+		if _, err := NewLookupTable(cfg); err != nil {
+			t.Fatalf("dir24 rejected %s: %v", f, err)
+		}
+	}
+}
+
+// TestDIR24DefaultFallback pins the advisory-default semantics: a
+// process-wide dir24 default serves the tables it can and silently
+// falls back to mbt on the rest, while an explicit per-table pin stays
+// a hard config-time error.
+func TestDIR24DefaultFallback(t *testing.T) {
+	p := NewPipeline()
+	if err := p.SetDefaultBackend(BackendDIR24); err != nil {
+		t.Fatal(err)
+	}
+	acl, err := p.AddTable(aclTableConfig())
+	if err != nil {
+		t.Fatalf("dir24 default failed an unsupported table instead of falling back: %v", err)
+	}
+	if acl.Backend() != BackendMBT {
+		t.Fatalf("unsupported table backend = %s under dir24 default, want mbt fallback", acl.Backend())
+	}
+	lpmCfg := lpmTableConfig()
+	lpmCfg.ID = 1
+	lpm, err := p.AddTable(lpmCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lpm.Backend() != BackendDIR24 {
+		t.Fatalf("LPM table backend = %s under dir24 default, want dir24", lpm.Backend())
+	}
+	// The published accounting names each table's actual scheme.
+	st := p.MemoryStats()
+	if st.Tables[0].Backend != BackendMBT || st.Tables[1].Backend != BackendDIR24 {
+		t.Fatalf("published backends = %s/%s, want mbt/dir24", st.Tables[0].Backend, st.Tables[1].Backend)
+	}
+	// An explicit pin on the same shape still errors.
+	pinned := aclTableConfig()
+	pinned.ID = 2
+	pinned.Backend = BackendDIR24
+	if _, err := p.AddTable(pinned); err == nil {
+		t.Fatal("explicit dir24 pin on an unsupported table succeeded")
+	}
+}
+
+// TestDIR24BudgetRejectsGrowth is the dir24 arm of the admission-control
+// test (the generic-backend arm runs a table shape dir24 cannot serve):
+// a commit growing a budgeted dir24 table past its limit is rejected
+// whole and the published accounting stays byte-identical. The budget
+// sits just above the scheme's large constant array bill, so admission
+// rides on the incremental per-rule bits like any other backend.
+func TestDIR24BudgetRejectsGrowth(t *testing.T) {
+	p := NewPipeline()
+	cfg := lpmTableConfig()
+	cfg.Backend = BackendDIR24
+	if _, err := p.AddTable(cfg); err != nil {
+		t.Fatal(err)
+	}
+	lpmEntry := func(i int) *openflow.FlowEntry {
+		return &openflow.FlowEntry{
+			Priority:     i + 1,
+			Matches:      []openflow.Match{openflow.Prefix(openflow.FieldIPv4Dst, uint64(0x0A000000+i), 32)},
+			Instructions: []openflow.Instruction{openflow.WriteActions(openflow.Output(uint32(i + 1)))},
+		}
+	}
+	tx := p.Begin()
+	for i := 0; i < 8; i++ {
+		tx.Add(0, lpmEntry(i))
+	}
+	if _, err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	used := p.MemoryStats().TotalBits
+	if used <= dir24Slots*dir24SlotBits {
+		t.Fatalf("8 rules accounted as %d bits, want more than the bare array", used)
+	}
+	if err := p.SetTableBudget(0, used+1); err != nil {
+		t.Fatal(err)
+	}
+	p.Refresh()
+	pre := p.MemoryStats()
+	preRules := p.Rules()
+
+	tx = p.Begin()
+	for i := 8; i < 40; i++ {
+		tx.Add(0, lpmEntry(i))
+	}
+	_, err := tx.Commit()
+	var be *BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("over-budget commit returned %v, want *BudgetError", err)
+	}
+	if be.Process || be.Table != 0 || be.BudgetBits != used+1 || be.UsedBits <= be.BudgetBits {
+		t.Fatalf("BudgetError = %+v, want table 0 over %d", be, used+1)
+	}
+	if got := p.Rules(); got != preRules {
+		t.Fatalf("rules = %d after rejection, want %d (rollback)", got, preRules)
+	}
+	if post := p.MemoryStats(); !reflect.DeepEqual(pre, post) {
+		t.Fatalf("MemoryStats changed across a rejected commit:\npre:  %+v\npost: %+v", pre, post)
+	}
+}
+
+// TestDIR24MegaflowDifferential is the dir24 arm of the megaflow
+// correctness contract (the two-table arm runs shapes dir24 cannot
+// serve): with the wildcard tier fronting a single dir24 LPM table, a
+// cached pipeline must return identical results to an uncached
+// reference for every probe across prefix churn. This is what the
+// consulted-bits trace (24-bit index read, full-width spill probe)
+// must get right — an under-marked trace serves wrong cached results
+// here.
+func TestDIR24MegaflowDifferential(t *testing.T) {
+	build := func(mega int) *Pipeline {
+		p := NewPipeline()
+		cfg := lpmTableConfig()
+		cfg.Backend = BackendDIR24
+		if _, err := p.AddTable(cfg); err != nil {
+			t.Fatal(err)
+		}
+		p.SetCacheSize(0)
+		p.SetMegaflowSize(mega)
+		return p
+	}
+	mega, ref := build(1<<10), build(0)
+	rng := xrand.New(6024)
+
+	var live []*openflow.FlowEntry
+	var history []openflow.Header
+	for step := 0; step < 60; step++ {
+		txm, txr := mega.Begin(), ref.Begin()
+		for c := 0; c < 1+rng.Intn(3); c++ {
+			if len(live) == 0 || rng.Float64() < 0.6 {
+				e := randomLPMEntry(rng, 1+rng.Intn(6))
+				txm.Add(0, e)
+				txr.Add(0, e)
+				live = append(live, e)
+			} else {
+				i := rng.Intn(len(live))
+				e := live[i]
+				txm.DeleteStrict(0, e.Priority, e.Matches...)
+				txr.DeleteStrict(0, e.Priority, e.Matches...)
+				live[i] = live[len(live)-1]
+				live = live[:len(live)-1]
+			}
+		}
+		if _, err := txm.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := txr.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		for probe := 0; probe < 20; probe++ {
+			h := randomHeader(rng, live)
+			h.EthType = 0x0800
+			history = append(history, *h)
+		}
+		if len(history) > 400 {
+			history = history[len(history)-400:]
+		}
+		for i := range history {
+			hm, hr := history[i], history[i]
+			got, want := mega.Execute(&hm), ref.Execute(&hr)
+			if !sameResult(got, want) {
+				t.Fatalf("step %d probe %d: megaflow %+v, reference %+v (dst %08x)",
+					step, i, got, want, history[i].IPv4Dst)
+			}
+		}
+	}
+	if st := mega.MegaflowStats(); st.Hits == 0 {
+		t.Error("differential trace produced no megaflow hits")
+	}
+}

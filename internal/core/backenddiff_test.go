@@ -10,13 +10,15 @@ import (
 )
 
 // TestBackendsMatchReference is the cross-scheme equivalence test: every
-// lookup backend (mbt, tss, lineartcam) must classify identically to the
-// brute-force linear-scan reference across a randomized insert/remove
-// churn — including priority ties, which every scheme must resolve to the
-// earliest installed entry.
+// lookup backend that can serve the 5-field ACL table (mbt, tss,
+// lineartcam) must classify identically to the brute-force linear-scan
+// reference across a randomized insert/remove churn — including priority
+// ties, which every scheme must resolve to the earliest installed entry.
+// The shape-restricted dir24 runs the same differential over prefix
+// tables in TestDIR24MatchesGenericBackends.
 func TestBackendsMatchReference(t *testing.T) {
 	rng := xrand.New(5015)
-	kinds := BackendKinds()
+	kinds := kindsSupporting(aclTableConfig().Fields)
 	tables := make(map[string]*LookupTable, len(kinds))
 	for _, k := range kinds {
 		cfg := aclTableConfig()
@@ -90,7 +92,7 @@ func TestBackendsMatchReference(t *testing.T) {
 // flow-mod semantics resolve against them.
 func TestBackendsMatchUnderTx(t *testing.T) {
 	rng := xrand.New(777)
-	kinds := BackendKinds()
+	kinds := kindsSupporting(aclTableConfig().Fields)
 	pipes := make(map[string]*Pipeline, len(kinds))
 	for _, k := range kinds {
 		p := NewPipeline()
@@ -168,14 +170,14 @@ func TestBackendCloneIsolationUnderChurn(t *testing.T) {
 			t.Parallel()
 			rng := xrand.New(99)
 			p := NewPipeline()
-			cfg := aclTableConfig()
+			cfg := backendTableConfig(kind)
 			cfg.Backend = kind
 			if _, err := p.AddTable(cfg); err != nil {
 				t.Fatal(err)
 			}
 			var pool []*openflow.FlowEntry
 			for i := 0; i < 48; i++ {
-				pool = append(pool, randomEntry(rng, 1+rng.Intn(6)))
+				pool = append(pool, backendEntry(kind, rng, 1+rng.Intn(6)))
 			}
 			stop := make(chan struct{})
 			var wg sync.WaitGroup
@@ -233,7 +235,10 @@ func TestRemoveStructuralTwinRejected(t *testing.T) {
 		kind := kind
 		t.Run(kind, func(t *testing.T) {
 			p := NewPipeline()
-			cfg := aclTableConfig()
+			// Per-kind table shape: the shape-restricted dir24 gets its
+			// single-LPM-field table, and the test body matches only on
+			// FieldIPv4Dst so the twin identities exist under either.
+			cfg := backendTableConfig(kind)
 			cfg.Backend = kind
 			tbl, err := p.AddTable(cfg)
 			if err != nil {

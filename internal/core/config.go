@@ -30,7 +30,9 @@ import (
 
 // PipelineConfig is the top-level configuration document. Backend, when
 // set, is the default lookup scheme for tables that do not choose one
-// ("mbt" | "tss" | "lineartcam"). Budget, when set, is the process-wide
+// ("mbt" | "tss" | "lineartcam" | "dir24"; a dir24 default applies only
+// to tables shaped as a single 32-bit longest-prefix-match field, other
+// tables fall back to mbt). Budget, when set, is the process-wide
 // memory budget in modelled bits: commits growing the total accounting
 // past it are rejected, and the cache tiers degrade as it is
 // approached (see budget.go).
@@ -48,7 +50,7 @@ type TableConfigJSON struct {
 	ID      uint8    `json:"id"`
 	Fields  []string `json:"fields"`
 	Miss    string   `json:"miss,omitempty"`    // "controller" (default), "drop", "goto:<id>"
-	Backend string   `json:"backend,omitempty"` // "mbt" (default) | "tss" | "lineartcam"
+	Backend string   `json:"backend,omitempty"` // "mbt" (default) | "tss" | "lineartcam" | "dir24" (an explicit dir24 pin requires a single-prefix-field table)
 	Budget  uint64   `json:"budget,omitempty"`  // per-table memory budget, bits (0 = unlimited)
 }
 

@@ -70,6 +70,9 @@ func prefixEntry(port uint32, prefix uint64, plen int, out uint32) *openflow.Flo
 func TestMegaflowDifferentialUnderChurn(t *testing.T) {
 	for _, kind := range BackendKinds() {
 		t.Run(kind, func(t *testing.T) {
+			if !BackendSupportsFields(kind, []openflow.FieldID{openflow.FieldMetadata, openflow.FieldIPv4Dst}) {
+				t.Skipf("backend %s cannot serve the two-field LPM table; see TestDIR24MegaflowDifferential", kind)
+			}
 			mega := megaflowTestPipeline(t, kind, 0, 1<<10)
 			ref := megaflowTestPipeline(t, kind, 0, 0)
 			rng := xrand.New(6001)

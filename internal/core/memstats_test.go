@@ -12,12 +12,13 @@ import (
 	"ofmtl/internal/xrand"
 )
 
-// buildBackendPipeline returns a single-ACL-table pipeline pinned to the
-// given backend.
+// buildBackendPipeline returns a single-table pipeline pinned to the
+// given backend: the 5-field ACL table for the generic schemes, the
+// single-LPM-field table for the shape-restricted dir24.
 func buildBackendPipeline(t *testing.T, kind string) *Pipeline {
 	t.Helper()
 	p := NewPipeline()
-	cfg := aclTableConfig()
+	cfg := backendTableConfig(kind)
 	cfg.Backend = kind
 	if _, err := p.AddTable(cfg); err != nil {
 		t.Fatal(err)
@@ -26,13 +27,13 @@ func buildBackendPipeline(t *testing.T, kind string) *Pipeline {
 }
 
 // randomCmds draws a deterministic flow-mod command history over a fixed
-// rule pool: adds (exercising replace), strict deletes and non-strict
-// modifies.
-func randomCmds(seed uint64, n int) []FlowCmd {
+// rule pool shaped for the given backend's table: adds (exercising
+// replace), strict deletes and non-strict modifies.
+func randomCmds(kind string, seed uint64, n int) []FlowCmd {
 	rng := xrand.New(seed)
 	var pool []*openflow.FlowEntry
 	for i := 0; i < 48; i++ {
-		pool = append(pool, randomEntry(rng, 1+rng.Intn(6)))
+		pool = append(pool, backendEntry(kind, rng, 1+rng.Intn(6)))
 	}
 	var cmds []FlowCmd
 	for len(cmds) < n {
@@ -79,7 +80,7 @@ func TestMemoryStatsNoDrift(t *testing.T) {
 	for _, kind := range BackendKinds() {
 		kind := kind
 		t.Run(kind, func(t *testing.T) {
-			cmds := randomCmds(60221, 600)
+			cmds := randomCmds(kind, 60221, 600)
 			p := buildBackendPipeline(t, kind)
 			applyCmds(t, p, cmds)
 
@@ -105,7 +106,7 @@ func TestMemoryStatsMatchesReport(t *testing.T) {
 		kind := kind
 		t.Run(kind, func(t *testing.T) {
 			p := buildBackendPipeline(t, kind)
-			applyCmds(t, p, randomCmds(88, 300))
+			applyCmds(t, p, randomCmds(kind, 88, 300))
 
 			stats := p.MemoryStats()
 			report := p.MemoryReport()
@@ -143,7 +144,7 @@ func TestMemoryStatsMatchesReport(t *testing.T) {
 // read, after a refresh) must still complete.
 func TestMemoryStatsLockFree(t *testing.T) {
 	p := buildBackendPipeline(t, BackendMBT)
-	applyCmds(t, p, randomCmds(7, 64))
+	applyCmds(t, p, randomCmds(BackendMBT, 7, 64))
 	p.Refresh() // publish the snapshot so the embedded read has no rebuild to do
 
 	p.mu.Lock()
@@ -193,7 +194,7 @@ func TestMemoryStatsUnderChurn(t *testing.T) {
 		t.Run(kind, func(t *testing.T) {
 			t.Parallel()
 			p := buildBackendPipeline(t, kind)
-			cmds := randomCmds(13, 800)
+			cmds := randomCmds(kind, 13, 800)
 			stop := make(chan struct{})
 			var wg sync.WaitGroup
 			for r := 0; r < 2; r++ {

@@ -138,6 +138,14 @@ func (p *Pipeline) AddTable(cfg TableConfig) (*LookupTable, error) {
 	}
 	if cfg.Backend == "" {
 		cfg.Backend = p.defaultBackend
+		// A process-wide default is advisory: when it names a
+		// shape-restricted scheme (dir24) that cannot serve this table's
+		// field set, fall back to mbt rather than failing the build. An
+		// explicit TableConfig.Backend pin is a promise, not a hint, and
+		// still errors below.
+		if cfg.Backend != "" && !BackendSupportsFields(cfg.Backend, cfg.Fields) {
+			cfg.Backend = BackendMBT
+		}
 	}
 	t, err := NewLookupTable(cfg)
 	if err != nil {

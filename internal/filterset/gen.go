@@ -459,6 +459,53 @@ func GenerateACL(name string, rules int, seed uint64) *ACLFilter {
 	return f
 }
 
+// lpmPlenWeights is the prefix-length distribution for full-table LPM
+// generation, indexed by length. It follows the published shape of a
+// BGP full feed (RouteViews-style): /24 dominant, the /19../23
+// aggregate band carrying most of the rest, /16s common, very few
+// prefixes shorter than /16, and a small long tail of host routes and
+// deaggregates past /24 (which is what populates dir24 spill chunks).
+var lpmPlenWeights = []float64{
+	0, 0, 0, 0, 0, 0, 0, 0, // /0../7 absent from real feeds
+	0.002, 0.002, 0.005, 0.01, 0.03, 0.06, 0.12, 0.25, // /8../15
+	1.5, 1.2, 2.5, 3.7, 4.2, 4.3, 8.4, 5.5, // /16../23
+	62.0,                                   // /24
+	0.06, 0.12, 0.1, 0.2, 0.35, 0.25, 0.05, // /25../31
+	2.2, // /32
+}
+
+// GenerateLPM synthesises a full-table destination-prefix filter with
+// the given rule count — the million-route regime the dir24 backend
+// targets. Prefix values cluster at /16 granularity the way allocated
+// CIDR blocks do (sequential runs via clusterStream); lengths follow
+// lpmPlenWeights.
+func GenerateLPM(name string, rules int, seed uint64) *LPMFilter {
+	rng := xrand.NewNamed(seed, "lpm/"+name)
+	f := &LPMFilter{Name: name, Rules: make([]LPMRule, 0, rules)}
+	seen := make(map[uint64]struct{}, rules)
+	plenRng := rng.Derive("plen")
+	hiStream := newClusterStream(rng.Derive("hi"), ipHiRunMean)
+	for len(f.Rules) < rules {
+		plen := plenRng.Pick(lpmPlenWeights)
+		if plen == 0 {
+			plen = 24
+		}
+		v := uint32(hiStream.next())<<16 | uint32(rng.Intn(65536))
+		v &= uint32(bitops.Mask64(plen, 32))
+		k := uint64(plen)<<32 | uint64(v)
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		f.Rules = append(f.Rules, LPMRule{
+			Prefix:    v,
+			PrefixLen: plen,
+			NextHop:   uint32(rng.Intn(64) + 1),
+		})
+	}
+	return f
+}
+
 // GenerateARP synthesises an ARP filter with the given rule count.
 func GenerateARP(name string, rules int, seed uint64) *ARPFilter {
 	rng := xrand.NewNamed(seed, "arp/"+name)

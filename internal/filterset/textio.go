@@ -199,6 +199,51 @@ func ParseACL(r io.Reader, name string) (*ACLFilter, error) {
 	return f, nil
 }
 
+// WriteLPM serialises a destination-only LPM filter.
+func WriteLPM(w io.Writer, f *LPMFilter) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# ofmtl lpm filter %s (%d rules)\n", f.Name, len(f.Rules))
+	for _, r := range f.Rules {
+		fmt.Fprintf(bw, "%s/%d %d\n", formatIPv4(r.Prefix), r.PrefixLen, r.NextHop)
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("filterset: writing lpm filter %s: %w", f.Name, err)
+	}
+	return nil
+}
+
+// ParseLPM reads a destination-only LPM filter in WriteLPM's format.
+func ParseLPM(r io.Reader, name string) (*LPMFilter, error) {
+	f := &LPMFilter{Name: name}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("filterset: %s line %d: want 2 fields, got %d", name, lineNo, len(fields))
+		}
+		prefix, plen, err := parseCIDR(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("filterset: %s line %d: %w", name, lineNo, err)
+		}
+		hop, err := strconv.ParseUint(fields[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("filterset: %s line %d: nexthop: %w", name, lineNo, err)
+		}
+		f.Rules = append(f.Rules, LPMRule{Prefix: prefix, PrefixLen: plen, NextHop: uint32(hop)})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("filterset: reading lpm filter %s: %w", name, err)
+	}
+	return f, nil
+}
+
 // WriteARP serialises an ARP filter.
 func WriteARP(w io.Writer, f *ARPFilter) error {
 	bw := bufio.NewWriter(w)

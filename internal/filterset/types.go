@@ -32,6 +32,7 @@ const (
 	Routing                    // _rtr_route: ingress port + IPv4 prefix
 	ACL                        // _rtr_config: 5-tuple access control
 	ARP                        // _rtr_arp: target IPv4 + output
+	LPM                        // full-table BGP-style IPv4 prefix set (destination only)
 )
 
 // String names the application.
@@ -45,6 +46,8 @@ func (a App) String() string {
 		return "acl"
 	case ARP:
 		return "arp"
+	case LPM:
+		return "lpm"
 	default:
 		return "unknown"
 	}
@@ -109,6 +112,22 @@ type ACLFilter struct {
 	Rules []ACLRule
 }
 
+// LPMRule is one destination-only longest-prefix-match entry — the
+// full-Internet routing-table regime (no ingress-port qualifier, unlike
+// RouteRule), shaped for the single-field dir24 backend but loadable on
+// any scheme.
+type LPMRule struct {
+	Prefix    uint32 // IPv4 destination prefix value (host order)
+	PrefixLen int    // 8..32 as generated; 0..32 accepted
+	NextHop   uint32
+}
+
+// LPMFilter is a destination-only prefix filter set.
+type LPMFilter struct {
+	Name  string
+	Rules []LPMRule
+}
+
 // ARPRule is one ARP filter entry: exact target IPv4 to output port.
 type ARPRule struct {
 	TargetIP uint32
@@ -152,6 +171,25 @@ func (f *RouteFilter) FlowEntries() []openflow.FlowEntry {
 			Priority: r.PrefixLen,
 			Matches: []openflow.Match{
 				openflow.Exact(openflow.FieldInPort, uint64(r.InPort)),
+				openflow.Prefix(openflow.FieldIPv4Dst, uint64(r.Prefix), r.PrefixLen),
+			},
+			Instructions: []openflow.Instruction{
+				openflow.WriteActions(openflow.Output(r.NextHop)),
+			},
+		})
+	}
+	return out
+}
+
+// FlowEntries renders the LPM filter as OpenFlow entries: one
+// destination-prefix match per rule, with the prefix length as the
+// priority so a priority-based classifier reproduces LPM semantics.
+func (f *LPMFilter) FlowEntries() []openflow.FlowEntry {
+	out := make([]openflow.FlowEntry, 0, len(f.Rules))
+	for _, r := range f.Rules {
+		out = append(out, openflow.FlowEntry{
+			Priority: r.PrefixLen,
+			Matches: []openflow.Match{
 				openflow.Prefix(openflow.FieldIPv4Dst, uint64(r.Prefix), r.PrefixLen),
 			},
 			Instructions: []openflow.Instruction{
@@ -209,6 +247,19 @@ func (f *RouteFilter) Validate() error {
 	for i, r := range f.Rules {
 		if r.PrefixLen < 0 || r.PrefixLen > 32 {
 			return fmt.Errorf("filterset: %s rule %d: prefix length %d out of range", f.Name, i, r.PrefixLen)
+		}
+	}
+	return nil
+}
+
+// Validate checks rule field ranges.
+func (f *LPMFilter) Validate() error {
+	for i, r := range f.Rules {
+		if r.PrefixLen < 0 || r.PrefixLen > 32 {
+			return fmt.Errorf("filterset: %s rule %d: prefix length %d out of range", f.Name, i, r.PrefixLen)
+		}
+		if host := uint32(uint64(1)<<(32-uint(r.PrefixLen)) - 1); r.PrefixLen < 32 && r.Prefix&host != 0 {
+			return fmt.Errorf("filterset: %s rule %d: bits set past the prefix length", f.Name, i)
 		}
 	}
 	return nil

@@ -18,6 +18,7 @@ func TestMemoryStatsCodecRoundTrip(t *testing.T) {
 			{Table: 0, Backend: "mbt", Rules: 507, SearchBits: 1 << 40, IndexBits: 77, ActionBits: 24, BudgetBits: 1 << 41},
 			{Table: 3, Backend: "tss", Rules: 1, SearchBits: 0, IndexBits: 72, ActionBits: 32},
 			{Table: 9, Backend: "lineartcam", Rules: 0},
+			{Table: 11, Backend: "dir24", Rules: 1 << 20, SearchBits: 1 << 29, IndexBits: 3 << 13, ActionBits: 1 << 25},
 		},
 	}
 	payload := EncodeMemoryStatsReply(in)
@@ -68,6 +69,12 @@ func TestBackendCodesCoverCoreKinds(t *testing.T) {
 		if backendNames[code] != kind {
 			t.Errorf("backend %q round-trips to %q", kind, backendNames[code])
 		}
+	}
+	// Pin the assigned values: a code renumbering would break mixed-version
+	// peers even though the in-process round trip still passes.
+	want := map[string]uint8{"mbt": 1, "tss": 2, "lineartcam": 3, "dir24": 4}
+	if !reflect.DeepEqual(backendCodes, want) {
+		t.Errorf("backendCodes = %v, want %v", backendCodes, want)
 	}
 }
 

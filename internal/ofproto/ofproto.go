@@ -638,12 +638,14 @@ var backendCodes = map[string]uint8{
 	"mbt":        1,
 	"tss":        2,
 	"lineartcam": 3,
+	"dir24":      4,
 }
 
 var backendNames = map[uint8]string{
 	1: "mbt",
 	2: "tss",
 	3: "lineartcam",
+	4: "dir24",
 }
 
 // memoryStatsRowLen is the fixed wire width of one per-table record:

@@ -151,6 +151,35 @@ func SubnetZipf(f *filterset.RouteFilter, n int, skew float64, seed uint64) []op
 	return out
 }
 
+// LPMTrace draws n headers against a destination-only LPM filter; hits
+// carry an address under an installed prefix with host bits randomised,
+// misses are uniform random addresses (which may still land under a
+// short prefix — the ratio is a floor, not an exact split).
+func LPMTrace(f *filterset.LPMFilter, n int, hitRatio float64, seed uint64) []openflow.Header {
+	rng := xrand.NewNamed(seed, "trace/lpm/"+f.Name)
+	out := make([]openflow.Header, 0, n)
+	for i := 0; i < n; i++ {
+		var h openflow.Header
+		if len(f.Rules) > 0 && rng.Float64() < hitRatio {
+			r := f.Rules[rng.Intn(len(f.Rules))]
+			keep := uint32(0)
+			if r.PrefixLen > 0 {
+				keep = ^uint32(0) << (32 - r.PrefixLen)
+			}
+			h = openflow.Header{
+				IPv4Dst: (r.Prefix & keep) | (rng.Uint32() &^ keep),
+				IPv4Src: rng.Uint32(),
+			}
+		} else {
+			h = openflow.Header{IPv4Dst: rng.Uint32(), IPv4Src: rng.Uint32()}
+		}
+		h.EthType = 0x0800
+		h.IPProto = 6
+		out = append(out, h)
+	}
+	return out
+}
+
 // ACLTrace draws n headers against an ACL filter.
 func ACLTrace(f *filterset.ACLFilter, n int, hitRatio float64, seed uint64) []openflow.Header {
 	rng := xrand.NewNamed(seed, "trace/acl/"+f.Name)
