@@ -74,6 +74,8 @@ func run() error {
 		churn   = flag.Int("churn", 0, "emit an N-command flow-mod churn workload against the generated filter")
 		backend = flag.String("backend", "", "pin touched tables to this lookup backend via a table-options preamble (with -churn)")
 		budget  = flag.Uint64("budget", 0, "pin touched tables to this memory budget in modelled bits via a table-options preamble (with -churn)")
+		idle    = flag.Uint("idle", 0, "stamp this idle timeout in seconds on churn add commands (0 = no timeout; with -churn)")
+		hard    = flag.Uint("hard", 0, "stamp this hard timeout in seconds on churn add commands (0 = no timeout; with -churn)")
 	)
 	flag.Parse()
 
@@ -90,12 +92,18 @@ func run() error {
 	if *budget > 0 && *churn <= 0 {
 		return fmt.Errorf("-budget requires -churn (table-options pin churn workloads)")
 	}
+	if (*idle > 0 || *hard > 0) && *churn <= 0 {
+		return fmt.Errorf("-idle/-hard require -churn (timeouts are stamped on churn add commands)")
+	}
+	if *idle > 0xFFFF || *hard > 0xFFFF {
+		return fmt.Errorf("-idle/-hard must fit 16 bits of seconds (max 65535)")
+	}
 	if *churn > 0 {
 		if *all || *trace > 0 {
 			return fmt.Errorf("-churn is mutually exclusive with -all and -trace")
 		}
 		gen := func(w io.Writer) error {
-			return generateChurn(w, *app, *name, *n, *churn, *seed, *backend, *budget)
+			return generateChurn(w, *app, *name, *n, *churn, *seed, *backend, *budget, uint16(*idle), uint16(*hard))
 		}
 		if *out == "" {
 			return gen(os.Stdout)
@@ -257,8 +265,10 @@ func generateSubnetZipfTrace(w io.Writer, name string, n int, skew float64, seed
 // yields the same workload, so churn benchmarks are reproducible. A
 // non-empty backend pins every table the workload touches through a
 // table-options preamble; a non-zero budget pins the per-table memory
-// budget the same way.
-func generateChurn(w io.Writer, app, name string, rules, n int, seed uint64, backend string, budget uint64) error {
+// budget the same way. Non-zero idle/hard timeouts are stamped on every
+// leaf add command, turning the workload into expiry-driven churn: the
+// switch's sweeper, not only the controller's deletes, tears flows down.
+func generateChurn(w io.Writer, app, name string, rules, n int, seed uint64, backend string, budget uint64, idle, hard uint16) error {
 	if backend != "" {
 		// A pin the backend can never serve fails here, not on every
 		// replay: dir24 only accepts a single-prefix-field table shape,
@@ -288,7 +298,10 @@ func generateChurn(w io.Writer, app, name string, rules, n int, seed uint64, bac
 			// Add a random rule; re-adding a live one exercises the
 			// replace path.
 			i := rng.Intn(len(leaf))
-			cmds = append(cmds, leaf[i])
+			add := leaf[i]
+			add.Entry.IdleTimeout = idle
+			add.Entry.HardTimeout = hard
+			cmds = append(cmds, add)
 			if !live[i] {
 				live[i] = true
 				liveIdx = append(liveIdx, i)

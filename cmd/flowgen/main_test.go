@@ -114,7 +114,7 @@ func TestGenerateTraceZipfSkews(t *testing.T) {
 // against a pipeline as batched transactions.
 func TestGenerateChurn(t *testing.T) {
 	var buf bytes.Buffer
-	if err := generateChurn(&buf, "acl", "churn", 64, 600, filterset.DefaultSeed, "", 0); err != nil {
+	if err := generateChurn(&buf, "acl", "churn", 64, 600, filterset.DefaultSeed, "", 0, 0, 0); err != nil {
 		t.Fatal(err)
 	}
 	fms, err := flowtext.Read(strings.NewReader(buf.String()))
@@ -168,7 +168,7 @@ func TestGenerateChurn(t *testing.T) {
 
 	// Determinism: the same seed yields the same workload.
 	var buf2 bytes.Buffer
-	if err := generateChurn(&buf2, "acl", "churn", 64, 600, filterset.DefaultSeed, "", 0); err != nil {
+	if err := generateChurn(&buf2, "acl", "churn", 64, 600, filterset.DefaultSeed, "", 0, 0, 0); err != nil {
 		t.Fatal(err)
 	}
 	if buf.String() != buf2.String() {
@@ -177,7 +177,7 @@ func TestGenerateChurn(t *testing.T) {
 
 	// mac and route apps emit their first-table preambles.
 	var macBuf bytes.Buffer
-	if err := generateChurn(&macBuf, "mac", "bbrb", 0, 200, filterset.DefaultSeed, "", 0); err != nil {
+	if err := generateChurn(&macBuf, "mac", "bbrb", 0, 200, filterset.DefaultSeed, "", 0, 0, 0); err != nil {
 		t.Fatal(err)
 	}
 	macFMs, err := flowtext.Read(strings.NewReader(macBuf.String()))
@@ -187,7 +187,7 @@ func TestGenerateChurn(t *testing.T) {
 	if len(macFMs) != 200 || macFMs[0].Table != 0 {
 		t.Fatalf("mac churn: %d commands, first table %d", len(macFMs), macFMs[0].Table)
 	}
-	if err := generateChurn(&bytes.Buffer{}, "bogus", "x", 0, 10, 1, "", 0); err == nil {
+	if err := generateChurn(&bytes.Buffer{}, "bogus", "x", 0, 10, 1, "", 0, 0, 0); err == nil {
 		t.Error("unknown churn app should error")
 	}
 }
@@ -198,7 +198,7 @@ func TestGenerateChurn(t *testing.T) {
 // writable in the first place.
 func TestGenerateChurnDIR24Shape(t *testing.T) {
 	var buf bytes.Buffer
-	if err := generateChurn(&buf, "lpm", "feed", 64, 400, filterset.DefaultSeed, "dir24", 0); err != nil {
+	if err := generateChurn(&buf, "lpm", "feed", 64, 400, filterset.DefaultSeed, "dir24", 0, 0, 0); err != nil {
 		t.Fatalf("lpm churn with dir24 pin: %v", err)
 	}
 	parsed, err := flowtext.ReadFile(bytes.NewReader(buf.Bytes()))
@@ -240,7 +240,7 @@ func TestGenerateChurnDIR24Shape(t *testing.T) {
 	}
 
 	for _, app := range []string{"mac", "route", "acl"} {
-		err := generateChurn(&bytes.Buffer{}, app, "bbrb", 64, 100, filterset.DefaultSeed, "dir24", 0)
+		err := generateChurn(&bytes.Buffer{}, app, "bbrb", 64, 100, filterset.DefaultSeed, "dir24", 0, 0, 0)
 		if err == nil || !strings.Contains(err.Error(), "longest-prefix-match") {
 			t.Errorf("%s churn with dir24 pin: err = %v, want prefix-shape rejection", app, err)
 		}
@@ -251,7 +251,7 @@ func TestGenerateChurnDIR24Shape(t *testing.T) {
 // through a table-options preamble that round-trips through flowtext.
 func TestGenerateChurnBackendPreamble(t *testing.T) {
 	var buf bytes.Buffer
-	if err := generateChurn(&buf, "mac", "bbrb", 0, 200, filterset.DefaultSeed, "tss", 0); err != nil {
+	if err := generateChurn(&buf, "mac", "bbrb", 0, 200, filterset.DefaultSeed, "tss", 0, 0, 0); err != nil {
 		t.Fatal(err)
 	}
 	parsed, err := flowtext.ReadFile(bytes.NewReader(buf.Bytes()))
@@ -272,7 +272,7 @@ func TestGenerateChurnBackendPreamble(t *testing.T) {
 
 	// -budget composes with -backend in the same pins.
 	buf.Reset()
-	if err := generateChurn(&buf, "mac", "bbrb", 0, 200, filterset.DefaultSeed, "tss", 4_000_000); err != nil {
+	if err := generateChurn(&buf, "mac", "bbrb", 0, 200, filterset.DefaultSeed, "tss", 4_000_000, 0, 0); err != nil {
 		t.Fatal(err)
 	}
 	parsed, err = flowtext.ReadFile(bytes.NewReader(buf.Bytes()))
@@ -290,7 +290,7 @@ func TestGenerateChurnBackendPreamble(t *testing.T) {
 
 	// Without -backend there is no preamble.
 	buf.Reset()
-	if err := generateChurn(&buf, "mac", "bbrb", 0, 50, filterset.DefaultSeed, "", 0); err != nil {
+	if err := generateChurn(&buf, "mac", "bbrb", 0, 50, filterset.DefaultSeed, "", 0, 0, 0); err != nil {
 		t.Fatal(err)
 	}
 	parsed, err = flowtext.ReadFile(bytes.NewReader(buf.Bytes()))

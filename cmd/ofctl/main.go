@@ -83,13 +83,9 @@ func run(args []string) error {
 		return fmt.Errorf("usage: ofctl [-addr host:port] [-timeout 10s] <stats|memory|cache|add-mac|del-mac|add-route|del-route|load|flow-mods|packet> [flags]")
 	}
 
-	client, err := ofproto.DialContext(context.Background(), *addr, ofproto.DialOptions{
-		DialTimeout:  *timeout,
-		ReadTimeout:  *timeout,
-		WriteTimeout: *timeout,
-	})
+	client, err := dialSwitch(*addr, *timeout)
 	if err != nil {
-		return fmt.Errorf("cannot reach switch at %s: %w (is switchd running?)", *addr, err)
+		return err
 	}
 	defer func() { _ = client.Close() }()
 
@@ -112,11 +108,31 @@ func run(args []string) error {
 		return doLoad(client, rest[1:])
 	case "flow-mods":
 		return doFlowMods(client, rest[1:])
+	case "flows":
+		return doFlows(client, rest[1:])
+	case "group-mod":
+		return doGroupMod(client, rest[1:])
 	case "packet":
 		return doPacket(client, rest[1:])
 	default:
 		return fmt.Errorf("unknown subcommand %q", rest[0])
 	}
+}
+
+// dialSwitch is the one dial helper every subcommand goes through: the
+// same -timeout bounds the TCP connect, the hello exchange, and each
+// request's reads and writes, so every subcommand fails fast (with the
+// same message) against a dead switch instead of hanging.
+func dialSwitch(addr string, timeout time.Duration) (*ofproto.Client, error) {
+	client, err := ofproto.DialContext(context.Background(), addr, ofproto.DialOptions{
+		DialTimeout:  timeout,
+		ReadTimeout:  timeout,
+		WriteTimeout: timeout,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("cannot reach switch at %s: %w (is switchd running?)", addr, err)
+	}
+	return client, nil
 }
 
 func doStats(c *ofproto.Client) error {
@@ -159,6 +175,10 @@ func doStats(c *ofproto.Client) error {
 	if st.Txs > 0 || st.RejectedTxs > 0 {
 		fmt.Printf("control plane: %d transactions, %d flow-mod commands, %d rejected\n",
 			st.Txs, st.FlowModCommands, st.RejectedTxs)
+	}
+	if st.ExpiredIdle > 0 || st.ExpiredHard > 0 || st.Groups > 0 {
+		fmt.Printf("lifecycle: %d idle + %d hard expiries in %d sweeps, %d groups\n",
+			st.ExpiredIdle, st.ExpiredHard, st.ExpirySweeps, st.Groups)
 	}
 	return nil
 }
@@ -632,6 +652,132 @@ func doLoad(c *ofproto.Client, args []string) error {
 		return fmt.Errorf("unknown application %q", *app)
 	}
 	fmt.Printf("installed %d rules from %s\n", installed, *file)
+	return nil
+}
+
+// doFlows scrapes per-flow statistics (cursor-paginated; the switch
+// serves each page lock-free) or, with -agg, the aggregate roll-up.
+func doFlows(c *ofproto.Client, args []string) error {
+	fs := flag.NewFlagSet("flows", flag.ContinueOnError)
+	table := fs.Int("table", -1, "table to scrape (-1 = all tables)")
+	cookie := fs.String("cookie", "", "cookie filter V[/MASK] (empty = no filter)")
+	agg := fs.Bool("agg", false, "print the aggregate packet/byte/flow roll-up instead of per-flow rows")
+	page := fs.Uint("page", 0, "rows per request page (0 = switch default)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var ck, mask uint64
+	if *cookie != "" {
+		var err error
+		if ck, mask, err = flowtext.ParseValMask(*cookie); err != nil {
+			return fmt.Errorf("bad -cookie %q: %w", *cookie, err)
+		}
+		if mask == 0 {
+			mask = ^uint64(0)
+		}
+	}
+	t := ofproto.AllTables
+	if *table >= 0 {
+		if *table > 0xFE {
+			return fmt.Errorf("-table must be 0-254 or -1, got %d", *table)
+		}
+		t = uint8(*table)
+	}
+	if *agg {
+		reply, err := c.AggregateStats(&ofproto.AggregateStatsRequest{Table: t, Cookie: ck, CookieMask: mask})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("flows: %d, packets: %d, bytes: %d\n", reply.Flows, reply.Packets, reply.Bytes)
+		return nil
+	}
+	req := ofproto.FlowStatsRequest{Table: t, Max: uint16(*page), Cookie: ck, CookieMask: mask}
+	n := 0
+	err := c.VisitFlowStats(req, func(row *ofproto.FlowStatsRow) bool {
+		n++
+		fmt.Printf("table=%d age=%ds idle_age=%ds pkts=%d bytes=%d %s\n",
+			row.Table, row.Age, row.IdleAge, row.Packets, row.Bytes, row.Entry.String())
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%d flows\n", n)
+	return nil
+}
+
+// bucketList collects repeated -bucket flags: each value is one
+// bucket's comma-separated action tokens (out=N | out=controller |
+// drop), e.g. `-bucket out=1 -bucket out=2,out=3`.
+type bucketList [][]openflow.Action
+
+func (b *bucketList) String() string { return fmt.Sprintf("%d buckets", len(*b)) }
+
+func (b *bucketList) Set(s string) error {
+	var acts []openflow.Action
+	for _, tok := range strings.Split(s, ",") {
+		tok = strings.TrimSpace(tok)
+		key, val, _ := strings.Cut(tok, "=")
+		switch key {
+		case "out":
+			if val == "controller" {
+				acts = append(acts, openflow.Output(openflow.ControllerPort))
+				continue
+			}
+			p, err := strconv.ParseUint(val, 10, 32)
+			if err != nil {
+				return fmt.Errorf("bad output port %q", val)
+			}
+			acts = append(acts, openflow.Output(uint32(p)))
+		case "drop":
+			acts = append(acts, openflow.Drop())
+		default:
+			return fmt.Errorf("unknown bucket action %q (want out=N, out=controller or drop)", tok)
+		}
+	}
+	*b = append(*b, acts)
+	return nil
+}
+
+// doGroupMod applies one group-table modification.
+func doGroupMod(c *ofproto.Client, args []string) error {
+	fs := flag.NewFlagSet("group-mod", flag.ContinueOnError)
+	op := fs.String("op", "add", "operation: add | modify | delete")
+	id := fs.Uint("id", 0, "group ID")
+	typ := fs.String("type", "all", "group type: all | indirect")
+	var buckets bucketList
+	fs.Var(&buckets, "bucket", "one bucket's comma-separated actions (repeatable): out=N | out=controller | drop")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	gm := ofproto.GroupMod{ID: uint32(*id), Buckets: buckets}
+	switch *op {
+	case "add":
+		gm.Op = ofproto.GroupModAdd
+	case "modify":
+		gm.Op = ofproto.GroupModModify
+	case "delete":
+		gm.Op = ofproto.GroupModDelete
+	default:
+		return fmt.Errorf("unknown -op %q (want add, modify or delete)", *op)
+	}
+	switch *typ {
+	case "all":
+		gm.Type = core.GroupAll
+	case "indirect":
+		gm.Type = core.GroupIndirect
+	default:
+		return fmt.Errorf("unknown -type %q (want all or indirect)", *typ)
+	}
+	if err := c.SendGroupMod(&gm); err != nil {
+		return err
+	}
+	switch gm.Op {
+	case ofproto.GroupModDelete:
+		fmt.Printf("deleted group %d\n", gm.ID)
+	default:
+		fmt.Printf("%s group %d type=%s with %d bucket(s)\n", *op, gm.ID, *typ, len(gm.Buckets))
+	}
 	return nil
 }
 

@@ -13,6 +13,7 @@
 //	switchd -listen :6653 -backend tss             # tuple-space search in every table
 //	switchd -listen :6653 -memlog 30s              # periodic live memory accounting logs
 //	switchd -listen :6653 -membudget 40000000      # 40 Mbit process memory budget
+//	switchd -listen :6653 -flow-expiry 500ms       # idle/hard timeout sweep interval
 //	switchd -listen :6653 -read-timeout 30s        # keepalive probe / dead-peer interval
 //
 // -backend selects the lookup scheme tables run (mbt, the paper's
@@ -102,6 +103,7 @@ func run() error {
 		backend  = flag.String("backend", "", "default per-table lookup backend: mbt | tss | lineartcam | dir24 (dir24 applies only to single-field IPv4 prefix tables; others fall back to mbt)")
 		memlog   = flag.Duration("memlog", 0, "interval for periodic memory-accounting logs (0 = disabled)")
 		budget   = flag.Uint64("membudget", 0, "process-wide memory budget in modelled bits (0 = unlimited); over-budget flow-mods are rejected TABLE_FULL")
+		expiry   = flag.Duration("flow-expiry", time.Second, "flow idle/hard timeout sweep interval (0 = timeouts never fire)")
 		readTO   = flag.Duration("read-timeout", time.Minute, "per-read deadline and keepalive probe interval (0 = disabled)")
 		writeTO  = flag.Duration("write-timeout", 30*time.Second, "per-write deadline on replies (0 = disabled)")
 		drain    = flag.Duration("drain", 5*time.Second, "graceful-shutdown drain window before in-flight connections are force-closed")
@@ -168,6 +170,16 @@ func run() error {
 	// Publish the initial snapshot now so the first packet doesn't pay
 	// for the clone.
 	pipeline.Refresh()
+	if *expiry > 0 {
+		// Background expiry sweeper: each tick batches every expired
+		// flow into one transaction — one snapshot publish and one
+		// precise cache invalidation per sweep, however many flows fire.
+		pipeline.StartExpiry(*expiry)
+		defer pipeline.StopExpiry()
+		log.Printf("switchd: flow expiry sweeper armed, %v interval", *expiry)
+	} else {
+		log.Printf("switchd: flow expiry disabled; idle/hard timeouts never fire")
+	}
 
 	l, err := net.Listen("tcp", *listen)
 	if err != nil {
@@ -236,6 +248,11 @@ func run() error {
 		tc := pipeline.TxCounters()
 		log.Printf("switchd: control plane served %d transactions (%d flow-mod commands, %d rejected)",
 			tc.Txs, tc.Commands, tc.Rejected)
+		lc := pipeline.LifecycleStats()
+		if lc.ExpiredIdle > 0 || lc.ExpiredHard > 0 {
+			log.Printf("switchd: flow lifecycle: %d idle-expired, %d hard-expired over %d sweeps (%d flows live)",
+				lc.ExpiredIdle, lc.ExpiredHard, lc.Sweeps, lc.Flows)
+		}
 		sc := srv.Counters()
 		log.Printf("switchd: wire layer: %d connections accepted, %d dead peers dropped, %d handler panics recovered",
 			sc.Accepted, sc.DeadPeers, sc.Panics)

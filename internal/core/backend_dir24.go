@@ -586,7 +586,7 @@ func (b *dir24Backend) Lookup(h *openflow.Header) (MatchResult, bool) {
 		return MatchResult{}, false
 	}
 	ent := b.arena[(ref-1)>>dir24ChunkShift][(ref-1)&(dir24ChunkSlots-1)]
-	return MatchResult{Instructions: ent.entry.Instructions, Priority: ent.entry.Priority}, true
+	return MatchResult{Instructions: ent.entry.Instructions, Priority: ent.entry.Priority, Ref: ent.entry.Ref}, true
 }
 
 // LookupTraced implements Backend. The direct read consults exactly the
@@ -609,7 +609,7 @@ func (b *dir24Backend) LookupTraced(h *openflow.Header, tr *flowMask) (MatchResu
 		return MatchResult{}, false
 	}
 	ent := b.arena[(ref-1)>>dir24ChunkShift][(ref-1)&(dir24ChunkSlots-1)]
-	return MatchResult{Instructions: ent.entry.Instructions, Priority: ent.entry.Priority}, true
+	return MatchResult{Instructions: ent.entry.Instructions, Priority: ent.entry.Priority, Ref: ent.entry.Ref}, true
 }
 
 // --- Backend snapshotting and accounting ------------------------------

@@ -114,7 +114,7 @@ func (b *mbtBackend) Insert(e *openflow.FlowEntry) error {
 		key[i] = lab
 	}
 	actionIdx := b.actions.Add(e.Instructions)
-	if err := b.combos.Insert(key, crossprod.Binding{Priority: e.Priority, Payload: actionIdx}); err != nil {
+	if err := b.combos.Insert(key, crossprod.Binding{Priority: e.Priority, Payload: actionIdx, Ref: e.Ref}); err != nil {
 		_ = b.actions.Release(actionIdx)
 		for _, s := range b.searchers {
 			_ = s.Remove(matchFor(e, s.Field()))
@@ -155,7 +155,7 @@ func (b *mbtBackend) Remove(e *openflow.FlowEntry) error {
 	if !ok {
 		return fmt.Errorf("core: table %d remove: instruction set not installed", b.cfg.ID)
 	}
-	if err := b.combos.Remove(key, crossprod.Binding{Priority: e.Priority, Payload: actionIdx}); err != nil {
+	if err := b.combos.Remove(key, crossprod.Binding{Priority: e.Priority, Payload: actionIdx, Ref: e.Ref}); err != nil {
 		return fmt.Errorf("core: table %d remove: %w", b.cfg.ID, err)
 	}
 	for _, s := range b.searchers {
@@ -400,7 +400,7 @@ func (b *mbtBackend) lookupInner(h *openflow.Header, tr *flowMask) (MatchResult,
 		// a dangling index would be an internal invariant violation.
 		return MatchResult{}, false
 	}
-	return MatchResult{Instructions: instrs, Priority: best.Priority}, true
+	return MatchResult{Instructions: instrs, Priority: best.Priority, Ref: best.Ref}, true
 }
 
 // Clone implements Backend.

@@ -133,7 +133,7 @@ func (b *tcamBackend) Remove(e *openflow.FlowEntry) error {
 func (b *tcamBackend) Lookup(h *openflow.Header) (MatchResult, bool) {
 	for _, ent := range b.entries {
 		if ent.entry.MatchesHeader(h) {
-			return MatchResult{Instructions: ent.entry.Instructions, Priority: ent.entry.Priority}, true
+			return MatchResult{Instructions: ent.entry.Instructions, Priority: ent.entry.Priority, Ref: ent.entry.Ref}, true
 		}
 	}
 	return MatchResult{}, false
@@ -149,7 +149,7 @@ func (b *tcamBackend) LookupTraced(h *openflow.Header, tr *flowMask) (MatchResul
 			tr.traceMatch(&ent.entry.Matches[i])
 		}
 		if ent.entry.MatchesHeader(h) {
-			return MatchResult{Instructions: ent.entry.Instructions, Priority: ent.entry.Priority}, true
+			return MatchResult{Instructions: ent.entry.Instructions, Priority: ent.entry.Priority, Ref: ent.entry.Ref}, true
 		}
 	}
 	return MatchResult{}, false

@@ -316,7 +316,7 @@ func (b *tssBackend) Lookup(h *openflow.Header) (MatchResult, bool) {
 	if best == nil {
 		return MatchResult{}, false
 	}
-	return MatchResult{Instructions: best.entry.Instructions, Priority: best.entry.Priority}, true
+	return MatchResult{Instructions: best.entry.Instructions, Priority: best.entry.Priority, Ref: best.entry.Ref}, true
 }
 
 // LookupTraced implements Backend. Every probed tuple consults exactly

@@ -83,6 +83,12 @@ type flowCacheEntry struct {
 	key flowKey
 	ver uint64
 	res Result
+	// refs/nrefs attribute a hit to the rules the recorded walk matched
+	// (per-flow counters). Valid whenever ver matches the reader's
+	// snapshot: refs can only go stale through a commit, and a commit
+	// bumps the version.
+	refs  [ctrRefMax]uint32
+	nrefs uint8
 }
 
 // flowCacheProbe bounds the linear probe window within a shard.
@@ -137,19 +143,20 @@ func (c *flowCache) shardOf(fp uint64) *flowCacheShard {
 	return &c.shards[fp&(flowCacheShards-1)]
 }
 
-// lookup returns the cached Result for (key, ver), if present. The
-// counters are left to the caller, so batch workers can accumulate them
-// locally and flush once per batch.
-func (c *flowCache) lookup(fp uint64, key *flowKey, ver uint64) (Result, bool) {
+// lookup returns the cached entry for (key, ver), if present. The
+// entry is immutable; callers read its Result and counter attribution
+// in place. The hit/miss counters are left to the caller, so batch
+// workers can accumulate them locally and flush once per batch.
+func (c *flowCache) lookup(fp uint64, key *flowKey, ver uint64) (*flowCacheEntry, bool) {
 	sh := c.shardOf(fp)
 	base := fp >> 3
 	for i := uint64(0); i < flowCacheProbe; i++ {
 		e := sh.slots[(base+i)&c.slotMask].Load()
 		if e != nil && e.ver == ver && e.key == *key {
-			return e.res, true
+			return e, true
 		}
 	}
-	return Result{}, false
+	return nil, false
 }
 
 // store publishes the walk outcome for (key, ver). It prefers an empty
@@ -157,7 +164,7 @@ func (c *flowCache) lookup(fp uint64, key *flowKey, ver uint64) (Result, bool) {
 // entries it overwrites the slot the fingerprint points at (random
 // replacement within the set). Fills race benignly: the losing entry is
 // simply re-learned on a later miss.
-func (c *flowCache) store(fp uint64, key *flowKey, ver uint64, res Result) {
+func (c *flowCache) store(fp uint64, key *flowKey, ver uint64, res Result, refs *[ctrRefMax]uint32, nrefs int) {
 	sh := c.shardOf(fp)
 	base := fp >> 3
 	victim := &sh.slots[base&c.slotMask]
@@ -173,7 +180,11 @@ func (c *flowCache) store(fp uint64, key *flowKey, ver uint64, res Result) {
 			break
 		}
 	}
-	victim.Store(&flowCacheEntry{key: *key, ver: ver, res: res})
+	ne := &flowCacheEntry{key: *key, ver: ver, res: res, nrefs: uint8(nrefs)}
+	if refs != nil {
+		ne.refs = *refs
+	}
+	victim.Store(ne)
 }
 
 // addStats folds locally-accumulated counters into a shard. Batch

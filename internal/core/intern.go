@@ -232,6 +232,14 @@ type execScratch struct {
 	traced    bool     // record consulted bits into tr
 	tr        flowMask // union of consulted bits (valid when traced)
 	rewritten uint64   // FieldIDs mutated mid-walk (always tracked; cheap)
+
+	// refs collects the lifecycle refs of the rules the walk matched, for
+	// per-flow counter attribution. refOverflow marks a walk that matched
+	// more rules than the bound; such an outcome is counted (first
+	// ctrRefMax rules) but never installed into a cache tier.
+	refs        [ctrRefMax]uint32
+	nrefs       int
+	refOverflow bool
 }
 
 func (sc *execScratch) reset() {
@@ -240,6 +248,8 @@ func (sc *execScratch) reset() {
 	sc.as.clear()
 	sc.traced = false
 	sc.rewritten = 0
+	sc.nrefs = 0
+	sc.refOverflow = false
 }
 
 var execScratchPool = sync.Pool{New: func() any { return &execScratch{} }}

@@ -70,6 +70,14 @@ type megaflowEntry struct {
 	rewritten atomic.Uint64
 	key       [flowKeyWords]atomic.Uint64
 	res       atomic.Pointer[Result]
+	// refs/nrefs attribute a hit to the rules the recorded walk matched
+	// (per-flow counters), written inside the seqlock window like every
+	// other field. Survivor re-stamping keeps them valid: an entry whose
+	// matched rule was removed necessarily overlaps that rule's shadow
+	// (the recorded packet lay in both) and is evicted, so a re-stamped
+	// survivor only ever references surviving rules.
+	nrefs atomic.Uint32
+	refs  [ctrRefMax]atomic.Uint32
 }
 
 // megaflowTuple is one mask's slot array.
@@ -153,13 +161,14 @@ func (m *megaflowCache) addStats(fp uint64, hits, misses uint64) {
 }
 
 // lookup probes every tuple with the key masked by the tuple's mask and
-// returns the first valid entry's Result. First match wins: when two
-// cached regions both cover a packet, the invariant makes both results
-// equal, so no priority arbitration is needed.
-func (m *megaflowCache) lookup(k *flowKey, ver uint64) (Result, bool) {
+// returns the first valid entry's Result, copying the entry's counter
+// attribution into refs. First match wins: when two cached regions both
+// cover a packet, the invariant makes both results equal, so no
+// priority arbitration is needed.
+func (m *megaflowCache) lookup(k *flowKey, ver uint64, refs *[ctrRefMax]uint32) (Result, int, bool) {
 	tuples := m.tuples.Load()
 	if tuples == nil {
-		return Result{}, false
+		return Result{}, 0, false
 	}
 	for _, tp := range *tuples {
 		fp := maskedFingerprint(k, &tp.mask)
@@ -184,20 +193,27 @@ func (m *megaflowCache) lookup(k *flowKey, ver uint64) (Result, bool) {
 				continue
 			}
 			rp := e.res.Load()
+			nrefs := int(e.nrefs.Load())
+			if nrefs > ctrRefMax {
+				nrefs = ctrRefMax
+			}
+			for r := 0; r < nrefs; r++ {
+				refs[r] = e.refs[r].Load()
+			}
 			if rp == nil || e.seq.Load() != seq {
 				continue // torn read; treat as miss
 			}
-			return *rp, true
+			return *rp, nrefs, true
 		}
 	}
-	return Result{}, false
+	return Result{}, 0, false
 }
 
 // install publishes a traced walk outcome: (key & mask, mask) → res,
 // valid for snapshot version ver. res must be an interned (immutable,
 // shared) Result pointer. Steady-state installs allocate nothing; only
 // the first appearance of a new mask allocates its tuple.
-func (m *megaflowCache) install(k *flowKey, mask *flowMask, rewritten uint64, ver uint64, res *Result) {
+func (m *megaflowCache) install(k *flowKey, mask *flowMask, rewritten uint64, ver uint64, res *Result, refs *[ctrRefMax]uint32, nrefs int) {
 	if failpoint.Inject(failpoint.SiteCacheInstall) != nil {
 		// A modelled install failure drops the entry; the walk already
 		// ran, so the region simply re-learns on a later miss.
@@ -261,6 +277,13 @@ func (m *megaflowCache) install(k *flowKey, mask *flowMask, rewritten uint64, ve
 	}
 	victim.rewritten.Store(rewritten)
 	victim.res.Store(res)
+	if nrefs > ctrRefMax {
+		nrefs = ctrRefMax
+	}
+	for r := 0; r < nrefs; r++ {
+		victim.refs[r].Store(refs[r])
+	}
+	victim.nrefs.Store(uint32(nrefs))
 	victim.ver.Store(ver)
 	victim.seq.Add(1) // even: published
 }

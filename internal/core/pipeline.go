@@ -87,6 +87,32 @@ type Pipeline struct {
 	// rule updates and snapshot rebuilds.
 	intern resultIntern
 
+	// dir is the flow lifecycle directory: per-flow counters, idle/hard
+	// timeout state, and the ref allocator (see lifecycle.go).
+	dir *flowDir
+
+	// Group-table state: the mutable table, the immutable execution view,
+	// and the generation counter whose bump marks every snapshot stale
+	// after a group mutation (see groups.go).
+	groupTab   *groupTable
+	groupsView atomic.Pointer[groupView]
+	groupGen   atomic.Uint64
+
+	// Expiry sweeper state and lifecycle telemetry.
+	expiryMu    sync.Mutex
+	expiryStop  chan struct{}
+	expiryWG    sync.WaitGroup
+	expiredIdle atomic.Uint64
+	expiredHard atomic.Uint64
+	sweeps      atomic.Uint64
+
+	// Flow-removed notification ring (see FlowRemovedSince).
+	removedMu      sync.Mutex
+	removedRing    [removedRingSize]FlowRemoved
+	removedHead    uint64
+	removedTotal   atomic.Uint64
+	removedDropped atomic.Uint64
+
 	// Transaction telemetry (see TxCounters).
 	txCommitted atomic.Uint64
 	txCommands  atomic.Uint64
@@ -108,7 +134,10 @@ func NewPipeline() *Pipeline {
 	p := &Pipeline{
 		tables:         make(map[openflow.TableID]*LookupTable),
 		defaultBackend: defaultBackendFromEnv(),
+		dir:            newFlowDir(),
+		groupTab:       newGroupTable(),
 	}
+	p.groupsView.Store(emptyGroupView)
 	if n, err := strconv.Atoi(os.Getenv(EnvMegaflow)); err == nil && n > 0 {
 		p.SetMegaflowSize(n)
 	}
@@ -154,6 +183,8 @@ func (p *Pipeline) AddTable(cfg TableConfig) (*LookupTable, error) {
 	if t.budgetBits > 0 {
 		p.tableBudgets.Add(1)
 	}
+	t.dir = p.dir
+	t.groups = p.groupTab
 	p.tables[cfg.ID] = t
 	p.order = append(p.order, cfg.ID)
 	sort.Slice(p.order, func(i, j int) bool { return p.order[i] < p.order[j] })
@@ -302,6 +333,12 @@ type actionSet struct {
 	output   []uint32
 	drop     bool
 	setField []openflow.Action
+	// group is the group the set hands the packet to; an action set holds
+	// at most one group reference (later writes replace it), and at the
+	// final run the group takes precedence over a plain output, as in the
+	// OpenFlow action-set ordering.
+	group    uint32
+	hasGroup bool
 	hasAny   bool
 }
 
@@ -317,8 +354,11 @@ func (as *actionSet) write(actions []openflow.Action) {
 			as.output = as.output[:0]
 		case openflow.ActionSetField:
 			as.setField = append(as.setField, a)
-		case openflow.ActionGroup, openflow.ActionSetQueue:
-			// Modelled as pass-through annotations; no pipeline effect.
+		case openflow.ActionGroup:
+			as.group, as.hasGroup = a.Port, true
+			as.drop = false
+		case openflow.ActionSetQueue:
+			// Modelled as a pass-through annotation; no pipeline effect.
 		case openflow.ActionPushVLAN, openflow.ActionPopVLAN:
 			// Header restructuring actions are applied at egress.
 		}
@@ -331,6 +371,7 @@ func (as *actionSet) clear() {
 	as.output = as.output[:0]
 	as.drop = false
 	as.setField = as.setField[:0]
+	as.group, as.hasGroup = 0, false
 	as.hasAny = false
 }
 
@@ -355,47 +396,80 @@ func (p *Pipeline) Execute(h *openflow.Header) Result {
 	s := p.loadSnapshot()
 	c := p.cache.Load()
 	m := p.mega.Load()
+	d := p.dir
 	if c == nil && m == nil {
-		return s.execute(h)
+		sc := execScratchPool.Get().(*execScratch)
+		res := s.executeScratch(h, sc)
+		if d != nil && sc.nrefs > 0 {
+			d.touch(0, &sc.refs, sc.nrefs, h.PktLen)
+		}
+		execScratchPool.Put(sc)
+		return res
 	}
 	// The key is packed before the walk: mid-walk mutations apply to the
 	// forwarded copy, and both cache tiers key on the original header.
 	var k flowKey
 	packFlowKey(&k, h)
 	fp := k.fingerprint()
-	// The single-packet path counts per packet on the fingerprint's
-	// shard. Flows spread across 8 padded counter lines, but one
+	// The single-packet path charges flow counters on the fingerprint's
+	// shard. Flows spread across the padded counter lines, but one
 	// elephant flow hammered from many cores concentrates on one line;
-	// batching the counters needs per-worker state, which only the
-	// batch path has (execCtx) — at scale, use ExecuteBatch.
+	// spreading THAT needs per-worker state, which only the batch path
+	// has (execCtx) — at scale, use ExecuteBatch.
+	shard := uint32(fp) & (ctrShards - 1)
 	if c != nil {
 		sh := c.shardOf(fp)
-		if res, ok := c.lookup(fp, &k, s.version); ok {
+		if e, ok := c.lookup(fp, &k, s.version); ok {
 			sh.hits.Add(1)
-			return res
+			if d != nil && e.nrefs > 0 {
+				d.touch(shard, &e.refs, int(e.nrefs), h.PktLen)
+			}
+			return e.res
 		}
 		sh.misses.Add(1)
 	}
 	if m != nil {
 		msh := m.shardOf(fp)
-		if res, ok := m.lookup(&k, s.version); ok {
+		var mrefs [ctrRefMax]uint32
+		if res, nrefs, ok := m.lookup(&k, s.version, &mrefs); ok {
 			// A megaflow hit does NOT back-fill the microflow tier:
 			// all-new-flow traffic (the regime this tier exists for)
 			// would churn the exact-match slots without ever re-hitting
 			// them, and the microflow fill path allocates.
 			msh.hits.Add(1)
+			if d != nil && nrefs > 0 {
+				d.touch(shard, &mrefs, nrefs, h.PktLen)
+			}
 			return res
 		}
 		msh.misses.Add(1)
-		res, rp, mask, rewritten := s.executeTraced(h)
-		m.install(&k, &mask, rewritten, s.version, rp)
-		if c != nil {
-			c.store(fp, &k, s.version, res)
+		sc := execScratchPool.Get().(*execScratch)
+		res := s.executeTracedScratch(h, sc)
+		rp := s.intern.internResult(res)
+		if d != nil && sc.nrefs > 0 {
+			d.touch(shard, &sc.refs, sc.nrefs, h.PktLen)
 		}
+		// A walk that matched more rules than a cached attribution can
+		// carry skips both installs: serving it from a cache would
+		// silently stop counting the overflowed rules.
+		if !sc.refOverflow {
+			m.install(&k, &sc.tr, sc.rewritten, s.version, rp, &sc.refs, sc.nrefs)
+			if c != nil {
+				c.store(fp, &k, s.version, res, &sc.refs, sc.nrefs)
+			}
+		}
+		execScratchPool.Put(sc)
 		return res
 	}
-	res := s.execute(h)
-	c.store(fp, &k, s.version, res)
+	sc := execScratchPool.Get().(*execScratch)
+	res := s.executeScratch(h, sc)
+	if d != nil && sc.nrefs > 0 {
+		d.touch(shard, &sc.refs, sc.nrefs, h.PktLen)
+	}
+	if !sc.refOverflow {
+		c.store(fp, &k, s.version, res, &sc.refs, sc.nrefs)
+	}
+	execScratchPool.Put(sc)
 	return res
 }
 
@@ -408,7 +482,7 @@ func (p *Pipeline) Execute(h *openflow.Header) Result {
 // policy fires — is a function of classification outcomes, which are
 // functions of the traced bits, so the trace needs no extra terms for
 // the walk structure itself.
-func executeWalk(order []openflow.TableID, byID *[256]*LookupTable, h *openflow.Header, sc *execScratch, res *Result) {
+func executeWalk(order []openflow.TableID, byID *[256]*LookupTable, gv *groupView, h *openflow.Header, sc *execScratch, res *Result) {
 	as := &sc.as
 	cur := order[0]
 	for steps := 0; steps <= len(order); steps++ {
@@ -444,6 +518,18 @@ func executeWalk(order []openflow.TableID, byID *[256]*LookupTable, h *openflow.
 		}
 		res.Matched = true
 		res.MatchedTables++
+		if m.Ref != 0 {
+			// Record the winning rule for counter attribution. The bound
+			// covers every interned path; the rare deeper walk counts the
+			// first ctrRefMax rules and marks the overflow so the outcome
+			// is never cached with a truncated attribution.
+			if sc.nrefs < ctrRefMax {
+				sc.refs[sc.nrefs] = m.Ref
+				sc.nrefs++
+			} else {
+				sc.refOverflow = true
+			}
+		}
 
 		next, hasNext := applyInstructions(h, sc, m.Instructions)
 		if !hasNext {
@@ -467,6 +553,10 @@ func executeWalk(order []openflow.TableID, byID *[256]*LookupTable, h *openflow.
 	switch {
 	case as.drop:
 		res.Dropped = true
+	case as.hasGroup:
+		// The group takes precedence over a plain output, as in the
+		// OpenFlow action-set ordering.
+		runGroup(gv, as.group, sc, res)
 	case len(as.output) > 0:
 		for _, port := range as.output {
 			if port == openflow.ControllerPort {
@@ -506,8 +596,10 @@ func applyInstructions(h *openflow.Header, sc *execScratch, instrs []openflow.In
 						h.Set(a.Field, a.Value)
 						sc.rewritten |= rewrittenBit(a.Field)
 					}
-				case openflow.ActionOutput:
-					// Immediate output: model as joining the action set.
+				case openflow.ActionOutput, openflow.ActionGroup:
+					// Immediate output / group hand-off: model as joining
+					// the action set (the group then runs at the final
+					// action-set execution, once).
 					as.write([]openflow.Action{a})
 				}
 			}

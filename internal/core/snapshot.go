@@ -46,6 +46,16 @@ type snapshot struct {
 	// intern points at the owning pipeline's canonical-slice store, which
 	// keeps Result construction allocation-free (see intern.go).
 	intern *resultIntern
+	// groups is the immutable group-table view this snapshot executes
+	// against; groupGen is the generation it was captured at. A group
+	// mutation bumps the pipeline's generation, so the next lookup finds
+	// the snapshot stale and republishes — which is what invalidates every
+	// cached result that baked in the old buckets.
+	groups   *groupView
+	groupGen uint64
+	// dir is the owning pipeline's lifecycle directory (counter
+	// attribution for walks executed against this snapshot).
+	dir *flowDir
 	// mem is the per-table memory accounting of the state this snapshot
 	// serves, captured from the tables' published counters at build time.
 	// A reader holding the snapshot therefore sees lookup results and
@@ -63,6 +73,9 @@ type snapTable struct {
 // fresh reports whether the snapshot still reflects the live tables.
 func (s *snapshot) fresh(p *Pipeline) bool {
 	if s.structGen != p.structGen.Load() {
+		return false
+	}
+	if s.groupGen != p.groupGen.Load() {
 		return false
 	}
 	for i, src := range s.srcs {
@@ -92,7 +105,7 @@ func (s *snapshot) executeScratch(h *openflow.Header, sc *execScratch) Result {
 		return res
 	}
 	sc.reset()
-	executeWalk(s.order, &s.byID, h, sc, &res)
+	executeWalk(s.order, &s.byID, s.groups, h, sc, &res)
 	res.TablesVisited = s.intern.internPath(sc.visited)
 	res.Outputs = s.intern.internOutputs(sc.outs)
 	return res
@@ -113,7 +126,7 @@ func (s *snapshot) executeTracedScratch(h *openflow.Header, sc *execScratch) Res
 		res.SentToController = true
 		return res
 	}
-	executeWalk(s.order, &s.byID, h, sc, &res)
+	executeWalk(s.order, &s.byID, s.groups, h, sc, &res)
 	res.TablesVisited = s.intern.internPath(sc.visited)
 	res.Outputs = s.intern.internOutputs(sc.outs)
 	return res
@@ -166,6 +179,9 @@ func (p *Pipeline) rebuildSnapshotLocked() *snapshot {
 		order:     append([]openflow.TableID(nil), p.order...),
 		tables:    make(map[openflow.TableID]*snapTable, len(p.tables)),
 		intern:    &p.intern,
+		groups:    p.groupsView.Load(),
+		groupGen:  p.groupGen.Load(),
+		dir:       p.dir,
 	}
 	ns.mem.BudgetBits = p.memBudget.Load()
 	for id, t := range p.tables {
@@ -226,9 +242,13 @@ type execCtx struct {
 	sc      execScratch
 	hits    uint64
 	misses  uint64
-	mhits   uint64   // megaflow-tier hits
-	mmisses uint64   // megaflow-tier misses
-	_       [64]byte // keep neighbouring workers' contexts off one line
+	mhits   uint64 // megaflow-tier hits
+	mmisses uint64 // megaflow-tier misses
+	// shard is the lifecycle counter shard this worker charges; workers
+	// map to distinct shards, so per-flow counting in a batch is
+	// single-writer per (shard, flow) cell.
+	shard uint32
+	_     [64]byte // keep neighbouring workers' contexts off one line
 }
 
 // padCursor is a cache-line-isolated work cursor; one per worker region,
@@ -246,6 +266,7 @@ type batchState struct {
 	s       *snapshot
 	c       *flowCache
 	m       *megaflowCache
+	d       *flowDir
 	hs      []*openflow.Header
 	res     []Result
 	workers int
@@ -323,6 +344,7 @@ func batchWorker(jobs chan batchJob) {
 // descheduled workers) never leave a core idle.
 func (bs *batchState) work(w int) {
 	ctx := &bs.ctxs[w]
+	ctx.shard = uint32(w)
 	for v := 0; v < bs.workers; v++ {
 		bs.drain((w+v)%bs.workers, ctx)
 	}
@@ -375,35 +397,58 @@ func (bs *batchState) execOne(h *openflow.Header, ctx *execCtx) Result {
 		return Result{SentToController: true}
 	}
 	if bs.c == nil && bs.m == nil {
-		return bs.s.executeScratch(h, &ctx.sc)
+		res := bs.s.executeScratch(h, &ctx.sc)
+		bs.touchWalked(ctx, h)
+		return res
 	}
 	var k flowKey
 	packFlowKey(&k, h)
 	fp := k.fingerprint()
 	if bs.c != nil {
-		if res, ok := bs.c.lookup(fp, &k, bs.s.version); ok {
+		if e, ok := bs.c.lookup(fp, &k, bs.s.version); ok {
 			ctx.hits++
-			return res
+			if bs.d != nil && e.nrefs > 0 {
+				bs.d.touch(ctx.shard, &e.refs, int(e.nrefs), h.PktLen)
+			}
+			return e.res
 		}
 		ctx.misses++
 	}
 	if bs.m != nil {
-		if res, ok := bs.m.lookup(&k, bs.s.version); ok {
+		var mrefs [ctrRefMax]uint32
+		if res, nrefs, ok := bs.m.lookup(&k, bs.s.version, &mrefs); ok {
 			ctx.mhits++
+			if bs.d != nil && nrefs > 0 {
+				bs.d.touch(ctx.shard, &mrefs, nrefs, h.PktLen)
+			}
 			return res
 		}
 		ctx.mmisses++
 		res := bs.s.executeTracedScratch(h, &ctx.sc)
 		rp := bs.s.intern.internResult(res)
-		bs.m.install(&k, &ctx.sc.tr, ctx.sc.rewritten, bs.s.version, rp)
-		if bs.c != nil {
-			bs.c.store(fp, &k, bs.s.version, res)
+		bs.touchWalked(ctx, h)
+		if !ctx.sc.refOverflow {
+			bs.m.install(&k, &ctx.sc.tr, ctx.sc.rewritten, bs.s.version, rp, &ctx.sc.refs, ctx.sc.nrefs)
+			if bs.c != nil {
+				bs.c.store(fp, &k, bs.s.version, res, &ctx.sc.refs, ctx.sc.nrefs)
+			}
 		}
 		return res
 	}
 	res := bs.s.executeScratch(h, &ctx.sc)
-	bs.c.store(fp, &k, bs.s.version, res)
+	bs.touchWalked(ctx, h)
+	if !ctx.sc.refOverflow {
+		bs.c.store(fp, &k, bs.s.version, res, &ctx.sc.refs, ctx.sc.nrefs)
+	}
 	return res
+}
+
+// touchWalked charges the packet to the flows the walk just matched
+// (recorded in the worker's scratch), on the worker's counter shard.
+func (bs *batchState) touchWalked(ctx *execCtx, h *openflow.Header) {
+	if bs.d != nil && ctx.sc.nrefs > 0 {
+		bs.d.touch(ctx.shard, &ctx.sc.refs, ctx.sc.nrefs, h.PktLen)
+	}
 }
 
 // ExecuteBatch classifies every header through the pipeline and returns
@@ -454,6 +499,7 @@ func (p *Pipeline) ExecuteBatchInto(hs []*openflow.Header, res []Result) []Resul
 	bs.s = p.loadSnapshot()
 	bs.c = p.cache.Load()
 	bs.m = p.mega.Load()
+	bs.d = p.dir
 	bs.hs = hs
 	bs.res = res
 	bs.workers = workers
@@ -470,7 +516,7 @@ func (p *Pipeline) ExecuteBatchInto(hs []*openflow.Header, res []Result) []Resul
 	bs.work(0) // the caller is worker 0
 	bs.wg.Wait()
 
-	bs.s, bs.c, bs.m, bs.hs, bs.res = nil, nil, nil, nil, nil
+	bs.s, bs.c, bs.m, bs.d, bs.hs, bs.res = nil, nil, nil, nil, nil, nil
 	batchStatePool.Put(bs)
 	return res
 }

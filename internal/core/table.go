@@ -78,6 +78,15 @@ type LookupTable struct {
 	// published TableMemory carries a copy for lock-free readers.
 	budgetBits uint64
 
+	// dir is the owning pipeline's lifecycle directory; nil for standalone
+	// tables, whose entries then carry Ref 0 (no counter attribution, no
+	// timeouts). Set by Pipeline.AddTable; guarded like all mutation state.
+	dir *flowDir
+
+	// groups is the owning pipeline's group table; nil for standalone
+	// tables, which then skip group reference accounting.
+	groups *groupTable
+
 	// suspendPublish defers stats publication during a multi-command
 	// transaction: the commit republishes once per touched table instead
 	// of once per primitive mutation, which keeps a 256-command commit
@@ -210,7 +219,25 @@ func (t *LookupTable) Insert(e *openflow.FlowEntry) error {
 		return err
 	}
 	sr := t.store.add(e)
+	if t.groups != nil {
+		if err := t.groups.acquire(sr.entry.Instructions); err != nil {
+			t.store.remove(sr)
+			return err
+		}
+	}
+	// The lifecycle ref is stamped into the stored entry BEFORE the
+	// backend insert: backends copy the entry by value, so the ref must be
+	// present when the copy is taken for lookups to attribute matches.
+	if t.dir != nil {
+		sr.entry.Ref = t.dir.alloc(&sr.entry, t.cfg.ID, sr.entry.IdleTimeout, sr.entry.HardTimeout)
+	}
 	if err := t.backend.Insert(&sr.entry); err != nil {
+		if t.dir != nil {
+			t.dir.free(sr.entry.Ref)
+		}
+		if t.groups != nil {
+			t.groups.release(sr.entry.Instructions)
+		}
 		t.store.remove(sr)
 		return err
 	}
@@ -238,8 +265,21 @@ func (t *LookupTable) Remove(e *openflow.FlowEntry) error {
 	if !ok {
 		return fmt.Errorf("core: table %d remove: entry not installed", t.cfg.ID)
 	}
-	if err := t.backend.Remove(&canon); err != nil {
+	// The backend removal goes through the STORED entry, not the caller's:
+	// backends that index on the full entry value (mbt bindings) took their
+	// copy with the lifecycle ref stamped in, so only the stored identity
+	// matches what they hold.
+	sr := t.store.buckets[h][i]
+	if err := t.backend.Remove(&sr.entry); err != nil {
 		return err
+	}
+	if t.dir != nil {
+		// The ref is retired but left stamped in the unlinked entry:
+		// expiry records map removals back to their sweep candidates by it.
+		t.dir.free(sr.entry.Ref)
+	}
+	if t.groups != nil {
+		t.groups.release(sr.entry.Instructions)
 	}
 	t.store.unlink(h, i)
 	t.rules--
@@ -252,6 +292,10 @@ func (t *LookupTable) Remove(e *openflow.FlowEntry) error {
 type MatchResult struct {
 	Instructions []openflow.Instruction
 	Priority     int
+	// Ref is the winning flow's lifecycle slot (0 when the table is not
+	// attached to a pipeline); the walk collects it for counter
+	// attribution.
+	Ref uint32
 }
 
 // Classify runs the table's lookup backend for one packet header,

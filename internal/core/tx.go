@@ -45,6 +45,13 @@ const (
 	CmdRemoveExact
 )
 
+// cmdExpire is the expiry sweeper's internal op: remove the entry IF it
+// is still the exact installed flow the sweep selected (same lifecycle
+// ref and allocation sequence). A flow the controller deleted — or
+// deleted and reinstalled — between selection and commit is left alone,
+// and the command is a benign no-op. Never valid from external callers.
+const cmdExpire FlowCmdOp = 100
+
 // String names the operation.
 func (op FlowCmdOp) String() string {
 	switch op {
@@ -58,6 +65,8 @@ func (op FlowCmdOp) String() string {
 		return "delete-strict"
 	case CmdRemoveExact:
 		return "remove"
+	case cmdExpire:
+		return "expire"
 	default:
 		return "unknown"
 	}
@@ -74,6 +83,11 @@ type FlowCmd struct {
 	Table      openflow.TableID
 	CookieMask uint64
 	Entry      openflow.FlowEntry
+
+	// expireSeq is cmdExpire's slot-reuse guard: the lifecycle allocation
+	// sequence the sweep candidate was selected at. Unexported — only the
+	// sweeper builds expire commands.
+	expireSeq uint64
 }
 
 // TxResult reports what a committed transaction did.
@@ -89,6 +103,25 @@ type TxResult struct {
 	Modified int
 	// Deleted counts entries removed by Delete / DeleteStrict commands.
 	Deleted int
+
+	// expired records the flows cmdExpire commands actually removed (a
+	// candidate the controller raced away is absent). The sweeper matches
+	// them back to its candidates to emit flow-removed notifications only
+	// for removals that really committed.
+	expired []expiredRecord
+}
+
+// expiredRecord is one committed expiry removal.
+type expiredRecord struct {
+	table openflow.TableID
+	entry *openflow.FlowEntry // the removed stored entry (Ref still stamped)
+}
+
+// Counts returns the comparable count fields of the result (the expired
+// records, an internal side channel of the sweeper, are excluded).
+// Differential tests compare results across backends with it.
+func (r *TxResult) Counts() [5]int {
+	return [5]int{r.Commands, r.Added, r.Replaced, r.Modified, r.Deleted}
 }
 
 // TxCounters is the pipeline's accumulated transaction telemetry.
@@ -318,14 +351,31 @@ func (p *Pipeline) validateCmdLocked(cmd *FlowCmd) error {
 		if err := cmd.Entry.Validate(); err != nil {
 			return err
 		}
-		return t.checkCoverage(&cmd.Entry)
+		if err := t.checkCoverage(&cmd.Entry); err != nil {
+			return err
+		}
+		// Group references are checked up front so a dangling reference
+		// rejects the transaction before anything applies (the insert-time
+		// acquire would also catch it, after partial application).
+		if t.groups != nil {
+			return t.groups.check(cmd.Entry.Instructions)
+		}
+		return nil
 	case CmdModify:
 		// The matches are a selector, not an installed constraint: a
 		// field this table does not search simply selects nothing
 		// (installed entries all wildcard it), exactly like CmdDelete —
 		// so no coverage check. The modified entries keep their own
 		// (already covered) matches.
-		return cmd.Entry.Validate()
+		if err := cmd.Entry.Validate(); err != nil {
+			return err
+		}
+		if t.groups != nil {
+			return t.groups.check(cmd.Entry.Instructions)
+		}
+		return nil
+	case cmdExpire:
+		return nil // built internally from an installed entry
 	case CmdDelete, CmdDeleteStrict, CmdRemoveExact:
 		for _, m := range cmd.Entry.Matches {
 			if err := m.Validate(); err != nil {
@@ -399,6 +449,32 @@ func (p *Pipeline) applyCmdLocked(cmd *FlowCmd, res *TxResult, undo []undoOp) ([
 		}
 		undo = append(undo, undoOp{t: t, entry: &cmd.Entry, insert: true})
 		res.Deleted++
+
+	case cmdExpire:
+		// Expire exactly the installed flow the sweep selected: same
+		// strict identity, same lifecycle ref, and a live directory record
+		// at the same allocation sequence. Anything else means the
+		// controller won the race (deleted, or deleted and reinstalled an
+		// identical flow that drew a recycled ref) — benign no-op.
+		for _, sr := range t.store.strictSelect(&cmd.Entry, 0, 0) {
+			if sr.entry.Ref != cmd.Entry.Ref {
+				continue
+			}
+			if p.dir != nil {
+				m := p.dir.metaOf(sr.entry.Ref)
+				if m == nil || m.seq != cmd.expireSeq {
+					break
+				}
+			}
+			old := &sr.entry
+			if err := t.Remove(old); err != nil {
+				return undo, err
+			}
+			undo = append(undo, undoOp{t: t, entry: old, insert: true})
+			res.Deleted++
+			res.expired = append(res.expired, expiredRecord{table: cmd.Table, entry: old})
+			break
+		}
 	}
 	return undo, nil
 }

@@ -36,6 +36,7 @@ const Wildcard = label.NoLabel
 type Binding struct {
 	Priority int
 	Payload  uint32 // typically an action-table index
+	Ref      uint32 // lifecycle slot of the owning flow (counter attribution)
 }
 
 type binding struct {

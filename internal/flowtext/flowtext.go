@@ -29,8 +29,14 @@
 // Actions / instructions:
 //
 //	out=N | out=controller | drop     (write-actions)
+//	group=N                           (write-actions: hand off to group N)
 //	goto=N                            (goto-table)
 //	setmeta=V[/MASK]                  (write-metadata)
+//
+// Lifecycle options (add/modify; seconds, 0 = no timeout):
+//
+//	idle=N   evict after N seconds without a matching packet
+//	hard=N   evict N seconds after install regardless of traffic
 //
 // Example:
 //
@@ -137,6 +143,12 @@ func FormatCommand(fm *ofproto.FlowMod) (string, error) {
 	fmt.Fprintf(&b, "%s %d", op, fm.Table)
 	if fm.Entry.Priority != 0 {
 		fmt.Fprintf(&b, " prio=%d", fm.Entry.Priority)
+	}
+	if fm.Entry.IdleTimeout != 0 {
+		fmt.Fprintf(&b, " idle=%d", fm.Entry.IdleTimeout)
+	}
+	if fm.Entry.HardTimeout != 0 {
+		fmt.Fprintf(&b, " hard=%d", fm.Entry.HardTimeout)
 	}
 	if fm.Entry.Cookie != 0 || fm.CookieMask != 0 {
 		fmt.Fprintf(&b, " cookie=%#x", fm.Entry.Cookie)
@@ -249,6 +261,8 @@ func formatInstruction(in openflow.Instruction) ([]string, error) {
 				}
 			case openflow.ActionDrop:
 				toks = append(toks, "drop")
+			case openflow.ActionGroup:
+				toks = append(toks, fmt.Sprintf("group=%d", a.Port))
 			default:
 				return nil, fmt.Errorf("action %s not representable in flow-mod text", a.Type)
 			}
@@ -325,8 +339,17 @@ func ParseTableOption(text string) (TableOption, error) {
 		return TableOption{}, fmt.Errorf("bad table %q", fields[1])
 	}
 	opt := TableOption{Table: openflow.TableID(table)}
+	seen := map[string]bool{}
 	for _, tok := range fields[2:] {
 		key, val, _ := strings.Cut(tok, "=")
+		// A duplicated key is almost certainly a hand-edit gone wrong; a
+		// silent last-one-wins would replay the workload against the
+		// wrong backend or budget, so reject it (ReadFile prefixes the
+		// line number).
+		if seen[key] {
+			return TableOption{}, fmt.Errorf("duplicate table-options key %q", key)
+		}
+		seen[key] = true
 		switch key {
 		case "backend":
 			if val == "" {
@@ -432,6 +455,24 @@ func ParseCommand(text string) (*ofproto.FlowMod, error) {
 				return nil, fmt.Errorf("drop takes no value")
 			}
 			writeActs = append(writeActs, openflow.Drop())
+		case "group":
+			g, err := parseUint(val)
+			if err != nil || g > 0xFFFFFFFF {
+				return nil, fmt.Errorf("bad group id %q", val)
+			}
+			writeActs = append(writeActs, openflow.Group(uint32(g)))
+		case "idle":
+			t, err := strconv.ParseUint(val, 10, 16)
+			if err != nil {
+				return nil, fmt.Errorf("bad idle timeout %q (want seconds, 0-65535)", val)
+			}
+			fm.Entry.IdleTimeout = uint16(t)
+		case "hard":
+			t, err := strconv.ParseUint(val, 10, 16)
+			if err != nil {
+				return nil, fmt.Errorf("bad hard timeout %q (want seconds, 0-65535)", val)
+			}
+			fm.Entry.HardTimeout = uint16(t)
 		case "goto":
 			tgt, err := strconv.ParseUint(val, 10, 8)
 			if err != nil {
@@ -476,6 +517,13 @@ func base(s string) int {
 		return 16
 	}
 	return 10
+}
+
+// ParseValMask parses V or V/MASK with decimal or 0x-hex numbers — the
+// cookie/metadata syntax of the command format, exported for CLIs that
+// accept the same notation in flags.
+func ParseValMask(s string) (v, mask uint64, err error) {
+	return parseValMask(s)
 }
 
 // parseValMask parses V or V/MASK with decimal or 0x-hex numbers.

@@ -20,6 +20,16 @@ type Client struct {
 	conn    net.Conn
 	out     []byte // outgoing frame under construction
 	readBuf []byte // incoming frame buffer
+
+	// OnFlowRemoved, when set, receives each flow-removed notification
+	// the switch pushes after SubscribeFlowRemoved. The records are
+	// delivered from inside readReply — i.e. during some other request's
+	// round trip on this connection — and alias the read buffer, so the
+	// callback must consume them before returning. Nil drops them.
+	OnFlowRemoved func([]FlowRemovedMsg)
+
+	removed      []FlowRemovedMsg
+	removedArena openflow.EntryArena
 }
 
 // DialOptions tunes a client connection. The zero value means no
@@ -90,6 +100,19 @@ func (c *Client) readReply() (Message, error) {
 		if msg.Type == MsgEchoRequest {
 			if err := WriteMessage(c.conn, MsgEchoReply, msg.Payload); err != nil {
 				return Message{}, err
+			}
+			continue
+		}
+		if msg.Type == MsgFlowRemoved {
+			// Async expiry notifications interleave ahead of replies on a
+			// subscribed connection; drain them inline like echo probes.
+			recs, err := DecodeFlowRemovedInto(c.removed, msg.Payload, &c.removedArena)
+			c.removed = recs
+			if err != nil {
+				return Message{}, err
+			}
+			if c.OnFlowRemoved != nil && len(recs) > 0 {
+				c.OnFlowRemoved(recs)
 			}
 			continue
 		}
@@ -222,6 +245,71 @@ func (c *Client) CacheStats() (*CacheStatsReply, error) {
 		return nil, err
 	}
 	return DecodeCacheStatsReply(msg.Payload)
+}
+
+// FlowStats fetches one page of per-flow statistics. Set req.Cursor to
+// the previous reply's Next while More is set to continue a scrape; the
+// switch serves each page lock-free, so even a scrape of a million
+// flows never pauses commits. The reply is decoded fresh per call.
+func (c *Client) FlowStats(req *FlowStatsRequest) (*FlowStatsReply, error) {
+	msg, err := c.roundTrip(MsgFlowStatsRequest, EncodeFlowStatsRequest(req), MsgFlowStatsReply)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeFlowStatsReply(msg.Payload)
+}
+
+// VisitFlowStats walks every page of a scrape, calling fn with each
+// row. It stops early when fn returns false.
+func (c *Client) VisitFlowStats(req FlowStatsRequest, fn func(*FlowStatsRow) bool) error {
+	for {
+		reply, err := c.FlowStats(&req)
+		if err != nil {
+			return err
+		}
+		for i := range reply.Flows {
+			if !fn(&reply.Flows[i]) {
+				return nil
+			}
+		}
+		if !reply.More {
+			return nil
+		}
+		req.Cursor = reply.Next
+	}
+}
+
+// AggregateStats fetches summed packet/byte/flow counters over the
+// flows the request selects.
+func (c *Client) AggregateStats(req *AggregateStatsRequest) (*AggregateStatsReply, error) {
+	msg, err := c.roundTrip(MsgAggregateStatsRequest, EncodeAggregateStatsRequest(req), MsgAggregateStatsReply)
+	if err != nil {
+		return nil, err
+	}
+	reply := &AggregateStatsReply{}
+	if err := DecodeAggregateStatsReplyInto(reply, msg.Payload); err != nil {
+		return nil, err
+	}
+	return reply, nil
+}
+
+// SendGroupMod applies one group-table modification.
+func (c *Client) SendGroupMod(gm *GroupMod) error {
+	_, err := c.roundTrip(MsgGroupMod, EncodeGroupMod(gm), MsgGroupModReply)
+	return err
+}
+
+// SubscribeFlowRemoved turns flow-removed delivery on or off for this
+// connection. While subscribed, the switch pushes expiry notifications
+// ahead of its replies; they surface through the OnFlowRemoved
+// callback. Only expiries after the subscription are delivered.
+func (c *Client) SubscribeFlowRemoved(on bool) error {
+	payload := []byte{0}
+	if on {
+		payload[0] = 1
+	}
+	_, err := c.roundTrip(MsgFlowRemovedSubscribe, payload, MsgFlowRemovedSubscribeReply)
+	return err
 }
 
 // Barrier completes when all previously sent messages are processed.

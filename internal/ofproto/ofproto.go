@@ -56,6 +56,19 @@ const (
 	MsgCacheStatsReply
 	MsgEchoRequest
 	MsgEchoReply
+	MsgFlowStatsRequest
+	MsgFlowStatsReply
+	MsgAggregateStatsRequest
+	MsgAggregateStatsReply
+	MsgGroupMod
+	MsgGroupModReply
+	MsgFlowRemovedSubscribe
+	MsgFlowRemovedSubscribeReply
+	// MsgFlowRemoved is asynchronous: the switch pushes it to
+	// subscribed connections ahead of its next reply frame, so clients
+	// must drain it inline (like echo requests) rather than treat it as
+	// the answer to a pending request.
+	MsgFlowRemoved
 )
 
 // String names the message type.
@@ -101,6 +114,24 @@ func (t MsgType) String() string {
 		return "echo-request"
 	case MsgEchoReply:
 		return "echo-reply"
+	case MsgFlowStatsRequest:
+		return "flow-stats-request"
+	case MsgFlowStatsReply:
+		return "flow-stats-reply"
+	case MsgAggregateStatsRequest:
+		return "aggregate-stats-request"
+	case MsgAggregateStatsReply:
+		return "aggregate-stats-reply"
+	case MsgGroupMod:
+		return "group-mod"
+	case MsgGroupModReply:
+		return "group-mod-reply"
+	case MsgFlowRemovedSubscribe:
+		return "flow-removed-subscribe"
+	case MsgFlowRemovedSubscribeReply:
+		return "flow-removed-subscribe-reply"
+	case MsgFlowRemoved:
+		return "flow-removed"
 	default:
 		return "unknown"
 	}
@@ -205,6 +236,12 @@ type Stats struct {
 	PressureShrinks  uint64 `json:"pressure_shrinks,omitempty"`
 	PressureRegrows  uint64 `json:"pressure_regrows,omitempty"`
 	PressureLevel    uint64 `json:"pressure_level,omitempty"`
+	// Flow lifecycle telemetry: flows expired by idle/hard timeouts,
+	// expiry sweep batches committed, and installed group-table entries.
+	ExpiredIdle  uint64 `json:"expired_idle,omitempty"`
+	ExpiredHard  uint64 `json:"expired_hard,omitempty"`
+	ExpirySweeps uint64 `json:"expiry_sweeps,omitempty"`
+	Groups       int    `json:"groups,omitempty"`
 }
 
 // TableStats describes one pipeline table.

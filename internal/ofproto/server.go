@@ -341,9 +341,35 @@ type connState struct {
 	// both reused so stats polling is allocation-free in steady state.
 	memTables []core.TableMemory
 	memReply  MemoryStatsReply
+	// Flow-lifecycle state: the reused scrape page, the flow-removed
+	// subscription flag and its drain cursor, and the reused
+	// notification batch buffer.
+	flowReply     FlowStatsReply
+	subscribed    bool
+	removedCursor uint64
+	removedMsgs   []FlowRemovedMsg
 }
 
+// flowStatsPageMax caps one flow-stats page; flowStatsPageDefault is
+// used when the request leaves Max zero. Bounded pages keep any single
+// reply frame under MaxMessageLen even for million-flow scrapes — the
+// cursor walk spreads the scrape over as many frames as needed without
+// ever pausing commits (the underlying visit is lock-free).
+const (
+	flowStatsPageDefault = 256
+	flowStatsPageMax     = 1024
+)
+
 func (s *Server) dispatch(conn net.Conn, cs *connState, msg Message) error {
+	// A subscribed connection receives pending flow-removed
+	// notifications ahead of its next reply: the async frames flush
+	// first, so the client's reply reader drains them inline before the
+	// answer to its own request arrives.
+	if cs.subscribed {
+		if err := s.flushRemoved(conn, cs); err != nil {
+			return err
+		}
+	}
 	switch msg.Type {
 	case MsgHello:
 		return DecodeHello(msg.Payload)
@@ -460,11 +486,129 @@ func (s *Server) dispatch(conn net.Conn, cs *connState, msg Message) error {
 		cs.out = BeginFrame(cs.out)
 		cs.out = AppendCacheStatsReply(cs.out, &reply)
 		return WriteFrame(conn, MsgCacheStatsReply, cs.out)
+	case MsgFlowStatsRequest:
+		var req FlowStatsRequest
+		if err := DecodeFlowStatsRequestInto(&req, msg.Payload); err != nil {
+			return err
+		}
+		max := int(req.Max)
+		if max <= 0 || max > flowStatsPageMax {
+			if max <= 0 {
+				max = flowStatsPageDefault
+			} else {
+				max = flowStatsPageMax
+			}
+		}
+		table := -1
+		if req.Table != AllTables {
+			table = int(req.Table)
+		}
+		cs.flowReply.Flows = cs.flowReply.Flows[:0]
+		// The visit is lock-free against the published flow directory,
+		// so a scrape — even of a million flows, page after page —
+		// never pauses commits or packet traffic.
+		next, more := s.pipeline.VisitFlows(table, req.Cookie, req.CookieMask, req.Cursor, max, func(fs *core.FlowStats) bool {
+			cs.flowReply.Flows = append(cs.flowReply.Flows, FlowStatsRow{
+				Table:   uint8(fs.Table),
+				Age:     fs.Age,
+				IdleAge: fs.IdleAge,
+				Packets: fs.Packets,
+				Bytes:   fs.Bytes,
+				Entry:   *fs.Entry,
+			})
+			return true
+		})
+		cs.flowReply.Next = next
+		cs.flowReply.More = more
+		cs.out = BeginFrame(cs.out)
+		cs.out = AppendFlowStatsReply(cs.out, &cs.flowReply)
+		return WriteFrame(conn, MsgFlowStatsReply, cs.out)
+	case MsgAggregateStatsRequest:
+		var req AggregateStatsRequest
+		if err := DecodeAggregateStatsRequestInto(&req, msg.Payload); err != nil {
+			return err
+		}
+		table := -1
+		if req.Table != AllTables {
+			table = int(req.Table)
+		}
+		agg := s.pipeline.AggregateFlowStats(table, req.Cookie, req.CookieMask)
+		reply := AggregateStatsReply{Packets: agg.Packets, Bytes: agg.Bytes, Flows: agg.Flows}
+		cs.out = BeginFrame(cs.out)
+		cs.out = AppendAggregateStatsReply(cs.out, &reply)
+		return WriteFrame(conn, MsgAggregateStatsReply, cs.out)
+	case MsgGroupMod:
+		gm, err := DecodeGroupMod(msg.Payload)
+		if err != nil {
+			return err
+		}
+		if err := s.applyGroupMod(gm); err != nil {
+			return err
+		}
+		return WriteMessage(conn, MsgGroupModReply, nil)
+	case MsgFlowRemovedSubscribe:
+		if len(msg.Payload) != 1 {
+			return fmt.Errorf("ofproto: flow-removed-subscribe payload of %d bytes, want 1", len(msg.Payload))
+		}
+		cs.subscribed = msg.Payload[0] != 0
+		if cs.subscribed {
+			// Start at the current head: the subscriber sees expiries
+			// from now on, not the retained backlog.
+			_, next, _ := s.pipeline.FlowRemovedSince(^uint64(0))
+			cs.removedCursor = next
+		}
+		return WriteMessage(conn, MsgFlowRemovedSubscribeReply, nil)
 	case MsgBarrier:
 		return WriteMessage(conn, MsgBarrierReply, nil)
 	default:
 		return fmt.Errorf("ofproto: unexpected message type %s", msg.Type)
 	}
+}
+
+// flushRemoved drains flow-removed notifications queued since the
+// connection's cursor and pushes them as one async MsgFlowRemoved
+// frame. Records lost to ring overflow are simply skipped — the drain
+// cursor advances past them (the pipeline counts them in
+// LifecycleStats.RemovedDropped).
+func (s *Server) flushRemoved(conn net.Conn, cs *connState) error {
+	recs, next, _ := s.pipeline.FlowRemovedSince(cs.removedCursor)
+	cs.removedCursor = next
+	if len(recs) == 0 {
+		return nil
+	}
+	cs.removedMsgs = cs.removedMsgs[:0]
+	for i := range recs {
+		cs.removedMsgs = append(cs.removedMsgs, FlowRemovedMsg{
+			Table:       uint8(recs[i].Table),
+			Reason:      recs[i].Reason,
+			DurationSec: recs[i].DurationSec,
+			Packets:     recs[i].Packets,
+			Bytes:       recs[i].Bytes,
+			Entry:       *recs[i].Entry,
+		})
+	}
+	cs.out = BeginFrame(cs.out)
+	cs.out = AppendFlowRemoved(cs.out, cs.removedMsgs)
+	return WriteFrame(conn, MsgFlowRemoved, cs.out)
+}
+
+// applyGroupMod applies one wire group-mod against the pipeline's
+// group table.
+func (s *Server) applyGroupMod(gm *GroupMod) error {
+	switch gm.Op {
+	case GroupModAdd, GroupModModify:
+		g := core.Group{ID: gm.ID, Type: gm.Type}
+		for _, b := range gm.Buckets {
+			g.Buckets = append(g.Buckets, core.Bucket{Actions: b})
+		}
+		if gm.Op == GroupModAdd {
+			return s.pipeline.AddGroup(g)
+		}
+		return s.pipeline.ModifyGroup(g)
+	case GroupModDelete:
+		return s.pipeline.DeleteGroup(gm.ID)
+	}
+	return fmt.Errorf("ofproto: unknown group-mod op %d", gm.Op)
 }
 
 // coreCmd translates a wire flow-mod into the pipeline's command form.
@@ -545,5 +689,10 @@ func (s *Server) stats() *Stats {
 	st.PressureShrinks = press.Shrinks
 	st.PressureRegrows = press.Regrows
 	st.PressureLevel = press.Level
+	lc := s.pipeline.LifecycleStats()
+	st.ExpiredIdle = lc.ExpiredIdle
+	st.ExpiredHard = lc.ExpiredHard
+	st.ExpirySweeps = lc.Sweeps
+	st.Groups = lc.Groups
 	return st
 }

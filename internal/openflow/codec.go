@@ -21,8 +21,8 @@ const (
 	matchRecordLen  = 1 + 1 + 16 + 1 + 8 + 8 // field, kind, value, plen, lo, hi
 	actionRecordLen = 1 + 4 + 1 + 16         // type, port, field, value
 	instrHeaderLen  = 1 + 1 + 2 + 8 + 8      // type, table, action count, metadata, mask
-	entryHeaderLen  = 4 + 8 + 2 + 2          // priority, cookie, match count, instr count
-	headerLen       = 4 + 8 + 8 + 2 + 2 + 1 + 4 + 4 + 4 + 16 + 16 + 1 + 1 + 2 + 2 + 2 + 4 + 4 + 8
+	entryHeaderLen  = 4 + 8 + 2 + 2 + 2 + 2  // priority, cookie, match count, instr count, idle, hard
+	headerLen       = 4 + 8 + 8 + 2 + 2 + 1 + 4 + 4 + 4 + 16 + 16 + 1 + 1 + 2 + 2 + 2 + 4 + 4 + 8 + 4
 )
 
 // AppendFlowEntry appends the wire form of e to buf and returns the
@@ -32,6 +32,8 @@ func AppendFlowEntry(buf []byte, e *FlowEntry) []byte {
 	buf = binary.BigEndian.AppendUint64(buf, e.Cookie)
 	buf = binary.BigEndian.AppendUint16(buf, uint16(len(e.Matches)))
 	buf = binary.BigEndian.AppendUint16(buf, uint16(len(e.Instructions)))
+	buf = binary.BigEndian.AppendUint16(buf, e.IdleTimeout)
+	buf = binary.BigEndian.AppendUint16(buf, e.HardTimeout)
 	for _, m := range e.Matches {
 		buf = append(buf, byte(m.Field), byte(m.Kind))
 		buf = appendU128(buf, m.Value)
@@ -116,8 +118,10 @@ func DecodeFlowEntryInto(e *FlowEntry, buf []byte, ar *EntryArena) (int, error) 
 		return 0, fmt.Errorf("decoding flow entry header: %w", ErrTruncated)
 	}
 	*e = FlowEntry{
-		Priority: int(int32(binary.BigEndian.Uint32(buf))),
-		Cookie:   binary.BigEndian.Uint64(buf[4:]),
+		Priority:    int(int32(binary.BigEndian.Uint32(buf))),
+		Cookie:      binary.BigEndian.Uint64(buf[4:]),
+		IdleTimeout: binary.BigEndian.Uint16(buf[16:]),
+		HardTimeout: binary.BigEndian.Uint16(buf[18:]),
 	}
 	nMatch := int(binary.BigEndian.Uint16(buf[12:]))
 	nInstr := int(binary.BigEndian.Uint16(buf[14:]))
@@ -204,6 +208,7 @@ func AppendHeader(buf []byte, h *Header) []byte {
 	buf = binary.BigEndian.AppendUint32(buf, h.ARPSPA)
 	buf = binary.BigEndian.AppendUint32(buf, h.ARPTPA)
 	buf = binary.BigEndian.AppendUint64(buf, h.Metadata)
+	buf = binary.BigEndian.AppendUint32(buf, h.PktLen)
 	return buf
 }
 
@@ -244,6 +249,7 @@ func DecodeHeaderInto(h *Header, buf []byte) (int, error) {
 	h.ARPSPA = binary.BigEndian.Uint32(buf[77:])
 	h.ARPTPA = binary.BigEndian.Uint32(buf[81:])
 	h.Metadata = binary.BigEndian.Uint64(buf[85:])
+	h.PktLen = binary.BigEndian.Uint32(buf[93:])
 	return headerLen, nil
 }
 
@@ -257,4 +263,32 @@ func readU128(buf []byte) bitops.U128 {
 		Hi: binary.BigEndian.Uint64(buf),
 		Lo: binary.BigEndian.Uint64(buf[8:]),
 	}
+}
+
+// ActionRecordLen is the fixed wire width of one action record
+// [type u8 | port u32 | field u8 | value u128]. Exported so codecs
+// layered above (group buckets in ofproto) can frame action lists
+// without duplicating the layout.
+const ActionRecordLen = actionRecordLen
+
+// AppendAction appends the wire form of one action record to buf —
+// the same layout AppendFlowEntry uses inside instruction bodies.
+func AppendAction(buf []byte, a *Action) []byte {
+	buf = append(buf, byte(a.Type))
+	buf = binary.BigEndian.AppendUint32(buf, a.Port)
+	buf = append(buf, byte(a.Field))
+	return appendU128(buf, a.Value)
+}
+
+// DecodeActionInto decodes one action record from buf into a and
+// returns the bytes consumed.
+func DecodeActionInto(a *Action, buf []byte) (int, error) {
+	if len(buf) < actionRecordLen {
+		return 0, ErrTruncated
+	}
+	a.Type = ActionType(buf[0])
+	a.Port = binary.BigEndian.Uint32(buf[1:])
+	a.Field = FieldID(buf[5])
+	a.Value = readU128(buf[6:])
+	return actionRecordLen, nil
 }

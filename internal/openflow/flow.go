@@ -73,6 +73,9 @@ func SetField(f FieldID, v uint64) Action {
 	return Action{Type: ActionSetField, Field: f, Value: bitops.U128From64(v)}
 }
 
+// Group constructs a group action handing the packet to group id.
+func Group(id uint32) Action { return Action{Type: ActionGroup, Port: id} }
+
 // String renders the action.
 func (a Action) String() string {
 	switch a.Type {
@@ -177,6 +180,21 @@ type FlowEntry struct {
 	Matches      []Match
 	Instructions []Instruction
 	Cookie       uint64 // opaque controller identifier
+
+	// IdleTimeout and HardTimeout, in seconds, bound the flow's lifetime:
+	// an idle timeout expires the flow after that many seconds without a
+	// matching packet, a hard timeout after that many seconds since
+	// installation regardless of traffic. Zero disables the respective
+	// timeout. Timeouts are flow attributes, not identity: two entries
+	// differing only in timeouts are the same flow for add/modify/delete.
+	IdleTimeout uint16
+	HardTimeout uint16
+
+	// Ref is the engine-assigned lifecycle slot of the installed flow. It
+	// is not part of the wire encoding and never part of flow identity;
+	// controllers leave it zero. The pipeline stamps it at insert time so
+	// lookup results can be attributed back to per-flow counters.
+	Ref uint32
 }
 
 // Match returns the entry's constraint on field f and whether one exists.
@@ -252,6 +270,12 @@ func (e *FlowEntry) NormalizeMatches() {
 func (e *FlowEntry) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "prio=%d", e.Priority)
+	if e.IdleTimeout != 0 {
+		fmt.Fprintf(&b, " idle=%d", e.IdleTimeout)
+	}
+	if e.HardTimeout != 0 {
+		fmt.Fprintf(&b, " hard=%d", e.HardTimeout)
+	}
 	for _, m := range e.Matches {
 		b.WriteByte(' ')
 		b.WriteString(m.String())

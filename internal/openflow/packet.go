@@ -35,6 +35,11 @@ type Header struct {
 	// Metadata is the 64-bit inter-table register written by
 	// write-metadata instructions while the packet traverses the pipeline.
 	Metadata uint64
+
+	// PktLen is the frame length in bytes, consumed by per-flow byte
+	// counters. It is not a match field and never enters lookup keys;
+	// zero is counted as a minimum-size (64-byte) Ethernet frame.
+	PktLen uint32
 }
 
 // Get returns the value of field f in the header. Unknown or extended

@@ -1,0 +1,160 @@
+package ofmtl_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"ofmtl/internal/core"
+	"ofmtl/internal/filterset"
+	"ofmtl/internal/openflow"
+	"ofmtl/internal/traffic"
+)
+
+// Flow lifecycle benchmarks: the data-plane cost of idle-timeout
+// tracking under an active expiry sweeper, and the control-plane cost
+// of scraping per-flow counters from a large directory.
+
+// BenchmarkLookupUnderExpiry measures Execute throughput while the
+// expiry machinery runs at full tilt: every rule carries an idle
+// timeout, a background sweeper advances the lifecycle clock and
+// batch-commits expirations, and a re-installer keeps the table
+// populated so the sweeper never runs dry. The interference being
+// measured is the tentpole's whole design budget: counter touches on
+// every packet, plus one commit (one snapshot republish) per sweep.
+func BenchmarkLookupUnderExpiry(b *testing.B) {
+	f := filterset.GenerateACL("expirybench", 1000, filterset.DefaultSeed)
+	pool := f.FlowEntries()
+	for i := range pool {
+		pool[i].IdleTimeout = 1 + uint16(i%4)
+	}
+	p := core.NewPipeline()
+	if _, err := p.AddTable(core.TableConfig{
+		ID: 0,
+		Fields: []openflow.FieldID{
+			openflow.FieldIPv4Src,
+			openflow.FieldIPv4Dst,
+			openflow.FieldSrcPort,
+			openflow.FieldDstPort,
+			openflow.FieldIPProto,
+		},
+	}); err != nil {
+		b.Fatal(err)
+	}
+	p.SetCacheSize(4096)
+	p.SetMegaflowSize(4096)
+	tx := p.Begin()
+	for i := range pool {
+		tx.Add(0, &pool[i])
+	}
+	if _, err := tx.Commit(); err != nil {
+		b.Fatal(err)
+	}
+	trace := traffic.ACLTrace(f, 4096, 0.8, 1)
+	p.Refresh()
+
+	stop := make(chan struct{})
+	var sweepErr error
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		now := p.LifecycleClock()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			// One simulated second per iteration: sweep, then re-add
+			// whatever expired so the table stays full.
+			now++
+			n, err := p.SweepExpired(now)
+			if err != nil {
+				sweepErr = err
+				return
+			}
+			if n > 0 {
+				recs, _, _ := p.FlowRemovedSince(0)
+				tx := p.Begin()
+				for i := range recs {
+					e := *recs[i].Entry
+					tx.Add(0, &e)
+				}
+				if _, err := tx.Commit(); err != nil {
+					sweepErr = err
+					return
+				}
+			}
+			time.Sleep(200 * time.Microsecond)
+		}
+	}()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			h := trace[i%len(trace)]
+			p.Execute(&h)
+			i++
+		}
+	})
+	b.StopTimer()
+	close(stop)
+	wg.Wait()
+	if sweepErr != nil {
+		b.Fatal(sweepErr)
+	}
+}
+
+// BenchmarkFlowStatsScrape measures a full lock-free scrape of a
+// populated flow directory: VisitFlows over every installed flow,
+// merging the sharded counters per flow. ns/op is one complete scrape;
+// the flows/s metric is the per-flow scrape rate a controller sees.
+func BenchmarkFlowStatsScrape(b *testing.B) {
+	const flows = 100_000
+	p := core.NewPipeline()
+	if _, err := p.AddTable(core.TableConfig{
+		ID:     0,
+		Fields: []openflow.FieldID{openflow.FieldIPv4Src},
+	}); err != nil {
+		b.Fatal(err)
+	}
+	tx := p.Begin()
+	for i := 0; i < flows; i++ {
+		tx.Add(0, &openflow.FlowEntry{
+			Priority: i + 1,
+			Cookie:   uint64(i % 16),
+			Matches:  []openflow.Match{openflow.Exact(openflow.FieldIPv4Src, uint64(i+1))},
+			Instructions: []openflow.Instruction{
+				openflow.WriteActions(openflow.Output(uint32(i%64 + 1))),
+			},
+		})
+		if tx.Commands() == 4096 {
+			if _, err := tx.Commit(); err != nil {
+				b.Fatal(err)
+			}
+			tx = p.Begin()
+		}
+	}
+	if _, err := tx.Commit(); err != nil {
+		b.Fatal(err)
+	}
+
+	b.ResetTimer()
+	total := 0
+	for i := 0; i < b.N; i++ {
+		n := 0
+		p.VisitFlows(-1, 0, 0, 0, 0, func(fs *core.FlowStats) bool {
+			n++
+			return true
+		})
+		if n != flows {
+			b.Fatalf("scrape visited %d flows, want %d", n, flows)
+		}
+		total += n
+	}
+	b.StopTimer()
+	if e := b.Elapsed(); e > 0 {
+		b.ReportMetric(float64(total)/e.Seconds(), "flows/s")
+	}
+}

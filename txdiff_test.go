@@ -405,3 +405,106 @@ func (rs *refStore) classify(h *openflow.Header) (*openflow.FlowEntry, bool) {
 	}
 	return best, best != nil
 }
+
+// TestDifferentialExpiryVsExplicitDeletes is the lifecycle counterpart
+// of the differential above: pipeline A installs timed flows and lets
+// the expiry sweeper remove them; pipeline B installs the SAME flows
+// and replays A's flow-removed notifications as explicit strict
+// deletes, in notification order. If expiry is exactly "a batched
+// delete", the two operation histories are identical and the final
+// memory reports must be byte-identical.
+func TestDifferentialExpiryVsExplicitDeletes(t *testing.T) {
+	for _, seed := range []uint64{5, 23} {
+		t.Run("", func(t *testing.T) {
+			pool := filterset.GenerateACL("expirydiff", 100, seed).FlowEntries()
+			rng := xrand.New(seed * 104729)
+
+			pA := core.NewPipeline()
+			if _, err := pA.AddTable(aclTableConfig()); err != nil {
+				t.Fatal(err)
+			}
+			pB := core.NewPipeline()
+			if _, err := pB.AddTable(aclTableConfig()); err != nil {
+				t.Fatal(err)
+			}
+
+			t0 := pA.LifecycleClock()
+			var cursor uint64
+			next := 0
+			const rounds = 12
+			for round := 0; round < rounds; round++ {
+				now := t0 + int64(round)
+				pA.SetLifecycleClock(now)
+
+				// Install a batch of flows with short, varied timeouts
+				// on A, and the identical batch on B.
+				txA, txB := pA.Begin(), pB.Begin()
+				for i := 0; i < 8 && next < len(pool); i++ {
+					e := pool[next]
+					next++
+					if rng.Float64() < 0.5 {
+						e.IdleTimeout = uint16(1 + rng.Intn(3))
+					} else {
+						e.HardTimeout = uint16(1 + rng.Intn(4))
+					}
+					txA.Add(0, &e)
+					txB.Add(0, &e)
+				}
+				if _, err := txA.Commit(); err != nil {
+					t.Fatalf("seed %d round %d: A commit: %v", seed, round, err)
+				}
+				if _, err := txB.Commit(); err != nil {
+					t.Fatalf("seed %d round %d: B commit: %v", seed, round, err)
+				}
+
+				// Expire on A; replay the removals on B as one strict-
+				// delete transaction in notification order.
+				if _, err := pA.SweepExpired(now); err != nil {
+					t.Fatalf("seed %d round %d: sweep: %v", seed, round, err)
+				}
+				recs, c, dropped := pA.FlowRemovedSince(cursor)
+				cursor = c
+				if dropped != 0 {
+					t.Fatalf("seed %d round %d: %d notifications dropped", seed, round, dropped)
+				}
+				if len(recs) > 0 {
+					tx := pB.Begin()
+					for i := range recs {
+						tx.DeleteStrict(recs[i].Table, recs[i].Entry.Priority, recs[i].Entry.Matches...)
+					}
+					if _, err := tx.Commit(); err != nil {
+						t.Fatalf("seed %d round %d: replay commit: %v", seed, round, err)
+					}
+				}
+				if pA.Rules() != pB.Rules() {
+					t.Fatalf("seed %d round %d: rule counts diverged: expiry=%d replay=%d",
+						seed, round, pA.Rules(), pB.Rules())
+				}
+			}
+
+			// Drain the stragglers so both sides converge, then compare.
+			if _, err := pA.SweepExpired(t0 + rounds + 16); err != nil {
+				t.Fatal(err)
+			}
+			recs, _, dropped := pA.FlowRemovedSince(cursor)
+			if dropped != 0 {
+				t.Fatalf("seed %d: final drain dropped %d notifications", seed, dropped)
+			}
+			if len(recs) > 0 {
+				tx := pB.Begin()
+				for i := range recs {
+					tx.DeleteStrict(recs[i].Table, recs[i].Entry.Priority, recs[i].Entry.Matches...)
+				}
+				if _, err := tx.Commit(); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			repA := pA.MemoryReport().String()
+			repB := pB.MemoryReport().String()
+			if repA != repB {
+				t.Fatalf("seed %d: memory reports diverged:\n--- expiry\n%s\n--- explicit deletes\n%s", seed, repA, repB)
+			}
+		})
+	}
+}
