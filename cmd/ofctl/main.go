@@ -8,6 +8,8 @@
 //	ofctl -addr 127.0.0.1:6653 stats
 //	ofctl memory
 //	ofctl cache
+//	ofctl advisor
+//	ofctl advisor -watch 2s
 //	ofctl add-mac -vlan 10 -mac 00:11:22:33:44:55 -port 3
 //	ofctl del-mac -vlan 10 -mac 00:11:22:33:44:55
 //	ofctl add-route -inport 2 -prefix 10.0.0.0/8 -nexthop 7
@@ -37,6 +39,13 @@
 // tier, including the distinct consulted-bits masks the megaflow tier
 // currently holds, and — when the switch runs a memory budget — the
 // pressure controller's shrink/regrow counters. Also served lock-free.
+//
+// advisor reads the backend advisor's per-table report over the
+// advisor-stats message: the incumbent scheme, the live signals the
+// advisor scores from (rule count, mask diversity, ranges, wide rules,
+// sampled lookup latency, published memory bits), every candidate
+// scheme's score, and the migration history. -watch re-polls on an
+// interval, reusing one decode buffer.
 //
 // Every request runs under -timeout (dial, reads, writes), so a dead or
 // unreachable switch fails fast with a clear message and a non-zero
@@ -80,7 +89,7 @@ func run(args []string) error {
 	}
 	rest := global.Args()
 	if len(rest) == 0 {
-		return fmt.Errorf("usage: ofctl [-addr host:port] [-timeout 10s] <stats|memory|cache|add-mac|del-mac|add-route|del-route|load|flow-mods|packet> [flags]")
+		return fmt.Errorf("usage: ofctl [-addr host:port] [-timeout 10s] <stats|memory|cache|advisor|add-mac|del-mac|add-route|del-route|load|flow-mods|packet> [flags]")
 	}
 
 	client, err := dialSwitch(*addr, *timeout)
@@ -96,6 +105,8 @@ func run(args []string) error {
 		return doMemory(client)
 	case "cache":
 		return doCache(client)
+	case "advisor":
+		return doAdvisor(client, rest[1:])
 	case "add-mac":
 		return doAddMAC(client, rest[1:])
 	case "del-mac":
@@ -180,6 +191,10 @@ func doStats(c *ofproto.Client) error {
 		fmt.Printf("lifecycle: %d idle + %d hard expiries in %d sweeps, %d groups\n",
 			st.ExpiredIdle, st.ExpiredHard, st.ExpirySweeps, st.Groups)
 	}
+	if st.Migrations > 0 || st.MigrationsFailed > 0 {
+		fmt.Printf("backend advisor: %d live migrations, %d rolled back (see ofctl advisor)\n",
+			st.Migrations, st.MigrationsFailed)
+	}
 	return nil
 }
 
@@ -213,6 +228,79 @@ func doCache(c *ofproto.Client) error {
 			cs.PressureLevel, cs.PressureShrinks, cs.PressureRegrows)
 	}
 	return nil
+}
+
+// doAdvisor prints the autotune advisor's per-table report: the
+// incumbent backend, the live signals it scores from (rules, mask
+// diversity, ranges, wide rules, sampled lookup latency, published
+// memory bits), every candidate scheme's score, and the migration
+// history. -watch re-polls on an interval; the switch serves the
+// report from one mutex-guarded pass over the pipeline, so polling is
+// safe under churn.
+func doAdvisor(c *ofproto.Client, args []string) error {
+	fs := flag.NewFlagSet("advisor", flag.ContinueOnError)
+	watch := fs.Duration("watch", 0, "re-poll and re-print the report on this interval (0 = print once)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *watch <= 0 {
+		rep, err := c.AdvisorStats()
+		if err != nil {
+			return err
+		}
+		printAdvisor(rep)
+		return nil
+	}
+	// Watch mode reuses one reply value so steady-state polls decode
+	// without allocating, and separates reports with a blank line.
+	var rep ofproto.AdvisorStatsReply
+	first := true
+	ticker := time.NewTicker(*watch)
+	defer ticker.Stop()
+	for {
+		if err := c.AdvisorStatsInto(&rep); err != nil {
+			return err
+		}
+		if !first {
+			fmt.Println()
+		}
+		first = false
+		printAdvisor(&rep)
+		<-ticker.C
+	}
+}
+
+// printAdvisor renders one advisor report.
+func printAdvisor(rep *ofproto.AdvisorStatsReply) {
+	fmt.Printf("advisor: %d live migrations, %d rolled back, %d tables\n",
+		rep.Migrations, rep.Failed, len(rep.Tables))
+	for i := range rep.Tables {
+		t := &rep.Tables[i]
+		mode := "pinned"
+		if t.Auto {
+			mode = "auto"
+		}
+		fmt.Printf("  table %d [%s, %s] %d rules, %d masks, %d ranges, %d wide",
+			t.Table, t.Incumbent, mode, t.Rules, t.Masks, t.Ranges, t.Wide)
+		if t.EwmaNs > 0 {
+			fmt.Printf(", %.0fns/lookup", t.EwmaNs)
+		}
+		fmt.Printf(", %d bits\n", t.MemBits)
+		if t.Migrations > 0 {
+			fmt.Printf("    migrations: %d (last reason: %s)\n", t.Migrations, t.LastReason)
+		}
+		for j, name := range ofproto.AdvisorSchemes {
+			marker := " "
+			if name == t.Incumbent {
+				marker = "*"
+			}
+			if !t.Eligible[j] {
+				fmt.Printf("    %s %-10s ineligible\n", marker, name)
+				continue
+			}
+			fmt.Printf("    %s %-10s score %.1f\n", marker, name, t.Scores[j])
+		}
+	}
 }
 
 // doMemory prints the switch's live per-table, per-backend memory
@@ -507,12 +595,35 @@ func checkTableOptions(c *ofproto.Client, opts []flowtext.TableOption) error {
 		byTable[ms.Tables[i].Table] = &ms.Tables[i]
 	}
 	var fieldsByTable map[uint8][]openflow.FieldID
+	var advisor *ofproto.AdvisorStatsReply
 	for _, opt := range opts {
 		got, ok := byTable[uint8(opt.Table)]
 		if !ok {
 			return fmt.Errorf("table-options: switch has no table %d", opt.Table)
 		}
-		if opt.Backend != "" {
+		if opt.Backend == "auto" {
+			// An auto pin is satisfied by advisor ownership, not by any
+			// particular concrete scheme — the memory stats report
+			// whichever backend the advisor currently runs, so compare
+			// against the advisor report's auto flag instead.
+			if advisor == nil {
+				if advisor, err = c.AdvisorStats(); err != nil {
+					return fmt.Errorf("fetching advisor report: %w", err)
+				}
+			}
+			isAuto := false
+			for i := range advisor.Tables {
+				if advisor.Tables[i].Table == uint8(opt.Table) {
+					isAuto = advisor.Tables[i].Auto
+					break
+				}
+			}
+			if !isAuto {
+				return fmt.Errorf("table-options: table %d runs pinned backend %s, workload pins auto (re-run switchd -backend auto, or pass -ignore-table-options)",
+					opt.Table, got.Backend)
+			}
+			fmt.Printf("table-options: table %d backend=auto confirmed (advisor runs %s)\n", opt.Table, got.Backend)
+		} else if opt.Backend != "" {
 			// Shape first: a pin the backend can never serve is the root
 			// cause, and re-running switchd -backend (the mismatch hint
 			// below) would not fix it — the pipeline falls back to a

@@ -11,6 +11,7 @@
 //	switchd -listen :6653 -mac gozb -cache 0       # disable the microflow fast path
 //	switchd -listen :6653 -route coza -megaflow 0  # disable the megaflow wildcard tier
 //	switchd -listen :6653 -backend tss             # tuple-space search in every table
+//	switchd -listen :6653 -backend auto -autotune 5s # advisor-driven live backend migration
 //	switchd -listen :6653 -memlog 30s              # periodic live memory accounting logs
 //	switchd -listen :6653 -membudget 40000000      # 40 Mbit process memory budget
 //	switchd -listen :6653 -flow-expiry 500ms       # idle/hard timeout sweep interval
@@ -24,7 +25,17 @@
 // default of dir24 applies only to tables shaped as a single 32-bit
 // longest-prefix-match field — other tables fall back to mbt, since a
 // process-wide default is advisory; an explicit per-table pin on an
-// unservable shape is an error.
+// unservable shape is an error. The pseudo-backend "auto" starts each
+// table on mbt and hands scheme choice to the advisor: -autotune arms a
+// background loop that scores every candidate scheme from live signals
+// (published memory accounting, sampled lookup latency, rule-set shape)
+// against a cost model seeded from the paper's Table I and calibrated by
+// on-process microprobes, then migrates the table live when a challenger
+// beats the incumbent past a hysteresis margin — the new backend is
+// built off-path from the canonical rule store and swapped at a commit
+// boundary with a single snapshot publish, rolling back on failure. The
+// advisor's view (signals, per-scheme scores, migration history) is
+// served as the advisor-stats message (ofctl advisor).
 // -memlog logs the pipeline's live per-table memory accounting on an
 // interval; the same figures are served over the wire as the
 // memory-stats message (ofctl memory), read from lock-free counters that
@@ -100,7 +111,8 @@ func run() error {
 		workers  = flag.Int("workers", 0, "goroutines per packet batch (0 = GOMAXPROCS, 1 = sequential)")
 		cacheSz  = flag.Int("cache", 1<<16, "microflow cache entries (0 = disable the fast path)")
 		megaSz   = flag.Int("megaflow", 1<<14, "megaflow (wildcard) cache entries (0 = disable the tier)")
-		backend  = flag.String("backend", "", "default per-table lookup backend: mbt | tss | lineartcam | dir24 (dir24 applies only to single-field IPv4 prefix tables; others fall back to mbt)")
+		backend  = flag.String("backend", "", "default per-table lookup backend: mbt | tss | lineartcam | dir24 | auto (dir24 applies only to single-field IPv4 prefix tables; others fall back to mbt; auto lets the advisor pick and migrate live)")
+		autotune = flag.Duration("autotune", 0, "advisor interval for auto-backend tables: score candidate schemes from live signals and migrate live when one wins (0 = disabled)")
 		memlog   = flag.Duration("memlog", 0, "interval for periodic memory-accounting logs (0 = disabled)")
 		budget   = flag.Uint64("membudget", 0, "process-wide memory budget in modelled bits (0 = unlimited); over-budget flow-mods are rejected TABLE_FULL")
 		expiry   = flag.Duration("flow-expiry", time.Second, "flow idle/hard timeout sweep interval (0 = timeouts never fire)")
@@ -180,6 +192,17 @@ func run() error {
 	} else {
 		log.Printf("switchd: flow expiry disabled; idle/hard timeouts never fire")
 	}
+	if *autotune > 0 {
+		// Background advisor: each tick scores every auto table's
+		// candidate backends from live signals (published memory bits,
+		// sampled lookup latency, rule-set shape) and migrates the table
+		// live — rebuild off-path, one snapshot publish at the swap —
+		// when a challenger beats the incumbent past the hysteresis
+		// margin.
+		pipeline.StartAutotune(*autotune, log.Printf)
+		defer pipeline.StopAutotune()
+		log.Printf("switchd: backend advisor armed, %v interval; auto tables migrate live", *autotune)
+	}
 
 	l, err := net.Listen("tcp", *listen)
 	if err != nil {
@@ -252,6 +275,10 @@ func run() error {
 		if lc.ExpiredIdle > 0 || lc.ExpiredHard > 0 {
 			log.Printf("switchd: flow lifecycle: %d idle-expired, %d hard-expired over %d sweeps (%d flows live)",
 				lc.ExpiredIdle, lc.ExpiredHard, lc.Sweeps, lc.Flows)
+		}
+		if mg := pipeline.MigrationStats(); mg.Migrations > 0 || mg.Failed > 0 {
+			log.Printf("switchd: backend advisor: %d live migrations completed, %d rolled back",
+				mg.Migrations, mg.Failed)
 		}
 		sc := srv.Counters()
 		log.Printf("switchd: wire layer: %d connections accepted, %d dead peers dropped, %d handler panics recovered",

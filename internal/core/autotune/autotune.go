@@ -1,0 +1,223 @@
+// Package autotune is the pure decision core of the self-tuning backend
+// subsystem: a per-table cost model over the repository's lookup schemes
+// (mbt, tss, lineartcam, dir24), seeded from the paper's Table I
+// figures and refined by on-process microprobes, plus the hysteresis
+// policy that turns scores into migrate/stay decisions.
+//
+// The package deliberately knows nothing about pipelines, snapshots or
+// locks — it maps observed signals (rule count, mask diversity, range
+// rules, live memory bits, measured lookup latency) to scores, and
+// scores to a decision. The core package owns signal collection and the
+// actual live migration.
+package autotune
+
+import "time"
+
+// Scheme names mirror the core backend kinds. They are duplicated here
+// (rather than imported) so the decision core stays dependency-free.
+const (
+	SchemeMBT        = "mbt"
+	SchemeTSS        = "tss"
+	SchemeLinearTCAM = "lineartcam"
+	SchemeDIR24      = "dir24"
+)
+
+// Schemes lists the candidate schemes in canonical (wire-code) order.
+var Schemes = []string{SchemeMBT, SchemeTSS, SchemeLinearTCAM, SchemeDIR24}
+
+// Signals is one table's observed state, gathered by the advisor from
+// live counters: the canonical rule store's shape and the published
+// memory/latency figures.
+type Signals struct {
+	// Rules is the installed rule count.
+	Rules int
+	// Masks is the number of distinct match-mask shapes (the tuple
+	// count a TSS backend would hold).
+	Masks int
+	// Ranges is the number of rules carrying a range match.
+	Ranges int
+	// MemBits is the incumbent backend's published TableMemory bits.
+	// Only used to score the incumbent; candidates are modelled.
+	MemBits uint64
+	// MeasuredNs is the EWMA of the incumbent's measured per-lookup
+	// latency in nanoseconds, 0 when no samples have been taken yet.
+	MeasuredNs float64
+}
+
+// SchemeCost is one scheme's analytic cost surface. Latency is
+// BaseNs + PerRuleNs·rules + PerMaskNs·masks; memory is
+// FixedBits + PerRuleBits·rules.
+type SchemeCost struct {
+	BaseNs      float64
+	PerRuleNs   float64
+	PerMaskNs   float64
+	FixedBits   float64
+	PerRuleBits float64
+}
+
+// Model maps scheme name to its cost surface.
+type Model map[string]SchemeCost
+
+// DefaultModel seeds the model from the paper's Table I comparison of
+// the four architectures, normalised to per-lookup nanoseconds and
+// per-rule bits:
+//
+//   - mbt: the paper's multi-bit-trie pipeline — lookup cost is a
+//     near-constant trie walk (≈2.3µs reference point), memory ≈500
+//     bits/rule across search+index+action stores.
+//   - tss: tuple space search — cost grows with mask diversity (one
+//     hash probe per tuple; ≈13.7µs at the reference tuple count),
+//     memory the cheapest at ≈200 bits/rule.
+//   - lineartcam: the TCAM cost model — linear scan (≈8.3ns/rule),
+//     priciest memory at ≈1600 bits/rule (TCAM cell cost).
+//   - dir24: the DIR-24-8 flat array — two dependent loads (≈60ns)
+//     regardless of rule count, but a fixed 2^24-slot slab
+//     (≈537 Mbit) plus per-rule action bits.
+func DefaultModel() Model {
+	return Model{
+		SchemeMBT:        {BaseNs: 2300, PerRuleBits: 500},
+		SchemeTSS:        {BaseNs: 500, PerMaskNs: 440, PerRuleBits: 200},
+		SchemeLinearTCAM: {BaseNs: 50, PerRuleNs: 8.3, PerRuleBits: 1600},
+		SchemeDIR24:      {BaseNs: 60, FixedBits: 537e6, PerRuleBits: 64},
+	}
+}
+
+// LatencyNs is the modelled per-lookup latency for scheme under s.
+func (m Model) LatencyNs(scheme string, s Signals) float64 {
+	c := m[scheme]
+	return c.BaseNs + c.PerRuleNs*float64(s.Rules) + c.PerMaskNs*float64(s.Masks)
+}
+
+// MemBits is the modelled memory footprint for scheme under s.
+func (m Model) MemBits(scheme string, s Signals) float64 {
+	c := m[scheme]
+	return c.FixedBits + c.PerRuleBits*float64(s.Rules)
+}
+
+// Calibrate scales one scheme's latency terms so the model's
+// prediction under ref matches a measured microprobe figure. The
+// correction ratio is clamped to [1/16, 16]: a probe can sharpen the
+// Table I seed by an order of magnitude, but a wild outlier (a preempted
+// probe goroutine, say) cannot invert the model.
+func (m Model) Calibrate(scheme string, measuredNs float64, ref Signals) {
+	if measuredNs <= 0 {
+		return
+	}
+	predicted := m.LatencyNs(scheme, ref)
+	if predicted <= 0 {
+		return
+	}
+	ratio := measuredNs / predicted
+	if ratio < 1.0/16 {
+		ratio = 1.0 / 16
+	}
+	if ratio > 16 {
+		ratio = 16
+	}
+	c := m[scheme]
+	c.BaseNs *= ratio
+	c.PerRuleNs *= ratio
+	c.PerMaskNs *= ratio
+	m[scheme] = c
+}
+
+// Policy is the hysteresis configuration that keeps the advisor from
+// flapping between near-equal schemes.
+type Policy struct {
+	// Margin is the fractional score improvement a challenger must
+	// show over the incumbent before a migration is worth its cost.
+	// 0.30 means "at least 30% better".
+	Margin float64
+	// MinDwell is the minimum time after a migration before the table
+	// may migrate again.
+	MinDwell time.Duration
+	// MemWeight scales how strongly memory inflates a scheme's score:
+	// score = latency · (1 + MemWeight·memBits/MemScale). 0 scores on
+	// latency alone.
+	MemWeight float64
+	// MemScale is the memory normalisation constant in bits (default
+	// 1e9: one Gbit of modelled memory doubles the score at weight 1).
+	MemScale float64
+}
+
+// DefaultPolicy returns the default hysteresis knobs: 30% margin, 10s
+// dwell, memory weighted at one Gbit-doubles-the-score.
+func DefaultPolicy() Policy {
+	return Policy{Margin: 0.30, MinDwell: 10 * time.Second, MemWeight: 1, MemScale: 1e9}
+}
+
+// Score folds a latency figure and a memory footprint into one
+// comparable scalar (lower is better).
+func (p Policy) Score(latNs, memBits float64) float64 {
+	scale := p.MemScale
+	if scale <= 0 {
+		scale = 1e9
+	}
+	if latNs < 1 {
+		latNs = 1
+	}
+	return latNs * (1 + p.MemWeight*memBits/scale)
+}
+
+// Candidate is one scored scheme.
+type Candidate struct {
+	Scheme   string
+	Score    float64
+	Eligible bool
+}
+
+// Decision is the advisor's verdict for one table.
+type Decision struct {
+	// Best is the lowest-scoring eligible scheme (the incumbent when
+	// nothing eligible beats it).
+	Best string
+	// Migrate reports whether Best should replace the incumbent now —
+	// it clears the margin and the dwell.
+	Migrate bool
+}
+
+// Decide applies the hysteresis policy: the best eligible challenger
+// must beat the incumbent's score by at least Margin, and the table
+// must have dwelt at least MinDwell since its last migration. An
+// incumbent that is itself ineligible (its table's rule shape outgrew
+// it) is evicted unconditionally — correctness beats hysteresis.
+func (p Policy) Decide(incumbent string, incumbentScore float64, cands []Candidate, sinceLastMigration time.Duration) Decision {
+	incumbentEligible := false
+	challenger, challengerScore := "", 0.0
+	for _, c := range cands {
+		if c.Scheme == incumbent {
+			incumbentEligible = incumbentEligible || c.Eligible
+			continue
+		}
+		if !c.Eligible {
+			continue
+		}
+		if challenger == "" || c.Score < challengerScore {
+			challenger, challengerScore = c.Scheme, c.Score
+		}
+	}
+	if !incumbentEligible && challenger != "" {
+		// Forced off: the incumbent can no longer serve the rule set.
+		return Decision{Best: challenger, Migrate: true}
+	}
+	if challenger == "" || challengerScore >= incumbentScore {
+		return Decision{Best: incumbent}
+	}
+	best := challenger
+	if sinceLastMigration < p.MinDwell {
+		return Decision{Best: best}
+	}
+	if challengerScore > incumbentScore*(1-p.Margin) {
+		return Decision{Best: best}
+	}
+	return Decision{Best: best, Migrate: true}
+}
+
+// EWMA folds one sample into an exponentially-weighted moving average.
+// A zero prev adopts the sample outright (first observation).
+func EWMA(prev, sample, alpha float64) float64 {
+	if prev == 0 {
+		return sample
+	}
+	return prev + alpha*(sample-prev)
+}

@@ -52,6 +52,13 @@ const (
 	// tables whose field set is exactly one 32-bit LPM field (see
 	// BackendSupportsFields).
 	BackendDIR24 = "dir24"
+	// BackendAuto is the self-tuning pseudo-kind: the table starts on
+	// mbt and the autotune advisor (see autotune.go) migrates it live
+	// between the concrete schemes as rule shape, measured latency and
+	// memory evolve. It is accepted by every selection surface but is
+	// never a concrete Backend — TableMemory always reports the
+	// incumbent scheme actually serving lookups.
+	BackendAuto = "auto"
 )
 
 // EnvBackend is the environment variable naming the default backend for
@@ -67,17 +74,20 @@ const EnvBackend = "OFMTL_BACKEND"
 // runs the test suite with the tier on and off.
 const EnvMegaflow = "OFMTL_MEGAFLOW"
 
-// BackendKinds returns the recognised backend kind names, sorted.
+// BackendKinds returns the recognised concrete backend kind names,
+// sorted. The "auto" pseudo-kind is deliberately absent: it is a
+// selection-surface value, not a scheme a table can report running.
 func BackendKinds() []string {
 	return []string{BackendDIR24, BackendLinearTCAM, BackendMBT, BackendTSS}
 }
 
 // ValidBackend reports whether kind names a registered backend — the
 // membership test behind every selection surface (flags, configs,
-// SetDefaultBackend).
+// SetDefaultBackend). The "auto" pseudo-kind is valid everywhere a
+// selection is made.
 func ValidBackend(kind string) bool {
 	switch kind {
-	case BackendMBT, BackendTSS, BackendLinearTCAM, BackendDIR24:
+	case BackendMBT, BackendTSS, BackendLinearTCAM, BackendDIR24, BackendAuto:
 		return true
 	default:
 		return false
@@ -92,6 +102,8 @@ func ValidBackend(kind string) bool {
 // -backend) consult this to fall back to mbt on unsupported tables;
 // an explicit per-table pin skips the check and fails at config time
 // instead.
+// The "auto" pseudo-kind serves any field set: its advisor only ever
+// selects concrete schemes that pass this same check.
 func BackendSupportsFields(kind string, fields []openflow.FieldID) bool {
 	if kind == BackendDIR24 {
 		return dir24SupportsFields(fields)

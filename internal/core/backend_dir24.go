@@ -150,6 +150,24 @@ func newDIR24Backend(cfg TableConfig) (*dir24Backend, error) {
 	}, nil
 }
 
+// newDIR24BackendAuto builds a DIR-24-8 backend serving the designated
+// LPM field of a multi-field table, skipping the pinned-configuration
+// shape check. Only the autotune migrator constructs these, and only
+// while the table's rule set constrains nothing but the designated field
+// (wideRules == 0) — under that invariant the other configured fields are
+// uniformly wildcarded, so classifying on the designated field alone is
+// exact. The advisor migrates the table off dir24 (inline, before the
+// insert lands) the moment a wider rule arrives.
+func newDIR24BackendAuto(cfg TableConfig, field openflow.FieldID) *dir24Backend {
+	return &dir24Backend{
+		cfg:       cfg,
+		field:     field,
+		tbl:       make([]*dir24TblChunk, dir24NumChunks),
+		tblShared: make([]bool, dir24NumChunks),
+		buckets:   make(map[uint64][]*dir24Entry),
+	}
+}
+
 // Kind implements Backend.
 func (b *dir24Backend) Kind() string { return BackendDIR24 }
 

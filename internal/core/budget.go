@@ -74,6 +74,11 @@ func (e *BudgetError) Error() string {
 func (p *Pipeline) SetMemoryBudget(bits uint64) {
 	p.memBudget.Store(bits)
 	p.mu.Lock()
+	// Dirty the snapshot so SnapshotMemoryStats picks the figure up on
+	// its next load; an eagerly-rebuilt (megaflow-tier) snapshot would
+	// otherwise stay fresh and keep serving the old budget. The rebuild
+	// reuses every table clone — only the embedded stats are reread.
+	p.structGen.Add(1)
 	p.adjustPressureLocked()
 	p.mu.Unlock()
 }
@@ -102,6 +107,9 @@ func (p *Pipeline) SetTableBudget(id openflow.TableID, bits uint64) error {
 	}
 	t.budgetBits = bits
 	t.publishStats()
+	// Dirty the snapshot too (see SetMemoryBudget): the table clones are
+	// all reusable, but the embedded per-table stats must be reread.
+	p.structGen.Add(1)
 	return nil
 }
 

@@ -50,7 +50,7 @@ type TableConfigJSON struct {
 	ID      uint8    `json:"id"`
 	Fields  []string `json:"fields"`
 	Miss    string   `json:"miss,omitempty"`    // "controller" (default), "drop", "goto:<id>"
-	Backend string   `json:"backend,omitempty"` // "mbt" (default) | "tss" | "lineartcam" | "dir24" (an explicit dir24 pin requires a single-prefix-field table)
+	Backend string   `json:"backend,omitempty"` // "mbt" (default) | "tss" | "lineartcam" | "dir24" | "auto" (an explicit dir24 pin requires a single-prefix-field table; "auto" hands scheme choice to the advisor)
 	Budget  uint64   `json:"budget,omitempty"`  // per-table memory budget, bits (0 = unlimited)
 }
 

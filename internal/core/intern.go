@@ -240,6 +240,13 @@ type execScratch struct {
 	refs        [ctrRefMax]uint32
 	nrefs       int
 	refOverflow bool
+
+	// lat, when non-nil, makes this walk a latency-sampled one: the walk
+	// times each Classify and records it on latShard (autotune signal).
+	// The 1-in-latSampleEvery gate's tick lives in the sampler's shard,
+	// not here — pooled scratches have no stable lifetime.
+	lat      *latSampler
+	latShard uint32
 }
 
 func (sc *execScratch) reset() {
@@ -250,6 +257,7 @@ func (sc *execScratch) reset() {
 	sc.rewritten = 0
 	sc.nrefs = 0
 	sc.refOverflow = false
+	sc.lat = nil
 }
 
 var execScratchPool = sync.Pool{New: func() any { return &execScratch{} }}

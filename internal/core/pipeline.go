@@ -7,7 +7,9 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"ofmtl/internal/core/autotune"
 	"ofmtl/internal/memmodel"
 	"ofmtl/internal/openflow"
 )
@@ -124,6 +126,24 @@ type Pipeline struct {
 	infoCache     []TableInfo
 	infoGens      []uint64
 	infoStructGen uint64
+
+	// lat is the per-table lookup-latency sampler feeding the autotune
+	// advisor: sampled walks (one in latSampleEvery) time each Classify
+	// and charge the table on the worker's shard (see autotune.go).
+	lat *latSampler
+
+	// Autotune advisor state: the hysteresis policy and calibrated cost
+	// model (guarded by mu), the periodic-advisor goroutine lifecycle
+	// (tuneMu, mirroring the expiry sweeper), and the failed-migration
+	// counter (atomic for lock-free Stats readers; completed migrations
+	// are counted per table).
+	tunePolicy       autotune.Policy
+	tuneModel        autotune.Model
+	tuneCalibrated   bool
+	tuneMu           sync.Mutex
+	tuneStop         chan struct{}
+	tuneWG           sync.WaitGroup
+	migrationsFailed atomic.Uint64
 }
 
 // NewPipeline returns an empty pipeline. The default lookup backend for
@@ -136,6 +156,9 @@ func NewPipeline() *Pipeline {
 		defaultBackend: defaultBackendFromEnv(),
 		dir:            newFlowDir(),
 		groupTab:       newGroupTable(),
+		lat:            newLatSampler(),
+		tunePolicy:     autotune.DefaultPolicy(),
+		tuneModel:      autotune.DefaultModel(),
 	}
 	p.groupsView.Store(emptyGroupView)
 	if n, err := strconv.Atoi(os.Getenv(EnvMegaflow)); err == nil && n > 0 {
@@ -444,6 +467,7 @@ func (p *Pipeline) Execute(h *openflow.Header) Result {
 		}
 		msh.misses.Add(1)
 		sc := execScratchPool.Get().(*execScratch)
+		sc.latShard = shard
 		res := s.executeTracedScratch(h, sc)
 		rp := s.intern.internResult(res)
 		if d != nil && sc.nrefs > 0 {
@@ -462,6 +486,7 @@ func (p *Pipeline) Execute(h *openflow.Header) Result {
 		return res
 	}
 	sc := execScratchPool.Get().(*execScratch)
+	sc.latShard = shard
 	res := s.executeScratch(h, sc)
 	if d != nil && sc.nrefs > 0 {
 		d.touch(shard, &sc.refs, sc.nrefs, h.PktLen)
@@ -494,7 +519,18 @@ func executeWalk(order []openflow.TableID, byID *[256]*LookupTable, gv *groupVie
 		sc.visited = append(sc.visited, cur)
 		var m MatchResult
 		var matched bool
-		if sc.traced {
+		if sc.lat != nil {
+			// A sampled walk (autotune latency signal): time each
+			// classification. The common path never reaches the clock —
+			// sc.lat is non-nil for one walk in latSampleEvery.
+			start := time.Now()
+			if sc.traced {
+				m, matched = t.ClassifyTraced(h, &sc.tr)
+			} else {
+				m, matched = t.Classify(h)
+			}
+			sc.lat.record(sc.latShard, cur, uint64(time.Since(start)))
+		} else if sc.traced {
 			m, matched = t.ClassifyTraced(h, &sc.tr)
 		} else {
 			m, matched = t.Classify(h)

@@ -56,6 +56,9 @@ type snapshot struct {
 	// dir is the owning pipeline's lifecycle directory (counter
 	// attribution for walks executed against this snapshot).
 	dir *flowDir
+	// lat is the owning pipeline's lookup-latency sampler; sampled walks
+	// against this snapshot feed it (autotune signal).
+	lat *latSampler
 	// mem is the per-table memory accounting of the state this snapshot
 	// serves, captured from the tables' published counters at build time.
 	// A reader holding the snapshot therefore sees lookup results and
@@ -105,6 +108,7 @@ func (s *snapshot) executeScratch(h *openflow.Header, sc *execScratch) Result {
 		return res
 	}
 	sc.reset()
+	sc.armLatSample(s)
 	executeWalk(s.order, &s.byID, s.groups, h, sc, &res)
 	res.TablesVisited = s.intern.internPath(sc.visited)
 	res.Outputs = s.intern.internOutputs(sc.outs)
@@ -126,6 +130,7 @@ func (s *snapshot) executeTracedScratch(h *openflow.Header, sc *execScratch) Res
 		res.SentToController = true
 		return res
 	}
+	sc.armLatSample(s)
 	executeWalk(s.order, &s.byID, s.groups, h, sc, &res)
 	res.TablesVisited = s.intern.internPath(sc.visited)
 	res.Outputs = s.intern.internOutputs(sc.outs)
@@ -182,6 +187,7 @@ func (p *Pipeline) rebuildSnapshotLocked() *snapshot {
 		groups:    p.groupsView.Load(),
 		groupGen:  p.groupGen.Load(),
 		dir:       p.dir,
+		lat:       p.lat,
 	}
 	ns.mem.BudgetBits = p.memBudget.Load()
 	for id, t := range p.tables {
@@ -345,6 +351,7 @@ func batchWorker(jobs chan batchJob) {
 func (bs *batchState) work(w int) {
 	ctx := &bs.ctxs[w]
 	ctx.shard = uint32(w)
+	ctx.sc.latShard = uint32(w)
 	for v := 0; v < bs.workers; v++ {
 		bs.drain((w+v)%bs.workers, ctx)
 	}

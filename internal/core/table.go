@@ -95,6 +95,41 @@ type LookupTable struct {
 	// single-threaded build phase), like all mutation state.
 	suspendPublish bool
 	statsDirty     bool
+
+	// auto marks a table configured with the "auto" pseudo-backend: the
+	// autotune advisor (autotune.go) may migrate its concrete backend
+	// live as rule shape, measured latency and memory evolve.
+	auto bool
+
+	// designated is the table's dir24 candidate field — the first
+	// configured 32-bit longest-prefix-match field — and hasDesignated
+	// whether one exists. A table is dir24-eligible under auto exactly
+	// while every installed rule constrains only the designated field.
+	designated    openflow.FieldID
+	hasDesignated bool
+
+	// Rule-set shape counters, maintained incrementally by Insert and
+	// Remove under the pipeline write lock. maskSigs counts rules per
+	// distinct match-mask signature (the tuple count a TSS backend
+	// would hold); rangeRules counts rules carrying a range match;
+	// wideRules counts rules constraining any field beyond the
+	// designated one (each such rule blocks dir24 eligibility).
+	maskSigs   map[uint64]int
+	rangeRules int
+	wideRules  int
+
+	// Advisor state (autotune.go). ewmaNs is the measured per-lookup
+	// latency EWMA; lastLatSum/lastLatCount are the sampler totals the
+	// last advisor tick consumed; lastMigration is the unix-nano stamp
+	// of the last backend migration (dwell clock). All guarded by the
+	// pipeline write lock. migrations and lastReason are atomics so
+	// lock-free Stats readers can report them under churn.
+	ewmaNs       float64
+	lastLatSum   uint64
+	lastLatCount uint64
+	lastMig      int64
+	migrations   atomic.Uint64
+	lastReason   atomic.Uint32
 }
 
 // NewLookupTable builds a table from its configuration.
@@ -122,8 +157,23 @@ func NewLookupTable(cfg TableConfig) (*LookupTable, error) {
 		cfg:        cfg,
 		fieldsView: append([]openflow.FieldID(nil), cfg.Fields...),
 		budgetBits: cfg.BudgetBits,
+		maskSigs:   make(map[uint64]int),
 	}
-	backend, err := newBackend(cfg.Backend, cfg)
+	for _, f := range cfg.Fields {
+		if f.Bits() == 32 && f.Method() == openflow.LongestPrefixMatch {
+			t.designated, t.hasDesignated = f, true
+			break
+		}
+	}
+	// The "auto" pseudo-kind starts every table on mbt — the one scheme
+	// that serves any field set — and leaves scheme changes to the
+	// autotune advisor's live migrations.
+	kind := cfg.Backend
+	if kind == BackendAuto {
+		t.auto = true
+		kind = BackendMBT
+	}
+	backend, err := newBackend(kind, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -218,6 +268,15 @@ func (t *LookupTable) Insert(e *openflow.FlowEntry) error {
 	if err := t.checkCoverage(e); err != nil {
 		return err
 	}
+	// A rule constraining more than the designated LPM field cannot be
+	// represented by a dir24 incumbent. Under auto the table migrates
+	// off dir24 inline — rebuilding a generic backend from the rule
+	// store before this insert proceeds — instead of erroring.
+	if t.auto && t.entryBlocksDIR24(e) && t.backend.Kind() == BackendDIR24 {
+		if err := t.migrateOffDIR24(); err != nil {
+			return err
+		}
+	}
 	sr := t.store.add(e)
 	if t.groups != nil {
 		if err := t.groups.acquire(sr.entry.Instructions); err != nil {
@@ -242,6 +301,7 @@ func (t *LookupTable) Insert(e *openflow.FlowEntry) error {
 		return err
 	}
 	t.rules++
+	t.trackShape(&sr.entry, +1)
 	t.gen.Add(1)
 	t.publishStats()
 	return nil
@@ -281,6 +341,7 @@ func (t *LookupTable) Remove(e *openflow.FlowEntry) error {
 	if t.groups != nil {
 		t.groups.release(sr.entry.Instructions)
 	}
+	t.trackShape(&sr.entry, -1)
 	t.store.unlink(h, i)
 	t.rules--
 	t.gen.Add(1)

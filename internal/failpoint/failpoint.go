@@ -49,4 +49,12 @@ const (
 	SiteConnRead = "conn-read"
 	// SiteConnWrite fires per server-side connection write.
 	SiteConnWrite = "conn-write"
+	// SiteMigrationBuild fires per replayed rule while an auto-backend
+	// migration builds its replacement backend off-path (an injected
+	// error aborts the build; the incumbent keeps serving).
+	SiteMigrationBuild = "migration-build"
+	// SiteMigrationCommit fires after a migration's replacement backend
+	// is fully built, just before the swap is published (an injected
+	// error discards the build; the incumbent keeps serving).
+	SiteMigrationCommit = "migration-commit"
 )

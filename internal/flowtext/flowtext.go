@@ -19,6 +19,11 @@
 //
 //	table-options 1 backend=tss budget=4000000
 //
+// backend names the concrete scheme (mbt, tss, lineartcam, dir24) or
+// the pseudo-backend auto, which pins advisor ownership rather than a
+// scheme: the verifier accepts any concrete backend the advisor has
+// migrated the table to, as long as the table is advisor-managed.
+//
 // Matches (omitted fields are wildcards):
 //
 //	inport=N  vlan=N  meta=N  proto=N

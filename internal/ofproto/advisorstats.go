@@ -1,0 +1,188 @@
+package ofproto
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// This file is the wire surface of the autotune advisor: the
+// MsgAdvisorStatsRequest/Reply codec reporting, per table, the incumbent
+// backend, the advisor's live signals, the candidate scheme scores, and
+// the migration history. Like the memory-stats codec it is fixed-width
+// per row with Append/DecodeInto forms, so steady-state polling
+// allocates nothing on either side.
+
+// AdvisorSchemes is the wire order of the candidate-score columns in an
+// advisor-stats row: one score per core scheme.
+var AdvisorSchemes = [4]string{"mbt", "tss", "lineartcam", "dir24"}
+
+// Advisor row flag bits.
+const (
+	// AdvisorFlagAuto marks a table running the "auto" pseudo-backend
+	// (the advisor may migrate it); without it the table is pinned and
+	// the scores are advisory only.
+	AdvisorFlagAuto uint8 = 1 << 0
+)
+
+// Migration reason codes on the wire; unknown codes decode to "none".
+var migrateReasonCodes = map[string]uint8{
+	"none":  0,
+	"score": 1,
+	"shape": 2,
+}
+
+var migrateReasonNames = map[uint8]string{
+	0: "none",
+	1: "score",
+	2: "shape",
+}
+
+// AdvisorTableStats is one table's advisor view as reported by the
+// switch.
+type AdvisorTableStats struct {
+	Table uint8
+	// Auto reports whether the table runs the "auto" pseudo-backend.
+	Auto bool
+	// Incumbent is the concrete backend currently serving lookups.
+	Incumbent string
+	// LastReason names why the table last migrated ("none", "score",
+	// "shape").
+	LastReason string
+	Rules      uint32
+	// Masks is the live count of distinct match-mask shapes; Ranges the
+	// rules carrying a range match; Wide the rules constraining fields
+	// beyond the table's designated LPM field (each blocks dir24).
+	Masks  uint16
+	Ranges uint16
+	Wide   uint16
+	// EwmaNs is the measured per-lookup latency EWMA in nanoseconds
+	// (0 before any samples).
+	EwmaNs float64
+	// MemBits is the incumbent's published memory accounting.
+	MemBits uint64
+	// Migrations counts this table's completed backend migrations.
+	Migrations uint64
+	// Scores holds each scheme's advisor score (lower is better) in
+	// AdvisorSchemes order; Eligible whether the scheme could serve the
+	// table's current rule set.
+	Scores   [4]float64
+	Eligible [4]bool
+}
+
+// AdvisorStatsReply is the switch's answer to an advisor-stats request:
+// the per-table advisor rows in pipeline order plus the pipeline's
+// migration counters.
+type AdvisorStatsReply struct {
+	// Migrations counts completed live backend migrations across all
+	// tables; Failed counts aborted attempts (the incumbent kept
+	// serving).
+	Migrations uint64
+	Failed     uint64
+	Tables     []AdvisorTableStats
+}
+
+// advisorStatsHeaderLen is the reply prefix:
+// [migrations u64 | failed u64 | count u16].
+const advisorStatsHeaderLen = 8 + 8 + 2
+
+// advisorStatsRowLen is the fixed wire width of one per-table record:
+// [table u8 | flags u8 | incumbent u8 | reason u8 | eligible u8 |
+// rules u32 | masks u16 | ranges u16 | wide u16 | ewma f64 |
+// membits u64 | migrations u64 | scores 4 x f64].
+const advisorStatsRowLen = 1 + 1 + 1 + 1 + 1 + 4 + 2 + 2 + 2 + 8 + 8 + 8 + 4*8
+
+// AppendAdvisorStatsReply appends the wire form of an advisor-stats
+// reply to buf, so per-connection senders can reuse one encode buffer.
+func AppendAdvisorStatsReply(buf []byte, r *AdvisorStatsReply) []byte {
+	buf = binary.BigEndian.AppendUint64(buf, r.Migrations)
+	buf = binary.BigEndian.AppendUint64(buf, r.Failed)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(r.Tables)))
+	for i := range r.Tables {
+		t := &r.Tables[i]
+		var flags uint8
+		if t.Auto {
+			flags |= AdvisorFlagAuto
+		}
+		var elig uint8
+		for j, ok := range t.Eligible {
+			if ok {
+				elig |= 1 << j
+			}
+		}
+		buf = append(buf, t.Table, flags, backendCodes[t.Incumbent], migrateReasonCodes[t.LastReason], elig)
+		buf = binary.BigEndian.AppendUint32(buf, t.Rules)
+		buf = binary.BigEndian.AppendUint16(buf, t.Masks)
+		buf = binary.BigEndian.AppendUint16(buf, t.Ranges)
+		buf = binary.BigEndian.AppendUint16(buf, t.Wide)
+		buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(t.EwmaNs))
+		buf = binary.BigEndian.AppendUint64(buf, t.MemBits)
+		buf = binary.BigEndian.AppendUint64(buf, t.Migrations)
+		for _, s := range t.Scores {
+			buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(s))
+		}
+	}
+	return buf
+}
+
+// EncodeAdvisorStatsReply serialises an advisor-stats reply.
+func EncodeAdvisorStatsReply(r *AdvisorStatsReply) []byte {
+	return AppendAdvisorStatsReply(make([]byte, 0, advisorStatsHeaderLen+advisorStatsRowLen*len(r.Tables)), r)
+}
+
+// DecodeAdvisorStatsReplyInto parses an advisor-stats reply, reusing the
+// reply's Tables slice: once it has grown to the pipeline's table count,
+// steady-state polling decodes allocate nothing (backend and reason
+// names are interned strings, not payload slices).
+func DecodeAdvisorStatsReplyInto(r *AdvisorStatsReply, payload []byte) error {
+	if len(payload) < advisorStatsHeaderLen {
+		return fmt.Errorf("ofproto: advisor-stats payload of %d bytes", len(payload))
+	}
+	r.Migrations = binary.BigEndian.Uint64(payload)
+	r.Failed = binary.BigEndian.Uint64(payload[8:])
+	count := int(binary.BigEndian.Uint16(payload[16:]))
+	rest := payload[advisorStatsHeaderLen:]
+	if len(rest) != count*advisorStatsRowLen {
+		return fmt.Errorf("ofproto: advisor-stats wants %d tables, has %d bytes", count, len(rest))
+	}
+	if cap(r.Tables) < count {
+		r.Tables = make([]AdvisorTableStats, count)
+	}
+	r.Tables = r.Tables[:count]
+	for i := 0; i < count; i++ {
+		t := &r.Tables[i]
+		t.Table = rest[0]
+		t.Auto = rest[1]&AdvisorFlagAuto != 0
+		t.Incumbent = backendNames[rest[2]]
+		t.LastReason = migrateReasonNames[rest[3]]
+		if t.LastReason == "" {
+			t.LastReason = "none"
+		}
+		elig := rest[4]
+		for j := range t.Eligible {
+			t.Eligible[j] = elig&(1<<j) != 0
+		}
+		t.Rules = binary.BigEndian.Uint32(rest[5:])
+		t.Masks = binary.BigEndian.Uint16(rest[9:])
+		t.Ranges = binary.BigEndian.Uint16(rest[11:])
+		t.Wide = binary.BigEndian.Uint16(rest[13:])
+		t.EwmaNs = math.Float64frombits(binary.BigEndian.Uint64(rest[15:]))
+		t.MemBits = binary.BigEndian.Uint64(rest[23:])
+		t.Migrations = binary.BigEndian.Uint64(rest[31:])
+		for j := range t.Scores {
+			t.Scores[j] = math.Float64frombits(binary.BigEndian.Uint64(rest[39+8*j:]))
+		}
+		rest = rest[advisorStatsRowLen:]
+	}
+	return nil
+}
+
+// DecodeAdvisorStatsReply parses an advisor-stats reply into a fresh
+// value.
+func DecodeAdvisorStatsReply(payload []byte) (*AdvisorStatsReply, error) {
+	r := &AdvisorStatsReply{}
+	if err := DecodeAdvisorStatsReplyInto(r, payload); err != nil {
+		return nil, err
+	}
+	return r, nil
+}

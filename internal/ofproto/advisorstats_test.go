@@ -1,0 +1,248 @@
+package ofproto
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"ofmtl/internal/core"
+	"ofmtl/internal/core/autotune"
+	"ofmtl/internal/openflow"
+)
+
+// TestAdvisorStatsCodecRoundTrip pins the wire form: encode → decode
+// must be lossless across the flags, reason codes, eligibility mask and
+// float64-bit score columns.
+func TestAdvisorStatsCodecRoundTrip(t *testing.T) {
+	in := &AdvisorStatsReply{
+		Migrations: 42,
+		Failed:     7,
+		Tables: []AdvisorTableStats{
+			{
+				Table: 0, Auto: true, Incumbent: "dir24", LastReason: "score",
+				Rules: 1 << 20, Masks: 3, Ranges: 0, Wide: 0,
+				EwmaNs: 83.25, MemBits: 537 << 20, Migrations: 2,
+				Scores:   [4]float64{2301.5, 940, 8441.25, 92.125},
+				Eligible: [4]bool{true, true, true, true},
+			},
+			{
+				Table: 5, Auto: false, Incumbent: "tss", LastReason: "none",
+				Rules: 507, Masks: 65535, Ranges: 12, Wide: 507,
+				EwmaNs: 0, MemBits: 123456, Migrations: 0,
+				Scores:   [4]float64{1, 2, 3, 0},
+				Eligible: [4]bool{true, true, true, false},
+			},
+			{
+				Table: 9, Auto: true, Incumbent: "mbt", LastReason: "shape",
+				Rules: 0, Scores: [4]float64{math.Inf(1), 0.5, 0, 0},
+				Eligible: [4]bool{true, false, false, false},
+			},
+		},
+	}
+	payload := EncodeAdvisorStatsReply(in)
+	if want := advisorStatsHeaderLen + 3*advisorStatsRowLen; len(payload) != want {
+		t.Fatalf("encoded %d bytes, want %d", len(payload), want)
+	}
+	out, err := DecodeAdvisorStatsReply(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Errorf("round trip mismatch:\n in  %+v\n out %+v", in, out)
+	}
+
+	// The reuse decode draws no fresh Tables slice once grown.
+	var reused AdvisorStatsReply
+	if err := DecodeAdvisorStatsReplyInto(&reused, payload); err != nil {
+		t.Fatal(err)
+	}
+	prev := &reused.Tables[0]
+	if err := DecodeAdvisorStatsReplyInto(&reused, payload); err != nil {
+		t.Fatal(err)
+	}
+	if prev != &reused.Tables[0] {
+		t.Error("DecodeAdvisorStatsReplyInto re-allocated the Tables slice")
+	}
+}
+
+// TestAdvisorStatsCodecRejectsMalformed covers the truncation paths:
+// short headers, rows cut mid-record, and trailing garbage.
+func TestAdvisorStatsCodecRejectsMalformed(t *testing.T) {
+	good := EncodeAdvisorStatsReply(&AdvisorStatsReply{
+		Migrations: 1,
+		Tables:     []AdvisorTableStats{{Table: 1, Incumbent: "mbt", LastReason: "none"}},
+	})
+	for _, bad := range [][]byte{
+		nil,
+		good[:5],
+		good[:advisorStatsHeaderLen-1],
+		good[:advisorStatsHeaderLen+1],
+		good[:len(good)-1],
+		append(append([]byte(nil), good...), 0),
+	} {
+		if _, err := DecodeAdvisorStatsReply(bad); err == nil {
+			t.Errorf("decode of %d-byte malformed payload succeeded", len(bad))
+		}
+	}
+}
+
+// TestAdvisorStatsUnknownCodesDegrade pins forward compatibility: an
+// incumbent code or reason code this decoder does not know must not
+// fail the decode — the backend name goes empty, the reason decodes as
+// "none" — so an older ofctl stays usable against a newer switch.
+func TestAdvisorStatsUnknownCodesDegrade(t *testing.T) {
+	payload := EncodeAdvisorStatsReply(&AdvisorStatsReply{
+		Tables: []AdvisorTableStats{{Table: 1, Incumbent: "mbt", LastReason: "score"}},
+	})
+	payload[advisorStatsHeaderLen+2] = 0xEE // incumbent code
+	payload[advisorStatsHeaderLen+3] = 0xEE // reason code
+	out, err := DecodeAdvisorStatsReply(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Tables[0].Incumbent != "" {
+		t.Errorf("unknown incumbent code decoded as %q", out.Tables[0].Incumbent)
+	}
+	if out.Tables[0].LastReason != "none" {
+		t.Errorf("unknown reason code decoded as %q, want none", out.Tables[0].LastReason)
+	}
+}
+
+// TestAdvisorSchemesMatchAutotuneOrder keeps the wire score columns in
+// lockstep with the advisor's scheme order — a reorder on either side
+// would silently attribute scores to the wrong backend.
+func TestAdvisorSchemesMatchAutotuneOrder(t *testing.T) {
+	if len(autotune.Schemes) != len(AdvisorSchemes) {
+		t.Fatalf("advisor scores %d schemes, wire carries %d", len(autotune.Schemes), len(AdvisorSchemes))
+	}
+	for i, kind := range autotune.Schemes {
+		if AdvisorSchemes[i] != kind {
+			t.Errorf("wire column %d is %q, advisor scheme %d is %q", i, AdvisorSchemes[i], i, kind)
+		}
+	}
+}
+
+// FuzzDecodeAdvisorStatsReply feeds arbitrary bytes to the
+// advisor-stats decoder: it must never panic, and one decode→encode
+// round must reach a fixed point (the first round may canonicalise —
+// unknown incumbent/reason codes collapse to 0, undefined flag and
+// eligibility bits drop — but a second round must change nothing).
+func FuzzDecodeAdvisorStatsReply(f *testing.F) {
+	f.Add(EncodeAdvisorStatsReply(&AdvisorStatsReply{
+		Migrations: 3,
+		Tables: []AdvisorTableStats{{
+			Table: 1, Auto: true, Incumbent: "dir24", LastReason: "shape",
+			Rules: 9, Scores: [4]float64{1, 2, 3, 4}, Eligible: [4]bool{true, false, true, false},
+		}},
+	}))
+	f.Add([]byte{})
+	f.Add(make([]byte, advisorStatsHeaderLen))
+	f.Add(make([]byte, advisorStatsHeaderLen+advisorStatsRowLen-1))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := DecodeAdvisorStatsReply(data)
+		if err != nil {
+			return
+		}
+		enc1 := EncodeAdvisorStatsReply(r)
+		r2, err := DecodeAdvisorStatsReply(enc1)
+		if err != nil {
+			t.Fatalf("re-decode of canonicalised payload failed: %v", err)
+		}
+		if enc2 := EncodeAdvisorStatsReply(r2); string(enc2) != string(enc1) {
+			t.Fatal("advisor-stats canonical encode is not a fixed point")
+		}
+	})
+}
+
+// TestEndToEndAdvisorStats runs an auto-backend pipeline behind a live
+// server: the wire report must mirror the pipeline's AdvisorStats —
+// auto flags, incumbents, signals, scores — and keep mirroring it after
+// a live migration performed between two polls.
+func TestEndToEndAdvisorStats(t *testing.T) {
+	p := core.NewPipeline()
+	if _, err := p.AddTable(core.TableConfig{
+		ID: 0, Fields: []openflow.FieldID{openflow.FieldIPv4Dst}, Backend: core.BackendAuto,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.AddTable(core.TableConfig{
+		ID: 1, Fields: []openflow.FieldID{openflow.FieldInPort}, Backend: core.BackendTSS,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	addr, stop := startTestServer(t, p)
+	defer stop()
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+
+	var fms []FlowMod
+	for i := 0; i < 64; i++ {
+		fms = append(fms, FlowMod{Op: FlowAdd, Table: 0, Entry: openflow.FlowEntry{
+			Priority:     24,
+			Matches:      []openflow.Match{openflow.Prefix(openflow.FieldIPv4Dst, uint64(i)<<8, 24)},
+			Instructions: []openflow.Instruction{openflow.WriteActions(openflow.Output(uint32(i) + 1))},
+		}})
+	}
+	if _, err := c.SendFlowMods(fms); err != nil {
+		t.Fatal(err)
+	}
+
+	checkMirrors := func() *AdvisorStatsReply {
+		t.Helper()
+		got, err := c.AdvisorStats()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := p.AdvisorStats()
+		if got.Migrations != want.Migrations || got.Failed != want.Failed || len(got.Tables) != len(want.Tables) {
+			t.Fatalf("wire report %+v, pipeline report %+v", got, want)
+		}
+		for i := range want.Tables {
+			wt, gt := &want.Tables[i], &got.Tables[i]
+			if gt.Table != uint8(wt.Table) || gt.Auto != wt.Auto || gt.Incumbent != wt.Incumbent ||
+				gt.LastReason != wt.LastReason || gt.Rules != uint32(wt.Rules) ||
+				gt.Masks != uint16(wt.Masks) || gt.Ranges != uint16(wt.Ranges) ||
+				gt.Wide != uint16(wt.Wide) || gt.MemBits != wt.MemBits ||
+				gt.Migrations != wt.Migrations || gt.EwmaNs != wt.EwmaNs {
+				t.Fatalf("table %d: wire %+v, pipeline %+v", wt.Table, gt, wt)
+			}
+			for j, c := range wt.Candidates {
+				if gt.Eligible[j] != c.Eligible || gt.Scores[j] != c.Score {
+					t.Fatalf("table %d candidate %s: wire (%v, %v), pipeline %+v",
+						wt.Table, AdvisorSchemes[j], gt.Eligible[j], gt.Scores[j], c)
+				}
+			}
+		}
+		return got
+	}
+
+	rep := checkMirrors()
+	if !rep.Tables[0].Auto || rep.Tables[0].Incumbent != core.BackendMBT {
+		t.Fatalf("table 0 row %+v, want auto on mbt", rep.Tables[0])
+	}
+	if rep.Tables[1].Auto {
+		t.Fatalf("table 1 row %+v, want pinned", rep.Tables[1])
+	}
+
+	// Force a live migration between polls; the next report reflects it.
+	p.SetAutotunePolicy(autotune.Policy{})
+	if events := p.AutotuneOnce(); len(events) != 1 {
+		t.Fatalf("advisor pass: %v, want one migration", events)
+	}
+	rep = checkMirrors()
+	if rep.Migrations != 1 || rep.Tables[0].Incumbent != core.BackendDIR24 || rep.Tables[0].LastReason != "score" {
+		t.Fatalf("post-migration report %+v, want 1 migration to dir24 (score)", rep)
+	}
+
+	// The stats JSON surface carries the same counters.
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Migrations != 1 || st.MigrationsFailed != 0 {
+		t.Fatalf("stats migrations %d/%d failed, want 1/0", st.Migrations, st.MigrationsFailed)
+	}
+}

@@ -236,6 +236,28 @@ func (c *Client) MemoryStats() (*MemoryStatsReply, error) {
 	return DecodeMemoryStatsReply(msg.Payload)
 }
 
+// AdvisorStats fetches the autotune advisor's view of every table: the
+// incumbent backend, the live shape/latency/memory signals, every
+// candidate scheme's score, and the migration history.
+func (c *Client) AdvisorStats() (*AdvisorStatsReply, error) {
+	msg, err := c.roundTrip(MsgAdvisorStatsRequest, nil, MsgAdvisorStatsReply)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeAdvisorStatsReply(msg.Payload)
+}
+
+// AdvisorStatsInto fetches the advisor report into r, reusing its
+// Tables slice so steady-state polls (ofctl advisor -watch) decode
+// without allocating.
+func (c *Client) AdvisorStatsInto(r *AdvisorStatsReply) error {
+	msg, err := c.roundTrip(MsgAdvisorStatsRequest, nil, MsgAdvisorStatsReply)
+	if err != nil {
+		return err
+	}
+	return DecodeAdvisorStatsReplyInto(r, msg.Payload)
+}
+
 // CacheStats fetches the fast-path tiers' hit/miss counters and shapes
 // (microflow exact-match cache and megaflow wildcard tier). Served from
 // lock-free counters on the switch side.

@@ -69,6 +69,8 @@ const (
 	// must drain it inline (like echo requests) rather than treat it as
 	// the answer to a pending request.
 	MsgFlowRemoved
+	MsgAdvisorStatsRequest
+	MsgAdvisorStatsReply
 )
 
 // String names the message type.
@@ -132,6 +134,10 @@ func (t MsgType) String() string {
 		return "flow-removed-subscribe-reply"
 	case MsgFlowRemoved:
 		return "flow-removed"
+	case MsgAdvisorStatsRequest:
+		return "advisor-stats-request"
+	case MsgAdvisorStatsReply:
+		return "advisor-stats-reply"
 	default:
 		return "unknown"
 	}
@@ -242,6 +248,10 @@ type Stats struct {
 	ExpiredHard  uint64 `json:"expired_hard,omitempty"`
 	ExpirySweeps uint64 `json:"expiry_sweeps,omitempty"`
 	Groups       int    `json:"groups,omitempty"`
+	// Autotune telemetry: completed live backend migrations and aborted
+	// migration attempts (the incumbent kept serving).
+	Migrations       uint64 `json:"migrations,omitempty"`
+	MigrationsFailed uint64 `json:"migrations_failed,omitempty"`
 }
 
 // TableStats describes one pipeline table.

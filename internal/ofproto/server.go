@@ -341,6 +341,8 @@ type connState struct {
 	// both reused so stats polling is allocation-free in steady state.
 	memTables []core.TableMemory
 	memReply  MemoryStatsReply
+	// Advisor-stats wire reply, reused across polls.
+	advReply AdvisorStatsReply
 	// Flow-lifecycle state: the reused scrape page, the flow-removed
 	// subscription flag and its drain cursor, and the reused
 	// notification batch buffer.
@@ -465,6 +467,40 @@ func (s *Server) dispatch(conn net.Conn, cs *connState, msg Message) error {
 		cs.out = BeginFrame(cs.out)
 		cs.out = AppendMemoryStatsReply(cs.out, &cs.memReply)
 		return WriteFrame(conn, MsgMemoryStatsReply, cs.out)
+	case MsgAdvisorStatsRequest:
+		// The advisor report takes the pipeline write lock briefly
+		// (signal refresh folds in fresh latency samples) — a polling
+		// surface, not a hot-path one.
+		as := s.pipeline.AdvisorStats()
+		cs.advReply.Migrations = as.Migrations
+		cs.advReply.Failed = as.Failed
+		cs.advReply.Tables = cs.advReply.Tables[:0]
+		for i := range as.Tables {
+			t := &as.Tables[i]
+			row := AdvisorTableStats{
+				Table:      uint8(t.Table),
+				Auto:       t.Auto,
+				Incumbent:  t.Incumbent,
+				LastReason: t.LastReason,
+				Rules:      uint32(t.Rules),
+				Masks:      clampU16(t.Masks),
+				Ranges:     clampU16(t.Ranges),
+				Wide:       clampU16(t.Wide),
+				EwmaNs:     t.EwmaNs,
+				MemBits:    t.MemBits,
+				Migrations: t.Migrations,
+			}
+			for j, c := range t.Candidates {
+				if j < len(row.Scores) {
+					row.Scores[j] = c.Score
+					row.Eligible[j] = c.Eligible
+				}
+			}
+			cs.advReply.Tables = append(cs.advReply.Tables, row)
+		}
+		cs.out = BeginFrame(cs.out)
+		cs.out = AppendAdvisorStatsReply(cs.out, &cs.advReply)
+		return WriteFrame(conn, MsgAdvisorStatsReply, cs.out)
 	case MsgCacheStatsRequest:
 		// Both tiers' counters are lock-free atomics; serving this never
 		// serialises against packet or flow-mod traffic.
@@ -694,5 +730,19 @@ func (s *Server) stats() *Stats {
 	st.ExpiredHard = lc.ExpiredHard
 	st.ExpirySweeps = lc.Sweeps
 	st.Groups = lc.Groups
+	mig := s.pipeline.MigrationStats()
+	st.Migrations = mig.Migrations
+	st.MigrationsFailed = mig.Failed
 	return st
+}
+
+// clampU16 saturates an int into a wire u16 counter.
+func clampU16(v int) uint16 {
+	if v < 0 {
+		return 0
+	}
+	if v > 0xFFFF {
+		return 0xFFFF
+	}
+	return uint16(v)
 }
